@@ -1,0 +1,55 @@
+//! Criterion bench: per-access decision overhead of each replacement
+//! policy (Section 5 argues the algorithms add negligible cycle-time cost;
+//! this measures their software-simulation analogue).
+
+use cache_sim::{AccessType, BlockAddr, Cache, Cost, Geometry};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use csr_harness::PolicyKind;
+use mem_trace::workloads::synthetic::ZipfRandom;
+use mem_trace::Workload;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let geom = Geometry::new(16 * 1024, 64, 4);
+    let trace = ZipfRandom { refs: 100_000, blocks: 8192, exponent: 0.9, write_fraction: 0.2 }
+        .generate(42);
+    let accesses: Vec<(BlockAddr, AccessType, Cost)> = trace
+        .iter()
+        .map(|r| {
+            let b = r.block(64);
+            let cost = if b.0 % 5 == 0 { Cost(8) } else { Cost(1) };
+            (b, r.op, cost)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("policy_overhead");
+    group.throughput(Throughput::Elements(accesses.len() as u64));
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Random,
+        PolicyKind::Gd,
+        PolicyKind::Bcl,
+        PolicyKind::Dcl,
+        PolicyKind::DclAliased(4),
+        PolicyKind::Acl,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut cache = Cache::new(geom, kind.build(&geom));
+                for &(block, op, cost) in &accesses {
+                    black_box(cache.access(block, op, cost));
+                }
+                black_box(cache.stats().aggregate_cost)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench: end-to-end simulator throughput — the trace-driven
+//! hierarchy (references/second) and the event-driven NUMA machine
+//! (references/second through the full protocol).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use csr_harness::{run_sampled, PolicyKind, TraceSimConfig};
+use mem_trace::cost_map::RandomCostMap;
+use mem_trace::workloads::OceanLike;
+use mem_trace::{ProcId, SampledTrace, Workload};
+use numa_sim::Clock;
+use std::hint::black_box;
+
+fn bench_trace_driven(c: &mut Criterion) {
+    let w = OceanLike { n: 130, grids: 3, procs: 16, iters: 3, col_stride: 2, reduction_points: 256 };
+    let trace = w.generate(7);
+    let sampled = SampledTrace::from_trace(&trace, ProcId(3));
+    let map = RandomCostMap::new(0.2, cache_sim::CostPair::ratio(8), 5);
+    let cfg = TraceSimConfig::paper_basic();
+
+    let mut group = c.benchmark_group("trace_driven");
+    group.throughput(Throughput::Elements(sampled.events().len() as u64));
+    for kind in [PolicyKind::Lru, PolicyKind::Dcl] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(run_sampled(&sampled, &map, kind, cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_numa(c: &mut Criterion) {
+    let w = OceanLike { n: 66, grids: 2, procs: 16, iters: 2, col_stride: 2, reduction_points: 64 };
+    let pt = w.generate_phases(7);
+
+    let mut group = c.benchmark_group("numa_sim");
+    group.throughput(Throughput::Elements(pt.total_refs() as u64));
+    for kind in [PolicyKind::Lru, PolicyKind::Dcl] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                black_box(csr_harness::numa_exp::run_numa(&pt, Clock::Mhz500, kind).exec_time_ps)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trace_driven, bench_numa
+}
+criterion_main!(benches);

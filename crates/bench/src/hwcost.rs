@@ -1,0 +1,38 @@
+//! Section 5: hardware-overhead model output.
+
+use crate::{ExperimentOpts, TableBuilder};
+use csr::{CostSource, HwParams, HwPolicy};
+
+/// Prints the Section 5 hardware-overhead numbers.
+pub fn run(_opts: &ExperimentOpts) {
+    println!("=== Section 5: hardware overhead over LRU ===");
+    let example = HwParams::paper_example();
+    let mut t = TableBuilder::new();
+    t.header(["policy", "dynamic bits/set", "dynamic %", "static bits/set", "static %"]);
+    for policy in [HwPolicy::Bcl, HwPolicy::Gd, HwPolicy::Dcl, HwPolicy::Acl] {
+        t.row([
+            format!("{policy:?}"),
+            example.added_bits_per_set(policy, CostSource::DynamicPerBlock).to_string(),
+            format!("{:.2}", example.overhead_pct(policy, CostSource::DynamicPerBlock)),
+            example.added_bits_per_set(policy, CostSource::StaticTable).to_string(),
+            format!("{:.2}", example.overhead_pct(policy, CostSource::StaticTable)),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(paper: dynamic ~1.9/2.7/6.6/6.7 %, static 0.4/1.5/4.0/4.1 % for BCL/GD/DCL/ACL)");
+    println!();
+
+    println!("--- quantized-latency encoding (2-bit fixed, 3-bit computed, 4-bit ETD tags) ---");
+    let q = HwParams::paper_quantized_example();
+    let mut t = TableBuilder::new();
+    t.header(["policy", "bits/set"]);
+    for policy in [HwPolicy::Bcl, HwPolicy::Gd, HwPolicy::Dcl, HwPolicy::Acl] {
+        t.row([
+            format!("{policy:?}"),
+            q.added_bits_per_set(policy, CostSource::DynamicPerBlock).to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(paper: 11/20/32/35 bits for BCL/GD/DCL/ACL)");
+    println!();
+}

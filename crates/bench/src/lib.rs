@@ -1,0 +1,51 @@
+//! # csr-bench
+//!
+//! Experiment binaries and Criterion benches that regenerate every table
+//! and figure of *Cost-Sensitive Cache Replacement Algorithms* (HPCA 2003).
+//! See `DESIGN.md` at the repository root for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig3;
+pub mod hwcost;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod penalty;
+pub mod sweep;
+pub mod table5;
+mod tablefmt;
+
+pub use tablefmt::TableBuilder;
+
+/// Options shared by all experiment subcommands.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentOpts {
+    /// Run the paper's full problem sizes instead of the quick defaults.
+    pub paper_scale: bool,
+    /// Include the footnote-2 kernels (FFT, Radix) where applicable.
+    pub extended: bool,
+    /// Worker threads for sweeps.
+    pub threads: usize,
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        ExperimentOpts { paper_scale: false, extended: false, threads: csr_harness::default_threads() }
+    }
+}
+
+impl ExperimentOpts {
+    /// The workload scale selected by the options.
+    #[must_use]
+    pub fn scale(&self) -> csr_harness::Scale {
+        if self.paper_scale {
+            csr_harness::Scale::Paper
+        } else {
+            csr_harness::Scale::Quick
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Beyond the paper: penalty-based cost functions (Section 7 outlook).
+//!
+//! "The memory performance of CC-NUMA multiprocessors may be further
+//! enhanced if we can measure memory access penalty instead of latency and
+//! use the penalty as the target cost function." This experiment runs the
+//! Table 5 setup with costs = quantized latency (the paper's Section 4)
+//! versus costs = quantized *stall* time attributed to each miss.
+
+use crate::{ExperimentOpts, TableBuilder};
+use csr_harness::numa_exp::{rsim_suite, run_numa_cfg};
+use csr_harness::PolicyKind;
+use numa_sim::{Clock, CostMode, SystemConfig};
+
+fn run(trace: &mem_trace::PhasedTrace, mode: CostMode, policy: PolicyKind) -> u64 {
+    let mut cfg = SystemConfig::table4(Clock::Ghz1);
+    cfg.cost_mode = mode;
+    run_numa_cfg(cfg, trace, policy).exec_time_ps
+}
+
+/// Prints the latency-cost vs penalty-cost comparison.
+pub fn run_experiment(opts: &ExperimentOpts) {
+    println!("=== Beyond the paper: latency vs penalty cost functions (1 GHz) ===");
+    let suite = rsim_suite();
+    let mut t = TableBuilder::new();
+    t.header([
+        "benchmark",
+        "DCL latency-cost",
+        "DCL penalty-cost",
+        "ACL latency-cost",
+        "ACL penalty-cost",
+    ]);
+    // Benchmark-innermost ordering spreads heavyweight benchmarks across
+    // run_tasks's contiguous thread chunks.
+    let tasks: Vec<(usize, CostMode, PolicyKind)> = {
+        let mut v = Vec::new();
+        for mode in [CostMode::Quantized(60), CostMode::Penalty(60)] {
+            for p in [PolicyKind::Dcl, PolicyKind::Acl] {
+                for bi in 0..suite.len() {
+                    v.push((bi, mode, p));
+                }
+            }
+        }
+        v
+    };
+    let base_idx: Vec<usize> = (0..suite.len()).collect();
+    let baselines: Vec<u64> = csr_harness::experiments::run_tasks(
+        opts.threads,
+        &base_idx,
+        |&bi| run(&suite[bi].trace, CostMode::Quantized(60), PolicyKind::Lru),
+    );
+    let results = csr_harness::experiments::run_tasks(opts.threads, &tasks, |&(bi, mode, p)| {
+        run(&suite[bi].trace, mode, p)
+    });
+    for (bi, b) in suite.iter().enumerate() {
+        let pct = |mode: CostMode, p: PolicyKind| {
+            let idx = tasks
+                .iter()
+                .position(|&(i, m, pol)| i == bi && m == mode && pol == p)
+                .expect("task scheduled");
+            cache_sim::relative_savings_pct(
+                cache_sim::Cost(baselines[bi]),
+                cache_sim::Cost(results[idx]),
+            )
+        };
+        t.row([
+            b.name.clone(),
+            format!("{:+.2}%", pct(CostMode::Quantized(60), PolicyKind::Dcl)),
+            format!("{:+.2}%", pct(CostMode::Penalty(60), PolicyKind::Dcl)),
+            format!("{:+.2}%", pct(CostMode::Quantized(60), PolicyKind::Acl)),
+            format!("{:+.2}%", pct(CostMode::Penalty(60), PolicyKind::Acl)),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(execution-time reduction over the latency-cost LRU baseline)");
+    println!();
+}

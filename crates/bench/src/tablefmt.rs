@@ -1,0 +1,97 @@
+//! Minimal aligned-column text table rendering for experiment output.
+
+/// Builds an aligned text table.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        TableBuilder::default()
+    }
+
+    /// Sets the header row.
+    pub fn header<I, S>(&mut self, cols: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    pub fn row<I, S>(&mut self, cols: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cols.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |row: &[String]| {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            cells.join("  ")
+        };
+        let mut out = String::new();
+        if !self.header.is_empty() {
+            out.push_str(&fmt_row(&self.header));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TableBuilder::new();
+        t.header(["name", "v"]);
+        t.row(["a", "1.5"]);
+        t.row(["longer", "22.0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("1.5"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn empty_table_renders_empty() {
+        assert_eq!(TableBuilder::new().render(), "");
+    }
+}

@@ -1,0 +1,185 @@
+//! Miss-cost representation.
+//!
+//! Following the paper (Section 2), the cost of a reference that hits is 0
+//! and the cost of a miss is any non-negative number. Costs are integers:
+//! in the two-static-cost experiments they are `1` and `r`; in the CC-NUMA
+//! experiments they are predicted miss latencies in cycles.
+//!
+//! The *infinite cost ratio* of Section 3.1 is encoded exactly as the paper
+//! does: low cost `0`, high cost `1` (see [`CostPair::infinite_ratio`]).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// A non-negative miss cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cost(pub u64);
+
+impl Cost {
+    /// The zero cost (a hit, or the "low" side of an infinite cost ratio).
+    pub const ZERO: Cost = Cost(0);
+    /// The unit cost.
+    pub const ONE: Cost = Cost(1);
+
+    /// Saturating subtraction; costs never go negative.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Cost) -> Cost {
+        Cost(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating doubling, used by the BCL/DCL depreciation rule
+    /// (`Acost -= 2 * c[i]`).
+    #[must_use]
+    pub fn doubled(self) -> Cost {
+        Cost(self.0.saturating_mul(2))
+    }
+
+    /// Whether this cost is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Cost {
+    fn from(v: u64) -> Self {
+        Cost(v)
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Add::add)
+    }
+}
+
+/// A static two-cost configuration: the cost of a low-cost miss and the cost
+/// of a high-cost miss (Section 3: low = 1, high = `r`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostPair {
+    low: Cost,
+    high: Cost,
+}
+
+impl CostPair {
+    /// A finite cost ratio `r`: low cost 1, high cost `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    #[must_use]
+    pub fn ratio(r: u64) -> Self {
+        assert!(r > 0, "cost ratio must be positive");
+        CostPair { low: Cost::ONE, high: Cost(r) }
+    }
+
+    /// The infinite cost ratio: low cost 0, high cost 1 (Section 3.1).
+    ///
+    /// With a low cost of zero the BCL/DCL depreciation `Acost -= 2*c` is a
+    /// no-op, so reserved high-cost blocks are never released by low-cost
+    /// victimizations — the theoretical upper bound of cost savings.
+    #[must_use]
+    pub fn infinite_ratio() -> Self {
+        CostPair { low: Cost::ZERO, high: Cost::ONE }
+    }
+
+    /// Explicit low/high costs.
+    #[must_use]
+    pub fn new(low: Cost, high: Cost) -> Self {
+        CostPair { low, high }
+    }
+
+    /// The low miss cost.
+    #[must_use]
+    pub fn low(&self) -> Cost {
+        self.low
+    }
+
+    /// The high miss cost.
+    #[must_use]
+    pub fn high(&self) -> Cost {
+        self.high
+    }
+
+    /// Selects the high or low cost.
+    #[must_use]
+    pub fn pick(&self, high: bool) -> Cost {
+        if high {
+            self.high
+        } else {
+            self.low
+        }
+    }
+}
+
+impl fmt::Display for CostPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == CostPair::infinite_ratio() {
+            write!(f, "r=inf")
+        } else {
+            write!(f, "r={}/{}", self.high, self.low)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(Cost(3).saturating_sub(Cost(5)), Cost::ZERO);
+        assert_eq!(Cost(5).saturating_sub(Cost(3)), Cost(2));
+        assert_eq!(Cost(7).doubled(), Cost(14));
+        assert_eq!(Cost(u64::MAX).doubled(), Cost(u64::MAX));
+    }
+
+    #[test]
+    fn sum_of_costs() {
+        let total: Cost = [Cost(1), Cost(2), Cost(3)].into_iter().sum();
+        assert_eq!(total, Cost(6));
+    }
+
+    #[test]
+    fn ratio_pairs() {
+        let p = CostPair::ratio(8);
+        assert_eq!(p.low(), Cost(1));
+        assert_eq!(p.high(), Cost(8));
+        assert_eq!(p.pick(true), Cost(8));
+        assert_eq!(p.pick(false), Cost(1));
+    }
+
+    #[test]
+    fn infinite_ratio_is_zero_one() {
+        let p = CostPair::infinite_ratio();
+        assert_eq!(p.low(), Cost::ZERO);
+        assert_eq!(p.high(), Cost::ONE);
+        assert_eq!(p.to_string(), "r=inf");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ratio_rejected() {
+        let _ = CostPair::ratio(0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-cache access and cost accounting.
+
+use crate::cost::Cost;
+
+/// Counters accumulated by a [`Cache`](crate::Cache) over its lifetime.
+///
+/// The central metric of the paper is [`aggregate_cost`](Self::aggregate_cost):
+/// the sum of the miss costs of every access that missed (hits cost 0).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses (reads + writes).
+    pub accesses: u64,
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Sum of the miss costs of all misses, `C(X)` in the paper.
+    pub aggregate_cost: Cost,
+    /// Blocks filled (equals misses for a demand-fill cache).
+    pub fills: u64,
+    /// Blocks evicted to make room for a fill.
+    pub evictions: u64,
+    /// Evicted blocks that were dirty (require writeback).
+    pub dirty_evictions: u64,
+    /// Evictions that chose a block other than the LRU block — i.e. fills
+    /// that left a reservation in place (always 0 for plain LRU).
+    pub non_lru_evictions: u64,
+    /// Invalidation requests delivered to the cache.
+    pub invalidations_requested: u64,
+    /// Invalidation requests that found the block resident.
+    pub invalidations_hit: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; 0 if no accesses were made.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 if no accesses were made.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Average cost per access (aggregate cost / accesses); 0 if idle.
+    #[must_use]
+    pub fn cost_per_access(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.aggregate_cost.0 as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Relative cost savings of a policy versus a baseline, in percent:
+/// `100 * (baseline - policy) / baseline` (Section 3.2 of the paper).
+///
+/// Returns 0 when the baseline cost is zero (nothing to save).
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{relative_savings_pct, Cost};
+/// let s = relative_savings_pct(Cost(200), Cost(150));
+/// assert!((s - 25.0).abs() < 1e-12);
+/// // A policy that does worse than the baseline yields negative savings.
+/// assert!(relative_savings_pct(Cost(100), Cost(110)) < 0.0);
+/// ```
+#[must_use]
+pub fn relative_savings_pct(baseline: Cost, policy: Cost) -> f64 {
+    if baseline.0 == 0 {
+        0.0
+    } else {
+        100.0 * (baseline.0 as f64 - policy.0 as f64) / baseline.0 as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = CacheStats { accesses: 10, hits: 7, misses: 3, ..Default::default() };
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_with_no_accesses() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.cost_per_access(), 0.0);
+    }
+
+    #[test]
+    fn savings_formula() {
+        assert_eq!(relative_savings_pct(Cost(0), Cost(0)), 0.0);
+        assert!((relative_savings_pct(Cost(100), Cost(0)) - 100.0).abs() < 1e-12);
+        assert!((relative_savings_pct(Cost(100), Cost(100))).abs() < 1e-12);
+        assert!((relative_savings_pct(Cost(100), Cost(130)) + 30.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,405 @@
+//! The Adaptive Cost-sensitive LRU algorithm (ACL, Section 2.5 / Figure 2).
+//!
+//! ACL is DCL plus a per-set 2-bit saturating counter that enables or
+//! disables reservations, exploiting the observation that reservation
+//! successes and failures come in streaks that differ across sets and time:
+//!
+//! * the counter **increments** when a reservation succeeds (the reserved
+//!   block is re-referenced while reserved) and **decrements** when one
+//!   fails (the reserved block is evicted or invalidated without a hit);
+//! * reservations are possible only while the counter is greater than zero;
+//!   the counter starts at zero, so every set begins with reservations
+//!   disabled;
+//! * while disabled, the ETD watches would-be reservations: an evicted LRU
+//!   block enters the ETD whenever a cheaper block was present in the set.
+//!   An ETD hit means a reservation would have saved cost — all entries are
+//!   invalidated and the counter jumps to two, re-enabling reservations.
+
+use crate::etd::{Etd, EtdConfig, EtdStats};
+use crate::reserve::{reservation_victim, AcostTracker};
+use cache_sim::{
+    BlockAddr, Cost, Geometry, InvalidateKind, ReplacementPolicy, SetIndex, SetView, Way,
+};
+
+/// Counter ceiling of the 2-bit automaton.
+const COUNTER_MAX: u8 = 3;
+/// Counter value installed when a disabled set observes an ETD hit.
+const TRIGGER_VALUE: u8 = 2;
+
+/// Counters specific to [`Acl`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AclStats {
+    /// Reservations started (first non-LRU victimization of a streak).
+    pub reservations: u64,
+    /// Reservations that ended with a hit on the reserved block.
+    pub successes: u64,
+    /// Reservations that ended with eviction/invalidation of the reserved
+    /// block.
+    pub failures: u64,
+    /// Disabled-to-enabled transitions triggered by watch-mode ETD hits.
+    pub triggers: u64,
+    /// Victim selections that evicted the LRU block.
+    pub lru_evictions: u64,
+    /// Depreciations triggered by ETD hits while enabled.
+    pub depreciations: u64,
+    /// Watch-mode ETD insertions of evicted LRU blocks.
+    pub watch_inserts: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SetAutomaton {
+    counter: u8,
+    reserved: bool,
+}
+
+impl SetAutomaton {
+    fn enabled(&self) -> bool {
+        self.counter > 0
+    }
+}
+
+/// The ACL replacement policy.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{Cache, Geometry, AccessType, Cost, BlockAddr};
+/// use csr::Acl;
+///
+/// let geom = Geometry::new(16 * 1024, 64, 4);
+/// let mut cache = Cache::new(geom, Acl::new(&geom));
+/// cache.access(BlockAddr(1), AccessType::Read, Cost(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Acl {
+    trackers: Vec<AcostTracker>,
+    automata: Vec<SetAutomaton>,
+    etd: Etd,
+    factor: u64,
+    stats: AclStats,
+}
+
+impl Acl {
+    /// Creates an ACL policy with a full-tag, `assoc - 1`-entry ETD.
+    #[must_use]
+    pub fn new(geom: &Geometry) -> Self {
+        Acl::with_etd_config(geom, EtdConfig::for_assoc(geom.assoc()))
+    }
+
+    /// Creates an ACL policy whose ETD stores only the low `bits` tag bits.
+    #[must_use]
+    pub fn with_aliased_tags(geom: &Geometry, bits: u32) -> Self {
+        Acl::with_etd_config(geom, EtdConfig::for_assoc_aliased(geom.assoc(), bits))
+    }
+
+    /// Creates an ACL policy with an explicit ETD configuration.
+    #[must_use]
+    pub fn with_etd_config(geom: &Geometry, cfg: EtdConfig) -> Self {
+        Acl {
+            trackers: vec![AcostTracker::default(); geom.num_sets()],
+            automata: vec![SetAutomaton::default(); geom.num_sets()],
+            etd: Etd::new(geom.num_sets(), cfg),
+            factor: 2,
+            stats: AclStats::default(),
+        }
+    }
+
+    /// Overrides the depreciation factor (the paper's value is 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    #[must_use]
+    pub fn with_depreciation_factor(mut self, factor: u64) -> Self {
+        assert!(factor > 0, "depreciation factor must be positive");
+        self.factor = factor;
+        self
+    }
+
+    /// Accumulated policy statistics.
+    #[must_use]
+    pub fn stats(&self) -> &AclStats {
+        &self.stats
+    }
+
+    /// Statistics of the embedded ETD.
+    #[must_use]
+    pub fn etd_stats(&self) -> &EtdStats {
+        self.etd.stats()
+    }
+
+    /// The automaton counter of `set` (tests and debugging).
+    #[must_use]
+    pub fn counter_of(&self, set: SetIndex) -> u8 {
+        self.automata[set.0].counter
+    }
+
+    /// Whether reservations are currently enabled in `set`.
+    #[must_use]
+    pub fn enabled(&self, set: SetIndex) -> bool {
+        self.automata[set.0].enabled()
+    }
+
+    /// The remaining depreciated cost of the tracked LRU block in `set`.
+    #[must_use]
+    pub fn acost_of(&self, set: SetIndex) -> u64 {
+        self.trackers[set.0].acost()
+    }
+
+    /// The embedded ETD (tests and debugging).
+    #[must_use]
+    pub fn etd(&self) -> &Etd {
+        &self.etd
+    }
+
+    fn end_reservation_failure(&mut self, set: SetIndex) {
+        let a = &mut self.automata[set.0];
+        if a.reserved {
+            a.counter = a.counter.saturating_sub(1);
+            a.reserved = false;
+            self.stats.failures += 1;
+            if a.counter == 0 {
+                // Transition into watch mode with a clean slate: entries
+                // left over from the failed reservation must not be
+                // misread as watch hits (they are evidence reservations
+                // *hurt*, not that one would have helped).
+                self.etd.clear_set(set);
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for Acl {
+    fn name(&self) -> &'static str {
+        "ACL"
+    }
+
+    fn victim(&mut self, set: SetIndex, view: &SetView<'_>) -> Way {
+        self.trackers[set.0].sync(view);
+        if self.automata[set.0].enabled() {
+            // DCL behaviour: reserve the LRU block if a cheaper block sits
+            // above it.
+            let acost = self.trackers[set.0].acost();
+            if let Some((way, pos)) = reservation_victim(view, acost) {
+                let e = view.at(pos);
+                self.etd.insert(set, e.block, e.cost);
+                let a = &mut self.automata[set.0];
+                if !a.reserved {
+                    a.reserved = true;
+                    self.stats.reservations += 1;
+                }
+                return way;
+            }
+            // The reserved block (if any) is evicted: the reservation failed.
+            self.end_reservation_failure(set);
+        } else {
+            // Watch mode: remember the evicted LRU block if a reservation
+            // *could* have been made (a cheaper block exists in the set).
+            let lru = view.lru();
+            let cheaper_exists = view
+                .iter()
+                .take(view.len().saturating_sub(1))
+                .any(|e| e.cost.0 < lru.cost.0);
+            if cheaper_exists {
+                self.etd.insert(set, lru.block, lru.cost);
+                self.stats.watch_inserts += 1;
+            }
+        }
+        self.stats.lru_evictions += 1;
+        let lru = view.lru();
+        self.trackers[set.0].note_departure(lru.block);
+        lru.way
+    }
+
+    fn on_hit(&mut self, set: SetIndex, view: &SetView<'_>, _way: Way, stack_pos: usize) {
+        let block = view.at(stack_pos).block;
+        if stack_pos + 1 == view.len() {
+            let a = &mut self.automata[set.0];
+            if a.reserved {
+                // The reserved block was re-referenced: success.
+                a.counter = (a.counter + 1).min(COUNTER_MAX);
+                a.reserved = false;
+                self.stats.successes += 1;
+            }
+            if a.enabled() {
+                self.etd.clear_set(set);
+            }
+        }
+        self.trackers[set.0].note_departure(block);
+    }
+
+    fn on_miss(&mut self, set: SetIndex, view: &SetView<'_>, block: BlockAddr) {
+        if self.automata[set.0].enabled() {
+            if let Some(cost) = self.etd.probe_and_take(set, block) {
+                let t = &mut self.trackers[set.0];
+                t.sync(view);
+                t.depreciate(Cost(cost.0.saturating_mul(self.factor)));
+                self.stats.depreciations += 1;
+            }
+        } else if self.etd.probe_and_take(set, block).is_some() {
+            // A watch hit: keeping the block would have saved its miss cost.
+            // Enable reservations, hoping a streak of successes started.
+            self.etd.clear_set(set);
+            self.automata[set.0].counter = TRIGGER_VALUE;
+            self.stats.triggers += 1;
+        }
+    }
+
+    fn on_invalidate(
+        &mut self,
+        set: SetIndex,
+        block: BlockAddr,
+        _resident: Option<(Way, usize)>,
+        _kind: InvalidateKind,
+    ) {
+        self.etd.invalidate(set, block);
+        if self.trackers[set.0].tracked() == Some(block) {
+            // The reserved block disappeared without a hit: failure.
+            self.end_reservation_failure(set);
+        }
+        self.trackers[set.0].note_departure(block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{AccessType, Cache};
+
+    fn cache(assoc: usize) -> Cache<Acl> {
+        let geom = Geometry::new(64 * assoc as u64, 64, assoc);
+        Cache::new(geom, Acl::new(&geom))
+    }
+
+    const S0: SetIndex = SetIndex(0);
+
+    #[test]
+    fn starts_disabled_and_behaves_like_lru() {
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(8)); // high-cost LRU
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1));
+        // Disabled: plain LRU evicts the high-cost block 0.
+        assert!(!c.contains(BlockAddr(0)));
+        assert!(!c.policy().enabled(S0));
+        assert_eq!(c.policy().stats().reservations, 0);
+        // ...but block 0 entered the watch ETD (cheaper block 1 existed).
+        assert_eq!(c.policy().stats().watch_inserts, 1);
+    }
+
+    #[test]
+    fn watch_hit_enables_reservations() {
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(8));
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // LRU 0 evicted -> watch ETD
+        c.access(BlockAddr(0), AccessType::Read, Cost(8)); // watch hit!
+        assert!(c.policy().enabled(S0));
+        assert_eq!(c.policy().counter_of(S0), TRIGGER_VALUE);
+        assert_eq!(c.policy().stats().triggers, 1);
+    }
+
+    #[test]
+    fn enabled_set_reserves_like_dcl() {
+        let mut c = cache(2);
+        // Warm up the automaton via a watch hit.
+        c.access(BlockAddr(0), AccessType::Read, Cost(8));
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1));
+        c.access(BlockAddr(0), AccessType::Read, Cost(8)); // enables; set = [0(MRU), 2]
+        // Make 0 the LRU again, then fill: reservation protects it now.
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // set = [2(MRU), 0]...
+        // (block 0 at LRU, enabled): next fill displaces 2 instead of 0.
+        c.access(BlockAddr(3), AccessType::Read, Cost(1));
+        assert!(c.contains(BlockAddr(0)), "enabled ACL must reserve the high-cost LRU block");
+        assert!(!c.contains(BlockAddr(2)));
+        assert_eq!(c.policy().stats().reservations, 1);
+    }
+
+    #[test]
+    fn success_increments_counter() {
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(8));
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1));
+        c.access(BlockAddr(0), AccessType::Read, Cost(8)); // trigger: counter = 2
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // 0 back to LRU
+        c.access(BlockAddr(3), AccessType::Read, Cost(1)); // reserve 0
+        c.access(BlockAddr(0), AccessType::Read, Cost(8)); // hit reserved block: success
+        assert_eq!(c.policy().stats().successes, 1);
+        assert_eq!(c.policy().counter_of(S0), 3);
+    }
+
+    #[test]
+    fn failure_decrements_counter_until_disabled() {
+        let geom = Geometry::new(128, 64, 2);
+        let mut c = Cache::new(geom, Acl::new(&geom));
+        // Enable via watch hit.
+        c.access(BlockAddr(0), AccessType::Read, Cost(8));
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1));
+        c.access(BlockAddr(0), AccessType::Read, Cost(8)); // counter = 2; set [0, 2]
+        // Two failed reservations in a row: 0 reserved, depreciated away by
+        // ETD hits, finally evicted. Alternate accesses to 1 and 2 so the
+        // displaced block always returns.
+        let mut expect_counter = TRIGGER_VALUE;
+        for _ in 0..2 {
+            // Move 0 to LRU by touching the other resident block.
+            let others: Vec<u64> =
+                c.recency_of(S0).iter().map(|b| b.0).filter(|&b| b != 0).collect();
+            c.access(BlockAddr(others[0]), AccessType::Read, Cost(1));
+            // Reserve 0 by filling new cheap blocks and re-referencing the
+            // displaced ones until Acost (8) is exhausted: each round trip
+            // costs 2*1 = 2, so 4 ETD hits end the reservation.
+            let mut fresh = 100 + expect_counter as u64 * 10;
+            for _ in 0..4 {
+                c.access(BlockAddr(fresh), AccessType::Read, Cost(1)); // displace cheap
+                let displaced: Vec<u64> = c
+                    .policy()
+                    .etd()
+                    .blocks_in(S0)
+                    .iter()
+                    .map(|b| b.0)
+                    .collect();
+                c.access(BlockAddr(displaced[0]), AccessType::Read, Cost(1)); // ETD hit
+                fresh += 1;
+            }
+            // Acost now 0: next fill evicts the reserved block 0 => failure.
+            c.access(BlockAddr(fresh + 1), AccessType::Read, Cost(1));
+            assert!(!c.contains(BlockAddr(0)));
+            expect_counter -= 1;
+            assert_eq!(c.policy().counter_of(S0), expect_counter);
+            // Bring 0 back for the next round.
+            c.access(BlockAddr(0), AccessType::Read, Cost(8));
+        }
+        assert!(!c.policy().enabled(S0));
+        assert_eq!(c.policy().stats().failures, 2);
+    }
+
+    #[test]
+    fn invalidation_of_reserved_block_is_failure() {
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(8));
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1));
+        c.access(BlockAddr(0), AccessType::Read, Cost(8)); // counter = 2
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // 0 to LRU
+        c.access(BlockAddr(3), AccessType::Read, Cost(1)); // reserve 0
+        assert_eq!(c.policy().stats().reservations, 1);
+        c.invalidate(BlockAddr(0), InvalidateKind::Coherence);
+        assert_eq!(c.policy().stats().failures, 1);
+        assert_eq!(c.policy().counter_of(S0), 1);
+    }
+
+    #[test]
+    fn uniform_costs_reduce_to_lru() {
+        let mut c = cache(4);
+        for b in [0u64, 4, 8, 12, 16, 20] {
+            c.access(BlockAddr(b), AccessType::Read, Cost(3));
+        }
+        assert!(!c.contains(BlockAddr(0)));
+        assert!(!c.contains(BlockAddr(4)));
+        assert_eq!(c.policy().stats().reservations, 0);
+        assert_eq!(c.policy().stats().watch_inserts, 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! The Basic Cost-sensitive LRU algorithm (BCL, Section 2.3 / Figure 1).
+//!
+//! BCL reserves the LRU block whenever a cheaper block sits higher in the
+//! stack: the victim is the first block, scanning from the second-LRU
+//! position toward the MRU, whose miss cost is below the reserved block's
+//! depreciated cost `Acost`. Each such victimization immediately depreciates
+//! `Acost` by **twice** the victim's cost — a pessimistic hedge that assumes
+//! every displaced block will be re-referenced ("using twice the cost ...
+//! accelerates the depreciation of the high cost", Section 2.3). When
+//! `Acost` reaches zero the reserved block becomes the prime replacement
+//! candidate.
+
+use crate::reserve::{reservation_victim, AcostTracker};
+use cache_sim::{
+    BlockAddr, Cost, Geometry, InvalidateKind, ReplacementPolicy, SetIndex, SetView, Way,
+};
+
+/// Counters specific to [`Bcl`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BclStats {
+    /// Victim selections that reserved the LRU block (victim was non-LRU).
+    pub reservations: u64,
+    /// Victim selections that evicted the LRU block.
+    pub lru_evictions: u64,
+}
+
+/// The BCL replacement policy.
+///
+/// The `factor` applied when depreciating `Acost` defaults to the paper's 2
+/// and can be changed with [`Bcl::with_depreciation_factor`] (an ablation
+/// the paper motivates in Section 2.3).
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{Cache, Geometry, AccessType, Cost, BlockAddr};
+/// use csr::Bcl;
+///
+/// let geom = Geometry::new(16 * 1024, 64, 4);
+/// let mut cache = Cache::new(geom, Bcl::new(&geom));
+/// cache.access(BlockAddr(1), AccessType::Read, Cost(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bcl {
+    trackers: Vec<AcostTracker>,
+    factor: u64,
+    stats: BclStats,
+}
+
+impl Bcl {
+    /// Creates a BCL policy for the given cache geometry with the paper's
+    /// depreciation factor of 2.
+    #[must_use]
+    pub fn new(geom: &Geometry) -> Self {
+        Bcl::with_depreciation_factor(geom, 2)
+    }
+
+    /// Creates a BCL policy with a custom depreciation factor (how many
+    /// times the victim's cost is subtracted from `Acost` per reservation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero (the reservation would never terminate for
+    /// nonzero-cost victims).
+    #[must_use]
+    pub fn with_depreciation_factor(geom: &Geometry, factor: u64) -> Self {
+        assert!(factor > 0, "depreciation factor must be positive");
+        Bcl {
+            trackers: vec![AcostTracker::default(); geom.num_sets()],
+            factor,
+            stats: BclStats::default(),
+        }
+    }
+
+    /// The configured depreciation factor.
+    #[must_use]
+    pub fn depreciation_factor(&self) -> u64 {
+        self.factor
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &BclStats {
+        &self.stats
+    }
+
+    /// The remaining depreciated cost of the tracked LRU block in `set`
+    /// (tests and debugging).
+    #[must_use]
+    pub fn acost_of(&self, set: SetIndex) -> u64 {
+        self.trackers[set.0].acost()
+    }
+}
+
+impl ReplacementPolicy for Bcl {
+    fn name(&self) -> &'static str {
+        "BCL"
+    }
+
+    fn victim(&mut self, set: SetIndex, view: &SetView<'_>) -> Way {
+        let t = &mut self.trackers[set.0];
+        t.sync(view);
+        // Figure 1: for i = s-1 downto 1, first block with c[i] < Acost.
+        if let Some((way, pos)) = reservation_victim(view, t.acost()) {
+            t.depreciate(Cost(view.at(pos).cost.0.saturating_mul(self.factor)));
+            self.stats.reservations += 1;
+            return way;
+        }
+        // No cheaper block: the LRU block goes (and leaves the tracker).
+        self.stats.lru_evictions += 1;
+        let lru = view.lru();
+        t.note_departure(lru.block);
+        lru.way
+    }
+
+    fn on_hit(&mut self, set: SetIndex, view: &SetView<'_>, _way: Way, stack_pos: usize) {
+        // A hit on the tracked LRU block promotes it out of the LRU
+        // position; reset so the next sync reloads a fresh Acost.
+        self.trackers[set.0].note_departure(view.at(stack_pos).block);
+    }
+
+    fn on_invalidate(
+        &mut self,
+        set: SetIndex,
+        block: BlockAddr,
+        _resident: Option<(Way, usize)>,
+        _kind: InvalidateKind,
+    ) {
+        self.trackers[set.0].note_departure(block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{AccessType, Cache};
+
+    fn cache(assoc: usize) -> Cache<Bcl> {
+        let geom = Geometry::new(64 * assoc as u64, 64, assoc);
+        Cache::new(geom, Bcl::new(&geom))
+    }
+
+    #[test]
+    fn reserves_high_cost_lru() {
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(8)); // becomes LRU
+        c.access(BlockAddr(1), AccessType::Read, Cost(1)); // MRU, cheap
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // 1 < Acost(8): evict 1
+        assert!(c.contains(BlockAddr(0)), "high-cost LRU block must be reserved");
+        assert!(!c.contains(BlockAddr(1)));
+        assert_eq!(c.policy().stats().reservations, 1);
+    }
+
+    #[test]
+    fn acost_depreciates_by_twice_victim_cost() {
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(8));
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // Acost: 8 - 2 = 6
+        assert_eq!(c.policy().acost_of(SetIndex(0)), 6);
+        c.access(BlockAddr(3), AccessType::Read, Cost(1)); // Acost: 6 - 2 = 4
+        c.access(BlockAddr(4), AccessType::Read, Cost(1)); // 4 - 2 = 2
+        c.access(BlockAddr(5), AccessType::Read, Cost(1)); // 2 - 2 = 0
+        assert!(c.contains(BlockAddr(0)), "still reserved until Acost hits 0");
+        // Acost exhausted: next replacement takes the LRU block itself.
+        c.access(BlockAddr(6), AccessType::Read, Cost(1));
+        assert!(!c.contains(BlockAddr(0)));
+    }
+
+    #[test]
+    fn equal_costs_fall_back_to_lru() {
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(4));
+        c.access(BlockAddr(1), AccessType::Read, Cost(4));
+        c.access(BlockAddr(2), AccessType::Read, Cost(4));
+        assert!(!c.contains(BlockAddr(0)), "no strictly cheaper block: plain LRU");
+        assert_eq!(c.policy().stats().reservations, 0);
+    }
+
+    #[test]
+    fn multi_reservation_scans_toward_mru() {
+        // 4-way set: LRU=A(8), then B(8), then C(1), MRU=D(9).
+        let mut c = cache(4);
+        c.access(BlockAddr(0), AccessType::Read, Cost(8)); // A
+        c.access(BlockAddr(4), AccessType::Read, Cost(8)); // B
+        c.access(BlockAddr(8), AccessType::Read, Cost(1)); // C
+        c.access(BlockAddr(12), AccessType::Read, Cost(9)); // D
+        // Scan from second-LRU (B, cost 8 >= Acost 8) to C (1 < 8): C goes,
+        // reserving both A and (implicitly) B.
+        c.access(BlockAddr(16), AccessType::Read, Cost(1));
+        assert!(c.contains(BlockAddr(0)));
+        assert!(c.contains(BlockAddr(4)));
+        assert!(!c.contains(BlockAddr(8)));
+    }
+
+    #[test]
+    fn lru_hit_reloads_acost_next_time_around() {
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(8));
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // Acost 8 -> 6
+        c.access(BlockAddr(0), AccessType::Read, Cost(8)); // hit the reserved block
+        // Block 2 is now LRU with cost 1; block 0 MRU. Evicting prefers 2.
+        c.access(BlockAddr(3), AccessType::Read, Cost(1));
+        assert!(c.contains(BlockAddr(0)));
+        assert!(!c.contains(BlockAddr(2)));
+    }
+
+    #[test]
+    fn zero_cost_victims_never_deplete_reservation() {
+        // Infinite cost ratio: low = 0, high = 1 (Section 3.1).
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(1)); // high
+        c.access(BlockAddr(1), AccessType::Read, Cost(0)); // low
+        for b in 2..50u64 {
+            c.access(BlockAddr(b), AccessType::Read, Cost(0));
+        }
+        assert!(c.contains(BlockAddr(0)), "zero-cost depreciation never releases");
+    }
+
+    #[test]
+    fn invalidation_of_reserved_block_resets_tracker() {
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(8));
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // reserve 0, Acost 6
+        c.invalidate(BlockAddr(0), InvalidateKind::Coherence);
+        assert_eq!(c.policy().acost_of(SetIndex(0)), 0);
+        // Refill 0 (uses the invalid frame; set is [0(MRU), 2]). Block 2 is
+        // now LRU with cost 1: a fresh fill must evict 2, not the refilled 0.
+        c.access(BlockAddr(0), AccessType::Read, Cost(8));
+        c.access(BlockAddr(3), AccessType::Read, Cost(1));
+        assert!(c.contains(BlockAddr(0)));
+        assert!(!c.contains(BlockAddr(2)));
+    }
+
+    #[test]
+    fn reserved_block_returning_to_lru_reloads_acost() {
+        // Regression for the lazy-sync hazard: the tracked LRU block is hit
+        // (promoted) and later demoted back to LRU purely by hits, with no
+        // replacement in between. Its Acost must reload to the full cost.
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(8)); // A
+        c.access(BlockAddr(1), AccessType::Read, Cost(1)); // B
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // reserve A, Acost 8->6
+        assert_eq!(c.policy().acost_of(SetIndex(0)), 6);
+        c.access(BlockAddr(0), AccessType::Read, Cost(8)); // hit A -> MRU
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // hit 2 -> A back to LRU
+        // Replacement: Acost must be the full 8 again, then 8-2=6 after
+        // reserving A once more.
+        c.access(BlockAddr(3), AccessType::Read, Cost(1));
+        assert!(c.contains(BlockAddr(0)));
+        assert_eq!(c.policy().acost_of(SetIndex(0)), 6);
+    }
+}

@@ -1,0 +1,289 @@
+//! The Dynamic Cost-sensitive LRU algorithm (DCL, Section 2.4).
+//!
+//! DCL keeps BCL's victim-selection rule but fixes its pessimistic
+//! depreciation: the reserved block's `Acost` is reduced **only when a block
+//! victimized in its place is actually re-referenced before the reserved
+//! block** — the situation in which the reservation genuinely caused a miss.
+//! Displaced blocks are remembered in the per-set Extended Tag Directory
+//! ([`Etd`]); an access that misses in the cache but hits in the ETD
+//! triggers the depreciation and consumes the entry. A hit on the in-cache
+//! LRU block invalidates all ETD entries of the set.
+
+use crate::etd::{Etd, EtdConfig, EtdStats};
+use crate::reserve::{reservation_victim, AcostTracker};
+use cache_sim::{
+    BlockAddr, Cost, Geometry, InvalidateKind, ReplacementPolicy, SetIndex, SetView, Way,
+};
+
+/// Counters specific to [`Dcl`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DclStats {
+    /// Victim selections that reserved the LRU block (victim was non-LRU).
+    pub reservations: u64,
+    /// Victim selections that evicted the LRU block.
+    pub lru_evictions: u64,
+    /// Depreciations triggered by ETD hits.
+    pub depreciations: u64,
+}
+
+/// The DCL replacement policy.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{Cache, Geometry, AccessType, Cost, BlockAddr};
+/// use csr::Dcl;
+///
+/// let geom = Geometry::new(16 * 1024, 64, 4);
+/// let mut cache = Cache::new(geom, Dcl::new(&geom));
+/// cache.access(BlockAddr(1), AccessType::Read, Cost(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dcl {
+    trackers: Vec<AcostTracker>,
+    etd: Etd,
+    factor: u64,
+    stats: DclStats,
+}
+
+impl Dcl {
+    /// Creates a DCL policy with a full-tag, `assoc - 1`-entry ETD and the
+    /// paper's depreciation factor of 2.
+    #[must_use]
+    pub fn new(geom: &Geometry) -> Self {
+        Dcl::with_etd_config(geom, EtdConfig::for_assoc(geom.assoc()))
+    }
+
+    /// Creates a DCL policy whose ETD stores only the low `bits` tag bits
+    /// (Section 4.3 evaluates 4-bit aliased tags).
+    #[must_use]
+    pub fn with_aliased_tags(geom: &Geometry, bits: u32) -> Self {
+        Dcl::with_etd_config(geom, EtdConfig::for_assoc_aliased(geom.assoc(), bits))
+    }
+
+    /// Creates a DCL policy with an explicit ETD configuration.
+    #[must_use]
+    pub fn with_etd_config(geom: &Geometry, cfg: EtdConfig) -> Self {
+        Dcl {
+            trackers: vec![AcostTracker::default(); geom.num_sets()],
+            etd: Etd::new(geom.num_sets(), cfg),
+            factor: 2,
+            stats: DclStats::default(),
+        }
+    }
+
+    /// Overrides the depreciation factor (the paper's value is 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    #[must_use]
+    pub fn with_depreciation_factor(mut self, factor: u64) -> Self {
+        assert!(factor > 0, "depreciation factor must be positive");
+        self.factor = factor;
+        self
+    }
+
+    /// Accumulated policy statistics.
+    #[must_use]
+    pub fn stats(&self) -> &DclStats {
+        &self.stats
+    }
+
+    /// Statistics of the embedded ETD.
+    #[must_use]
+    pub fn etd_stats(&self) -> &EtdStats {
+        self.etd.stats()
+    }
+
+    /// The embedded ETD (tests and debugging).
+    #[must_use]
+    pub fn etd(&self) -> &Etd {
+        &self.etd
+    }
+
+    /// The remaining depreciated cost of the tracked LRU block in `set`.
+    #[must_use]
+    pub fn acost_of(&self, set: SetIndex) -> u64 {
+        self.trackers[set.0].acost()
+    }
+}
+
+impl ReplacementPolicy for Dcl {
+    fn name(&self) -> &'static str {
+        "DCL"
+    }
+
+    fn victim(&mut self, set: SetIndex, view: &SetView<'_>) -> Way {
+        let t = &mut self.trackers[set.0];
+        t.sync(view);
+        if let Some((way, pos)) = reservation_victim(view, t.acost()) {
+            // Unlike BCL, no depreciation here: the displaced block is
+            // recorded in the ETD and charged only if re-referenced.
+            let e = view.at(pos);
+            self.etd.insert(set, e.block, e.cost);
+            self.stats.reservations += 1;
+            return way;
+        }
+        // The LRU block itself goes. Any ETD entries for the ended
+        // reservation are deliberately kept (hardware would not sweep
+        // them); they age out of the s-1-entry directory naturally.
+        self.stats.lru_evictions += 1;
+        let lru = view.lru();
+        t.note_departure(lru.block);
+        lru.way
+    }
+
+    fn on_hit(&mut self, set: SetIndex, view: &SetView<'_>, _way: Way, stack_pos: usize) {
+        let block = view.at(stack_pos).block;
+        if stack_pos + 1 == view.len() {
+            // A hit on the in-cache LRU block: the reservation (if any)
+            // paid off; all ETD entries are invalidated (Section 2.4).
+            self.etd.clear_set(set);
+        }
+        self.trackers[set.0].note_departure(block);
+    }
+
+    fn on_miss(&mut self, set: SetIndex, view: &SetView<'_>, block: BlockAddr) {
+        if let Some(cost) = self.etd.probe_and_take(set, block) {
+            // The reservation displaced this block and it came back:
+            // depreciate the reserved block's cost, as in BCL.
+            let t = &mut self.trackers[set.0];
+            t.sync(view);
+            t.depreciate(Cost(cost.0.saturating_mul(self.factor)));
+            self.stats.depreciations += 1;
+        }
+    }
+
+    fn on_invalidate(
+        &mut self,
+        set: SetIndex,
+        block: BlockAddr,
+        _resident: Option<(Way, usize)>,
+        _kind: InvalidateKind,
+    ) {
+        self.etd.invalidate(set, block);
+        self.trackers[set.0].note_departure(block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{AccessType, Cache};
+
+    fn cache(assoc: usize) -> Cache<Dcl> {
+        let geom = Geometry::new(64 * assoc as u64, 64, assoc);
+        Cache::new(geom, Dcl::new(&geom))
+    }
+
+    #[test]
+    fn reservation_without_rereference_never_depreciates() {
+        // Unlike BCL, victimizing never-again-referenced cheap blocks keeps
+        // the reservation alive indefinitely.
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(4)); // high-cost, becomes LRU
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        for b in 2..40u64 {
+            c.access(BlockAddr(b), AccessType::Read, Cost(1));
+        }
+        assert!(c.contains(BlockAddr(0)), "no ETD hits => no depreciation");
+        assert_eq!(c.policy().acost_of(SetIndex(0)), 4);
+        assert_eq!(c.policy().stats().depreciations, 0);
+    }
+
+    #[test]
+    fn etd_hit_depreciates_reservation() {
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(4));
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // displace 1 -> ETD
+        assert_eq!(c.policy().acost_of(SetIndex(0)), 4);
+        // Re-reference the displaced block: ETD hit, Acost 4 - 2*1 = 2.
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        assert_eq!(c.policy().acost_of(SetIndex(0)), 2);
+        assert_eq!(c.policy().stats().depreciations, 1);
+        // Again: 2 was displaced by the fill of 1 (ETD), bring 2 back.
+        c.access(BlockAddr(2), AccessType::Read, Cost(1));
+        assert_eq!(c.policy().acost_of(SetIndex(0)), 0);
+        // Acost exhausted: the reserved block is the next victim.
+        c.access(BlockAddr(3), AccessType::Read, Cost(1));
+        assert!(!c.contains(BlockAddr(0)));
+    }
+
+    #[test]
+    fn displaced_blocks_are_recorded_in_etd() {
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(4));
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1));
+        assert_eq!(c.policy().etd().blocks_in(SetIndex(0)), vec![BlockAddr(1)]);
+    }
+
+    #[test]
+    fn lru_hit_clears_etd() {
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(4));
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // ETD: {1}
+        assert_eq!(c.policy().etd().len(SetIndex(0)), 1);
+        c.access(BlockAddr(0), AccessType::Read, Cost(4)); // hit on LRU block
+        assert!(c.policy().etd().is_empty(SetIndex(0)));
+    }
+
+    #[test]
+    fn coherence_invalidation_drops_etd_entry() {
+        let mut c = cache(2);
+        c.access(BlockAddr(0), AccessType::Read, Cost(4));
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // ETD: {1}
+        c.invalidate(BlockAddr(1), InvalidateKind::Coherence);
+        assert!(c.policy().etd().is_empty(SetIndex(0)));
+        // A later access to 1 must not depreciate the reservation.
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        assert_eq!(c.policy().acost_of(SetIndex(0)), 4);
+    }
+
+    #[test]
+    fn cache_and_etd_tags_stay_mutually_exclusive() {
+        let mut c = cache(4);
+        // Build up reservations and displacements, then check exclusivity
+        // after every access.
+        let pattern: Vec<(u64, u64)> = vec![
+            (0, 9),
+            (4, 1),
+            (8, 1),
+            (12, 1),
+            (16, 1),
+            (4, 1),
+            (20, 9),
+            (8, 1),
+            (0, 9),
+            (24, 1),
+            (4, 1),
+        ];
+        for (b, cost) in pattern {
+            c.access(BlockAddr(b), AccessType::Read, Cost(cost));
+            let etd_blocks = c.policy().etd().blocks_in(SetIndex(0));
+            for eb in etd_blocks {
+                assert!(
+                    !c.contains(eb),
+                    "block {eb} is both resident and in the ETD"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_costs_reduce_to_lru() {
+        let mut c = cache(4);
+        // All costs equal: DCL must evict exactly the LRU block every time.
+        for b in [0u64, 4, 8, 12, 16, 20] {
+            c.access(BlockAddr(b), AccessType::Read, Cost(3));
+        }
+        assert!(!c.contains(BlockAddr(0)));
+        assert!(!c.contains(BlockAddr(4)));
+        assert!(c.contains(BlockAddr(8)));
+        assert_eq!(c.policy().stats().reservations, 0);
+    }
+}

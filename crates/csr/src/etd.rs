@@ -1,0 +1,303 @@
+//! The Extended Tag Directory (ETD) of Section 2.4.
+//!
+//! The ETD remembers, per set, the most recently displaced blocks that were
+//! victimized *instead of* the reserved LRU block (at most `s-1` of them —
+//! older displacements would miss even under pure LRU, as the paper proves).
+//! A later access that misses in the cache but hits in the ETD is evidence
+//! the reservation caused a miss, and triggers depreciation of the reserved
+//! block's cost.
+//!
+//! To cut hardware cost, entries may store only the low `k` bits of the tag
+//! (`tag aliasing`, Section 2.4/4.3): aliasing can cause *false matches*,
+//! which depreciate reservations more aggressively but never affect
+//! correctness. [`EtdStats::false_matches`] measures how often that happens,
+//! mirroring the false-match ratios the paper reports in Section 4.3.
+
+use cache_sim::{BlockAddr, Cost, SetIndex};
+
+/// Configuration of an [`Etd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EtdConfig {
+    /// Valid entries kept per set; the paper uses `assoc - 1`.
+    pub entries_per_set: usize,
+    /// Number of low tag bits stored and compared; `None` stores the full
+    /// tag (no aliasing). The paper's aliased configuration uses 4 bits.
+    pub tag_bits: Option<u32>,
+}
+
+impl EtdConfig {
+    /// Full-tag ETD with `assoc - 1` entries per set (the paper's DCL/ACL
+    /// configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is zero.
+    #[must_use]
+    pub fn for_assoc(assoc: usize) -> Self {
+        assert!(assoc > 0, "associativity must be nonzero");
+        EtdConfig { entries_per_set: assoc.saturating_sub(1), tag_bits: None }
+    }
+
+    /// Same, but storing only the low `bits` bits of the tag (Section 4.3
+    /// uses 4 bits).
+    #[must_use]
+    pub fn for_assoc_aliased(assoc: usize, bits: u32) -> Self {
+        assert!(assoc > 0, "associativity must be nonzero");
+        assert!((1..=63).contains(&bits), "alias tag width must be 1..=63 bits");
+        EtdConfig { entries_per_set: assoc.saturating_sub(1), tag_bits: Some(bits) }
+    }
+}
+
+/// Counters accumulated by an [`Etd`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EtdStats {
+    /// Entries allocated.
+    pub allocations: u64,
+    /// Allocations that displaced a younger valid entry (directory full).
+    pub capacity_evictions: u64,
+    /// Probe hits (including false matches under tag aliasing).
+    pub hits: u64,
+    /// Probe hits whose full block address did not actually match — only
+    /// possible with tag aliasing.
+    pub false_matches: u64,
+    /// Entries dropped by coherence invalidations.
+    pub invalidated: u64,
+    /// Whole-set flushes (on a hit to the in-cache LRU block).
+    pub set_clears: u64,
+}
+
+impl EtdStats {
+    /// Fraction of probe hits that were aliasing artifacts, in `[0, 1]`.
+    #[must_use]
+    pub fn false_match_rate(&self) -> f64 {
+        if self.hits == 0 {
+            0.0
+        } else {
+            self.false_matches as f64 / self.hits as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// The stored (possibly truncated) tag that hardware would compare.
+    stored_tag: u64,
+    /// The full block address, kept only to *measure* false matches.
+    full_block: BlockAddr,
+    cost: Cost,
+}
+
+/// The Extended Tag Directory: per-set shadow records of displaced blocks.
+#[derive(Debug, Clone)]
+pub struct Etd {
+    cfg: EtdConfig,
+    /// Low bits of the block address that form the set index; they are
+    /// identical for every block of a set and are stripped before the
+    /// (possibly truncated) tag comparison, as hardware would.
+    set_bits: u32,
+    /// Per-set entries, oldest allocation first.
+    sets: Vec<Vec<Entry>>,
+    stats: EtdStats,
+}
+
+impl Etd {
+    /// Creates an empty ETD for `num_sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is not a power of two.
+    #[must_use]
+    pub fn new(num_sets: usize, cfg: EtdConfig) -> Self {
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        Etd {
+            cfg,
+            set_bits: num_sets.trailing_zeros(),
+            sets: vec![Vec::new(); num_sets],
+            stats: EtdStats::default(),
+        }
+    }
+
+    /// The configuration this ETD was built with.
+    #[must_use]
+    pub fn config(&self) -> EtdConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &EtdStats {
+        &self.stats
+    }
+
+    fn stored_tag_of(&self, block: BlockAddr) -> u64 {
+        let tag = block.0 >> self.set_bits;
+        match self.cfg.tag_bits {
+            Some(bits) => tag & ((1u64 << bits) - 1),
+            None => tag,
+        }
+    }
+
+    /// Records that `block` (with miss cost `cost`) was displaced. Oldest
+    /// entry is dropped if the directory is full.
+    pub fn insert(&mut self, set: SetIndex, block: BlockAddr, cost: Cost) {
+        if self.cfg.entries_per_set == 0 {
+            return;
+        }
+        let tag = self.stored_tag_of(block);
+        let entries = &mut self.sets[set.0];
+        if entries.len() >= self.cfg.entries_per_set {
+            entries.remove(0);
+            self.stats.capacity_evictions += 1;
+        }
+        entries.push(Entry { stored_tag: tag, full_block: block, cost });
+        self.stats.allocations += 1;
+    }
+
+    /// Probes for `block` on a cache miss. A (possibly aliased) tag match
+    /// invalidates the entry and returns its stored cost.
+    ///
+    /// Under tag aliasing the comparison is exactly what the narrow
+    /// hardware comparator would do: the *first* entry whose stored bits
+    /// match is consumed, even if a different entry was allocated for this
+    /// very block — another face of the false-match behaviour Section 4.3
+    /// quantifies.
+    pub fn probe_and_take(&mut self, set: SetIndex, block: BlockAddr) -> Option<Cost> {
+        let tag = self.stored_tag_of(block);
+        let entries = &mut self.sets[set.0];
+        let pos = entries.iter().position(|e| e.stored_tag == tag)?;
+        let entry = entries.remove(pos);
+        self.stats.hits += 1;
+        if entry.full_block != block {
+            self.stats.false_matches += 1;
+        }
+        Some(entry.cost)
+    }
+
+    /// Drops any entry matching `block` (coherence invalidation). Uses the
+    /// same (possibly aliased) comparison the hardware would.
+    pub fn invalidate(&mut self, set: SetIndex, block: BlockAddr) {
+        let tag = self.stored_tag_of(block);
+        let entries = &mut self.sets[set.0];
+        let before = entries.len();
+        entries.retain(|e| e.stored_tag != tag);
+        self.stats.invalidated += (before - entries.len()) as u64;
+    }
+
+    /// Invalidates every entry of `set` (on a hit to the in-cache LRU block).
+    pub fn clear_set(&mut self, set: SetIndex) {
+        if !self.sets[set.0].is_empty() {
+            self.sets[set.0].clear();
+            self.stats.set_clears += 1;
+        }
+    }
+
+    /// Number of valid entries in `set`.
+    #[must_use]
+    pub fn len(&self, set: SetIndex) -> usize {
+        self.sets[set.0].len()
+    }
+
+    /// Whether `set` has no valid entries.
+    #[must_use]
+    pub fn is_empty(&self, set: SetIndex) -> bool {
+        self.sets[set.0].is_empty()
+    }
+
+    /// Whether `block` would (alias-)match an entry, without side effects.
+    #[must_use]
+    pub fn would_hit(&self, set: SetIndex, block: BlockAddr) -> bool {
+        let tag = self.stored_tag_of(block);
+        self.sets[set.0].iter().any(|e| e.stored_tag == tag)
+    }
+
+    /// The full block addresses currently recorded in `set` (tests).
+    #[must_use]
+    pub fn blocks_in(&self, set: SetIndex) -> Vec<BlockAddr> {
+        self.sets[set.0].iter().map(|e| e.full_block).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S0: SetIndex = SetIndex(0);
+
+    #[test]
+    fn insert_probe_take_roundtrip() {
+        let mut etd = Etd::new(1, EtdConfig::for_assoc(4));
+        etd.insert(S0, BlockAddr(10), Cost(3));
+        assert!(etd.would_hit(S0, BlockAddr(10)));
+        assert_eq!(etd.probe_and_take(S0, BlockAddr(10)), Some(Cost(3)));
+        // Entry is consumed by the hit.
+        assert_eq!(etd.probe_and_take(S0, BlockAddr(10)), None);
+        assert_eq!(etd.stats().hits, 1);
+        assert_eq!(etd.stats().false_matches, 0);
+    }
+
+    #[test]
+    fn capacity_is_assoc_minus_one_oldest_evicted() {
+        let mut etd = Etd::new(1, EtdConfig::for_assoc(4));
+        for b in 0..5u64 {
+            etd.insert(S0, BlockAddr(b), Cost(1));
+        }
+        assert_eq!(etd.len(S0), 3);
+        // Blocks 0 and 1 (oldest) were displaced.
+        assert_eq!(etd.probe_and_take(S0, BlockAddr(0)), None);
+        assert_eq!(etd.probe_and_take(S0, BlockAddr(1)), None);
+        assert!(etd.probe_and_take(S0, BlockAddr(2)).is_some());
+        assert_eq!(etd.stats().capacity_evictions, 2);
+    }
+
+    #[test]
+    fn aliasing_causes_false_matches() {
+        // 4-bit tags: blocks 0x5 and 0x15 alias.
+        let mut etd = Etd::new(1, EtdConfig::for_assoc_aliased(4, 4));
+        etd.insert(S0, BlockAddr(0x5), Cost(7));
+        let got = etd.probe_and_take(S0, BlockAddr(0x15));
+        assert_eq!(got, Some(Cost(7)));
+        assert_eq!(etd.stats().hits, 1);
+        assert_eq!(etd.stats().false_matches, 1);
+        assert!((etd.stats().false_match_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_tags_never_false_match() {
+        let mut etd = Etd::new(1, EtdConfig::for_assoc(4));
+        etd.insert(S0, BlockAddr(0x5), Cost(7));
+        assert_eq!(etd.probe_and_take(S0, BlockAddr(0x15)), None);
+        assert_eq!(etd.stats().false_matches, 0);
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut etd = Etd::new(2, EtdConfig::for_assoc(4));
+        etd.insert(S0, BlockAddr(1), Cost(1));
+        etd.insert(S0, BlockAddr(2), Cost(1));
+        etd.invalidate(S0, BlockAddr(1));
+        assert_eq!(etd.len(S0), 1);
+        etd.clear_set(S0);
+        assert!(etd.is_empty(S0));
+        assert_eq!(etd.stats().invalidated, 1);
+        assert_eq!(etd.stats().set_clears, 1);
+        // Clearing an empty set is not counted.
+        etd.clear_set(S0);
+        assert_eq!(etd.stats().set_clears, 1);
+    }
+
+    #[test]
+    fn direct_mapped_etd_is_inert() {
+        let mut etd = Etd::new(1, EtdConfig::for_assoc(1));
+        etd.insert(S0, BlockAddr(1), Cost(1));
+        assert!(etd.is_empty(S0));
+        assert_eq!(etd.probe_and_take(S0, BlockAddr(1)), None);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut etd = Etd::new(2, EtdConfig::for_assoc(4));
+        etd.insert(SetIndex(0), BlockAddr(1), Cost(1));
+        assert!(etd.is_empty(SetIndex(1)));
+        assert_eq!(etd.probe_and_take(SetIndex(1), BlockAddr(1)), None);
+    }
+}

@@ -1,0 +1,180 @@
+//! GreedyDual (GD) adapted to processor caches (Section 2.1).
+//!
+//! GD is *cost-centric*: the victim is always the block with the least
+//! remaining value `H`, regardless of recency. On a fill `H` is set to the
+//! block's miss cost; on a hit the full miss cost is restored; when a block
+//! is victimized, its `H` is deducted from every remaining block in the set.
+//! Ties are broken toward the LRU end of the stack, which is the only place
+//! locality enters the decision.
+//!
+//! GD is `s`-competitive with the offline optimum (Young, 1994) and works
+//! well for wide cost differentials, but the paper shows it is much less
+//! effective than the locality-centric BCL/DCL/ACL when cost ratios are
+//! small.
+
+use cache_sim::{BlockAddr, Cost, Geometry, ReplacementPolicy, SetIndex, SetView, Way};
+
+/// Counters specific to [`GreedyDual`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GdStats {
+    /// Victim selections that chose a block other than the LRU block.
+    pub non_lru_victims: u64,
+    /// Total victim selections.
+    pub victims: u64,
+}
+
+/// The GreedyDual replacement policy.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{Cache, Geometry, AccessType, Cost, BlockAddr};
+/// use csr::GreedyDual;
+///
+/// let geom = Geometry::new(16 * 1024, 64, 4);
+/// let mut cache = Cache::new(geom, GreedyDual::new(&geom));
+/// cache.access(BlockAddr(1), AccessType::Read, Cost(8)); // high-cost block
+/// cache.access(BlockAddr(1), AccessType::Read, Cost(8)); // hit restores H
+/// ```
+#[derive(Debug, Clone)]
+pub struct GreedyDual {
+    /// `H` value per `[set][way]`.
+    h: Vec<Vec<u64>>,
+    stats: GdStats,
+}
+
+impl GreedyDual {
+    /// Creates a GreedyDual policy for the given cache geometry.
+    #[must_use]
+    pub fn new(geom: &Geometry) -> Self {
+        GreedyDual { h: vec![vec![0; geom.assoc()]; geom.num_sets()], stats: GdStats::default() }
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &GdStats {
+        &self.stats
+    }
+}
+
+impl ReplacementPolicy for GreedyDual {
+    fn name(&self) -> &'static str {
+        "GD"
+    }
+
+    fn victim(&mut self, set: SetIndex, view: &SetView<'_>) -> Way {
+        let h = &mut self.h[set.0];
+        // Minimum-H block; scanning LRU -> MRU with a strict `<` makes ties
+        // resolve toward the LRU end.
+        let mut best: Option<(Way, usize, u64)> = None;
+        for (pos, e) in view.iter().enumerate().rev() {
+            let val = h[e.way.0];
+            match best {
+                Some((_, _, b)) if b <= val => {}
+                _ => best = Some((e.way, pos, val)),
+            }
+        }
+        let (victim, pos, hmin) = best.expect("victim() requires a non-empty set");
+        // Deduct the victim's remaining value from every surviving block.
+        for e in view.iter() {
+            if e.way != victim {
+                h[e.way.0] = h[e.way.0].saturating_sub(hmin);
+            }
+        }
+        self.stats.victims += 1;
+        if pos + 1 != view.len() {
+            self.stats.non_lru_victims += 1;
+        }
+        victim
+    }
+
+    fn on_hit(&mut self, set: SetIndex, view: &SetView<'_>, way: Way, stack_pos: usize) {
+        // Restore the block's full miss cost (stored in its blockframe).
+        self.h[set.0][way.0] = view.at(stack_pos).cost.0;
+    }
+
+    fn on_fill(&mut self, set: SetIndex, _block: BlockAddr, way: Way, cost: Cost) {
+        self.h[set.0][way.0] = cost.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{AccessType, Cache};
+
+    /// One-set, 2-way cache for controlled scenarios.
+    fn cache2() -> Cache<GreedyDual> {
+        let geom = Geometry::new(128, 64, 2);
+        Cache::new(geom, GreedyDual::new(&geom))
+    }
+
+    #[test]
+    fn victimizes_cheapest_not_lru() {
+        let mut c = cache2();
+        c.access(BlockAddr(0), AccessType::Read, Cost(8)); // high cost
+        c.access(BlockAddr(1), AccessType::Read, Cost(1)); // low cost, MRU
+        // Block 0 is LRU but expensive: GD evicts block 1.
+        c.access(BlockAddr(2), AccessType::Read, Cost(1));
+        assert!(c.contains(BlockAddr(0)));
+        assert!(!c.contains(BlockAddr(1)));
+        assert_eq!(c.policy().stats().non_lru_victims, 1);
+    }
+
+    #[test]
+    fn eviction_depreciates_survivors() {
+        let mut c = cache2();
+        c.access(BlockAddr(0), AccessType::Read, Cost(8));
+        c.access(BlockAddr(1), AccessType::Read, Cost(3));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // evicts 1 (H=3): H(0) = 8-3 = 5
+        // Next eviction: H(0)=5, H(2)=1 -> evicts 2, H(0) drops to 4.
+        c.access(BlockAddr(3), AccessType::Read, Cost(1));
+        assert!(c.contains(BlockAddr(0)));
+        assert!(!c.contains(BlockAddr(2)));
+        // Two more cheap evictions exhaust block 0's H: 4-1=3, 3-1=2, ...
+        for b in 4..8u64 {
+            c.access(BlockAddr(b), AccessType::Read, Cost(1));
+        }
+        assert!(!c.contains(BlockAddr(0)), "H must eventually deplete");
+    }
+
+    #[test]
+    fn hit_restores_full_cost() {
+        let mut c = cache2();
+        c.access(BlockAddr(0), AccessType::Read, Cost(4));
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1)); // evicts 1, H(0)=3
+        c.access(BlockAddr(0), AccessType::Read, Cost(4)); // hit: H(0) restored to 4
+        // Evict: H(0)=4 vs H(2)=1 -> 2 goes.
+        c.access(BlockAddr(3), AccessType::Read, Cost(1));
+        assert!(c.contains(BlockAddr(0)));
+        assert!(!c.contains(BlockAddr(2)));
+    }
+
+    #[test]
+    fn ties_break_toward_lru() {
+        let mut c = cache2();
+        c.access(BlockAddr(0), AccessType::Read, Cost(5));
+        c.access(BlockAddr(1), AccessType::Read, Cost(5));
+        // Equal H: the LRU block (0) must be chosen.
+        c.access(BlockAddr(2), AccessType::Read, Cost(5));
+        assert!(!c.contains(BlockAddr(0)));
+        assert!(c.contains(BlockAddr(1)));
+        assert_eq!(c.policy().stats().non_lru_victims, 0);
+    }
+
+    #[test]
+    fn uniform_costs_behave_like_lru_on_this_sequence() {
+        // With all costs equal and H restored on hits, recently-touched
+        // blocks always have maximal H, so eviction falls to the LRU end.
+        let geom = Geometry::new(256, 64, 4);
+        let mut c = Cache::new(geom, GreedyDual::new(&geom));
+        for b in [0u64, 4, 8, 12] {
+            c.access(BlockAddr(b), AccessType::Read, Cost(2));
+        }
+        c.access(BlockAddr(0), AccessType::Read, Cost(2)); // touch 0
+        c.access(BlockAddr(16), AccessType::Read, Cost(2)); // evict: LRU is 4
+        assert!(!c.contains(BlockAddr(4)));
+        assert!(c.contains(BlockAddr(0)));
+    }
+}

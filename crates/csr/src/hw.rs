@@ -1,0 +1,200 @@
+//! Hardware-overhead model of Section 5.
+//!
+//! Each cost-sensitive algorithm adds tag and cost fields to every cache
+//! set. Section 5 counts two kinds of cost fields:
+//!
+//! * **fixed** cost fields holding the (predicted) cost of a block's next
+//!   miss — needed once per resident block, unless costs can be looked up
+//!   from a static table keyed by address;
+//! * **computed** (depreciated) cost fields — `Acost` for the BCL family
+//!   (one per set), or one `H` per block for GD.
+//!
+//! DCL adds `s-1` ETD entries per set (tag + cost + valid bit); ACL adds a
+//! 2-bit counter and a reserved bit on top of DCL. The paper's headline
+//! numbers (1.9 % / 2.7 % / 6.6 % / 6.7 % added storage over LRU for a
+//! 4-way cache with 25-bit tags, 8-bit costs and 64-byte blocks) are
+//! reproduced by the unit tests of this module.
+
+/// Which replacement algorithm to size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HwPolicy {
+    /// Plain LRU (the baseline; adds nothing).
+    Lru,
+    /// GreedyDual.
+    Gd,
+    /// Basic cost-sensitive LRU.
+    Bcl,
+    /// Dynamic cost-sensitive LRU (with ETD).
+    Dcl,
+    /// Adaptive cost-sensitive LRU (DCL + automaton).
+    Acl,
+}
+
+impl HwPolicy {
+    /// All policies, in the order the paper reports them.
+    pub const ALL: [HwPolicy; 5] = [HwPolicy::Lru, HwPolicy::Gd, HwPolicy::Bcl, HwPolicy::Dcl, HwPolicy::Acl];
+}
+
+/// Where fixed (next-miss) costs come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostSource {
+    /// Costs are dynamic and stored per block (fixed cost fields needed).
+    DynamicPerBlock,
+    /// Costs are a static function of the address, looked up in a table —
+    /// no fixed cost fields in the cache (Section 5's "static" variant).
+    StaticTable,
+}
+
+/// Storage parameters of one cache set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwParams {
+    /// Associativity `s`.
+    pub assoc: usize,
+    /// Cache tag width in bits.
+    pub tag_bits: u32,
+    /// Width of a fixed cost field in bits.
+    pub fixed_cost_bits: u32,
+    /// Width of a computed (depreciated) cost field in bits.
+    pub computed_cost_bits: u32,
+    /// Block size in bytes (data storage counted in the baseline).
+    pub block_bytes: u32,
+    /// Tag width stored in each ETD entry (full or aliased).
+    pub etd_tag_bits: u32,
+}
+
+impl HwParams {
+    /// The paper's Section 5 running example: 4-way, 25-bit tags, 8-bit cost
+    /// fields, 64-byte blocks, full ETD tags.
+    #[must_use]
+    pub fn paper_example() -> Self {
+        HwParams {
+            assoc: 4,
+            tag_bits: 25,
+            fixed_cost_bits: 8,
+            computed_cost_bits: 8,
+            block_bytes: 64,
+            etd_tag_bits: 25,
+        }
+    }
+
+    /// The paper's quantized-latency example: 2-bit fixed costs (4 latency
+    /// classes from Table 4), 3-bit computed costs (GCD 60 ns, max 8 units),
+    /// 4-bit aliased ETD tags.
+    #[must_use]
+    pub fn paper_quantized_example() -> Self {
+        HwParams {
+            assoc: 4,
+            tag_bits: 25,
+            fixed_cost_bits: 2,
+            computed_cost_bits: 3,
+            block_bytes: 64,
+            etd_tag_bits: 4,
+        }
+    }
+
+    /// Per-set storage of the LRU baseline: data plus tags (state and LRU
+    /// bits are common to all algorithms and cancel in the comparison).
+    #[must_use]
+    pub fn baseline_bits_per_set(&self) -> u64 {
+        self.assoc as u64 * (u64::from(self.block_bytes) * 8 + u64::from(self.tag_bits))
+    }
+
+    /// Bits of one ETD entry: stored tag, a fixed cost field (omitted when
+    /// costs are statically derivable from the address) and a valid bit.
+    fn etd_entry_bits(&self, source: CostSource) -> u64 {
+        let cost = match source {
+            CostSource::DynamicPerBlock => u64::from(self.fixed_cost_bits),
+            CostSource::StaticTable => 0,
+        };
+        u64::from(self.etd_tag_bits) + cost + 1
+    }
+
+    /// Bits added per set by `policy` over the LRU baseline.
+    #[must_use]
+    pub fn added_bits_per_set(&self, policy: HwPolicy, source: CostSource) -> u64 {
+        let s = self.assoc as u64;
+        let fixed = match source {
+            CostSource::DynamicPerBlock => s * u64::from(self.fixed_cost_bits),
+            CostSource::StaticTable => 0,
+        };
+        let computed = u64::from(self.computed_cost_bits);
+        match policy {
+            HwPolicy::Lru => 0,
+            // GD: one fixed + one computed cost per block.
+            HwPolicy::Gd => fixed + s * computed,
+            // BCL: one fixed cost per block + a single Acost.
+            HwPolicy::Bcl => fixed + computed,
+            // DCL: BCL + (s-1) ETD entries.
+            HwPolicy::Dcl => fixed + computed + (s - 1) * self.etd_entry_bits(source),
+            // ACL: DCL + 2-bit counter + reserved bit.
+            HwPolicy::Acl => {
+                fixed + computed + (s - 1) * self.etd_entry_bits(source) + 2 + 1
+            }
+        }
+    }
+
+    /// Added storage as a percentage of the LRU baseline.
+    #[must_use]
+    pub fn overhead_pct(&self, policy: HwPolicy, source: CostSource) -> f64 {
+        100.0 * self.added_bits_per_set(policy, source) as f64
+            / self.baseline_bits_per_set() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dynamic_overheads() {
+        // Section 5: "the added hardware costs over LRU algorithm are
+        // around 1.9%, 2.7%, 6.6% and 6.7% for BCL, GD, DCL and ACL".
+        let p = HwParams::paper_example();
+        let pct = |pol| p.overhead_pct(pol, CostSource::DynamicPerBlock);
+        assert!((pct(HwPolicy::Bcl) - 1.9).abs() < 0.1, "BCL {}", pct(HwPolicy::Bcl));
+        assert!((pct(HwPolicy::Gd) - 2.7).abs() < 0.4, "GD {}", pct(HwPolicy::Gd));
+        assert!((pct(HwPolicy::Dcl) - 6.6).abs() < 0.2, "DCL {}", pct(HwPolicy::Dcl));
+        assert!((pct(HwPolicy::Acl) - 6.7).abs() < 0.2, "ACL {}", pct(HwPolicy::Acl));
+        assert_eq!(pct(HwPolicy::Lru), 0.0);
+    }
+
+    #[test]
+    fn paper_static_overheads() {
+        // Section 5: "the added costs are 0.4%, 1.5%, 4.0% and 4.1%".
+        let p = HwParams::paper_example();
+        let pct = |pol| p.overhead_pct(pol, CostSource::StaticTable);
+        assert!((pct(HwPolicy::Bcl) - 0.4).abs() < 0.1, "BCL {}", pct(HwPolicy::Bcl));
+        assert!((pct(HwPolicy::Gd) - 1.5).abs() < 0.1, "GD {}", pct(HwPolicy::Gd));
+        assert!((pct(HwPolicy::Dcl) - 4.0).abs() < 0.1, "DCL {}", pct(HwPolicy::Dcl));
+        assert!((pct(HwPolicy::Acl) - 4.1).abs() < 0.1, "ACL {}", pct(HwPolicy::Acl));
+    }
+
+    #[test]
+    fn paper_quantized_bit_counts() {
+        // Section 5: "the hardware overhead per set over LRU is 11 bits in
+        // BCL, 20 bits in GD, 32 bits in DCL and 35 bits in ACL".
+        let p = HwParams::paper_quantized_example();
+        let bits = |pol| p.added_bits_per_set(pol, CostSource::DynamicPerBlock);
+        assert_eq!(bits(HwPolicy::Bcl), 11);
+        assert_eq!(bits(HwPolicy::Gd), 20);
+        assert_eq!(bits(HwPolicy::Dcl), 32);
+        assert_eq!(bits(HwPolicy::Acl), 35);
+    }
+
+    #[test]
+    fn baseline_counts_data_and_tags() {
+        let p = HwParams::paper_example();
+        assert_eq!(p.baseline_bits_per_set(), 4 * (512 + 25));
+    }
+
+    #[test]
+    fn aliasing_shrinks_dcl() {
+        let mut p = HwParams::paper_example();
+        let full = p.added_bits_per_set(HwPolicy::Dcl, CostSource::DynamicPerBlock);
+        p.etd_tag_bits = 4;
+        let aliased = p.added_bits_per_set(HwPolicy::Dcl, CostSource::DynamicPerBlock);
+        assert!(aliased < full);
+        // 3 entries x 21 fewer tag bits.
+        assert_eq!(full - aliased, 3 * 21);
+    }
+}

@@ -1,0 +1,62 @@
+//! # csr — cost-sensitive cache replacement
+//!
+//! The primary contribution of *Cost-Sensitive Cache Replacement
+//! Algorithms* (Jeong & Dubois, HPCA 2003): replacement policies that
+//! minimize the **aggregate miss cost** rather than the miss count, for
+//! caches whose misses have non-uniform costs (remote vs. local latency,
+//! bandwidth, power, …).
+//!
+//! Four on-line policies are provided, all implementing
+//! [`cache_sim::ReplacementPolicy`]:
+//!
+//! * [`GreedyDual`] — prior-work cost-centric baseline (Section 2.1);
+//! * [`Bcl`] — Basic Cost-sensitive LRU: block reservation with immediate,
+//!   pessimistic cost depreciation (Section 2.3);
+//! * [`Dcl`] — Dynamic Cost-sensitive LRU: depreciation only on detected
+//!   re-references via the Extended Tag Directory (Section 2.4);
+//! * [`Acl`] — Adaptive Cost-sensitive LRU: DCL gated by a per-set 2-bit
+//!   success/failure automaton (Section 2.5).
+//!
+//! Supporting modules: the [`etd`] shadow directory, clairvoyant baselines
+//! in [`opt`], and the Section 5 hardware-overhead model in [`hw`].
+//!
+//! # Examples
+//!
+//! Reserving a high-cost block the way Section 2.2 describes:
+//!
+//! ```
+//! use cache_sim::{Cache, Geometry, AccessType, Cost, BlockAddr};
+//! use csr::Dcl;
+//!
+//! let geom = Geometry::new(128, 64, 2); // one 2-way set
+//! let mut cache = Cache::new(geom, Dcl::new(&geom));
+//!
+//! cache.access(BlockAddr(0), AccessType::Read, Cost(8)); // expensive block
+//! cache.access(BlockAddr(1), AccessType::Read, Cost(1)); // cheap block
+//! // A new block would evict the LRU under plain LRU; DCL instead
+//! // victimizes the cheap non-LRU block, reserving the expensive one.
+//! cache.access(BlockAddr(2), AccessType::Read, Cost(1));
+//! assert!(cache.contains(BlockAddr(0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acl;
+pub mod bcl;
+pub mod csopt;
+pub mod dcl;
+pub mod etd;
+pub mod gd;
+pub mod hw;
+pub mod opt;
+mod reserve;
+
+pub use acl::{Acl, AclStats};
+pub use bcl::{Bcl, BclStats};
+pub use csopt::{simulate_csopt, CsoptLimits};
+pub use dcl::{Dcl, DclStats};
+pub use etd::{Etd, EtdConfig, EtdStats};
+pub use gd::{GdStats, GreedyDual};
+pub use hw::{CostSource, HwParams, HwPolicy};
+pub use opt::{simulate_belady, simulate_cost_greedy, OfflineStats, TraceEvent};

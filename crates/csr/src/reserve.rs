@@ -1,0 +1,169 @@
+//! Shared reservation bookkeeping for the LRU-based cost-sensitive policies.
+//!
+//! BCL, DCL and ACL all keep one *depreciated cost* per set — the paper's
+//! `Acost` field, "loaded with `c(s)` whenever a block takes the LRU
+//! position" (Fig. 1) and reduced as the reservation is charged for misses
+//! it caused. [`AcostTracker`] implements that lifecycle: the tracker is
+//! synchronized lazily against the current LRU block and reset whenever the
+//! tracked block is hit, evicted or invalidated (each of which ends its stay
+//! in the LRU position).
+
+use cache_sim::{BlockAddr, Cost, SetView, Way};
+
+/// The Figure-1 victim scan shared by BCL, DCL and ACL: walk the LRU stack
+/// from the second-LRU position toward the MRU and return the first block
+/// whose miss cost is strictly below `acost` (the reserved LRU block's
+/// depreciated cost), together with its stack position. `None` means no
+/// reservation is possible and the LRU block itself must go.
+pub(crate) fn reservation_victim(view: &SetView<'_>, acost: u64) -> Option<(Way, usize)> {
+    for pos in (0..view.len().saturating_sub(1)).rev() {
+        let e = view.at(pos);
+        if e.cost.0 < acost {
+            return Some((e.way, pos));
+        }
+    }
+    None
+}
+
+/// Per-set `Acost` state: which block is being tracked in the LRU position
+/// and its remaining (depreciated) cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct AcostTracker {
+    lru_block: Option<BlockAddr>,
+    acost: u64,
+}
+
+impl AcostTracker {
+    /// Reloads `Acost` from the current LRU block if the LRU identity
+    /// changed since the last synchronization ("upon entering LRU position:
+    /// Acost <- c(s)"). No-op while the same block stays in the LRU position,
+    /// preserving accumulated depreciation.
+    pub(crate) fn sync(&mut self, view: &SetView<'_>) {
+        if view.is_empty() {
+            self.lru_block = None;
+            self.acost = 0;
+            return;
+        }
+        let lru = view.lru();
+        if self.lru_block != Some(lru.block) {
+            self.lru_block = Some(lru.block);
+            self.acost = lru.cost.0;
+        }
+    }
+
+    /// The remaining depreciated cost of the tracked LRU block.
+    pub(crate) fn acost(&self) -> u64 {
+        self.acost
+    }
+
+    /// Depreciates the tracked cost by `amount`, saturating at zero.
+    pub(crate) fn depreciate(&mut self, amount: Cost) {
+        self.acost = self.acost.saturating_sub(amount.0);
+    }
+
+    /// The tracked block, if any.
+    pub(crate) fn tracked(&self) -> Option<BlockAddr> {
+        self.lru_block
+    }
+
+    /// Forgets the tracked block; the next [`sync`](Self::sync) reloads.
+    pub(crate) fn reset(&mut self) {
+        self.lru_block = None;
+        self.acost = 0;
+    }
+
+    /// Must be called when `block` is hit, evicted or invalidated: if it is
+    /// the tracked block, the tracker resets so a later return of the same
+    /// block to the LRU position reloads a fresh `Acost`.
+    pub(crate) fn note_departure(&mut self, block: BlockAddr) {
+        if self.lru_block == Some(block) {
+            self.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{Cost, Way, WayView};
+
+    fn view_of(entries: &[WayView]) -> SetView<'_> {
+        SetView::new(entries)
+    }
+
+    fn entries(costs: &[(u64, u64)]) -> Vec<WayView> {
+        costs
+            .iter()
+            .enumerate()
+            .map(|(i, &(b, c))| WayView { way: Way(i), block: BlockAddr(b), cost: Cost(c), dirty: false })
+            .collect()
+    }
+
+    #[test]
+    fn sync_loads_lru_cost_once() {
+        let e = entries(&[(1, 2), (2, 8)]); // LRU = block 2 with cost 8
+        let mut t = AcostTracker::default();
+        t.sync(&view_of(&e));
+        assert_eq!(t.acost(), 8);
+        t.depreciate(Cost(3));
+        assert_eq!(t.acost(), 5);
+        // Same LRU: depreciation persists across syncs.
+        t.sync(&view_of(&e));
+        assert_eq!(t.acost(), 5);
+    }
+
+    #[test]
+    fn sync_reloads_on_lru_change() {
+        let e1 = entries(&[(1, 2), (2, 8)]);
+        let mut t = AcostTracker::default();
+        t.sync(&view_of(&e1));
+        t.depreciate(Cost(8));
+        assert_eq!(t.acost(), 0);
+        let e2 = entries(&[(2, 8), (3, 4)]); // new LRU = block 3
+        t.sync(&view_of(&e2));
+        assert_eq!(t.acost(), 4);
+    }
+
+    #[test]
+    fn departure_of_tracked_block_resets() {
+        let e = entries(&[(1, 2), (2, 8)]);
+        let mut t = AcostTracker::default();
+        t.sync(&view_of(&e));
+        t.depreciate(Cost(6));
+        t.note_departure(BlockAddr(2));
+        assert_eq!(t.tracked(), None);
+        // Same block back in LRU position: Acost reloads fully.
+        t.sync(&view_of(&e));
+        assert_eq!(t.acost(), 8);
+    }
+
+    #[test]
+    fn departure_of_other_block_is_ignored() {
+        let e = entries(&[(1, 2), (2, 8)]);
+        let mut t = AcostTracker::default();
+        t.sync(&view_of(&e));
+        t.depreciate(Cost(1));
+        t.note_departure(BlockAddr(1));
+        assert_eq!(t.tracked(), Some(BlockAddr(2)));
+        assert_eq!(t.acost(), 7);
+    }
+
+    #[test]
+    fn depreciation_saturates() {
+        let e = entries(&[(1, 2), (2, 8)]);
+        let mut t = AcostTracker::default();
+        t.sync(&view_of(&e));
+        t.depreciate(Cost(100));
+        assert_eq!(t.acost(), 0);
+    }
+
+    #[test]
+    fn empty_view_clears() {
+        let mut t = AcostTracker::default();
+        let e = entries(&[(1, 5)]);
+        t.sync(&view_of(&e));
+        assert_eq!(t.acost(), 5);
+        t.sync(&view_of(&[]));
+        assert_eq!(t.tracked(), None);
+    }
+}

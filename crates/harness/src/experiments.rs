@@ -1,0 +1,327 @@
+//! Assembly of the paper's trace-driven experiments (Table 1, Figure 3,
+//! Table 2) from the substrate crates. The `csr-bench` binary formats the
+//! structures produced here; integration tests assert their shapes.
+
+use crate::policy_kind::PolicyKind;
+use crate::runner::{run_sampled, LruMissProfile, TraceSimConfig};
+use cache_sim::{relative_savings_pct, CostPair};
+use mem_trace::cost_map::{FirstTouchCostMap, RandomCostMap};
+use mem_trace::workloads::{BarnesLike, LuLike, OceanLike, RaytraceLike};
+use mem_trace::{
+    characterize, representative_processor, FirstTouchPlacement, ProcId, SampledTrace,
+    TraceCharacteristics, Workload,
+};
+use std::fmt;
+
+/// A cost ratio `r` of the two-static-cost experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostRatio {
+    /// Low cost 1, high cost `r`.
+    Finite(u64),
+    /// Low cost 0, high cost 1 (Section 3.1's infinite ratio).
+    Infinite,
+}
+
+impl CostRatio {
+    /// The ratios swept in Figure 3.
+    pub const FIG3: [CostRatio; 6] = [
+        CostRatio::Finite(2),
+        CostRatio::Finite(4),
+        CostRatio::Finite(8),
+        CostRatio::Finite(16),
+        CostRatio::Finite(32),
+        CostRatio::Infinite,
+    ];
+
+    /// The ratios swept in Table 2.
+    pub const TABLE2: [CostRatio; 5] = [
+        CostRatio::Finite(2),
+        CostRatio::Finite(4),
+        CostRatio::Finite(8),
+        CostRatio::Finite(16),
+        CostRatio::Finite(32),
+    ];
+
+    /// The corresponding low/high cost pair.
+    #[must_use]
+    pub fn pair(self) -> CostPair {
+        match self {
+            CostRatio::Finite(r) => CostPair::ratio(r),
+            CostRatio::Infinite => CostPair::infinite_ratio(),
+        }
+    }
+}
+
+impl fmt::Display for CostRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostRatio::Finite(r) => write!(f, "r={r}"),
+            CostRatio::Infinite => write!(f, "r=inf"),
+        }
+    }
+}
+
+/// Which problem sizes to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes for quick runs (default; preserves all shapes).
+    Quick,
+    /// The paper's Table-1 problem sizes (slow).
+    Paper,
+}
+
+/// A prepared benchmark: its sampled trace, placement and characteristics.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Workload name ("barnes", "lu", "ocean", "raytrace").
+    pub name: String,
+    /// The sample processor whose cache is simulated.
+    pub sample: ProcId,
+    /// The sample-processor trace view.
+    pub sampled: SampledTrace,
+    /// Per-block first-touch placement of the full trace.
+    pub placement: FirstTouchPlacement,
+    /// Table-1 characteristics.
+    pub characteristics: TraceCharacteristics,
+}
+
+/// Seed used for all benchmark generation (experiments are reproducible).
+pub const BENCH_SEED: u64 = 2003;
+
+/// Generates and samples the four-benchmark suite.
+#[must_use]
+pub fn build_benchmarks(scale: Scale) -> Vec<Benchmark> {
+    let workloads: Vec<Box<dyn Workload>> = match scale {
+        Scale::Quick => vec![
+            Box::new(BarnesLike::default()),
+            Box::new(LuLike::default()),
+            Box::new(OceanLike::default()),
+            Box::new(RaytraceLike::default()),
+        ],
+        Scale::Paper => vec![
+            Box::new(BarnesLike::paper_scale()),
+            Box::new(LuLike::paper_scale()),
+            Box::new(OceanLike::paper_scale()),
+            Box::new(RaytraceLike::paper_scale()),
+        ],
+    };
+    workloads
+        .into_iter()
+        .map(|w| {
+            let trace = w.generate(BENCH_SEED);
+            let sample = representative_processor(&trace);
+            let characteristics = characterize(w.name(), &w.problem_size(), &trace, sample);
+            let placement = FirstTouchPlacement::from_trace(64, &trace);
+            let sampled = SampledTrace::from_trace(&trace, sample);
+            Benchmark { name: w.name().to_owned(), sample, sampled, placement, characteristics }
+        })
+        .collect()
+}
+
+/// One cell of the Figure 3 grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavingsPoint {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Policy measured.
+    pub policy: PolicyKind,
+    /// Cost ratio.
+    pub ratio: CostRatio,
+    /// High-cost access fraction of the random mapping.
+    pub haf: f64,
+    /// Relative cost savings over LRU, percent.
+    pub savings_pct: f64,
+}
+
+/// The HAF sweep of Figure 3: 0, 0.01, 0.05, then 0.1 … 1.0 in steps of 0.1.
+#[must_use]
+pub fn fig3_hafs() -> Vec<f64> {
+    let mut hafs = vec![0.0, 0.01, 0.05];
+    for i in 1..=10 {
+        hafs.push(i as f64 / 10.0);
+    }
+    hafs
+}
+
+/// Computes the Figure 3 grid: relative savings of each policy over LRU
+/// under random cost mapping, for every (benchmark, ratio, HAF) triple.
+/// Work is spread over `threads` OS threads.
+#[must_use]
+pub fn fig3_grid(
+    benchmarks: &[Benchmark],
+    hafs: &[f64],
+    ratios: &[CostRatio],
+    policies: &[PolicyKind],
+    cfg: TraceSimConfig,
+    threads: usize,
+) -> Vec<SavingsPoint> {
+    // One LRU profile per benchmark covers every cost map.
+    let profiles: Vec<LruMissProfile> =
+        benchmarks.iter().map(|b| LruMissProfile::collect(&b.sampled, cfg)).collect();
+
+    let mut tasks: Vec<(usize, CostRatio, f64, PolicyKind)> = Vec::new();
+    for (bi, _) in benchmarks.iter().enumerate() {
+        for &ratio in ratios {
+            for &haf in hafs {
+                for &policy in policies {
+                    tasks.push((bi, ratio, haf, policy));
+                }
+            }
+        }
+    }
+
+    run_tasks(threads, &tasks, |&(bi, ratio, haf, policy)| {
+        let bench = &benchmarks[bi];
+        let map = RandomCostMap::new(haf, ratio.pair(), BENCH_SEED ^ 0x5EED);
+        let baseline = profiles[bi].aggregate_cost(&map);
+        let run = run_sampled(&bench.sampled, &map, policy, cfg);
+        SavingsPoint {
+            benchmark: bench.name.clone(),
+            policy,
+            ratio,
+            haf,
+            savings_pct: relative_savings_pct(baseline, run.aggregate_cost()),
+        }
+    })
+}
+
+/// One row cell of Table 2 (first-touch cost mapping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Cell {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Policy measured.
+    pub policy: PolicyKind,
+    /// Cost ratio.
+    pub ratio: CostRatio,
+    /// Relative cost savings over LRU, percent.
+    pub savings_pct: f64,
+}
+
+/// Computes Table 2: savings under first-touch cost mapping (remote blocks
+/// are high-cost).
+#[must_use]
+pub fn table2(
+    benchmarks: &[Benchmark],
+    ratios: &[CostRatio],
+    policies: &[PolicyKind],
+    cfg: TraceSimConfig,
+    threads: usize,
+) -> Vec<Table2Cell> {
+    let profiles: Vec<LruMissProfile> =
+        benchmarks.iter().map(|b| LruMissProfile::collect(&b.sampled, cfg)).collect();
+
+    let mut tasks: Vec<(usize, CostRatio, PolicyKind)> = Vec::new();
+    for (bi, _) in benchmarks.iter().enumerate() {
+        for &ratio in ratios {
+            for &policy in policies {
+                tasks.push((bi, ratio, policy));
+            }
+        }
+    }
+
+    run_tasks(threads, &tasks, |&(bi, ratio, policy)| {
+        let bench = &benchmarks[bi];
+        let map = FirstTouchCostMap::new(
+            bench.placement.clone(),
+            bench.sample,
+            ratio.pair(),
+            cfg.l2.block_bytes(),
+        );
+        let baseline = profiles[bi].aggregate_cost(&map);
+        let run = run_sampled(&bench.sampled, &map, policy, cfg);
+        Table2Cell {
+            benchmark: bench.name.clone(),
+            policy,
+            ratio,
+            savings_pct: relative_savings_pct(baseline, run.aggregate_cost()),
+        }
+    })
+}
+
+/// Maps `tasks` to results over `threads` OS threads, preserving order —
+/// the parallel-map building block behind every experiment sweep.
+pub fn run_tasks<T: Sync, R: Send>(
+    threads: usize,
+    tasks: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1);
+    if threads == 1 || tasks.len() <= 1 {
+        return tasks.iter().map(&f).collect();
+    }
+    let chunk = tasks.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(tasks.len(), || None);
+    let slots: Vec<&mut [Option<R>]> = out.chunks_mut(chunk).collect();
+    std::thread::scope(|scope| {
+        for (i, slot) in slots.into_iter().enumerate() {
+            let f = &f;
+            let task_chunk = &tasks[i * chunk..(i * chunk + slot.len())];
+            scope.spawn(move || {
+                for (s, t) in slot.iter_mut().zip(task_chunk) {
+                    *s = Some(f(t));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("all task slots filled")).collect()
+}
+
+/// A sensible default worker count.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_trace::workloads::synthetic::UniformRandom;
+
+    #[test]
+    fn run_tasks_preserves_order() {
+        let tasks: Vec<u64> = (0..37).collect();
+        let got = run_tasks(4, &tasks, |&t| t * 2);
+        let want: Vec<u64> = tasks.iter().map(|&t| t * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fig3_hafs_matches_paper_grid() {
+        let hafs = fig3_hafs();
+        assert_eq!(hafs.len(), 13);
+        assert_eq!(hafs[0], 0.0);
+        assert_eq!(hafs[1], 0.01);
+        assert_eq!(hafs[2], 0.05);
+        assert_eq!(*hafs.last().expect("nonempty"), 1.0);
+    }
+
+    #[test]
+    fn fig3_grid_small_smoke() {
+        // A miniature grid over a synthetic benchmark exercises the whole
+        // pipeline quickly.
+        let w = UniformRandom { refs: 40_000, blocks: 2048, procs: 2, write_fraction: 0.3 };
+        let trace = w.generate(BENCH_SEED);
+        let sample = ProcId(0);
+        let bench = Benchmark {
+            name: "uniform".into(),
+            sample,
+            sampled: SampledTrace::from_trace(&trace, sample),
+            placement: FirstTouchPlacement::from_trace(64, &trace),
+            characteristics: characterize("uniform", "small", &trace, sample),
+        };
+        let pts = fig3_grid(
+            &[bench],
+            &[0.2],
+            &[CostRatio::Finite(8)],
+            &[PolicyKind::Dcl],
+            TraceSimConfig::paper_basic(),
+            2,
+        );
+        assert_eq!(pts.len(), 1);
+        let p = &pts[0];
+        assert!(p.savings_pct > 0.0, "DCL should save at the sweet spot: {}", p.savings_pct);
+        assert!(p.savings_pct < 100.0);
+    }
+}

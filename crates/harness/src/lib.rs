@@ -1,0 +1,23 @@
+//! # csr-harness
+//!
+//! Experiment machinery for the HPCA 2003 reproduction: uniform policy
+//! construction ([`PolicyKind`]), the Section 3.1 trace-driven simulation
+//! loop ([`runner`]), and assembly of the paper's trace-driven experiments
+//! ([`experiments`]). The `csr-bench` crate's binaries format the data this
+//! crate produces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod numa_exp;
+pub mod policy_kind;
+pub mod runner;
+
+pub use experiments::{
+    build_benchmarks, default_threads, fig3_grid, fig3_hafs, table2, Benchmark, CostRatio,
+    SavingsPoint, Scale, Table2Cell,
+};
+pub use numa_exp::{rsim_suite, rsim_suite_extended, run_numa, NumaBenchmark, Table5Cell, TABLE5_POLICIES};
+pub use policy_kind::PolicyKind;
+pub use runner::{run_sampled, run_sampled_policy, LruMissProfile, RunResult, TraceSimConfig};

@@ -1,0 +1,231 @@
+//! The trace-driven simulation loop of Section 3.1: an L1 filter in front
+//! of the L2 under study, fed with one sample processor's references plus
+//! foreign writes (invalidations), charging each L2 miss its mapped cost.
+
+use crate::policy_kind::PolicyKind;
+use cache_sim::{CacheStats, Cost, Geometry, TwoLevel};
+use mem_trace::cost_map::CostMap;
+use mem_trace::sampled::{SampledEvent, SampledTrace};
+use std::collections::HashMap;
+
+/// Cache geometry of a trace-driven run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSimConfig {
+    /// L1 filter geometry.
+    pub l1: Geometry,
+    /// L2 geometry (the cache whose policy is under study).
+    pub l2: Geometry,
+}
+
+impl TraceSimConfig {
+    /// The paper's basic configuration (Section 3.1): 4 KB direct-mapped L1
+    /// and 16 KB 4-way L2, 64-byte blocks.
+    #[must_use]
+    pub fn paper_basic() -> Self {
+        TraceSimConfig {
+            l1: Geometry::direct_mapped(4 * 1024, 64),
+            l2: Geometry::new(16 * 1024, 64, 4),
+        }
+    }
+
+    /// Same L1, but an L2 with the given size and associativity.
+    #[must_use]
+    pub fn with_l2(l2_bytes: u64, assoc: usize) -> Self {
+        TraceSimConfig {
+            l1: Geometry::direct_mapped(4 * 1024, 64),
+            l2: Geometry::new(l2_bytes, 64, assoc),
+        }
+    }
+}
+
+impl Default for TraceSimConfig {
+    fn default() -> Self {
+        TraceSimConfig::paper_basic()
+    }
+}
+
+/// The outcome of one trace-driven run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Which policy ran.
+    pub policy: PolicyKind,
+    /// L1 statistics.
+    pub l1: CacheStats,
+    /// L2 statistics; `l2.aggregate_cost` is the paper's `C(X)`.
+    pub l2: CacheStats,
+}
+
+impl RunResult {
+    /// The aggregate cost of the run.
+    #[must_use]
+    pub fn aggregate_cost(&self) -> Cost {
+        self.l2.aggregate_cost
+    }
+}
+
+/// Runs `policy` over a sampled trace under `costs`.
+#[must_use]
+pub fn run_sampled(
+    sampled: &SampledTrace,
+    costs: &dyn CostMap,
+    policy: PolicyKind,
+    cfg: TraceSimConfig,
+) -> RunResult {
+    let (l1, l2) = run_sampled_policy(sampled, costs, policy.build(&cfg.l2), cfg);
+    RunResult { policy, l1, l2 }
+}
+
+/// Runs an explicit policy *instance* over a sampled trace (the ablation
+/// benches need hand-configured policies that [`PolicyKind`] cannot name).
+/// Returns the L1 and L2 statistics.
+#[must_use]
+pub fn run_sampled_policy<P: cache_sim::ReplacementPolicy>(
+    sampled: &SampledTrace,
+    costs: &dyn CostMap,
+    policy: P,
+    cfg: TraceSimConfig,
+) -> (CacheStats, CacheStats) {
+    let block_bytes = cfg.l2.block_bytes();
+    let mut h = TwoLevel::new(cfg.l1, cfg.l2, policy);
+    for ev in sampled.events() {
+        match *ev {
+            SampledEvent::Own { addr, op } => {
+                let block = addr.block(block_bytes);
+                h.access(block, op, costs.cost_of(block));
+            }
+            SampledEvent::ForeignWrite { addr } => {
+                h.invalidate(addr.block(block_bytes));
+            }
+        }
+    }
+    (*h.l1().stats(), *h.l2().stats())
+}
+
+/// The per-block L2 miss counts of an LRU run.
+///
+/// LRU's replacement decisions are cost-independent, so a single LRU run
+/// per trace yields the baseline aggregate cost for *every* static cost
+/// map: `C_LRU = Σ_b misses(b) · cost(b)`. This collapses the baseline
+/// side of the Figure 3 sweep from hundreds of runs to one per benchmark.
+#[derive(Debug, Clone)]
+pub struct LruMissProfile {
+    miss_counts: HashMap<u64, u64>,
+    stats: CacheStats,
+}
+
+impl LruMissProfile {
+    /// Runs LRU once over the sampled trace and records per-block misses.
+    #[must_use]
+    pub fn collect(sampled: &SampledTrace, cfg: TraceSimConfig) -> Self {
+        let block_bytes = cfg.l2.block_bytes();
+        let mut h = TwoLevel::new(cfg.l1, cfg.l2, cache_sim::Lru::new());
+        let mut miss_counts: HashMap<u64, u64> = HashMap::new();
+        for ev in sampled.events() {
+            match *ev {
+                SampledEvent::Own { addr, op } => {
+                    let block = addr.block(block_bytes);
+                    let out = h.access(block, op, Cost::ZERO);
+                    if out.l2_hit == Some(false) {
+                        *miss_counts.entry(block.0).or_insert(0) += 1;
+                    }
+                }
+                SampledEvent::ForeignWrite { addr } => {
+                    h.invalidate(addr.block(block_bytes));
+                }
+            }
+        }
+        LruMissProfile { miss_counts, stats: *h.l2().stats() }
+    }
+
+    /// The LRU aggregate cost under `costs`.
+    #[must_use]
+    pub fn aggregate_cost(&self, costs: &dyn CostMap) -> Cost {
+        self.miss_counts
+            .iter()
+            .map(|(&block, &n)| Cost(costs.cost_of(cache_sim::BlockAddr(block)).0 * n))
+            .sum()
+    }
+
+    /// Total LRU misses (cost-map independent).
+    #[must_use]
+    pub fn total_misses(&self) -> u64 {
+        self.stats.misses
+    }
+
+    /// The LRU L2 statistics of the profiling run.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::CostPair;
+    use mem_trace::cost_map::{RandomCostMap, UniformCostMap};
+    use mem_trace::workloads::synthetic::UniformRandom;
+    use mem_trace::{ProcId, Workload};
+
+    fn sampled() -> SampledTrace {
+        let w = UniformRandom { refs: 60_000, blocks: 2048, procs: 2, write_fraction: 0.3 };
+        SampledTrace::from_trace(&w.generate(11), ProcId(0))
+    }
+
+    #[test]
+    fn lru_profile_matches_direct_lru_run() {
+        let s = sampled();
+        let cfg = TraceSimConfig::paper_basic();
+        let profile = LruMissProfile::collect(&s, cfg);
+        for haf in [0.1, 0.5] {
+            let map = RandomCostMap::new(haf, CostPair::ratio(8), 3);
+            let direct = run_sampled(&s, &map, PolicyKind::Lru, cfg);
+            assert_eq!(profile.aggregate_cost(&map), direct.aggregate_cost());
+        }
+    }
+
+    #[test]
+    fn uniform_costs_make_cost_sensitive_policies_match_lru() {
+        // Invariant 1 of DESIGN.md: with uniform costs BCL/DCL/ACL replace
+        // exactly like LRU, so miss counts and costs coincide.
+        let s = sampled();
+        let cfg = TraceSimConfig::paper_basic();
+        let map = UniformCostMap(Cost(5));
+        let lru = run_sampled(&s, &map, PolicyKind::Lru, cfg);
+        for kind in [PolicyKind::Bcl, PolicyKind::Dcl, PolicyKind::Acl] {
+            let r = run_sampled(&s, &map, kind, cfg);
+            assert_eq!(r.l2.misses, lru.l2.misses, "{kind} misses differ from LRU");
+            assert_eq!(r.aggregate_cost(), lru.aggregate_cost(), "{kind} cost differs");
+        }
+    }
+
+    #[test]
+    fn cost_sensitive_policies_save_cost_on_random_map() {
+        let s = sampled();
+        let cfg = TraceSimConfig::paper_basic();
+        let map = RandomCostMap::new(0.2, CostPair::ratio(16), 9);
+        let lru = run_sampled(&s, &map, PolicyKind::Lru, cfg);
+        let dcl = run_sampled(&s, &map, PolicyKind::Dcl, cfg);
+        assert!(
+            dcl.aggregate_cost() < lru.aggregate_cost(),
+            "DCL ({}) must beat LRU ({}) at the sweet spot",
+            dcl.aggregate_cost(),
+            lru.aggregate_cost()
+        );
+    }
+
+    #[test]
+    fn foreign_writes_invalidate() {
+        use cache_sim::AccessType;
+        use mem_trace::{Trace, TraceRecord};
+        let mut t = Trace::new(2);
+        t.push(TraceRecord::read(ProcId(0), cache_sim::Addr(0)));
+        t.push(TraceRecord::write(ProcId(1), cache_sim::Addr(0)));
+        t.push(TraceRecord::read(ProcId(0), cache_sim::Addr(0)));
+        let s = SampledTrace::from_trace(&t, ProcId(0));
+        let cfg = TraceSimConfig::paper_basic();
+        let r = run_sampled(&s, &UniformCostMap(Cost(1)), PolicyKind::Lru, cfg);
+        assert_eq!(r.l2.misses, 2, "the foreign write must force a re-miss");
+        let _ = AccessType::Read;
+    }
+}

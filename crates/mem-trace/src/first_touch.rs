@@ -1,0 +1,152 @@
+//! First-touch NUMA placement (Sections 3.3 and 4.2).
+//!
+//! Memory is distributed across processor nodes; each memory unit (a page,
+//! or an individual block as in the paper's experiments) is *homed* at the
+//! node of the processor that touches it first. References by a processor
+//! to units homed elsewhere are **remote** — more expensive in latency,
+//! bandwidth and power.
+
+use crate::record::{ProcId, Trace};
+use cache_sim::Addr;
+use std::collections::HashMap;
+
+/// A first-touch placement map from memory units to home processors.
+#[derive(Debug, Clone)]
+pub struct FirstTouchPlacement {
+    granularity_bytes: u64,
+    homes: HashMap<u64, ProcId>,
+}
+
+impl FirstTouchPlacement {
+    /// Creates an empty placement with the given homing granularity.
+    ///
+    /// The paper homes *individual memory blocks* (64 bytes); OS-level
+    /// first-touch would use pages (e.g. 4096).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity_bytes` is not a power of two.
+    #[must_use]
+    pub fn new(granularity_bytes: u64) -> Self {
+        assert!(granularity_bytes.is_power_of_two(), "granularity must be a power of two");
+        FirstTouchPlacement { granularity_bytes, homes: HashMap::new() }
+    }
+
+    /// Builds the placement by scanning `trace` in order: the first
+    /// reference to each unit assigns its home.
+    #[must_use]
+    pub fn from_trace(granularity_bytes: u64, trace: &Trace) -> Self {
+        let mut p = FirstTouchPlacement::new(granularity_bytes);
+        for rec in trace {
+            p.touch(rec.proc, rec.addr);
+        }
+        p
+    }
+
+    fn unit_of(&self, addr: Addr) -> u64 {
+        addr.0 >> self.granularity_bytes.trailing_zeros()
+    }
+
+    /// Records a touch: assigns the home on first touch, returns the home.
+    pub fn touch(&mut self, proc: ProcId, addr: Addr) -> ProcId {
+        let unit = self.unit_of(addr);
+        *self.homes.entry(unit).or_insert(proc)
+    }
+
+    /// The home of `addr`, if it has been touched.
+    #[must_use]
+    pub fn home_of(&self, addr: Addr) -> Option<ProcId> {
+        self.homes.get(&self.unit_of(addr)).copied()
+    }
+
+    /// Whether a reference by `proc` to `addr` is remote. Untouched
+    /// addresses are local by definition (the reference *would* home them).
+    #[must_use]
+    pub fn is_remote(&self, proc: ProcId, addr: Addr) -> bool {
+        match self.home_of(addr) {
+            Some(home) => home != proc,
+            None => false,
+        }
+    }
+
+    /// The homing granularity in bytes.
+    #[must_use]
+    pub fn granularity_bytes(&self) -> u64 {
+        self.granularity_bytes
+    }
+
+    /// Number of distinct units homed so far.
+    #[must_use]
+    pub fn units_homed(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Fraction of `proc`'s references in `trace` that are remote under
+    /// this placement — the paper's *remote access fraction* (Table 1).
+    #[must_use]
+    pub fn remote_fraction(&self, trace: &Trace, proc: ProcId) -> f64 {
+        let mut total = 0u64;
+        let mut remote = 0u64;
+        for rec in trace {
+            if rec.proc == proc {
+                total += 1;
+                if self.is_remote(proc, rec.addr) {
+                    remote += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            remote as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    #[test]
+    fn first_touch_wins() {
+        let mut p = FirstTouchPlacement::new(64);
+        assert_eq!(p.touch(ProcId(1), Addr(0x100)), ProcId(1));
+        // A later touch by another processor does not re-home.
+        assert_eq!(p.touch(ProcId(0), Addr(0x100)), ProcId(1));
+        assert_eq!(p.home_of(Addr(0x120)), Some(ProcId(1)), "same 64B block");
+        assert_eq!(p.home_of(Addr(0x140)), None);
+    }
+
+    #[test]
+    fn remoteness() {
+        let mut p = FirstTouchPlacement::new(64);
+        p.touch(ProcId(0), Addr(0));
+        assert!(!p.is_remote(ProcId(0), Addr(0)));
+        assert!(p.is_remote(ProcId(1), Addr(0)));
+        assert!(!p.is_remote(ProcId(1), Addr(0x1000)), "untouched is local");
+    }
+
+    #[test]
+    fn remote_fraction_from_trace() {
+        let mut t = Trace::new(2);
+        // P1 homes block 0; P0 homes block 1; then P0 references both twice.
+        t.push(TraceRecord::write(ProcId(1), Addr(0)));
+        t.push(TraceRecord::write(ProcId(0), Addr(64)));
+        t.push(TraceRecord::read(ProcId(0), Addr(0)));
+        t.push(TraceRecord::read(ProcId(0), Addr(64)));
+        let p = FirstTouchPlacement::from_trace(64, &t);
+        // P0 refs: 64 (local, homed it), 0 (remote), 64 (local) => 1/3.
+        let f = p.remote_fraction(&t, ProcId(0));
+        assert!((f - 1.0 / 3.0).abs() < 1e-12, "got {f}");
+        assert_eq!(p.units_homed(), 2);
+    }
+
+    #[test]
+    fn page_granularity_groups_blocks() {
+        let mut p = FirstTouchPlacement::new(4096);
+        p.touch(ProcId(0), Addr(0));
+        assert_eq!(p.home_of(Addr(4095)), Some(ProcId(0)));
+        assert_eq!(p.home_of(Addr(4096)), None);
+    }
+}

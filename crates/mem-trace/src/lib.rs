@@ -1,0 +1,48 @@
+//! # mem-trace
+//!
+//! Memory reference traces and synthetic workloads for the HPCA 2003
+//! cost-sensitive-replacement reproduction:
+//!
+//! * [`record`] — multiprocessor [`Trace`]s of shared-data references;
+//! * [`workloads`] — synthetic SPLASH-2-like kernels ([`BarnesLike`],
+//!   [`LuLike`], [`OceanLike`], [`RaytraceLike`]) plus generic generators;
+//! * [`first_touch`] — first-touch NUMA placement and remote fractions;
+//! * [`cost_map`] — the random and first-touch two-cost mappings of
+//!   Section 3;
+//! * [`sampled`] — the Section 3.1 sample-processor trace view (own
+//!   references + foreign writes);
+//! * [`stats`] — Table-1-style trace characteristics.
+//!
+//! # Examples
+//!
+//! ```
+//! use mem_trace::{Workload, workloads::OceanLike, ProcId};
+//! use mem_trace::first_touch::FirstTouchPlacement;
+//!
+//! let w = OceanLike { n: 66, grids: 2, procs: 4, iters: 2, col_stride: 2, reduction_points: 50 };
+//! let trace = w.generate(42);
+//! let placement = FirstTouchPlacement::from_trace(64, &trace);
+//! let remote = placement.remote_fraction(&trace, ProcId(1));
+//! assert!(remote < 0.25); // Ocean-like kernels are mostly local
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost_map;
+pub mod criticality;
+pub mod io;
+pub mod first_touch;
+pub mod phased;
+pub mod record;
+pub mod sampled;
+pub mod stats;
+pub mod workloads;
+
+pub use cost_map::{CostMap, FirstTouchCostMap, RandomCostMap, UniformCostMap};
+pub use first_touch::FirstTouchPlacement;
+pub use phased::{Phase, PhasedTrace};
+pub use record::{ProcId, Trace, TraceRecord};
+pub use sampled::{SampledEvent, SampledTrace};
+pub use stats::{characterize, representative_processor, TraceCharacteristics};
+pub use workloads::{BarnesLike, LuLike, OceanLike, RaytraceLike, Workload};

@@ -1,0 +1,217 @@
+//! Synthetic SPLASH-2-like workload kernels.
+//!
+//! The paper traces four SPLASH-2 benchmarks (Table 1). The original
+//! SPARC binaries and their execution-driven tracing infrastructure are not
+//! reproducible here, so this module provides synthetic kernels that emit
+//! shared-data reference streams with the same *structural* properties the
+//! replacement study depends on: locality profile, sharing and invalidation
+//! traffic, per-set imbalance, and first-touch remote-access fraction.
+//!
+//! | Kernel | Mirrors | Character |
+//! |--------|---------|-----------|
+//! | [`BarnesLike`] | Barnes | irregular, data-dependent octree walks, high remote fraction |
+//! | [`LuLike`] | LU | blocked dense factorization, high locality, strong set imbalance |
+//! | [`OceanLike`] | Ocean | regular grid stencils, low remote fraction |
+//! | [`RaytraceLike`] | Raytrace | read-mostly irregular scene traversal, large footprint |
+//!
+//! All kernels are deterministic given a seed and implement [`Workload`].
+
+use crate::phased::{Phase, PhasedTrace};
+use crate::record::{Trace, TraceRecord};
+
+mod barnes;
+mod fft;
+mod lu;
+mod ocean;
+mod radix;
+mod raytrace;
+pub mod synthetic;
+
+pub use barnes::BarnesLike;
+pub use fft::FftLike;
+pub use lu::LuLike;
+pub use ocean::OceanLike;
+pub use radix::RadixLike;
+pub use raytrace::RaytraceLike;
+
+/// Chunk size used when flattening phases into a single trace.
+pub(crate) const INTERLEAVE_CHUNK: usize = 64;
+
+/// Creates the interleaver used to flatten phased traces (shared with
+/// [`PhasedTrace::interleave`]).
+pub(crate) fn interleaver(chunk: usize) -> Interleaver {
+    Interleaver::new(chunk)
+}
+
+/// A workload kernel that can generate a multiprocessor reference trace.
+pub trait Workload {
+    /// Short name ("barnes", "lu", …).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable problem-size description (Table 1 style).
+    fn problem_size(&self) -> String;
+
+    /// Number of processors in the traced machine.
+    fn num_procs(&self) -> usize;
+
+    /// Generates the trace. Deterministic for a given `seed`.
+    fn generate(&self, seed: u64) -> Trace;
+
+    /// Generates the barrier-delimited per-processor streams that
+    /// execution-driven simulation replays ([`PhasedTrace`]).
+    ///
+    /// The default implementation wraps the flat trace into a single phase
+    /// (adequate for workloads without barrier structure); the SPLASH-like
+    /// kernels override it with their real phase structure.
+    fn generate_phases(&self, seed: u64) -> PhasedTrace {
+        let trace = self.generate(seed);
+        let mut phase = Phase::new(self.num_procs());
+        for rec in &trace {
+            phase.streams[rec.proc.0].push(*rec);
+        }
+        let mut pt = PhasedTrace::new(self.num_procs());
+        pt.push(phase);
+        pt
+    }
+}
+
+/// Merges per-processor record streams into one global order by
+/// round-robining fixed-size chunks, approximating concurrent execution
+/// between barriers.
+#[derive(Debug)]
+pub(crate) struct Interleaver {
+    chunk: usize,
+}
+
+impl Interleaver {
+    pub(crate) fn new(chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk must be nonzero");
+        Interleaver { chunk }
+    }
+
+    /// Appends the interleaving of `streams` to `trace`.
+    pub(crate) fn merge_into(&self, trace: &mut Trace, streams: &[Vec<TraceRecord>]) {
+        let mut cursors = vec![0usize; streams.len()];
+        loop {
+            let mut progressed = false;
+            for (s, cursor) in cursors.iter_mut().enumerate() {
+                let stream = &streams[s];
+                if *cursor < stream.len() {
+                    let end = (*cursor + self.chunk).min(stream.len());
+                    for rec in &stream[*cursor..end] {
+                        trace.push(*rec);
+                    }
+                    *cursor = end;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+}
+
+/// A tiny deterministic PRNG (SplitMix64) used by the kernels for
+/// data-dependent access patterns, independent of the `rand` crate's
+/// version-dependent stream definitions.
+#[derive(Debug, Clone)]
+pub(crate) struct Splitmix {
+    state: u64,
+}
+
+impl Splitmix {
+    pub(crate) fn new(seed: u64) -> Self {
+        Splitmix { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.next_u64() % n
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub(crate) fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// The standard four-kernel suite at trace-study scale (Section 3 analog).
+#[must_use]
+pub fn standard_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(BarnesLike::default()),
+        Box::new(LuLike::default()),
+        Box::new(OceanLike::default()),
+        Box::new(RaytraceLike::default()),
+    ]
+}
+
+/// The extended suite: the standard four kernels plus the FFT and Radix
+/// analogues the paper's footnote 2 ran ("yielded no additional insight").
+#[must_use]
+pub fn extended_suite() -> Vec<Box<dyn Workload>> {
+    let mut suite = standard_suite();
+    suite.push(Box::new(FftLike::default()));
+    suite.push(Box::new(RadixLike::default()));
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ProcId;
+    use cache_sim::Addr;
+
+    #[test]
+    fn interleaver_round_robins_chunks() {
+        let mut trace = Trace::new(2);
+        let s0: Vec<TraceRecord> =
+            (0..4).map(|i| TraceRecord::read(ProcId(0), Addr(i * 64))).collect();
+        let s1: Vec<TraceRecord> =
+            (0..2).map(|i| TraceRecord::read(ProcId(1), Addr(0x1000 + i * 64))).collect();
+        Interleaver::new(2).merge_into(&mut trace, &[s0, s1]);
+        let procs: Vec<usize> = trace.iter().map(|r| r.proc.0).collect();
+        assert_eq!(procs, vec![0, 0, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let mut a = Splitmix::new(5);
+        let mut b = Splitmix::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let x = a.next_u64();
+            assert_eq!(x, b.next_u64());
+            seen.insert(x % 10);
+        }
+        assert!(seen.len() >= 8, "values should spread across residues");
+    }
+
+    #[test]
+    fn chance_probability_sane() {
+        let mut rng = Splitmix::new(99);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn standard_suite_has_four_kernels() {
+        let suite = standard_suite();
+        let names: Vec<&str> = suite.iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["barnes", "lu", "ocean", "raytrace"]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Generic synthetic reference generators for tests and microbenchmarks.
+
+use super::{Splitmix, Workload};
+use crate::record::{ProcId, Trace, TraceRecord};
+use cache_sim::Addr;
+
+/// Uniform random references over a fixed footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformRandom {
+    /// Number of references to generate.
+    pub refs: usize,
+    /// Footprint in 64-byte blocks.
+    pub blocks: usize,
+    /// Number of processors (references round-robin across them).
+    pub procs: usize,
+    /// Fraction of writes.
+    pub write_fraction: f64,
+}
+
+impl Default for UniformRandom {
+    fn default() -> Self {
+        UniformRandom { refs: 100_000, blocks: 4096, procs: 1, write_fraction: 0.25 }
+    }
+}
+
+impl Workload for UniformRandom {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn problem_size(&self) -> String {
+        format!("{} blocks", self.blocks)
+    }
+
+    fn num_procs(&self) -> usize {
+        self.procs
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        let mut trace = Trace::new(self.procs);
+        let mut rng = Splitmix::new(seed);
+        for i in 0..self.refs {
+            let proc = ProcId(i % self.procs);
+            let addr = Addr(rng.below(self.blocks as u64) * 64);
+            if rng.chance(self.write_fraction) {
+                trace.push(TraceRecord::write(proc, addr));
+            } else {
+                trace.push(TraceRecord::read(proc, addr));
+            }
+        }
+        trace
+    }
+}
+
+/// Zipf-distributed references (hot blocks get most accesses), a common
+/// stand-in for skewed reuse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfRandom {
+    /// Number of references to generate.
+    pub refs: usize,
+    /// Footprint in 64-byte blocks.
+    pub blocks: usize,
+    /// Zipf exponent (1.0 = classic).
+    pub exponent: f64,
+    /// Fraction of writes.
+    pub write_fraction: f64,
+}
+
+impl Default for ZipfRandom {
+    fn default() -> Self {
+        ZipfRandom { refs: 100_000, blocks: 4096, exponent: 1.0, write_fraction: 0.1 }
+    }
+}
+
+impl Workload for ZipfRandom {
+    fn name(&self) -> &'static str {
+        "zipf"
+    }
+
+    fn problem_size(&self) -> String {
+        format!("{} blocks, a={}", self.blocks, self.exponent)
+    }
+
+    fn num_procs(&self) -> usize {
+        1
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        // Precompute the CDF once.
+        let mut weights: Vec<f64> = (1..=self.blocks)
+            .map(|r| 1.0 / (r as f64).powf(self.exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        let mut trace = Trace::new(1);
+        let mut rng = Splitmix::new(seed);
+        for _ in 0..self.refs {
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let idx = weights.partition_point(|&c| c < u).min(self.blocks - 1);
+            // Scatter ranks over the address space so hot blocks spread
+            // across cache sets.
+            let block = (idx as u64).wrapping_mul(0x9E37_79B9) % self.blocks as u64;
+            let addr = Addr(block * 64);
+            if rng.chance(self.write_fraction) {
+                trace.push(TraceRecord::write(ProcId(0), addr));
+            } else {
+                trace.push(TraceRecord::read(ProcId(0), addr));
+            }
+        }
+        trace
+    }
+}
+
+/// A repeating sequential scan over a footprint (the LRU-adversarial
+/// pattern: with footprint > capacity, LRU misses every reference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequentialScan {
+    /// Number of full passes over the footprint.
+    pub passes: usize,
+    /// Footprint in 64-byte blocks.
+    pub blocks: usize,
+}
+
+impl Default for SequentialScan {
+    fn default() -> Self {
+        SequentialScan { passes: 10, blocks: 1024 }
+    }
+}
+
+impl Workload for SequentialScan {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn problem_size(&self) -> String {
+        format!("{} blocks x {} passes", self.blocks, self.passes)
+    }
+
+    fn num_procs(&self) -> usize {
+        1
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        let mut trace = Trace::new(1);
+        for _ in 0..self.passes {
+            for b in 0..self.blocks {
+                trace.push(TraceRecord::read(ProcId(0), Addr((b * 64) as u64)));
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_footprint() {
+        let w = UniformRandom { refs: 50_000, blocks: 256, procs: 2, write_fraction: 0.5 };
+        let t = w.generate(1);
+        assert_eq!(t.len(), 50_000);
+        assert_eq!(t.footprint_bytes(64), 256 * 64);
+        assert!(t.refs_by(ProcId(0)) == 25_000);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let w = ZipfRandom { refs: 50_000, blocks: 1024, exponent: 1.0, write_fraction: 0.0 };
+        let t = w.generate(3);
+        let mut counts = std::collections::HashMap::new();
+        for r in &t {
+            *counts.entry(r.block(64).0).or_insert(0u64) += 1;
+        }
+        let mut freq: Vec<u64> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top16: u64 = freq.iter().take(16).sum();
+        assert!(
+            top16 as f64 > 0.3 * 50_000.0,
+            "top-16 blocks should dominate, got {top16}"
+        );
+    }
+
+    #[test]
+    fn scan_is_exact() {
+        let w = SequentialScan { passes: 3, blocks: 16 };
+        let t = w.generate(0);
+        assert_eq!(t.len(), 48);
+        assert_eq!(t.records()[0].addr, Addr(0));
+        assert_eq!(t.records()[16].addr, Addr(0));
+    }
+}

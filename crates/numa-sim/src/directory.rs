@@ -1,0 +1,139 @@
+//! Per-node MESI directory state (with replacement hints, Table 4).
+//!
+//! Each node is the *home* for the blocks first-touched by its processor.
+//! The home serializes transactions per block: while a transaction is
+//! pending, later requests queue at the home (home-side queueing in place
+//! of NACK/retry — a simplification that preserves latency ordering
+//! without modelling the full race matrix of an SGI-Origin-style protocol).
+
+use crate::config::Time;
+use crate::msg::{HomeState, Msg};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Directory sharing state of one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirState {
+    /// No cached copies.
+    Uncached,
+    /// Read-only copies at the listed nodes.
+    Shared(BTreeSet<usize>),
+    /// One exclusive (possibly dirty) copy.
+    Exclusive(usize),
+}
+
+impl DirState {
+    /// The Table 3 classification of this state.
+    #[must_use]
+    pub fn classify(&self) -> HomeState {
+        match self {
+            DirState::Uncached => HomeState::Uncached,
+            DirState::Shared(_) => HomeState::Shared,
+            DirState::Exclusive(_) => HomeState::Exclusive,
+        }
+    }
+}
+
+/// An in-flight transaction at the home.
+#[derive(Debug, Clone)]
+pub struct Pending {
+    /// The request being served.
+    pub msg: Msg,
+    /// Invalidation acks still outstanding.
+    pub acks_outstanding: usize,
+    /// When the memory read started alongside invalidations will complete
+    /// (0 when no memory read is in flight).
+    pub mem_ready: Time,
+    /// The owner was found without the block (its writeback is in flight);
+    /// the transaction completes when the writeback arrives.
+    pub awaiting_wb: bool,
+    /// Directory state observed when the request was accepted.
+    pub state_seen: HomeState,
+    /// Previous exclusive owner (for 3-hop classification).
+    pub prev_owner: usize,
+    /// Completion acknowledgements still outstanding (grant ack from the
+    /// requester, plus the owner ack for 3-hop transactions).
+    pub remaining: usize,
+}
+
+/// Directory entry for one block.
+#[derive(Debug, Clone)]
+pub struct DirEntry {
+    /// Sharing state.
+    pub state: DirState,
+    /// Active transaction, if any.
+    pub pending: Option<Pending>,
+    /// Requests queued behind the active transaction.
+    pub queue: VecDeque<Msg>,
+    /// A writeback arrived while a transaction was in flight and has been
+    /// applied to memory; a subsequent `FetchNack` completes immediately.
+    pub wb_banked: bool,
+}
+
+impl Default for DirEntry {
+    fn default() -> Self {
+        DirEntry {
+            state: DirState::Uncached,
+            pending: None,
+            queue: VecDeque::new(),
+            wb_banked: false,
+        }
+    }
+}
+
+/// The directory of one home node.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    #[must_use]
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// The entry for `block`, created Uncached on first touch.
+    pub fn entry(&mut self, block: u64) -> &mut DirEntry {
+        self.entries.entry(block).or_default()
+    }
+
+    /// Read-only view (tests).
+    #[must_use]
+    pub fn peek(&self, block: u64) -> Option<&DirEntry> {
+        self.entries.get(&block)
+    }
+
+    /// Number of tracked blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no blocks are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_defaults_uncached() {
+        let mut d = Directory::new();
+        let e = d.entry(42);
+        assert_eq!(e.state, DirState::Uncached);
+        assert!(e.pending.is_none());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn classify_states() {
+        assert_eq!(DirState::Uncached.classify(), HomeState::Uncached);
+        assert_eq!(DirState::Shared(BTreeSet::new()).classify(), HomeState::Shared);
+        assert_eq!(DirState::Exclusive(3).classify(), HomeState::Exclusive);
+    }
+}

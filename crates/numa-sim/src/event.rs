@@ -1,0 +1,107 @@
+//! The discrete-event engine.
+
+use crate::config::Time;
+use crate::msg::Msg;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Events dispatched by the simulator.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Resume the CPU of a node (after a stall resolved or a barrier).
+    CpuResume(usize),
+    /// A protocol message arrives at its destination.
+    MsgArrive(Msg),
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        // Sequence numbers break ties deterministically (FIFO).
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered, deterministic event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: Time, event: Event) {
+        self.seq += 1;
+        self.heap.push(Scheduled { time, seq: self.seq, event });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::CpuResume(3));
+        q.push(10, Event::CpuResume(1));
+        q.push(20, Event::CpuResume(2));
+        let order: Vec<Time> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(10, Event::CpuResume(1));
+        q.push(10, Event::CpuResume(2));
+        match (q.pop(), q.pop()) {
+            (Some((_, Event::CpuResume(a))), Some((_, Event::CpuResume(b)))) => {
+                assert_eq!((a, b), (1, 2));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

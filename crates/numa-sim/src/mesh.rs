@@ -1,0 +1,157 @@
+//! The 4×4 mesh interconnect (Table 4: 64-bit links, 6 ns flit delay).
+//!
+//! XY dimension-order routing with store-and-forward timing and per-link
+//! occupancy: each directed link is busy for `flits × flit_ns` per message,
+//! so contention delays messages that share links. (Real wormhole routing
+//! pipelines flits across hops; store-and-forward is conservative but
+//! preserves the relative load behaviour the experiments depend on.)
+//!
+//! Link windows are reserved in *call* order, and CPUs run ahead of global
+//! time in bursts, so a message with an earlier departure can occasionally
+//! queue behind a window reserved for a later one. The distortion is
+//! bounded by burst lengths (a burst ends at the first L2 miss), fully
+//! deterministic, and second-order relative to the serialization and
+//! occupancy effects being modelled.
+
+use crate::config::{SystemConfig, Time};
+use std::collections::HashMap;
+
+/// The mesh network state (link occupancy).
+#[derive(Debug, Default)]
+pub struct Mesh {
+    /// busy-until time per directed link (from, to).
+    links: HashMap<(usize, usize), Time>,
+    /// Accumulated statistics.
+    stats: MeshStats,
+}
+
+/// Counters for the interconnect.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MeshStats {
+    /// Messages transferred (excluding node-local ones).
+    pub messages: u64,
+    /// Flits transferred across all links.
+    pub flits: u64,
+    /// Total queueing delay (ps) accumulated behind busy links.
+    pub contention_ps: u64,
+}
+
+impl Mesh {
+    /// Creates an idle mesh.
+    #[must_use]
+    pub fn new() -> Self {
+        Mesh::default()
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MeshStats {
+        &self.stats
+    }
+
+    /// The XY route from `a` to `b` as a list of node indices.
+    fn route(cfg: &SystemConfig, a: usize, b: usize) -> Vec<usize> {
+        let side = cfg.mesh_side();
+        let (mut x, y0) = (a % side, a / side);
+        let (bx, by) = (b % side, b / side);
+        let mut path = vec![a];
+        while x != bx {
+            x = if x < bx { x + 1 } else { x - 1 };
+            path.push(y0 * side + x);
+        }
+        let mut y = y0;
+        while y != by {
+            y = if y < by { y + 1 } else { y - 1 };
+            path.push(y * side + x);
+        }
+        path
+    }
+
+    /// Sends a message of `flits` flits from `from` to `to`, departing at
+    /// `depart`. Returns the arrival time, accounting for NI, router and
+    /// link-occupancy delays. Node-local messages arrive instantly.
+    pub fn send(&mut self, cfg: &SystemConfig, from: usize, to: usize, flits: u64, depart: Time) -> Time {
+        if from == to {
+            return depart;
+        }
+        let path = Self::route(cfg, from, to);
+        let mut t = depart + cfg.ni_ns * 1000;
+        for pair in path.windows(2) {
+            let link = (pair[0], pair[1]);
+            let busy = self.links.entry(link).or_insert(0);
+            let start = t.max(*busy);
+            self.stats.contention_ps += start - t;
+            let occupancy = flits * cfg.flit_ns * 1000;
+            *busy = start + occupancy;
+            t = start + occupancy + cfg.router_ns * 1000;
+        }
+        self.stats.messages += 1;
+        self.stats.flits += flits * (path.len() as u64 - 1);
+        t + cfg.ni_ns * 1000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ns, Clock};
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::table4(Clock::Mhz500)
+    }
+
+    #[test]
+    fn local_is_free() {
+        let mut m = Mesh::new();
+        assert_eq!(m.send(&cfg(), 3, 3, 10, 12345), 12345);
+        assert_eq!(m.stats().messages, 0);
+    }
+
+    #[test]
+    fn unloaded_latency_matches_analytic_model() {
+        let cfg = cfg();
+        let mut m = Mesh::new();
+        for (from, to) in [(0usize, 1usize), (0, 15), (5, 10)] {
+            for flits in [2u64, 10] {
+                let arrival = m.send(&cfg, from, to, flits, 0);
+                // A fresh path per test pair would be unloaded; this mesh has
+                // seen earlier sends, so allow equality-or-later and check
+                // the first (cold) send against the analytic formula.
+                let analytic = ns(cfg.unloaded_msg_ns(from, to, flits));
+                assert!(arrival >= analytic, "{from}->{to}");
+            }
+        }
+        // A genuinely cold link: exact match.
+        let mut fresh = Mesh::new();
+        let arrival = fresh.send(&cfg, 0, 1, 2, 0);
+        assert_eq!(arrival, ns(cfg.unloaded_msg_ns(0, 1, 2)));
+    }
+
+    #[test]
+    fn xy_route_shape() {
+        let cfg = cfg();
+        let path = Mesh::route(&cfg, 0, 15);
+        assert_eq!(path, vec![0, 1, 2, 3, 7, 11, 15]);
+        let path = Mesh::route(&cfg, 10, 5);
+        assert_eq!(path, vec![10, 9, 5]);
+    }
+
+    #[test]
+    fn contention_delays_second_message() {
+        let cfg = cfg();
+        let mut m = Mesh::new();
+        let a = m.send(&cfg, 0, 1, 10, 0);
+        let b = m.send(&cfg, 0, 1, 10, 0);
+        assert!(b > a, "sharing the 0->1 link must delay the second message");
+        assert!(m.stats().contention_ps > 0);
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_interfere() {
+        let cfg = cfg();
+        let mut m = Mesh::new();
+        let a = m.send(&cfg, 0, 1, 10, 0);
+        let b = m.send(&cfg, 14, 15, 10, 0);
+        assert_eq!(a - 0, b - 0, "disjoint links should see identical latency");
+    }
+}

@@ -1,0 +1,147 @@
+//! Protocol messages of the MESI directory protocol with replacement hints.
+
+use crate::config::Time;
+use cache_sim::BlockAddr;
+
+/// Directory state of a block at its home, as seen when a request was
+/// processed (used for the Table 3 classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HomeState {
+    /// Uncached at the home directory.
+    Uncached,
+    /// Shared by one or more caches.
+    Shared,
+    /// Exclusively owned by one cache.
+    Exclusive,
+}
+
+/// Message kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    // Requests (cache -> home directory).
+    /// Read request.
+    GetS,
+    /// Read-exclusive request.
+    GetX,
+    /// Ownership upgrade for a block already cached shared.
+    Upgrade,
+    /// Replacement hint: clean shared block evicted.
+    ReplHint,
+    /// Dirty (owned) block written back on eviction.
+    WriteBack,
+
+    // Home -> cache.
+    /// Data reply, shared grant.
+    DataS,
+    /// Data reply, exclusive grant.
+    DataE,
+    /// Upgrade acknowledgement (no data).
+    UpgAck,
+    /// Forwarded read: owner must supply data and downgrade.
+    FetchS,
+    /// Forwarded invalidate: owner must supply data and invalidate.
+    FetchInval,
+    /// Invalidate a shared copy.
+    InvalReq,
+
+    // Cache -> home (transaction completion).
+    /// Sharer acknowledges an invalidation.
+    InvalAck,
+    /// Owner downgraded and forwarded data (carries dirty data home).
+    DownAck,
+    /// Owner invalidated and forwarded data.
+    OwnerAck,
+    /// Owner no longer has the block (writeback in flight).
+    FetchNack,
+    /// Requester confirms receipt of a grant; the home releases the block's
+    /// transaction serialization (Origin-style busy-until-ack).
+    GrantAck,
+
+    // Owner -> requester (3-hop data forwarding).
+    /// Forwarded data, shared grant.
+    OwnerDataS,
+    /// Forwarded data, exclusive grant.
+    OwnerDataE,
+}
+
+impl MsgKind {
+    /// Whether this message carries a data block (affects flit count).
+    #[must_use]
+    pub fn carries_data(self) -> bool {
+        matches!(
+            self,
+            MsgKind::DataS
+                | MsgKind::DataE
+                | MsgKind::WriteBack
+                | MsgKind::OwnerDataS
+                | MsgKind::OwnerDataE
+                | MsgKind::DownAck
+        )
+    }
+}
+
+/// A protocol message in flight.
+#[derive(Debug, Clone, Copy)]
+pub struct Msg {
+    /// Kind.
+    pub kind: MsgKind,
+    /// Sending node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Subject block.
+    pub block: BlockAddr,
+    /// The original requester of the transaction this message belongs to.
+    pub requester: usize,
+    /// Timestamp of the original request issue (carried end-to-end so the
+    /// requester can measure the miss latency, Section 4.1).
+    pub issue_ts: Time,
+    /// Directory state observed at the home when the request was processed
+    /// (filled in on replies; `Uncached` otherwise).
+    pub home_state: HomeState,
+    /// Identity of the previous exclusive owner for 3-hop transactions
+    /// (`usize::MAX` when not applicable).
+    pub owner: usize,
+    /// Analytic unloaded latency of the whole transaction, computed by the
+    /// home when it serves the request (ns). Drives the Table 3 analysis.
+    pub unloaded_ns: u64,
+}
+
+impl Msg {
+    /// Creates a request message from `src` about `block` to `dst`.
+    #[must_use]
+    pub fn request(kind: MsgKind, src: usize, dst: usize, block: BlockAddr, issue_ts: Time) -> Self {
+        Msg {
+            kind,
+            src,
+            dst,
+            block,
+            requester: src,
+            issue_ts,
+            home_state: HomeState::Uncached,
+            owner: usize::MAX,
+            unloaded_ns: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_messages_identified() {
+        assert!(MsgKind::DataS.carries_data());
+        assert!(MsgKind::WriteBack.carries_data());
+        assert!(!MsgKind::GetS.carries_data());
+        assert!(!MsgKind::InvalAck.carries_data());
+    }
+
+    #[test]
+    fn request_constructor() {
+        let m = Msg::request(MsgKind::GetS, 3, 7, BlockAddr(42), 1000);
+        assert_eq!(m.requester, 3);
+        assert_eq!(m.dst, 7);
+        assert_eq!(m.issue_ts, 1000);
+    }
+}

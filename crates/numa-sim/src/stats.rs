@@ -1,0 +1,274 @@
+//! Simulation statistics, including the Table 3 latency-correlation matrix.
+
+use crate::config::Time;
+use crate::msg::HomeState;
+
+/// Request type of a miss, for the Table 3 classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReqType {
+    /// A read (GetS).
+    Read,
+    /// A read-exclusive (GetX or upgrade).
+    RdExcl,
+}
+
+/// The Table 3 attributes of one miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissClass {
+    /// Read or read-exclusive.
+    pub req: ReqType,
+    /// Directory state at the home when served.
+    pub home_state: HomeState,
+    /// Analytic unloaded latency of the transaction, ns.
+    pub unloaded_ns: u64,
+}
+
+impl MissClass {
+    /// Row/column index in the 6×6 matrix (read × U/S/E, rd-excl × U/S/E).
+    #[must_use]
+    pub fn index(&self) -> usize {
+        let r = match self.req {
+            ReqType::Read => 0,
+            ReqType::RdExcl => 3,
+        };
+        let s = match self.home_state {
+            HomeState::Uncached => 0,
+            HomeState::Shared => 1,
+            HomeState::Exclusive => 2,
+        };
+        r + s
+    }
+
+    /// Human-readable label for matrix axis `i` (0..6).
+    #[must_use]
+    pub fn label(i: usize) -> &'static str {
+        ["rd/U", "rd/S", "rd/E", "rx/U", "rx/S", "rx/E"][i]
+    }
+}
+
+/// One cell of the Table 3 matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Table3Cell {
+    /// Consecutive-miss pairs falling in this cell.
+    pub count: u64,
+    /// Pairs whose unloaded latencies differ.
+    pub mismatches: u64,
+    /// Sum of |Δ unloaded latency| over mismatching pairs, ns.
+    pub err_sum_ns: u64,
+}
+
+impl Table3Cell {
+    /// Mismatch fraction within the cell.
+    #[must_use]
+    pub fn mismatch_pct(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            100.0 * self.mismatches as f64 / self.count as f64
+        }
+    }
+
+    /// Mean |Δ latency| over mismatching pairs, ns.
+    #[must_use]
+    pub fn avg_err_ns(&self) -> f64 {
+        if self.mismatches == 0 {
+            0.0
+        } else {
+            self.err_sum_ns as f64 / self.mismatches as f64
+        }
+    }
+}
+
+/// The full consecutive-miss correlation matrix (Table 3).
+#[derive(Debug, Clone, Default)]
+pub struct Table3Matrix {
+    cells: [[Table3Cell; 6]; 6],
+    total_pairs: u64,
+}
+
+impl Table3Matrix {
+    /// Creates an empty matrix.
+    #[must_use]
+    pub fn new() -> Self {
+        Table3Matrix::default()
+    }
+
+    /// Records a consecutive miss pair (`last`, `current`) to the same
+    /// block by the same processor.
+    pub fn record(&mut self, last: MissClass, current: MissClass) {
+        let cell = &mut self.cells[last.index()][current.index()];
+        cell.count += 1;
+        if last.unloaded_ns != current.unloaded_ns {
+            cell.mismatches += 1;
+            cell.err_sum_ns += last.unloaded_ns.abs_diff(current.unloaded_ns);
+        }
+        self.total_pairs += 1;
+    }
+
+    /// The cell for (`last_idx`, `cur_idx`).
+    #[must_use]
+    pub fn cell(&self, last_idx: usize, cur_idx: usize) -> &Table3Cell {
+        &self.cells[last_idx][cur_idx]
+    }
+
+    /// Total recorded pairs.
+    #[must_use]
+    pub fn total_pairs(&self) -> u64 {
+        self.total_pairs
+    }
+
+    /// Occurrence percentage of a cell.
+    #[must_use]
+    pub fn occurrence_pct(&self, last_idx: usize, cur_idx: usize) -> f64 {
+        if self.total_pairs == 0 {
+            0.0
+        } else {
+            100.0 * self.cells[last_idx][cur_idx].count as f64 / self.total_pairs as f64
+        }
+    }
+
+    /// Percentage of all pairs whose unloaded latency repeats (the paper's
+    /// headline "93 % of misses" figure).
+    #[must_use]
+    pub fn same_latency_pct(&self) -> f64 {
+        if self.total_pairs == 0 {
+            return 0.0;
+        }
+        let mismatches: u64 =
+            self.cells.iter().flatten().map(|c| c.mismatches).sum();
+        100.0 * (self.total_pairs - mismatches) as f64 / self.total_pairs as f64
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &Table3Matrix) {
+        for i in 0..6 {
+            for j in 0..6 {
+                let a = &mut self.cells[i][j];
+                let b = &other.cells[i][j];
+                a.count += b.count;
+                a.mismatches += b.mismatches;
+                a.err_sum_ns += b.err_sum_ns;
+            }
+        }
+        self.total_pairs += other.total_pairs;
+    }
+}
+
+/// Per-node execution statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeStats {
+    /// References executed.
+    pub refs: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (coherence transactions, excluding upgrades).
+    pub l2_misses: u64,
+    /// Ownership upgrades issued.
+    pub upgrades: u64,
+    /// Sum of measured miss latencies, ps.
+    pub miss_latency_ps: u64,
+    /// Invalidations received.
+    pub invals_received: u64,
+    /// Writebacks sent.
+    pub writebacks: u64,
+    /// Replacement hints sent.
+    pub repl_hints: u64,
+    /// Cycles (ps) this CPU spent stalled waiting for memory.
+    pub stall_ps: u64,
+}
+
+impl NodeStats {
+    /// Average measured miss latency in ns.
+    #[must_use]
+    pub fn avg_miss_latency_ns(&self) -> f64 {
+        if self.l2_misses == 0 {
+            0.0
+        } else {
+            self.miss_latency_ps as f64 / self.l2_misses as f64 / 1000.0
+        }
+    }
+}
+
+/// The result of one whole-machine simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// End-to-end execution time, ps.
+    pub exec_time_ps: Time,
+    /// Per-node statistics.
+    pub nodes: Vec<NodeStats>,
+    /// The Table 3 correlation matrix (aggregated over all nodes).
+    pub table3: Table3Matrix,
+}
+
+impl SimResult {
+    /// Execution time in microseconds.
+    #[must_use]
+    pub fn exec_time_us(&self) -> f64 {
+        self.exec_time_ps as f64 / 1e6
+    }
+
+    /// Aggregate L2 miss count.
+    #[must_use]
+    pub fn total_misses(&self) -> u64 {
+        self.nodes.iter().map(|n| n.l2_misses).sum()
+    }
+
+    /// Machine-wide average miss latency, ns.
+    #[must_use]
+    pub fn avg_miss_latency_ns(&self) -> f64 {
+        let misses = self.total_misses();
+        if misses == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.nodes.iter().map(|n| n.miss_latency_ps).sum();
+        sum as f64 / misses as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(req: ReqType, hs: HomeState, lat: u64) -> MissClass {
+        MissClass { req, home_state: hs, unloaded_ns: lat }
+    }
+
+    #[test]
+    fn matrix_indexing() {
+        assert_eq!(class(ReqType::Read, HomeState::Uncached, 0).index(), 0);
+        assert_eq!(class(ReqType::Read, HomeState::Exclusive, 0).index(), 2);
+        assert_eq!(class(ReqType::RdExcl, HomeState::Uncached, 0).index(), 3);
+        assert_eq!(class(ReqType::RdExcl, HomeState::Exclusive, 0).index(), 5);
+    }
+
+    #[test]
+    fn record_and_percentages() {
+        let mut m = Table3Matrix::new();
+        let a = class(ReqType::Read, HomeState::Shared, 380);
+        let b = class(ReqType::Read, HomeState::Shared, 380);
+        let c = class(ReqType::Read, HomeState::Exclusive, 480);
+        m.record(a, b); // same latency
+        m.record(b, c); // mismatch, |480-380| = 100
+        assert_eq!(m.total_pairs(), 2);
+        assert!((m.same_latency_pct() - 50.0).abs() < 1e-9);
+        assert!((m.occurrence_pct(1, 1) - 50.0).abs() < 1e-9);
+        let cell = m.cell(1, 2);
+        assert_eq!(cell.mismatches, 1);
+        assert!((cell.avg_err_ns() - 100.0).abs() < 1e-9);
+        assert!((cell.mismatch_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut m1 = Table3Matrix::new();
+        let mut m2 = Table3Matrix::new();
+        let a = class(ReqType::Read, HomeState::Uncached, 120);
+        m1.record(a, a);
+        m2.record(a, a);
+        m1.merge(&m2);
+        assert_eq!(m1.total_pairs(), 2);
+        assert_eq!(m1.cell(0, 0).count, 2);
+    }
+}

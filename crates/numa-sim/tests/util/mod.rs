@@ -1,0 +1,37 @@
+//! Shared helpers for the numa-sim integration tests.
+
+use cache_sim::Geometry;
+use mem_trace::{Phase, PhasedTrace, ProcId, TraceRecord};
+use numa_sim::{Clock, SystemConfig};
+
+/// A 2x2-mesh Table-4 machine.
+pub fn cfg4() -> SystemConfig {
+    let mut cfg = SystemConfig::table4(Clock::Mhz500);
+    cfg.num_nodes = 4;
+    cfg
+}
+
+/// An LRU policy factory for `System::new`.
+pub fn lru_factory() -> Box<dyn Fn(&Geometry) -> numa_sim::L2Policy> {
+    Box::new(|_g: &Geometry| Box::new(cache_sim::Lru::new()))
+}
+
+/// Builds a phased trace from (phase -> proc -> list of (addr, is_write)).
+pub fn trace_of(num_procs: usize, phases: &[Vec<(usize, Vec<(u64, bool)>)>]) -> PhasedTrace {
+    let mut pt = PhasedTrace::new(num_procs);
+    for phase in phases {
+        let mut streams = vec![Vec::new(); num_procs];
+        for (proc, refs) in phase {
+            for &(addr, w) in refs {
+                let rec = if w {
+                    TraceRecord::write(ProcId(*proc), cache_sim::Addr(addr))
+                } else {
+                    TraceRecord::read(ProcId(*proc), cache_sim::Addr(addr))
+                };
+                streams[*proc].push(rec);
+            }
+        }
+        pt.push(Phase::from_streams(streams));
+    }
+    pt
+}

@@ -1,0 +1,73 @@
+//! End-to-end tests of the `experiments` binary: the harness a downstream
+//! user actually runs.
+
+use std::process::Command;
+use std::sync::OnceLock;
+
+fn experiments() -> Command {
+    // Build once per test process (the three tests would otherwise race
+    // three cargo invocations on the target-dir lock). Caveat: a build
+    // target triple (CARGO_BUILD_TARGET) or a build.target-dir set only in
+    // .cargo/config.toml is not handled; export CARGO_TARGET_DIR for those
+    // setups.
+    static BUILT: OnceLock<()> = OnceLock::new();
+    BUILT.get_or_init(|| {
+        let status = Command::new(env!("CARGO"))
+            .args(["build", "--release", "-p", "csr-bench", "--bin", "experiments"])
+            .status()
+            .expect("cargo build");
+        assert!(status.success(), "experiments binary must build");
+    });
+    let mut path = std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            p.push("target");
+            p
+        });
+    path.push("release/experiments");
+    Command::new(path)
+}
+
+#[test]
+fn hwcost_reports_paper_numbers() {
+    let out = experiments().arg("hwcost").output().expect("run hwcost");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The quantized encoding must reproduce the paper's exact bit counts:
+    // match each policy row's trailing bits/set value, not bare substrings.
+    let quantized: Vec<(&str, &str)> =
+        vec![("Bcl", "11"), ("Gd", "20"), ("Dcl", "32"), ("Acl", "35")];
+    let quant_section = text.split("quantized-latency").nth(1).expect("quantized section");
+    for (policy, bits) in quantized {
+        let row = quant_section
+            .lines()
+            .find(|l| l.trim_start().starts_with(policy))
+            .unwrap_or_else(|| panic!("no {policy} row in:\n{quant_section}"));
+        assert!(
+            row.trim_end().ends_with(bits),
+            "{policy} row must end with {bits}: {row:?}"
+        );
+    }
+    assert!(text.contains("6.61"), "DCL dynamic overhead %");
+}
+
+#[test]
+fn table4_reports_unloaded_latencies() {
+    let out = experiments().arg("table4").output().expect("run table4");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("local clean"));
+    assert!(text.contains("380"), "paper target shown");
+    assert!(text.contains("MESI with replacement hints"));
+}
+
+#[test]
+fn bad_usage_exits_2_with_usage_line() {
+    for args in [vec![], vec!["bogus"], vec!["table1", "--threads", "x"]] {
+        let out = experiments().args(&args).output().expect("run");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage:"), "args {args:?}: {err}");
+    }
+}

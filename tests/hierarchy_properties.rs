@@ -1,0 +1,134 @@
+//! Property tests of the two-level hierarchy and the offline oracles
+//! against the on-line policies (added post-initial-review).
+
+use cost_sensitive_cache::policies::csopt::{simulate_csopt, CsoptLimits};
+use cost_sensitive_cache::policies::{Acl, Bcl, Dcl, GreedyDual, TraceEvent};
+use cost_sensitive_cache::sim::{
+    AccessType, BlockAddr, Cache, Cost, Geometry, InvalidateKind, Lru, ReplacementPolicy,
+    TwoLevel,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Read(u64),
+    Write(u64),
+    Invalidate(u64),
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    let s = prop_oneof![
+        4 => (0u64..24).prop_map(Step::Read),
+        2 => (0u64..24).prop_map(Step::Write),
+        1 => (0u64..24).prop_map(Step::Invalidate),
+    ];
+    prop::collection::vec(s, 1..250)
+}
+
+fn cost_of(b: u64) -> Cost {
+    if b % 3 == 0 {
+        Cost(9)
+    } else {
+        Cost(1)
+    }
+}
+
+proptest! {
+    /// CSOPT is a true lower bound on the aggregate cost of every on-line
+    /// policy (the defining property of the offline optimum).
+    #[test]
+    fn csopt_lower_bounds_every_online_policy(script in steps()) {
+        let geom = Geometry::new(512, 64, 4); // 2 sets x 4 ways
+        let mut events = Vec::new();
+        for st in &script {
+            match *st {
+                Step::Read(b) | Step::Write(b) => {
+                    events.push(TraceEvent::Access { block: BlockAddr(b), cost: cost_of(b) });
+                }
+                Step::Invalidate(b) => {
+                    events.push(TraceEvent::Invalidate { block: BlockAddr(b) });
+                }
+            }
+        }
+        let opt = simulate_csopt(&geom, &events, CsoptLimits::default())
+            .expect("24 blocks / 4 ways stays tractable");
+
+        fn run<P: ReplacementPolicy>(geom: Geometry, policy: P, script: &[Step]) -> Cost {
+            let mut c = Cache::new(geom, policy);
+            for st in script {
+                match *st {
+                    Step::Read(b) => {
+                        c.access(BlockAddr(b), AccessType::Read, cost_of(b));
+                    }
+                    Step::Write(b) => {
+                        c.access(BlockAddr(b), AccessType::Write, cost_of(b));
+                    }
+                    Step::Invalidate(b) => {
+                        c.invalidate(BlockAddr(b), InvalidateKind::Coherence);
+                    }
+                }
+            }
+            c.stats().aggregate_cost
+        }
+
+        for (name, cost) in [
+            ("LRU", run(geom, Lru::new(), &script)),
+            ("GD", run(geom, GreedyDual::new(&geom), &script)),
+            ("BCL", run(geom, Bcl::new(&geom), &script)),
+            ("DCL", run(geom, Dcl::new(&geom), &script)),
+            ("ACL", run(geom, Acl::new(&geom), &script)),
+        ] {
+            prop_assert!(
+                opt.aggregate_cost <= cost,
+                "CSOPT {} must lower-bound {} {}", opt.aggregate_cost, name, cost
+            );
+        }
+    }
+
+    /// The L1 filter never changes L2 *correctness*: the hierarchy and a
+    /// bare L2 agree on which accesses are L2-visible misses... more
+    /// precisely, inclusion holds at every step and hierarchy hit counts
+    /// are self-consistent.
+    #[test]
+    fn hierarchy_inclusion_holds_under_arbitrary_scripts(script in steps()) {
+        let l1 = Geometry::direct_mapped(256, 64); // 4 sets
+        let l2 = Geometry::new(1024, 64, 4); // 4 sets x 4 ways
+        let mut h = TwoLevel::new(l1, l2, Lru::new());
+        for st in &script {
+            match *st {
+                Step::Read(b) => {
+                    h.access(BlockAddr(b), AccessType::Read, cost_of(b));
+                }
+                Step::Write(b) => {
+                    h.access(BlockAddr(b), AccessType::Write, cost_of(b));
+                }
+                Step::Invalidate(b) => h.invalidate(BlockAddr(b)),
+            }
+            for blk in h.l1().resident_blocks() {
+                prop_assert!(h.l2().contains(blk), "L1 block {blk} missing from L2");
+            }
+        }
+        let s1 = h.l1().stats();
+        prop_assert_eq!(s1.hits + s1.misses, s1.accesses);
+    }
+
+    /// An L1 hit must never reach the L2: L2 accesses equal L1 misses.
+    #[test]
+    fn l2_sees_exactly_the_l1_miss_stream(script in steps()) {
+        let l1 = Geometry::direct_mapped(256, 64);
+        let l2 = Geometry::new(1024, 64, 4);
+        let mut h = TwoLevel::new(l1, l2, Lru::new());
+        for st in &script {
+            match *st {
+                Step::Read(b) => {
+                    h.access(BlockAddr(b), AccessType::Read, Cost(1));
+                }
+                Step::Write(b) => {
+                    h.access(BlockAddr(b), AccessType::Write, Cost(1));
+                }
+                Step::Invalidate(b) => h.invalidate(BlockAddr(b)),
+            }
+        }
+        prop_assert_eq!(h.l2().stats().accesses, h.l1().stats().misses);
+    }
+}

@@ -1,0 +1,249 @@
+//! Property-based tests (proptest) of the core invariants listed in
+//! DESIGN.md §6.
+
+use cost_sensitive_cache::policies::{
+    simulate_belady, Acl, Bcl, Dcl, GreedyDual, TraceEvent,
+};
+use cost_sensitive_cache::sim::{
+    AccessType, BlockAddr, Cache, Cost, Geometry, InvalidateKind, Lru, ReplacementPolicy,
+    SetIndex,
+};
+use proptest::prelude::*;
+
+/// One step of a random cache script.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Read(u64),
+    Write(u64),
+    Invalidate(u64),
+}
+
+fn step_strategy(blocks: u64) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0..blocks).prop_map(Step::Read),
+        2 => (0..blocks).prop_map(Step::Write),
+        1 => (0..blocks).prop_map(Step::Invalidate),
+    ]
+}
+
+fn script_strategy() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(step_strategy(48), 1..400)
+}
+
+/// Cost of a block under a deterministic two-cost mapping.
+fn cost_of(block: u64, ratio: u64) -> Cost {
+    if block % 3 == 0 {
+        Cost(ratio)
+    } else {
+        Cost(1)
+    }
+}
+
+fn small_geom() -> Geometry {
+    // 4 sets x 4 ways: plenty of conflicts from 48 blocks.
+    Geometry::new(1024, 64, 4)
+}
+
+fn run_script<P: ReplacementPolicy>(
+    geom: Geometry,
+    policy: P,
+    script: &[Step],
+    ratio: u64,
+) -> (Cache<P>, Vec<bool>) {
+    let mut cache = Cache::new(geom, policy);
+    let mut hits = Vec::new();
+    for step in script {
+        match *step {
+            Step::Read(b) => {
+                hits.push(cache.access(BlockAddr(b), AccessType::Read, cost_of(b, ratio)).hit);
+            }
+            Step::Write(b) => {
+                hits.push(cache.access(BlockAddr(b), AccessType::Write, cost_of(b, ratio)).hit);
+            }
+            Step::Invalidate(b) => {
+                cache.invalidate(BlockAddr(b), InvalidateKind::Coherence);
+            }
+        }
+    }
+    (cache, hits)
+}
+
+proptest! {
+    /// Invariant 1: with uniform costs (ratio 1), BCL/DCL/ACL produce the
+    /// exact hit/miss sequence of LRU on arbitrary scripts.
+    #[test]
+    fn uniform_costs_equal_lru(script in script_strategy()) {
+        let geom = small_geom();
+        let (_, lru_hits) = run_script(geom, Lru::new(), &script, 1);
+        let (_, bcl_hits) = run_script(geom, Bcl::new(&geom), &script, 1);
+        let (_, dcl_hits) = run_script(geom, Dcl::new(&geom), &script, 1);
+        let (_, acl_hits) = run_script(geom, Acl::new(&geom), &script, 1);
+        prop_assert_eq!(&lru_hits, &bcl_hits);
+        prop_assert_eq!(&lru_hits, &dcl_hits);
+        prop_assert_eq!(&lru_hits, &acl_hits);
+    }
+
+    /// Invariant 2: the recency stack never holds duplicate blocks and
+    /// never exceeds the associativity, for every policy.
+    #[test]
+    fn recency_stacks_stay_well_formed(script in script_strategy()) {
+        let geom = small_geom();
+        macro_rules! check {
+            ($policy:expr) => {{
+                let (cache, _) = run_script(geom, $policy, &script, 8);
+                for set in 0..geom.num_sets() {
+                    let stack = cache.recency_of(SetIndex(set));
+                    prop_assert!(stack.len() <= geom.assoc());
+                    let mut dedup = stack.clone();
+                    dedup.sort_unstable_by_key(|b| b.0);
+                    dedup.dedup();
+                    prop_assert_eq!(dedup.len(), stack.len(), "duplicate tags in set {}", set);
+                }
+            }};
+        }
+        check!(Lru::new());
+        check!(GreedyDual::new(&geom));
+        check!(Bcl::new(&geom));
+        check!(Dcl::new(&geom));
+        check!(Acl::new(&geom));
+    }
+
+    /// Invariant 3: DCL's ETD tags stay disjoint from resident tags and
+    /// within the s-1 capacity.
+    #[test]
+    fn etd_disjoint_and_bounded(script in script_strategy()) {
+        let geom = small_geom();
+        let mut cache = Cache::new(geom, Dcl::new(&geom));
+        for step in &script {
+            match *step {
+                Step::Read(b) => {
+                    cache.access(BlockAddr(b), AccessType::Read, cost_of(b, 8));
+                }
+                Step::Write(b) => {
+                    cache.access(BlockAddr(b), AccessType::Write, cost_of(b, 8));
+                }
+                Step::Invalidate(b) => {
+                    cache.invalidate(BlockAddr(b), InvalidateKind::Coherence);
+                }
+            }
+            for set in 0..geom.num_sets() {
+                let etd_blocks = cache.policy().etd().blocks_in(SetIndex(set));
+                prop_assert!(etd_blocks.len() <= geom.assoc() - 1);
+                for eb in etd_blocks {
+                    prop_assert!(
+                        !cache.contains(eb),
+                        "block {} in both cache and ETD", eb
+                    );
+                }
+            }
+        }
+    }
+
+    /// Invariant 4: the aggregate cost always equals the sum of the costs
+    /// charged on misses.
+    #[test]
+    fn aggregate_cost_is_sum_of_misses(script in script_strategy()) {
+        let geom = small_geom();
+        for kind in 0..4 {
+            let policy: Box<dyn ReplacementPolicy> = match kind {
+                0 => Box::new(Lru::new()),
+                1 => Box::new(GreedyDual::new(&geom)),
+                2 => Box::new(Bcl::new(&geom)),
+                _ => Box::new(Dcl::new(&geom)),
+            };
+            let mut cache = Cache::new(geom, policy);
+            let mut total = Cost::ZERO;
+            for step in &script {
+                match *step {
+                    Step::Read(b) => {
+                        total += cache
+                            .access(BlockAddr(b), AccessType::Read, cost_of(b, 16))
+                            .cost_charged;
+                    }
+                    Step::Write(b) => {
+                        total += cache
+                            .access(BlockAddr(b), AccessType::Write, cost_of(b, 16))
+                            .cost_charged;
+                    }
+                    Step::Invalidate(b) => {
+                        cache.invalidate(BlockAddr(b), InvalidateKind::Coherence);
+                    }
+                }
+            }
+            prop_assert_eq!(total, cache.stats().aggregate_cost);
+        }
+    }
+
+    /// Invariant 5: BCL's depreciated cost never exceeds the miss cost of
+    /// the block it tracks.
+    #[test]
+    fn acost_bounded_by_block_cost(script in script_strategy()) {
+        let geom = small_geom();
+        let mut cache = Cache::new(geom, Bcl::new(&geom));
+        let max_cost = 16u64;
+        for step in &script {
+            match *step {
+                Step::Read(b) => {
+                    cache.access(BlockAddr(b), AccessType::Read, cost_of(b, max_cost));
+                }
+                Step::Write(b) => {
+                    cache.access(BlockAddr(b), AccessType::Write, cost_of(b, max_cost));
+                }
+                Step::Invalidate(b) => {
+                    cache.invalidate(BlockAddr(b), InvalidateKind::Coherence);
+                }
+            }
+            for set in 0..geom.num_sets() {
+                prop_assert!(cache.policy().acost_of(SetIndex(set)) <= max_cost);
+            }
+        }
+    }
+
+    /// Invariant 7: Belady's OPT never misses more than LRU.
+    #[test]
+    fn belady_is_a_miss_floor(script in script_strategy()) {
+        let geom = small_geom();
+        let mut events = Vec::new();
+        for step in &script {
+            match *step {
+                Step::Read(b) | Step::Write(b) => {
+                    events.push(TraceEvent::Access { block: BlockAddr(b), cost: Cost(1) });
+                }
+                Step::Invalidate(b) => {
+                    events.push(TraceEvent::Invalidate { block: BlockAddr(b) });
+                }
+            }
+        }
+        let opt = simulate_belady(&geom, &events);
+        let mut lru = Cache::new(geom, Lru::new());
+        let mut lru_misses = 0u64;
+        for ev in &events {
+            match *ev {
+                TraceEvent::Access { block, cost } => {
+                    if !lru.access(block, AccessType::Read, cost).hit {
+                        lru_misses += 1;
+                    }
+                }
+                TraceEvent::Invalidate { block } => {
+                    lru.invalidate(block, InvalidateKind::Coherence);
+                }
+            }
+        }
+        prop_assert!(opt.misses <= lru_misses, "OPT {} > LRU {}", opt.misses, lru_misses);
+    }
+
+    /// GD's H values never make it evict a just-filled MRU block while a
+    /// zero-H block sits in the set (sanity of the depreciation flow), and
+    /// the policy never corrupts residency.
+    #[test]
+    fn gd_scripts_never_panic_and_count_consistently(script in script_strategy()) {
+        let geom = small_geom();
+        let (cache, hits) = run_script(geom, GreedyDual::new(&geom), &script, 8);
+        let accesses = hits.len() as u64;
+        prop_assert_eq!(cache.stats().accesses, accesses);
+        prop_assert_eq!(
+            cache.stats().hits + cache.stats().misses,
+            accesses
+        );
+    }
+}
