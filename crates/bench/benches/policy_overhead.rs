@@ -1,15 +1,21 @@
-//! Criterion bench: per-access decision overhead of each replacement
-//! policy (Section 5 argues the algorithms add negligible cycle-time cost;
-//! this measures their software-simulation analogue).
+//! Per-access decision overhead of each replacement policy (Section 5
+//! argues the algorithms add negligible cycle-time cost; this measures
+//! their software-simulation analogue).
+//!
+//! Run with `cargo bench --bench policy_overhead`. A dependency-free
+//! driver: each policy replays the same Zipf trace a few times and the
+//! best wall-clock pass is reported as ns/access and Maccesses/s.
 
 use cache_sim::{AccessType, BlockAddr, Cache, Cost, Geometry};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use csr_harness::PolicyKind;
 use mem_trace::workloads::synthetic::ZipfRandom;
 use mem_trace::Workload;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_policies(c: &mut Criterion) {
+const PASSES: usize = 5;
+
+fn main() {
     let geom = Geometry::new(16 * 1024, 64, 4);
     let trace = ZipfRandom { refs: 100_000, blocks: 8192, exponent: 0.9, write_fraction: 0.2 }
         .generate(42);
@@ -22,8 +28,8 @@ fn bench_policies(c: &mut Criterion) {
         })
         .collect();
 
-    let mut group = c.benchmark_group("policy_overhead");
-    group.throughput(Throughput::Elements(accesses.len() as u64));
+    println!("policy_overhead: {} accesses x {PASSES} passes per policy", accesses.len());
+    println!("{:<12} {:>12} {:>14}", "policy", "ns/access", "Maccesses/s");
     for kind in [
         PolicyKind::Lru,
         PolicyKind::Fifo,
@@ -34,22 +40,19 @@ fn bench_policies(c: &mut Criterion) {
         PolicyKind::DclAliased(4),
         PolicyKind::Acl,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut cache = Cache::new(geom, kind.build(&geom));
-                for &(block, op, cost) in &accesses {
-                    black_box(cache.access(block, op, cost));
-                }
-                black_box(cache.stats().aggregate_cost)
-            });
-        });
+        let mut best = f64::INFINITY;
+        for _ in 0..PASSES {
+            let mut cache = Cache::new(geom, kind.build(&geom));
+            let start = Instant::now();
+            for &(block, op, cost) in &accesses {
+                black_box(cache.access(block, op, cost));
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            black_box(cache.stats().aggregate_cost);
+            best = best.min(elapsed);
+        }
+        let per_access_ns = best * 1e9 / accesses.len() as f64;
+        let maccesses = accesses.len() as f64 / best / 1e6;
+        println!("{:<12} {:>12.1} {:>14.2}", kind.label(), per_access_ns, maccesses);
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_policies
-}
-criterion_main!(benches);

@@ -1,51 +1,54 @@
-//! Criterion bench: end-to-end simulator throughput — the trace-driven
-//! hierarchy (references/second) and the event-driven NUMA machine
+//! End-to-end simulator throughput — the trace-driven hierarchy
+//! (references/second) and the event-driven NUMA machine
 //! (references/second through the full protocol).
+//!
+//! Run with `cargo bench --bench sim_throughput`. Dependency-free: each
+//! configuration runs a few passes and the best wall-clock pass wins.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use csr_harness::{run_sampled, PolicyKind, TraceSimConfig};
 use mem_trace::cost_map::RandomCostMap;
 use mem_trace::workloads::OceanLike;
 use mem_trace::{ProcId, SampledTrace, Workload};
 use numa_sim::Clock;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_trace_driven(c: &mut Criterion) {
+const PASSES: usize = 3;
+
+fn best_of<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
     let w = OceanLike { n: 130, grids: 3, procs: 16, iters: 3, col_stride: 2, reduction_points: 256 };
     let trace = w.generate(7);
     let sampled = SampledTrace::from_trace(&trace, ProcId(3));
     let map = RandomCostMap::new(0.2, cache_sim::CostPair::ratio(8), 5);
     let cfg = TraceSimConfig::paper_basic();
 
-    let mut group = c.benchmark_group("trace_driven");
-    group.throughput(Throughput::Elements(sampled.events().len() as u64));
+    println!("trace_driven: {} events, best of {PASSES} passes", sampled.events().len());
+    println!("{:<8} {:>14}", "policy", "Mrefs/s");
     for kind in [PolicyKind::Lru, PolicyKind::Dcl] {
-        group.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(run_sampled(&sampled, &map, kind, cfg)));
+        let secs = best_of(|| {
+            black_box(run_sampled(&sampled, &map, kind, cfg));
         });
+        println!("{:<8} {:>14.2}", kind.label(), sampled.events().len() as f64 / secs / 1e6);
     }
-    group.finish();
-}
 
-fn bench_numa(c: &mut Criterion) {
     let w = OceanLike { n: 66, grids: 2, procs: 16, iters: 2, col_stride: 2, reduction_points: 64 };
     let pt = w.generate_phases(7);
-
-    let mut group = c.benchmark_group("numa_sim");
-    group.throughput(Throughput::Elements(pt.total_refs() as u64));
+    println!("\nnuma_sim: {} refs, best of {PASSES} passes", pt.total_refs());
+    println!("{:<8} {:>14}", "policy", "Mrefs/s");
     for kind in [PolicyKind::Lru, PolicyKind::Dcl] {
-        group.bench_function(kind.label(), |b| {
-            b.iter(|| {
-                black_box(csr_harness::numa_exp::run_numa(&pt, Clock::Mhz500, kind).exec_time_ps)
-            });
+        let secs = best_of(|| {
+            black_box(csr_harness::numa_exp::run_numa(&pt, Clock::Mhz500, kind).exec_time_ps);
         });
+        println!("{:<8} {:>14.2}", kind.label(), pt.total_refs() as f64 / secs / 1e6);
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_trace_driven, bench_numa
-}
-criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! # csr-cache
+//!
+//! A thread-safe, sharded, cost-aware key-value cache built on the
+//! cost-sensitive replacement policies of Jeong & Dubois (HPCA 2003).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

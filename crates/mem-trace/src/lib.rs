@@ -11,6 +11,8 @@
 //!   Section 3;
 //! * [`sampled`] — the Section 3.1 sample-processor trace view (own
 //!   references + foreign writes);
+//! * [`rng`] — the internal SplitMix64/xorshift generators every stream
+//!   in the workspace is derived from (no `rand` dependency);
 //! * [`stats`] — Table-1-style trace characteristics.
 //!
 //! # Examples
@@ -35,6 +37,7 @@ pub mod io;
 pub mod first_touch;
 pub mod phased;
 pub mod record;
+pub mod rng;
 pub mod sampled;
 pub mod stats;
 pub mod workloads;

@@ -1,0 +1,192 @@
+//! Small deterministic pseudo-random number generators.
+//!
+//! The workspace deliberately avoids the `rand` crate: trace generation,
+//! cost mappings and the concurrent-cache stress tests all need streams
+//! that are reproducible byte-for-byte across toolchains and offline
+//! builds, independent of any external crate's version-dependent stream
+//! definitions. Two tiny, well-known generators cover every need:
+//!
+//! * [`SplitMix64`] — Steele, Lea & Flood's 64-bit finalizer-based
+//!   generator. Equidistributed enough for workload synthesis, and its
+//!   single-`u64` state makes seeding derived streams trivial.
+//! * [`XorShift64Star`] — Marsaglia's xorshift with a multiplicative
+//!   output scramble; used where a non-additive state walk is preferred
+//!   (e.g. per-thread streams split from one seed).
+//!
+//! Neither generator is cryptographic; they are simulation tools.
+
+/// SplitMix64: `state += GOLDEN; output = mix(state)`.
+///
+/// # Examples
+///
+/// ```
+/// use mem_trace::rng::SplitMix64;
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert!(a.below(10) < 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator seeded with `seed` (any value, including 0).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A new generator whose stream is decorrelated from this one —
+    /// the standard way to hand independent streams to worker threads.
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+/// xorshift64*: 64-bit xorshift state walk with a multiplicative output
+/// scramble. The all-zero state is unreachable, so zero seeds are remapped.
+///
+/// # Examples
+///
+/// ```
+/// use mem_trace::rng::XorShift64Star;
+/// let mut r = XorShift64Star::new(42);
+/// let x = r.next_u64();
+/// assert_ne!(x, r.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Creates a generator seeded with `seed`; a zero seed is remapped to a
+    /// fixed nonzero constant (xorshift cannot leave state zero).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        XorShift64Star { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// The next 64 scrambled bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_streams_are_deterministic() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_split_decorrelates() {
+        let mut root = SplitMix64::new(9);
+        let mut c1 = root.split();
+        let mut c2 = root.split();
+        let overlap = (0..100)
+            .filter(|_| c1.next_u64() == c2.next_u64())
+            .count();
+        assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    fn xorshift_zero_seed_is_remapped() {
+        let mut r = XorShift64Star::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers() {
+        let mut s = SplitMix64::new(5);
+        let mut x = XorShift64Star::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..256 {
+            let a = s.below(8);
+            let b = x.below(8);
+            assert!(a < 8 && b < 8);
+            seen[a as usize] = true;
+            seen[b as usize] = true;
+        }
+        assert!(seen.iter().all(|&v| v), "8 buckets must all be hit in 512 draws");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = XorShift64Star::new(77);
+        for _ in 0..100 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

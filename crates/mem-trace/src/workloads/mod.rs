@@ -112,42 +112,11 @@ impl Interleaver {
     }
 }
 
-/// A tiny deterministic PRNG (SplitMix64) used by the kernels for
-/// data-dependent access patterns, independent of the `rand` crate's
-/// version-dependent stream definitions.
-#[derive(Debug, Clone)]
-pub(crate) struct Splitmix {
-    state: u64,
-}
-
-impl Splitmix {
-    pub(crate) fn new(seed: u64) -> Self {
-        Splitmix { state: seed }
-    }
-
-    pub(crate) fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform value in `[0, n)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
-    pub(crate) fn below(&mut self, n: u64) -> u64 {
-        assert!(n > 0, "below(0) is meaningless");
-        self.next_u64() % n
-    }
-
-    /// Bernoulli draw with probability `p`.
-    pub(crate) fn chance(&mut self, p: f64) -> bool {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
-    }
-}
+/// The kernels' data-dependent access patterns draw from the workspace's
+/// internal [`SplitMix64`](crate::rng::SplitMix64) generator, keeping
+/// streams reproducible without the `rand` crate's version-dependent
+/// stream definitions.
+pub(crate) use crate::rng::SplitMix64 as Splitmix;
 
 /// The standard four-kernel suite at trace-study scale (Section 3 analog).
 #[must_use]

@@ -1,55 +1,51 @@
-//! Property-based tests of the CC-NUMA simulator: random small phased
-//! traces through the full protocol, checking liveness (completion),
-//! coherence invariants, and policy-independent accounting.
+//! Randomized tests (seeded, dependency-free) of the CC-NUMA simulator:
+//! random small phased traces through the full protocol, checking
+//! liveness (completion), coherence invariants, and policy-independent
+//! accounting.
 
 use cost_sensitive_cache::harness::PolicyKind;
 use cost_sensitive_cache::numa::{Clock, System, SystemConfig};
 use cost_sensitive_cache::sim::Addr;
+use cost_sensitive_cache::trace::rng::SplitMix64;
 use cost_sensitive_cache::trace::{Phase, PhasedTrace, ProcId, TraceRecord};
-use proptest::prelude::*;
 
 const PROCS: usize = 4;
 
 /// A compact random phased trace: a few phases, each with a few references
 /// per processor over a small, heavily-shared block pool — maximal
 /// protocol contention per reference.
-fn phased_strategy() -> impl Strategy<Value = PhasedTrace> {
-    let rec = (0u64..24, prop::bool::ANY);
-    let stream = prop::collection::vec(rec, 0..24);
-    let phase = prop::collection::vec(stream, PROCS..=PROCS);
-    prop::collection::vec(phase, 1..4).prop_map(|phases| {
-        let mut pt = PhasedTrace::new(PROCS);
-        for phase_streams in phases {
-            let streams: Vec<Vec<TraceRecord>> = phase_streams
-                .into_iter()
-                .enumerate()
-                .map(|(p, refs)| {
-                    refs.into_iter()
-                        .map(|(block, is_write)| {
-                            let addr = Addr(block * 64);
-                            if is_write {
-                                TraceRecord::write(ProcId(p), addr)
-                            } else {
-                                TraceRecord::read(ProcId(p), addr)
-                            }
-                        })
-                        .collect()
-                })
-                .collect();
-            pt.push(Phase::from_streams(streams));
-        }
-        pt
-    })
+fn random_phased(case: u64) -> PhasedTrace {
+    let mut rng = SplitMix64::new(0x0DA_2003 ^ case.wrapping_mul(0xC0FF_EE01));
+    let num_phases = 1 + rng.below(3) as usize;
+    let mut pt = PhasedTrace::new(PROCS);
+    for _ in 0..num_phases {
+        let streams: Vec<Vec<TraceRecord>> = (0..PROCS)
+            .map(|p| {
+                let len = rng.below(24) as usize;
+                (0..len)
+                    .map(|_| {
+                        let addr = Addr(rng.below(24) * 64);
+                        if rng.chance(0.5) {
+                            TraceRecord::write(ProcId(p), addr)
+                        } else {
+                            TraceRecord::read(ProcId(p), addr)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        pt.push(Phase::from_streams(streams));
+    }
+    pt
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The protocol always completes (no deadlock) and preserves its
-    /// invariants, for LRU and for the most complex policy (ACL), on
-    /// arbitrary sharing patterns.
-    #[test]
-    fn protocol_liveness_and_coherence(pt in phased_strategy()) {
+/// The protocol always completes (no deadlock) and preserves its
+/// invariants, for LRU and for the most complex policy (ACL), on
+/// arbitrary sharing patterns.
+#[test]
+fn protocol_liveness_and_coherence() {
+    for case in 0..24 {
+        let pt = random_phased(case);
         for policy in [PolicyKind::Lru, PolicyKind::Acl] {
             let mut cfg = SystemConfig::table4(Clock::Mhz500);
             cfg.num_nodes = PROCS;
@@ -57,29 +53,33 @@ proptest! {
                 policy.build(g)
             });
             let res = sys.run(); // panics on deadlock
-            prop_assert_eq!(
+            assert_eq!(
                 res.nodes.iter().map(|n| n.refs).sum::<u64>(),
-                pt.total_refs() as u64
+                pt.total_refs() as u64,
+                "{policy}: lost references in case {case}"
             );
             if let Err(e) = sys.validate_coherence() {
-                return Err(TestCaseError::fail(format!("{policy}: {e}")));
+                panic!("{policy}: {e} in case {case}");
             }
         }
     }
+}
 
-    /// Execution time is invariant to event-insertion details: running the
-    /// same trace twice gives identical timing (full determinism).
-    #[test]
-    fn timing_is_deterministic(pt in phased_strategy()) {
+/// Execution time is invariant to event-insertion details: running the
+/// same trace twice gives identical timing (full determinism).
+#[test]
+fn timing_is_deterministic() {
+    for case in 0..12 {
+        let pt = random_phased(1000 + case);
         let run = || {
             let mut cfg = SystemConfig::table4(Clock::Ghz1);
             cfg.num_nodes = PROCS;
-            System::new(cfg, &pt, &|g: &cost_sensitive_cache::sim::Geometry| {
+            System::new(cfg, &pt, &|_g: &cost_sensitive_cache::sim::Geometry| {
                 Box::new(cost_sensitive_cache::sim::Lru::new()) as cost_sensitive_cache::numa::L2Policy
             })
             .run()
             .exec_time_ps
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
 }

@@ -1,14 +1,20 @@
-//! Property-based tests (proptest) of the core invariants listed in
-//! DESIGN.md §6.
+//! Randomized tests (seeded, dependency-free) of the core invariants
+//! listed in DESIGN.md §6.
+//!
+//! Each test replays a batch of pseudo-random cache scripts drawn from the
+//! workspace's internal [`SplitMix64`] generator, so failures reproduce
+//! exactly from the fixed seeds below — no external property-test
+//! framework required.
 
-use cost_sensitive_cache::policies::{
-    simulate_belady, Acl, Bcl, Dcl, GreedyDual, TraceEvent,
-};
+use cost_sensitive_cache::policies::{simulate_belady, Acl, Bcl, Dcl, GreedyDual, TraceEvent};
 use cost_sensitive_cache::sim::{
     AccessType, BlockAddr, Cache, Cost, Geometry, InvalidateKind, Lru, ReplacementPolicy,
     SetIndex,
 };
-use proptest::prelude::*;
+use cost_sensitive_cache::trace::rng::SplitMix64;
+
+const CASES: u64 = 48;
+const SEED: u64 = 0x5EED_2003;
 
 /// One step of a random cache script.
 #[derive(Debug, Clone, Copy)]
@@ -18,16 +24,21 @@ enum Step {
     Invalidate(u64),
 }
 
-fn step_strategy(blocks: u64) -> impl Strategy<Value = Step> {
-    prop_oneof![
-        4 => (0..blocks).prop_map(Step::Read),
-        2 => (0..blocks).prop_map(Step::Write),
-        1 => (0..blocks).prop_map(Step::Invalidate),
-    ]
-}
-
-fn script_strategy() -> impl Strategy<Value = Vec<Step>> {
-    prop::collection::vec(step_strategy(48), 1..400)
+/// A random script over `blocks` distinct blocks: reads, writes and
+/// invalidations weighted 4:2:1, between 1 and 400 steps.
+fn random_script(case: u64, blocks: u64) -> Vec<Step> {
+    let mut rng = SplitMix64::new(SEED ^ case.wrapping_mul(0x9E37_79B9));
+    let len = 1 + rng.below(400) as usize;
+    (0..len)
+        .map(|_| {
+            let b = rng.below(blocks);
+            match rng.below(7) {
+                0..=3 => Step::Read(b),
+                4..=5 => Step::Write(b),
+                _ => Step::Invalidate(b),
+            }
+        })
+        .collect()
 }
 
 /// Cost of a block under a deterministic two-cost mapping.
@@ -68,36 +79,40 @@ fn run_script<P: ReplacementPolicy>(
     (cache, hits)
 }
 
-proptest! {
-    /// Invariant 1: with uniform costs (ratio 1), BCL/DCL/ACL produce the
-    /// exact hit/miss sequence of LRU on arbitrary scripts.
-    #[test]
-    fn uniform_costs_equal_lru(script in script_strategy()) {
+/// Invariant 1: with uniform costs (ratio 1), BCL/DCL/ACL produce the
+/// exact hit/miss sequence of LRU on arbitrary scripts.
+#[test]
+fn uniform_costs_equal_lru() {
+    for case in 0..CASES {
+        let script = random_script(case, 48);
         let geom = small_geom();
         let (_, lru_hits) = run_script(geom, Lru::new(), &script, 1);
         let (_, bcl_hits) = run_script(geom, Bcl::new(&geom), &script, 1);
         let (_, dcl_hits) = run_script(geom, Dcl::new(&geom), &script, 1);
         let (_, acl_hits) = run_script(geom, Acl::new(&geom), &script, 1);
-        prop_assert_eq!(&lru_hits, &bcl_hits);
-        prop_assert_eq!(&lru_hits, &dcl_hits);
-        prop_assert_eq!(&lru_hits, &acl_hits);
+        assert_eq!(lru_hits, bcl_hits, "BCL diverged from LRU in case {case}");
+        assert_eq!(lru_hits, dcl_hits, "DCL diverged from LRU in case {case}");
+        assert_eq!(lru_hits, acl_hits, "ACL diverged from LRU in case {case}");
     }
+}
 
-    /// Invariant 2: the recency stack never holds duplicate blocks and
-    /// never exceeds the associativity, for every policy.
-    #[test]
-    fn recency_stacks_stay_well_formed(script in script_strategy()) {
+/// Invariant 2: the recency stack never holds duplicate blocks and
+/// never exceeds the associativity, for every policy.
+#[test]
+fn recency_stacks_stay_well_formed() {
+    for case in 0..CASES {
+        let script = random_script(case, 48);
         let geom = small_geom();
         macro_rules! check {
             ($policy:expr) => {{
                 let (cache, _) = run_script(geom, $policy, &script, 8);
                 for set in 0..geom.num_sets() {
                     let stack = cache.recency_of(SetIndex(set));
-                    prop_assert!(stack.len() <= geom.assoc());
+                    assert!(stack.len() <= geom.assoc());
                     let mut dedup = stack.clone();
                     dedup.sort_unstable_by_key(|b| b.0);
                     dedup.dedup();
-                    prop_assert_eq!(dedup.len(), stack.len(), "duplicate tags in set {}", set);
+                    assert_eq!(dedup.len(), stack.len(), "duplicate tags in set {set}, case {case}");
                 }
             }};
         }
@@ -107,11 +122,14 @@ proptest! {
         check!(Dcl::new(&geom));
         check!(Acl::new(&geom));
     }
+}
 
-    /// Invariant 3: DCL's ETD tags stay disjoint from resident tags and
-    /// within the s-1 capacity.
-    #[test]
-    fn etd_disjoint_and_bounded(script in script_strategy()) {
+/// Invariant 3: DCL's ETD tags stay disjoint from resident tags and
+/// within the s-1 capacity.
+#[test]
+fn etd_disjoint_and_bounded() {
+    for case in 0..CASES {
+        let script = random_script(case, 48);
         let geom = small_geom();
         let mut cache = Cache::new(geom, Dcl::new(&geom));
         for step in &script {
@@ -128,21 +146,21 @@ proptest! {
             }
             for set in 0..geom.num_sets() {
                 let etd_blocks = cache.policy().etd().blocks_in(SetIndex(set));
-                prop_assert!(etd_blocks.len() <= geom.assoc() - 1);
+                assert!(etd_blocks.len() <= geom.assoc() - 1);
                 for eb in etd_blocks {
-                    prop_assert!(
-                        !cache.contains(eb),
-                        "block {} in both cache and ETD", eb
-                    );
+                    assert!(!cache.contains(eb), "block {eb} in both cache and ETD, case {case}");
                 }
             }
         }
     }
+}
 
-    /// Invariant 4: the aggregate cost always equals the sum of the costs
-    /// charged on misses.
-    #[test]
-    fn aggregate_cost_is_sum_of_misses(script in script_strategy()) {
+/// Invariant 4: the aggregate cost always equals the sum of the costs
+/// charged on misses.
+#[test]
+fn aggregate_cost_is_sum_of_misses() {
+    for case in 0..CASES {
+        let script = random_script(case, 48);
         let geom = small_geom();
         for kind in 0..4 {
             let policy: Box<dyn ReplacementPolicy> = match kind {
@@ -170,14 +188,17 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(total, cache.stats().aggregate_cost);
+            assert_eq!(total, cache.stats().aggregate_cost, "kind {kind}, case {case}");
         }
     }
+}
 
-    /// Invariant 5: BCL's depreciated cost never exceeds the miss cost of
-    /// the block it tracks.
-    #[test]
-    fn acost_bounded_by_block_cost(script in script_strategy()) {
+/// Invariant 5: BCL's depreciated cost never exceeds the miss cost of
+/// the block it tracks.
+#[test]
+fn acost_bounded_by_block_cost() {
+    for case in 0..CASES {
+        let script = random_script(case, 48);
         let geom = small_geom();
         let mut cache = Cache::new(geom, Bcl::new(&geom));
         let max_cost = 16u64;
@@ -194,14 +215,17 @@ proptest! {
                 }
             }
             for set in 0..geom.num_sets() {
-                prop_assert!(cache.policy().acost_of(SetIndex(set)) <= max_cost);
+                assert!(cache.policy().acost_of(SetIndex(set)) <= max_cost, "case {case}");
             }
         }
     }
+}
 
-    /// Invariant 7: Belady's OPT never misses more than LRU.
-    #[test]
-    fn belady_is_a_miss_floor(script in script_strategy()) {
+/// Invariant 7: Belady's OPT never misses more than LRU.
+#[test]
+fn belady_is_a_miss_floor() {
+    for case in 0..CASES {
+        let script = random_script(case, 48);
         let geom = small_geom();
         let mut events = Vec::new();
         for step in &script {
@@ -229,21 +253,21 @@ proptest! {
                 }
             }
         }
-        prop_assert!(opt.misses <= lru_misses, "OPT {} > LRU {}", opt.misses, lru_misses);
+        assert!(opt.misses <= lru_misses, "OPT {} > LRU {} in case {case}", opt.misses, lru_misses);
     }
+}
 
-    /// GD's H values never make it evict a just-filled MRU block while a
-    /// zero-H block sits in the set (sanity of the depreciation flow), and
-    /// the policy never corrupts residency.
-    #[test]
-    fn gd_scripts_never_panic_and_count_consistently(script in script_strategy()) {
+/// GD's H values never make it evict a just-filled MRU block while a
+/// zero-H block sits in the set (sanity of the depreciation flow), and
+/// the policy never corrupts residency.
+#[test]
+fn gd_scripts_never_panic_and_count_consistently() {
+    for case in 0..CASES {
+        let script = random_script(case, 48);
         let geom = small_geom();
         let (cache, hits) = run_script(geom, GreedyDual::new(&geom), &script, 8);
         let accesses = hits.len() as u64;
-        prop_assert_eq!(cache.stats().accesses, accesses);
-        prop_assert_eq!(
-            cache.stats().hits + cache.stats().misses,
-            accesses
-        );
+        assert_eq!(cache.stats().accesses, accesses, "case {case}");
+        assert_eq!(cache.stats().hits + cache.stats().misses, accesses, "case {case}");
     }
 }

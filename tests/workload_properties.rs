@@ -1,20 +1,18 @@
-//! Property tests of the workload generators and trace plumbing
-//! (added post-initial-review).
+//! Randomized tests (seeded, dependency-free) of the workload generators
+//! and trace plumbing.
 
 use cost_sensitive_cache::trace::workloads::synthetic::{SequentialScan, UniformRandom, ZipfRandom};
 use cost_sensitive_cache::trace::workloads::{BarnesLike, LuLike, OceanLike, RaytraceLike};
-use cost_sensitive_cache::trace::{
-    FirstTouchPlacement, ProcId, SampledTrace, Trace, Workload,
-};
-use proptest::prelude::*;
+use cost_sensitive_cache::trace::rng::SplitMix64;
+use cost_sensitive_cache::trace::{FirstTouchPlacement, ProcId, SampledTrace, Trace, Workload};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Every kernel's flat trace and phased trace contain exactly the same
-    /// references (the interleave is a permutation within phases).
-    #[test]
-    fn phased_and_flat_traces_agree(seed in 0u64..1000) {
+/// Every kernel's flat trace and phased trace contain exactly the same
+/// references (the interleave is a permutation within phases).
+#[test]
+fn phased_and_flat_traces_agree() {
+    let mut rng = SplitMix64::new(0x00AD_5EED);
+    for _ in 0..8 {
+        let seed = rng.below(1000);
         let kernels: Vec<Box<dyn Workload>> = vec![
             Box::new(BarnesLike { bodies: 512, procs: 4, steps: 1, walk_len: 8, locality_bias: 0.6 }),
             Box::new(LuLike { n: 64, block: 16, procs: 4, element_stride: 2 }),
@@ -24,41 +22,50 @@ proptest! {
         for w in kernels {
             let flat = w.generate(seed);
             let phased = w.generate_phases(seed);
-            prop_assert_eq!(flat.len(), phased.total_refs(), "{}", w.name());
+            assert_eq!(flat.len(), phased.total_refs(), "{} seed {seed}", w.name());
             // Same per-processor reference counts.
             for p in 0..w.num_procs() {
                 let phased_count: usize =
                     phased.phases().iter().map(|ph| ph.stream(ProcId(p)).len()).sum();
-                prop_assert_eq!(flat.refs_by(ProcId(p)) as usize, phased_count);
+                assert_eq!(flat.refs_by(ProcId(p)) as usize, phased_count);
             }
         }
     }
+}
 
-    /// First-touch placement is stable: re-deriving it from the same trace
-    /// yields the same homes, and remote fractions stay in [0, 1].
-    #[test]
-    fn first_touch_is_deterministic(seed in 0u64..1000) {
+/// First-touch placement is stable: re-deriving it from the same trace
+/// yields the same homes, and remote fractions stay in [0, 1].
+#[test]
+fn first_touch_is_deterministic() {
+    let mut rng = SplitMix64::new(0xF1_857);
+    for _ in 0..16 {
+        let seed = rng.below(1000);
         let w = UniformRandom { refs: 3000, blocks: 256, procs: 4, write_fraction: 0.3 };
         let t = w.generate(seed);
         let a = FirstTouchPlacement::from_trace(64, &t);
         let b = FirstTouchPlacement::from_trace(64, &t);
-        prop_assert_eq!(a.units_homed(), b.units_homed());
+        assert_eq!(a.units_homed(), b.units_homed());
         for p in 0..4 {
             let fa = a.remote_fraction(&t, ProcId(p));
-            prop_assert!((0.0..=1.0).contains(&fa));
-            prop_assert_eq!(fa, b.remote_fraction(&t, ProcId(p)));
+            assert!((0.0..=1.0).contains(&fa));
+            assert_eq!(fa, b.remote_fraction(&t, ProcId(p)));
         }
     }
+}
 
-    /// A sampled trace never contains another processor's reads, and its
-    /// event count is own refs + foreign writes.
-    #[test]
-    fn sampling_partitions_correctly(seed in 0u64..1000, proc in 0usize..4) {
+/// A sampled trace never contains another processor's reads, and its
+/// event count is own refs + foreign writes.
+#[test]
+fn sampling_partitions_correctly() {
+    let mut rng = SplitMix64::new(0x5A_3713);
+    for _ in 0..16 {
+        let seed = rng.below(1000);
+        let proc = rng.below(4) as usize;
         let w = UniformRandom { refs: 2000, blocks: 128, procs: 4, write_fraction: 0.4 };
         let t = w.generate(seed);
         let s = SampledTrace::from_trace(&t, ProcId(proc));
-        prop_assert_eq!(s.events().len() as u64, s.own_refs() + s.foreign_writes());
-        prop_assert_eq!(s.own_refs(), t.refs_by(ProcId(proc)));
+        assert_eq!(s.events().len() as u64, s.own_refs() + s.foreign_writes());
+        assert_eq!(s.own_refs(), t.refs_by(ProcId(proc)));
         let total_writes: u64 = t
             .iter()
             .filter(|r| r.op == cost_sensitive_cache::sim::AccessType::Write)
@@ -66,32 +73,40 @@ proptest! {
         let own_writes: u64 = t
             .iter()
             .filter(|r| {
-                r.proc == ProcId(proc)
-                    && r.op == cost_sensitive_cache::sim::AccessType::Write
+                r.proc == ProcId(proc) && r.op == cost_sensitive_cache::sim::AccessType::Write
             })
             .count() as u64;
-        prop_assert_eq!(s.foreign_writes(), total_writes - own_writes);
+        assert_eq!(s.foreign_writes(), total_writes - own_writes);
     }
+}
 
-    /// Trace round-trips through the binary format byte-exactly.
-    #[test]
-    fn trace_io_roundtrip(seed in 0u64..1000) {
+/// Trace round-trips through the binary format byte-exactly.
+#[test]
+fn trace_io_roundtrip() {
+    let mut rng = SplitMix64::new(0x10_0907);
+    for _ in 0..16 {
+        let seed = rng.below(1000);
         let w = ZipfRandom { refs: 500, blocks: 64, exponent: 1.0, write_fraction: 0.2 };
         let t = w.generate(seed);
         let mut buf = Vec::new();
         cost_sensitive_cache::trace::io::write_trace(&t, &mut buf).expect("write");
         let back = cost_sensitive_cache::trace::io::read_trace(buf.as_slice()).expect("read");
-        prop_assert_eq!(back.records(), t.records());
+        assert_eq!(back.records(), t.records());
     }
+}
 
-    /// The sequential scan is exactly periodic.
-    #[test]
-    fn scan_is_periodic(passes in 1usize..5, blocks in 1usize..64) {
+/// The sequential scan is exactly periodic.
+#[test]
+fn scan_is_periodic() {
+    let mut rng = SplitMix64::new(0x5CA_11);
+    for _ in 0..16 {
+        let passes = 1 + rng.below(4) as usize;
+        let blocks = 1 + rng.below(63) as usize;
         let t = SequentialScan { passes, blocks }.generate(0);
-        prop_assert_eq!(t.len(), passes * blocks);
+        assert_eq!(t.len(), passes * blocks);
         let recs = t.records();
         for i in blocks..recs.len() {
-            prop_assert_eq!(recs[i].addr, recs[i - blocks].addr);
+            assert_eq!(recs[i].addr, recs[i - blocks].addr);
         }
     }
 }
