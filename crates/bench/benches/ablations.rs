@@ -8,7 +8,9 @@
 use cache_sim::{relative_savings_pct, ReplacementPolicy};
 use csr::etd::EtdConfig;
 use csr::{Bcl, Dcl};
-use csr_harness::{build_benchmarks, run_sampled_policy, Benchmark, LruMissProfile, Scale, TraceSimConfig};
+use csr_harness::{
+    build_benchmarks, run_sampled_policy, Benchmark, LruMissProfile, Scale, TraceSimConfig,
+};
 use mem_trace::cost_map::{CostMap, RandomCostMap};
 
 fn run_policy<P: ReplacementPolicy>(
@@ -17,7 +19,9 @@ fn run_policy<P: ReplacementPolicy>(
     cfg: TraceSimConfig,
     policy: P,
 ) -> cache_sim::Cost {
-    run_sampled_policy(&bench.sampled, costs, policy, cfg).1.aggregate_cost
+    run_sampled_policy(&bench.sampled, costs, policy, cfg)
+        .1
+        .aggregate_cost
 }
 
 fn main() {
@@ -28,17 +32,34 @@ fn main() {
     let map = RandomCostMap::new(0.2, cache_sim::CostPair::ratio(8), 77);
 
     println!("\n=== Ablation: depreciation factor (savings over LRU, %, HAF=0.2 r=8) ===");
-    println!("{:<10} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}", "benchmark", "BCL x1", "BCL x2", "BCL x4", "DCL x1", "DCL x2", "DCL x4");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "benchmark", "BCL x1", "BCL x2", "BCL x4", "DCL x1", "DCL x2", "DCL x4"
+    );
     for b in &benchmarks {
         let base = LruMissProfile::collect(&b.sampled, cfg).aggregate_cost(&map);
         let sav = |c: cache_sim::Cost| relative_savings_pct(base, c);
         let bcl: Vec<f64> = [1u64, 2, 4]
             .iter()
-            .map(|&f| sav(run_policy(b, &map, cfg, Bcl::with_depreciation_factor(&geom, f))))
+            .map(|&f| {
+                sav(run_policy(
+                    b,
+                    &map,
+                    cfg,
+                    Bcl::with_depreciation_factor(&geom, f),
+                ))
+            })
             .collect();
         let dcl: Vec<f64> = [1u64, 2, 4]
             .iter()
-            .map(|&f| sav(run_policy(b, &map, cfg, Dcl::new(&geom).with_depreciation_factor(f))))
+            .map(|&f| {
+                sav(run_policy(
+                    b,
+                    &map,
+                    cfg,
+                    Dcl::new(&geom).with_depreciation_factor(f),
+                ))
+            })
             .collect();
         println!(
             "{:<10} {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>8.2} {:>8.2}",
@@ -47,27 +68,42 @@ fn main() {
     }
 
     println!("\n=== Ablation: ETD entries per set (DCL savings over LRU, %) ===");
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "benchmark", "1", "2", "3 (s-1)", "7");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "benchmark", "1", "2", "3 (s-1)", "7"
+    );
     for b in &benchmarks {
         let base = LruMissProfile::collect(&b.sampled, cfg).aggregate_cost(&map);
         let row: Vec<f64> = [1usize, 2, 3, 7]
             .iter()
             .map(|&n| {
-                let etd = EtdConfig { entries_per_set: n, tag_bits: None };
+                let etd = EtdConfig {
+                    entries_per_set: n,
+                    tag_bits: None,
+                };
                 let c = run_policy(b, &map, cfg, Dcl::with_etd_config(&geom, etd));
                 relative_savings_pct(base, c)
             })
             .collect();
-        println!("{:<10} {:>8.2} {:>8.2} {:>8.2} {:>8.2}", b.name, row[0], row[1], row[2], row[3]);
+        println!(
+            "{:<10} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            b.name, row[0], row[1], row[2], row[3]
+        );
     }
 
     println!("\n=== Ablation: ETD tag width (DCL savings over LRU, %; false-match rate) ===");
-    println!("{:<10} {:>14} {:>14} {:>14} {:>14}", "benchmark", "2 bits", "4 bits", "8 bits", "full");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>14}",
+        "benchmark", "2 bits", "4 bits", "8 bits", "full"
+    );
     for b in &benchmarks {
         let base = LruMissProfile::collect(&b.sampled, cfg).aggregate_cost(&map);
         let mut cells = Vec::new();
         for bits in [Some(2u32), Some(4), Some(8), None] {
-            let etd = EtdConfig { entries_per_set: 3, tag_bits: bits };
+            let etd = EtdConfig {
+                entries_per_set: 3,
+                tag_bits: bits,
+            };
             let mut h = cache_sim::TwoLevel::new(cfg.l1, cfg.l2, Dcl::with_etd_config(&geom, etd));
             let bb = cfg.l2.block_bytes();
             for ev in b.sampled.events() {

@@ -1,0 +1,133 @@
+//! Throughput and cost-savings driver for the concurrent `csr-cache`
+//! key-value cache (run with `cargo bench --bench cache_throughput`).
+//!
+//! Two tables:
+//!
+//! * **ops/sec vs shard count** — N threads hammer a cache-aside Zipf
+//!   workload while the shard count sweeps from 1 (one global lock) to 32;
+//!   the knee shows where lock contention stops being the bottleneck.
+//! * **aggregate miss cost vs policy** — a single-threaded replay of a
+//!   skewed-cost Zipf stream at equal capacity, reporting each policy's
+//!   cost savings over the sharded-LRU baseline (the paper's Figure 5
+//!   metric, translated to a software cache).
+
+use csr_cache::{CsrCache, Policy};
+use mem_trace::workloads::synthetic::ZipfRandom;
+use mem_trace::workloads::Workload;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 250_000;
+const CAPACITY: usize = 4096;
+const FOOTPRINT: usize = 32_768;
+const EXPENSIVE_COST: u64 = 32;
+
+fn cost_of(key: u64) -> u64 {
+    if key % 16 == 0 {
+        EXPENSIVE_COST
+    } else {
+        1
+    }
+}
+
+fn zipf_keys(refs: usize, seed: u64) -> Vec<u64> {
+    let w = ZipfRandom {
+        refs,
+        blocks: FOOTPRINT,
+        exponent: 0.9,
+        write_fraction: 0.0,
+    };
+    w.generate(seed).iter().map(|r| r.block(64).0).collect()
+}
+
+/// Cache-aside loop: `threads` workers each replay a pre-generated slice.
+fn throughput(policy: Policy, shards: usize, threads: usize, keys: &Arc<Vec<Vec<u64>>>) -> f64 {
+    let cache: Arc<CsrCache<u64, u64>> = Arc::new(
+        CsrCache::builder(CAPACITY)
+            .shards(shards)
+            .policy(policy)
+            .cost_fn(|k: &u64, _v: &u64| cost_of(*k))
+            .build(),
+    );
+    let start = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            let keys = Arc::clone(keys);
+            thread::spawn(move || {
+                for &k in &keys[t] {
+                    if cache.get(&k).is_none() {
+                        cache.insert(k, k);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (threads * OPS_PER_THREAD) as f64 / secs
+}
+
+fn main() {
+    println!(
+        "generating {} Zipf streams of {} refs ...",
+        THREADS, OPS_PER_THREAD
+    );
+    let streams: Arc<Vec<Vec<u64>>> = Arc::new(
+        (0..THREADS)
+            .map(|t| zipf_keys(OPS_PER_THREAD, 0xBEEF + t as u64))
+            .collect(),
+    );
+
+    println!(
+        "\n=== Throughput: {} threads, capacity {}, footprint {} (Mops/s) ===",
+        THREADS, CAPACITY, FOOTPRINT
+    );
+    println!("{:<8} {:>10} {:>10}", "shards", "LRU", "DCL");
+    for shards in [1usize, 2, 4, 8, 16, 32] {
+        let lru = throughput(Policy::Lru, shards, THREADS, &streams) / 1e6;
+        let dcl = throughput(Policy::Dcl, shards, THREADS, &streams) / 1e6;
+        println!("{:<8} {:>10.2} {:>10.2}", shards, lru, dcl);
+    }
+
+    println!(
+        "\n=== Aggregate miss cost vs sharded LRU (1 thread, {} refs, 1/16 keys cost {}x) ===",
+        4 * OPS_PER_THREAD,
+        EXPENSIVE_COST
+    );
+    let keys = zipf_keys(4 * OPS_PER_THREAD, 0xC05E);
+    let mut baseline = 0u64;
+    println!(
+        "{:<8} {:>14} {:>12} {:>10} {:>12}",
+        "policy", "miss cost", "savings %", "hit rate", "reservations"
+    );
+    for policy in Policy::ALL {
+        let cache: CsrCache<u64, u64> = CsrCache::builder(CAPACITY)
+            .shards(8)
+            .policy(policy)
+            .cost_fn(|k: &u64, _v: &u64| cost_of(*k))
+            .build();
+        for &k in &keys {
+            if cache.get(&k).is_none() {
+                cache.insert(k, k);
+            }
+        }
+        let s = cache.stats();
+        if policy == Policy::Lru {
+            baseline = s.aggregate_miss_cost;
+        }
+        let savings = 100.0 * (baseline as f64 - s.aggregate_miss_cost as f64) / baseline as f64;
+        println!(
+            "{:<8} {:>14} {:>12.2} {:>10.3} {:>12}",
+            policy.name(),
+            s.aggregate_miss_cost,
+            savings,
+            s.hit_rate(),
+            s.reservations
+        );
+    }
+}

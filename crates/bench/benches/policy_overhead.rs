@@ -17,8 +17,13 @@ const PASSES: usize = 5;
 
 fn main() {
     let geom = Geometry::new(16 * 1024, 64, 4);
-    let trace = ZipfRandom { refs: 100_000, blocks: 8192, exponent: 0.9, write_fraction: 0.2 }
-        .generate(42);
+    let trace = ZipfRandom {
+        refs: 100_000,
+        blocks: 8192,
+        exponent: 0.9,
+        write_fraction: 0.2,
+    }
+    .generate(42);
     let accesses: Vec<(BlockAddr, AccessType, Cost)> = trace
         .iter()
         .map(|r| {
@@ -28,7 +33,10 @@ fn main() {
         })
         .collect();
 
-    println!("policy_overhead: {} accesses x {PASSES} passes per policy", accesses.len());
+    println!(
+        "policy_overhead: {} accesses x {PASSES} passes per policy",
+        accesses.len()
+    );
     println!("{:<12} {:>12} {:>14}", "policy", "ns/access", "Maccesses/s");
     for kind in [
         PolicyKind::Lru,
@@ -53,6 +61,11 @@ fn main() {
         }
         let per_access_ns = best * 1e9 / accesses.len() as f64;
         let maccesses = accesses.len() as f64 / best / 1e6;
-        println!("{:<12} {:>12.1} {:>14.2}", kind.label(), per_access_ns, maccesses);
+        println!(
+            "{:<12} {:>12.1} {:>14.2}",
+            kind.label(),
+            per_access_ns,
+            maccesses
+        );
     }
 }

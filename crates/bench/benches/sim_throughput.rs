@@ -26,29 +26,57 @@ fn best_of<F: FnMut()>(mut f: F) -> f64 {
 }
 
 fn main() {
-    let w = OceanLike { n: 130, grids: 3, procs: 16, iters: 3, col_stride: 2, reduction_points: 256 };
+    let w = OceanLike {
+        n: 130,
+        grids: 3,
+        procs: 16,
+        iters: 3,
+        col_stride: 2,
+        reduction_points: 256,
+    };
     let trace = w.generate(7);
     let sampled = SampledTrace::from_trace(&trace, ProcId(3));
     let map = RandomCostMap::new(0.2, cache_sim::CostPair::ratio(8), 5);
     let cfg = TraceSimConfig::paper_basic();
 
-    println!("trace_driven: {} events, best of {PASSES} passes", sampled.events().len());
+    println!(
+        "trace_driven: {} events, best of {PASSES} passes",
+        sampled.events().len()
+    );
     println!("{:<8} {:>14}", "policy", "Mrefs/s");
     for kind in [PolicyKind::Lru, PolicyKind::Dcl] {
         let secs = best_of(|| {
             black_box(run_sampled(&sampled, &map, kind, cfg));
         });
-        println!("{:<8} {:>14.2}", kind.label(), sampled.events().len() as f64 / secs / 1e6);
+        println!(
+            "{:<8} {:>14.2}",
+            kind.label(),
+            sampled.events().len() as f64 / secs / 1e6
+        );
     }
 
-    let w = OceanLike { n: 66, grids: 2, procs: 16, iters: 2, col_stride: 2, reduction_points: 64 };
+    let w = OceanLike {
+        n: 66,
+        grids: 2,
+        procs: 16,
+        iters: 2,
+        col_stride: 2,
+        reduction_points: 64,
+    };
     let pt = w.generate_phases(7);
-    println!("\nnuma_sim: {} refs, best of {PASSES} passes", pt.total_refs());
+    println!(
+        "\nnuma_sim: {} refs, best of {PASSES} passes",
+        pt.total_refs()
+    );
     println!("{:<8} {:>14}", "policy", "Mrefs/s");
     for kind in [PolicyKind::Lru, PolicyKind::Dcl] {
         let secs = best_of(|| {
             black_box(csr_harness::numa_exp::run_numa(&pt, Clock::Mhz500, kind).exec_time_ps);
         });
-        println!("{:<8} {:>14.2}", kind.label(), pt.total_refs() as f64 / secs / 1e6);
+        println!(
+            "{:<8} {:>14.2}",
+            kind.label(),
+            pt.total_refs() as f64 / secs / 1e6
+        );
     }
 }

@@ -16,7 +16,9 @@
 //!   all       everything above in sequence
 //! ```
 
-use csr_bench::{fig3, hwcost, penalty, sweep, table1, table2, table3, table4, table5, ExperimentOpts};
+use csr_bench::{
+    fig3, hwcost, penalty, sweep, table1, table2, table3, table4, table5, ExperimentOpts,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -28,7 +28,12 @@ pub fn run(opts: &ExperimentOpts) {
     };
     for p in &points {
         index.insert(
-            (p.benchmark.as_str(), p.policy, key_of(p.ratio), (p.haf * 1000.0).round() as u64),
+            (
+                p.benchmark.as_str(),
+                p.policy,
+                key_of(p.ratio),
+                (p.haf * 1000.0).round() as u64,
+            ),
             p.savings_pct,
         );
     }
@@ -42,8 +47,12 @@ pub fn run(opts: &ExperimentOpts) {
             for &haf in &hafs {
                 let mut row = vec![format!("{haf:.2}")];
                 for ratio in CostRatio::FIG3 {
-                    let key =
-                        (bench.name.as_str(), policy, key_of(ratio), (haf * 1000.0).round() as u64);
+                    let key = (
+                        bench.name.as_str(),
+                        policy,
+                        key_of(ratio),
+                        (haf * 1000.0).round() as u64,
+                    );
                     let savings = index.get(&key).expect("grid point computed");
                     row.push(format!("{savings:.2}"));
                 }

@@ -8,14 +8,30 @@ pub fn run(_opts: &ExperimentOpts) {
     println!("=== Section 5: hardware overhead over LRU ===");
     let example = HwParams::paper_example();
     let mut t = TableBuilder::new();
-    t.header(["policy", "dynamic bits/set", "dynamic %", "static bits/set", "static %"]);
+    t.header([
+        "policy",
+        "dynamic bits/set",
+        "dynamic %",
+        "static bits/set",
+        "static %",
+    ]);
     for policy in [HwPolicy::Bcl, HwPolicy::Gd, HwPolicy::Dcl, HwPolicy::Acl] {
         t.row([
             format!("{policy:?}"),
-            example.added_bits_per_set(policy, CostSource::DynamicPerBlock).to_string(),
-            format!("{:.2}", example.overhead_pct(policy, CostSource::DynamicPerBlock)),
-            example.added_bits_per_set(policy, CostSource::StaticTable).to_string(),
-            format!("{:.2}", example.overhead_pct(policy, CostSource::StaticTable)),
+            example
+                .added_bits_per_set(policy, CostSource::DynamicPerBlock)
+                .to_string(),
+            format!(
+                "{:.2}",
+                example.overhead_pct(policy, CostSource::DynamicPerBlock)
+            ),
+            example
+                .added_bits_per_set(policy, CostSource::StaticTable)
+                .to_string(),
+            format!(
+                "{:.2}",
+                example.overhead_pct(policy, CostSource::StaticTable)
+            ),
         ]);
     }
     print!("{}", t.render());
@@ -29,7 +45,8 @@ pub fn run(_opts: &ExperimentOpts) {
     for policy in [HwPolicy::Bcl, HwPolicy::Gd, HwPolicy::Dcl, HwPolicy::Acl] {
         t.row([
             format!("{policy:?}"),
-            q.added_bits_per_set(policy, CostSource::DynamicPerBlock).to_string(),
+            q.added_bits_per_set(policy, CostSource::DynamicPerBlock)
+                .to_string(),
         ]);
     }
     print!("{}", t.render());

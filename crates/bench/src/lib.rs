@@ -10,12 +10,12 @@
 
 pub mod fig3;
 pub mod hwcost;
+pub mod penalty;
+pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
-pub mod penalty;
-pub mod sweep;
 pub mod table5;
 mod tablefmt;
 
@@ -34,7 +34,11 @@ pub struct ExperimentOpts {
 
 impl Default for ExperimentOpts {
     fn default() -> Self {
-        ExperimentOpts { paper_scale: false, extended: false, threads: csr_harness::default_threads() }
+        ExperimentOpts {
+            paper_scale: false,
+            extended: false,
+            threads: csr_harness::default_threads(),
+        }
     }
 }
 

@@ -43,11 +43,9 @@ pub fn run_experiment(opts: &ExperimentOpts) {
         v
     };
     let base_idx: Vec<usize> = (0..suite.len()).collect();
-    let baselines: Vec<u64> = csr_harness::experiments::run_tasks(
-        opts.threads,
-        &base_idx,
-        |&bi| run(&suite[bi].trace, CostMode::Quantized(60), PolicyKind::Lru),
-    );
+    let baselines: Vec<u64> = csr_harness::experiments::run_tasks(opts.threads, &base_idx, |&bi| {
+        run(&suite[bi].trace, CostMode::Quantized(60), PolicyKind::Lru)
+    });
     let results = csr_harness::experiments::run_tasks(opts.threads, &tasks, |&(bi, mode, p)| {
         run(&suite[bi].trace, mode, p)
     });

@@ -17,8 +17,7 @@ pub fn run(opts: &ExperimentOpts) {
     let mut header = vec!["benchmark".to_owned()];
     header.extend(assocs.iter().map(|a| format!("{a}-way")));
     t.header(header);
-    let mut rows: Vec<Vec<String>> =
-        benchmarks.iter().map(|b| vec![b.name.clone()]).collect();
+    let mut rows: Vec<Vec<String>> = benchmarks.iter().map(|b| vec![b.name.clone()]).collect();
     for &assoc in &assocs {
         let cfg = TraceSimConfig::with_l2(16 * 1024, assoc);
         let pts = fig3_grid(
@@ -49,8 +48,7 @@ pub fn run(opts: &ExperimentOpts) {
     let mut header = vec!["benchmark".to_owned()];
     header.extend(sizes.iter().map(|s| format!("{s}KB")));
     t.header(header);
-    let mut rows: Vec<Vec<String>> =
-        benchmarks.iter().map(|b| vec![b.name.clone()]).collect();
+    let mut rows: Vec<Vec<String>> = benchmarks.iter().map(|b| vec![b.name.clone()]).collect();
     for &kb in &sizes {
         let cfg = TraceSimConfig::with_l2(kb * 1024, 4);
         let pts = fig3_grid(

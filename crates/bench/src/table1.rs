@@ -51,7 +51,14 @@ pub fn run(opts: &ExperimentOpts) {
     // their analogues for completeness.
     println!("--- footnote-2 kernels (extended suite) ---");
     let mut t = TableBuilder::new();
-    t.header(["benchmark", "size", "procs", "mem (MB)", "sample refs", "remote frac"]);
+    t.header([
+        "benchmark",
+        "size",
+        "procs",
+        "mem (MB)",
+        "sample refs",
+        "remote frac",
+    ]);
     let footnote: Vec<Box<dyn mem_trace::Workload>> = if opts.paper_scale {
         vec![
             Box::new(mem_trace::workloads::FftLike::paper_scale()),

@@ -12,20 +12,41 @@ pub fn run(_opts: &ExperimentOpts) {
     t.header(["parameter", "value"]);
     t.row([
         "processors".to_owned(),
-        format!("{} ({}x{} mesh)", cfg.num_nodes, cfg.mesh_side(), cfg.mesh_side()),
+        format!(
+            "{} ({}x{} mesh)",
+            cfg.num_nodes,
+            cfg.mesh_side(),
+            cfg.mesh_side()
+        ),
     ]);
     t.row(["clock".to_owned(), "500 MHz or 1 GHz".to_owned()]);
-    t.row(["L1".to_owned(), "4 KB direct-mapped, 64 B blocks, 1-cycle access".to_owned()]);
-    t.row(["L2".to_owned(), "16 KB 4-way, 64 B blocks, 6-cycle access, 8 MSHRs".to_owned()]);
+    t.row([
+        "L1".to_owned(),
+        "4 KB direct-mapped, 64 B blocks, 1-cycle access".to_owned(),
+    ]);
+    t.row([
+        "L2".to_owned(),
+        "16 KB 4-way, 64 B blocks, 6-cycle access, 8 MSHRs".to_owned(),
+    ]);
     t.row(["memory".to_owned(), format!("{} ns access", cfg.mem_ns)]);
-    t.row(["links".to_owned(), format!("64-bit, {} ns flit delay", cfg.flit_ns)]);
-    t.row(["protocol".to_owned(), "MESI with replacement hints".to_owned()]);
+    t.row([
+        "links".to_owned(),
+        format!("64-bit, {} ns flit delay", cfg.flit_ns),
+    ]);
+    t.row([
+        "protocol".to_owned(),
+        "MESI with replacement hints".to_owned(),
+    ]);
     print!("{}", t.render());
 
     println!("--- derived unloaded minimum latencies (paper targets: 120 / 380 / 480 ns) ---");
     let mut t = TableBuilder::new();
     t.header(["transaction", "model (ns)", "paper (ns)"]);
-    t.row(["local clean".to_owned(), cfg.unloaded_clean_ns(0, 0).to_string(), "120".to_owned()]);
+    t.row([
+        "local clean".to_owned(),
+        cfg.unloaded_clean_ns(0, 0).to_string(),
+        "120".to_owned(),
+    ]);
     t.row([
         "remote clean (min)".to_owned(),
         cfg.unloaded_clean_ns(0, 1).to_string(),

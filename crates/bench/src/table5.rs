@@ -8,8 +8,17 @@ use numa_sim::Clock;
 /// Prints Table 5.
 pub fn run(opts: &ExperimentOpts) {
     println!("=== Table 5: execution-time reduction over LRU (%) ===");
-    let suite = if opts.extended { rsim_suite_extended() } else { rsim_suite() };
-    let cells = table5(&suite, &[Clock::Mhz500, Clock::Ghz1], &TABLE5_POLICIES, opts.threads);
+    let suite = if opts.extended {
+        rsim_suite_extended()
+    } else {
+        rsim_suite()
+    };
+    let cells = table5(
+        &suite,
+        &[Clock::Mhz500, Clock::Ghz1],
+        &TABLE5_POLICIES,
+        opts.threads,
+    );
     for clock in [Clock::Mhz500, Clock::Ghz1] {
         println!("--- {} processor ---", clock.label());
         let mut t = TableBuilder::new();

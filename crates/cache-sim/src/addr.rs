@@ -19,7 +19,10 @@ impl Addr {
     /// Panics if `block_bytes` is not a power of two.
     #[must_use]
     pub fn block(self, block_bytes: u64) -> BlockAddr {
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         BlockAddr(self.0 >> block_bytes.trailing_zeros())
     }
 }
@@ -113,8 +116,14 @@ impl Geometry {
     /// 192-byte, 3-way, single-set cache is valid.
     #[must_use]
     pub fn new(size_bytes: u64, block_bytes: u64, assoc: usize) -> Self {
-        assert!(size_bytes > 0 && block_bytes > 0 && assoc > 0, "geometry parameters must be nonzero");
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            size_bytes > 0 && block_bytes > 0 && assoc > 0,
+            "geometry parameters must be nonzero"
+        );
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!(
             size_bytes >= block_bytes * assoc as u64,
             "cache of {size_bytes} bytes cannot hold one set of {assoc} x {block_bytes}-byte blocks"
@@ -124,8 +133,16 @@ impl Geometry {
             "cache size must be a whole number of sets"
         );
         let num_sets = (size_bytes / (block_bytes * assoc as u64)) as usize;
-        assert!(num_sets.is_power_of_two(), "derived set count must be a power of two");
-        Geometry { size_bytes, block_bytes, assoc, num_sets }
+        assert!(
+            num_sets.is_power_of_two(),
+            "derived set count must be a power of two"
+        );
+        Geometry {
+            size_bytes,
+            block_bytes,
+            assoc,
+            num_sets,
+        }
     }
 
     /// A direct-mapped geometry (associativity 1).
@@ -240,7 +257,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "power of two")]
-    fn rejects_non_pow2_set_count(){
+    fn rejects_non_pow2_set_count() {
         let _ = Geometry::new(192 * 3, 64, 3); // 3 sets
     }
 

@@ -65,7 +65,14 @@ struct SetState {
 impl SetState {
     fn new(assoc: usize) -> Self {
         SetState {
-            frames: vec![Frame { block: None, dirty: false, cost: Cost::ZERO }; assoc],
+            frames: vec![
+                Frame {
+                    block: None,
+                    dirty: false,
+                    cost: Cost::ZERO
+                };
+                assoc
+            ],
             recency: Vec::with_capacity(assoc),
         }
     }
@@ -119,8 +126,16 @@ impl<P: ReplacementPolicy> Cache<P> {
     /// Creates an empty cache of the given geometry using `policy`.
     #[must_use]
     pub fn new(geom: Geometry, policy: P) -> Self {
-        let sets = (0..geom.num_sets()).map(|_| SetState::new(geom.assoc())).collect();
-        Cache { geom, sets, policy, stats: CacheStats::default(), scratch: Vec::with_capacity(geom.assoc()) }
+        let sets = (0..geom.num_sets())
+            .map(|_| SetState::new(geom.assoc()))
+            .collect();
+        Cache {
+            geom,
+            sets,
+            policy,
+            stats: CacheStats::default(),
+            scratch: Vec::with_capacity(geom.assoc()),
+        }
     }
 
     /// The cache geometry.
@@ -179,7 +194,11 @@ impl<P: ReplacementPolicy> Cache<P> {
         let s = &self.sets[set.0];
         s.recency
             .iter()
-            .map(|&w| s.frames[w.0].block.expect("recency stack holds only valid ways"))
+            .map(|&w| {
+                s.frames[w.0]
+                    .block
+                    .expect("recency stack holds only valid ways")
+            })
             .collect()
     }
 
@@ -223,20 +242,27 @@ impl<P: ReplacementPolicy> Cache<P> {
             } else {
                 self.scratch.clear();
             }
-            self.policy.on_hit(set, &SetView::new(&self.scratch), way, stack_pos);
+            self.policy
+                .on_hit(set, &SetView::new(&self.scratch), way, stack_pos);
             let s = &mut self.sets[set.0];
             s.promote(way);
             if op == AccessType::Write {
                 s.frames[way.0].dirty = true;
             }
             self.stats.hits += 1;
-            return AccessOutcome { hit: true, way, cost_charged: Cost::ZERO, evicted: None };
+            return AccessOutcome {
+                hit: true,
+                way,
+                cost_charged: Cost::ZERO,
+                evicted: None,
+            };
         }
 
         // Miss path.
         self.stats.misses += 1;
         self.rebuild_scratch(set);
-        self.policy.on_miss(set, &SetView::new(&self.scratch), block);
+        self.policy
+            .on_miss(set, &SetView::new(&self.scratch), block);
 
         let (way, evicted) = match self.sets[set.0].first_invalid() {
             Some(w) => (w, None),
@@ -257,7 +283,11 @@ impl<P: ReplacementPolicy> Cache<P> {
                 };
                 let s = &mut self.sets[set.0];
                 s.remove(victim);
-                s.frames[victim.0] = Frame { block: None, dirty: false, cost: Cost::ZERO };
+                s.frames[victim.0] = Frame {
+                    block: None,
+                    dirty: false,
+                    cost: Cost::ZERO,
+                };
                 self.stats.evictions += 1;
                 if ev.dirty {
                     self.stats.dirty_evictions += 1;
@@ -270,13 +300,22 @@ impl<P: ReplacementPolicy> Cache<P> {
         };
 
         let s = &mut self.sets[set.0];
-        s.frames[way.0] = Frame { block: Some(block), dirty: op == AccessType::Write, cost: miss_cost };
+        s.frames[way.0] = Frame {
+            block: Some(block),
+            dirty: op == AccessType::Write,
+            cost: miss_cost,
+        };
         s.promote(way);
         self.stats.fills += 1;
         self.stats.aggregate_cost += miss_cost;
         self.policy.on_fill(set, block, way, miss_cost);
 
-        AccessOutcome { hit: false, way, cost_charged: miss_cost, evicted }
+        AccessOutcome {
+            hit: false,
+            way,
+            cost_charged: miss_cost,
+            evicted,
+        }
     }
 
     /// Invalidates `block` if resident (and notifies the policy either way,
@@ -297,10 +336,15 @@ impl<P: ReplacementPolicy> Cache<P> {
                     .expect("resident block must be on the recency stack");
                 let was_lru = pos + 1 == s.recency.len();
                 let f = s.frames[way.0];
-                self.policy.on_invalidate(set, block, Some((way, pos)), kind);
+                self.policy
+                    .on_invalidate(set, block, Some((way, pos)), kind);
                 let s = &mut self.sets[set.0];
                 s.remove(way);
-                s.frames[way.0] = Frame { block: None, dirty: false, cost: Cost::ZERO };
+                s.frames[way.0] = Frame {
+                    block: None,
+                    dirty: false,
+                    cost: Cost::ZERO,
+                };
                 self.stats.invalidations_hit += 1;
                 Some(Evicted {
                     block,
@@ -333,9 +377,11 @@ impl<P: ReplacementPolicy> Cache<P> {
     /// Iterates over all resident blocks (set by set, MRU → LRU within each).
     pub fn resident_blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
         self.sets.iter().flat_map(|s| {
-            s.recency
-                .iter()
-                .map(|&w| s.frames[w.0].block.expect("recency stack holds only valid ways"))
+            s.recency.iter().map(|&w| {
+                s.frames[w.0]
+                    .block
+                    .expect("recency stack holds only valid ways")
+            })
         })
     }
 }
@@ -410,11 +456,15 @@ mod tests {
     fn invalidate_removes_and_reports() {
         let mut c = one_set_cache(2);
         c.access(BlockAddr(1), AccessType::Write, Cost(3));
-        let ev = c.invalidate(BlockAddr(1), InvalidateKind::Coherence).expect("resident");
+        let ev = c
+            .invalidate(BlockAddr(1), InvalidateKind::Coherence)
+            .expect("resident");
         assert!(ev.dirty);
         assert_eq!(ev.cost, Cost(3));
         assert!(!c.contains(BlockAddr(1)));
-        assert!(c.invalidate(BlockAddr(1), InvalidateKind::Coherence).is_none());
+        assert!(c
+            .invalidate(BlockAddr(1), InvalidateKind::Coherence)
+            .is_none());
         assert_eq!(c.stats().invalidations_requested, 2);
         assert_eq!(c.stats().invalidations_hit, 1);
     }

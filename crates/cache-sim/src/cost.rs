@@ -90,7 +90,10 @@ impl CostPair {
     #[must_use]
     pub fn ratio(r: u64) -> Self {
         assert!(r > 0, "cost ratio must be positive");
-        CostPair { low: Cost::ONE, high: Cost(r) }
+        CostPair {
+            low: Cost::ONE,
+            high: Cost(r),
+        }
     }
 
     /// The infinite cost ratio: low cost 0, high cost 1 (Section 3.1).
@@ -100,7 +103,10 @@ impl CostPair {
     /// victimizations — the theoretical upper bound of cost savings.
     #[must_use]
     pub fn infinite_ratio() -> Self {
-        CostPair { low: Cost::ZERO, high: Cost::ONE }
+        CostPair {
+            low: Cost::ZERO,
+            high: Cost::ONE,
+        }
     }
 
     /// Explicit low/high costs.

@@ -16,7 +16,9 @@ impl Fifo {
     /// Creates a FIFO policy for a cache with `num_sets` sets.
     #[must_use]
     pub fn new(num_sets: usize) -> Self {
-        Fifo { queues: vec![Vec::new(); num_sets] }
+        Fifo {
+            queues: vec![Vec::new(); num_sets],
+        }
     }
 
     fn queue(&mut self, set: SetIndex) -> &mut Vec<Way> {
@@ -68,8 +70,8 @@ impl ReplacementPolicy for Fifo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::{AccessType, Cache};
     use crate::addr::Geometry;
+    use crate::cache::{AccessType, Cache};
 
     #[test]
     fn evicts_in_fill_order_despite_hits() {

@@ -94,12 +94,21 @@ impl<P: ReplacementPolicy> TwoLevel<P> {
 
     /// Performs one access. `l2_miss_cost` is charged only if the reference
     /// misses both levels.
-    pub fn access(&mut self, block: BlockAddr, op: AccessType, l2_miss_cost: Cost) -> HierarchyOutcome {
+    pub fn access(
+        &mut self,
+        block: BlockAddr,
+        op: AccessType,
+        l2_miss_cost: Cost,
+    ) -> HierarchyOutcome {
         // L1 lookup: an L1 hit never reaches the L2 (the L2's recency and
         // policy state see only the L1 miss stream, as in the paper).
         let l1_out = self.l1.access(block, op, Cost::ZERO);
         if l1_out.hit {
-            return HierarchyOutcome { l1_hit: true, l2_hit: None, cost_charged: Cost::ZERO };
+            return HierarchyOutcome {
+                l1_hit: true,
+                l2_hit: None,
+                cost_charged: Cost::ZERO,
+            };
         }
 
         // The L1 fill may have displaced a dirty block: write it back into
@@ -149,7 +158,11 @@ mod tests {
 
     fn small_hierarchy() -> TwoLevel<Lru> {
         // L1: 2 sets direct-mapped; L2: 2 sets, 2-way.
-        TwoLevel::new(Geometry::direct_mapped(128, 64), Geometry::new(256, 64, 2), Lru::new())
+        TwoLevel::new(
+            Geometry::direct_mapped(128, 64),
+            Geometry::new(256, 64, 2),
+            Lru::new(),
+        )
     }
 
     #[test]
@@ -184,7 +197,10 @@ mod tests {
         h.access(BlockAddr(2), AccessType::Read, Cost(1));
         h.access(BlockAddr(4), AccessType::Read, Cost(1)); // evicts 0 from L2
         assert!(!h.l2().contains(BlockAddr(0)));
-        assert!(!h.l1().contains(BlockAddr(0)), "inclusion must back-invalidate L1");
+        assert!(
+            !h.l1().contains(BlockAddr(0)),
+            "inclusion must back-invalidate L1"
+        );
     }
 
     #[test]
@@ -203,7 +219,7 @@ mod tests {
         let mut h = small_hierarchy();
         h.access(BlockAddr(0), AccessType::Write, Cost(1)); // dirty in L1
         h.access(BlockAddr(2), AccessType::Read, Cost(1)); // L1 conflict evicts 0
-        // L2 copy of 0 must now be dirty: evicting it from L2 reports dirty.
+                                                           // L2 copy of 0 must now be dirty: evicting it from L2 reports dirty.
         h.access(BlockAddr(4), AccessType::Read, Cost(1)); // L2 set 0 full -> evicts 0 (LRU)
         assert_eq!(h.l2().stats().dirty_evictions, 1);
     }

@@ -54,8 +54,18 @@ mod tests {
     #[test]
     fn picks_lru_position() {
         let entries = vec![
-            WayView { way: Way(1), block: BlockAddr(1), cost: Cost(1), dirty: false },
-            WayView { way: Way(0), block: BlockAddr(2), cost: Cost(9), dirty: false },
+            WayView {
+                way: Way(1),
+                block: BlockAddr(1),
+                cost: Cost(1),
+                dirty: false,
+            },
+            WayView {
+                way: Way(0),
+                block: BlockAddr(2),
+                cost: Cost(9),
+                dirty: false,
+            },
         ];
         let mut p = Lru::new();
         assert_eq!(p.victim(SetIndex(0), &SetView::new(&entries)), Way(0));

@@ -206,9 +206,24 @@ mod tests {
 
     fn sample_entries() -> Vec<WayView> {
         vec![
-            WayView { way: Way(2), block: BlockAddr(10), cost: Cost(1), dirty: false },
-            WayView { way: Way(0), block: BlockAddr(20), cost: Cost(8), dirty: true },
-            WayView { way: Way(1), block: BlockAddr(30), cost: Cost(1), dirty: false },
+            WayView {
+                way: Way(2),
+                block: BlockAddr(10),
+                cost: Cost(1),
+                dirty: false,
+            },
+            WayView {
+                way: Way(0),
+                block: BlockAddr(20),
+                cost: Cost(8),
+                dirty: true,
+            },
+            WayView {
+                way: Way(1),
+                block: BlockAddr(30),
+                cost: Cost(1),
+                dirty: false,
+            },
         ]
     }
 

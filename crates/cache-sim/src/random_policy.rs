@@ -17,7 +17,13 @@ impl RandomEvict {
     /// fixed nonzero constant, since xorshift cannot leave state zero).
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        RandomEvict { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        RandomEvict {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     fn next(&mut self) -> u64 {
@@ -62,7 +68,12 @@ mod tests {
     #[test]
     fn deterministic_for_same_seed() {
         let entries: Vec<WayView> = (0..4)
-            .map(|i| WayView { way: Way(i), block: BlockAddr(i as u64), cost: Cost(1), dirty: false })
+            .map(|i| WayView {
+                way: Way(i),
+                block: BlockAddr(i as u64),
+                cost: Cost(1),
+                dirty: false,
+            })
             .collect();
         let view = SetView::new(&entries);
         let mut a = RandomEvict::new(42);
@@ -75,7 +86,12 @@ mod tests {
     #[test]
     fn covers_all_ways_eventually() {
         let entries: Vec<WayView> = (0..4)
-            .map(|i| WayView { way: Way(i), block: BlockAddr(i as u64), cost: Cost(1), dirty: false })
+            .map(|i| WayView {
+                way: Way(i),
+                block: BlockAddr(i as u64),
+                cost: Cost(1),
+                dirty: false,
+            })
             .collect();
         let view = SetView::new(&entries);
         let mut p = RandomEvict::new(7);
@@ -83,6 +99,9 @@ mod tests {
         for _ in 0..200 {
             seen[p.victim(SetIndex(0), &view).0] = true;
         }
-        assert!(seen.iter().all(|&s| s), "random policy should touch every way");
+        assert!(
+            seen.iter().all(|&s| s),
+            "random policy should touch every way"
+        );
     }
 }

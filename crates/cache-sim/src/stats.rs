@@ -96,7 +96,12 @@ mod tests {
 
     #[test]
     fn rates() {
-        let s = CacheStats { accesses: 10, hits: 7, misses: 3, ..Default::default() };
+        let s = CacheStats {
+            accesses: 10,
+            hits: 7,
+            misses: 3,
+            ..Default::default()
+        };
         assert!((s.miss_rate() - 0.3).abs() < 1e-12);
         assert!((s.hit_rate() - 0.7).abs() < 1e-12);
     }

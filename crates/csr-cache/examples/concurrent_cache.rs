@@ -1,0 +1,107 @@
+//! A concurrent cache-aside service over a simulated two-tier backend:
+//! most records live on a fast local store, a minority on a slow remote
+//! one. Worker threads look records up through a shared [`CsrCache`]
+//! configured with the ACL policy, whose cost function prices each record
+//! by its backend latency — so the cache preferentially retains the
+//! records that are expensive to refetch.
+//!
+//! Run with `cargo run --example concurrent_cache -p csr-cache`.
+
+use csr_cache::{CsrCache, Policy};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+const THREADS: usize = 8;
+const REQUESTS_PER_THREAD: usize = 100_000;
+const CAPACITY: usize = 2048;
+const RECORDS: u64 = 16_384;
+
+/// Simulated backend latency in microseconds: every 16th record is
+/// "remote" and ~30x more expensive to fetch.
+fn backend_latency_us(key: u64) -> u64 {
+    if key % 16 == 0 {
+        300
+    } else {
+        10
+    }
+}
+
+/// The simulated backend fetch.
+fn fetch_from_backend(key: u64) -> String {
+    format!("record-{key}")
+}
+
+/// A deterministic Zipf-ish sampler: rejection-free inverse-power skew.
+fn sample_key(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let u = (*state >> 33) as f64 / (1u64 << 31) as f64;
+    // Inverse-CDF of a power-law rank distribution over [1, RECORDS].
+    let rank = (RECORDS as f64).powf(u);
+    (rank as u64).min(RECORDS - 1)
+}
+
+fn main() {
+    let cache: Arc<CsrCache<u64, String>> = Arc::new(
+        CsrCache::builder(CAPACITY)
+            .shards(THREADS)
+            .policy(Policy::Acl)
+            .cost_fn(|k: &u64, _v: &String| backend_latency_us(*k))
+            .build(),
+    );
+    println!(
+        "cache: capacity {} entries, {} shards, policy {}",
+        cache.capacity(),
+        cache.num_shards(),
+        cache.policy_name()
+    );
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                let mut rng = 0x5EED ^ (t as u64) << 32;
+                let mut backend_us = 0u64;
+                for _ in 0..REQUESTS_PER_THREAD {
+                    let key = sample_key(&mut rng);
+                    if cache.get(&key).is_none() {
+                        // Miss: pay the backend latency, then cache it.
+                        backend_us += backend_latency_us(key);
+                        cache.insert(key, fetch_from_backend(key));
+                    }
+                }
+                backend_us
+            })
+        })
+        .collect();
+    let backend_us: u64 = workers
+        .into_iter()
+        .map(|w| w.join().expect("worker panicked"))
+        .sum();
+    let elapsed = start.elapsed();
+
+    let s = cache.stats();
+    let total_requests = (THREADS * REQUESTS_PER_THREAD) as u64;
+    println!("\n{total_requests} requests from {THREADS} threads in {elapsed:.2?}");
+    println!(
+        "hit rate {:.1}%  ({} hits / {} lookups, {} evictions, {} reservations)",
+        100.0 * s.hit_rate(),
+        s.hits,
+        s.lookups,
+        s.evictions,
+        s.reservations
+    );
+    println!(
+        "simulated backend time paid: {:.1} s ({:.1} us/request average)",
+        backend_us as f64 / 1e6,
+        backend_us as f64 / total_requests as f64
+    );
+    println!(
+        "aggregate miss cost (the metric ACL minimizes): {}",
+        s.aggregate_miss_cost
+    );
+    assert_eq!(s.hits + s.misses, s.lookups);
+}

@@ -1,0 +1,414 @@
+//! The sharded, thread-safe, cost-aware cache.
+
+use cache_sim::BlockAddr;
+use csr::EvictionPolicy;
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hash};
+use std::sync::Arc;
+
+use crate::policy::Policy;
+use crate::shard::Shard;
+use crate::stats::CacheStats;
+
+/// The user-supplied miss-cost function: invoked once per fill with the key
+/// and value being inserted, returning the cost of re-obtaining that entry
+/// on a future miss (latency, bytes, money — any additive unit).
+pub type CostFn<K, V> = dyn Fn(&K, &V) -> u64 + Send + Sync;
+
+type PolicyFactory = Box<dyn Fn(usize) -> Box<dyn EvictionPolicy + Send>>;
+
+/// Configures and builds a [`CsrCache`]. Created by [`CsrCache::builder`].
+pub struct CacheBuilder<K, V, S = RandomState> {
+    capacity: usize,
+    shards: Option<usize>,
+    policy: PolicyFactory,
+    policy_name: &'static str,
+    cost_fn: Arc<CostFn<K, V>>,
+    hasher: S,
+}
+
+impl<K, V> CacheBuilder<K, V, RandomState> {
+    fn new(capacity: usize) -> Self {
+        CacheBuilder {
+            capacity,
+            shards: None,
+            policy: Box::new(|ways| Policy::Lru.build_core(ways)),
+            policy_name: Policy::Lru.name(),
+            cost_fn: Arc::new(|_, _| 1),
+            hasher: RandomState::new(),
+        }
+    }
+}
+
+impl<K, V, S> CacheBuilder<K, V, S> {
+    /// Sets the number of shards. Rounded up to a power of two and capped
+    /// so that every shard holds at least one entry. Defaults to a power
+    /// of two near the machine's available parallelism.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Selects one of the built-in replacement policies ([`Policy`]).
+    #[must_use]
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = Box::new(move |ways| policy.build_core(ways));
+        self.policy_name = policy.name();
+        self
+    }
+
+    /// Supplies an arbitrary policy: `factory` is called once per shard
+    /// with the shard's capacity (its number of "ways") and returns the
+    /// core driving that shard's evictions.
+    #[must_use]
+    pub fn policy_with(
+        mut self,
+        name: &'static str,
+        factory: impl Fn(usize) -> Box<dyn EvictionPolicy + Send> + 'static,
+    ) -> Self {
+        self.policy = Box::new(factory);
+        self.policy_name = name;
+        self
+    }
+
+    /// Sets the miss-cost function. Uniform cost 1 by default (under which
+    /// every cost-sensitive policy degenerates to its LRU behaviour).
+    #[must_use]
+    pub fn cost_fn(mut self, f: impl Fn(&K, &V) -> u64 + Send + Sync + 'static) -> Self {
+        self.cost_fn = Arc::new(f);
+        self
+    }
+
+    /// Replaces the hash builder (shared by shard selection and the shard
+    /// index maps). Useful for deterministic tests.
+    #[must_use]
+    pub fn hasher<S2: BuildHasher + Clone>(self, hasher: S2) -> CacheBuilder<K, V, S2> {
+        CacheBuilder {
+            capacity: self.capacity,
+            shards: self.shards,
+            policy: self.policy,
+            policy_name: self.policy_name,
+            cost_fn: self.cost_fn,
+            hasher,
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V, S: BuildHasher + Clone> CacheBuilder<K, V, S> {
+    /// Builds the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn build(self) -> CsrCache<K, V, S> {
+        assert!(self.capacity > 0, "cache capacity must be positive");
+        let requested = self.shards.unwrap_or_else(default_shards);
+        let shards = effective_shards(requested, self.capacity);
+        let per_shard = self.capacity.div_ceil(shards);
+        let shard_vec: Vec<Shard<K, V, S>> = (0..shards)
+            .map(|_| Shard::new(per_shard, (self.policy)(per_shard), self.hasher.clone()))
+            .collect();
+        CsrCache {
+            shards: shard_vec.into_boxed_slice(),
+            shard_bits: shards.trailing_zeros(),
+            hasher: self.hasher,
+            cost_fn: self.cost_fn,
+            policy_name: self.policy_name,
+        }
+    }
+}
+
+/// A power of two near the machine's parallelism, in `[1, 64]`.
+fn default_shards() -> usize {
+    let n = std::thread::available_parallelism().map_or(8, std::num::NonZeroUsize::get);
+    n.next_power_of_two().min(64)
+}
+
+/// Rounds the requested shard count to a power of two no larger than
+/// `capacity` (every shard must hold at least one entry).
+fn effective_shards(requested: usize, capacity: usize) -> usize {
+    let cap_pow2 = if capacity.is_power_of_two() {
+        capacity
+    } else {
+        capacity.next_power_of_two() / 2
+    };
+    requested.next_power_of_two().min(cap_pow2).max(1)
+}
+
+/// A thread-safe, sharded, cost-aware key-value cache.
+///
+/// Keys are hashed once; the hash picks the shard (high bits) and doubles
+/// as the entry's stable *block identity* for the replacement policy (the
+/// shard's [`EvictionPolicy`] core sees 64-bit "block addresses", exactly
+/// like the simulator policies do). Each shard is an independently locked
+/// LRU region of `capacity / shards` entries, evicting via the configured
+/// cost-sensitive policy; statistics counters are readable without taking
+/// any lock.
+///
+/// # Examples
+///
+/// ```
+/// use csr_cache::{CsrCache, Policy};
+///
+/// let cache: CsrCache<u64, String> = CsrCache::builder(1024)
+///     .policy(Policy::Dcl)
+///     .cost_fn(|_k: &u64, v: &String| 1 + v.len() as u64) // bigger values cost more to refetch
+///     .build();
+///
+/// cache.insert(1, "expensive remote row".to_string());
+/// assert_eq!(cache.get(&1).as_deref(), Some("expensive remote row"));
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+pub struct CsrCache<K, V, S = RandomState> {
+    shards: Box<[Shard<K, V, S>]>,
+    shard_bits: u32,
+    hasher: S,
+    cost_fn: Arc<CostFn<K, V>>,
+    policy_name: &'static str,
+}
+
+impl<K: Hash + Eq + Clone, V> CsrCache<K, V, RandomState> {
+    /// A cache of `capacity` entries with default settings: LRU policy,
+    /// uniform cost 1, one shard per hardware thread (rounded to a power
+    /// of two).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        CsrCache::builder(capacity).build()
+    }
+
+    /// Starts configuring a cache of `capacity` entries.
+    #[must_use]
+    pub fn builder(capacity: usize) -> CacheBuilder<K, V, RandomState> {
+        CacheBuilder::new(capacity)
+    }
+}
+
+impl<K: Hash + Eq + Clone, V, S: BuildHasher> CsrCache<K, V, S> {
+    fn locate(&self, key: &K) -> (usize, BlockAddr) {
+        let h = self.hasher.hash_one(key);
+        let shard = if self.shard_bits == 0 {
+            0
+        } else {
+            (h >> (64 - self.shard_bits)) as usize
+        };
+        (shard, BlockAddr(h))
+    }
+
+    /// Looks `key` up, promoting it to most recently used on a hit.
+    ///
+    /// Returns a clone of the cached value — the lock is released before
+    /// the caller touches it.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let (shard, id) = self.locate(key);
+        self.shards[shard].get(key, id)
+    }
+
+    /// Inserts `key -> value`, charging the configured cost function and
+    /// evicting per policy if the shard is full. Returns the previous
+    /// value when `key` was already resident (an in-place update).
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let (shard, id) = self.locate(&key);
+        let cost = (self.cost_fn)(&key, &value);
+        self.shards[shard].insert(key, value, cost, id)
+    }
+
+    /// Removes `key`, returning its value if it was resident.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let (shard, _) = self.locate(key);
+        self.shards[shard].remove(key)
+    }
+
+    /// Whether `key` is currently resident (no recency side effects).
+    pub fn contains(&self, key: &K) -> bool {
+        let (shard, _) = self.locate(key);
+        self.shards[shard].contains(key)
+    }
+
+    /// Drops every entry (counted as removals; statistics are kept).
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.clear();
+        }
+    }
+
+    /// Resident entries across all shards, without locking.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    /// Whether no entry is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity: `shards * per-shard capacity`. At least the
+    /// capacity requested at build time (rounded up to fill every shard
+    /// equally).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(Shard::capacity).sum()
+    }
+
+    /// Number of independently locked shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Name of the configured replacement policy.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy_name
+    }
+
+    /// A cache-wide statistics snapshot (lock-free; see
+    /// [`CacheStats`] for the consistency caveat under concurrency).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in self.shards.iter() {
+            total.merge(&s.stats());
+        }
+        total
+    }
+
+    /// Per-shard statistics snapshots, in shard order.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(Shard::stats).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lru_cache(capacity: usize, shards: usize) -> CsrCache<u64, u64> {
+        CsrCache::builder(capacity).shards(shards).build()
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let c = lru_cache(8, 1);
+        assert_eq!(c.insert(1, 10), None);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.insert(1, 11), Some(10), "overwrite returns the old value");
+        assert_eq!(c.remove(&1), Some(11));
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+        let s = c.stats();
+        assert_eq!((s.lookups, s.hits, s.misses), (2, 1, 1));
+        assert_eq!((s.insertions, s.updates, s.removals), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_in_recency_order() {
+        let c = lru_cache(2, 1);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.get(&1); // 2 becomes LRU
+        c.insert(3, 3);
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2));
+        assert!(c.contains(&3));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let c = lru_cache(16, 4);
+        for k in 0..1000u64 {
+            c.insert(k, k);
+            assert!(c.len() <= c.capacity());
+        }
+    }
+
+    #[test]
+    fn dcl_shard_reserves_expensive_lru() {
+        // Single shard of 2: the shard-level replay of the paper's
+        // Section 2.2 scenario (and of csr::Dcl's own unit test).
+        let c: CsrCache<u64, u64> = CsrCache::builder(2)
+            .shards(1)
+            .policy(Policy::Dcl)
+            .cost_fn(|k, _v| if *k == 0 { 8 } else { 1 })
+            .build();
+        c.insert(0, 0); // expensive, becomes LRU
+        c.insert(1, 1); // cheap, MRU
+        c.insert(2, 2); // full: DCL reserves key 0, evicts cheap key 1
+        assert!(c.contains(&0), "expensive LRU entry must be reserved");
+        assert!(!c.contains(&1));
+        let s = c.stats();
+        assert_eq!(s.reservations, 1);
+        assert_eq!(s.aggregate_miss_cost, 8 + 1 + 1);
+    }
+
+    #[test]
+    fn uniform_costs_make_policies_agree_with_lru() {
+        for policy in Policy::ALL {
+            let c: CsrCache<u64, u64> = CsrCache::builder(4).shards(1).policy(policy).build();
+            for k in 0..6u64 {
+                c.insert(k, k);
+            }
+            for k in 0..2u64 {
+                assert!(
+                    !c.contains(&k),
+                    "{policy}: key {k} should have been evicted"
+                );
+            }
+            for k in 2..6u64 {
+                assert!(c.contains(&k), "{policy}: key {k} should be resident");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_rounding() {
+        let c = lru_cache(10, 4);
+        assert_eq!(c.num_shards(), 4);
+        assert_eq!(c.capacity(), 12, "10/4 rounds up to 3 per shard");
+        // More shards than capacity: clamp so each shard holds >= 1 entry.
+        let c = lru_cache(3, 8);
+        assert_eq!(c.num_shards(), 2);
+        assert_eq!(c.capacity(), 4);
+        // Power-of-two round-up of the request.
+        let c = lru_cache(64, 3);
+        assert_eq!(c.num_shards(), 4);
+    }
+
+    #[test]
+    fn clear_empties_and_counts_removals() {
+        let c = lru_cache(8, 2);
+        for k in 0..8u64 {
+            c.insert(k, k);
+        }
+        let resident = c.len() as u64;
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().removals, resident);
+        // The cache stays usable after clear.
+        c.insert(1, 1);
+        assert_eq!(c.get(&1), Some(1));
+    }
+
+    #[test]
+    fn stats_identity_holds_single_threaded() {
+        let c = lru_cache(32, 4);
+        for k in 0..200u64 {
+            if c.get(&(k % 50)).is_none() {
+                c.insert(k % 50, k);
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, s.lookups);
+        assert_eq!(s.insertions, s.misses);
+    }
+}

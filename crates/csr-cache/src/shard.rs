@@ -1,0 +1,356 @@
+//! One independently locked shard: a slab of entries threaded on an
+//! intrusive doubly linked recency list, an index map, and a pluggable
+//! [`EvictionPolicy`] core.
+//!
+//! A shard is to the key-value cache what one set is to a hardware cache:
+//! the policy core sees the shard as a single replacement region whose
+//! "ways" are slab slots and whose "block addresses" are the stable 64-bit
+//! key hashes. As with the tag aliasing of Section 4.3, a hash collision
+//! can at worst make a policy depreciate a reservation it should not have —
+//! never affect correctness of the key-value mapping itself, which always
+//! compares full keys.
+
+use cache_sim::{BlockAddr, Cost, SetView, Way, WayView};
+use csr::EvictionPolicy;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::stats::CacheStats;
+
+/// Sentinel slot index for list ends.
+const NIL: u32 = u32::MAX;
+
+/// Per-shard counters: mutated under the shard lock, loaded without it.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    updates: AtomicU64,
+    evictions: AtomicU64,
+    reservations: AtomicU64,
+    removals: AtomicU64,
+    aggregate_miss_cost: AtomicU64,
+    resident: AtomicU64,
+}
+
+impl ShardCounters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            reservations: self.reservations.load(Ordering::Relaxed),
+            removals: self.removals.load(Ordering::Relaxed),
+            aggregate_miss_cost: self.aggregate_miss_cost.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One slab entry: the key-value pair plus its recency-list links.
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    /// Miss cost as computed by the cache's cost function at fill time.
+    cost: u64,
+    /// Stable policy-visible identity: the 64-bit hash of the key.
+    id: BlockAddr,
+    prev: u32,
+    next: u32,
+}
+
+struct ShardState<K, V, S> {
+    /// key -> slab slot.
+    map: HashMap<K, u32, S>,
+    slots: Vec<Option<Slot<K, V>>>,
+    free: Vec<u32>,
+    /// MRU end of the recency list.
+    head: u32,
+    /// LRU end of the recency list.
+    tail: u32,
+    policy: Box<dyn EvictionPolicy + Send>,
+}
+
+impl<K, V, S> ShardState<K, V, S> {
+    fn slot(&self, i: u32) -> &Slot<K, V> {
+        self.slots[i as usize]
+            .as_ref()
+            .expect("linked slot must be occupied")
+    }
+
+    fn slot_mut(&mut self, i: u32) -> &mut Slot<K, V> {
+        self.slots[i as usize]
+            .as_mut()
+            .expect("linked slot must be occupied")
+    }
+
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let s = self.slot(i);
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slot_mut(prev).next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slot_mut(next).prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: u32) {
+        let old_head = self.head;
+        {
+            let s = self.slot_mut(i);
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slot_mut(old_head).prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn move_to_front(&mut self, i: u32) {
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+    }
+
+    /// `(id, cost)` of the LRU entry, if any — what the policy cores call
+    /// the LRU block.
+    fn lru_of(&self) -> Option<(BlockAddr, Cost)> {
+        if self.tail == NIL {
+            None
+        } else {
+            let s = self.slot(self.tail);
+            Some((s.id, Cost(s.cost)))
+        }
+    }
+
+    /// Materializes the recency stack MRU → LRU for victim selection (the
+    /// only O(capacity) step; runs once per eviction).
+    fn view_entries(&self) -> Vec<WayView> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            let s = self.slot(cur);
+            out.push(WayView {
+                way: Way(cur as usize),
+                block: s.id,
+                cost: Cost(s.cost),
+                dirty: false,
+            });
+            cur = s.next;
+        }
+        out
+    }
+}
+
+pub(crate) struct Shard<K, V, S> {
+    state: Mutex<ShardState<K, V, S>>,
+    counters: ShardCounters,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
+    pub(crate) fn new(capacity: usize, policy: Box<dyn EvictionPolicy + Send>, hasher: S) -> Self {
+        assert!(capacity > 0, "shard capacity must be positive");
+        assert!(
+            capacity < NIL as usize,
+            "shard capacity must fit in a u32 slot index"
+        );
+        Shard {
+            state: Mutex::new(ShardState {
+                map: HashMap::with_capacity_and_hasher(capacity, hasher),
+                slots: Vec::with_capacity(capacity),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                policy,
+            }),
+            counters: ShardCounters::default(),
+            capacity,
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident entries, readable without the lock.
+    pub(crate) fn len(&self) -> usize {
+        self.counters.resident.load(Ordering::Relaxed) as usize
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        self.counters.snapshot()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ShardState<K, V, S>> {
+        // A panic while holding the lock leaves the shard in an undefined
+        // intermediate state; propagating the poison (panicking here) is
+        // the correct containment.
+        self.state.lock().expect("shard lock poisoned")
+    }
+
+    pub(crate) fn get(&self, key: &K, id: BlockAddr) -> Option<V>
+    where
+        V: Clone,
+    {
+        ShardCounters::bump(&self.counters.lookups);
+        let mut st = self.lock();
+        match st.map.get(key).copied() {
+            Some(i) => {
+                let is_lru = st.tail == i;
+                let (sid, way, cost) = {
+                    let s = st.slot(i);
+                    (s.id, Way(i as usize), Cost(s.cost))
+                };
+                st.policy.on_hit(sid, way, cost, is_lru);
+                st.move_to_front(i);
+                let value = st.slot(i).value.clone();
+                ShardCounters::bump(&self.counters.hits);
+                Some(value)
+            }
+            None => {
+                let lru = st.lru_of();
+                st.policy.on_miss(id, lru);
+                ShardCounters::bump(&self.counters.misses);
+                None
+            }
+        }
+    }
+
+    /// Inserts `key -> value` with miss cost `cost`, evicting per policy if
+    /// the shard is full. Returns the previous value when overwriting.
+    pub(crate) fn insert(&self, key: K, value: V, cost: u64, id: BlockAddr) -> Option<V> {
+        let mut st = self.lock();
+        if let Some(i) = st.map.get(&key).copied() {
+            // Overwrite in place: treat as an access (promote + notify),
+            // then refresh the stored cost for cost-dependent policies.
+            let is_lru = st.tail == i;
+            let (sid, old_cost) = {
+                let s = st.slot(i);
+                (s.id, Cost(s.cost))
+            };
+            st.policy.on_hit(sid, Way(i as usize), old_cost, is_lru);
+            st.move_to_front(i);
+            st.policy.on_fill(sid, Way(i as usize), Cost(cost));
+            let s = st.slot_mut(i);
+            s.cost = cost;
+            let old = std::mem::replace(&mut s.value, value);
+            ShardCounters::bump(&self.counters.updates);
+            return Some(old);
+        }
+
+        // The insert of an absent key is itself a missing access. In the
+        // get-then-insert flow this is the second on_miss for the same
+        // miss — harmless by the EvictionPolicy contract (the first call
+        // consumed any matching ETD entry).
+        let lru = st.lru_of();
+        st.policy.on_miss(id, lru);
+
+        if st.map.len() == self.capacity {
+            let entries = st.view_entries();
+            let victim = st.policy.victim(&SetView::new(&entries));
+            let vi = victim.0 as u32;
+            if st.tail != vi {
+                ShardCounters::bump(&self.counters.reservations);
+            }
+            st.unlink(vi);
+            let evicted = st.slots[vi as usize]
+                .take()
+                .expect("victim slot must be occupied");
+            st.map.remove(&evicted.key);
+            st.free.push(vi);
+            ShardCounters::bump(&self.counters.evictions);
+            self.counters.resident.fetch_sub(1, Ordering::Relaxed);
+        }
+
+        let i = match st.free.pop() {
+            Some(i) => i,
+            None => {
+                st.slots.push(None);
+                (st.slots.len() - 1) as u32
+            }
+        };
+        st.slots[i as usize] = Some(Slot {
+            key: key.clone(),
+            value,
+            cost,
+            id,
+            prev: NIL,
+            next: NIL,
+        });
+        st.map.insert(key, i);
+        st.push_front(i);
+        st.policy.on_fill(id, Way(i as usize), Cost(cost));
+        // Counter mutations stay inside the lock region: the lock
+        // serializes them per shard, so `resident` (read lock-free by
+        // `len`) can transiently undercount but never exceed capacity.
+        ShardCounters::bump(&self.counters.insertions);
+        self.counters
+            .aggregate_miss_cost
+            .fetch_add(cost, Ordering::Relaxed);
+        self.counters.resident.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    pub(crate) fn remove(&self, key: &K) -> Option<V> {
+        let mut st = self.lock();
+        let i = st.map.remove(key)?;
+        st.unlink(i);
+        let slot = self.take_slot(&mut st, i);
+        st.policy.on_remove(slot.id);
+        ShardCounters::bump(&self.counters.removals);
+        self.counters.resident.fetch_sub(1, Ordering::Relaxed);
+        Some(slot.value)
+    }
+
+    pub(crate) fn contains(&self, key: &K) -> bool {
+        self.lock().map.contains_key(key)
+    }
+
+    pub(crate) fn clear(&self) {
+        let mut st = self.lock();
+        let mut cur = st.head;
+        let mut dropped = 0u64;
+        while cur != NIL {
+            let slot = self.take_slot(&mut st, cur);
+            st.policy.on_remove(slot.id);
+            cur = slot.next;
+            dropped += 1;
+        }
+        st.map.clear();
+        st.free.clear();
+        st.slots.clear();
+        st.head = NIL;
+        st.tail = NIL;
+        self.counters.removals.fetch_add(dropped, Ordering::Relaxed);
+        self.counters.resident.fetch_sub(dropped, Ordering::Relaxed);
+    }
+
+    fn take_slot(&self, st: &mut ShardState<K, V, S>, i: u32) -> Slot<K, V> {
+        let slot = st.slots[i as usize].take().expect("slot must be occupied");
+        st.free.push(i);
+        slot
+    }
+}

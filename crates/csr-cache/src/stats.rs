@@ -1,0 +1,99 @@
+//! Aggregated cache statistics.
+//!
+//! Every shard keeps its own lock-free-readable counters (plain
+//! `AtomicU64`s mutated under the shard lock, loaded without it);
+//! [`CacheStats`](crate::CacheStats) is the roll-up snapshot the cache
+//! returns from [`CsrCache::stats`](crate::CsrCache::stats).
+
+/// A point-in-time snapshot of the counters of a [`CsrCache`](crate::CsrCache)
+/// (or of one of its shards).
+///
+/// Because shards are read without taking their locks, a snapshot taken
+/// while other threads are active is a *consistent-enough* view: each
+/// counter is exact, but counters may be skewed against each other by the
+/// handful of operations in flight. Quiesce the cache first when exact
+/// cross-counter identities (e.g. `hits + misses == lookups`) must hold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Calls to `get`.
+    pub lookups: u64,
+    /// Lookups that found the key resident.
+    pub hits: u64,
+    /// Lookups that did not find the key.
+    pub misses: u64,
+    /// Inserts that filled a previously absent key.
+    pub insertions: u64,
+    /// Inserts that overwrote a resident key in place.
+    pub updates: u64,
+    /// Entries displaced to make room for a fill.
+    pub evictions: u64,
+    /// Evictions that spared the LRU entry for a cheaper one — the
+    /// reservations of the cost-sensitive policies (for GreedyDual, its
+    /// non-LRU victim selections).
+    pub reservations: u64,
+    /// Entries dropped by explicit `remove` or `clear`.
+    pub removals: u64,
+    /// Sum of the costs of all fills: the total cost paid to (re)populate
+    /// the cache — the quantity the cost-sensitive policies minimize.
+    pub aggregate_miss_cost: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit, in `[0, 1]` (zero when no lookups).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Accumulates `other` into `self` (counter-wise sum), for rolling
+    /// per-shard snapshots into a cache-wide one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.updates += other.updates;
+        self.evictions += other.evictions;
+        self.reservations += other.reservations;
+        self.removals += other.removals;
+        self.aggregate_miss_cost += other.aggregate_miss_cost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats {
+            lookups: 4,
+            hits: 1,
+            ..CacheStats::default()
+        };
+        assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = CacheStats {
+            lookups: 1,
+            aggregate_miss_cost: 5,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            lookups: 2,
+            evictions: 3,
+            ..CacheStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.lookups, 3);
+        assert_eq!(a.evictions, 3);
+        assert_eq!(a.aggregate_miss_cost, 5);
+    }
+}

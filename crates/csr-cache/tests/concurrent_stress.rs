@@ -1,0 +1,184 @@
+//! Multi-threaded stress: 8+ threads hammer one cache with a mixed
+//! get/insert/remove workload under every policy, then the test checks
+//! the global invariants:
+//!
+//! * `hits + misses == lookups` (after quiescing);
+//! * residency never exceeds capacity (checked live from a separate
+//!   observer thread and again at the end);
+//! * conservation: `insertions == evictions + removals + resident`;
+//! * the run terminates (no deadlock — enforced by the harness timeout).
+
+use csr_cache::{CsrCache, Policy};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 40_000;
+const CAPACITY: usize = 512;
+const UNIVERSE: u64 = 2048;
+
+/// Deterministic per-thread LCG so runs are reproducible.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn stress(policy: Policy) {
+    let cache: Arc<CsrCache<u64, u64>> = Arc::new(
+        CsrCache::builder(CAPACITY)
+            .shards(8)
+            .policy(policy)
+            .cost_fn(|k: &u64, _v: &u64| 1 + k % 7)
+            .build(),
+    );
+
+    // A live observer: capacity must hold at every instant, not just at
+    // the end.
+    let stop = Arc::new(AtomicBool::new(false));
+    let observer = {
+        let cache = Arc::clone(&cache);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut checks = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                assert!(
+                    cache.len() <= cache.capacity(),
+                    "{}: resident {} exceeded capacity {}",
+                    cache.policy_name(),
+                    cache.len(),
+                    cache.capacity()
+                );
+                checks += 1;
+                thread::yield_now();
+            }
+            checks
+        })
+    };
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                let mut rng = Lcg(0x9E37_79B9 ^ (t as u64) << 32);
+                for _ in 0..OPS_PER_THREAD {
+                    let r = rng.next();
+                    let key = r % UNIVERSE;
+                    match r % 10 {
+                        // 70% lookups, fill on miss (the cache-aside idiom).
+                        0..=6 => {
+                            if cache.get(&key).is_none() {
+                                cache.insert(key, key * 2);
+                            }
+                        }
+                        // 20% blind inserts (some are overwrites).
+                        7 | 8 => {
+                            cache.insert(key, key * 3);
+                        }
+                        // 10% removals.
+                        _ => {
+                            cache.remove(&key);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for w in workers {
+        w.join().expect("worker thread panicked");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let checks = observer.join().expect("observer thread panicked");
+    assert!(checks > 0, "observer never ran");
+
+    // Quiesced: every cross-counter identity must hold exactly.
+    let s = cache.stats();
+    assert_eq!(
+        s.hits + s.misses,
+        s.lookups,
+        "{policy}: lookup identity violated"
+    );
+    assert!(
+        s.lookups > 0 && s.hits > 0 && s.misses > 0,
+        "{policy}: degenerate workload"
+    );
+    assert_eq!(
+        s.insertions,
+        s.evictions + s.removals + cache.len() as u64,
+        "{policy}: entry conservation violated",
+    );
+    assert!(cache.len() <= cache.capacity());
+    assert!(s.reservations <= s.evictions);
+
+    // Values never tear: every readable value is one this workload wrote.
+    for k in 0..UNIVERSE {
+        if let Some(v) = cache.get(&k) {
+            assert!(
+                v == k * 2 || v == k * 3,
+                "{policy}: torn value {v} for key {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stress_lru() {
+    stress(Policy::Lru);
+}
+
+#[test]
+fn stress_gd() {
+    stress(Policy::Gd);
+}
+
+#[test]
+fn stress_bcl() {
+    stress(Policy::Bcl);
+}
+
+#[test]
+fn stress_dcl() {
+    stress(Policy::Dcl);
+}
+
+#[test]
+fn stress_acl() {
+    stress(Policy::Acl);
+}
+
+/// All worker threads funnelled into a single shard: maximal contention on
+/// one mutex, plus the policy core sees a fully serialized event stream.
+#[test]
+fn stress_single_shard_contention() {
+    let cache: Arc<CsrCache<u64, u64>> =
+        Arc::new(CsrCache::builder(64).shards(1).policy(Policy::Dcl).build());
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                let mut rng = Lcg(t as u64 + 1);
+                for _ in 0..10_000 {
+                    let key = rng.next() % 256;
+                    if cache.get(&key).is_none() {
+                        cache.insert(key, key);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker thread panicked");
+    }
+    let s = cache.stats();
+    assert_eq!(s.hits + s.misses, s.lookups);
+    assert_eq!(s.lookups, (THREADS * 10_000) as u64);
+    assert!(cache.len() <= cache.capacity());
+}

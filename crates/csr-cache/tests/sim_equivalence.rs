@@ -1,0 +1,135 @@
+//! Deterministic single-thread equivalence: a 1-shard `CsrCache` driven
+//! with an identity hasher must make exactly the same residency decisions
+//! as the `cache-sim` simulator running the same policy on one set of the
+//! same associativity over an identical reference stream.
+//!
+//! The identity hasher makes the policy-visible block identity equal the
+//! raw key, so the shard's policy core and the simulator's per-set core
+//! observe byte-for-byte identical event streams.
+
+use cache_sim::{AccessType, BlockAddr, Cache, Cost, Geometry, Lru, ReplacementPolicy};
+use csr::{Acl, Bcl, Dcl, GreedyDual};
+use csr_cache::{CsrCache, Policy};
+use std::hash::{BuildHasher, Hasher};
+
+const WAYS: usize = 8;
+const UNIVERSE: u64 = 24;
+const ACCESSES: usize = 4000;
+
+/// A hasher whose output is the last `u64` written — `hash(k) == k`.
+#[derive(Clone, Default)]
+struct IdentityState;
+
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // u64's Hash impl goes through write_u64; this path is only taken
+        // by HashMap metadata writes on some platforms.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+    fn write_u64(&mut self, i: u64) {
+        self.0 = i;
+    }
+}
+
+impl BuildHasher for IdentityState {
+    type Hasher = IdentityHasher;
+    fn build_hasher(&self) -> IdentityHasher {
+        IdentityHasher(0)
+    }
+}
+
+/// Skewed costs: every fourth key is 16x more expensive to re-fetch.
+fn cost_of(key: u64) -> u64 {
+    if key % 4 == 0 {
+        16
+    } else {
+        1
+    }
+}
+
+/// Deterministic LCG reference stream over the key universe.
+fn stream() -> impl Iterator<Item = u64> {
+    let mut state = 0x1E12_AC4Eu64;
+    std::iter::repeat_with(move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % UNIVERSE
+    })
+    .take(ACCESSES)
+}
+
+fn run_equivalence<P: ReplacementPolicy>(policy: Policy, sim_policy: P) {
+    let geom = Geometry::new((WAYS * 64) as u64, 64, WAYS); // exactly one set
+    assert_eq!(geom.num_sets(), 1);
+    let mut sim = Cache::new(geom, sim_policy);
+
+    let cache: CsrCache<u64, u64, IdentityState> = CsrCache::builder(WAYS)
+        .shards(1)
+        .policy(policy)
+        .cost_fn(|k: &u64, _v: &u64| cost_of(*k))
+        .hasher(IdentityState)
+        .build();
+    assert_eq!(cache.capacity(), WAYS);
+
+    for (step, key) in stream().enumerate() {
+        sim.access(BlockAddr(key), AccessType::Read, Cost(cost_of(key)));
+        if cache.get(&key).is_none() {
+            cache.insert(key, key);
+        }
+
+        for probe in 0..UNIVERSE {
+            assert_eq!(
+                cache.contains(&probe),
+                sim.contains(BlockAddr(probe)),
+                "{policy}: residency of key {probe} diverged after step {step} (key {key})",
+            );
+        }
+    }
+
+    let stats = cache.stats();
+    assert_eq!(stats.lookups, ACCESSES as u64);
+    assert_eq!(stats.hits + stats.misses, stats.lookups);
+    assert_eq!(
+        stats.aggregate_miss_cost,
+        sim.stats().aggregate_cost.0,
+        "{policy}: aggregate miss cost diverged",
+    );
+    assert_eq!(stats.misses, stats.insertions);
+}
+
+#[test]
+fn lru_cache_matches_simulator() {
+    run_equivalence(Policy::Lru, Lru::new());
+}
+
+#[test]
+fn gd_cache_matches_simulator() {
+    let geom = Geometry::new((WAYS * 64) as u64, 64, WAYS);
+    run_equivalence(Policy::Gd, GreedyDual::new(&geom));
+}
+
+#[test]
+fn bcl_cache_matches_simulator() {
+    let geom = Geometry::new((WAYS * 64) as u64, 64, WAYS);
+    run_equivalence(Policy::Bcl, Bcl::new(&geom));
+}
+
+#[test]
+fn dcl_cache_matches_simulator() {
+    let geom = Geometry::new((WAYS * 64) as u64, 64, WAYS);
+    run_equivalence(Policy::Dcl, Dcl::new(&geom));
+}
+
+#[test]
+fn acl_cache_matches_simulator() {
+    let geom = Geometry::new((WAYS * 64) as u64, 64, WAYS);
+    run_equivalence(Policy::Acl, Acl::new(&geom));
+}

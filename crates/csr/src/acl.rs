@@ -14,19 +14,22 @@
 //!   block enters the ETD whenever a cheaper block was present in the set.
 //!   An ETD hit means a reservation would have saved cost — all entries are
 //!   invalidated and the counter jumps to two, re-enabling reservations.
+//!
+//! The single-region logic lives in [`AclCore`] (an
+//! [`EvictionPolicy`](crate::EvictionPolicy)); [`Acl`] replicates one core
+//! per set for the simulator.
 
-use crate::etd::{Etd, EtdConfig, EtdStats};
+use crate::etd::{EtdConfig, EtdSet, EtdStats, EtdView};
+use crate::eviction::{impl_replacement_via_cores, EvictionPolicy};
 use crate::reserve::{reservation_victim, AcostTracker};
-use cache_sim::{
-    BlockAddr, Cost, Geometry, InvalidateKind, ReplacementPolicy, SetIndex, SetView, Way,
-};
+use cache_sim::{BlockAddr, Cost, Geometry, SetIndex, SetView, Way};
 
 /// Counter ceiling of the 2-bit automaton.
 const COUNTER_MAX: u8 = 3;
 /// Counter value installed when a disabled set observes an ETD hit.
 const TRIGGER_VALUE: u8 = 2;
 
-/// Counters specific to [`Acl`].
+/// Counters specific to [`Acl`] / [`AclCore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AclStats {
     /// Reservations started (first non-LRU victimization of a streak).
@@ -46,6 +49,19 @@ pub struct AclStats {
     pub watch_inserts: u64,
 }
 
+impl AclStats {
+    /// Accumulates `other` into `self` (counter-wise sum).
+    pub fn merge(&mut self, other: &AclStats) {
+        self.reservations += other.reservations;
+        self.successes += other.successes;
+        self.failures += other.failures;
+        self.triggers += other.triggers;
+        self.lru_evictions += other.lru_evictions;
+        self.depreciations += other.depreciations;
+        self.watch_inserts += other.watch_inserts;
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct SetAutomaton {
     counter: u8,
@@ -58,50 +74,35 @@ impl SetAutomaton {
     }
 }
 
-/// The ACL replacement policy.
-///
-/// # Examples
-///
-/// ```
-/// use cache_sim::{Cache, Geometry, AccessType, Cost, BlockAddr};
-/// use csr::Acl;
-///
-/// let geom = Geometry::new(16 * 1024, 64, 4);
-/// let mut cache = Cache::new(geom, Acl::new(&geom));
-/// cache.access(BlockAddr(1), AccessType::Read, Cost(8));
-/// ```
+/// ACL for a single replacement region, owning its shadow directory and
+/// 2-bit automaton.
 #[derive(Debug, Clone)]
-pub struct Acl {
-    trackers: Vec<AcostTracker>,
-    automata: Vec<SetAutomaton>,
-    etd: Etd,
+pub struct AclCore {
+    tracker: AcostTracker,
+    automaton: SetAutomaton,
+    etd: EtdSet,
     factor: u64,
     stats: AclStats,
 }
 
-impl Acl {
-    /// Creates an ACL policy with a full-tag, `assoc - 1`-entry ETD.
+impl AclCore {
+    /// Creates a core around the given shadow directory.
     #[must_use]
-    pub fn new(geom: &Geometry) -> Self {
-        Acl::with_etd_config(geom, EtdConfig::for_assoc(geom.assoc()))
-    }
-
-    /// Creates an ACL policy whose ETD stores only the low `bits` tag bits.
-    #[must_use]
-    pub fn with_aliased_tags(geom: &Geometry, bits: u32) -> Self {
-        Acl::with_etd_config(geom, EtdConfig::for_assoc_aliased(geom.assoc(), bits))
-    }
-
-    /// Creates an ACL policy with an explicit ETD configuration.
-    #[must_use]
-    pub fn with_etd_config(geom: &Geometry, cfg: EtdConfig) -> Self {
-        Acl {
-            trackers: vec![AcostTracker::default(); geom.num_sets()],
-            automata: vec![SetAutomaton::default(); geom.num_sets()],
-            etd: Etd::new(geom.num_sets(), cfg),
+    pub fn new(etd: EtdSet) -> Self {
+        AclCore {
+            tracker: AcostTracker::default(),
+            automaton: SetAutomaton::default(),
+            etd,
             factor: 2,
             stats: AclStats::default(),
         }
+    }
+
+    /// Creates a core for a region of `ways` blockframes with the paper's
+    /// full-tag, `ways - 1`-entry directory.
+    #[must_use]
+    pub fn for_ways(ways: usize) -> Self {
+        AclCore::new(EtdSet::new(EtdConfig::for_assoc(ways)))
     }
 
     /// Overrides the depreciation factor (the paper's value is 2).
@@ -122,38 +123,32 @@ impl Acl {
         &self.stats
     }
 
-    /// Statistics of the embedded ETD.
+    /// The embedded shadow directory.
     #[must_use]
-    pub fn etd_stats(&self) -> &EtdStats {
-        self.etd.stats()
-    }
-
-    /// The automaton counter of `set` (tests and debugging).
-    #[must_use]
-    pub fn counter_of(&self, set: SetIndex) -> u8 {
-        self.automata[set.0].counter
-    }
-
-    /// Whether reservations are currently enabled in `set`.
-    #[must_use]
-    pub fn enabled(&self, set: SetIndex) -> bool {
-        self.automata[set.0].enabled()
-    }
-
-    /// The remaining depreciated cost of the tracked LRU block in `set`.
-    #[must_use]
-    pub fn acost_of(&self, set: SetIndex) -> u64 {
-        self.trackers[set.0].acost()
-    }
-
-    /// The embedded ETD (tests and debugging).
-    #[must_use]
-    pub fn etd(&self) -> &Etd {
+    pub fn etd(&self) -> &EtdSet {
         &self.etd
     }
 
-    fn end_reservation_failure(&mut self, set: SetIndex) {
-        let a = &mut self.automata[set.0];
+    /// The automaton counter (tests and debugging).
+    #[must_use]
+    pub fn counter(&self) -> u8 {
+        self.automaton.counter
+    }
+
+    /// Whether reservations are currently enabled.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.automaton.enabled()
+    }
+
+    /// The remaining depreciated cost of the tracked LRU block.
+    #[must_use]
+    pub fn acost(&self) -> u64 {
+        self.tracker.acost()
+    }
+
+    fn end_reservation_failure(&mut self) {
+        let a = &mut self.automaton;
         if a.reserved {
             a.counter = a.counter.saturating_sub(1);
             a.reserved = false;
@@ -163,35 +158,33 @@ impl Acl {
                 // left over from the failed reservation must not be
                 // misread as watch hits (they are evidence reservations
                 // *hurt*, not that one would have helped).
-                self.etd.clear_set(set);
+                self.etd.clear();
             }
         }
     }
 }
 
-impl ReplacementPolicy for Acl {
+impl EvictionPolicy for AclCore {
     fn name(&self) -> &'static str {
         "ACL"
     }
 
-    fn victim(&mut self, set: SetIndex, view: &SetView<'_>) -> Way {
-        self.trackers[set.0].sync(view);
-        if self.automata[set.0].enabled() {
+    fn victim(&mut self, view: &SetView<'_>) -> Way {
+        self.tracker.sync(view);
+        if self.automaton.enabled() {
             // DCL behaviour: reserve the LRU block if a cheaper block sits
             // above it.
-            let acost = self.trackers[set.0].acost();
-            if let Some((way, pos)) = reservation_victim(view, acost) {
+            if let Some((way, pos)) = reservation_victim(view, self.tracker.acost()) {
                 let e = view.at(pos);
-                self.etd.insert(set, e.block, e.cost);
-                let a = &mut self.automata[set.0];
-                if !a.reserved {
-                    a.reserved = true;
+                self.etd.insert(e.block, e.cost);
+                if !self.automaton.reserved {
+                    self.automaton.reserved = true;
                     self.stats.reservations += 1;
                 }
                 return way;
             }
             // The reserved block (if any) is evicted: the reservation failed.
-            self.end_reservation_failure(set);
+            self.end_reservation_failure();
         } else {
             // Watch mode: remember the evicted LRU block if a reservation
             // *could* have been made (a cheaper block exists in the set).
@@ -201,70 +194,161 @@ impl ReplacementPolicy for Acl {
                 .take(view.len().saturating_sub(1))
                 .any(|e| e.cost.0 < lru.cost.0);
             if cheaper_exists {
-                self.etd.insert(set, lru.block, lru.cost);
+                self.etd.insert(lru.block, lru.cost);
                 self.stats.watch_inserts += 1;
             }
         }
         self.stats.lru_evictions += 1;
         let lru = view.lru();
-        self.trackers[set.0].note_departure(lru.block);
+        self.tracker.note_departure(lru.block);
         lru.way
     }
 
-    fn on_hit(&mut self, set: SetIndex, view: &SetView<'_>, _way: Way, stack_pos: usize) {
-        let block = view.at(stack_pos).block;
-        if stack_pos + 1 == view.len() {
-            let a = &mut self.automata[set.0];
-            if a.reserved {
+    fn on_hit(&mut self, block: BlockAddr, _way: Way, _cost: Cost, is_lru: bool) {
+        if is_lru {
+            if self.automaton.reserved {
                 // The reserved block was re-referenced: success.
-                a.counter = (a.counter + 1).min(COUNTER_MAX);
-                a.reserved = false;
+                self.automaton.counter = (self.automaton.counter + 1).min(COUNTER_MAX);
+                self.automaton.reserved = false;
                 self.stats.successes += 1;
             }
-            if a.enabled() {
-                self.etd.clear_set(set);
+            if self.automaton.enabled() {
+                self.etd.clear();
             }
         }
-        self.trackers[set.0].note_departure(block);
+        self.tracker.note_departure(block);
     }
 
-    fn on_miss(&mut self, set: SetIndex, view: &SetView<'_>, block: BlockAddr) {
-        if self.automata[set.0].enabled() {
-            if let Some(cost) = self.etd.probe_and_take(set, block) {
-                let t = &mut self.trackers[set.0];
-                t.sync(view);
-                t.depreciate(Cost(cost.0.saturating_mul(self.factor)));
+    fn on_miss(&mut self, block: BlockAddr, lru: Option<(BlockAddr, Cost)>) {
+        if self.automaton.enabled() {
+            if let Some(cost) = self.etd.probe_and_take(block) {
+                self.tracker.sync_to(lru);
+                self.tracker
+                    .depreciate(Cost(cost.0.saturating_mul(self.factor)));
                 self.stats.depreciations += 1;
             }
-        } else if self.etd.probe_and_take(set, block).is_some() {
+        } else if self.etd.probe_and_take(block).is_some() {
             // A watch hit: keeping the block would have saved its miss cost.
             // Enable reservations, hoping a streak of successes started.
-            self.etd.clear_set(set);
-            self.automata[set.0].counter = TRIGGER_VALUE;
+            self.etd.clear();
+            self.automaton.counter = TRIGGER_VALUE;
             self.stats.triggers += 1;
         }
     }
 
-    fn on_invalidate(
-        &mut self,
-        set: SetIndex,
-        block: BlockAddr,
-        _resident: Option<(Way, usize)>,
-        _kind: InvalidateKind,
-    ) {
-        self.etd.invalidate(set, block);
-        if self.trackers[set.0].tracked() == Some(block) {
+    fn on_remove(&mut self, block: BlockAddr) {
+        self.etd.invalidate(block);
+        if self.tracker.tracked() == Some(block) {
             // The reserved block disappeared without a hit: failure.
-            self.end_reservation_failure(set);
+            self.end_reservation_failure();
         }
-        self.trackers[set.0].note_departure(block);
+        self.tracker.note_departure(block);
     }
 }
+
+/// The ACL replacement policy (one [`AclCore`] per set).
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{Cache, Geometry, AccessType, Cost, BlockAddr};
+/// use csr::Acl;
+///
+/// let geom = Geometry::new(16 * 1024, 64, 4);
+/// let mut cache = Cache::new(geom, Acl::new(&geom));
+/// cache.access(BlockAddr(1), AccessType::Read, Cost(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Acl {
+    cores: Vec<AclCore>,
+}
+
+impl Acl {
+    /// Creates an ACL policy with a full-tag, `assoc - 1`-entry ETD.
+    #[must_use]
+    pub fn new(geom: &Geometry) -> Self {
+        Acl::with_etd_config(geom, EtdConfig::for_assoc(geom.assoc()))
+    }
+
+    /// Creates an ACL policy whose ETD stores only the low `bits` tag bits.
+    #[must_use]
+    pub fn with_aliased_tags(geom: &Geometry, bits: u32) -> Self {
+        Acl::with_etd_config(geom, EtdConfig::for_assoc_aliased(geom.assoc(), bits))
+    }
+
+    /// Creates an ACL policy with an explicit ETD configuration.
+    #[must_use]
+    pub fn with_etd_config(geom: &Geometry, cfg: EtdConfig) -> Self {
+        let set_bits = geom.num_sets().trailing_zeros();
+        Acl {
+            cores: (0..geom.num_sets())
+                .map(|_| AclCore::new(EtdSet::with_stripped_bits(cfg, set_bits)))
+                .collect(),
+        }
+    }
+
+    /// Overrides the depreciation factor (the paper's value is 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    #[must_use]
+    pub fn with_depreciation_factor(mut self, factor: u64) -> Self {
+        self.cores = self
+            .cores
+            .into_iter()
+            .map(|c| c.with_depreciation_factor(factor))
+            .collect();
+        self
+    }
+
+    /// Policy statistics accumulated across all sets.
+    #[must_use]
+    pub fn stats(&self) -> AclStats {
+        let mut total = AclStats::default();
+        for c in &self.cores {
+            total.merge(c.stats());
+        }
+        total
+    }
+
+    /// Statistics of the embedded ETD, accumulated across all sets.
+    #[must_use]
+    pub fn etd_stats(&self) -> EtdStats {
+        self.etd().stats()
+    }
+
+    /// The automaton counter of `set` (tests and debugging).
+    #[must_use]
+    pub fn counter_of(&self, set: SetIndex) -> u8 {
+        self.cores[set.0].counter()
+    }
+
+    /// Whether reservations are currently enabled in `set`.
+    #[must_use]
+    pub fn enabled(&self, set: SetIndex) -> bool {
+        self.cores[set.0].enabled()
+    }
+
+    /// The remaining depreciated cost of the tracked LRU block in `set`.
+    #[must_use]
+    pub fn acost_of(&self, set: SetIndex) -> u64 {
+        self.cores[set.0].acost()
+    }
+
+    /// A set-indexed view of the embedded ETD (tests and debugging).
+    #[must_use]
+    pub fn etd(&self) -> EtdView<'_> {
+        EtdView::new(self.cores.iter().map(AclCore::etd).collect())
+    }
+}
+
+impl_replacement_via_cores!(Acl, "ACL");
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cache_sim::{AccessType, Cache};
+    use cache_sim::{AccessType, Cache, InvalidateKind};
 
     fn cache(assoc: usize) -> Cache<Acl> {
         let geom = Geometry::new(64 * assoc as u64, 64, assoc);
@@ -307,11 +391,14 @@ mod tests {
         c.access(BlockAddr(1), AccessType::Read, Cost(1));
         c.access(BlockAddr(2), AccessType::Read, Cost(1));
         c.access(BlockAddr(0), AccessType::Read, Cost(8)); // enables; set = [0(MRU), 2]
-        // Make 0 the LRU again, then fill: reservation protects it now.
+                                                           // Make 0 the LRU again, then fill: reservation protects it now.
         c.access(BlockAddr(2), AccessType::Read, Cost(1)); // set = [2(MRU), 0]...
-        // (block 0 at LRU, enabled): next fill displaces 2 instead of 0.
+                                                           // (block 0 at LRU, enabled): next fill displaces 2 instead of 0.
         c.access(BlockAddr(3), AccessType::Read, Cost(1));
-        assert!(c.contains(BlockAddr(0)), "enabled ACL must reserve the high-cost LRU block");
+        assert!(
+            c.contains(BlockAddr(0)),
+            "enabled ACL must reserve the high-cost LRU block"
+        );
         assert!(!c.contains(BlockAddr(2)));
         assert_eq!(c.policy().stats().reservations, 1);
     }
@@ -339,14 +426,18 @@ mod tests {
         c.access(BlockAddr(1), AccessType::Read, Cost(1));
         c.access(BlockAddr(2), AccessType::Read, Cost(1));
         c.access(BlockAddr(0), AccessType::Read, Cost(8)); // counter = 2; set [0, 2]
-        // Two failed reservations in a row: 0 reserved, depreciated away by
-        // ETD hits, finally evicted. Alternate accesses to 1 and 2 so the
-        // displaced block always returns.
+                                                           // Two failed reservations in a row: 0 reserved, depreciated away by
+                                                           // ETD hits, finally evicted. Alternate accesses to 1 and 2 so the
+                                                           // displaced block always returns.
         let mut expect_counter = TRIGGER_VALUE;
         for _ in 0..2 {
             // Move 0 to LRU by touching the other resident block.
-            let others: Vec<u64> =
-                c.recency_of(S0).iter().map(|b| b.0).filter(|&b| b != 0).collect();
+            let others: Vec<u64> = c
+                .recency_of(S0)
+                .iter()
+                .map(|b| b.0)
+                .filter(|&b| b != 0)
+                .collect();
             c.access(BlockAddr(others[0]), AccessType::Read, Cost(1));
             // Reserve 0 by filling new cheap blocks and re-referencing the
             // displaced ones until Acost (8) is exhausted: each round trip
@@ -354,13 +445,8 @@ mod tests {
             let mut fresh = 100 + expect_counter as u64 * 10;
             for _ in 0..4 {
                 c.access(BlockAddr(fresh), AccessType::Read, Cost(1)); // displace cheap
-                let displaced: Vec<u64> = c
-                    .policy()
-                    .etd()
-                    .blocks_in(S0)
-                    .iter()
-                    .map(|b| b.0)
-                    .collect();
+                let displaced: Vec<u64> =
+                    c.policy().etd().blocks_in(S0).iter().map(|b| b.0).collect();
                 c.access(BlockAddr(displaced[0]), AccessType::Read, Cost(1)); // ETD hit
                 fresh += 1;
             }

@@ -9,13 +9,16 @@
 //! accelerates the depreciation of the high cost", Section 2.3). When
 //! `Acost` reaches zero the reserved block becomes the prime replacement
 //! candidate.
+//!
+//! The single-region logic lives in [`BclCore`] (an
+//! [`EvictionPolicy`](crate::EvictionPolicy)); [`Bcl`] replicates one core
+//! per set for the simulator.
 
+use crate::eviction::{impl_replacement_via_cores, EvictionPolicy};
 use crate::reserve::{reservation_victim, AcostTracker};
-use cache_sim::{
-    BlockAddr, Cost, Geometry, InvalidateKind, ReplacementPolicy, SetIndex, SetView, Way,
-};
+use cache_sim::{BlockAddr, Cost, Geometry, SetIndex, SetView, Way};
 
-/// Counters specific to [`Bcl`].
+/// Counters specific to [`Bcl`] / [`BclCore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BclStats {
     /// Victim selections that reserved the LRU block (victim was non-LRU).
@@ -24,49 +27,41 @@ pub struct BclStats {
     pub lru_evictions: u64,
 }
 
-/// The BCL replacement policy.
-///
-/// The `factor` applied when depreciating `Acost` defaults to the paper's 2
-/// and can be changed with [`Bcl::with_depreciation_factor`] (an ablation
-/// the paper motivates in Section 2.3).
-///
-/// # Examples
-///
-/// ```
-/// use cache_sim::{Cache, Geometry, AccessType, Cost, BlockAddr};
-/// use csr::Bcl;
-///
-/// let geom = Geometry::new(16 * 1024, 64, 4);
-/// let mut cache = Cache::new(geom, Bcl::new(&geom));
-/// cache.access(BlockAddr(1), AccessType::Read, Cost(8));
-/// ```
+impl BclStats {
+    /// Accumulates `other` into `self` (counter-wise sum).
+    pub fn merge(&mut self, other: &BclStats) {
+        self.reservations += other.reservations;
+        self.lru_evictions += other.lru_evictions;
+    }
+}
+
+/// BCL for a single replacement region.
 #[derive(Debug, Clone)]
-pub struct Bcl {
-    trackers: Vec<AcostTracker>,
+pub struct BclCore {
+    tracker: AcostTracker,
     factor: u64,
     stats: BclStats,
 }
 
-impl Bcl {
-    /// Creates a BCL policy for the given cache geometry with the paper's
-    /// depreciation factor of 2.
+impl BclCore {
+    /// Creates a core with the paper's depreciation factor of 2.
     #[must_use]
-    pub fn new(geom: &Geometry) -> Self {
-        Bcl::with_depreciation_factor(geom, 2)
+    pub fn new() -> Self {
+        BclCore::with_depreciation_factor(2)
     }
 
-    /// Creates a BCL policy with a custom depreciation factor (how many
-    /// times the victim's cost is subtracted from `Acost` per reservation).
+    /// Creates a core with a custom depreciation factor (how many times the
+    /// victim's cost is subtracted from `Acost` per reservation).
     ///
     /// # Panics
     ///
     /// Panics if `factor` is zero (the reservation would never terminate for
     /// nonzero-cost victims).
     #[must_use]
-    pub fn with_depreciation_factor(geom: &Geometry, factor: u64) -> Self {
+    pub fn with_depreciation_factor(factor: u64) -> Self {
         assert!(factor > 0, "depreciation factor must be positive");
-        Bcl {
-            trackers: vec![AcostTracker::default(); geom.num_sets()],
+        BclCore {
+            tracker: AcostTracker::default(),
             factor,
             stats: BclStats::default(),
         }
@@ -84,56 +79,124 @@ impl Bcl {
         &self.stats
     }
 
-    /// The remaining depreciated cost of the tracked LRU block in `set`
-    /// (tests and debugging).
+    /// The remaining depreciated cost of the tracked LRU block.
     #[must_use]
-    pub fn acost_of(&self, set: SetIndex) -> u64 {
-        self.trackers[set.0].acost()
+    pub fn acost(&self) -> u64 {
+        self.tracker.acost()
     }
 }
 
-impl ReplacementPolicy for Bcl {
+impl Default for BclCore {
+    fn default() -> Self {
+        BclCore::new()
+    }
+}
+
+impl EvictionPolicy for BclCore {
     fn name(&self) -> &'static str {
         "BCL"
     }
 
-    fn victim(&mut self, set: SetIndex, view: &SetView<'_>) -> Way {
-        let t = &mut self.trackers[set.0];
-        t.sync(view);
+    fn victim(&mut self, view: &SetView<'_>) -> Way {
+        self.tracker.sync(view);
         // Figure 1: for i = s-1 downto 1, first block with c[i] < Acost.
-        if let Some((way, pos)) = reservation_victim(view, t.acost()) {
-            t.depreciate(Cost(view.at(pos).cost.0.saturating_mul(self.factor)));
+        if let Some((way, pos)) = reservation_victim(view, self.tracker.acost()) {
+            self.tracker
+                .depreciate(Cost(view.at(pos).cost.0.saturating_mul(self.factor)));
             self.stats.reservations += 1;
             return way;
         }
         // No cheaper block: the LRU block goes (and leaves the tracker).
         self.stats.lru_evictions += 1;
         let lru = view.lru();
-        t.note_departure(lru.block);
+        self.tracker.note_departure(lru.block);
         lru.way
     }
 
-    fn on_hit(&mut self, set: SetIndex, view: &SetView<'_>, _way: Way, stack_pos: usize) {
+    fn on_hit(&mut self, block: BlockAddr, _way: Way, _cost: Cost, _is_lru: bool) {
         // A hit on the tracked LRU block promotes it out of the LRU
         // position; reset so the next sync reloads a fresh Acost.
-        self.trackers[set.0].note_departure(view.at(stack_pos).block);
+        self.tracker.note_departure(block);
     }
 
-    fn on_invalidate(
-        &mut self,
-        set: SetIndex,
-        block: BlockAddr,
-        _resident: Option<(Way, usize)>,
-        _kind: InvalidateKind,
-    ) {
-        self.trackers[set.0].note_departure(block);
+    fn on_remove(&mut self, block: BlockAddr) {
+        self.tracker.note_departure(block);
     }
 }
+
+/// The BCL replacement policy (one [`BclCore`] per set).
+///
+/// The `factor` applied when depreciating `Acost` defaults to the paper's 2
+/// and can be changed with [`Bcl::with_depreciation_factor`] (an ablation
+/// the paper motivates in Section 2.3).
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{Cache, Geometry, AccessType, Cost, BlockAddr};
+/// use csr::Bcl;
+///
+/// let geom = Geometry::new(16 * 1024, 64, 4);
+/// let mut cache = Cache::new(geom, Bcl::new(&geom));
+/// cache.access(BlockAddr(1), AccessType::Read, Cost(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bcl {
+    cores: Vec<BclCore>,
+}
+
+impl Bcl {
+    /// Creates a BCL policy for the given cache geometry with the paper's
+    /// depreciation factor of 2.
+    #[must_use]
+    pub fn new(geom: &Geometry) -> Self {
+        Bcl::with_depreciation_factor(geom, 2)
+    }
+
+    /// Creates a BCL policy with a custom depreciation factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    #[must_use]
+    pub fn with_depreciation_factor(geom: &Geometry, factor: u64) -> Self {
+        Bcl {
+            cores: (0..geom.num_sets())
+                .map(|_| BclCore::with_depreciation_factor(factor))
+                .collect(),
+        }
+    }
+
+    /// The configured depreciation factor.
+    #[must_use]
+    pub fn depreciation_factor(&self) -> u64 {
+        self.cores[0].depreciation_factor()
+    }
+
+    /// Statistics accumulated across all sets.
+    #[must_use]
+    pub fn stats(&self) -> BclStats {
+        let mut total = BclStats::default();
+        for c in &self.cores {
+            total.merge(c.stats());
+        }
+        total
+    }
+
+    /// The remaining depreciated cost of the tracked LRU block in `set`
+    /// (tests and debugging).
+    #[must_use]
+    pub fn acost_of(&self, set: SetIndex) -> u64 {
+        self.cores[set.0].acost()
+    }
+}
+
+impl_replacement_via_cores!(Bcl, "BCL");
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cache_sim::{AccessType, Cache};
+    use cache_sim::{AccessType, Cache, InvalidateKind};
 
     fn cache(assoc: usize) -> Cache<Bcl> {
         let geom = Geometry::new(64 * assoc as u64, 64, assoc);
@@ -146,7 +209,10 @@ mod tests {
         c.access(BlockAddr(0), AccessType::Read, Cost(8)); // becomes LRU
         c.access(BlockAddr(1), AccessType::Read, Cost(1)); // MRU, cheap
         c.access(BlockAddr(2), AccessType::Read, Cost(1)); // 1 < Acost(8): evict 1
-        assert!(c.contains(BlockAddr(0)), "high-cost LRU block must be reserved");
+        assert!(
+            c.contains(BlockAddr(0)),
+            "high-cost LRU block must be reserved"
+        );
         assert!(!c.contains(BlockAddr(1)));
         assert_eq!(c.policy().stats().reservations, 1);
     }
@@ -161,7 +227,10 @@ mod tests {
         c.access(BlockAddr(3), AccessType::Read, Cost(1)); // Acost: 6 - 2 = 4
         c.access(BlockAddr(4), AccessType::Read, Cost(1)); // 4 - 2 = 2
         c.access(BlockAddr(5), AccessType::Read, Cost(1)); // 2 - 2 = 0
-        assert!(c.contains(BlockAddr(0)), "still reserved until Acost hits 0");
+        assert!(
+            c.contains(BlockAddr(0)),
+            "still reserved until Acost hits 0"
+        );
         // Acost exhausted: next replacement takes the LRU block itself.
         c.access(BlockAddr(6), AccessType::Read, Cost(1));
         assert!(!c.contains(BlockAddr(0)));
@@ -173,7 +242,10 @@ mod tests {
         c.access(BlockAddr(0), AccessType::Read, Cost(4));
         c.access(BlockAddr(1), AccessType::Read, Cost(4));
         c.access(BlockAddr(2), AccessType::Read, Cost(4));
-        assert!(!c.contains(BlockAddr(0)), "no strictly cheaper block: plain LRU");
+        assert!(
+            !c.contains(BlockAddr(0)),
+            "no strictly cheaper block: plain LRU"
+        );
         assert_eq!(c.policy().stats().reservations, 0);
     }
 
@@ -185,8 +257,8 @@ mod tests {
         c.access(BlockAddr(4), AccessType::Read, Cost(8)); // B
         c.access(BlockAddr(8), AccessType::Read, Cost(1)); // C
         c.access(BlockAddr(12), AccessType::Read, Cost(9)); // D
-        // Scan from second-LRU (B, cost 8 >= Acost 8) to C (1 < 8): C goes,
-        // reserving both A and (implicitly) B.
+                                                            // Scan from second-LRU (B, cost 8 >= Acost 8) to C (1 < 8): C goes,
+                                                            // reserving both A and (implicitly) B.
         c.access(BlockAddr(16), AccessType::Read, Cost(1));
         assert!(c.contains(BlockAddr(0)));
         assert!(c.contains(BlockAddr(4)));
@@ -200,7 +272,7 @@ mod tests {
         c.access(BlockAddr(1), AccessType::Read, Cost(1));
         c.access(BlockAddr(2), AccessType::Read, Cost(1)); // Acost 8 -> 6
         c.access(BlockAddr(0), AccessType::Read, Cost(8)); // hit the reserved block
-        // Block 2 is now LRU with cost 1; block 0 MRU. Evicting prefers 2.
+                                                           // Block 2 is now LRU with cost 1; block 0 MRU. Evicting prefers 2.
         c.access(BlockAddr(3), AccessType::Read, Cost(1));
         assert!(c.contains(BlockAddr(0)));
         assert!(!c.contains(BlockAddr(2)));
@@ -215,7 +287,10 @@ mod tests {
         for b in 2..50u64 {
             c.access(BlockAddr(b), AccessType::Read, Cost(0));
         }
-        assert!(c.contains(BlockAddr(0)), "zero-cost depreciation never releases");
+        assert!(
+            c.contains(BlockAddr(0)),
+            "zero-cost depreciation never releases"
+        );
     }
 
     #[test]
@@ -246,8 +321,8 @@ mod tests {
         assert_eq!(c.policy().acost_of(SetIndex(0)), 6);
         c.access(BlockAddr(0), AccessType::Read, Cost(8)); // hit A -> MRU
         c.access(BlockAddr(2), AccessType::Read, Cost(1)); // hit 2 -> A back to LRU
-        // Replacement: Acost must be the full 8 again, then 8-2=6 after
-        // reserving A once more.
+                                                           // Replacement: Acost must be the full 8 again, then 8-2=6 after
+                                                           // reserving A once more.
         c.access(BlockAddr(3), AccessType::Read, Cost(1));
         assert!(c.contains(BlockAddr(0)));
         assert_eq!(c.policy().acost_of(SetIndex(0)), 6);

@@ -32,7 +32,9 @@ pub struct CsoptLimits {
 
 impl Default for CsoptLimits {
     fn default() -> Self {
-        CsoptLimits { max_states: 200_000 }
+        CsoptLimits {
+            max_states: 200_000,
+        }
     }
 }
 
@@ -173,7 +175,10 @@ mod tests {
     use cache_sim::{AccessType, BlockAddr, Cache, Lru};
 
     fn acc(b: u64, c: u64) -> TraceEvent {
-        TraceEvent::Access { block: BlockAddr(b), cost: Cost(c) }
+        TraceEvent::Access {
+            block: BlockAddr(b),
+            cost: Cost(c),
+        }
     }
 
     fn one_set(assoc: usize) -> Geometry {
@@ -219,7 +224,9 @@ mod tests {
         let mut trace = Vec::new();
         let mut x = 12345u64;
         for _ in 0..300 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = (x >> 33) % 9;
             trace.push(acc(b, if b % 3 == 0 { 8 } else { 1 }));
         }
@@ -238,7 +245,9 @@ mod tests {
         let geom = one_set(2);
         let trace = vec![
             acc(0, 5),
-            TraceEvent::Invalidate { block: BlockAddr(0) },
+            TraceEvent::Invalidate {
+                block: BlockAddr(0),
+            },
             acc(0, 5),
         ];
         let s = simulate_csopt(&geom, &trace, CsoptLimits::default()).expect("small");

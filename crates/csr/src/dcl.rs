@@ -5,17 +5,20 @@
 //! victimized in its place is actually re-referenced before the reserved
 //! block** — the situation in which the reservation genuinely caused a miss.
 //! Displaced blocks are remembered in the per-set Extended Tag Directory
-//! ([`Etd`]); an access that misses in the cache but hits in the ETD
+//! ([`EtdSet`]); an access that misses in the cache but hits in the ETD
 //! triggers the depreciation and consumes the entry. A hit on the in-cache
 //! LRU block invalidates all ETD entries of the set.
+//!
+//! The single-region logic lives in [`DclCore`] (an
+//! [`EvictionPolicy`](crate::EvictionPolicy)); [`Dcl`] replicates one core
+//! per set for the simulator.
 
-use crate::etd::{Etd, EtdConfig, EtdStats};
+use crate::etd::{EtdConfig, EtdSet, EtdStats, EtdView};
+use crate::eviction::{impl_replacement_via_cores, EvictionPolicy};
 use crate::reserve::{reservation_victim, AcostTracker};
-use cache_sim::{
-    BlockAddr, Cost, Geometry, InvalidateKind, ReplacementPolicy, SetIndex, SetView, Way,
-};
+use cache_sim::{BlockAddr, Cost, Geometry, SetIndex, SetView, Way};
 
-/// Counters specific to [`Dcl`].
+/// Counters specific to [`Dcl`] / [`DclCore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DclStats {
     /// Victim selections that reserved the LRU block (victim was non-LRU).
@@ -26,50 +29,42 @@ pub struct DclStats {
     pub depreciations: u64,
 }
 
-/// The DCL replacement policy.
-///
-/// # Examples
-///
-/// ```
-/// use cache_sim::{Cache, Geometry, AccessType, Cost, BlockAddr};
-/// use csr::Dcl;
-///
-/// let geom = Geometry::new(16 * 1024, 64, 4);
-/// let mut cache = Cache::new(geom, Dcl::new(&geom));
-/// cache.access(BlockAddr(1), AccessType::Read, Cost(8));
-/// ```
+impl DclStats {
+    /// Accumulates `other` into `self` (counter-wise sum).
+    pub fn merge(&mut self, other: &DclStats) {
+        self.reservations += other.reservations;
+        self.lru_evictions += other.lru_evictions;
+        self.depreciations += other.depreciations;
+    }
+}
+
+/// DCL for a single replacement region, owning its shadow directory.
 #[derive(Debug, Clone)]
-pub struct Dcl {
-    trackers: Vec<AcostTracker>,
-    etd: Etd,
+pub struct DclCore {
+    tracker: AcostTracker,
+    etd: EtdSet,
     factor: u64,
     stats: DclStats,
 }
 
-impl Dcl {
-    /// Creates a DCL policy with a full-tag, `assoc - 1`-entry ETD and the
-    /// paper's depreciation factor of 2.
+impl DclCore {
+    /// Creates a core around the given shadow directory with the paper's
+    /// depreciation factor of 2.
     #[must_use]
-    pub fn new(geom: &Geometry) -> Self {
-        Dcl::with_etd_config(geom, EtdConfig::for_assoc(geom.assoc()))
-    }
-
-    /// Creates a DCL policy whose ETD stores only the low `bits` tag bits
-    /// (Section 4.3 evaluates 4-bit aliased tags).
-    #[must_use]
-    pub fn with_aliased_tags(geom: &Geometry, bits: u32) -> Self {
-        Dcl::with_etd_config(geom, EtdConfig::for_assoc_aliased(geom.assoc(), bits))
-    }
-
-    /// Creates a DCL policy with an explicit ETD configuration.
-    #[must_use]
-    pub fn with_etd_config(geom: &Geometry, cfg: EtdConfig) -> Self {
-        Dcl {
-            trackers: vec![AcostTracker::default(); geom.num_sets()],
-            etd: Etd::new(geom.num_sets(), cfg),
+    pub fn new(etd: EtdSet) -> Self {
+        DclCore {
+            tracker: AcostTracker::default(),
+            etd,
             factor: 2,
             stats: DclStats::default(),
         }
+    }
+
+    /// Creates a core for a region of `ways` blockframes with the paper's
+    /// full-tag, `ways - 1`-entry directory.
+    #[must_use]
+    pub fn for_ways(ways: usize) -> Self {
+        DclCore::new(EtdSet::new(EtdConfig::for_assoc(ways)))
     }
 
     /// Overrides the depreciation factor (the paper's value is 2).
@@ -90,38 +85,31 @@ impl Dcl {
         &self.stats
     }
 
-    /// Statistics of the embedded ETD.
+    /// The embedded shadow directory.
     #[must_use]
-    pub fn etd_stats(&self) -> &EtdStats {
-        self.etd.stats()
-    }
-
-    /// The embedded ETD (tests and debugging).
-    #[must_use]
-    pub fn etd(&self) -> &Etd {
+    pub fn etd(&self) -> &EtdSet {
         &self.etd
     }
 
-    /// The remaining depreciated cost of the tracked LRU block in `set`.
+    /// The remaining depreciated cost of the tracked LRU block.
     #[must_use]
-    pub fn acost_of(&self, set: SetIndex) -> u64 {
-        self.trackers[set.0].acost()
+    pub fn acost(&self) -> u64 {
+        self.tracker.acost()
     }
 }
 
-impl ReplacementPolicy for Dcl {
+impl EvictionPolicy for DclCore {
     fn name(&self) -> &'static str {
         "DCL"
     }
 
-    fn victim(&mut self, set: SetIndex, view: &SetView<'_>) -> Way {
-        let t = &mut self.trackers[set.0];
-        t.sync(view);
-        if let Some((way, pos)) = reservation_victim(view, t.acost()) {
+    fn victim(&mut self, view: &SetView<'_>) -> Way {
+        self.tracker.sync(view);
+        if let Some((way, pos)) = reservation_victim(view, self.tracker.acost()) {
             // Unlike BCL, no depreciation here: the displaced block is
             // recorded in the ETD and charged only if re-referenced.
             let e = view.at(pos);
-            self.etd.insert(set, e.block, e.cost);
+            self.etd.insert(e.block, e.cost);
             self.stats.reservations += 1;
             return way;
         }
@@ -130,47 +118,129 @@ impl ReplacementPolicy for Dcl {
         // them); they age out of the s-1-entry directory naturally.
         self.stats.lru_evictions += 1;
         let lru = view.lru();
-        t.note_departure(lru.block);
+        self.tracker.note_departure(lru.block);
         lru.way
     }
 
-    fn on_hit(&mut self, set: SetIndex, view: &SetView<'_>, _way: Way, stack_pos: usize) {
-        let block = view.at(stack_pos).block;
-        if stack_pos + 1 == view.len() {
+    fn on_hit(&mut self, block: BlockAddr, _way: Way, _cost: Cost, is_lru: bool) {
+        if is_lru {
             // A hit on the in-cache LRU block: the reservation (if any)
             // paid off; all ETD entries are invalidated (Section 2.4).
-            self.etd.clear_set(set);
+            self.etd.clear();
         }
-        self.trackers[set.0].note_departure(block);
+        self.tracker.note_departure(block);
     }
 
-    fn on_miss(&mut self, set: SetIndex, view: &SetView<'_>, block: BlockAddr) {
-        if let Some(cost) = self.etd.probe_and_take(set, block) {
+    fn on_miss(&mut self, block: BlockAddr, lru: Option<(BlockAddr, Cost)>) {
+        if let Some(cost) = self.etd.probe_and_take(block) {
             // The reservation displaced this block and it came back:
             // depreciate the reserved block's cost, as in BCL.
-            let t = &mut self.trackers[set.0];
-            t.sync(view);
-            t.depreciate(Cost(cost.0.saturating_mul(self.factor)));
+            self.tracker.sync_to(lru);
+            self.tracker
+                .depreciate(Cost(cost.0.saturating_mul(self.factor)));
             self.stats.depreciations += 1;
         }
     }
 
-    fn on_invalidate(
-        &mut self,
-        set: SetIndex,
-        block: BlockAddr,
-        _resident: Option<(Way, usize)>,
-        _kind: InvalidateKind,
-    ) {
-        self.etd.invalidate(set, block);
-        self.trackers[set.0].note_departure(block);
+    fn on_remove(&mut self, block: BlockAddr) {
+        self.etd.invalidate(block);
+        self.tracker.note_departure(block);
     }
 }
+
+/// The DCL replacement policy (one [`DclCore`] per set).
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{Cache, Geometry, AccessType, Cost, BlockAddr};
+/// use csr::Dcl;
+///
+/// let geom = Geometry::new(16 * 1024, 64, 4);
+/// let mut cache = Cache::new(geom, Dcl::new(&geom));
+/// cache.access(BlockAddr(1), AccessType::Read, Cost(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dcl {
+    cores: Vec<DclCore>,
+}
+
+impl Dcl {
+    /// Creates a DCL policy with a full-tag, `assoc - 1`-entry ETD and the
+    /// paper's depreciation factor of 2.
+    #[must_use]
+    pub fn new(geom: &Geometry) -> Self {
+        Dcl::with_etd_config(geom, EtdConfig::for_assoc(geom.assoc()))
+    }
+
+    /// Creates a DCL policy whose ETD stores only the low `bits` tag bits
+    /// (Section 4.3 evaluates 4-bit aliased tags).
+    #[must_use]
+    pub fn with_aliased_tags(geom: &Geometry, bits: u32) -> Self {
+        Dcl::with_etd_config(geom, EtdConfig::for_assoc_aliased(geom.assoc(), bits))
+    }
+
+    /// Creates a DCL policy with an explicit ETD configuration.
+    #[must_use]
+    pub fn with_etd_config(geom: &Geometry, cfg: EtdConfig) -> Self {
+        let set_bits = geom.num_sets().trailing_zeros();
+        Dcl {
+            cores: (0..geom.num_sets())
+                .map(|_| DclCore::new(EtdSet::with_stripped_bits(cfg, set_bits)))
+                .collect(),
+        }
+    }
+
+    /// Overrides the depreciation factor (the paper's value is 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    #[must_use]
+    pub fn with_depreciation_factor(mut self, factor: u64) -> Self {
+        self.cores = self
+            .cores
+            .into_iter()
+            .map(|c| c.with_depreciation_factor(factor))
+            .collect();
+        self
+    }
+
+    /// Policy statistics accumulated across all sets.
+    #[must_use]
+    pub fn stats(&self) -> DclStats {
+        let mut total = DclStats::default();
+        for c in &self.cores {
+            total.merge(c.stats());
+        }
+        total
+    }
+
+    /// Statistics of the embedded ETD, accumulated across all sets.
+    #[must_use]
+    pub fn etd_stats(&self) -> EtdStats {
+        self.etd().stats()
+    }
+
+    /// A set-indexed view of the embedded ETD (tests and debugging).
+    #[must_use]
+    pub fn etd(&self) -> EtdView<'_> {
+        EtdView::new(self.cores.iter().map(DclCore::etd).collect())
+    }
+
+    /// The remaining depreciated cost of the tracked LRU block in `set`.
+    #[must_use]
+    pub fn acost_of(&self, set: SetIndex) -> u64 {
+        self.cores[set.0].acost()
+    }
+}
+
+impl_replacement_via_cores!(Dcl, "DCL");
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cache_sim::{AccessType, Cache};
+    use cache_sim::{AccessType, Cache, InvalidateKind};
 
     fn cache(assoc: usize) -> Cache<Dcl> {
         let geom = Geometry::new(64 * assoc as u64, 64, assoc);

@@ -12,10 +12,15 @@
 //! which depreciate reservations more aggressively but never affect
 //! correctness. [`EtdStats::false_matches`] measures how often that happens,
 //! mirroring the false-match ratios the paper reports in Section 4.3.
+//!
+//! The directory of a single replacement region is an [`EtdSet`]; the
+//! set-indexed [`Etd`] used by the simulator policies is a thin array of
+//! them. Consumers that manage one region per policy instance (such as the
+//! shards of `csr-cache`) embed an `EtdSet` directly.
 
 use cache_sim::{BlockAddr, Cost, SetIndex};
 
-/// Configuration of an [`Etd`].
+/// Configuration of an [`Etd`] / [`EtdSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EtdConfig {
     /// Valid entries kept per set; the paper uses `assoc - 1`.
@@ -35,7 +40,10 @@ impl EtdConfig {
     #[must_use]
     pub fn for_assoc(assoc: usize) -> Self {
         assert!(assoc > 0, "associativity must be nonzero");
-        EtdConfig { entries_per_set: assoc.saturating_sub(1), tag_bits: None }
+        EtdConfig {
+            entries_per_set: assoc.saturating_sub(1),
+            tag_bits: None,
+        }
     }
 
     /// Same, but storing only the low `bits` bits of the tag (Section 4.3
@@ -43,12 +51,18 @@ impl EtdConfig {
     #[must_use]
     pub fn for_assoc_aliased(assoc: usize, bits: u32) -> Self {
         assert!(assoc > 0, "associativity must be nonzero");
-        assert!((1..=63).contains(&bits), "alias tag width must be 1..=63 bits");
-        EtdConfig { entries_per_set: assoc.saturating_sub(1), tag_bits: Some(bits) }
+        assert!(
+            (1..=63).contains(&bits),
+            "alias tag width must be 1..=63 bits"
+        );
+        EtdConfig {
+            entries_per_set: assoc.saturating_sub(1),
+            tag_bits: Some(bits),
+        }
     }
 }
 
-/// Counters accumulated by an [`Etd`].
+/// Counters accumulated by an [`Etd`] / [`EtdSet`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EtdStats {
     /// Entries allocated.
@@ -76,6 +90,18 @@ impl EtdStats {
             self.false_matches as f64 / self.hits as f64
         }
     }
+
+    /// Accumulates `other` into `self` (counter-wise sum), for rolling the
+    /// per-region directories of a sharded or set-indexed structure into one
+    /// aggregate.
+    pub fn merge(&mut self, other: &EtdStats) {
+        self.allocations += other.allocations;
+        self.capacity_evictions += other.capacity_evictions;
+        self.hits += other.hits;
+        self.false_matches += other.false_matches;
+        self.invalidated += other.invalidated;
+        self.set_clears += other.set_clears;
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -87,37 +113,44 @@ struct Entry {
     cost: Cost,
 }
 
-/// The Extended Tag Directory: per-set shadow records of displaced blocks.
+/// The Extended Tag Directory of a **single replacement region** (one cache
+/// set in the simulator, one shard in `csr-cache`): shadow records of the
+/// blocks most recently displaced instead of the reserved LRU block.
 #[derive(Debug, Clone)]
-pub struct Etd {
+pub struct EtdSet {
     cfg: EtdConfig,
-    /// Low bits of the block address that form the set index; they are
-    /// identical for every block of a set and are stripped before the
-    /// (possibly truncated) tag comparison, as hardware would.
-    set_bits: u32,
-    /// Per-set entries, oldest allocation first.
-    sets: Vec<Vec<Entry>>,
+    /// Low bits of the block address that form the set index; identical for
+    /// every block mapping to this region and stripped before the (possibly
+    /// truncated) tag comparison, as hardware would. Zero when the region
+    /// is not set-indexed (a shard keyed by full block identity).
+    stripped_bits: u32,
+    /// Valid entries, oldest allocation first.
+    entries: Vec<Entry>,
     stats: EtdStats,
 }
 
-impl Etd {
-    /// Creates an empty ETD for `num_sets` sets.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `num_sets` is not a power of two.
+impl EtdSet {
+    /// Creates an empty directory whose tags are full block addresses (no
+    /// set-index bits to strip) — the configuration a non-set-indexed
+    /// consumer such as a cache shard wants.
     #[must_use]
-    pub fn new(num_sets: usize, cfg: EtdConfig) -> Self {
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
-        Etd {
+    pub fn new(cfg: EtdConfig) -> Self {
+        EtdSet::with_stripped_bits(cfg, 0)
+    }
+
+    /// Creates an empty directory that strips the low `bits` bits (the set
+    /// index, identical for all blocks of the region) before comparing tags.
+    #[must_use]
+    pub fn with_stripped_bits(cfg: EtdConfig, bits: u32) -> Self {
+        EtdSet {
             cfg,
-            set_bits: num_sets.trailing_zeros(),
-            sets: vec![Vec::new(); num_sets],
+            stripped_bits: bits,
+            entries: Vec::new(),
             stats: EtdStats::default(),
         }
     }
 
-    /// The configuration this ETD was built with.
+    /// The configuration this directory was built with.
     #[must_use]
     pub fn config(&self) -> EtdConfig {
         self.cfg
@@ -130,7 +163,7 @@ impl Etd {
     }
 
     fn stored_tag_of(&self, block: BlockAddr) -> u64 {
-        let tag = block.0 >> self.set_bits;
+        let tag = block.0 >> self.stripped_bits;
         match self.cfg.tag_bits {
             Some(bits) => tag & ((1u64 << bits) - 1),
             None => tag,
@@ -139,17 +172,20 @@ impl Etd {
 
     /// Records that `block` (with miss cost `cost`) was displaced. Oldest
     /// entry is dropped if the directory is full.
-    pub fn insert(&mut self, set: SetIndex, block: BlockAddr, cost: Cost) {
+    pub fn insert(&mut self, block: BlockAddr, cost: Cost) {
         if self.cfg.entries_per_set == 0 {
             return;
         }
         let tag = self.stored_tag_of(block);
-        let entries = &mut self.sets[set.0];
-        if entries.len() >= self.cfg.entries_per_set {
-            entries.remove(0);
+        if self.entries.len() >= self.cfg.entries_per_set {
+            self.entries.remove(0);
             self.stats.capacity_evictions += 1;
         }
-        entries.push(Entry { stored_tag: tag, full_block: block, cost });
+        self.entries.push(Entry {
+            stored_tag: tag,
+            full_block: block,
+            cost,
+        });
         self.stats.allocations += 1;
     }
 
@@ -161,11 +197,10 @@ impl Etd {
     /// match is consumed, even if a different entry was allocated for this
     /// very block — another face of the false-match behaviour Section 4.3
     /// quantifies.
-    pub fn probe_and_take(&mut self, set: SetIndex, block: BlockAddr) -> Option<Cost> {
+    pub fn probe_and_take(&mut self, block: BlockAddr) -> Option<Cost> {
         let tag = self.stored_tag_of(block);
-        let entries = &mut self.sets[set.0];
-        let pos = entries.iter().position(|e| e.stored_tag == tag)?;
-        let entry = entries.remove(pos);
+        let pos = self.entries.iter().position(|e| e.stored_tag == tag)?;
+        let entry = self.entries.remove(pos);
         self.stats.hits += 1;
         if entry.full_block != block {
             self.stats.false_matches += 1;
@@ -175,20 +210,116 @@ impl Etd {
 
     /// Drops any entry matching `block` (coherence invalidation). Uses the
     /// same (possibly aliased) comparison the hardware would.
-    pub fn invalidate(&mut self, set: SetIndex, block: BlockAddr) {
+    pub fn invalidate(&mut self, block: BlockAddr) {
         let tag = self.stored_tag_of(block);
-        let entries = &mut self.sets[set.0];
-        let before = entries.len();
-        entries.retain(|e| e.stored_tag != tag);
-        self.stats.invalidated += (before - entries.len()) as u64;
+        let before = self.entries.len();
+        self.entries.retain(|e| e.stored_tag != tag);
+        self.stats.invalidated += (before - self.entries.len()) as u64;
     }
 
-    /// Invalidates every entry of `set` (on a hit to the in-cache LRU block).
-    pub fn clear_set(&mut self, set: SetIndex) {
-        if !self.sets[set.0].is_empty() {
-            self.sets[set.0].clear();
+    /// Invalidates every entry (on a hit to the in-cache LRU block).
+    pub fn clear(&mut self) {
+        if !self.entries.is_empty() {
+            self.entries.clear();
             self.stats.set_clears += 1;
         }
+    }
+
+    /// Number of valid entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory holds no valid entry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `block` would (alias-)match an entry, without side effects.
+    #[must_use]
+    pub fn would_hit(&self, block: BlockAddr) -> bool {
+        let tag = self.stored_tag_of(block);
+        self.entries.iter().any(|e| e.stored_tag == tag)
+    }
+
+    /// The full block addresses currently recorded (tests).
+    #[must_use]
+    pub fn blocks(&self) -> Vec<BlockAddr> {
+        self.entries.iter().map(|e| e.full_block).collect()
+    }
+}
+
+/// The Extended Tag Directory of a set-indexed cache: one [`EtdSet`] per
+/// cache set.
+#[derive(Debug, Clone)]
+pub struct Etd {
+    cfg: EtdConfig,
+    sets: Vec<EtdSet>,
+}
+
+impl Etd {
+    /// Creates an empty ETD for `num_sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is not a power of two.
+    #[must_use]
+    pub fn new(num_sets: usize, cfg: EtdConfig) -> Self {
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
+        let set_bits = num_sets.trailing_zeros();
+        Etd {
+            cfg,
+            sets: (0..num_sets)
+                .map(|_| EtdSet::with_stripped_bits(cfg, set_bits))
+                .collect(),
+        }
+    }
+
+    /// The configuration this ETD was built with.
+    #[must_use]
+    pub fn config(&self) -> EtdConfig {
+        self.cfg
+    }
+
+    /// Statistics accumulated across all sets.
+    #[must_use]
+    pub fn stats(&self) -> EtdStats {
+        let mut total = EtdStats::default();
+        for s in &self.sets {
+            total.merge(s.stats());
+        }
+        total
+    }
+
+    /// The directory of one set.
+    #[must_use]
+    pub fn set(&self, set: SetIndex) -> &EtdSet {
+        &self.sets[set.0]
+    }
+
+    /// Records that `block` (with miss cost `cost`) was displaced from `set`.
+    pub fn insert(&mut self, set: SetIndex, block: BlockAddr, cost: Cost) {
+        self.sets[set.0].insert(block, cost);
+    }
+
+    /// Probes `set` for `block` on a cache miss; a match is consumed.
+    pub fn probe_and_take(&mut self, set: SetIndex, block: BlockAddr) -> Option<Cost> {
+        self.sets[set.0].probe_and_take(block)
+    }
+
+    /// Drops any entry of `set` matching `block`.
+    pub fn invalidate(&mut self, set: SetIndex, block: BlockAddr) {
+        self.sets[set.0].invalidate(block);
+    }
+
+    /// Invalidates every entry of `set`.
+    pub fn clear_set(&mut self, set: SetIndex) {
+        self.sets[set.0].clear();
     }
 
     /// Number of valid entries in `set`.
@@ -203,17 +334,72 @@ impl Etd {
         self.sets[set.0].is_empty()
     }
 
-    /// Whether `block` would (alias-)match an entry, without side effects.
+    /// Whether `block` would (alias-)match an entry of `set`.
     #[must_use]
     pub fn would_hit(&self, set: SetIndex, block: BlockAddr) -> bool {
-        let tag = self.stored_tag_of(block);
-        self.sets[set.0].iter().any(|e| e.stored_tag == tag)
+        self.sets[set.0].would_hit(block)
     }
 
     /// The full block addresses currently recorded in `set` (tests).
     #[must_use]
     pub fn blocks_in(&self, set: SetIndex) -> Vec<BlockAddr> {
-        self.sets[set.0].iter().map(|e| e.full_block).collect()
+        self.sets[set.0].blocks()
+    }
+}
+
+/// A read-only, set-indexed view over per-region directories that are owned
+/// elsewhere (e.g. one [`EtdSet`] inside each per-set policy core). Mirrors
+/// the inspection API of [`Etd`].
+#[derive(Debug)]
+pub struct EtdView<'a> {
+    sets: Vec<&'a EtdSet>,
+}
+
+impl<'a> EtdView<'a> {
+    /// Builds a view from one directory reference per set, in set order.
+    #[must_use]
+    pub fn new(sets: Vec<&'a EtdSet>) -> Self {
+        EtdView { sets }
+    }
+
+    /// The directory of one set.
+    #[must_use]
+    pub fn set(&self, set: SetIndex) -> &EtdSet {
+        self.sets[set.0]
+    }
+
+    /// Statistics accumulated across all sets.
+    #[must_use]
+    pub fn stats(&self) -> EtdStats {
+        let mut total = EtdStats::default();
+        for s in &self.sets {
+            total.merge(s.stats());
+        }
+        total
+    }
+
+    /// Number of valid entries in `set`.
+    #[must_use]
+    pub fn len(&self, set: SetIndex) -> usize {
+        self.sets[set.0].len()
+    }
+
+    /// Whether `set` has no valid entries.
+    #[must_use]
+    pub fn is_empty(&self, set: SetIndex) -> bool {
+        self.sets[set.0].is_empty()
+    }
+
+    /// Whether `block` would (alias-)match an entry of `set`.
+    #[must_use]
+    pub fn would_hit(&self, set: SetIndex, block: BlockAddr) -> bool {
+        self.sets[set.0].would_hit(block)
+    }
+
+    /// The full block addresses currently recorded in `set` (tests).
+    #[must_use]
+    pub fn blocks_in(&self, set: SetIndex) -> Vec<BlockAddr> {
+        self.sets[set.0].blocks()
     }
 }
 
@@ -299,5 +485,43 @@ mod tests {
         etd.insert(SetIndex(0), BlockAddr(1), Cost(1));
         assert!(etd.is_empty(SetIndex(1)));
         assert_eq!(etd.probe_and_take(SetIndex(1), BlockAddr(1)), None);
+    }
+
+    #[test]
+    fn set_index_bits_are_stripped_before_comparison() {
+        // Two sets => 1 set bit. Blocks 0 and 1 differ only in that bit;
+        // after stripping, their stored tags are identical — but they live
+        // in different sets, so no confusion arises in a real cache.
+        let etd = Etd::new(2, EtdConfig::for_assoc(4));
+        assert_eq!(etd.set(SetIndex(0)).stored_tag_of(BlockAddr(0b10)), 1);
+        assert_eq!(etd.set(SetIndex(1)).stored_tag_of(BlockAddr(0b11)), 1);
+    }
+
+    #[test]
+    fn standalone_set_uses_full_address_as_tag() {
+        let mut set = EtdSet::new(EtdConfig::for_assoc(4));
+        set.insert(BlockAddr(0b10), Cost(2));
+        // No bits stripped: block 0b11 does not match.
+        assert!(!set.would_hit(BlockAddr(0b11)));
+        assert_eq!(set.probe_and_take(BlockAddr(0b10)), Some(Cost(2)));
+        assert_eq!(set.blocks(), Vec::<BlockAddr>::new());
+    }
+
+    #[test]
+    fn stats_merge_sums_counters() {
+        let mut a = EtdStats {
+            allocations: 1,
+            hits: 2,
+            ..EtdStats::default()
+        };
+        let b = EtdStats {
+            allocations: 3,
+            false_matches: 1,
+            ..EtdStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.allocations, 4);
+        assert_eq!(a.hits, 2);
+        assert_eq!(a.false_matches, 1);
     }
 }

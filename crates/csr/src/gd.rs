@@ -11,10 +11,15 @@
 //! well for wide cost differentials, but the paper shows it is much less
 //! effective than the locality-centric BCL/DCL/ACL when cost ratios are
 //! small.
+//!
+//! The single-region logic lives in [`GdCore`] (an
+//! [`EvictionPolicy`](crate::EvictionPolicy)); [`GreedyDual`] replicates one
+//! core per set for the simulator.
 
-use cache_sim::{BlockAddr, Cost, Geometry, ReplacementPolicy, SetIndex, SetView, Way};
+use crate::eviction::{impl_replacement_via_cores, EvictionPolicy};
+use cache_sim::{BlockAddr, Cost, Geometry, SetView, Way};
 
-/// Counters specific to [`GreedyDual`].
+/// Counters specific to [`GreedyDual`] / [`GdCore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GdStats {
     /// Victim selections that chose a block other than the LRU block.
@@ -23,7 +28,80 @@ pub struct GdStats {
     pub victims: u64,
 }
 
-/// The GreedyDual replacement policy.
+impl GdStats {
+    /// Accumulates `other` into `self` (counter-wise sum).
+    pub fn merge(&mut self, other: &GdStats) {
+        self.non_lru_victims += other.non_lru_victims;
+        self.victims += other.victims;
+    }
+}
+
+/// GreedyDual for a single replacement region of a fixed number of ways.
+#[derive(Debug, Clone)]
+pub struct GdCore {
+    /// `H` value per way.
+    h: Vec<u64>,
+    stats: GdStats,
+}
+
+impl GdCore {
+    /// Creates a core for a region of `ways` blockframes.
+    #[must_use]
+    pub fn new(ways: usize) -> Self {
+        GdCore {
+            h: vec![0; ways],
+            stats: GdStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &GdStats {
+        &self.stats
+    }
+}
+
+impl EvictionPolicy for GdCore {
+    fn name(&self) -> &'static str {
+        "GD"
+    }
+
+    fn victim(&mut self, view: &SetView<'_>) -> Way {
+        // Minimum-H block; scanning LRU -> MRU with a strict `<` makes ties
+        // resolve toward the LRU end.
+        let mut best: Option<(Way, usize, u64)> = None;
+        for (pos, e) in view.iter().enumerate().rev() {
+            let val = self.h[e.way.0];
+            match best {
+                Some((_, _, b)) if b <= val => {}
+                _ => best = Some((e.way, pos, val)),
+            }
+        }
+        let (victim, pos, hmin) = best.expect("victim() requires a non-empty set");
+        // Deduct the victim's remaining value from every surviving block.
+        for e in view.iter() {
+            if e.way != victim {
+                self.h[e.way.0] = self.h[e.way.0].saturating_sub(hmin);
+            }
+        }
+        self.stats.victims += 1;
+        if pos + 1 != view.len() {
+            self.stats.non_lru_victims += 1;
+        }
+        victim
+    }
+
+    fn on_hit(&mut self, _block: BlockAddr, way: Way, cost: Cost, _is_lru: bool) {
+        // Restore the block's full miss cost (stored in its blockframe).
+        self.h[way.0] = cost.0;
+    }
+
+    fn on_fill(&mut self, _block: BlockAddr, way: Way, cost: Cost) {
+        self.h[way.0] = cost.0;
+    }
+}
+
+/// The GreedyDual replacement policy (one [`GdCore`] per set).
 ///
 /// # Examples
 ///
@@ -38,65 +116,32 @@ pub struct GdStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GreedyDual {
-    /// `H` value per `[set][way]`.
-    h: Vec<Vec<u64>>,
-    stats: GdStats,
+    cores: Vec<GdCore>,
 }
 
 impl GreedyDual {
     /// Creates a GreedyDual policy for the given cache geometry.
     #[must_use]
     pub fn new(geom: &Geometry) -> Self {
-        GreedyDual { h: vec![vec![0; geom.assoc()]; geom.num_sets()], stats: GdStats::default() }
+        GreedyDual {
+            cores: (0..geom.num_sets())
+                .map(|_| GdCore::new(geom.assoc()))
+                .collect(),
+        }
     }
 
-    /// Accumulated statistics.
+    /// Statistics accumulated across all sets.
     #[must_use]
-    pub fn stats(&self) -> &GdStats {
-        &self.stats
+    pub fn stats(&self) -> GdStats {
+        let mut total = GdStats::default();
+        for c in &self.cores {
+            total.merge(c.stats());
+        }
+        total
     }
 }
 
-impl ReplacementPolicy for GreedyDual {
-    fn name(&self) -> &'static str {
-        "GD"
-    }
-
-    fn victim(&mut self, set: SetIndex, view: &SetView<'_>) -> Way {
-        let h = &mut self.h[set.0];
-        // Minimum-H block; scanning LRU -> MRU with a strict `<` makes ties
-        // resolve toward the LRU end.
-        let mut best: Option<(Way, usize, u64)> = None;
-        for (pos, e) in view.iter().enumerate().rev() {
-            let val = h[e.way.0];
-            match best {
-                Some((_, _, b)) if b <= val => {}
-                _ => best = Some((e.way, pos, val)),
-            }
-        }
-        let (victim, pos, hmin) = best.expect("victim() requires a non-empty set");
-        // Deduct the victim's remaining value from every surviving block.
-        for e in view.iter() {
-            if e.way != victim {
-                h[e.way.0] = h[e.way.0].saturating_sub(hmin);
-            }
-        }
-        self.stats.victims += 1;
-        if pos + 1 != view.len() {
-            self.stats.non_lru_victims += 1;
-        }
-        victim
-    }
-
-    fn on_hit(&mut self, set: SetIndex, view: &SetView<'_>, way: Way, stack_pos: usize) {
-        // Restore the block's full miss cost (stored in its blockframe).
-        self.h[set.0][way.0] = view.at(stack_pos).cost.0;
-    }
-
-    fn on_fill(&mut self, set: SetIndex, _block: BlockAddr, way: Way, cost: Cost) {
-        self.h[set.0][way.0] = cost.0;
-    }
-}
+impl_replacement_via_cores!(GreedyDual, "GD");
 
 #[cfg(test)]
 mod tests {
@@ -114,7 +159,7 @@ mod tests {
         let mut c = cache2();
         c.access(BlockAddr(0), AccessType::Read, Cost(8)); // high cost
         c.access(BlockAddr(1), AccessType::Read, Cost(1)); // low cost, MRU
-        // Block 0 is LRU but expensive: GD evicts block 1.
+                                                           // Block 0 is LRU but expensive: GD evicts block 1.
         c.access(BlockAddr(2), AccessType::Read, Cost(1));
         assert!(c.contains(BlockAddr(0)));
         assert!(!c.contains(BlockAddr(1)));
@@ -127,7 +172,7 @@ mod tests {
         c.access(BlockAddr(0), AccessType::Read, Cost(8));
         c.access(BlockAddr(1), AccessType::Read, Cost(3));
         c.access(BlockAddr(2), AccessType::Read, Cost(1)); // evicts 1 (H=3): H(0) = 8-3 = 5
-        // Next eviction: H(0)=5, H(2)=1 -> evicts 2, H(0) drops to 4.
+                                                           // Next eviction: H(0)=5, H(2)=1 -> evicts 2, H(0) drops to 4.
         c.access(BlockAddr(3), AccessType::Read, Cost(1));
         assert!(c.contains(BlockAddr(0)));
         assert!(!c.contains(BlockAddr(2)));
@@ -145,7 +190,7 @@ mod tests {
         c.access(BlockAddr(1), AccessType::Read, Cost(1));
         c.access(BlockAddr(2), AccessType::Read, Cost(1)); // evicts 1, H(0)=3
         c.access(BlockAddr(0), AccessType::Read, Cost(4)); // hit: H(0) restored to 4
-        // Evict: H(0)=4 vs H(2)=1 -> 2 goes.
+                                                           // Evict: H(0)=4 vs H(2)=1 -> 2 goes.
         c.access(BlockAddr(3), AccessType::Read, Cost(1));
         assert!(c.contains(BlockAddr(0)));
         assert!(!c.contains(BlockAddr(2)));
@@ -176,5 +221,17 @@ mod tests {
         c.access(BlockAddr(16), AccessType::Read, Cost(2)); // evict: LRU is 4
         assert!(!c.contains(BlockAddr(4)));
         assert!(c.contains(BlockAddr(0)));
+    }
+
+    #[test]
+    fn per_set_stats_aggregate() {
+        // Two sets (block line 64, 2 ways, 256 bytes): blocks 0/2 map to set
+        // 0, blocks 1/3 to set 1.
+        let geom = Geometry::new(256, 64, 2);
+        let mut c = Cache::new(geom, GreedyDual::new(&geom));
+        for b in [0u64, 2, 4, 1, 3, 5] {
+            c.access(BlockAddr(b), AccessType::Read, Cost(1));
+        }
+        assert_eq!(c.policy().stats().victims, 2, "one eviction per set");
     }
 }

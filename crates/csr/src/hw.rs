@@ -32,7 +32,13 @@ pub enum HwPolicy {
 
 impl HwPolicy {
     /// All policies, in the order the paper reports them.
-    pub const ALL: [HwPolicy; 5] = [HwPolicy::Lru, HwPolicy::Gd, HwPolicy::Bcl, HwPolicy::Dcl, HwPolicy::Acl];
+    pub const ALL: [HwPolicy; 5] = [
+        HwPolicy::Lru,
+        HwPolicy::Gd,
+        HwPolicy::Bcl,
+        HwPolicy::Dcl,
+        HwPolicy::Acl,
+    ];
 }
 
 /// Where fixed (next-miss) costs come from.
@@ -127,17 +133,14 @@ impl HwParams {
             // DCL: BCL + (s-1) ETD entries.
             HwPolicy::Dcl => fixed + computed + (s - 1) * self.etd_entry_bits(source),
             // ACL: DCL + 2-bit counter + reserved bit.
-            HwPolicy::Acl => {
-                fixed + computed + (s - 1) * self.etd_entry_bits(source) + 2 + 1
-            }
+            HwPolicy::Acl => fixed + computed + (s - 1) * self.etd_entry_bits(source) + 2 + 1,
         }
     }
 
     /// Added storage as a percentage of the LRU baseline.
     #[must_use]
     pub fn overhead_pct(&self, policy: HwPolicy, source: CostSource) -> f64 {
-        100.0 * self.added_bits_per_set(policy, source) as f64
-            / self.baseline_bits_per_set() as f64
+        100.0 * self.added_bits_per_set(policy, source) as f64 / self.baseline_bits_per_set() as f64
     }
 }
 
@@ -151,10 +154,26 @@ mod tests {
         // around 1.9%, 2.7%, 6.6% and 6.7% for BCL, GD, DCL and ACL".
         let p = HwParams::paper_example();
         let pct = |pol| p.overhead_pct(pol, CostSource::DynamicPerBlock);
-        assert!((pct(HwPolicy::Bcl) - 1.9).abs() < 0.1, "BCL {}", pct(HwPolicy::Bcl));
-        assert!((pct(HwPolicy::Gd) - 2.7).abs() < 0.4, "GD {}", pct(HwPolicy::Gd));
-        assert!((pct(HwPolicy::Dcl) - 6.6).abs() < 0.2, "DCL {}", pct(HwPolicy::Dcl));
-        assert!((pct(HwPolicy::Acl) - 6.7).abs() < 0.2, "ACL {}", pct(HwPolicy::Acl));
+        assert!(
+            (pct(HwPolicy::Bcl) - 1.9).abs() < 0.1,
+            "BCL {}",
+            pct(HwPolicy::Bcl)
+        );
+        assert!(
+            (pct(HwPolicy::Gd) - 2.7).abs() < 0.4,
+            "GD {}",
+            pct(HwPolicy::Gd)
+        );
+        assert!(
+            (pct(HwPolicy::Dcl) - 6.6).abs() < 0.2,
+            "DCL {}",
+            pct(HwPolicy::Dcl)
+        );
+        assert!(
+            (pct(HwPolicy::Acl) - 6.7).abs() < 0.2,
+            "ACL {}",
+            pct(HwPolicy::Acl)
+        );
         assert_eq!(pct(HwPolicy::Lru), 0.0);
     }
 
@@ -163,10 +182,26 @@ mod tests {
         // Section 5: "the added costs are 0.4%, 1.5%, 4.0% and 4.1%".
         let p = HwParams::paper_example();
         let pct = |pol| p.overhead_pct(pol, CostSource::StaticTable);
-        assert!((pct(HwPolicy::Bcl) - 0.4).abs() < 0.1, "BCL {}", pct(HwPolicy::Bcl));
-        assert!((pct(HwPolicy::Gd) - 1.5).abs() < 0.1, "GD {}", pct(HwPolicy::Gd));
-        assert!((pct(HwPolicy::Dcl) - 4.0).abs() < 0.1, "DCL {}", pct(HwPolicy::Dcl));
-        assert!((pct(HwPolicy::Acl) - 4.1).abs() < 0.1, "ACL {}", pct(HwPolicy::Acl));
+        assert!(
+            (pct(HwPolicy::Bcl) - 0.4).abs() < 0.1,
+            "BCL {}",
+            pct(HwPolicy::Bcl)
+        );
+        assert!(
+            (pct(HwPolicy::Gd) - 1.5).abs() < 0.1,
+            "GD {}",
+            pct(HwPolicy::Gd)
+        );
+        assert!(
+            (pct(HwPolicy::Dcl) - 4.0).abs() < 0.1,
+            "DCL {}",
+            pct(HwPolicy::Dcl)
+        );
+        assert!(
+            (pct(HwPolicy::Acl) - 4.1).abs() < 0.1,
+            "ACL {}",
+            pct(HwPolicy::Acl)
+        );
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! * [`Acl`] — Adaptive Cost-sensitive LRU: DCL gated by a per-set 2-bit
 //!   success/failure automaton (Section 2.5).
 //!
+//! Each policy's decision logic is factored into a **set-size-agnostic
+//! core** ([`GdCore`], [`BclCore`], [`DclCore`], [`AclCore`], plus the
+//! [`LruCore`] baseline) implementing the single-region
+//! [`EvictionPolicy`] trait from [`eviction`]; the set-indexed types above
+//! replicate one core per set. The same cores drive the shards of the
+//! concurrent `csr-cache` key-value cache.
+//!
 //! Supporting modules: the [`etd`] shadow directory, clairvoyant baselines
 //! in [`opt`], and the Section 5 hardware-overhead model in [`hw`].
 //!
@@ -47,16 +54,18 @@ pub mod bcl;
 pub mod csopt;
 pub mod dcl;
 pub mod etd;
+pub mod eviction;
 pub mod gd;
 pub mod hw;
 pub mod opt;
 mod reserve;
 
-pub use acl::{Acl, AclStats};
-pub use bcl::{Bcl, BclStats};
+pub use acl::{Acl, AclCore, AclStats};
+pub use bcl::{Bcl, BclCore, BclStats};
 pub use csopt::{simulate_csopt, CsoptLimits};
-pub use dcl::{Dcl, DclStats};
-pub use etd::{Etd, EtdConfig, EtdStats};
-pub use gd::{GdStats, GreedyDual};
+pub use dcl::{Dcl, DclCore, DclStats};
+pub use etd::{Etd, EtdConfig, EtdSet, EtdStats, EtdView};
+pub use eviction::{EvictionPolicy, LruCore};
+pub use gd::{GdCore, GdStats, GreedyDual};
 pub use hw::{CostSource, HwParams, HwPolicy};
 pub use opt::{simulate_belady, simulate_cost_greedy, OfflineStats, TraceEvent};

@@ -138,16 +138,15 @@ fn simulate(geom: &Geometry, events: &[TraceEvent], rule: Rule) -> OfflineStats 
                         Rule::CostGreedy => {
                             // Dead blocks first (free to evict); otherwise
                             // the farthest-used among the cheapest blocks.
-                            if let Some((idx, _)) =
-                                set.iter().enumerate().find(|(_, r)| r.next_use == usize::MAX)
+                            if let Some((idx, _)) = set
+                                .iter()
+                                .enumerate()
+                                .find(|(_, r)| r.next_use == usize::MAX)
                             {
                                 idx
                             } else {
-                                let min_cost = set
-                                    .iter()
-                                    .map(|r| r.cost)
-                                    .min()
-                                    .expect("nonempty set");
+                                let min_cost =
+                                    set.iter().map(|r| r.cost).min().expect("nonempty set");
                                 set.iter()
                                     .enumerate()
                                     .filter(|(_, r)| r.cost == min_cost)
@@ -159,7 +158,11 @@ fn simulate(geom: &Geometry, events: &[TraceEvent], rule: Rule) -> OfflineStats 
                     };
                     set.swap_remove(victim_idx);
                 }
-                set.push(Resident { block, cost, next_use: next[i] });
+                set.push(Resident {
+                    block,
+                    cost,
+                    next_use: next[i],
+                });
             }
         }
     }
@@ -172,7 +175,10 @@ mod tests {
     use cache_sim::{AccessType, Cache, Lru};
 
     fn acc(b: u64, c: u64) -> TraceEvent {
-        TraceEvent::Access { block: BlockAddr(b), cost: Cost(c) }
+        TraceEvent::Access {
+            block: BlockAddr(b),
+            cost: Cost(c),
+        }
     }
 
     fn one_set(assoc: usize) -> Geometry {
@@ -184,8 +190,7 @@ mod tests {
         // Cyclic access over assoc+1 blocks: LRU misses everything, OPT does
         // not.
         let geom = one_set(2);
-        let trace: Vec<TraceEvent> =
-            (0..30).map(|i| acc(i % 3, 1)).collect();
+        let trace: Vec<TraceEvent> = (0..30).map(|i| acc(i % 3, 1)).collect();
         let opt = simulate_belady(&geom, &trace);
         let mut lru = Cache::new(geom, Lru::new());
         for ev in &trace {
@@ -215,7 +220,9 @@ mod tests {
         let geom = one_set(2);
         let trace = vec![
             acc(0, 5),
-            TraceEvent::Invalidate { block: BlockAddr(0) },
+            TraceEvent::Invalidate {
+                block: BlockAddr(0),
+            },
             acc(0, 5),
         ];
         let s = simulate_belady(&geom, &trace);

@@ -39,15 +39,30 @@ impl AcostTracker {
     /// Acost <- c(s)"). No-op while the same block stays in the LRU position,
     /// preserving accumulated depreciation.
     pub(crate) fn sync(&mut self, view: &SetView<'_>) {
-        if view.is_empty() {
-            self.lru_block = None;
-            self.acost = 0;
-            return;
-        }
-        let lru = view.lru();
-        if self.lru_block != Some(lru.block) {
-            self.lru_block = Some(lru.block);
-            self.acost = lru.cost.0;
+        let lru = if view.is_empty() {
+            None
+        } else {
+            let l = view.lru();
+            Some((l.block, l.cost))
+        };
+        self.sync_to(lru);
+    }
+
+    /// [`sync`](Self::sync) from an already-known LRU identity and cost —
+    /// the O(1) form consumers without a materialized [`SetView`] (e.g. a
+    /// linked-list shard) use.
+    pub(crate) fn sync_to(&mut self, lru: Option<(BlockAddr, Cost)>) {
+        match lru {
+            None => {
+                self.lru_block = None;
+                self.acost = 0;
+            }
+            Some((block, cost)) => {
+                if self.lru_block != Some(block) {
+                    self.lru_block = Some(block);
+                    self.acost = cost.0;
+                }
+            }
         }
     }
 
@@ -95,7 +110,12 @@ mod tests {
         costs
             .iter()
             .enumerate()
-            .map(|(i, &(b, c))| WayView { way: Way(i), block: BlockAddr(b), cost: Cost(c), dirty: false })
+            .map(|(i, &(b, c))| WayView {
+                way: Way(i),
+                block: BlockAddr(b),
+                cost: Cost(c),
+                dirty: false,
+            })
             .collect()
     }
 

@@ -21,7 +21,7 @@ fn gd_narrative() {
     c.access(BlockAddr(1), AccessType::Read, Cost(3)); // b
     c.access(BlockAddr(2), AccessType::Read, Cost(5)); // c
     c.access(BlockAddr(3), AccessType::Read, Cost(2)); // d (MRU, least cost)
-    // GD evicts d despite it being MRU: cost dominates locality.
+                                                       // GD evicts d despite it being MRU: cost dominates locality.
     c.access(BlockAddr(4), AccessType::Read, Cost(1));
     assert!(!c.contains(BlockAddr(3)));
     assert!(c.contains(BlockAddr(0)), "the costly LRU block survives");
@@ -40,8 +40,14 @@ fn reservation_narrative() {
         bcl.access(BlockAddr(b.0), AccessType::Read, Cost(b.1));
         dcl.access(BlockAddr(b.0), AccessType::Read, Cost(b.1));
     }
-    assert!(bcl.contains(BlockAddr(0)), "BCL: the high-cost LRU block must be reserved");
-    assert!(dcl.contains(BlockAddr(0)), "DCL: the high-cost LRU block must be reserved");
+    assert!(
+        bcl.contains(BlockAddr(0)),
+        "BCL: the high-cost LRU block must be reserved"
+    );
+    assert!(
+        dcl.contains(BlockAddr(0)),
+        "DCL: the high-cost LRU block must be reserved"
+    );
 }
 
 /// Figure 1 scans down to i = 1, so the MRU block *can* be the victim when
@@ -56,11 +62,14 @@ fn mru_can_be_victimized_but_not_reserved() {
     c.access(BlockAddr(0), AccessType::Read, Cost(9)); // LRU, expensive
     c.access(BlockAddr(1), AccessType::Read, Cost(9)); // middle, expensive
     c.access(BlockAddr(2), AccessType::Read, Cost(1)); // MRU, cheap
-    // Scan from second-LRU (1, cost 9 >= Acost 9) to MRU (2, cost 1 < 9).
+                                                       // Scan from second-LRU (1, cost 9 >= Acost 9) to MRU (2, cost 1 < 9).
     c.access(BlockAddr(3), AccessType::Read, Cost(1));
     assert!(c.contains(BlockAddr(0)));
     assert!(c.contains(BlockAddr(1)), "both expensive blocks reserved");
-    assert!(!c.contains(BlockAddr(2)), "the cheap MRU block is the victim");
+    assert!(
+        !c.contains(BlockAddr(2)),
+        "the cheap MRU block is the victim"
+    );
 }
 
 /// Section 2.3: "Acost is reduced by twice the amount of the miss cost of
@@ -103,7 +112,10 @@ fn dcl_depreciates_only_on_actual_rereference() {
     // The reserved block's fate then differs on the next fill.
     bcl_cache.access(BlockAddr(5), AccessType::Read, Cost(1));
     dcl_cache.access(BlockAddr(5), AccessType::Read, Cost(1));
-    assert!(!bcl_cache.contains(BlockAddr(0)), "BCL squandered the reservation");
+    assert!(
+        !bcl_cache.contains(BlockAddr(0)),
+        "BCL squandered the reservation"
+    );
     assert!(dcl_cache.contains(BlockAddr(0)), "DCL kept it");
 }
 
@@ -140,7 +152,10 @@ fn acl_trigger_narrative() {
     assert_eq!(c.policy().counter_of(SetIndex(0)), 0);
     c.access(BlockAddr(0), AccessType::Read, Cost(8)); // watch hit
     assert_eq!(c.policy().counter_of(SetIndex(0)), 2);
-    assert!(c.policy().etd().is_empty(SetIndex(0)), "all entries invalidated");
+    assert!(
+        c.policy().etd().is_empty(SetIndex(0)),
+        "all entries invalidated"
+    );
 }
 
 /// Section 3.1's infinite cost ratio: low = 0, high = 1; "the cost
@@ -158,8 +173,14 @@ fn infinite_ratio_reserves_forever() {
         bcl.access(BlockAddr(b), AccessType::Read, Cost(0)); // "low" = 0
         dcl.access(BlockAddr(b), AccessType::Read, Cost(0));
     }
-    assert!(bcl.contains(BlockAddr(0)), "BCL: high-cost block kept at r = infinity");
-    assert!(dcl.contains(BlockAddr(0)), "DCL: high-cost block kept at r = infinity");
+    assert!(
+        bcl.contains(BlockAddr(0)),
+        "BCL: high-cost block kept at r = infinity"
+    );
+    assert!(
+        dcl.contains(BlockAddr(0)),
+        "DCL: high-cost block kept at r = infinity"
+    );
 }
 
 /// Section 2.3: multiple simultaneous reservations — all s-1 = 3 blocks

@@ -113,7 +113,13 @@ pub fn build_benchmarks(scale: Scale) -> Vec<Benchmark> {
             let characteristics = characterize(w.name(), &w.problem_size(), &trace, sample);
             let placement = FirstTouchPlacement::from_trace(64, &trace);
             let sampled = SampledTrace::from_trace(&trace, sample);
-            Benchmark { name: w.name().to_owned(), sample, sampled, placement, characteristics }
+            Benchmark {
+                name: w.name().to_owned(),
+                sample,
+                sampled,
+                placement,
+                characteristics,
+            }
         })
         .collect()
 }
@@ -156,8 +162,10 @@ pub fn fig3_grid(
     threads: usize,
 ) -> Vec<SavingsPoint> {
     // One LRU profile per benchmark covers every cost map.
-    let profiles: Vec<LruMissProfile> =
-        benchmarks.iter().map(|b| LruMissProfile::collect(&b.sampled, cfg)).collect();
+    let profiles: Vec<LruMissProfile> = benchmarks
+        .iter()
+        .map(|b| LruMissProfile::collect(&b.sampled, cfg))
+        .collect();
 
     let mut tasks: Vec<(usize, CostRatio, f64, PolicyKind)> = Vec::new();
     for (bi, _) in benchmarks.iter().enumerate() {
@@ -208,8 +216,10 @@ pub fn table2(
     cfg: TraceSimConfig,
     threads: usize,
 ) -> Vec<Table2Cell> {
-    let profiles: Vec<LruMissProfile> =
-        benchmarks.iter().map(|b| LruMissProfile::collect(&b.sampled, cfg)).collect();
+    let profiles: Vec<LruMissProfile> = benchmarks
+        .iter()
+        .map(|b| LruMissProfile::collect(&b.sampled, cfg))
+        .collect();
 
     let mut tasks: Vec<(usize, CostRatio, PolicyKind)> = Vec::new();
     for (bi, _) in benchmarks.iter().enumerate() {
@@ -265,7 +275,9 @@ pub fn run_tasks<T: Sync, R: Send>(
             });
         }
     });
-    out.into_iter().map(|r| r.expect("all task slots filled")).collect()
+    out.into_iter()
+        .map(|r| r.expect("all task slots filled"))
+        .collect()
 }
 
 /// A sensible default worker count.
@@ -301,7 +313,12 @@ mod tests {
     fn fig3_grid_small_smoke() {
         // A miniature grid over a synthetic benchmark exercises the whole
         // pipeline quickly.
-        let w = UniformRandom { refs: 40_000, blocks: 2048, procs: 2, write_fraction: 0.3 };
+        let w = UniformRandom {
+            refs: 40_000,
+            blocks: 2048,
+            procs: 2,
+            write_fraction: 0.3,
+        };
         let trace = w.generate(BENCH_SEED);
         let sample = ProcId(0);
         let bench = Benchmark {
@@ -321,7 +338,11 @@ mod tests {
         );
         assert_eq!(pts.len(), 1);
         let p = &pts[0];
-        assert!(p.savings_pct > 0.0, "DCL should save at the sweet spot: {}", p.savings_pct);
+        assert!(
+            p.savings_pct > 0.0,
+            "DCL should save at the sweet spot: {}",
+            p.savings_pct
+        );
         assert!(p.savings_pct < 100.0);
     }
 }

@@ -18,6 +18,8 @@ pub use experiments::{
     build_benchmarks, default_threads, fig3_grid, fig3_hafs, table2, Benchmark, CostRatio,
     SavingsPoint, Scale, Table2Cell,
 };
-pub use numa_exp::{rsim_suite, rsim_suite_extended, run_numa, NumaBenchmark, Table5Cell, TABLE5_POLICIES};
+pub use numa_exp::{
+    rsim_suite, rsim_suite_extended, run_numa, NumaBenchmark, Table5Cell, TABLE5_POLICIES,
+};
 pub use policy_kind::PolicyKind;
 pub use runner::{run_sampled, run_sampled_policy, LruMissProfile, RunResult, TraceSimConfig};

@@ -50,7 +50,10 @@ pub fn rsim_suite_extended() -> Vec<NumaBenchmark> {
 fn suite_of(workloads: Vec<Box<dyn Workload>>) -> Vec<NumaBenchmark> {
     workloads
         .into_iter()
-        .map(|w| NumaBenchmark { name: w.name().to_owned(), trace: w.generate_phases(NUMA_SEED) })
+        .map(|w| NumaBenchmark {
+            name: w.name().to_owned(),
+            trace: w.generate_phases(NUMA_SEED),
+        })
         .collect()
 }
 
@@ -181,8 +184,18 @@ mod tests {
     use super::*;
 
     fn tiny_benchmark() -> NumaBenchmark {
-        let w = OceanLike { n: 66, grids: 2, procs: 16, iters: 2, col_stride: 2, reduction_points: 64 };
-        NumaBenchmark { name: "tiny-ocean".into(), trace: w.generate_phases(3) }
+        let w = OceanLike {
+            n: 66,
+            grids: 2,
+            procs: 16,
+            iters: 2,
+            col_stride: 2,
+            reduction_points: 64,
+        };
+        NumaBenchmark {
+            name: "tiny-ocean".into(),
+            trace: w.generate_phases(3),
+        }
     }
 
     #[test]

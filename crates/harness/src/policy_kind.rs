@@ -29,8 +29,12 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// The four cost-sensitive policies in the order the paper reports them.
-    pub const PAPER_SET: [PolicyKind; 4] =
-        [PolicyKind::Gd, PolicyKind::Bcl, PolicyKind::Dcl, PolicyKind::Acl];
+    pub const PAPER_SET: [PolicyKind; 4] = [
+        PolicyKind::Gd,
+        PolicyKind::Bcl,
+        PolicyKind::Dcl,
+        PolicyKind::Acl,
+    ];
 
     /// Builds a boxed policy instance for a cache of geometry `geom`.
     #[must_use]
@@ -110,8 +114,7 @@ mod tests {
             PolicyKind::Acl,
             PolicyKind::AclAliased(4),
         ];
-        let labels: std::collections::HashSet<String> =
-            kinds.iter().map(|k| k.label()).collect();
+        let labels: std::collections::HashSet<String> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
     }
 }

@@ -134,7 +134,10 @@ impl LruMissProfile {
                 }
             }
         }
-        LruMissProfile { miss_counts, stats: *h.l2().stats() }
+        LruMissProfile {
+            miss_counts,
+            stats: *h.l2().stats(),
+        }
     }
 
     /// The LRU aggregate cost under `costs`.
@@ -168,7 +171,12 @@ mod tests {
     use mem_trace::{ProcId, Workload};
 
     fn sampled() -> SampledTrace {
-        let w = UniformRandom { refs: 60_000, blocks: 2048, procs: 2, write_fraction: 0.3 };
+        let w = UniformRandom {
+            refs: 60_000,
+            blocks: 2048,
+            procs: 2,
+            write_fraction: 0.3,
+        };
         SampledTrace::from_trace(&w.generate(11), ProcId(0))
     }
 
@@ -195,7 +203,11 @@ mod tests {
         for kind in [PolicyKind::Bcl, PolicyKind::Dcl, PolicyKind::Acl] {
             let r = run_sampled(&s, &map, kind, cfg);
             assert_eq!(r.l2.misses, lru.l2.misses, "{kind} misses differ from LRU");
-            assert_eq!(r.aggregate_cost(), lru.aggregate_cost(), "{kind} cost differs");
+            assert_eq!(
+                r.aggregate_cost(),
+                lru.aggregate_cost(),
+                "{kind} cost differs"
+            );
         }
     }
 

@@ -42,13 +42,20 @@ impl RandomCostMap {
     /// Panics if `haf` is not within `[0, 1]`.
     #[must_use]
     pub fn new(haf: f64, pair: CostPair, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&haf), "HAF must be in [0, 1], got {haf}");
+        assert!(
+            (0.0..=1.0).contains(&haf),
+            "HAF must be in [0, 1], got {haf}"
+        );
         let threshold = if haf >= 1.0 {
             u64::MAX
         } else {
             (haf * u64::MAX as f64) as u64
         };
-        RandomCostMap { pair, threshold, seed }
+        RandomCostMap {
+            pair,
+            threshold,
+            seed,
+        }
     }
 
     /// The configured cost pair.
@@ -89,8 +96,18 @@ pub struct FirstTouchCostMap {
 impl FirstTouchCostMap {
     /// Creates a map for references by processor `me` under `placement`.
     #[must_use]
-    pub fn new(placement: FirstTouchPlacement, me: ProcId, pair: CostPair, block_bytes: u64) -> Self {
-        FirstTouchCostMap { placement, me, pair, block_bytes }
+    pub fn new(
+        placement: FirstTouchPlacement,
+        me: ProcId,
+        pair: CostPair,
+        block_bytes: u64,
+    ) -> Self {
+        FirstTouchCostMap {
+            placement,
+            me,
+            pair,
+            block_bytes,
+        }
     }
 
     /// The underlying placement.
@@ -106,7 +123,8 @@ impl CostMap for FirstTouchCostMap {
     }
 
     fn is_high_cost(&self, block: BlockAddr) -> bool {
-        self.placement.is_remote(self.me, block.base_addr(self.block_bytes))
+        self.placement
+            .is_remote(self.me, block.base_addr(self.block_bytes))
     }
 }
 
@@ -135,7 +153,9 @@ mod tests {
     fn random_map_fraction_tracks_haf() {
         for &haf in &[0.0, 0.1, 0.3, 0.5, 0.9, 1.0] {
             let m = RandomCostMap::new(haf, CostPair::ratio(4), 42);
-            let high = (0..20_000u64).filter(|&b| m.is_high_cost(BlockAddr(b))).count();
+            let high = (0..20_000u64)
+                .filter(|&b| m.is_high_cost(BlockAddr(b)))
+                .count();
             let measured = high as f64 / 20_000.0;
             assert!(
                 (measured - haf).abs() < 0.02,
@@ -149,8 +169,10 @@ mod tests {
         let a = RandomCostMap::new(0.5, CostPair::ratio(2), 7);
         let b = RandomCostMap::new(0.5, CostPair::ratio(2), 7);
         let c = RandomCostMap::new(0.5, CostPair::ratio(2), 8);
-        let same = (0..1000u64).all(|x| a.is_high_cost(BlockAddr(x)) == b.is_high_cost(BlockAddr(x)));
-        let differ = (0..1000u64).any(|x| a.is_high_cost(BlockAddr(x)) != c.is_high_cost(BlockAddr(x)));
+        let same =
+            (0..1000u64).all(|x| a.is_high_cost(BlockAddr(x)) == b.is_high_cost(BlockAddr(x)));
+        let differ =
+            (0..1000u64).any(|x| a.is_high_cost(BlockAddr(x)) != c.is_high_cost(BlockAddr(x)));
         assert!(same);
         assert!(differ);
     }

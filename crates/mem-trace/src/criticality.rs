@@ -48,7 +48,10 @@ impl CriticalityCostMap {
             .into_iter()
             .map(|(b, (r, w))| (b, r as f64 > load_threshold * (r + w) as f64))
             .collect();
-        CriticalityCostMap { load_dominated, pair }
+        CriticalityCostMap {
+            load_dominated,
+            pair,
+        }
     }
 
     /// Fraction of classified blocks that are load-dominated.
@@ -91,7 +94,10 @@ mod tests {
         let m = CriticalityCostMap::from_trace(&t, CostPair::ratio(8), 0.6);
         assert!(m.is_high_cost(BlockAddr(0)));
         assert!(!m.is_high_cost(BlockAddr(1)));
-        assert!(!m.is_high_cost(BlockAddr(2)), "50% reads is below the 60% threshold");
+        assert!(
+            !m.is_high_cost(BlockAddr(2)),
+            "50% reads is below the 60% threshold"
+        );
         assert_eq!(m.cost_of(BlockAddr(0)), Cost(8));
         assert_eq!(m.cost_of(BlockAddr(1)), Cost(1));
     }

@@ -28,8 +28,14 @@ impl FirstTouchPlacement {
     /// Panics if `granularity_bytes` is not a power of two.
     #[must_use]
     pub fn new(granularity_bytes: u64) -> Self {
-        assert!(granularity_bytes.is_power_of_two(), "granularity must be a power of two");
-        FirstTouchPlacement { granularity_bytes, homes: HashMap::new() }
+        assert!(
+            granularity_bytes.is_power_of_two(),
+            "granularity must be a power of two"
+        );
+        FirstTouchPlacement {
+            granularity_bytes,
+            homes: HashMap::new(),
+        }
     }
 
     /// Builds the placement by scanning `trace` in order: the first

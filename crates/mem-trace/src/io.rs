@@ -94,7 +94,10 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, ReadTraceError> {
         return Err(ReadTraceError::Format("bad magic".into()));
     }
     if head[4] != VERSION {
-        return Err(ReadTraceError::Format(format!("unsupported version {}", head[4])));
+        return Err(ReadTraceError::Format(format!(
+            "unsupported version {}",
+            head[4]
+        )));
     }
     let procs = u32::from_le_bytes(head[5..9].try_into().expect("fixed slice")) as usize;
     let count = u64::from_le_bytes(head[9..17].try_into().expect("fixed slice"));
@@ -108,17 +111,27 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, ReadTraceError> {
             .map_err(|e| ReadTraceError::Format(format!("truncated at record {i}: {e}")))?;
         let proc = u16::from_le_bytes(rec[0..2].try_into().expect("fixed slice")) as usize;
         if proc >= procs {
-            return Err(ReadTraceError::Format(format!("record {i}: processor {proc} out of range")));
+            return Err(ReadTraceError::Format(format!(
+                "record {i}: processor {proc} out of range"
+            )));
         }
         let op = match rec[2] {
             0 => AccessType::Read,
             1 => AccessType::Write,
             other => {
-                return Err(ReadTraceError::Format(format!("record {i}: bad op byte {other}")))
+                return Err(ReadTraceError::Format(format!(
+                    "record {i}: bad op byte {other}"
+                )))
             }
         };
-        let addr = Addr(u64::from_le_bytes(rec[3..11].try_into().expect("fixed slice")));
-        trace.push(TraceRecord { proc: ProcId(proc), addr, op });
+        let addr = Addr(u64::from_le_bytes(
+            rec[3..11].try_into().expect("fixed slice"),
+        ));
+        trace.push(TraceRecord {
+            proc: ProcId(proc),
+            addr,
+            op,
+        });
     }
     Ok(trace)
 }
@@ -151,7 +164,12 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_every_record() {
-        let w = UniformRandom { refs: 5000, blocks: 512, procs: 3, write_fraction: 0.4 };
+        let w = UniformRandom {
+            refs: 5000,
+            blocks: 512,
+            procs: 3,
+            write_fraction: 0.4,
+        };
         let t = w.generate(9);
         let mut buf = Vec::new();
         write_trace(&t, &mut buf).expect("write to Vec");
@@ -168,12 +186,20 @@ mod tests {
 
     #[test]
     fn rejects_truncated_payload() {
-        let w = UniformRandom { refs: 10, blocks: 8, procs: 1, write_fraction: 0.0 };
+        let w = UniformRandom {
+            refs: 10,
+            blocks: 8,
+            procs: 1,
+            write_fraction: 0.0,
+        };
         let t = w.generate(1);
         let mut buf = Vec::new();
         write_trace(&t, &mut buf).expect("write");
         buf.truncate(buf.len() - 5);
-        assert!(matches!(read_trace(buf.as_slice()), Err(ReadTraceError::Format(_))));
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(ReadTraceError::Format(_))
+        ));
     }
 
     #[test]
@@ -186,7 +212,10 @@ mod tests {
         buf.extend_from_slice(&5u16.to_le_bytes()); // proc 5: out of range
         buf.push(0);
         buf.extend_from_slice(&0u64.to_le_bytes());
-        assert!(matches!(read_trace(buf.as_slice()), Err(ReadTraceError::Format(_))));
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(ReadTraceError::Format(_))
+        ));
     }
 
     #[test]
@@ -194,7 +223,12 @@ mod tests {
         let dir = std::env::temp_dir().join("csrt_test");
         std::fs::create_dir_all(&dir).expect("tmp dir");
         let path = dir.join("t.csrt");
-        let w = UniformRandom { refs: 100, blocks: 16, procs: 2, write_fraction: 0.5 };
+        let w = UniformRandom {
+            refs: 100,
+            blocks: 16,
+            procs: 2,
+            write_fraction: 0.5,
+        };
         let t = w.generate(4);
         save_trace(&t, &path).expect("save");
         let back = load_trace(&path).expect("load");

@@ -33,8 +33,8 @@
 
 pub mod cost_map;
 pub mod criticality;
-pub mod io;
 pub mod first_touch;
+pub mod io;
 pub mod phased;
 pub mod record;
 pub mod rng;

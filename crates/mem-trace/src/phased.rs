@@ -18,7 +18,9 @@ impl Phase {
     /// Creates an empty phase for `num_procs` processors.
     #[must_use]
     pub fn new(num_procs: usize) -> Self {
-        Phase { streams: vec![Vec::new(); num_procs] }
+        Phase {
+            streams: vec![Vec::new(); num_procs],
+        }
     }
 
     /// Wraps existing per-processor streams.
@@ -68,7 +70,10 @@ impl PhasedTrace {
     #[must_use]
     pub fn new(num_procs: usize) -> Self {
         assert!(num_procs > 0, "need at least one processor");
-        PhasedTrace { num_procs, phases: Vec::new() }
+        PhasedTrace {
+            num_procs,
+            phases: Vec::new(),
+        }
     }
 
     /// Appends a phase.
@@ -77,7 +82,11 @@ impl PhasedTrace {
     ///
     /// Panics if the phase's processor count differs.
     pub fn push(&mut self, phase: Phase) {
-        assert_eq!(phase.streams.len(), self.num_procs, "phase has wrong processor count");
+        assert_eq!(
+            phase.streams.len(),
+            self.num_procs,
+            "phase has wrong processor count"
+        );
         self.phases.push(phase);
     }
 

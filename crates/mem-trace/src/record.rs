@@ -35,13 +35,21 @@ impl TraceRecord {
     /// Convenience constructor for a read.
     #[must_use]
     pub fn read(proc: ProcId, addr: Addr) -> Self {
-        TraceRecord { proc, addr, op: AccessType::Read }
+        TraceRecord {
+            proc,
+            addr,
+            op: AccessType::Read,
+        }
     }
 
     /// Convenience constructor for a write.
     #[must_use]
     pub fn write(proc: ProcId, addr: Addr) -> Self {
-        TraceRecord { proc, addr, op: AccessType::Write }
+        TraceRecord {
+            proc,
+            addr,
+            op: AccessType::Write,
+        }
     }
 
     /// The block containing this reference for `block_bytes`-byte blocks.
@@ -67,7 +75,10 @@ impl Trace {
     #[must_use]
     pub fn new(num_procs: usize) -> Self {
         assert!(num_procs > 0, "a trace needs at least one processor");
-        Trace { records: Vec::new(), num_procs }
+        Trace {
+            records: Vec::new(),
+            num_procs,
+        }
     }
 
     /// Number of processors that contributed to this trace.
@@ -94,7 +105,11 @@ impl Trace {
     ///
     /// Panics if the record's processor id is out of range.
     pub fn push(&mut self, rec: TraceRecord) {
-        assert!(rec.proc.0 < self.num_procs, "processor id {} out of range", rec.proc);
+        assert!(
+            rec.proc.0 < self.num_procs,
+            "processor id {} out of range",
+            rec.proc
+        );
         self.records.push(rec);
     }
 
@@ -118,7 +133,11 @@ impl Trace {
     /// Total bytes touched, rounded to `block_bytes` blocks (the footprint).
     #[must_use]
     pub fn footprint_bytes(&self, block_bytes: u64) -> u64 {
-        let mut blocks: Vec<u64> = self.records.iter().map(|r| r.block(block_bytes).0).collect();
+        let mut blocks: Vec<u64> = self
+            .records
+            .iter()
+            .map(|r| r.block(block_bytes).0)
+            .collect();
         blocks.sort_unstable();
         blocks.dedup();
         blocks.len() as u64 * block_bytes

@@ -95,7 +95,13 @@ impl XorShift64Star {
     /// fixed nonzero constant (xorshift cannot leave state zero).
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        XorShift64Star { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        XorShift64Star {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     /// The next 64 scrambled bits.
@@ -147,9 +153,7 @@ mod tests {
         let mut root = SplitMix64::new(9);
         let mut c1 = root.split();
         let mut c2 = root.split();
-        let overlap = (0..100)
-            .filter(|_| c1.next_u64() == c2.next_u64())
-            .count();
+        let overlap = (0..100).filter(|_| c1.next_u64() == c2.next_u64()).count();
         assert_eq!(overlap, 0);
     }
 
@@ -171,7 +175,10 @@ mod tests {
             seen[a as usize] = true;
             seen[b as usize] = true;
         }
-        assert!(seen.iter().all(|&v| v), "8 buckets must all be hit in 512 draws");
+        assert!(
+            seen.iter().all(|&v| v),
+            "8 buckets must all be hit in 512 draws"
+        );
     }
 
     #[test]

@@ -43,14 +43,22 @@ impl SampledTrace {
         let mut foreign_writes = 0;
         for rec in trace {
             if rec.proc == proc {
-                events.push(SampledEvent::Own { addr: rec.addr, op: rec.op });
+                events.push(SampledEvent::Own {
+                    addr: rec.addr,
+                    op: rec.op,
+                });
                 own_refs += 1;
             } else if rec.op == AccessType::Write {
                 events.push(SampledEvent::ForeignWrite { addr: rec.addr });
                 foreign_writes += 1;
             }
         }
-        SampledTrace { proc, events, own_refs, foreign_writes }
+        SampledTrace {
+            proc,
+            events,
+            own_refs,
+            foreign_writes,
+        }
     }
 
     /// The sample processor.
@@ -97,9 +105,15 @@ mod tests {
         assert_eq!(s.events().len(), 4);
         assert_eq!(
             s.events()[0],
-            SampledEvent::Own { addr: Addr(0), op: AccessType::Read }
+            SampledEvent::Own {
+                addr: Addr(0),
+                op: AccessType::Read
+            }
         );
-        assert_eq!(s.events()[1], SampledEvent::ForeignWrite { addr: Addr(128) });
+        assert_eq!(
+            s.events()[1],
+            SampledEvent::ForeignWrite { addr: Addr(128) }
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub fn representative_processor(trace: &Trace) -> ProcId {
         .iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| {
-            (*a - mean).abs().partial_cmp(&(*b - mean).abs()).expect("fractions are finite")
+            (*a - mean)
+                .abs()
+                .partial_cmp(&(*b - mean).abs())
+                .expect("fractions are finite")
         })
         .map(|(i, _)| i)
         .unwrap_or(0);
@@ -106,7 +109,10 @@ mod tests {
             t.push(TraceRecord::write(ProcId((i % 4) as usize), Addr(i * 64)));
         }
         for i in 0..64u64 {
-            t.push(TraceRecord::read(ProcId(((i + 1) % 4) as usize), Addr(i * 64)));
+            t.push(TraceRecord::read(
+                ProcId(((i + 1) % 4) as usize),
+                Addr(i * 64),
+            ));
         }
         let p = representative_processor(&t);
         assert!(p.0 < 4);

@@ -8,6 +8,11 @@
 //! spatial region, giving the high remote-access fraction the paper
 //! reports for Barnes (44.8 %).
 
+// Per-processor generation loops deliberately index by `p`: the index is
+// simultaneously the ProcId and the stream slot, and enumerate() would
+// obscure that symmetry.
+#![allow(clippy::needless_range_loop)]
+
 use super::{Splitmix, Workload, INTERLEAVE_CHUNK};
 use crate::phased::{Phase, PhasedTrace};
 use crate::record::{ProcId, Trace, TraceRecord};
@@ -33,7 +38,13 @@ pub struct BarnesLike {
 impl Default for BarnesLike {
     /// Trace-study scale: 16 K bodies on 8 processors.
     fn default() -> Self {
-        BarnesLike { bodies: 16 * 1024, procs: 8, steps: 4, walk_len: 24, locality_bias: 0.68 }
+        BarnesLike {
+            bodies: 16 * 1024,
+            procs: 8,
+            steps: 4,
+            walk_len: 24,
+            locality_bias: 0.68,
+        }
     }
 }
 
@@ -41,13 +52,25 @@ impl BarnesLike {
     /// The paper's Table-1 configuration: 64 K bodies.
     #[must_use]
     pub fn paper_scale() -> Self {
-        BarnesLike { bodies: 64 * 1024, procs: 8, steps: 4, walk_len: 24, locality_bias: 0.68 }
+        BarnesLike {
+            bodies: 64 * 1024,
+            procs: 8,
+            steps: 4,
+            walk_len: 24,
+            locality_bias: 0.68,
+        }
     }
 
     /// The reduced RSIM configuration of Section 4.2: 4 K bodies.
     #[must_use]
     pub fn rsim_scale() -> Self {
-        BarnesLike { bodies: 4 * 1024, procs: 16, steps: 3, walk_len: 24, locality_bias: 0.68 }
+        BarnesLike {
+            bodies: 4 * 1024,
+            procs: 16,
+            steps: 3,
+            walk_len: 24,
+            locality_bias: 0.68,
+        }
     }
 
     /// Depth of the (binary-heap-indexed) tree: cells are nodes 1..2^depth.
@@ -103,7 +126,11 @@ impl BarnesLike {
         let mut idx = 1usize;
         for d in 0..depth.min(self.tree_depth()) {
             visit(idx);
-            let own_bit = if d < pb { (p >> (pb - 1 - d)) & 1 } else { rng.below(2) as usize };
+            let own_bit = if d < pb {
+                (p >> (pb - 1 - d)) & 1
+            } else {
+                rng.below(2) as usize
+            };
             let bit = if d < pb && !rng.chance(self.locality_bias) {
                 rng.below(2) as usize
             } else {
@@ -204,7 +231,13 @@ mod tests {
     use crate::first_touch::FirstTouchPlacement;
 
     fn small() -> BarnesLike {
-        BarnesLike { bodies: 1024, procs: 4, steps: 2, walk_len: 12, locality_bias: 0.68 }
+        BarnesLike {
+            bodies: 1024,
+            procs: 4,
+            steps: 2,
+            walk_len: 12,
+            locality_bias: 0.68,
+        }
     }
 
     #[test]
@@ -221,10 +254,7 @@ mod tests {
         let w = small();
         let a = w.generate(3);
         let b = w.generate(4);
-        let differs = a
-            .iter()
-            .zip(b.iter())
-            .any(|(x, y)| x.addr != y.addr);
+        let differs = a.iter().zip(b.iter()).any(|(x, y)| x.addr != y.addr);
         assert!(differs);
     }
 

@@ -6,6 +6,11 @@
 //! owned data, while the all-to-all transpose steps read column blocks from
 //! every other processor — bursty remote traffic with blocked locality.
 
+// Per-processor generation loops deliberately index by `p`: the index is
+// simultaneously the ProcId and the stream slot, and enumerate() would
+// obscure that symmetry.
+#![allow(clippy::needless_range_loop)]
+
 use super::{Workload, INTERLEAVE_CHUNK};
 use crate::phased::{Phase, PhasedTrace};
 use crate::record::{ProcId, Trace, TraceRecord};
@@ -25,7 +30,11 @@ pub struct FftLike {
 impl Default for FftLike {
     /// Trace-study scale: 256×256 complex points on 8 processors.
     fn default() -> Self {
-        FftLike { side: 256, procs: 8, stride: 2 }
+        FftLike {
+            side: 256,
+            procs: 8,
+            stride: 2,
+        }
     }
 }
 
@@ -33,18 +42,26 @@ impl FftLike {
     /// A larger configuration matching the trace-study reference counts.
     #[must_use]
     pub fn paper_scale() -> Self {
-        FftLike { side: 512, procs: 8, stride: 1 }
+        FftLike {
+            side: 512,
+            procs: 8,
+            stride: 1,
+        }
     }
 
     /// A reduced configuration for the execution-driven machine.
     #[must_use]
     pub fn rsim_scale() -> Self {
-        FftLike { side: 128, procs: 16, stride: 2 }
+        FftLike {
+            side: 128,
+            procs: 16,
+            stride: 2,
+        }
     }
 
     /// A matrix element (16 bytes: complex double).
     fn elem(&self, mat: usize, row: usize, col: usize) -> Addr {
-        Addr(((10 + mat) as u64) << 40 | ((row * self.side + col) as u64) * 16)
+        Addr((((10 + mat) as u64) << 40) | (((row * self.side + col) as u64) * 16))
     }
 
     fn rows(&self, p: usize) -> std::ops::Range<usize> {
@@ -110,7 +127,10 @@ impl Workload for FftLike {
     }
 
     fn generate_phases(&self, _seed: u64) -> PhasedTrace {
-        assert!(self.side % self.procs == 0, "processors must divide the matrix side");
+        assert!(
+            self.side % self.procs == 0,
+            "processors must divide the matrix side"
+        );
         let mut pt = PhasedTrace::new(self.procs);
         let stride = self.stride.max(1);
 
@@ -154,7 +174,11 @@ mod tests {
     use crate::first_touch::FirstTouchPlacement;
 
     fn small() -> FftLike {
-        FftLike { side: 64, procs: 4, stride: 2 }
+        FftLike {
+            side: 64,
+            procs: 4,
+            stride: 2,
+        }
     }
 
     #[test]

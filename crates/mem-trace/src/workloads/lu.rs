@@ -31,7 +31,12 @@ pub struct LuLike {
 impl Default for LuLike {
     /// Trace-study scale: 256×256 with 16×16 blocks on 8 processors.
     fn default() -> Self {
-        LuLike { n: 256, block: 16, procs: 8, element_stride: 1 }
+        LuLike {
+            n: 256,
+            block: 16,
+            procs: 8,
+            element_stride: 1,
+        }
     }
 }
 
@@ -39,13 +44,23 @@ impl LuLike {
     /// The paper's Table-1 configuration: 512×512 on 8 processors.
     #[must_use]
     pub fn paper_scale() -> Self {
-        LuLike { n: 512, block: 16, procs: 8, element_stride: 1 }
+        LuLike {
+            n: 512,
+            block: 16,
+            procs: 8,
+            element_stride: 1,
+        }
     }
 
     /// The reduced RSIM configuration of Section 4.2: 256×256.
     #[must_use]
     pub fn rsim_scale() -> Self {
-        LuLike { n: 256, block: 16, procs: 16, element_stride: 2 }
+        LuLike {
+            n: 256,
+            block: 16,
+            procs: 16,
+            element_stride: 2,
+        }
     }
 
     fn blocks_per_side(&self) -> usize {
@@ -190,7 +205,12 @@ mod tests {
 
     #[test]
     fn trace_is_deterministic() {
-        let w = LuLike { n: 64, block: 16, procs: 4, element_stride: 2 };
+        let w = LuLike {
+            n: 64,
+            block: 16,
+            procs: 4,
+            element_stride: 2,
+        };
         let a = w.generate(1);
         let b = w.generate(2); // seed is unused: structurally deterministic
         assert_eq!(a.len(), b.len());
@@ -199,7 +219,12 @@ mod tests {
 
     #[test]
     fn footprint_matches_matrix_size() {
-        let w = LuLike { n: 64, block: 16, procs: 4, element_stride: 1 };
+        let w = LuLike {
+            n: 64,
+            block: 16,
+            procs: 4,
+            element_stride: 1,
+        };
         let t = w.generate(0);
         // 64*64*8 = 32 KB of matrix data.
         assert_eq!(t.footprint_bytes(64), 64 * 64 * 8);
@@ -207,7 +232,12 @@ mod tests {
 
     #[test]
     fn all_procs_participate() {
-        let w = LuLike { n: 64, block: 16, procs: 4, element_stride: 2 };
+        let w = LuLike {
+            n: 64,
+            block: 16,
+            procs: 4,
+            element_stride: 2,
+        };
         let t = w.generate(0);
         for p in 0..4 {
             assert!(t.refs_by(ProcId(p)) > 0, "P{p} idle");
@@ -227,7 +257,12 @@ mod tests {
 
     #[test]
     fn owner_scatter_covers_all_procs() {
-        let w = LuLike { n: 256, block: 16, procs: 8, element_stride: 1 };
+        let w = LuLike {
+            n: 256,
+            block: 16,
+            procs: 8,
+            element_stride: 1,
+        };
         let mut seen = std::collections::HashSet::new();
         for bi in 0..16 {
             for bj in 0..16 {

@@ -148,10 +148,12 @@ mod tests {
     #[test]
     fn interleaver_round_robins_chunks() {
         let mut trace = Trace::new(2);
-        let s0: Vec<TraceRecord> =
-            (0..4).map(|i| TraceRecord::read(ProcId(0), Addr(i * 64))).collect();
-        let s1: Vec<TraceRecord> =
-            (0..2).map(|i| TraceRecord::read(ProcId(1), Addr(0x1000 + i * 64))).collect();
+        let s0: Vec<TraceRecord> = (0..4)
+            .map(|i| TraceRecord::read(ProcId(0), Addr(i * 64)))
+            .collect();
+        let s1: Vec<TraceRecord> = (0..2)
+            .map(|i| TraceRecord::read(ProcId(1), Addr(0x1000 + i * 64)))
+            .collect();
         Interleaver::new(2).merge_into(&mut trace, &[s0, s1]);
         let procs: Vec<usize> = trace.iter().map(|r| r.proc.0).collect();
         assert_eq!(procs, vec![0, 0, 1, 1, 0, 0]);

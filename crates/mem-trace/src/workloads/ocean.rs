@@ -6,6 +6,11 @@
 //! rows of a band read another processor's rows, giving the low remote
 //! fraction the paper reports for Ocean (7.4 %).
 
+// Per-processor generation loops deliberately index by `p`: the index is
+// simultaneously the ProcId and the stream slot, and enumerate() would
+// obscure that symmetry.
+#![allow(clippy::needless_range_loop)]
+
 use super::{Workload, INTERLEAVE_CHUNK};
 use crate::phased::{Phase, PhasedTrace};
 use crate::record::{ProcId, Trace, TraceRecord};
@@ -34,7 +39,14 @@ pub struct OceanLike {
 impl Default for OceanLike {
     /// Trace-study scale: 258×258, 16 processors (Table 1 row for Ocean).
     fn default() -> Self {
-        OceanLike { n: 258, grids: 6, procs: 16, iters: 8, col_stride: 1, reduction_points: 1536 }
+        OceanLike {
+            n: 258,
+            grids: 6,
+            procs: 16,
+            iters: 8,
+            col_stride: 1,
+            reduction_points: 1536,
+        }
     }
 }
 
@@ -42,13 +54,27 @@ impl OceanLike {
     /// The paper's Table-1 configuration.
     #[must_use]
     pub fn paper_scale() -> Self {
-        OceanLike { n: 258, grids: 6, procs: 16, iters: 16, col_stride: 1, reduction_points: 1536 }
+        OceanLike {
+            n: 258,
+            grids: 6,
+            procs: 16,
+            iters: 16,
+            col_stride: 1,
+            reduction_points: 1536,
+        }
     }
 
     /// The reduced RSIM configuration of Section 4.2: 130×130.
     #[must_use]
     pub fn rsim_scale() -> Self {
-        OceanLike { n: 130, grids: 6, procs: 16, iters: 6, col_stride: 1, reduction_points: 400 }
+        OceanLike {
+            n: 130,
+            grids: 6,
+            procs: 16,
+            iters: 6,
+            col_stride: 1,
+            reduction_points: 400,
+        }
     }
 
     fn grid_base(&self, g: usize) -> u64 {
@@ -79,7 +105,10 @@ impl OceanLike {
         let total = (self.n * self.n) as u64;
         (0..self.reduction_points).map(move |k| {
             let idx = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % total;
-            ((idx / self.n as u64) as usize, (idx % self.n as u64) as usize)
+            (
+                (idx / self.n as u64) as usize,
+                (idx % self.n as u64) as usize,
+            )
         })
     }
 
@@ -204,8 +233,14 @@ impl Workload for OceanLike {
                     let out = &mut phase[p];
                     for row in lo..hi {
                         for col in (1..side - 1).step_by(stride) {
-                            out.push(TraceRecord::read(proc, self.coarse_addr(level, row - 1, col)));
-                            out.push(TraceRecord::read(proc, self.coarse_addr(level, row + 1, col)));
+                            out.push(TraceRecord::read(
+                                proc,
+                                self.coarse_addr(level, row - 1, col),
+                            ));
+                            out.push(TraceRecord::read(
+                                proc,
+                                self.coarse_addr(level, row + 1, col),
+                            ));
                             out.push(TraceRecord::read(proc, self.coarse_addr(level, row, col)));
                             let a = self.coarse_addr(level, row, col);
                             out.push(TraceRecord::write(proc, a));
@@ -241,7 +276,14 @@ mod tests {
     use crate::first_touch::FirstTouchPlacement;
 
     fn small() -> OceanLike {
-        OceanLike { n: 66, grids: 3, procs: 4, iters: 4, col_stride: 1, reduction_points: 100 }
+        OceanLike {
+            n: 66,
+            grids: 3,
+            procs: 4,
+            iters: 4,
+            col_stride: 1,
+            reduction_points: 100,
+        }
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! remote writes with essentially no reuse, the worst case for any
 //! replacement policy.
 
+// Per-processor generation loops deliberately index by `p`: the index is
+// simultaneously the ProcId and the stream slot, and enumerate() would
+// obscure that symmetry.
+#![allow(clippy::needless_range_loop)]
+
 use super::{Splitmix, Workload, INTERLEAVE_CHUNK};
 use crate::phased::{Phase, PhasedTrace};
 use crate::record::{ProcId, Trace, TraceRecord};
@@ -31,7 +36,13 @@ pub struct RadixLike {
 impl Default for RadixLike {
     /// Trace-study scale: 256 K integer keys on 8 processors.
     fn default() -> Self {
-        RadixLike { keys: 256 * 1024, procs: 8, digit_bits: 8, passes: 2, key_stride: 4 }
+        RadixLike {
+            keys: 256 * 1024,
+            procs: 8,
+            digit_bits: 8,
+            passes: 2,
+            key_stride: 4,
+        }
     }
 }
 
@@ -39,13 +50,25 @@ impl RadixLike {
     /// A larger configuration matching the trace-study reference counts.
     #[must_use]
     pub fn paper_scale() -> Self {
-        RadixLike { keys: 1024 * 1024, procs: 8, digit_bits: 8, passes: 3, key_stride: 2 }
+        RadixLike {
+            keys: 1024 * 1024,
+            procs: 8,
+            digit_bits: 8,
+            passes: 3,
+            key_stride: 2,
+        }
     }
 
     /// A reduced configuration for the execution-driven machine.
     #[must_use]
     pub fn rsim_scale() -> Self {
-        RadixLike { keys: 64 * 1024, procs: 16, digit_bits: 8, passes: 2, key_stride: 4 }
+        RadixLike {
+            keys: 64 * 1024,
+            procs: 16,
+            digit_bits: 8,
+            passes: 2,
+            key_stride: 4,
+        }
     }
 
     fn radix(&self) -> usize {
@@ -54,12 +77,12 @@ impl RadixLike {
 
     /// Source key array of pass `p` (double-buffered between passes).
     fn key_addr(&self, pass: usize, idx: usize) -> Addr {
-        Addr(((6 + (pass & 1)) as u64) << 40 | (idx as u64) * 8)
+        Addr((((6 + (pass & 1)) as u64) << 40) | ((idx as u64) * 8))
     }
 
     /// Per-processor histogram bucket.
     fn hist_addr(&self, proc: usize, bucket: usize) -> Addr {
-        Addr((8u64 << 40) | ((proc * self.radix() + bucket) as u64) * 8)
+        Addr((8u64 << 40) | (((proc * self.radix() + bucket) as u64) * 8))
     }
 
     fn chunk(&self, p: usize) -> std::ops::Range<usize> {
@@ -152,7 +175,10 @@ impl Workload for RadixLike {
                     let dest = ((digit * self.keys as u64) / self.radix() as u64) as usize
                         + (self.key_value(i, seed ^ 0xD157) % (self.keys / self.radix()) as u64)
                             as usize;
-                    out.push(TraceRecord::write(proc, self.key_addr(pass + 1, dest.min(self.keys - 1))));
+                    out.push(TraceRecord::write(
+                        proc,
+                        self.key_addr(pass + 1, dest.min(self.keys - 1)),
+                    ));
                 }
             }
             pt.push(Phase::from_streams(phase));
@@ -167,7 +193,13 @@ mod tests {
     use crate::first_touch::FirstTouchPlacement;
 
     fn small() -> RadixLike {
-        RadixLike { keys: 8192, procs: 4, digit_bits: 6, passes: 2, key_stride: 2 }
+        RadixLike {
+            keys: 8192,
+            procs: 4,
+            digit_bits: 6,
+            passes: 2,
+            key_stride: 2,
+        }
     }
 
     #[test]

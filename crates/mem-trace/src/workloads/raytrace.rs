@@ -8,6 +8,11 @@
 //! write. The footprint is large and reuse is poor, mirroring the paper's
 //! Raytrace characteristics (32 MB, 29.6 % remote).
 
+// Per-processor generation loops deliberately index by `p`: the index is
+// simultaneously the ProcId and the stream slot, and enumerate() would
+// obscure that symmetry.
+#![allow(clippy::needless_range_loop)]
+
 use super::{Splitmix, Workload, INTERLEAVE_CHUNK};
 use crate::phased::{Phase, PhasedTrace};
 use crate::record::{ProcId, Trace, TraceRecord};
@@ -114,7 +119,11 @@ impl RaytraceLike {
         let mut idx = 1usize;
         for d in 0..self.tree_depth() {
             visit(idx);
-            let own_bit = if d < pb { (p >> (pb - 1 - d)) & 1 } else { rng.below(2) as usize };
+            let own_bit = if d < pb {
+                (p >> (pb - 1 - d)) & 1
+            } else {
+                rng.below(2) as usize
+            };
             let bit = if d < pb && !rng.chance(self.locality_bias) {
                 rng.below(2) as usize
             } else {
@@ -192,7 +201,13 @@ mod tests {
     use crate::first_touch::FirstTouchPlacement;
 
     fn small() -> RaytraceLike {
-        RaytraceLike { scene_nodes: 4096, image: 32, procs: 4, ray_depth: 12, locality_bias: 0.87 }
+        RaytraceLike {
+            scene_nodes: 4096,
+            image: 32,
+            procs: 4,
+            ray_depth: 12,
+            locality_bias: 0.87,
+        }
     }
 
     #[test]
@@ -215,11 +230,17 @@ mod tests {
     fn reads_dominate() {
         let w = small();
         let t = w.generate(2);
-        let reads = t.iter().filter(|r| r.op == cache_sim::AccessType::Read).count();
+        let reads = t
+            .iter()
+            .filter(|r| r.op == cache_sim::AccessType::Read)
+            .count();
         let writes = t.len() - reads;
         // The one-off scene-build phase is all writes; rendering is
         // read-dominated, so reads still outnumber writes clearly.
-        assert!(reads > writes * 2, "read-mostly: {reads} reads vs {writes} writes");
+        assert!(
+            reads > writes * 2,
+            "read-mostly: {reads} reads vs {writes} writes"
+        );
     }
 
     #[test]

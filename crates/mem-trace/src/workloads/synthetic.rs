@@ -19,7 +19,12 @@ pub struct UniformRandom {
 
 impl Default for UniformRandom {
     fn default() -> Self {
-        UniformRandom { refs: 100_000, blocks: 4096, procs: 1, write_fraction: 0.25 }
+        UniformRandom {
+            refs: 100_000,
+            blocks: 4096,
+            procs: 1,
+            write_fraction: 0.25,
+        }
     }
 }
 
@@ -68,7 +73,12 @@ pub struct ZipfRandom {
 
 impl Default for ZipfRandom {
     fn default() -> Self {
-        ZipfRandom { refs: 100_000, blocks: 4096, exponent: 1.0, write_fraction: 0.1 }
+        ZipfRandom {
+            refs: 100_000,
+            blocks: 4096,
+            exponent: 1.0,
+            write_fraction: 0.1,
+        }
     }
 }
 
@@ -127,7 +137,10 @@ pub struct SequentialScan {
 
 impl Default for SequentialScan {
     fn default() -> Self {
-        SequentialScan { passes: 10, blocks: 1024 }
+        SequentialScan {
+            passes: 10,
+            blocks: 1024,
+        }
     }
 }
 
@@ -161,7 +174,12 @@ mod tests {
 
     #[test]
     fn uniform_covers_footprint() {
-        let w = UniformRandom { refs: 50_000, blocks: 256, procs: 2, write_fraction: 0.5 };
+        let w = UniformRandom {
+            refs: 50_000,
+            blocks: 256,
+            procs: 2,
+            write_fraction: 0.5,
+        };
         let t = w.generate(1);
         assert_eq!(t.len(), 50_000);
         assert_eq!(t.footprint_bytes(64), 256 * 64);
@@ -170,7 +188,12 @@ mod tests {
 
     #[test]
     fn zipf_is_skewed() {
-        let w = ZipfRandom { refs: 50_000, blocks: 1024, exponent: 1.0, write_fraction: 0.0 };
+        let w = ZipfRandom {
+            refs: 50_000,
+            blocks: 1024,
+            exponent: 1.0,
+            write_fraction: 0.0,
+        };
         let t = w.generate(3);
         let mut counts = std::collections::HashMap::new();
         for r in &t {
@@ -187,7 +210,10 @@ mod tests {
 
     #[test]
     fn scan_is_exact() {
-        let w = SequentialScan { passes: 3, blocks: 16 };
+        let w = SequentialScan {
+            passes: 3,
+            blocks: 16,
+        };
         let t = w.generate(0);
         assert_eq!(t.len(), 48);
         assert_eq!(t.records()[0].addr, Addr(0));

@@ -183,7 +183,11 @@ impl SystemConfig {
     #[must_use]
     pub fn mesh_side(&self) -> usize {
         let side = (self.num_nodes as f64).sqrt().round() as usize;
-        assert_eq!(side * side, self.num_nodes, "mesh requires a square node count");
+        assert_eq!(
+            side * side,
+            self.num_nodes,
+            "mesh requires a square node count"
+        );
         side
     }
 
@@ -239,7 +243,6 @@ impl SystemConfig {
             + self.unloaded_msg_ns(owner, requester, self.data_flits)
             + self.ctrl_ns
     }
-
 }
 
 impl Default for SystemConfig {
@@ -267,7 +270,11 @@ mod tests {
         // by the measured latency.
         assert_eq!(CostMode::Penalty(60).cost_of(383, 380, 100), 120);
         assert_eq!(CostMode::Penalty(60).cost_of(383, 380, 0), 60, "floor");
-        assert_eq!(CostMode::Penalty(60).cost_of(90, 380, 500), 120, "capped at measured (90), then rounded to nearest quantum");
+        assert_eq!(
+            CostMode::Penalty(60).cost_of(90, 380, 500),
+            120,
+            "capped at measured (90), then rounded to nearest quantum"
+        );
     }
 
     #[test]

@@ -133,7 +133,10 @@ mod tests {
     #[test]
     fn classify_states() {
         assert_eq!(DirState::Uncached.classify(), HomeState::Uncached);
-        assert_eq!(DirState::Shared(BTreeSet::new()).classify(), HomeState::Shared);
+        assert_eq!(
+            DirState::Shared(BTreeSet::new()).classify(),
+            HomeState::Shared
+        );
         assert_eq!(DirState::Exclusive(3).classify(), HomeState::Exclusive);
     }
 }

@@ -57,7 +57,11 @@ impl EventQueue {
     /// Schedules `event` at `time`.
     pub fn push(&mut self, time: Time, event: Event) {
         self.seq += 1;
-        self.heap.push(Scheduled { time, seq: self.seq, event });
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
     }
 
     /// Pops the earliest event.

@@ -110,7 +110,13 @@ pub struct Msg {
 impl Msg {
     /// Creates a request message from `src` about `block` to `dst`.
     #[must_use]
-    pub fn request(kind: MsgKind, src: usize, dst: usize, block: BlockAddr, issue_ts: Time) -> Self {
+    pub fn request(
+        kind: MsgKind,
+        src: usize,
+        dst: usize,
+        block: BlockAddr,
+        issue_ts: Time,
+    ) -> Self {
         Msg {
             kind,
             src,

@@ -134,8 +134,7 @@ impl Table3Matrix {
         if self.total_pairs == 0 {
             return 0.0;
         }
-        let mismatches: u64 =
-            self.cells.iter().flatten().map(|c| c.mismatches).sum();
+        let mismatches: u64 = self.cells.iter().flatten().map(|c| c.mismatches).sum();
         100.0 * (self.total_pairs - mismatches) as f64 / self.total_pairs as f64
     }
 
@@ -232,7 +231,11 @@ mod tests {
     use super::*;
 
     fn class(req: ReqType, hs: HomeState, lat: u64) -> MissClass {
-        MissClass { req, home_state: hs, unloaded_ns: lat }
+        MissClass {
+            req,
+            home_state: hs,
+            unloaded_ns: lat,
+        }
     }
 
     #[test]

@@ -113,8 +113,11 @@ impl System {
                     );
                 }
             }
-            let stuck_blocks: Vec<u64> =
-                self.nodes.iter().flat_map(|n| n.mshr.keys().copied()).collect();
+            let stuck_blocks: Vec<u64> = self
+                .nodes
+                .iter()
+                .flat_map(|n| n.mshr.keys().copied())
+                .collect();
             for (h, d) in self.dirs.iter().enumerate() {
                 for b in &stuck_blocks {
                     if let Some(e) = d.peek(*b) {
@@ -165,8 +168,12 @@ impl System {
         let homes: Vec<(u64, usize)> = self.homes.iter().map(|(b, h)| (*b, *h)).collect();
         for (b, home) in homes {
             let block = BlockAddr(b);
-            let holders: Vec<usize> =
-                self.nodes.iter().filter(|n| n.l2.contains(block)).map(|n| n.id).collect();
+            let holders: Vec<usize> = self
+                .nodes
+                .iter()
+                .filter(|n| n.l2.contains(block))
+                .map(|n| n.id)
+                .collect();
             let entry = self.dirs[home].entry(b);
             if let Some(p) = &entry.pending {
                 return Err(format!(
@@ -372,10 +379,19 @@ impl System {
             }
             let issue = self.nodes[n].cpu_time;
             let home = self.home_of(block, n);
-            let kind = if is_write { MsgKind::GetX } else { MsgKind::GetS };
+            let kind = if is_write {
+                MsgKind::GetX
+            } else {
+                MsgKind::GetS
+            };
             self.nodes[n].mshr.insert(
                 block.0,
-                MshrEntry { is_write, is_upgrade: false, issue, wants_write: is_write },
+                MshrEntry {
+                    is_write,
+                    is_upgrade: false,
+                    issue,
+                    wants_write: is_write,
+                },
             );
             let depart = issue + self.ctrl_ps();
             self.send(Msg::request(kind, n, home, block, issue), depart);
@@ -413,11 +429,19 @@ impl System {
         let home = self.home_of(block, n);
         self.nodes[n].mshr.insert(
             block.0,
-            MshrEntry { is_write: true, is_upgrade: true, issue, wants_write: true },
+            MshrEntry {
+                is_write: true,
+                is_upgrade: true,
+                issue,
+                wants_write: true,
+            },
         );
         self.nodes[n].stats.upgrades += 1;
         let depart = issue + self.ctrl_ps();
-        self.send(Msg::request(MsgKind::Upgrade, n, home, block, issue), depart);
+        self.send(
+            Msg::request(MsgKind::Upgrade, n, home, block, issue),
+            depart,
+        );
         true
     }
 
@@ -456,7 +480,11 @@ impl System {
             node.phase = next_phase;
             node.pos = 0;
             node.cpu_time = release;
-            node.state = if done { CpuState::Done } else { CpuState::Running };
+            node.state = if done {
+                CpuState::Done
+            } else {
+                CpuState::Running
+            };
         }
         if done {
             self.final_time = release;
@@ -765,7 +793,10 @@ impl System {
         let ctrl = self.ctrl_ps();
         let mem = self.cfg.mem_ns * 1000;
         let entry = self.dirs[home].entry(block.0);
-        let p = entry.pending.as_mut().expect("serve_from_memory without pending");
+        let p = entry
+            .pending
+            .as_mut()
+            .expect("serve_from_memory without pending");
         p.awaiting_wb = false;
         p.remaining = 1; // only the grant ack remains
         let (req, state_seen, prev_owner, pmsg) =
@@ -785,13 +816,15 @@ impl System {
     fn home_inval_ack(&mut self, now: Time, msg: Msg) {
         let ctrl = self.ctrl_ps();
         let entry = self.dirs[msg.dst].entry(msg.block.0);
-        let p = entry.pending.as_mut().expect("InvalAck without pending transaction");
+        let p = entry
+            .pending
+            .as_mut()
+            .expect("InvalAck without pending transaction");
         p.acks_outstanding -= 1;
         if p.acks_outstanding > 0 {
             return;
         }
-        let (req, kind, mem_ready, pmsg) =
-            (p.msg.requester, p.msg.kind, p.mem_ready, p.msg);
+        let (req, kind, mem_ready, pmsg) = (p.msg.requester, p.msg.kind, p.mem_ready, p.msg);
         entry.state = DirState::Exclusive(req);
         let mut reply = pmsg;
         reply.src = msg.dst;
@@ -862,7 +895,10 @@ impl System {
             entry.wb_banked = false;
             self.serve_from_memory(now, msg.dst, msg.block);
         } else {
-            let p = entry.pending.as_mut().expect("FetchNack without pending transaction");
+            let p = entry
+                .pending
+                .as_mut()
+                .expect("FetchNack without pending transaction");
             p.awaiting_wb = true;
         }
     }
@@ -874,7 +910,8 @@ impl System {
         entry.wb_banked = false;
         if let Some(next) = entry.queue.pop_front() {
             // Re-inject; the request pays another controller traversal.
-            self.queue.push(now + self.ctrl_ps(), Event::MsgArrive(next));
+            self.queue
+                .push(now + self.ctrl_ps(), Event::MsgArrive(next));
         }
     }
 
@@ -921,7 +958,11 @@ impl System {
         data.dst = msg.requester;
         self.send(data, now + ctrl);
         let mut ack = msg;
-        ack.kind = if msg.kind == MsgKind::FetchS { MsgKind::DownAck } else { MsgKind::OwnerAck };
+        ack.kind = if msg.kind == MsgKind::FetchS {
+            MsgKind::DownAck
+        } else {
+            MsgKind::OwnerAck
+        };
         ack.src = n;
         ack.dst = home;
         self.send(ack, now + ctrl);
@@ -990,7 +1031,11 @@ impl System {
 
         // Table 3: consecutive-miss classification per (node, block).
         let class = MissClass {
-            req: if entry.is_write { ReqType::RdExcl } else { ReqType::Read },
+            req: if entry.is_write {
+                ReqType::RdExcl
+            } else {
+                ReqType::Read
+            },
             home_state: msg.home_state,
             unloaded_ns: msg.unloaded_ns,
         };
@@ -1085,21 +1130,33 @@ impl System {
 
     fn handle_l2_eviction(&mut self, now: Time, n: usize, ev: cache_sim::Evicted) {
         let ctrl = self.ctrl_ps();
-        self.nodes[n].l1.invalidate(ev.block, InvalidateKind::Inclusion);
+        self.nodes[n]
+            .l1
+            .invalidate(ev.block, InvalidateKind::Inclusion);
         // A block with an in-flight upgrade is left to the UpgAck handler,
         // which returns the granted ownership with a WriteBack; sending a
         // ReplHint here as well would tell the home about the departure
         // twice.
-        if self.nodes[n].mshr.get(&ev.block.0).is_some_and(|m| m.is_upgrade) {
+        if self.nodes[n]
+            .mshr
+            .get(&ev.block.0)
+            .is_some_and(|m| m.is_upgrade)
+        {
             return;
         }
         let home = self.home_of(ev.block, n);
         if self.nodes[n].owned.remove(&ev.block.0) {
             self.nodes[n].stats.writebacks += 1;
-            self.send(Msg::request(MsgKind::WriteBack, n, home, ev.block, now), now + ctrl);
+            self.send(
+                Msg::request(MsgKind::WriteBack, n, home, ev.block, now),
+                now + ctrl,
+            );
         } else if self.cfg.replacement_hints {
             self.nodes[n].stats.repl_hints += 1;
-            self.send(Msg::request(MsgKind::ReplHint, n, home, ev.block, now), now + ctrl);
+            self.send(
+                Msg::request(MsgKind::ReplHint, n, home, ev.block, now),
+                now + ctrl,
+            );
         }
         // Without hints, clean shared evictions are silent: the home's
         // sharer set goes stale and later invalidations may target nodes

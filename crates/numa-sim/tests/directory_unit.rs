@@ -16,16 +16,22 @@ fn lru() -> Box<dyn Fn(&cache_sim::Geometry) -> numa_sim::L2Policy> {
 fn shared_to_exclusive_collects_invalidation_acks() {
     // Three readers share X; a fourth node writes it: all three sharers
     // must receive (and count) invalidations.
-    let pt = trace_of(4, &[
-        vec![(0, vec![(0x100, false)])],
-        vec![(1, vec![(0x100, false)]), (2, vec![(0x100, false)])],
-        vec![(3, vec![(0x100, true)])],
-    ]);
+    let pt = trace_of(
+        4,
+        &[
+            vec![(0, vec![(0x100, false)])],
+            vec![(1, vec![(0x100, false)]), (2, vec![(0x100, false)])],
+            vec![(3, vec![(0x100, true)])],
+        ],
+    );
     let res = System::new(cfg4(), &pt, &*lru()).run();
     for sharer in [0usize, 1, 2] {
         assert_eq!(res.nodes[sharer].invals_received, 1, "sharer {sharer}");
     }
-    assert_eq!(res.nodes[3].invals_received, 0, "the writer is not invalidated");
+    assert_eq!(
+        res.nodes[3].invals_received, 0,
+        "the writer is not invalidated"
+    );
     assert_eq!(res.nodes[3].l2_misses, 1);
 }
 
@@ -33,11 +39,14 @@ fn shared_to_exclusive_collects_invalidation_acks() {
 fn upgrade_requires_no_data_transfer() {
     // Node 1 reads then writes while sole sharer alongside home node 0:
     // the write is an upgrade (counted), not a second miss.
-    let pt = trace_of(4, &[
-        vec![(0, vec![(0x200, false)])],
-        vec![(1, vec![(0x200, false)])],
-        vec![(1, vec![(0x200, true)])],
-    ]);
+    let pt = trace_of(
+        4,
+        &[
+            vec![(0, vec![(0x200, false)])],
+            vec![(1, vec![(0x200, false)])],
+            vec![(1, vec![(0x200, true)])],
+        ],
+    );
     let mut sys = System::new(cfg4(), &pt, &*lru());
     let res = sys.run();
     assert_eq!(res.nodes[1].upgrades, 1);
@@ -46,10 +55,13 @@ fn upgrade_requires_no_data_transfer() {
 
     // The same ending state reached via a full GetX (node 1 never holding
     // the block) must move strictly more flits: the upgrade carried no data.
-    let pt_getx = trace_of(4, &[
-        vec![(0, vec![(0x200, false)])],
-        vec![(1, vec![(0x200, true)])],
-    ]);
+    let pt_getx = trace_of(
+        4,
+        &[
+            vec![(0, vec![(0x200, false)])],
+            vec![(1, vec![(0x200, true)])],
+        ],
+    );
     let mut sys_getx = System::new(cfg4(), &pt_getx, &*lru());
     sys_getx.run();
     assert!(
@@ -66,17 +78,23 @@ fn writeback_then_refetch_round_trips_through_memory() {
     // evicted (WriteBack), then re-reads it: the refetch must succeed and
     // coherence must hold afterwards.
     let l2_sets = 64u64;
-    let conflicting: Vec<(u64, bool)> =
-        (0..10).map(|i| (0x400 + i * l2_sets * 64, true)).collect();
-    let pt = trace_of(4, &[
-        vec![(0, vec![(0x400, true)])],
-        vec![(0, conflicting)],
-        vec![(0, vec![(0x400, false)])],
-    ]);
+    let conflicting: Vec<(u64, bool)> = (0..10).map(|i| (0x400 + i * l2_sets * 64, true)).collect();
+    let pt = trace_of(
+        4,
+        &[
+            vec![(0, vec![(0x400, true)])],
+            vec![(0, conflicting)],
+            vec![(0, vec![(0x400, false)])],
+        ],
+    );
     let mut sys = System::new(cfg4(), &pt, &*lru());
     let res = sys.run();
-    assert!(res.nodes[0].writebacks >= 1, "owned eviction must write back");
-    sys.validate_coherence().expect("coherent after writeback/refetch");
+    assert!(
+        res.nodes[0].writebacks >= 1,
+        "owned eviction must write back"
+    );
+    sys.validate_coherence()
+        .expect("coherent after writeback/refetch");
 }
 
 #[test]
@@ -84,19 +102,20 @@ fn replacement_hints_prune_sharer_sets() {
     // Node 1 reads a block then conflict-evicts it (clean): the hint must
     // reach the home so node 2's later write needs NO invalidation of 1.
     let l2_sets = 64u64;
-    let evictors: Vec<(u64, bool)> =
-        (1..10).map(|i| (0x40 + i * l2_sets * 64, false)).collect();
-    let pt = trace_of(4, &[
-        vec![(0, vec![(0x40, false)])], // home + first reader
-        vec![(1, vec![(0x40, false)])],
-        vec![(1, evictors)], // push 0x40 out of node 1's L2
-        vec![(2, vec![(0x40, true)])],
-    ]);
+    let evictors: Vec<(u64, bool)> = (1..10).map(|i| (0x40 + i * l2_sets * 64, false)).collect();
+    let pt = trace_of(
+        4,
+        &[
+            vec![(0, vec![(0x40, false)])], // home + first reader
+            vec![(1, vec![(0x40, false)])],
+            vec![(1, evictors)], // push 0x40 out of node 1's L2
+            vec![(2, vec![(0x40, true)])],
+        ],
+    );
     let res = System::new(cfg4(), &pt, &*lru()).run();
     assert!(res.nodes[1].repl_hints >= 1);
     assert_eq!(
-        res.nodes[1].invals_received,
-        0,
+        res.nodes[1].invals_received, 0,
         "hinted-out sharer must not be invalidated"
     );
 }

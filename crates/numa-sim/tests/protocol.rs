@@ -14,7 +14,10 @@ fn local_read_miss_latency_matches_model() {
     // into the outstanding MSHR, since the CPU runs ahead of the fill).
     let pt = trace_of(
         4,
-        &[vec![(0, vec![(0x1000, false)])], vec![(0, vec![(0x1000, false)])]],
+        &[
+            vec![(0, vec![(0x1000, false)])],
+            vec![(0, vec![(0x1000, false)])],
+        ],
     );
     let mut sys = System::new(cfg, &pt, &*lru_factory());
     let res = sys.run();
@@ -66,8 +69,14 @@ fn write_invalidates_remote_sharer() {
     );
     let mut sys = System::new(cfg, &pt, &*lru_factory());
     let res = sys.run();
-    assert_eq!(res.nodes[0].l2_misses, 2, "node 0 must re-miss after the invalidation");
-    assert_eq!(res.nodes[1].upgrades, 1, "node 1's store should be an upgrade");
+    assert_eq!(
+        res.nodes[0].l2_misses, 2,
+        "node 0 must re-miss after the invalidation"
+    );
+    assert_eq!(
+        res.nodes[1].upgrades, 1,
+        "node 1's store should be an upgrade"
+    );
     assert_eq!(res.nodes[0].invals_received, 1);
 }
 
@@ -99,7 +108,9 @@ fn exec_time_monotonic_in_work() {
     let cfg = four_node_cfg();
     let small = trace_of(4, &[vec![(0, (0..64).map(|i| (i * 64, false)).collect())]]);
     let large = trace_of(4, &[vec![(0, (0..512).map(|i| (i * 64, false)).collect())]]);
-    let t_small = System::new(cfg.clone(), &small, &*lru_factory()).run().exec_time_ps;
+    let t_small = System::new(cfg.clone(), &small, &*lru_factory())
+        .run()
+        .exec_time_ps;
     let t_large = System::new(cfg, &large, &*lru_factory()).run().exec_time_ps;
     assert!(t_large > t_small);
 }
@@ -180,7 +191,11 @@ fn table3_pairs_accumulate_on_repeated_misses() {
     }
     let pt = trace_of(4, &phases);
     let res = System::new(cfg, &pt, &*lru_factory()).run();
-    assert!(res.table3.total_pairs() >= 4, "pairs: {}", res.table3.total_pairs());
+    assert!(
+        res.table3.total_pairs() >= 4,
+        "pairs: {}",
+        res.table3.total_pairs()
+    );
     // Ping-pong writes are rd-excl misses on an Exclusive block.
     let idx = 5; // rx/E
     assert!(res.table3.cell(idx, idx).count > 0);

@@ -16,8 +16,11 @@ pub fn lru_factory() -> Box<dyn Fn(&Geometry) -> numa_sim::L2Policy> {
     Box::new(|_g: &Geometry| Box::new(cache_sim::Lru::new()))
 }
 
+/// One processor's references within a phase: `(proc, [(addr, is_write)])`.
+pub type ProcRefs = (usize, Vec<(u64, bool)>);
+
 /// Builds a phased trace from (phase -> proc -> list of (addr, is_write)).
-pub fn trace_of(num_procs: usize, phases: &[Vec<(usize, Vec<(u64, bool)>)>]) -> PhasedTrace {
+pub fn trace_of(num_procs: usize, phases: &[Vec<ProcRefs>]) -> PhasedTrace {
     let mut pt = PhasedTrace::new(num_procs);
     for phase in phases {
         let mut streams = vec![Vec::new(); num_procs];

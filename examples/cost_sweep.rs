@@ -49,7 +49,10 @@ fn main() {
             let map = RandomCostMap::new(haf, ratio.pair(), 99);
             let lru_cost = baseline.aggregate_cost(&map);
             let run = run_sampled(&sampled, &map, PolicyKind::Dcl, cfg);
-            print!("{:>9.2}", relative_savings_pct(lru_cost, run.aggregate_cost()));
+            print!(
+                "{:>9.2}",
+                relative_savings_pct(lru_cost, run.aggregate_cost())
+            );
         }
         println!();
     }

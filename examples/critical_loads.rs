@@ -20,8 +20,13 @@ use cost_sensitive_cache::trace::{Trace, TraceRecord, Workload};
 fn main() {
     // Build a uniprocessor trace: Zipf-distributed loads over an index
     // region interleaved with sequential stores to a log region.
-    let loads = ZipfRandom { refs: 120_000, blocks: 4096, exponent: 0.8, write_fraction: 0.0 }
-        .generate(11);
+    let loads = ZipfRandom {
+        refs: 120_000,
+        blocks: 4096,
+        exponent: 0.8,
+        write_fraction: 0.0,
+    }
+    .generate(11);
     let mut trace = Trace::new(1);
     let mut log_ptr = 0u64;
     for (i, rec) in loads.iter().enumerate() {
@@ -52,8 +57,14 @@ fn main() {
     }
 
     let (l, d) = (lru.stats(), dcl.stats());
-    println!("LRU:  misses {:>7}  load-weighted cost {:>8}", l.misses, l.aggregate_cost);
-    println!("DCL:  misses {:>7}  load-weighted cost {:>8}", d.misses, d.aggregate_cost);
+    println!(
+        "LRU:  misses {:>7}  load-weighted cost {:>8}",
+        l.misses, l.aggregate_cost
+    );
+    println!(
+        "DCL:  misses {:>7}  load-weighted cost {:>8}",
+        d.misses, d.aggregate_cost
+    );
     println!(
         "\nDCL cuts the load-criticality cost by {:.1}% (miss-count change: {:+.1}%)",
         relative_savings_pct(l.aggregate_cost, d.aggregate_cost),

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example numa_latency`
 
-use cost_sensitive_cache::harness::numa_exp::{run_numa, rsim_suite};
+use cost_sensitive_cache::harness::numa_exp::{rsim_suite, run_numa};
 use cost_sensitive_cache::harness::PolicyKind;
 use cost_sensitive_cache::numa::Clock;
 

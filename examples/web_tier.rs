@@ -48,9 +48,13 @@ fn run<P: ReplacementPolicy>(name: &str, policy: P, requests: &[BlockAddr]) -> (
 fn main() {
     println!("Edge object cache with non-uniform backend costs\n");
     // A Zipf-skewed request stream over 40k objects.
-    let stream = ZipfRandom { refs: 400_000, blocks: 40_000, exponent: 0.9, write_fraction: 0.0 };
-    let requests: Vec<BlockAddr> =
-        stream.generate(7).iter().map(|r| r.block(64)).collect();
+    let stream = ZipfRandom {
+        refs: 400_000,
+        blocks: 40_000,
+        exponent: 0.9,
+        write_fraction: 0.0,
+    };
+    let requests: Vec<BlockAddr> = stream.generate(7).iter().map(|r| r.block(64)).collect();
 
     let geom = Geometry::new(4096 * 64, 64, 8);
     let (_, lru_cost) = run("LRU", Lru::new(), &requests);

@@ -17,6 +17,7 @@
 //! |--------|-------|----------|
 //! | [`sim`] | `cache-sim` | set-associative cache engine, policies' substrate |
 //! | [`policies`] | `csr` | GD, BCL, DCL, ACL, ETD, offline baselines, HW model |
+//! | [`cache`] | `csr-cache` | concurrent sharded KV cache driven by the policies |
 //! | [`trace`] | `mem-trace` | SPLASH-2-like workloads, first touch, cost maps |
 //! | [`numa`] | `numa-sim` | execution-driven CC-NUMA simulator (Section 4) |
 //! | [`harness`] | `csr-harness` | experiment runners for every table/figure |
@@ -44,6 +45,19 @@
 //! let dcl = run_sampled(&sampled, &costs, PolicyKind::Dcl, cfg).aggregate_cost();
 //! assert!(relative_savings_pct(lru, dcl) > 0.0);
 //! ```
+//!
+//! Or use the policies as a concurrent key-value cache ([`cache`]):
+//!
+//! ```
+//! use cost_sensitive_cache::cache::{CsrCache, Policy};
+//!
+//! let cache: CsrCache<u64, String> = CsrCache::builder(1024)
+//!     .policy(Policy::Acl)
+//!     .cost_fn(|_k: &u64, v: &String| 1 + v.len() as u64)
+//!     .build();
+//! cache.insert(7, "expensive remote row".to_string());
+//! assert!(cache.get(&7).is_some());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +70,11 @@ pub mod sim {
 /// The cost-sensitive replacement policies (`csr`).
 pub mod policies {
     pub use csr::*;
+}
+
+/// The concurrent, sharded, cost-aware key-value cache (`csr-cache`).
+pub mod cache {
+    pub use csr_cache::*;
 }
 
 /// Traces, workloads and cost mappings (`mem-trace`).

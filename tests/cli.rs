@@ -13,7 +13,14 @@ fn experiments() -> Command {
     static BUILT: OnceLock<()> = OnceLock::new();
     BUILT.get_or_init(|| {
         let status = Command::new(env!("CARGO"))
-            .args(["build", "--release", "-p", "csr-bench", "--bin", "experiments"])
+            .args([
+                "build",
+                "--release",
+                "-p",
+                "csr-bench",
+                "--bin",
+                "experiments",
+            ])
             .status()
             .expect("cargo build");
         assert!(status.success(), "experiments binary must build");
@@ -38,7 +45,10 @@ fn hwcost_reports_paper_numbers() {
     // match each policy row's trailing bits/set value, not bare substrings.
     let quantized: Vec<(&str, &str)> =
         vec![("Bcl", "11"), ("Gd", "20"), ("Dcl", "32"), ("Acl", "35")];
-    let quant_section = text.split("quantized-latency").nth(1).expect("quantized section");
+    let quant_section = text
+        .split("quantized-latency")
+        .nth(1)
+        .expect("quantized section");
     for (policy, bits) in quantized {
         let row = quant_section
             .lines()

@@ -7,8 +7,7 @@
 use cost_sensitive_cache::policies::csopt::{simulate_csopt, CsoptLimits};
 use cost_sensitive_cache::policies::{Acl, Bcl, Dcl, GreedyDual, TraceEvent};
 use cost_sensitive_cache::sim::{
-    AccessType, BlockAddr, Cache, Cost, Geometry, InvalidateKind, Lru, ReplacementPolicy,
-    TwoLevel,
+    AccessType, BlockAddr, Cache, Cost, Geometry, InvalidateKind, Lru, ReplacementPolicy, TwoLevel,
 };
 use cost_sensitive_cache::trace::rng::SplitMix64;
 
@@ -58,10 +57,15 @@ fn csopt_lower_bounds_every_online_policy() {
         for st in &script {
             match *st {
                 Step::Read(b) | Step::Write(b) => {
-                    events.push(TraceEvent::Access { block: BlockAddr(b), cost: cost_of(b) });
+                    events.push(TraceEvent::Access {
+                        block: BlockAddr(b),
+                        cost: cost_of(b),
+                    });
                 }
                 Step::Invalidate(b) => {
-                    events.push(TraceEvent::Invalidate { block: BlockAddr(b) });
+                    events.push(TraceEvent::Invalidate {
+                        block: BlockAddr(b),
+                    });
                 }
             }
         }
@@ -122,7 +126,10 @@ fn hierarchy_inclusion_holds_under_arbitrary_scripts() {
                 Step::Invalidate(b) => h.invalidate(BlockAddr(b)),
             }
             for blk in h.l1().resident_blocks() {
-                assert!(h.l2().contains(blk), "L1 block {blk} missing from L2 in case {case}");
+                assert!(
+                    h.l2().contains(blk),
+                    "L1 block {blk} missing from L2 in case {case}"
+                );
             }
         }
         let s1 = h.l1().stats();
@@ -149,6 +156,10 @@ fn l2_sees_exactly_the_l1_miss_stream() {
                 Step::Invalidate(b) => h.invalidate(BlockAddr(b)),
             }
         }
-        assert_eq!(h.l2().stats().accesses, h.l1().stats().misses, "case {case}");
+        assert_eq!(
+            h.l2().stats().accesses,
+            h.l1().stats().misses,
+            "case {case}"
+        );
     }
 }

@@ -8,20 +8,35 @@ use cost_sensitive_cache::trace::Workload;
 
 fn run_and_validate(trace: &cost_sensitive_cache::trace::PhasedTrace, policy: PolicyKind) {
     let cfg = SystemConfig::table4(Clock::Mhz500);
-    let mut sys = System::new(cfg, trace, &move |g: &cost_sensitive_cache::sim::Geometry| {
-        policy.build(g)
-    });
+    let mut sys = System::new(
+        cfg,
+        trace,
+        &move |g: &cost_sensitive_cache::sim::Geometry| policy.build(g),
+    );
     let res = sys.run();
     assert!(res.exec_time_ps > 0);
-    sys.validate_coherence().unwrap_or_else(|e| panic!("{policy}: {e}"));
+    sys.validate_coherence()
+        .unwrap_or_else(|e| panic!("{policy}: {e}"));
 }
 
 #[test]
 fn coherence_invariants_hold_after_ocean_runs() {
-    let w = OceanLike { n: 66, grids: 3, procs: 16, iters: 3, col_stride: 2, reduction_points: 128 };
+    let w = OceanLike {
+        n: 66,
+        grids: 3,
+        procs: 16,
+        iters: 3,
+        col_stride: 2,
+        reduction_points: 128,
+    };
     let trace = w.generate_phases(5);
-    for policy in [PolicyKind::Lru, PolicyKind::Gd, PolicyKind::Bcl, PolicyKind::Dcl, PolicyKind::Acl]
-    {
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::Gd,
+        PolicyKind::Bcl,
+        PolicyKind::Dcl,
+        PolicyKind::Acl,
+    ] {
         run_and_validate(&trace, policy);
     }
 }
@@ -30,7 +45,13 @@ fn coherence_invariants_hold_after_ocean_runs() {
 fn coherence_invariants_hold_after_barnes_runs() {
     // Barnes exercises read-write sharing of tree cells (fetches,
     // invalidations and upgrades all fire).
-    let w = BarnesLike { bodies: 2048, procs: 16, steps: 2, walk_len: 12, locality_bias: 0.68 };
+    let w = BarnesLike {
+        bodies: 2048,
+        procs: 16,
+        steps: 2,
+        walk_len: 12,
+        locality_bias: 0.68,
+    };
     let trace = w.generate_phases(9);
     for policy in [PolicyKind::Lru, PolicyKind::Dcl, PolicyKind::AclAliased(4)] {
         run_and_validate(&trace, policy);
@@ -41,7 +62,14 @@ fn coherence_invariants_hold_after_barnes_runs() {
 fn miss_latencies_stay_above_unloaded_floor() {
     // No measured miss can beat the local-clean unloaded minimum (minus
     // the probe portion, which the measurement excludes).
-    let w = OceanLike { n: 66, grids: 2, procs: 16, iters: 2, col_stride: 2, reduction_points: 64 };
+    let w = OceanLike {
+        n: 66,
+        grids: 2,
+        procs: 16,
+        iters: 2,
+        col_stride: 2,
+        reduction_points: 64,
+    };
     let trace = w.generate_phases(3);
     let cfg = SystemConfig::table4(Clock::Mhz500);
     let floor_ns = cfg.ctrl_ns * 3 + cfg.mem_ns; // local clean without probe
@@ -63,13 +91,22 @@ fn miss_latencies_stay_above_unloaded_floor() {
 
 #[test]
 fn total_refs_are_policy_independent() {
-    let w = OceanLike { n: 66, grids: 2, procs: 16, iters: 2, col_stride: 2, reduction_points: 64 };
+    let w = OceanLike {
+        n: 66,
+        grids: 2,
+        procs: 16,
+        iters: 2,
+        col_stride: 2,
+        reduction_points: 64,
+    };
     let trace = w.generate_phases(3);
     let refs_of = |policy: PolicyKind| {
         let cfg = SystemConfig::table4(Clock::Mhz500);
-        let mut sys = System::new(cfg, &trace, &move |g: &cost_sensitive_cache::sim::Geometry| {
-            policy.build(g)
-        });
+        let mut sys = System::new(
+            cfg,
+            &trace,
+            &move |g: &cost_sensitive_cache::sim::Geometry| policy.build(g),
+        );
         sys.run().nodes.iter().map(|n| n.refs).sum::<u64>()
     };
     let base = refs_of(PolicyKind::Lru);
@@ -83,7 +120,14 @@ fn total_refs_are_policy_independent() {
 fn table3_diagonal_dominates_under_lru() {
     // The prediction premise (Section 4.1): most consecutive misses to a
     // block repeat the previous latency class.
-    let w = OceanLike { n: 130, grids: 4, procs: 16, iters: 4, col_stride: 2, reduction_points: 256 };
+    let w = OceanLike {
+        n: 130,
+        grids: 4,
+        procs: 16,
+        iters: 4,
+        col_stride: 2,
+        reduction_points: 256,
+    };
     let trace = w.generate_phases(11);
     let cfg = SystemConfig::table4(Clock::Mhz500);
     let mut sys = System::new(cfg, &trace, &|_g: &cost_sensitive_cache::sim::Geometry| {

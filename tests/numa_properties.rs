@@ -75,7 +75,8 @@ fn timing_is_deterministic() {
             let mut cfg = SystemConfig::table4(Clock::Ghz1);
             cfg.num_nodes = PROCS;
             System::new(cfg, &pt, &|_g: &cost_sensitive_cache::sim::Geometry| {
-                Box::new(cost_sensitive_cache::sim::Lru::new()) as cost_sensitive_cache::numa::L2Policy
+                Box::new(cost_sensitive_cache::sim::Lru::new())
+                    as cost_sensitive_cache::numa::L2Policy
             })
             .run()
             .exec_time_ps

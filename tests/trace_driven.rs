@@ -3,8 +3,8 @@
 //! hierarchy under every policy.
 
 use cost_sensitive_cache::harness::{
-    build_benchmarks, fig3_grid, run_sampled, table2, CostRatio, LruMissProfile, PolicyKind,
-    Scale, TraceSimConfig,
+    build_benchmarks, fig3_grid, run_sampled, table2, CostRatio, LruMissProfile, PolicyKind, Scale,
+    TraceSimConfig,
 };
 use cost_sensitive_cache::sim::{Cost, CostPair};
 use cost_sensitive_cache::trace::cost_map::{RandomCostMap, UniformCostMap};
@@ -12,7 +12,12 @@ use cost_sensitive_cache::trace::workloads::synthetic::UniformRandom;
 use cost_sensitive_cache::trace::{ProcId, SampledTrace, Workload};
 
 fn small_sampled() -> SampledTrace {
-    let w = UniformRandom { refs: 80_000, blocks: 3000, procs: 4, write_fraction: 0.3 };
+    let w = UniformRandom {
+        refs: 80_000,
+        blocks: 3000,
+        procs: 4,
+        write_fraction: 0.3,
+    };
     SampledTrace::from_trace(&w.generate(17), ProcId(0))
 }
 
@@ -39,7 +44,11 @@ fn infinite_ratio_gives_upper_bound_savings() {
     let cfg = TraceSimConfig::paper_basic();
     let profile = LruMissProfile::collect(&s, cfg);
     let mut savings = Vec::new();
-    for ratio in [CostRatio::Finite(4), CostRatio::Finite(16), CostRatio::Infinite] {
+    for ratio in [
+        CostRatio::Finite(4),
+        CostRatio::Finite(16),
+        CostRatio::Infinite,
+    ] {
         let map = RandomCostMap::new(0.2, ratio.pair(), 5);
         let base = profile.aggregate_cost(&map);
         let run = run_sampled(&s, &map, PolicyKind::Dcl, cfg);
@@ -86,7 +95,10 @@ fn fig3_sweet_spot_is_positive_on_irregular_kernels() {
     // The headline of Figure 3: at moderate HAF and r, the cost-sensitive
     // policies save real cost on the irregular kernels.
     let benchmarks = build_benchmarks(Scale::Quick);
-    let barnes: Vec<_> = benchmarks.into_iter().filter(|b| b.name == "barnes").collect();
+    let barnes: Vec<_> = benchmarks
+        .into_iter()
+        .filter(|b| b.name == "barnes")
+        .collect();
     let pts = fig3_grid(
         &barnes,
         &[0.1, 0.2],
@@ -134,7 +146,10 @@ fn savings_grow_with_ratio_under_first_touch() {
     // Table 2 shape: for the kernels with remote reuse, savings increase
     // with the cost ratio.
     let benchmarks = build_benchmarks(Scale::Quick);
-    let barnes: Vec<_> = benchmarks.into_iter().filter(|b| b.name == "barnes").collect();
+    let barnes: Vec<_> = benchmarks
+        .into_iter()
+        .filter(|b| b.name == "barnes")
+        .collect();
     let cells = table2(
         &barnes,
         &CostRatio::TABLE2,

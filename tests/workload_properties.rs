@@ -1,9 +1,11 @@
 //! Randomized tests (seeded, dependency-free) of the workload generators
 //! and trace plumbing.
 
-use cost_sensitive_cache::trace::workloads::synthetic::{SequentialScan, UniformRandom, ZipfRandom};
-use cost_sensitive_cache::trace::workloads::{BarnesLike, LuLike, OceanLike, RaytraceLike};
 use cost_sensitive_cache::trace::rng::SplitMix64;
+use cost_sensitive_cache::trace::workloads::synthetic::{
+    SequentialScan, UniformRandom, ZipfRandom,
+};
+use cost_sensitive_cache::trace::workloads::{BarnesLike, LuLike, OceanLike, RaytraceLike};
 use cost_sensitive_cache::trace::{FirstTouchPlacement, ProcId, SampledTrace, Trace, Workload};
 
 /// Every kernel's flat trace and phased trace contain exactly the same
@@ -14,10 +16,34 @@ fn phased_and_flat_traces_agree() {
     for _ in 0..8 {
         let seed = rng.below(1000);
         let kernels: Vec<Box<dyn Workload>> = vec![
-            Box::new(BarnesLike { bodies: 512, procs: 4, steps: 1, walk_len: 8, locality_bias: 0.6 }),
-            Box::new(LuLike { n: 64, block: 16, procs: 4, element_stride: 2 }),
-            Box::new(OceanLike { n: 34, grids: 2, procs: 4, iters: 1, col_stride: 2, reduction_points: 16 }),
-            Box::new(RaytraceLike { scene_nodes: 1024, image: 16, procs: 4, ray_depth: 6, locality_bias: 0.8 }),
+            Box::new(BarnesLike {
+                bodies: 512,
+                procs: 4,
+                steps: 1,
+                walk_len: 8,
+                locality_bias: 0.6,
+            }),
+            Box::new(LuLike {
+                n: 64,
+                block: 16,
+                procs: 4,
+                element_stride: 2,
+            }),
+            Box::new(OceanLike {
+                n: 34,
+                grids: 2,
+                procs: 4,
+                iters: 1,
+                col_stride: 2,
+                reduction_points: 16,
+            }),
+            Box::new(RaytraceLike {
+                scene_nodes: 1024,
+                image: 16,
+                procs: 4,
+                ray_depth: 6,
+                locality_bias: 0.8,
+            }),
         ];
         for w in kernels {
             let flat = w.generate(seed);
@@ -25,8 +51,11 @@ fn phased_and_flat_traces_agree() {
             assert_eq!(flat.len(), phased.total_refs(), "{} seed {seed}", w.name());
             // Same per-processor reference counts.
             for p in 0..w.num_procs() {
-                let phased_count: usize =
-                    phased.phases().iter().map(|ph| ph.stream(ProcId(p)).len()).sum();
+                let phased_count: usize = phased
+                    .phases()
+                    .iter()
+                    .map(|ph| ph.stream(ProcId(p)).len())
+                    .sum();
                 assert_eq!(flat.refs_by(ProcId(p)) as usize, phased_count);
             }
         }
@@ -40,7 +69,12 @@ fn first_touch_is_deterministic() {
     let mut rng = SplitMix64::new(0xF1_857);
     for _ in 0..16 {
         let seed = rng.below(1000);
-        let w = UniformRandom { refs: 3000, blocks: 256, procs: 4, write_fraction: 0.3 };
+        let w = UniformRandom {
+            refs: 3000,
+            blocks: 256,
+            procs: 4,
+            write_fraction: 0.3,
+        };
         let t = w.generate(seed);
         let a = FirstTouchPlacement::from_trace(64, &t);
         let b = FirstTouchPlacement::from_trace(64, &t);
@@ -61,7 +95,12 @@ fn sampling_partitions_correctly() {
     for _ in 0..16 {
         let seed = rng.below(1000);
         let proc = rng.below(4) as usize;
-        let w = UniformRandom { refs: 2000, blocks: 128, procs: 4, write_fraction: 0.4 };
+        let w = UniformRandom {
+            refs: 2000,
+            blocks: 128,
+            procs: 4,
+            write_fraction: 0.4,
+        };
         let t = w.generate(seed);
         let s = SampledTrace::from_trace(&t, ProcId(proc));
         assert_eq!(s.events().len() as u64, s.own_refs() + s.foreign_writes());
@@ -86,7 +125,12 @@ fn trace_io_roundtrip() {
     let mut rng = SplitMix64::new(0x10_0907);
     for _ in 0..16 {
         let seed = rng.below(1000);
-        let w = ZipfRandom { refs: 500, blocks: 64, exponent: 1.0, write_fraction: 0.2 };
+        let w = ZipfRandom {
+            refs: 500,
+            blocks: 64,
+            exponent: 1.0,
+            write_fraction: 0.2,
+        };
         let t = w.generate(seed);
         let mut buf = Vec::new();
         cost_sensitive_cache::trace::io::write_trace(&t, &mut buf).expect("write");
@@ -98,7 +142,7 @@ fn trace_io_roundtrip() {
 /// The sequential scan is exactly periodic.
 #[test]
 fn scan_is_periodic() {
-    let mut rng = SplitMix64::new(0x5CA_11);
+    let mut rng = SplitMix64::new(0x5CA11);
     for _ in 0..16 {
         let passes = 1 + rng.below(4) as usize;
         let blocks = 1 + rng.below(63) as usize;
