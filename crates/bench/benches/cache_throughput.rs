@@ -10,8 +10,14 @@
 //!   skewed-cost Zipf stream at equal capacity, reporting each policy's
 //!   cost savings over the sharded-LRU baseline (the paper's Figure 5
 //!   metric, translated to a software cache).
+//!
+//! Pass `-- --json DIR` (or set `BENCH_JSON_DIR`) to also write both
+//! tables as `DIR/BENCH_cache_throughput.json` via the `csr-obs` JSON
+//! exporter.
 
+use csr_bench::{report, ExperimentOpts};
 use csr_cache::{CsrCache, Policy};
+use csr_obs::Json;
 use mem_trace::workloads::synthetic::ZipfRandom;
 use mem_trace::workloads::Workload;
 use std::sync::Arc;
@@ -72,7 +78,25 @@ fn throughput(policy: Policy, shards: usize, threads: usize, keys: &Arc<Vec<Vec<
     (threads * OPS_PER_THREAD) as f64 / secs
 }
 
+/// `--json DIR` from the bench's own args, falling back to the
+/// `BENCH_JSON_DIR` environment variable.
+fn json_dir() -> Option<std::path::PathBuf> {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            return Some(it.next().expect("--json needs a directory").into());
+        }
+    }
+    std::env::var_os("BENCH_JSON_DIR").map(Into::into)
+}
+
 fn main() {
+    let opts = ExperimentOpts {
+        json_dir: json_dir(),
+        ..ExperimentOpts::default()
+    };
+    let mut throughput_rows = Vec::new();
+    let mut cost_rows = Vec::new();
     println!(
         "generating {} Zipf streams of {} refs ...",
         THREADS, OPS_PER_THREAD
@@ -89,9 +113,15 @@ fn main() {
     );
     println!("{:<8} {:>10} {:>10}", "shards", "LRU", "DCL");
     for shards in [1usize, 2, 4, 8, 16, 32] {
-        let lru = throughput(Policy::Lru, shards, THREADS, &streams) / 1e6;
-        let dcl = throughput(Policy::Dcl, shards, THREADS, &streams) / 1e6;
-        println!("{:<8} {:>10.2} {:>10.2}", shards, lru, dcl);
+        let lru = throughput(Policy::Lru, shards, THREADS, &streams);
+        let dcl = throughput(Policy::Dcl, shards, THREADS, &streams);
+        println!("{:<8} {:>10.2} {:>10.2}", shards, lru / 1e6, dcl / 1e6);
+        throughput_rows.push(Json::obj([
+            ("shards", Json::uint(shards as u64)),
+            ("threads", Json::uint(THREADS as u64)),
+            ("lru_ops_per_sec", Json::Float(lru)),
+            ("dcl_ops_per_sec", Json::Float(dcl)),
+        ]));
     }
 
     println!(
@@ -129,5 +159,23 @@ fn main() {
             s.hit_rate(),
             s.reservations
         );
+        cost_rows.push(Json::obj([
+            ("policy", Json::str(policy.name())),
+            ("aggregate_miss_cost", Json::uint(s.aggregate_miss_cost)),
+            ("savings_pct", Json::Float(savings)),
+            ("hit_rate", Json::Float(s.hit_rate())),
+            ("mean_miss_cost", Json::Float(s.mean_miss_cost())),
+            ("reservations", Json::uint(s.reservations)),
+        ]));
     }
+
+    let data = Json::obj([
+        ("throughput", Json::Arr(throughput_rows)),
+        ("miss_cost", Json::Arr(cost_rows)),
+    ]);
+    report::write_report(
+        &opts,
+        "cache_throughput",
+        &report::envelope("cache_throughput", &opts, data),
+    );
 }

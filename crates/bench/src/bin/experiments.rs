@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments <subcommand> [--paper-scale] [--extended (table1/table5)] [--threads N]
+//!                          [--json DIR (fig3/table2)]
 //!
 //! Subcommands:
 //!   table1    benchmark characteristics
@@ -36,6 +37,10 @@ fn main() {
                     .unwrap_or_else(|| die("--threads needs a number"));
                 opts.threads = n;
             }
+            "--json" => {
+                let dir = it.next().unwrap_or_else(|| die("--json needs a directory"));
+                opts.json_dir = Some(dir.into());
+            }
             s if sub.is_none() && !s.starts_with('-') => sub = Some(s.to_owned()),
             other => die(&format!("unknown argument: {other}")),
         }
@@ -68,6 +73,6 @@ fn main() {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: experiments <table1|fig3|table2|table3|table4|table5|hwcost|sweep|penalty|all> [--paper-scale] [--extended (table1/table5)] [--threads N]");
+    eprintln!("usage: experiments <table1|fig3|table2|table3|table4|table5|hwcost|sweep|penalty|all> [--paper-scale] [--extended (table1/table5)] [--threads N] [--json DIR (fig3/table2)]");
     std::process::exit(2);
 }

@@ -1,7 +1,7 @@
 //! Figure 3: relative cost savings under random cost mapping, as a grid of
 //! (benchmark × policy) tables over HAF and cost ratio.
 
-use crate::{ExperimentOpts, TableBuilder};
+use crate::{report, ExperimentOpts, TableBuilder};
 use csr_harness::{build_benchmarks, fig3_grid, fig3_hafs, CostRatio, PolicyKind, TraceSimConfig};
 
 /// Prints the full Figure 3 grid.
@@ -17,6 +17,11 @@ pub fn run(opts: &ExperimentOpts) {
         &PolicyKind::PAPER_SET,
         TraceSimConfig::paper_basic(),
         opts.threads,
+    );
+    report::write_report(
+        opts,
+        "fig3",
+        &report::envelope("fig3", opts, report::savings_points_json(&points)),
     );
 
     // Index once instead of scanning the whole grid per cell.

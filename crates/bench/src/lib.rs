@@ -11,6 +11,7 @@
 pub mod fig3;
 pub mod hwcost;
 pub mod penalty;
+pub mod report;
 pub mod sweep;
 pub mod table1;
 pub mod table2;
@@ -22,7 +23,7 @@ mod tablefmt;
 pub use tablefmt::TableBuilder;
 
 /// Options shared by all experiment subcommands.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExperimentOpts {
     /// Run the paper's full problem sizes instead of the quick defaults.
     pub paper_scale: bool,
@@ -30,6 +31,9 @@ pub struct ExperimentOpts {
     pub extended: bool,
     /// Worker threads for sweeps.
     pub threads: usize,
+    /// Mirror results as `BENCH_<name>.json` files into this directory
+    /// (see [`report`]). `None` prints tables only.
+    pub json_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ExperimentOpts {
@@ -38,6 +42,7 @@ impl Default for ExperimentOpts {
             paper_scale: false,
             extended: false,
             threads: csr_harness::default_threads(),
+            json_dir: None,
         }
     }
 }

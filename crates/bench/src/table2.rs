@@ -1,6 +1,6 @@
 //! Table 2: relative cost savings under first-touch cost mapping.
 
-use crate::{ExperimentOpts, TableBuilder};
+use crate::{report, ExperimentOpts, TableBuilder};
 use csr_harness::{build_benchmarks, table2, CostRatio, PolicyKind, TraceSimConfig};
 
 /// Prints Table 2.
@@ -13,6 +13,11 @@ pub fn run(opts: &ExperimentOpts) {
         &PolicyKind::PAPER_SET,
         TraceSimConfig::paper_basic(),
         opts.threads,
+    );
+    report::write_report(
+        opts,
+        "table2",
+        &report::envelope("table2", opts, report::table2_cells_json(&cells)),
     );
     let mut t = TableBuilder::new();
     let mut header = vec!["benchmark".to_owned(), "policy".to_owned()];

@@ -2,12 +2,13 @@
 
 use cache_sim::BlockAddr;
 use csr::EvictionPolicy;
+use csr_obs::{MetricsObserver, Registry};
 use std::collections::hash_map::RandomState;
 use std::hash::{BuildHasher, Hash};
 use std::sync::Arc;
 
-use crate::policy::Policy;
-use crate::shard::Shard;
+use crate::policy::{Policy, SharedObserver};
+use crate::shard::{Shard, ShardMetrics};
 use crate::stats::CacheStats;
 
 /// The user-supplied miss-cost function: invoked once per fill with the key
@@ -15,16 +16,28 @@ use crate::stats::CacheStats;
 /// on a future miss (latency, bytes, money — any additive unit).
 pub type CostFn<K, V> = dyn Fn(&K, &V) -> u64 + Send + Sync;
 
-type PolicyFactory = Box<dyn Fn(usize) -> Box<dyn EvictionPolicy + Send>>;
+/// Default latency sampling interval: one in 64 operations is timed.
+const DEFAULT_SAMPLE_EVERY: u64 = 64;
+
+/// Where shard policy cores come from: a built-in [`Policy`] (which can be
+/// wrapped with observers at build time) or a user factory (which attaches
+/// its own observers, if any).
+enum PolicySource {
+    Builtin(Policy),
+    Custom(Box<dyn Fn(usize) -> Box<dyn EvictionPolicy + Send>>),
+}
 
 /// Configures and builds a [`CsrCache`]. Created by [`CsrCache::builder`].
 pub struct CacheBuilder<K, V, S = RandomState> {
     capacity: usize,
     shards: Option<usize>,
-    policy: PolicyFactory,
+    policy: PolicySource,
     policy_name: &'static str,
     cost_fn: Arc<CostFn<K, V>>,
     hasher: S,
+    registry: Option<Arc<Registry>>,
+    observer: Option<SharedObserver>,
+    sample_every: u64,
 }
 
 impl<K, V> CacheBuilder<K, V, RandomState> {
@@ -32,10 +45,13 @@ impl<K, V> CacheBuilder<K, V, RandomState> {
         CacheBuilder {
             capacity,
             shards: None,
-            policy: Box::new(|ways| Policy::Lru.build_core(ways)),
+            policy: PolicySource::Builtin(Policy::Lru),
             policy_name: Policy::Lru.name(),
             cost_fn: Arc::new(|_, _| 1),
             hasher: RandomState::new(),
+            registry: None,
+            observer: None,
+            sample_every: DEFAULT_SAMPLE_EVERY,
         }
     }
 }
@@ -54,7 +70,7 @@ impl<K, V, S> CacheBuilder<K, V, S> {
     /// Selects one of the built-in replacement policies ([`Policy`]).
     #[must_use]
     pub fn policy(mut self, policy: Policy) -> Self {
-        self.policy = Box::new(move |ways| policy.build_core(ways));
+        self.policy = PolicySource::Builtin(policy);
         self.policy_name = policy.name();
         self
     }
@@ -62,14 +78,72 @@ impl<K, V, S> CacheBuilder<K, V, S> {
     /// Supplies an arbitrary policy: `factory` is called once per shard
     /// with the shard's capacity (its number of "ways") and returns the
     /// core driving that shard's evictions.
+    ///
+    /// [`observer`](Self::observer) and the decision counters of
+    /// [`metrics`](Self::metrics) apply only to built-in policies — a
+    /// custom factory attaches its own observers to the cores it builds.
     #[must_use]
     pub fn policy_with(
         mut self,
         name: &'static str,
         factory: impl Fn(usize) -> Box<dyn EvictionPolicy + Send> + 'static,
     ) -> Self {
-        self.policy = Box::new(factory);
+        self.policy = PolicySource::Custom(Box::new(factory));
         self.policy_name = name;
+        self
+    }
+
+    /// Registers the cache's metrics in `registry`:
+    ///
+    /// * `csr_policy_events_total{policy, event}` — decision counters
+    ///   (hits, misses, evictions, reservations, depreciations, ETD hits,
+    ///   automaton flips) fed by the shards' policy cores;
+    /// * `csr_cache_op_latency_ns{policy, op, shard}` — sampled per-shard
+    ///   `get`/`insert` latency histograms (see
+    ///   [`latency_sample_every`](Self::latency_sample_every)).
+    ///
+    /// Export the registry with `csr_obs::export::prometheus` or
+    /// `csr_obs::export::json` (also available through
+    /// [`CsrCache::registry`]).
+    #[must_use]
+    pub fn metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Attaches a decision observer to every shard's policy core (built-in
+    /// policies only). `obs` is shared by all shards, which call it under
+    /// their respective locks; pass an `Arc<CountingObserver>` or
+    /// `Arc<EventTracer>` from `csr_obs` and keep a clone to read.
+    ///
+    /// Composes with [`metrics`](Self::metrics): both receive every event.
+    #[must_use]
+    pub fn observer(mut self, obs: SharedObserver) -> Self {
+        self.observer = Some(obs);
+        self
+    }
+
+    /// Sets the latency sampling interval: one in `n` operations (per
+    /// shard, per op kind) is timed and recorded when
+    /// [`metrics`](Self::metrics) is enabled. Defaults to 64.
+    ///
+    /// # Sampling skew
+    ///
+    /// Deterministic 1-in-`n` sampling is not uniform over *time*: ops are
+    /// picked by arrival rank, so phases issuing many fast ops contribute
+    /// proportionally more samples than sparse phases — the histogram
+    /// approximates the per-operation latency distribution, not the
+    /// time-weighted one. The timed ops also carry the cost of two clock
+    /// reads (tens of nanoseconds), slightly inflating the recorded tail.
+    /// `n = 1` times every operation exactly at maximal overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn latency_sample_every(mut self, n: u64) -> Self {
+        assert!(n > 0, "sample interval must be positive");
+        self.sample_every = n;
         self
     }
 
@@ -92,6 +166,9 @@ impl<K, V, S> CacheBuilder<K, V, S> {
             policy_name: self.policy_name,
             cost_fn: self.cost_fn,
             hasher,
+            registry: self.registry,
+            observer: self.observer,
+            sample_every: self.sample_every,
         }
     }
 }
@@ -108,8 +185,34 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher + Clone> CacheBuilder<K, V, S> {
         let requested = self.shards.unwrap_or_else(default_shards);
         let shards = effective_shards(requested, self.capacity);
         let per_shard = self.capacity.div_ceil(shards);
+
+        // Combine the metrics feed and the user observer; built-in cores
+        // receive the combination, custom factories their own wiring.
+        let policy_obs: Option<SharedObserver> = match (&self.registry, self.observer) {
+            (Some(reg), Some(user)) => {
+                let metrics = MetricsObserver::new(reg, self.policy_name);
+                Some(Arc::new((metrics, user)))
+            }
+            (Some(reg), None) => Some(Arc::new(MetricsObserver::new(reg, self.policy_name))),
+            (None, Some(user)) => Some(user),
+            (None, None) => None,
+        };
+
         let shard_vec: Vec<Shard<K, V, S>> = (0..shards)
-            .map(|_| Shard::new(per_shard, (self.policy)(per_shard), self.hasher.clone()))
+            .map(|i| {
+                let core = match (&self.policy, &policy_obs) {
+                    (PolicySource::Builtin(p), Some(obs)) => {
+                        p.build_core_observed(per_shard, Arc::clone(obs))
+                    }
+                    (PolicySource::Builtin(p), None) => p.build_core(per_shard),
+                    (PolicySource::Custom(f), _) => f(per_shard),
+                };
+                let metrics = self
+                    .registry
+                    .as_ref()
+                    .map(|r| ShardMetrics::new(r, self.policy_name, i, self.sample_every));
+                Shard::new(per_shard, core, self.hasher.clone(), metrics)
+            })
             .collect();
         CsrCache {
             shards: shard_vec.into_boxed_slice(),
@@ -117,6 +220,7 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher + Clone> CacheBuilder<K, V, S> {
             hasher: self.hasher,
             cost_fn: self.cost_fn,
             policy_name: self.policy_name,
+            registry: self.registry,
         }
     }
 }
@@ -168,6 +272,7 @@ pub struct CsrCache<K, V, S = RandomState> {
     hasher: S,
     cost_fn: Arc<CostFn<K, V>>,
     policy_name: &'static str,
+    registry: Option<Arc<Registry>>,
 }
 
 impl<K: Hash + Eq + Clone, V> CsrCache<K, V, RandomState> {
@@ -267,6 +372,14 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> CsrCache<K, V, S> {
     #[must_use]
     pub fn policy_name(&self) -> &'static str {
         self.policy_name
+    }
+
+    /// The metrics registry attached via
+    /// [`CacheBuilder::metrics`](crate::CacheBuilder::metrics), if any —
+    /// snapshot it and feed `csr_obs::export::{prometheus, json}`.
+    #[must_use]
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref()
     }
 
     /// A cache-wide statistics snapshot (lock-free; see

@@ -50,5 +50,5 @@ mod shard;
 mod stats;
 
 pub use cache::{CacheBuilder, CostFn, CsrCache};
-pub use policy::Policy;
+pub use policy::{Policy, SharedObserver};
 pub use stats::CacheStats;

@@ -1,7 +1,13 @@
 //! Shard eviction-policy selection.
 
 use csr::etd::{EtdConfig, EtdSet};
-use csr::{AclCore, BclCore, DclCore, EvictionPolicy, GdCore, LruCore};
+use csr::{AclCore, BclCore, DclCore, EvictionPolicy, GdCore, LruCore, Observer};
+use std::sync::Arc;
+
+/// A decision observer shareable across shards and threads — what
+/// [`CacheBuilder::observer`](crate::CacheBuilder::observer) accepts and
+/// [`Policy::build_core_observed`] attaches to each shard's core.
+pub type SharedObserver = Arc<dyn Observer + Send + Sync>;
 
 /// Practical ceiling on a shard's Extended Tag Directory. The paper sizes
 /// the ETD at `s - 1` for an `s`-way set; a shard plays the role of a set
@@ -74,6 +80,25 @@ impl Policy {
             Policy::Bcl => Box::new(BclCore::new()),
             Policy::Dcl => Box::new(DclCore::new(shard_etd(ways))),
             Policy::Acl => Box::new(AclCore::new(shard_etd(ways))),
+        }
+    }
+
+    /// Builds the policy core for one shard of `ways` entries with a
+    /// decision observer attached: every hit, miss, eviction, reservation,
+    /// depreciation, ETD hit and automaton flip the core decides is
+    /// delivered to `obs`.
+    #[must_use]
+    pub fn build_core_observed(
+        self,
+        ways: usize,
+        obs: SharedObserver,
+    ) -> Box<dyn EvictionPolicy + Send> {
+        match self {
+            Policy::Lru => Box::new(LruCore::new().with_observer(obs)),
+            Policy::Gd => Box::new(GdCore::new(ways).with_observer(obs)),
+            Policy::Bcl => Box::new(BclCore::new().with_observer(obs)),
+            Policy::Dcl => Box::new(DclCore::new(shard_etd(ways)).with_observer(obs)),
+            Policy::Acl => Box::new(AclCore::new(shard_etd(ways)).with_observer(obs)),
         }
     }
 }

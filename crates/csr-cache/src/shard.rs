@@ -12,10 +12,12 @@
 
 use cache_sim::{BlockAddr, Cost, SetView, Way, WayView};
 use csr::EvictionPolicy;
+use csr_obs::{Histogram, Registry};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::stats::CacheStats;
 
@@ -53,6 +55,73 @@ impl ShardCounters {
             reservations: self.reservations.load(Ordering::Relaxed),
             removals: self.removals.load(Ordering::Relaxed),
             aggregate_miss_cost: self.aggregate_miss_cost.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-shard wall-clock latency instrumentation, registered when the cache
+/// is built with [`CacheBuilder::metrics`](crate::CacheBuilder::metrics).
+///
+/// Latencies are **sampled**: one in `sample_every` operations (counted per
+/// shard, per op kind) is timed with [`Instant`] and recorded in
+/// nanoseconds. Sampling keeps the disabled-in-practice cost of two clock
+/// reads off the hot path, at the price of a skew documented on
+/// [`CacheBuilder::latency_sample_every`](crate::CacheBuilder::latency_sample_every).
+pub(crate) struct ShardMetrics {
+    get_ns: OpTimer,
+    insert_ns: OpTimer,
+}
+
+impl ShardMetrics {
+    /// Prometheus family name of the op-latency histograms.
+    pub(crate) const LATENCY_FAMILY: &'static str = "csr_cache_op_latency_ns";
+
+    pub(crate) fn new(registry: &Registry, policy: &str, shard: usize, sample_every: u64) -> Self {
+        let shard = shard.to_string();
+        let hist = |op: &str| {
+            registry.histogram(
+                Self::LATENCY_FAMILY,
+                "Sampled cache operation latency in nanoseconds",
+                &[("policy", policy), ("op", op), ("shard", &shard)],
+            )
+        };
+        ShardMetrics {
+            get_ns: OpTimer::new(hist("get"), sample_every),
+            insert_ns: OpTimer::new(hist("insert"), sample_every),
+        }
+    }
+}
+
+/// A sampled histogram of one operation's latency.
+struct OpTimer {
+    hist: Arc<Histogram>,
+    sample_every: u64,
+    ticker: AtomicU64,
+}
+
+impl OpTimer {
+    fn new(hist: Arc<Histogram>, sample_every: u64) -> Self {
+        assert!(sample_every > 0, "sample interval must be positive");
+        OpTimer {
+            hist,
+            sample_every,
+            ticker: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts a timer for one in every `sample_every` calls.
+    fn maybe_start(&self) -> Option<Instant> {
+        if self.ticker.fetch_add(1, Ordering::Relaxed) % self.sample_every == 0 {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    fn finish(&self, started: Option<Instant>) {
+        if let Some(t0) = started {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hist.record(ns);
         }
     }
 }
@@ -168,10 +237,16 @@ pub(crate) struct Shard<K, V, S> {
     state: Mutex<ShardState<K, V, S>>,
     counters: ShardCounters,
     capacity: usize,
+    metrics: Option<ShardMetrics>,
 }
 
 impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
-    pub(crate) fn new(capacity: usize, policy: Box<dyn EvictionPolicy + Send>, hasher: S) -> Self {
+    pub(crate) fn new(
+        capacity: usize,
+        policy: Box<dyn EvictionPolicy + Send>,
+        hasher: S,
+        metrics: Option<ShardMetrics>,
+    ) -> Self {
         assert!(capacity > 0, "shard capacity must be positive");
         assert!(
             capacity < NIL as usize,
@@ -188,6 +263,7 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
             }),
             counters: ShardCounters::default(),
             capacity,
+            metrics,
         }
     }
 
@@ -215,9 +291,11 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
     where
         V: Clone,
     {
+        let timer = self.metrics.as_ref().map(|m| &m.get_ns);
+        let started = timer.and_then(OpTimer::maybe_start);
         ShardCounters::bump(&self.counters.lookups);
         let mut st = self.lock();
-        match st.map.get(key).copied() {
+        let result = match st.map.get(key).copied() {
             Some(i) => {
                 let is_lru = st.tail == i;
                 let (sid, way, cost) = {
@@ -236,12 +314,27 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
                 ShardCounters::bump(&self.counters.misses);
                 None
             }
+        };
+        drop(st);
+        if let Some(t) = timer {
+            t.finish(started);
         }
+        result
     }
 
     /// Inserts `key -> value` with miss cost `cost`, evicting per policy if
     /// the shard is full. Returns the previous value when overwriting.
     pub(crate) fn insert(&self, key: K, value: V, cost: u64, id: BlockAddr) -> Option<V> {
+        let timer = self.metrics.as_ref().map(|m| &m.insert_ns);
+        let started = timer.and_then(OpTimer::maybe_start);
+        let result = self.insert_locked(key, value, cost, id);
+        if let Some(t) = timer {
+            t.finish(started);
+        }
+        result
+    }
+
+    fn insert_locked(&self, key: K, value: V, cost: u64, id: BlockAddr) -> Option<V> {
         let mut st = self.lock();
         if let Some(i) = st.map.get(&key).copied() {
             // Overwrite in place: treat as an access (promote + notify),

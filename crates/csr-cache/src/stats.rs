@@ -49,6 +49,31 @@ impl CacheStats {
         }
     }
 
+    /// Fraction of lookups that missed, in `[0, 1]` (zero when no
+    /// lookups). Complements [`hit_rate`](Self::hit_rate):
+    /// `hit_rate + miss_rate == 1` whenever any lookup happened.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.lookups as f64
+        }
+    }
+
+    /// Mean cost paid per fill — `aggregate_miss_cost / insertions` (zero
+    /// when nothing was inserted). Under a cost-sensitive policy this is
+    /// the number the reservations push down relative to LRU: the same
+    /// miss count is worth less when the misses are the cheap ones.
+    #[must_use]
+    pub fn mean_miss_cost(&self) -> f64 {
+        if self.insertions == 0 {
+            0.0
+        } else {
+            self.aggregate_miss_cost as f64 / self.insertions as f64
+        }
+    }
+
     /// Accumulates `other` into `self` (counter-wise sum), for rolling
     /// per-shard snapshots into a cache-wide one.
     pub fn merge(&mut self, other: &CacheStats) {
@@ -77,6 +102,30 @@ mod tests {
             ..CacheStats::default()
         };
         assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rate_complements_hit_rate() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+        let s = CacheStats {
+            lookups: 8,
+            hits: 3,
+            misses: 5,
+            ..CacheStats::default()
+        };
+        assert!((s.miss_rate() - 0.625).abs() < 1e-12);
+        assert!((s.hit_rate() + s.miss_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_miss_cost_averages_fills() {
+        assert_eq!(CacheStats::default().mean_miss_cost(), 0.0);
+        let s = CacheStats {
+            insertions: 4,
+            aggregate_miss_cost: 22,
+            ..CacheStats::default()
+        };
+        assert!((s.mean_miss_cost() - 5.5).abs() < 1e-12);
     }
 
     #[test]

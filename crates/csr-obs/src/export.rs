@@ -1,0 +1,321 @@
+//! Exporters: Prometheus text format and JSON snapshots.
+//!
+//! Both render a [`RegistrySnapshot`], so the numbers a Prometheus scrape
+//! sees and the numbers a `BENCH_*.json` file records are byte-for-byte
+//! the same snapshot. The JSON side goes through [`crate::json::Json`],
+//! whose parser the tests (and CI) use to confirm the output stays
+//! well-formed.
+
+use crate::json::Json;
+use crate::metrics::HistogramSnapshot;
+use crate::registry::{LabelSet, RegistrySnapshot, SampleValue};
+use std::fmt::Write as _;
+
+/// Renders a snapshot in the Prometheus text exposition format (version
+/// 0.0.4): `# HELP` / `# TYPE` headers per family, histogram samples as
+/// cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+#[must_use]
+pub fn prometheus(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for fam in &snap.families {
+        if !fam.help.is_empty() {
+            let _ = writeln!(out, "# HELP {} {}", fam.name, escape_help(&fam.help));
+        }
+        let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.as_str());
+        for sample in &fam.samples {
+            match &sample.value {
+                SampleValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {v}", fam.name, labels(&sample.labels, None));
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {v}", fam.name, labels(&sample.labels, None));
+                }
+                SampleValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (upper, count) in h.nonzero_buckets() {
+                        cumulative += count;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cumulative}",
+                            fam.name,
+                            labels(&sample.labels, Some(&upper.to_string()))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        fam.name,
+                        labels(&sample.labels, Some("+Inf")),
+                        h.count()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        fam.name,
+                        labels(&sample.labels, None),
+                        h.sum()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        fam.name,
+                        labels(&sample.labels, None),
+                        h.count()
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a `{k="v",...}` label block, optionally with a trailing
+/// `le="..."` (histogram buckets). Empty when there are no labels.
+fn labels(set: &LabelSet, le: Option<&str>) -> String {
+    if set.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = set
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Converts a histogram snapshot to its JSON object form (shared by
+/// [`json`] and any ad-hoc report that embeds a histogram).
+#[must_use]
+pub fn histogram_json(h: &HistogramSnapshot) -> Json {
+    Json::obj([
+        ("count", Json::uint(h.count())),
+        ("sum", Json::uint(h.sum())),
+        ("max", Json::uint(h.max())),
+        ("mean", Json::Float(h.mean())),
+        ("p50", Json::uint(h.p50())),
+        ("p90", Json::uint(h.p90())),
+        ("p99", Json::uint(h.p99())),
+        (
+            "buckets",
+            Json::Arr(
+                h.nonzero_buckets()
+                    .into_iter()
+                    .map(|(upper, count)| {
+                        Json::obj([("le", Json::uint(upper)), ("count", Json::uint(count))])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Renders a snapshot as a JSON value:
+///
+/// ```json
+/// {"families": [{"name": ..., "kind": ..., "help": ...,
+///                "samples": [{"labels": {...}, "value": ...}]}]}
+/// ```
+///
+/// Counter/gauge samples carry a numeric `value`; histogram samples carry
+/// an object with `count`, `sum`, `max`, `mean`, `p50`, `p90`, `p99`, and
+/// the non-empty `buckets`.
+#[must_use]
+pub fn json_value(snap: &RegistrySnapshot) -> Json {
+    Json::obj([(
+        "families",
+        Json::Arr(
+            snap.families
+                .iter()
+                .map(|fam| {
+                    Json::obj([
+                        ("name", Json::str(fam.name.clone())),
+                        ("kind", Json::str(fam.kind.as_str())),
+                        ("help", Json::str(fam.help.clone())),
+                        (
+                            "samples",
+                            Json::Arr(
+                                fam.samples
+                                    .iter()
+                                    .map(|s| {
+                                        Json::obj([
+                                            (
+                                                "labels",
+                                                Json::Obj(
+                                                    s.labels
+                                                        .iter()
+                                                        .map(|(k, v)| {
+                                                            (k.clone(), Json::str(v.clone()))
+                                                        })
+                                                        .collect(),
+                                                ),
+                                            ),
+                                            (
+                                                "value",
+                                                match &s.value {
+                                                    SampleValue::Counter(v) => Json::uint(*v),
+                                                    SampleValue::Gauge(v) => Json::Int(*v),
+                                                    SampleValue::Histogram(h) => histogram_json(h),
+                                                },
+                                            ),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// Renders a snapshot as JSON text (see [`json_value`]).
+#[must_use]
+pub fn json(snap: &RegistrySnapshot) -> String {
+    json_value(snap).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("ops_total", "total ops", &[("op", "get")])
+            .add(10);
+        r.counter("ops_total", "total ops", &[("op", "insert")])
+            .add(4);
+        r.gauge("resident", "entries", &[]).set(7);
+        let h = r.histogram("latency_ns", "op latency", &[("shard", "0")]);
+        for v in [5u64, 9, 100, 100, 4000] {
+            h.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let text = prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE ops_total counter"));
+        assert!(text.contains("# HELP ops_total total ops"));
+        assert!(text.contains("ops_total{op=\"get\"} 10"));
+        assert!(text.contains("ops_total{op=\"insert\"} 4"));
+        assert!(text.contains("# TYPE resident gauge"));
+        assert!(text.contains("resident 7"));
+        assert!(text.contains("# TYPE latency_ns histogram"));
+        assert!(text.contains("latency_ns_bucket{shard=\"0\",le=\"+Inf\"} 5"));
+        assert!(text.contains("latency_ns_sum{shard=\"0\"} 4214"));
+        assert!(text.contains("latency_ns_count{shard=\"0\"} 5"));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let text = prometheus(&sample_registry().snapshot());
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("latency_ns_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(*counts.last().unwrap(), 5);
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let r = Registry::new();
+        r.counter("m", "", &[("path", "a\"b\\c")]).inc();
+        let text = prometheus(&r.snapshot());
+        assert!(text.contains("m{path=\"a\\\"b\\\\c\"} 1"));
+    }
+
+    #[test]
+    fn json_parses_and_round_trips_numbers() {
+        let snap = sample_registry().snapshot();
+        let text = json(&snap);
+        let parsed = Json::parse(&text).expect("exported JSON must parse");
+        let families = parsed.get("families").unwrap().as_arr().unwrap();
+        let by_name = |name: &str| {
+            families
+                .iter()
+                .find(|f| f.get("name").unwrap().as_str() == Some(name))
+                .unwrap()
+        };
+        let ops = by_name("ops_total")
+            .get("samples")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        let get_sample = ops
+            .iter()
+            .find(|s| s.get("labels").unwrap().get("op").unwrap().as_str() == Some("get"))
+            .unwrap();
+        assert_eq!(get_sample.get("value").unwrap().as_i64(), Some(10));
+        let hist = by_name("latency_ns")
+            .get("samples")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0]
+            .get("value")
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_i64(), Some(5));
+        assert_eq!(hist.get("sum").unwrap().as_i64(), Some(4214));
+    }
+
+    #[test]
+    fn prometheus_and_json_agree() {
+        // The acceptance check: both exports come from one snapshot and
+        // report the same numbers.
+        let snap = sample_registry().snapshot();
+        let prom = prometheus(&snap);
+        let parsed = Json::parse(&json(&snap)).unwrap();
+        for fam in parsed.get("families").unwrap().as_arr().unwrap() {
+            let name = fam.get("name").unwrap().as_str().unwrap();
+            let kind = fam.get("kind").unwrap().as_str().unwrap();
+            for s in fam.get("samples").unwrap().as_arr().unwrap() {
+                match kind {
+                    "counter" | "gauge" => {
+                        let v = s.get("value").unwrap().as_i64().unwrap();
+                        let line = prom
+                            .lines()
+                            .find(|l| l.starts_with(name) && l.ends_with(&format!(" {v}")));
+                        assert!(line.is_some(), "no prom line for {name} = {v}");
+                    }
+                    "histogram" => {
+                        let count = s
+                            .get("value")
+                            .unwrap()
+                            .get("count")
+                            .unwrap()
+                            .as_i64()
+                            .unwrap();
+                        let line = format!("{name}_count{{shard=\"0\"}} {count}");
+                        assert!(prom.contains(&line), "missing {line:?}");
+                    }
+                    other => panic!("unexpected kind {other}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_registry_exports_cleanly() {
+        let r = Registry::new();
+        assert_eq!(prometheus(&r.snapshot()), "");
+        let parsed = Json::parse(&json(&r.snapshot())).unwrap();
+        assert_eq!(parsed.get("families").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! A registry of labelled metric families.
+//!
+//! A *family* is a metric name plus a kind ([`MetricKind`]) and help text;
+//! each distinct label set under the name is one live metric instance.
+//! Handles returned by [`Registry::counter`] and friends are `Arc`s to the
+//! underlying atomics: registration takes a short mutex, but every
+//! subsequent record is lock-free. [`Registry::snapshot`] freezes the whole
+//! registry into plain data for the exporters in [`crate::export`].
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// The kind of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Log-bucketed histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A sorted, owned label set (`key=value` pairs).
+pub type LabelSet = Vec<(String, String)>;
+
+fn owned_labels(labels: &[(&str, &str)]) -> LabelSet {
+    let mut v: LabelSet = labels
+        .iter()
+        .map(|(k, val)| ((*k).to_owned(), (*val).to_owned()))
+        .collect();
+    v.sort();
+    v
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    kind: MetricKind,
+    help: String,
+    metrics: BTreeMap<LabelSet, Metric>,
+}
+
+/// A collection of labelled metric families. Cheap to share (`Arc` it) and
+/// safe to register into from any thread.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn metric(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut families = self.families.lock().expect("registry lock poisoned");
+        let family = families.entry(name.to_owned()).or_insert_with(|| Family {
+            kind,
+            help: help.to_owned(),
+            metrics: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric family {name:?} registered as {} but requested as {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        match family
+            .metrics
+            .entry(owned_labels(labels))
+            .or_insert_with(make)
+        {
+            Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+            Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+            Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+        }
+    }
+
+    /// The counter `name{labels}`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different kind.
+    #[must_use]
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.metric(name, help, labels, MetricKind::Counter, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// The gauge `name{labels}`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.metric(name, help, labels, MetricKind::Gauge, || {
+            Metric::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// The histogram `name{labels}`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.metric(name, help, labels, MetricKind::Histogram, || {
+            Metric::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Freezes every family into plain data, sorted by name then labels.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let families = self.families.lock().expect("registry lock poisoned");
+        RegistrySnapshot {
+            families: families
+                .iter()
+                .map(|(name, f)| FamilySnapshot {
+                    name: name.clone(),
+                    kind: f.kind,
+                    help: f.help.clone(),
+                    samples: f
+                        .metrics
+                        .iter()
+                        .map(|(labels, m)| Sample {
+                            labels: labels.clone(),
+                            value: match m {
+                                Metric::Counter(c) => SampleValue::Counter(c.get()),
+                                Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                                Metric::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A frozen copy of a [`Registry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Families, sorted by name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// The family named `name`, if present.
+    #[must_use]
+    pub fn family(&self, name: &str) -> Option<&FamilySnapshot> {
+        self.families.iter().find(|f| f.name == name)
+    }
+}
+
+/// One metric family in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    /// Family (metric) name.
+    pub name: String,
+    /// Kind shared by every sample.
+    pub kind: MetricKind,
+    /// Help text.
+    pub help: String,
+    /// One sample per label set, sorted by labels.
+    pub samples: Vec<Sample>,
+}
+
+impl FamilySnapshot {
+    /// The sample whose label set contains all of `labels`, if any.
+    #[must_use]
+    pub fn sample_with(&self, labels: &[(&str, &str)]) -> Option<&Sample> {
+        self.samples.iter().find(|s| {
+            labels
+                .iter()
+                .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+        })
+    }
+
+    /// Merges every histogram sample of the family into one snapshot
+    /// (e.g. per-shard latency histograms into a cache-wide view).
+    /// Returns `None` if the family is not a histogram family.
+    #[must_use]
+    pub fn merged_histogram(&self) -> Option<HistogramSnapshot> {
+        if self.kind != MetricKind::Histogram {
+            return None;
+        }
+        let mut merged = HistogramSnapshot::empty();
+        for s in &self.samples {
+            if let SampleValue::Histogram(h) = &s.value {
+                merged.merge(h);
+            }
+        }
+        Some(merged)
+    }
+}
+
+/// One labelled sample of a family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sorted label pairs.
+    pub labels: LabelSet,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+/// The value of a [`Sample`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+impl SampleValue {
+    /// The counter value, if this is a counter sample.
+    #[must_use]
+    pub fn as_counter(&self) -> Option<u64> {
+        match self {
+            SampleValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram, if this is a histogram sample.
+    #[must_use]
+    pub fn as_histogram(&self) -> Option<&HistogramSnapshot> {
+        match self {
+            SampleValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("ops_total", "ops", &[("op", "get")]);
+        let b = r.counter("ops_total", "ops", &[("op", "get")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "both handles must alias one counter");
+        // A different label set is a different instance.
+        let c = r.counter("ops_total", "ops", &[("op", "insert")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        let a = r.counter("m", "", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("m", "", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("m", "", &[]);
+        let _ = r.gauge("m", "", &[]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("z_total", "", &[]).add(5);
+        r.gauge("a_gauge", "", &[("shard", "1")]).set(-2);
+        r.histogram("lat", "", &[]).record(7);
+        let s = r.snapshot();
+        let names: Vec<&str> = s.families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a_gauge", "lat", "z_total"]);
+        assert_eq!(
+            s.family("z_total").unwrap().samples[0].value,
+            SampleValue::Counter(5)
+        );
+        assert_eq!(
+            s.family("a_gauge")
+                .unwrap()
+                .sample_with(&[("shard", "1")])
+                .unwrap()
+                .value,
+            SampleValue::Gauge(-2)
+        );
+        let h = s.family("lat").unwrap().merged_histogram().unwrap();
+        assert_eq!((h.count(), h.sum()), (1, 7));
+    }
+
+    #[test]
+    fn merged_histogram_sums_shards() {
+        let r = Registry::new();
+        r.histogram("lat", "", &[("shard", "0")]).record(10);
+        r.histogram("lat", "", &[("shard", "1")]).record(30);
+        let merged = r
+            .snapshot()
+            .family("lat")
+            .unwrap()
+            .merged_histogram()
+            .unwrap();
+        assert_eq!((merged.count(), merged.sum(), merged.max()), (2, 40, 30));
+        assert!(r
+            .snapshot()
+            .family("lat")
+            .unwrap()
+            .merged_histogram()
+            .is_some());
+        assert!(r.snapshot().families[0].merged_histogram().is_some());
+    }
+}

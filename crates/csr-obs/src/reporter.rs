@@ -1,0 +1,150 @@
+//! A background thread that periodically dumps a registry to a writer.
+
+use crate::export;
+use crate::registry::Registry;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The dump format of a [`Reporter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Prometheus text exposition format.
+    Prometheus,
+    /// One JSON snapshot per dump, newline-terminated (JSON-lines).
+    Json,
+}
+
+/// Periodically renders a [`Registry`] snapshot into a writer from a
+/// background thread — a file tail or a pipe becomes a poor man's scrape
+/// endpoint. One final dump is written on [`stop`](Reporter::stop), so even
+/// an interval longer than the program's life yields a complete report.
+///
+/// ```
+/// use csr_obs::{Registry, Reporter, ReportFormat};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let registry = Arc::new(Registry::new());
+/// let reporter = Reporter::spawn(
+///     Arc::clone(&registry),
+///     Duration::from_secs(10),
+///     Vec::new(), // any std::io::Write
+///     ReportFormat::Json,
+/// );
+/// registry.counter("ticks_total", "", &[]).inc();
+/// let buf = reporter.stop().expect("writer returned on stop");
+/// assert!(String::from_utf8(buf).unwrap().contains("ticks_total"));
+/// ```
+pub struct Reporter<W: Write + Send + 'static> {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<std::io::Result<W>>,
+}
+
+impl<W: Write + Send + 'static> Reporter<W> {
+    /// Starts the reporting thread: a dump every `interval`, plus a final
+    /// dump when stopped.
+    #[must_use]
+    pub fn spawn(
+        registry: Arc<Registry>,
+        interval: Duration,
+        mut writer: W,
+        format: ReportFormat,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            // Sleep in short slices so stop() returns promptly even for
+            // long intervals.
+            let slice = interval
+                .min(Duration::from_millis(20))
+                .max(Duration::from_millis(1));
+            let mut elapsed = Duration::ZERO;
+            loop {
+                if stop_flag.load(Ordering::Acquire) {
+                    dump(&registry, &mut writer, format)?;
+                    writer.flush()?;
+                    return Ok(writer);
+                }
+                if elapsed >= interval {
+                    elapsed = Duration::ZERO;
+                    dump(&registry, &mut writer, format)?;
+                    writer.flush()?;
+                }
+                std::thread::sleep(slice);
+                elapsed += slice;
+            }
+        });
+        Reporter { stop, handle }
+    }
+
+    /// Stops the thread after one final dump and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error the reporting thread hit.
+    pub fn stop(self) -> std::io::Result<W> {
+        self.stop.store(true, Ordering::Release);
+        match self.handle.join() {
+            Ok(result) => result,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+fn dump<W: Write>(
+    registry: &Registry,
+    writer: &mut W,
+    format: ReportFormat,
+) -> std::io::Result<()> {
+    let snap = registry.snapshot();
+    match format {
+        ReportFormat::Prometheus => writer.write_all(export::prometheus(&snap).as_bytes()),
+        ReportFormat::Json => {
+            writer.write_all(export::json(&snap).as_bytes())?;
+            writer.write_all(b"\n")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn final_dump_happens_on_stop() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("n_total", "", &[]).add(3);
+        // Interval far longer than the test: only the stop dump fires.
+        let rep = Reporter::spawn(
+            Arc::clone(&registry),
+            Duration::from_secs(3600),
+            Vec::new(),
+            ReportFormat::Prometheus,
+        );
+        let out = String::from_utf8(rep.stop().unwrap()).unwrap();
+        assert!(out.contains("n_total 3"), "{out}");
+    }
+
+    #[test]
+    fn periodic_json_lines_parse() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("ticks_total", "", &[]).inc();
+        let rep = Reporter::spawn(
+            Arc::clone(&registry),
+            Duration::from_millis(5),
+            Vec::new(),
+            ReportFormat::Json,
+        );
+        std::thread::sleep(Duration::from_millis(60));
+        let out = String::from_utf8(rep.stop().unwrap()).unwrap();
+        let lines: Vec<&str> = out.lines().filter(|l| !l.is_empty()).collect();
+        assert!(lines.len() >= 2, "expected periodic + final dumps: {out:?}");
+        for line in lines {
+            Json::parse(line).expect("every dump must be valid JSON");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Histogram correctness against a sorted-vector oracle.
+//!
+//! The log-bucketed histogram promises any quantile lands in the same
+//! bucket as the true order statistic, i.e. within one sub-bucket width
+//! (12.5% relative error). These tests check that bound — and the exact
+//! count/sum/max identities — on adversarial and random inputs.
+
+use csr_obs::Histogram;
+
+/// Deterministic 64-bit LCG (constants from Knuth), so the test needs no
+/// external randomness.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+}
+
+/// The true q-quantile under the histogram's rank convention: the
+/// `ceil(q * n)`-th smallest element (1-based).
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+fn check_against_oracle(values: &[u64]) {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+
+    assert_eq!(snap.count(), values.len() as u64);
+    assert_eq!(snap.sum(), values.iter().sum::<u64>());
+    assert_eq!(snap.max(), *sorted.last().unwrap());
+
+    for q in [0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0] {
+        let want = oracle_quantile(&sorted, q);
+        let got = snap.quantile(q);
+        // Same-bucket guarantee: at most one sub-bucket width (1/8 of the
+        // value) apart, +1 absolute slack for the smallest buckets.
+        let tolerance = want / 8 + 1;
+        assert!(
+            got.abs_diff(want) <= tolerance,
+            "q={q}: got {got}, oracle {want}, tolerance {tolerance} (n={})",
+            values.len()
+        );
+    }
+}
+
+#[test]
+fn uniform_random_inputs() {
+    let mut rng = Lcg(0x0B5E_2026);
+    for scale_bits in [8u32, 16, 32, 48] {
+        let values: Vec<u64> = (0..10_000)
+            .map(|_| rng.next() >> (64 - scale_bits))
+            .collect();
+        check_against_oracle(&values);
+    }
+}
+
+#[test]
+fn skewed_latency_like_inputs() {
+    // A latency-shaped distribution: a tight body with a heavy tail,
+    // exactly what the per-op histograms in csr-cache will see.
+    let mut rng = Lcg(0xCAFE);
+    let values: Vec<u64> = (0..50_000)
+        .map(|_| {
+            let r = rng.next();
+            let body = 200 + (r % 100);
+            if r % 1000 < 5 {
+                body * 500 // rare slow path
+            } else {
+                body
+            }
+        })
+        .collect();
+    check_against_oracle(&values);
+}
+
+#[test]
+fn constant_and_two_point_distributions() {
+    check_against_oracle(&[42; 1000]);
+    let mut two: Vec<u64> = vec![1; 900];
+    two.extend(std::iter::repeat(1_000_000u64).take(100));
+    check_against_oracle(&two);
+}
+
+#[test]
+fn small_value_exactness() {
+    // Octave 0 (values < 8) is value-exact: quantiles must be *equal* to
+    // the oracle, not just within tolerance.
+    let values: Vec<u64> = (0..1000).map(|i| i % 8).collect();
+    let h = Histogram::new();
+    for &v in &values {
+        h.record(v);
+    }
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    let snap = h.snapshot();
+    for q in [0.1, 0.5, 0.9] {
+        assert_eq!(snap.quantile(q), oracle_quantile(&sorted, q));
+    }
+}
+
+#[test]
+fn extreme_values_do_not_overflow() {
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(u64::MAX / 2);
+    h.record(0);
+    let snap = h.snapshot();
+    assert_eq!(snap.max(), u64::MAX);
+    assert_eq!(snap.count(), 3);
+    assert!(
+        snap.quantile(1.0) >= u64::MAX / 2,
+        "top bucket must dominate"
+    );
+}
+
+#[test]
+fn merged_shards_match_single_histogram() {
+    // Recording into 8 "shard" histograms and merging the snapshots must
+    // be indistinguishable from recording everything into one.
+    let mut rng = Lcg(7);
+    let shards: Vec<Histogram> = (0..8).map(|_| Histogram::new()).collect();
+    let combined = Histogram::new();
+    for i in 0..20_000u64 {
+        let v = rng.next() % 1_000_000;
+        shards[(i % 8) as usize].record(v);
+        combined.record(v);
+    }
+    let mut merged = shards[0].snapshot();
+    for s in &shards[1..] {
+        merged.merge(&s.snapshot());
+    }
+    assert_eq!(merged, combined.snapshot());
+    for q in [0.5, 0.9, 0.99] {
+        assert_eq!(merged.quantile(q), combined.snapshot().quantile(q));
+    }
+}

@@ -1,0 +1,131 @@
+//! Registry and metrics behaviour under an 8-thread writer stress loop:
+//! no update may be lost, snapshots taken mid-flight must be internally
+//! sane, and concurrent get-or-create registration must alias to a single
+//! metric instance.
+
+use csr_obs::{Registry, SampleValue};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+const WRITERS: usize = 8;
+const OPS_PER_WRITER: u64 = 50_000;
+
+#[test]
+fn concurrent_writers_lose_no_updates() {
+    let registry = Arc::new(Registry::new());
+    let workers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                // Every thread re-registers the same families: get-or-create
+                // must hand back the same underlying metrics each time.
+                let shard = (w % 2).to_string();
+                let c = registry.counter("ops_total", "ops", &[("shard", &shard)]);
+                let g = registry.gauge("inflight", "in flight", &[]);
+                let h = registry.histogram("lat", "latency", &[("shard", &shard)]);
+                for i in 0..OPS_PER_WRITER {
+                    c.inc();
+                    g.add(1);
+                    h.record(i % 4096);
+                    g.add(-1);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("writer panicked");
+    }
+
+    let snap = registry.snapshot();
+    let ops = snap.family("ops_total").expect("family must exist");
+    let total: u64 = ops
+        .samples
+        .iter()
+        .map(|s| s.value.as_counter().expect("counter sample"))
+        .sum();
+    assert_eq!(total, WRITERS as u64 * OPS_PER_WRITER);
+    // Gauge returns to zero once all threads balanced their adds.
+    match snap.family("inflight").unwrap().samples[0].value {
+        SampleValue::Gauge(v) => assert_eq!(v, 0),
+        ref other => panic!("expected gauge, got {other:?}"),
+    }
+    // Histogram: merged shard count equals total recordings, and the sum
+    // matches the closed form of sum(i % 4096 for i in 0..OPS_PER_WRITER).
+    let merged = snap.family("lat").unwrap().merged_histogram().unwrap();
+    assert_eq!(merged.count(), WRITERS as u64 * OPS_PER_WRITER);
+    let per_writer: u64 = (0..OPS_PER_WRITER).map(|i| i % 4096).sum();
+    assert_eq!(merged.sum(), WRITERS as u64 * per_writer);
+    assert_eq!(merged.max(), 4095);
+}
+
+#[test]
+fn snapshots_under_load_are_internally_sane() {
+    // A reader snapshots continuously while writers hammer the metrics.
+    // Only per-atomic invariants hold mid-flight (cross-atomic skew is the
+    // documented caveat): each number is monotonic and bounded by the
+    // eventual total.
+    let registry = Arc::new(Registry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = WRITERS as u64 * OPS_PER_WRITER;
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                let c = registry.counter("events_total", "", &[]);
+                let h = registry.histogram("val", "", &[]);
+                for i in 0..OPS_PER_WRITER {
+                    c.inc();
+                    h.record(i);
+                }
+            })
+        })
+        .collect();
+
+    let reader = {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut last_counter = 0u64;
+            let mut last_hist = 0u64;
+            let mut snapshots = 0u32;
+            while !stop.load(Ordering::Acquire) {
+                let snap = registry.snapshot();
+                if let Some(f) = snap.family("events_total") {
+                    let v = f.samples[0].value.as_counter().unwrap();
+                    assert!(
+                        v >= last_counter && v <= total,
+                        "counter {v} outside [{last_counter}, {total}]"
+                    );
+                    last_counter = v;
+                }
+                if let Some(f) = snap.family("val") {
+                    let h = f.merged_histogram().unwrap();
+                    assert!(
+                        h.count() >= last_hist && h.count() <= total,
+                        "histogram count {} outside [{last_hist}, {total}]",
+                        h.count()
+                    );
+                    assert!(h.max() < OPS_PER_WRITER);
+                    last_hist = h.count();
+                }
+                snapshots += 1;
+            }
+            snapshots
+        })
+    };
+
+    for w in writers {
+        w.join().expect("writer panicked");
+    }
+    stop.store(true, Ordering::Release);
+    let snapshots = reader.join().expect("reader panicked");
+    assert!(snapshots > 0, "reader must have sampled at least once");
+
+    let final_count = registry.snapshot().family("events_total").unwrap().samples[0]
+        .value
+        .as_counter()
+        .unwrap();
+    assert_eq!(final_count, WRITERS as u64 * OPS_PER_WRITER);
+}

@@ -23,6 +23,7 @@ use crate::etd::{EtdConfig, EtdSet, EtdStats, EtdView};
 use crate::eviction::{impl_replacement_via_cores, EvictionPolicy};
 use crate::reserve::{reservation_victim, AcostTracker};
 use cache_sim::{BlockAddr, Cost, Geometry, SetIndex, SetView, Way};
+use csr_obs::{NopObserver, Observer};
 
 /// Counter ceiling of the 2-bit automaton.
 const COUNTER_MAX: u8 = 3;
@@ -77,12 +78,13 @@ impl SetAutomaton {
 /// ACL for a single replacement region, owning its shadow directory and
 /// 2-bit automaton.
 #[derive(Debug, Clone)]
-pub struct AclCore {
+pub struct AclCore<O: Observer = NopObserver> {
     tracker: AcostTracker,
     automaton: SetAutomaton,
     etd: EtdSet,
     factor: u64,
     stats: AclStats,
+    obs: O,
 }
 
 impl AclCore {
@@ -95,6 +97,7 @@ impl AclCore {
             etd,
             factor: 2,
             stats: AclStats::default(),
+            obs: NopObserver,
         }
     }
 
@@ -104,7 +107,9 @@ impl AclCore {
     pub fn for_ways(ways: usize) -> Self {
         AclCore::new(EtdSet::new(EtdConfig::for_assoc(ways)))
     }
+}
 
+impl<O: Observer> AclCore<O> {
     /// Overrides the depreciation factor (the paper's value is 2).
     ///
     /// # Panics
@@ -147,6 +152,19 @@ impl AclCore {
         self.tracker.acost()
     }
 
+    /// Attaches a decision observer, replacing any existing one.
+    #[must_use]
+    pub fn with_observer<O2: Observer>(self, obs: O2) -> AclCore<O2> {
+        AclCore {
+            tracker: self.tracker,
+            automaton: self.automaton,
+            etd: self.etd,
+            factor: self.factor,
+            stats: self.stats,
+            obs,
+        }
+    }
+
     fn end_reservation_failure(&mut self) {
         let a = &mut self.automaton;
         if a.reserved {
@@ -159,12 +177,13 @@ impl AclCore {
                 // misread as watch hits (they are evidence reservations
                 // *hurt*, not that one would have helped).
                 self.etd.clear();
+                self.obs.on_automaton_flip(false);
             }
         }
     }
 }
 
-impl EvictionPolicy for AclCore {
+impl<O: Observer> EvictionPolicy for AclCore<O> {
     fn name(&self) -> &'static str {
         "ACL"
     }
@@ -180,7 +199,10 @@ impl EvictionPolicy for AclCore {
                 if !self.automaton.reserved {
                     self.automaton.reserved = true;
                     self.stats.reservations += 1;
+                    let lru = view.lru();
+                    self.obs.on_reserve(lru.block, e.block, e.cost);
                 }
+                self.obs.on_evict(e.block, e.cost);
                 return way;
             }
             // The reserved block (if any) is evicted: the reservation failed.
@@ -201,10 +223,11 @@ impl EvictionPolicy for AclCore {
         self.stats.lru_evictions += 1;
         let lru = view.lru();
         self.tracker.note_departure(lru.block);
+        self.obs.on_evict(lru.block, lru.cost);
         lru.way
     }
 
-    fn on_hit(&mut self, block: BlockAddr, _way: Way, _cost: Cost, is_lru: bool) {
+    fn on_hit(&mut self, block: BlockAddr, _way: Way, cost: Cost, is_lru: bool) {
         if is_lru {
             if self.automaton.reserved {
                 // The reserved block was re-referenced: success.
@@ -217,22 +240,28 @@ impl EvictionPolicy for AclCore {
             }
         }
         self.tracker.note_departure(block);
+        self.obs.on_hit(block, cost);
     }
 
     fn on_miss(&mut self, block: BlockAddr, lru: Option<(BlockAddr, Cost)>) {
+        self.obs.on_miss(block);
         if self.automaton.enabled() {
             if let Some(cost) = self.etd.probe_and_take(block) {
                 self.tracker.sync_to(lru);
-                self.tracker
-                    .depreciate(Cost(cost.0.saturating_mul(self.factor)));
+                let amount = cost.0.saturating_mul(self.factor);
+                self.tracker.depreciate(Cost(amount));
                 self.stats.depreciations += 1;
+                self.obs.on_etd_hit(block, cost);
+                self.obs.on_depreciate(amount, self.tracker.acost());
             }
-        } else if self.etd.probe_and_take(block).is_some() {
+        } else if let Some(cost) = self.etd.probe_and_take(block) {
             // A watch hit: keeping the block would have saved its miss cost.
             // Enable reservations, hoping a streak of successes started.
             self.etd.clear();
             self.automaton.counter = TRIGGER_VALUE;
             self.stats.triggers += 1;
+            self.obs.on_etd_hit(block, cost);
+            self.obs.on_automaton_flip(true);
         }
     }
 
@@ -259,8 +288,8 @@ impl EvictionPolicy for AclCore {
 /// cache.access(BlockAddr(1), AccessType::Read, Cost(8));
 /// ```
 #[derive(Debug, Clone)]
-pub struct Acl {
-    cores: Vec<AclCore>,
+pub struct Acl<O: Observer = NopObserver> {
+    cores: Vec<AclCore<O>>,
 }
 
 impl Acl {
@@ -286,7 +315,9 @@ impl Acl {
                 .collect(),
         }
     }
+}
 
+impl<O: Observer> Acl<O> {
     /// Overrides the depreciation factor (the paper's value is 2).
     ///
     /// # Panics
@@ -340,6 +371,18 @@ impl Acl {
     #[must_use]
     pub fn etd(&self) -> EtdView<'_> {
         EtdView::new(self.cores.iter().map(AclCore::etd).collect())
+    }
+
+    /// Attaches a decision observer; every set's core receives a clone.
+    #[must_use]
+    pub fn with_observer<O2: Observer + Clone>(self, obs: O2) -> Acl<O2> {
+        Acl {
+            cores: self
+                .cores
+                .into_iter()
+                .map(|c| c.with_observer(obs.clone()))
+                .collect(),
+        }
     }
 }
 

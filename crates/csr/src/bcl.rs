@@ -17,6 +17,7 @@
 use crate::eviction::{impl_replacement_via_cores, EvictionPolicy};
 use crate::reserve::{reservation_victim, AcostTracker};
 use cache_sim::{BlockAddr, Cost, Geometry, SetIndex, SetView, Way};
+use csr_obs::{NopObserver, Observer};
 
 /// Counters specific to [`Bcl`] / [`BclCore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -37,10 +38,11 @@ impl BclStats {
 
 /// BCL for a single replacement region.
 #[derive(Debug, Clone)]
-pub struct BclCore {
+pub struct BclCore<O: Observer = NopObserver> {
     tracker: AcostTracker,
     factor: u64,
     stats: BclStats,
+    obs: O,
 }
 
 impl BclCore {
@@ -64,9 +66,12 @@ impl BclCore {
             tracker: AcostTracker::default(),
             factor,
             stats: BclStats::default(),
+            obs: NopObserver,
         }
     }
+}
 
+impl<O: Observer> BclCore<O> {
     /// The configured depreciation factor.
     #[must_use]
     pub fn depreciation_factor(&self) -> u64 {
@@ -84,6 +89,17 @@ impl BclCore {
     pub fn acost(&self) -> u64 {
         self.tracker.acost()
     }
+
+    /// Attaches a decision observer, replacing any existing one.
+    #[must_use]
+    pub fn with_observer<O2: Observer>(self, obs: O2) -> BclCore<O2> {
+        BclCore {
+            tracker: self.tracker,
+            factor: self.factor,
+            stats: self.stats,
+            obs,
+        }
+    }
 }
 
 impl Default for BclCore {
@@ -92,7 +108,7 @@ impl Default for BclCore {
     }
 }
 
-impl EvictionPolicy for BclCore {
+impl<O: Observer> EvictionPolicy for BclCore<O> {
     fn name(&self) -> &'static str {
         "BCL"
     }
@@ -101,22 +117,33 @@ impl EvictionPolicy for BclCore {
         self.tracker.sync(view);
         // Figure 1: for i = s-1 downto 1, first block with c[i] < Acost.
         if let Some((way, pos)) = reservation_victim(view, self.tracker.acost()) {
-            self.tracker
-                .depreciate(Cost(view.at(pos).cost.0.saturating_mul(self.factor)));
+            let chosen = view.at(pos);
+            let lru = view.lru();
+            let amount = chosen.cost.0.saturating_mul(self.factor);
+            self.tracker.depreciate(Cost(amount));
             self.stats.reservations += 1;
+            self.obs.on_reserve(lru.block, chosen.block, chosen.cost);
+            self.obs.on_depreciate(amount, self.tracker.acost());
+            self.obs.on_evict(chosen.block, chosen.cost);
             return way;
         }
         // No cheaper block: the LRU block goes (and leaves the tracker).
         self.stats.lru_evictions += 1;
         let lru = view.lru();
         self.tracker.note_departure(lru.block);
+        self.obs.on_evict(lru.block, lru.cost);
         lru.way
     }
 
-    fn on_hit(&mut self, block: BlockAddr, _way: Way, _cost: Cost, _is_lru: bool) {
+    fn on_hit(&mut self, block: BlockAddr, _way: Way, cost: Cost, _is_lru: bool) {
         // A hit on the tracked LRU block promotes it out of the LRU
         // position; reset so the next sync reloads a fresh Acost.
         self.tracker.note_departure(block);
+        self.obs.on_hit(block, cost);
+    }
+
+    fn on_miss(&mut self, block: BlockAddr, _lru: Option<(BlockAddr, Cost)>) {
+        self.obs.on_miss(block);
     }
 
     fn on_remove(&mut self, block: BlockAddr) {
@@ -141,8 +168,8 @@ impl EvictionPolicy for BclCore {
 /// cache.access(BlockAddr(1), AccessType::Read, Cost(8));
 /// ```
 #[derive(Debug, Clone)]
-pub struct Bcl {
-    cores: Vec<BclCore>,
+pub struct Bcl<O: Observer = NopObserver> {
+    cores: Vec<BclCore<O>>,
 }
 
 impl Bcl {
@@ -166,7 +193,9 @@ impl Bcl {
                 .collect(),
         }
     }
+}
 
+impl<O: Observer> Bcl<O> {
     /// The configured depreciation factor.
     #[must_use]
     pub fn depreciation_factor(&self) -> u64 {
@@ -188,6 +217,18 @@ impl Bcl {
     #[must_use]
     pub fn acost_of(&self, set: SetIndex) -> u64 {
         self.cores[set.0].acost()
+    }
+
+    /// Attaches a decision observer; every set's core receives a clone.
+    #[must_use]
+    pub fn with_observer<O2: Observer + Clone>(self, obs: O2) -> Bcl<O2> {
+        Bcl {
+            cores: self
+                .cores
+                .into_iter()
+                .map(|c| c.with_observer(obs.clone()))
+                .collect(),
+        }
     }
 }
 

@@ -17,6 +17,7 @@ use crate::etd::{EtdConfig, EtdSet, EtdStats, EtdView};
 use crate::eviction::{impl_replacement_via_cores, EvictionPolicy};
 use crate::reserve::{reservation_victim, AcostTracker};
 use cache_sim::{BlockAddr, Cost, Geometry, SetIndex, SetView, Way};
+use csr_obs::{NopObserver, Observer};
 
 /// Counters specific to [`Dcl`] / [`DclCore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,11 +41,12 @@ impl DclStats {
 
 /// DCL for a single replacement region, owning its shadow directory.
 #[derive(Debug, Clone)]
-pub struct DclCore {
+pub struct DclCore<O: Observer = NopObserver> {
     tracker: AcostTracker,
     etd: EtdSet,
     factor: u64,
     stats: DclStats,
+    obs: O,
 }
 
 impl DclCore {
@@ -57,6 +59,7 @@ impl DclCore {
             etd,
             factor: 2,
             stats: DclStats::default(),
+            obs: NopObserver,
         }
     }
 
@@ -66,7 +69,9 @@ impl DclCore {
     pub fn for_ways(ways: usize) -> Self {
         DclCore::new(EtdSet::new(EtdConfig::for_assoc(ways)))
     }
+}
 
+impl<O: Observer> DclCore<O> {
     /// Overrides the depreciation factor (the paper's value is 2).
     ///
     /// # Panics
@@ -96,9 +101,21 @@ impl DclCore {
     pub fn acost(&self) -> u64 {
         self.tracker.acost()
     }
+
+    /// Attaches a decision observer, replacing any existing one.
+    #[must_use]
+    pub fn with_observer<O2: Observer>(self, obs: O2) -> DclCore<O2> {
+        DclCore {
+            tracker: self.tracker,
+            etd: self.etd,
+            factor: self.factor,
+            stats: self.stats,
+            obs,
+        }
+    }
 }
 
-impl EvictionPolicy for DclCore {
+impl<O: Observer> EvictionPolicy for DclCore<O> {
     fn name(&self) -> &'static str {
         "DCL"
     }
@@ -111,6 +128,9 @@ impl EvictionPolicy for DclCore {
             let e = view.at(pos);
             self.etd.insert(e.block, e.cost);
             self.stats.reservations += 1;
+            let lru = view.lru();
+            self.obs.on_reserve(lru.block, e.block, e.cost);
+            self.obs.on_evict(e.block, e.cost);
             return way;
         }
         // The LRU block itself goes. Any ETD entries for the ended
@@ -119,26 +139,31 @@ impl EvictionPolicy for DclCore {
         self.stats.lru_evictions += 1;
         let lru = view.lru();
         self.tracker.note_departure(lru.block);
+        self.obs.on_evict(lru.block, lru.cost);
         lru.way
     }
 
-    fn on_hit(&mut self, block: BlockAddr, _way: Way, _cost: Cost, is_lru: bool) {
+    fn on_hit(&mut self, block: BlockAddr, _way: Way, cost: Cost, is_lru: bool) {
         if is_lru {
             // A hit on the in-cache LRU block: the reservation (if any)
             // paid off; all ETD entries are invalidated (Section 2.4).
             self.etd.clear();
         }
         self.tracker.note_departure(block);
+        self.obs.on_hit(block, cost);
     }
 
     fn on_miss(&mut self, block: BlockAddr, lru: Option<(BlockAddr, Cost)>) {
+        self.obs.on_miss(block);
         if let Some(cost) = self.etd.probe_and_take(block) {
             // The reservation displaced this block and it came back:
             // depreciate the reserved block's cost, as in BCL.
             self.tracker.sync_to(lru);
-            self.tracker
-                .depreciate(Cost(cost.0.saturating_mul(self.factor)));
+            let amount = cost.0.saturating_mul(self.factor);
+            self.tracker.depreciate(Cost(amount));
             self.stats.depreciations += 1;
+            self.obs.on_etd_hit(block, cost);
+            self.obs.on_depreciate(amount, self.tracker.acost());
         }
     }
 
@@ -161,8 +186,8 @@ impl EvictionPolicy for DclCore {
 /// cache.access(BlockAddr(1), AccessType::Read, Cost(8));
 /// ```
 #[derive(Debug, Clone)]
-pub struct Dcl {
-    cores: Vec<DclCore>,
+pub struct Dcl<O: Observer = NopObserver> {
+    cores: Vec<DclCore<O>>,
 }
 
 impl Dcl {
@@ -190,7 +215,9 @@ impl Dcl {
                 .collect(),
         }
     }
+}
 
+impl<O: Observer> Dcl<O> {
     /// Overrides the depreciation factor (the paper's value is 2).
     ///
     /// # Panics
@@ -232,6 +259,18 @@ impl Dcl {
     #[must_use]
     pub fn acost_of(&self, set: SetIndex) -> u64 {
         self.cores[set.0].acost()
+    }
+
+    /// Attaches a decision observer; every set's core receives a clone.
+    #[must_use]
+    pub fn with_observer<O2: Observer + Clone>(self, obs: O2) -> Dcl<O2> {
+        Dcl {
+            cores: self
+                .cores
+                .into_iter()
+                .map(|c| c.with_observer(obs.clone()))
+                .collect(),
+        }
     }
 }
 

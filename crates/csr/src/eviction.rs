@@ -19,6 +19,7 @@
 //! victim.
 
 use cache_sim::{BlockAddr, Cost, SetView, Way};
+use csr_obs::{NopObserver, Observer};
 
 /// A replacement policy for a single region (one cache set, one shard).
 ///
@@ -91,28 +92,49 @@ impl<P: EvictionPolicy + ?Sized> EvictionPolicy for Box<P> {
     }
 }
 
-/// Plain LRU as an [`EvictionPolicy`]: evict the LRU block, keep no state.
+/// Plain LRU as an [`EvictionPolicy`]: evict the LRU block, keep no state
+/// beyond the (default no-op) decision observer.
 ///
 /// The cost-oblivious baseline every cost-sensitive policy is measured
 /// against (and the shard baseline of `csr-cache`).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct LruCore;
+pub struct LruCore<O: Observer = NopObserver> {
+    obs: O,
+}
 
 impl LruCore {
     /// Creates the (stateless) LRU core.
     #[must_use]
     pub fn new() -> Self {
-        LruCore
+        LruCore { obs: NopObserver }
     }
 }
 
-impl EvictionPolicy for LruCore {
+impl<O: Observer> LruCore<O> {
+    /// Attaches a decision observer, replacing any existing one.
+    #[must_use]
+    pub fn with_observer<O2: Observer>(self, obs: O2) -> LruCore<O2> {
+        LruCore { obs }
+    }
+}
+
+impl<O: Observer> EvictionPolicy for LruCore<O> {
     fn name(&self) -> &'static str {
         "LRU"
     }
 
     fn victim(&mut self, view: &SetView<'_>) -> Way {
-        view.lru().way
+        let lru = view.lru();
+        self.obs.on_evict(lru.block, lru.cost);
+        lru.way
+    }
+
+    fn on_hit(&mut self, block: BlockAddr, _way: Way, cost: Cost, _is_lru: bool) {
+        self.obs.on_hit(block, cost);
+    }
+
+    fn on_miss(&mut self, block: BlockAddr, _lru: Option<(BlockAddr, Cost)>) {
+        self.obs.on_miss(block);
     }
 }
 
@@ -135,10 +157,10 @@ pub(crate) fn lru_of(view: &SetView<'_>) -> Option<(BlockAddr, Cost)> {
 
 /// Implements [`cache_sim::ReplacementPolicy`] for a wrapper holding one
 /// [`EvictionPolicy`] core per set in a `cores: Vec<_>` field, by pure
-/// delegation.
+/// delegation. The wrapper is generic over its cores' decision observer.
 macro_rules! impl_replacement_via_cores {
-    ($wrapper:ty, $name:expr) => {
-        impl cache_sim::ReplacementPolicy for $wrapper {
+    ($wrapper:ident, $name:expr) => {
+        impl<OBS: csr_obs::Observer> cache_sim::ReplacementPolicy for $wrapper<OBS> {
             fn name(&self) -> &'static str {
                 $name
             }

@@ -18,6 +18,7 @@
 
 use crate::eviction::{impl_replacement_via_cores, EvictionPolicy};
 use cache_sim::{BlockAddr, Cost, Geometry, SetView, Way};
+use csr_obs::{NopObserver, Observer};
 
 /// Counters specific to [`GreedyDual`] / [`GdCore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,10 +39,11 @@ impl GdStats {
 
 /// GreedyDual for a single replacement region of a fixed number of ways.
 #[derive(Debug, Clone)]
-pub struct GdCore {
+pub struct GdCore<O: Observer = NopObserver> {
     /// `H` value per way.
     h: Vec<u64>,
     stats: GdStats,
+    obs: O,
 }
 
 impl GdCore {
@@ -51,17 +53,30 @@ impl GdCore {
         GdCore {
             h: vec![0; ways],
             stats: GdStats::default(),
+            obs: NopObserver,
         }
     }
+}
 
+impl<O: Observer> GdCore<O> {
     /// Accumulated statistics.
     #[must_use]
     pub fn stats(&self) -> &GdStats {
         &self.stats
     }
+
+    /// Attaches a decision observer, replacing any existing one.
+    #[must_use]
+    pub fn with_observer<O2: Observer>(self, obs: O2) -> GdCore<O2> {
+        GdCore {
+            h: self.h,
+            stats: self.stats,
+            obs,
+        }
+    }
 }
 
-impl EvictionPolicy for GdCore {
+impl<O: Observer> EvictionPolicy for GdCore<O> {
     fn name(&self) -> &'static str {
         "GD"
     }
@@ -85,15 +100,26 @@ impl EvictionPolicy for GdCore {
             }
         }
         self.stats.victims += 1;
+        let chosen = view.at(pos);
+        self.obs.on_evict(chosen.block, chosen.cost);
         if pos + 1 != view.len() {
             self.stats.non_lru_victims += 1;
+            // GD has no reservation per se; report the spared LRU block so
+            // non-LRU victimizations show up in decision traces.
+            let lru = view.lru();
+            self.obs.on_reserve(lru.block, chosen.block, chosen.cost);
         }
         victim
     }
 
-    fn on_hit(&mut self, _block: BlockAddr, way: Way, cost: Cost, _is_lru: bool) {
+    fn on_hit(&mut self, block: BlockAddr, way: Way, cost: Cost, _is_lru: bool) {
         // Restore the block's full miss cost (stored in its blockframe).
         self.h[way.0] = cost.0;
+        self.obs.on_hit(block, cost);
+    }
+
+    fn on_miss(&mut self, block: BlockAddr, _lru: Option<(BlockAddr, Cost)>) {
+        self.obs.on_miss(block);
     }
 
     fn on_fill(&mut self, _block: BlockAddr, way: Way, cost: Cost) {
@@ -115,8 +141,8 @@ impl EvictionPolicy for GdCore {
 /// cache.access(BlockAddr(1), AccessType::Read, Cost(8)); // hit restores H
 /// ```
 #[derive(Debug, Clone)]
-pub struct GreedyDual {
-    cores: Vec<GdCore>,
+pub struct GreedyDual<O: Observer = NopObserver> {
+    cores: Vec<GdCore<O>>,
 }
 
 impl GreedyDual {
@@ -129,7 +155,9 @@ impl GreedyDual {
                 .collect(),
         }
     }
+}
 
+impl<O: Observer> GreedyDual<O> {
     /// Statistics accumulated across all sets.
     #[must_use]
     pub fn stats(&self) -> GdStats {
@@ -138,6 +166,18 @@ impl GreedyDual {
             total.merge(c.stats());
         }
         total
+    }
+
+    /// Attaches a decision observer; every set's core receives a clone.
+    #[must_use]
+    pub fn with_observer<O2: Observer + Clone>(self, obs: O2) -> GreedyDual<O2> {
+        GreedyDual {
+            cores: self
+                .cores
+                .into_iter()
+                .map(|c| c.with_observer(obs.clone()))
+                .collect(),
+        }
     }
 }
 

@@ -27,6 +27,27 @@
 //! Supporting modules: the [`etd`] shadow directory, clairvoyant baselines
 //! in [`opt`], and the Section 5 hardware-overhead model in [`hw`].
 //!
+//! # Observability
+//!
+//! Every core (and its set-indexed wrapper) is generic over a `csr-obs`
+//! [`Observer`] that receives the policy's decisions — hits, misses,
+//! evictions, reservations, depreciations, ETD hits and ACL automaton
+//! flips — as they happen. The default [`NopObserver`] compiles to
+//! nothing; attach a real one with `with_observer`:
+//!
+//! ```
+//! use cache_sim::{Cache, Geometry, AccessType, Cost, BlockAddr};
+//! use csr::Dcl;
+//! use csr_obs::CountingObserver;
+//! use std::sync::Arc;
+//!
+//! let geom = Geometry::new(128, 64, 2);
+//! let obs = Arc::new(CountingObserver::default());
+//! let mut cache = Cache::new(geom, Dcl::new(&geom).with_observer(Arc::clone(&obs)));
+//! cache.access(BlockAddr(0), AccessType::Read, Cost(8));
+//! assert_eq!(obs.counts().misses, 1);
+//! ```
+//!
 //! # Examples
 //!
 //! Reserving a high-cost block the way Section 2.2 describes:
@@ -63,6 +84,7 @@ mod reserve;
 pub use acl::{Acl, AclCore, AclStats};
 pub use bcl::{Bcl, BclCore, BclStats};
 pub use csopt::{simulate_csopt, CsoptLimits};
+pub use csr_obs::{NopObserver, Observer};
 pub use dcl::{Dcl, DclCore, DclStats};
 pub use etd::{Etd, EtdConfig, EtdSet, EtdStats, EtdView};
 pub use eviction::{EvictionPolicy, LruCore};

@@ -21,5 +21,8 @@ pub use experiments::{
 pub use numa_exp::{
     rsim_suite, rsim_suite_extended, run_numa, NumaBenchmark, Table5Cell, TABLE5_POLICIES,
 };
-pub use policy_kind::PolicyKind;
-pub use runner::{run_sampled, run_sampled_policy, LruMissProfile, RunResult, TraceSimConfig};
+pub use policy_kind::{PolicyKind, TraceObserver};
+pub use runner::{
+    run_sampled, run_sampled_observed, run_sampled_policy, LruMissProfile, RunResult,
+    TraceSimConfig,
+};

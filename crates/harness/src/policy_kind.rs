@@ -1,8 +1,13 @@
 //! Uniform construction of replacement policies for experiment sweeps.
 
 use cache_sim::{Fifo, Geometry, Lru, RandomEvict, ReplacementPolicy};
-use csr::{Acl, Bcl, Dcl, GreedyDual};
+use csr::{Acl, Bcl, Dcl, GreedyDual, Observer};
 use std::fmt;
+use std::sync::Arc;
+
+/// A decision observer shareable across a run's sets (and across runs) —
+/// what [`PolicyKind::build_observed`] attaches to the policy cores.
+pub type TraceObserver = Arc<dyn Observer + Send + Sync>;
 
 /// Every replacement policy the experiments can run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,6 +55,46 @@ impl PolicyKind {
             PolicyKind::Acl => Box::new(Acl::new(geom)),
             PolicyKind::AclAliased(bits) => Box::new(Acl::with_aliased_tags(geom, bits)),
         }
+    }
+
+    /// Builds a boxed policy instance with a decision [`Observer`] attached.
+    ///
+    /// The cost-sensitive policies (GD, BCL, DCL, ACL and their aliased
+    /// variants) emit hit/miss/evict/reserve/depreciate events to `obs`,
+    /// giving every table and figure a replayable decision trace. The
+    /// cost-oblivious baselines (LRU, FIFO, Random) come from `cache-sim`
+    /// and have no observer support; for those this falls back to
+    /// [`build`](Self::build) and `obs` sees no events.
+    #[must_use]
+    pub fn build_observed(
+        self,
+        geom: &Geometry,
+        obs: TraceObserver,
+    ) -> Box<dyn ReplacementPolicy + Send> {
+        match self {
+            PolicyKind::Lru | PolicyKind::Fifo | PolicyKind::Random => self.build(geom),
+            PolicyKind::Gd => Box::new(GreedyDual::new(geom).with_observer(obs)),
+            PolicyKind::Bcl => Box::new(Bcl::new(geom).with_observer(obs)),
+            PolicyKind::Dcl => Box::new(Dcl::new(geom).with_observer(obs)),
+            PolicyKind::DclAliased(bits) => {
+                Box::new(Dcl::with_aliased_tags(geom, bits).with_observer(obs))
+            }
+            PolicyKind::Acl => Box::new(Acl::new(geom).with_observer(obs)),
+            PolicyKind::AclAliased(bits) => {
+                Box::new(Acl::with_aliased_tags(geom, bits).with_observer(obs))
+            }
+        }
+    }
+
+    /// Whether [`build_observed`](Self::build_observed) actually emits
+    /// decision events for this policy (false for the `cache-sim`
+    /// baselines, which ignore the observer).
+    #[must_use]
+    pub fn emits_events(self) -> bool {
+        !matches!(
+            self,
+            PolicyKind::Lru | PolicyKind::Fifo | PolicyKind::Random
+        )
     }
 
     /// Short label used in tables ("DCL alias" style).

@@ -2,7 +2,7 @@
 //! of the L2 under study, fed with one sample processor's references plus
 //! foreign writes (invalidations), charging each L2 miss its mapped cost.
 
-use crate::policy_kind::PolicyKind;
+use crate::policy_kind::{PolicyKind, TraceObserver};
 use cache_sim::{CacheStats, Cost, Geometry, TwoLevel};
 use mem_trace::cost_map::CostMap;
 use mem_trace::sampled::{SampledEvent, SampledTrace};
@@ -72,6 +72,27 @@ pub fn run_sampled(
     cfg: TraceSimConfig,
 ) -> RunResult {
     let (l1, l2) = run_sampled_policy(sampled, costs, policy.build(&cfg.l2), cfg);
+    RunResult { policy, l1, l2 }
+}
+
+/// Runs `policy` over a sampled trace with a decision observer attached.
+///
+/// Statistically identical to [`run_sampled`] — the observer only watches,
+/// it never changes a replacement decision — but every hit, miss,
+/// eviction, reservation and depreciation the policy makes is also
+/// delivered to `obs`, so a table or figure computed from the returned
+/// [`RunResult`] can carry a replayable decision trace as provenance.
+/// The cost-oblivious baselines emit no events (see
+/// [`PolicyKind::build_observed`]).
+#[must_use]
+pub fn run_sampled_observed(
+    sampled: &SampledTrace,
+    costs: &dyn CostMap,
+    policy: PolicyKind,
+    cfg: TraceSimConfig,
+    obs: TraceObserver,
+) -> RunResult {
+    let (l1, l2) = run_sampled_policy(sampled, costs, policy.build_observed(&cfg.l2, obs), cfg);
     RunResult { policy, l1, l2 }
 }
 
@@ -224,6 +245,47 @@ mod tests {
             dcl.aggregate_cost(),
             lru.aggregate_cost()
         );
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_counts_match_stats() {
+        use csr_obs::CountingObserver;
+        use std::sync::Arc;
+        let s = sampled();
+        let cfg = TraceSimConfig::paper_basic();
+        let map = RandomCostMap::new(0.2, CostPair::ratio(16), 9);
+        for kind in PolicyKind::PAPER_SET {
+            let plain = run_sampled(&s, &map, kind, cfg);
+            let counting = Arc::new(CountingObserver::new());
+            let observed = run_sampled_observed(&s, &map, kind, cfg, counting.clone());
+            assert_eq!(
+                plain, observed,
+                "{kind}: observation must not perturb the run"
+            );
+            let counts = counting.counts();
+            assert!(counts.evictions > 0, "{kind}: trace must evict");
+            assert_eq!(counts.hits, observed.l2.hits, "{kind} hits");
+            assert_eq!(counts.misses, observed.l2.misses, "{kind} misses");
+            assert_eq!(counts.evictions, observed.l2.evictions, "{kind} evictions");
+        }
+    }
+
+    #[test]
+    fn baseline_policies_fall_back_silently() {
+        use csr_obs::CountingObserver;
+        use std::sync::Arc;
+        let s = sampled();
+        let cfg = TraceSimConfig::paper_basic();
+        let map = UniformCostMap(Cost(1));
+        for kind in [PolicyKind::Lru, PolicyKind::Fifo] {
+            assert!(!kind.emits_events());
+            let plain = run_sampled(&s, &map, kind, cfg);
+            let counting = Arc::new(CountingObserver::new());
+            let observed = run_sampled_observed(&s, &map, kind, cfg, counting.clone());
+            assert_eq!(plain, observed);
+            let counts = counting.counts();
+            assert_eq!(counts.hits + counts.misses + counts.evictions, 0);
+        }
     }
 
     #[test]
