@@ -323,6 +323,59 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> CsrCache<K, V, S> {
         self.shards[shard].insert(key, value, cost, id)
     }
 
+    /// Inserts `key -> value` with an explicit, caller-measured miss cost,
+    /// bypassing the configured [`CostFn`] — the *dynamic-cost* path.
+    ///
+    /// Where [`insert`](Self::insert) prices entries through a static
+    /// function of key and value, this entry point lets a read-through
+    /// caller charge whatever the miss actually cost (the measured fetch
+    /// latency, bytes moved over the wire, …), so the cost-sensitive
+    /// policies optimize a live signal instead of a model. Returns the
+    /// previous value when `key` was already resident.
+    pub fn insert_with_cost(&self, key: K, value: V, cost: u64) -> Option<V> {
+        let (shard, id) = self.locate(&key);
+        self.shards[shard].insert(key, value, cost, id)
+    }
+
+    /// Read-through lookup with *single-flight* fetch coalescing: returns
+    /// the cached value on a hit; on a miss, exactly one caller per key
+    /// runs `fetch` (returning the value plus its measured miss cost, in
+    /// any additive unit) while concurrent callers for the same key block
+    /// and share that one outcome. This closes the get-miss/insert race of
+    /// the naive cache-aside idiom — a stampede of N threads on a cold key
+    /// performs one fetch, not N.
+    ///
+    /// The fetch runs without any shard lock held: other keys (even in the
+    /// same shard) proceed at full speed while an origin fetch is slow.
+    /// Coalesced callers are visible as
+    /// [`CacheStats::coalesced_fetches`](crate::CacheStats).
+    ///
+    /// # Panics
+    ///
+    /// If `fetch` panics, the panic propagates to the fetching caller;
+    /// blocked callers retry (one of them fetching anew).
+    pub fn get_or_insert_with<F>(&self, key: K, fetch: F) -> V
+    where
+        V: Clone,
+        F: FnOnce() -> (V, u64),
+    {
+        self.try_get_or_insert_with(key, || Some(fetch()))
+            .expect("infallible fetch always yields a value")
+    }
+
+    /// Fallible [`get_or_insert_with`](Self::get_or_insert_with): `fetch`
+    /// may return `None` (origin has no such key), in which case nothing
+    /// is inserted and `None` is returned — to the caller *and* to every
+    /// coalesced waiter of the same fetch.
+    pub fn try_get_or_insert_with<F>(&self, key: K, fetch: F) -> Option<V>
+    where
+        V: Clone,
+        F: FnOnce() -> Option<(V, u64)>,
+    {
+        let (shard, id) = self.locate(&key);
+        self.shards[shard].try_get_or_insert_with(key, id, fetch)
+    }
+
     /// Removes `key`, returning its value if it was resident.
     pub fn remove(&self, key: &K) -> Option<V> {
         let (shard, _) = self.locate(key);

@@ -16,7 +16,7 @@ use csr_obs::{Histogram, Registry};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::stats::CacheStats;
@@ -36,6 +36,7 @@ pub(crate) struct ShardCounters {
     reservations: AtomicU64,
     removals: AtomicU64,
     aggregate_miss_cost: AtomicU64,
+    coalesced_fetches: AtomicU64,
     resident: AtomicU64,
 }
 
@@ -55,6 +56,7 @@ impl ShardCounters {
             reservations: self.reservations.load(Ordering::Relaxed),
             removals: self.removals.load(Ordering::Relaxed),
             aggregate_miss_cost: self.aggregate_miss_cost.load(Ordering::Relaxed),
+            coalesced_fetches: self.coalesced_fetches.load(Ordering::Relaxed),
         }
     }
 }
@@ -122,6 +124,79 @@ impl OpTimer {
         if let Some(t0) = started {
             let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
             self.hist.record(ns);
+        }
+    }
+}
+
+/// The outcome of one in-flight read-through fetch, shared between the
+/// fetching thread (the *leader*) and any threads that arrived while the
+/// fetch was running (the *waiters*).
+enum FlightState<V> {
+    /// The leader is still fetching.
+    Pending,
+    /// The fetch finished: the origin's value (`None` when the origin has
+    /// no entry for the key — nothing was inserted).
+    Done(Option<V>),
+    /// The leader panicked or abandoned the fetch; waiters must retry.
+    Failed,
+}
+
+/// One in-flight fetch: waiters block on the condvar until the leader
+/// resolves the state.
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    done: Condvar,
+}
+
+impl<V> Flight<V> {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, outcome: FlightState<V>) {
+        *self.state.lock().expect("flight lock poisoned") = outcome;
+        self.done.notify_all();
+    }
+}
+
+impl<V: Clone> Flight<V> {
+    /// Blocks until the leader resolves the flight. `Some(outcome)` is the
+    /// leader's result; `None` means the leader failed and the caller must
+    /// retry from the top.
+    fn wait(&self) -> Option<Option<V>> {
+        let mut state = self.state.lock().expect("flight lock poisoned");
+        loop {
+            match &*state {
+                FlightState::Pending => {
+                    state = self.done.wait(state).expect("flight lock poisoned");
+                }
+                FlightState::Done(v) => return Some(v.clone()),
+                FlightState::Failed => return None,
+            }
+        }
+    }
+}
+
+/// Removes the leader's flight entry and fails its waiters if the fetch
+/// closure panics (the panic then propagates out of the leader unchanged;
+/// waiters retry and elect a new leader).
+struct FlightGuard<'a, K: Hash + Eq, V> {
+    inflight: &'a Mutex<HashMap<K, Arc<Flight<V>>>>,
+    key: Option<K>,
+    flight: &'a Flight<V>,
+}
+
+impl<K: Hash + Eq, V> Drop for FlightGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            self.inflight
+                .lock()
+                .expect("inflight lock poisoned")
+                .remove(&key);
+            self.flight.resolve(FlightState::Failed);
         }
     }
 }
@@ -235,6 +310,10 @@ impl<K, V, S> ShardState<K, V, S> {
 
 pub(crate) struct Shard<K, V, S> {
     state: Mutex<ShardState<K, V, S>>,
+    /// In-flight read-through fetches, keyed by the key being fetched.
+    /// Lock order: `inflight` may be held while taking `state` (leader
+    /// completion), never the other way around.
+    inflight: Mutex<HashMap<K, Arc<Flight<V>>>>,
     counters: ShardCounters,
     capacity: usize,
     metrics: Option<ShardMetrics>,
@@ -261,6 +340,7 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
                 tail: NIL,
                 policy,
             }),
+            inflight: Mutex::new(HashMap::new()),
             counters: ShardCounters::default(),
             capacity,
             metrics,
@@ -405,6 +485,92 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
             .fetch_add(cost, Ordering::Relaxed);
         self.counters.resident.fetch_add(1, Ordering::Relaxed);
         None
+    }
+
+    /// A lookup that touches no counters and no policy state. Only for
+    /// the leader-candidate recheck in [`Self::try_get_or_insert_with`]:
+    /// the caller has already paid one counted miss for this access, and
+    /// the probe exists solely to spot a fill that raced in between that
+    /// miss and taking the `inflight` lock — counting it again would
+    /// double-book every read-through miss.
+    fn probe(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let st = self.lock();
+        st.map.get(key).copied().map(|i| st.slot(i).value.clone())
+    }
+
+    /// Single-flight read-through lookup. On a miss, exactly one caller
+    /// (the *leader*) runs `fetch`; callers arriving for the same key
+    /// while the fetch is in flight block and share the leader's outcome
+    /// instead of issuing duplicate fetches. `Some((value, cost))` from
+    /// `fetch` inserts the value with the given (measured) miss cost;
+    /// `None` means the origin has no such key and nothing is inserted.
+    ///
+    /// If `fetch` panics, the panic propagates out of the leader and every
+    /// waiter retries (one of them becoming the next leader).
+    pub(crate) fn try_get_or_insert_with<F>(&self, key: K, id: BlockAddr, fetch: F) -> Option<V>
+    where
+        V: Clone,
+        F: FnOnce() -> Option<(V, u64)>,
+    {
+        enum Role<V> {
+            Leader(Arc<Flight<V>>),
+            Waiter(Arc<Flight<V>>),
+        }
+        loop {
+            if let Some(v) = self.get(&key, id) {
+                return Some(v);
+            }
+            let role = {
+                let mut inflight = self.inflight.lock().expect("inflight lock poisoned");
+                if let Some(f) = inflight.get(&key) {
+                    Role::Waiter(Arc::clone(f))
+                } else {
+                    // About to lead — but the previous leader may have
+                    // completed (insert, then flight removal, both under
+                    // this lock) between our miss above and taking the
+                    // lock. Recheck while holding it: a miss here is
+                    // authoritative. The probe stays off the books — the
+                    // counted `get` above already recorded this access.
+                    if let Some(v) = self.probe(&key) {
+                        return Some(v);
+                    }
+                    let f = Arc::new(Flight::new());
+                    inflight.insert(key.clone(), Arc::clone(&f));
+                    Role::Leader(f)
+                }
+            };
+            match role {
+                Role::Waiter(f) => match f.wait() {
+                    Some(outcome) => {
+                        ShardCounters::bump(&self.counters.coalesced_fetches);
+                        return outcome;
+                    }
+                    // The leader failed; retry (possibly becoming leader).
+                    None => continue,
+                },
+                Role::Leader(f) => {
+                    let mut guard = FlightGuard {
+                        inflight: &self.inflight,
+                        key: Some(key.clone()),
+                        flight: &f,
+                    };
+                    let fetched = fetch(); // on panic: guard fails the flight
+                    let mut inflight = self.inflight.lock().expect("inflight lock poisoned");
+                    let outcome = fetched.map(|(v, cost)| {
+                        self.insert(key.clone(), v.clone(), cost, id);
+                        v
+                    });
+                    let key = guard.key.take().expect("guard still armed");
+                    inflight.remove(&key);
+                    drop(inflight);
+                    f.resolve(FlightState::Done(outcome.clone()));
+                    return outcome;
+                }
+            }
+        }
     }
 
     pub(crate) fn remove(&self, key: &K) -> Option<V> {

@@ -36,6 +36,12 @@ pub struct CacheStats {
     /// Sum of the costs of all fills: the total cost paid to (re)populate
     /// the cache — the quantity the cost-sensitive policies minimize.
     pub aggregate_miss_cost: u64,
+    /// Misses resolved by riding another caller's in-flight fetch instead
+    /// of fetching again (the single-flight coalescing of
+    /// [`CsrCache::get_or_insert_with`](crate::CsrCache::get_or_insert_with)) —
+    /// each one is an origin fetch that a naive cache-aside loop would
+    /// have duplicated.
+    pub coalesced_fetches: u64,
 }
 
 impl CacheStats {
@@ -86,6 +92,7 @@ impl CacheStats {
         self.reservations += other.reservations;
         self.removals += other.removals;
         self.aggregate_miss_cost += other.aggregate_miss_cost;
+        self.coalesced_fetches += other.coalesced_fetches;
     }
 }
 

@@ -154,6 +154,78 @@ fn stress_acl() {
     stress(Policy::Acl);
 }
 
+/// Interleaved `insert` / `remove` / `clear` / read-through on the SAME
+/// narrow key range from 8 threads — the path the mixed-workload stress
+/// above doesn't cover (it never calls `clear`, and its removals rarely
+/// collide on one key). `clear` tears down whole shards while other
+/// threads are mid-insert on the very entries being dropped, so this is
+/// the sharpest test of the counter discipline: after quiescing,
+/// `hits + misses == gets` and entry conservation must hold exactly.
+#[test]
+fn stress_interleaved_insert_remove_clear() {
+    const HOT_KEYS: u64 = 32;
+    for policy in [Policy::Lru, Policy::Dcl, Policy::Acl] {
+        let cache: Arc<CsrCache<u64, u64>> = Arc::new(
+            CsrCache::builder(64)
+                .shards(4)
+                .policy(policy)
+                .cost_fn(|k: &u64, _v: &u64| 1 + k % 5)
+                .build(),
+        );
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    let mut rng = Lcg(0xC1EA2 ^ (t as u64) << 40);
+                    for _ in 0..20_000 {
+                        let r = rng.next();
+                        let key = r % HOT_KEYS;
+                        match r % 16 {
+                            0..=5 => {
+                                if cache.get(&key).is_none() {
+                                    cache.insert(key, key * 2);
+                                }
+                            }
+                            6..=8 => {
+                                cache.insert(key, key * 3);
+                            }
+                            9..=11 => {
+                                cache.remove(&key);
+                            }
+                            12..=14 => {
+                                let v = cache.get_or_insert_with(key, || (key * 2, 1));
+                                assert!(v == key * 2 || v == key * 3);
+                            }
+                            // 1 in 16 ops drops every shard at once.
+                            _ => cache.clear(),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker thread panicked");
+        }
+
+        let s = cache.stats();
+        assert_eq!(
+            s.hits + s.misses,
+            s.lookups,
+            "{policy}: lookup identity violated across clear storms"
+        );
+        assert!(s.removals > 0, "{policy}: clears/removals never landed");
+        assert_eq!(
+            s.insertions,
+            s.evictions + s.removals + cache.len() as u64,
+            "{policy}: entry conservation violated across clear storms",
+        );
+        assert!(cache.len() <= cache.capacity());
+        // The cache stays fully usable after the storm.
+        cache.insert(1, 42);
+        assert_eq!(cache.get(&1), Some(42));
+    }
+}
+
 /// All worker threads funnelled into a single shard: maximal contention on
 /// one mutex, plus the policy core sees a fully serialized event stream.
 #[test]

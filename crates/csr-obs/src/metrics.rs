@@ -167,6 +167,24 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Clears every bucket, the count, the sum and the maximum back to
+    /// zero — for interval-based reporting, where each reporting period
+    /// starts from an empty histogram instead of accumulating forever.
+    ///
+    /// Concurrent [`record`](Self::record)s may land on either side of a
+    /// reset (an observation's bucket increment and its count increment
+    /// can even straddle it); an interval report racing live traffic is
+    /// off by at most the handful of in-flight operations, the same
+    /// caveat every snapshot in this crate carries.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
     /// Adds every observation of `other` into `self` (bucket-wise).
     pub fn merge_from(&self, other: &Histogram) {
         for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
@@ -393,6 +411,21 @@ mod tests {
         assert_eq!(s.mean(), 0.0);
         assert!(s.nonzero_buckets().is_empty());
         assert_eq!(s, HistogramSnapshot::empty());
+    }
+
+    #[test]
+    fn reset_returns_to_the_empty_state() {
+        let h = Histogram::new();
+        for v in [3u64, 77, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        h.reset();
+        assert_eq!(h.snapshot(), HistogramSnapshot::empty());
+        // The histogram stays usable after a reset.
+        h.record(9);
+        let s = h.snapshot();
+        assert_eq!((s.count(), s.sum(), s.max()), (1, 9, 9));
     }
 
     #[test]

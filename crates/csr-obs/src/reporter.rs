@@ -19,8 +19,12 @@ pub enum ReportFormat {
 
 /// Periodically renders a [`Registry`] snapshot into a writer from a
 /// background thread — a file tail or a pipe becomes a poor man's scrape
-/// endpoint. One final dump is written on [`stop`](Reporter::stop), so even
-/// an interval longer than the program's life yields a complete report.
+/// endpoint. One final dump is written on [`stop`](Reporter::stop) — or,
+/// if the reporter is simply dropped, from `Drop` — so even an interval
+/// longer than the program's life yields a complete report, and a
+/// shutdown path that forgets to call `stop` cannot lose the last
+/// reporting interval. (Prefer `stop` when the writer or an I/O error
+/// matters: `Drop` must swallow both.)
 ///
 /// ```
 /// use csr_obs::{Registry, Reporter, ReportFormat};
@@ -40,7 +44,8 @@ pub enum ReportFormat {
 /// ```
 pub struct Reporter<W: Write + Send + 'static> {
     stop: Arc<AtomicBool>,
-    handle: JoinHandle<std::io::Result<W>>,
+    /// `Some` while the reporting thread runs; taken by `stop` / `Drop`.
+    handle: Option<JoinHandle<std::io::Result<W>>>,
 }
 
 impl<W: Write + Send + 'static> Reporter<W> {
@@ -77,7 +82,10 @@ impl<W: Write + Send + 'static> Reporter<W> {
                 elapsed += slice;
             }
         });
-        Reporter { stop, handle }
+        Reporter {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// Stops the thread after one final dump and returns the writer.
@@ -85,12 +93,28 @@ impl<W: Write + Send + 'static> Reporter<W> {
     /// # Errors
     ///
     /// Propagates any I/O error the reporting thread hit.
-    pub fn stop(self) -> std::io::Result<W> {
+    pub fn stop(mut self) -> std::io::Result<W> {
+        self.join()
+            .expect("stop can only run while the thread is live")
+    }
+
+    /// Signals the thread and joins it; `None` if already joined.
+    fn join(&mut self) -> Option<std::io::Result<W>> {
+        let handle = self.handle.take()?;
         self.stop.store(true, Ordering::Release);
-        match self.handle.join() {
-            Ok(result) => result,
+        match handle.join() {
+            Ok(result) => Some(result),
             Err(panic) => std::panic::resume_unwind(panic),
         }
+    }
+}
+
+impl<W: Write + Send + 'static> Drop for Reporter<W> {
+    /// A dropped reporter still flushes: the final dump is written before
+    /// the thread is torn down. The writer (and any I/O error) is
+    /// discarded — call [`stop`](Reporter::stop) to receive both.
+    fn drop(&mut self) {
+        let _ = self.join();
     }
 }
 
@@ -127,6 +151,38 @@ mod tests {
         );
         let out = String::from_utf8(rep.stop().unwrap()).unwrap();
         assert!(out.contains("n_total 3"), "{out}");
+    }
+
+    /// A `Write` handle into a shared buffer, so a test can read what a
+    /// reporter wrote even when the reporter (and its writer) is dropped.
+    #[derive(Clone)]
+    struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn drop_flushes_the_final_interval() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("last_interval_total", "", &[]).add(7);
+        let buf = SharedBuf(Arc::new(std::sync::Mutex::new(Vec::new())));
+        let rep = Reporter::spawn(
+            Arc::clone(&registry),
+            Duration::from_secs(3600),
+            buf.clone(),
+            ReportFormat::Prometheus,
+        );
+        // No stop() — the shutdown path "forgot". Drop must still dump.
+        drop(rep);
+        let out = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(out.contains("last_interval_total 7"), "{out}");
     }
 
     #[test]

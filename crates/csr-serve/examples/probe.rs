@@ -1,0 +1,34 @@
+//! Probes a running csr-serve: one round trip per verb, then the STATS
+//! table and the Prometheus exposition. Exits nonzero on any failure, so
+//! CI can use it as a liveness check.
+//!
+//! ```text
+//! cargo run -p csr-serve --example probe -- 127.0.0.1:11311
+//! ```
+
+use csr_serve::Client;
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:11311".to_owned());
+    let mut c = Client::connect(addr.as_str())?;
+    c.set_timeouts(Some(std::time::Duration::from_secs(5)))?;
+
+    c.set("probe:key", b"probe-value")?;
+    let got = c.get("probe:key")?;
+    assert_eq!(
+        got.as_deref(),
+        Some(&b"probe-value"[..]),
+        "SET/GET mismatch"
+    );
+    c.del("probe:key")?;
+
+    println!("== STATS {addr} ==");
+    for (name, value) in c.stats()? {
+        println!("{name} = {value}");
+    }
+    println!("== METRICS {addr} ==");
+    print!("{}", c.metrics()?);
+    c.quit()
+}

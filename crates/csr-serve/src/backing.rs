@@ -1,0 +1,209 @@
+//! The read-through origin behind the cache server.
+//!
+//! A [`Backing`] is whatever the cache is *for* — the slow thing a hit
+//! avoids. The server measures the wall-clock latency of every
+//! `Backing::fetch` it performs and feeds that measurement back into the
+//! cache as the entry's miss cost, which is exactly the paper's
+//! cost-sensitivity premise (miss penalties measured in cycles, Section 4)
+//! transplanted to a network service: the replacement policy optimizes a
+//! *measured* signal, not a caller-supplied constant.
+//!
+//! [`SimBacking`] simulates a tiered origin (e.g. an SSD page cache in
+//! front of a remote object store): a deterministic subset of the keyspace
+//! is "far" and costs several times the base latency. Which tier a key
+//! lives in is a pure function of the key, so a given key's miss cost is
+//! stable across refetches — the property the reservation-based policies
+//! (BCL/DCL/ACL) exploit.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// An origin the server reads through to on a cache miss.
+pub trait Backing: Send + Sync + 'static {
+    /// Fetches `key` from the origin; `None` when the origin has no entry.
+    fn fetch(&self, key: &str) -> Option<Vec<u8>>;
+}
+
+/// FNV-1a, the deterministic key hash used for tier selection (stable
+/// across processes and runs, unlike `RandomState`).
+#[must_use]
+pub fn fnv1a(key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A simulated tiered origin: every key resolves (synthesized value), but
+/// 1 in [`slow_every`](SimBacking::slow_every) keys lives in the slow tier
+/// and costs [`slow`](SimBacking::slow) instead of
+/// [`fast`](SimBacking::fast) per fetch.
+#[derive(Debug, Clone)]
+pub struct SimBacking {
+    /// Latency of a fast-tier fetch.
+    pub fast: Duration,
+    /// Latency of a slow-tier fetch.
+    pub slow: Duration,
+    /// One in `slow_every` keys is slow (0 disables the slow tier).
+    pub slow_every: u64,
+    /// Length of every synthesized value, in bytes.
+    pub value_len: usize,
+}
+
+impl Default for SimBacking {
+    /// The bimodal 1x/8x origin of the serving demo: 100 µs fast tier,
+    /// 800 µs slow tier, one key in eight slow, 128-byte values.
+    fn default() -> Self {
+        SimBacking {
+            fast: Duration::from_micros(100),
+            slow: Duration::from_micros(800),
+            slow_every: 8,
+            value_len: 128,
+        }
+    }
+}
+
+impl SimBacking {
+    /// Whether `key` lives in the slow tier (a pure function of the key).
+    #[must_use]
+    pub fn is_slow(&self, key: &str) -> bool {
+        self.slow_every != 0 && fnv1a(key) % self.slow_every == 0
+    }
+
+    /// The value every fetch of `key` returns: the key itself, then `#`
+    /// padding to [`value_len`](Self::value_len) bytes (keeping at least
+    /// the key so responses are self-describing in packet dumps).
+    #[must_use]
+    pub fn value_for(&self, key: &str) -> Vec<u8> {
+        let mut v = key.as_bytes().to_vec();
+        v.resize(v.len().max(self.value_len), b'#');
+        v
+    }
+}
+
+impl Backing for SimBacking {
+    fn fetch(&self, key: &str) -> Option<Vec<u8>> {
+        let latency = if self.is_slow(key) {
+            self.slow
+        } else {
+            self.fast
+        };
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        Some(self.value_for(key))
+    }
+}
+
+/// An in-memory origin for tests and for pure-cache deployments that
+/// preload: fetches are instant and keys absent from the map miss.
+#[derive(Debug, Default)]
+pub struct MemoryBacking {
+    entries: Mutex<HashMap<String, Vec<u8>>>,
+}
+
+impl MemoryBacking {
+    /// An empty origin.
+    #[must_use]
+    pub fn new() -> Self {
+        MemoryBacking::default()
+    }
+
+    /// Puts `key -> value` into the origin.
+    pub fn put(&self, key: impl Into<String>, value: impl Into<Vec<u8>>) {
+        self.entries
+            .lock()
+            .expect("backing lock poisoned")
+            .insert(key.into(), value.into());
+    }
+
+    /// Removes `key` from the origin.
+    pub fn delete(&self, key: &str) {
+        self.entries
+            .lock()
+            .expect("backing lock poisoned")
+            .remove(key);
+    }
+}
+
+impl Backing for MemoryBacking {
+    fn fetch(&self, key: &str) -> Option<Vec<u8>> {
+        self.entries
+            .lock()
+            .expect("backing lock poisoned")
+            .get(key)
+            .cloned()
+    }
+}
+
+/// No origin at all: every miss is a plain miss (`GET` of an unset key
+/// returns nothing, exactly a memcached).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoBacking;
+
+impl Backing for NoBacking {
+    fn fetch(&self, _key: &str) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiering_is_deterministic_and_roughly_proportional() {
+        let b = SimBacking {
+            slow_every: 8,
+            ..SimBacking::default()
+        };
+        let slow_keys = (0..8000).filter(|i| b.is_slow(&format!("key:{i}"))).count();
+        // 1-in-8 by hash: allow generous slack either side.
+        assert!(
+            (600..=1500).contains(&slow_keys),
+            "got {slow_keys} slow keys out of 8000"
+        );
+        for i in 0..100 {
+            let k = format!("key:{i}");
+            assert_eq!(b.is_slow(&k), b.is_slow(&k), "tier must be stable");
+        }
+    }
+
+    #[test]
+    fn sim_values_embed_the_key_and_pad() {
+        let b = SimBacking {
+            fast: Duration::ZERO,
+            slow: Duration::ZERO,
+            value_len: 16,
+            ..SimBacking::default()
+        };
+        let v = b.fetch("abc").expect("sim origin always resolves");
+        assert_eq!(v.len(), 16);
+        assert!(v.starts_with(b"abc"));
+        // Keys longer than value_len are kept whole.
+        let long = "k".repeat(32);
+        assert_eq!(b.fetch(&long).unwrap().len(), 32);
+    }
+
+    #[test]
+    fn memory_backing_round_trips_and_misses() {
+        let b = MemoryBacking::new();
+        assert_eq!(b.fetch("a"), None);
+        b.put("a", b"1".to_vec());
+        assert_eq!(b.fetch("a"), Some(b"1".to_vec()));
+        b.delete("a");
+        assert_eq!(b.fetch("a"), None);
+        assert_eq!(NoBacking.fetch("a"), None);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a("foobar"), 0x85944171f73967e8);
+    }
+}

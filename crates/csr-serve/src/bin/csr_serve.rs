@@ -1,0 +1,203 @@
+//! The `csr-serve` daemon: binds a TCP cache server and runs until
+//! SIGTERM/SIGINT, then shuts down gracefully (drain in-flight requests,
+//! flush the final metrics report).
+//!
+//! ```text
+//! csr-serve --addr 127.0.0.1:11311 --policy dcl --capacity 65536 \
+//!           --backing sim --slow-us 800 --metrics-file metrics.prom
+//! ```
+
+use csr_cache::Policy;
+use csr_obs::ReportFormat;
+use csr_serve::server::{serve, ReportSink, ServerConfig};
+use csr_serve::{Backing, NoBacking, SimBacking};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the main loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: a single atomic store.
+    SHUTDOWN.store(true, Ordering::Release);
+}
+
+/// Installs `on_signal` for SIGINT and SIGTERM via the C `signal(2)`
+/// entry point — the one piece of FFI in the workspace, confined to this
+/// binary so the library crates keep `#![forbid(unsafe_code)]`.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run with --help for usage");
+    std::process::exit(2);
+}
+
+fn usage() -> ! {
+    println!(
+        "csr-serve: cost-sensitive network cache server
+
+USAGE: csr-serve [OPTIONS]
+
+  --addr HOST:PORT        listen address (default 127.0.0.1:11311; port 0 picks a free port)
+  --capacity N            cache capacity in entries (default 65536)
+  --shards N              shard count (default: one per hardware thread)
+  --policy NAME           lru | gd | bcl | dcl | acl (default dcl)
+  --workers N             worker threads = max concurrent connections (default 64)
+  --backlog N             queued connections before SERVER_BUSY shedding (default 64)
+  --idle-timeout-ms N     close idle connections after N ms (default 30000)
+  --backing KIND          sim | none (default sim)
+  --fast-us N             sim backing: fast-tier latency, microseconds (default 100)
+  --slow-us N             sim backing: slow-tier latency, microseconds (default 800)
+  --slow-every N          sim backing: 1 in N keys is slow; 0 disables (default 8)
+  --value-len N           sim backing: synthesized value length (default 128)
+  --metrics-file PATH     periodically dump metrics to PATH (flushed on shutdown)
+  --metrics-interval-ms N dump interval (default 1000)
+  --metrics-format FMT    prom | json (default prom)
+  -h, --help              this text"
+    );
+    std::process::exit(0);
+}
+
+fn parse_policy(name: &str) -> Policy {
+    Policy::ALL
+        .into_iter()
+        .find(|p| p.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| die(&format!("unknown policy '{name}'")))
+}
+
+struct Opts {
+    config: ServerConfig,
+    backing_kind: String,
+    sim: SimBacking,
+    metrics_file: Option<std::path::PathBuf>,
+    metrics_interval: Duration,
+    metrics_format: ReportFormat,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        config: ServerConfig {
+            addr: "127.0.0.1:11311".to_owned(),
+            ..ServerConfig::default()
+        },
+        backing_kind: "sim".to_owned(),
+        sim: SimBacking::default(),
+        metrics_file: None,
+        metrics_interval: Duration::from_millis(1000),
+        metrics_format: ReportFormat::Prometheus,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--addr" => opts.config.addr = val("--addr"),
+            "--capacity" => opts.config.capacity = parse_num(&val("--capacity"), "--capacity"),
+            "--shards" => opts.config.shards = Some(parse_num(&val("--shards"), "--shards")),
+            "--policy" => opts.config.policy = parse_policy(&val("--policy")),
+            "--workers" => opts.config.workers = parse_num(&val("--workers"), "--workers"),
+            "--backlog" => opts.config.backlog = parse_num(&val("--backlog"), "--backlog"),
+            "--idle-timeout-ms" => {
+                opts.config.idle_timeout =
+                    Duration::from_millis(parse_num(&val("--idle-timeout-ms"), "--idle-timeout-ms"))
+            }
+            "--backing" => opts.backing_kind = val("--backing"),
+            "--fast-us" => {
+                opts.sim.fast = Duration::from_micros(parse_num(&val("--fast-us"), "--fast-us"))
+            }
+            "--slow-us" => {
+                opts.sim.slow = Duration::from_micros(parse_num(&val("--slow-us"), "--slow-us"))
+            }
+            "--slow-every" => opts.sim.slow_every = parse_num(&val("--slow-every"), "--slow-every"),
+            "--value-len" => opts.sim.value_len = parse_num(&val("--value-len"), "--value-len"),
+            "--metrics-file" => opts.metrics_file = Some(val("--metrics-file").into()),
+            "--metrics-interval-ms" => {
+                opts.metrics_interval = Duration::from_millis(parse_num(
+                    &val("--metrics-interval-ms"),
+                    "--metrics-interval-ms",
+                ))
+            }
+            "--metrics-format" => {
+                opts.metrics_format = match val("--metrics-format").as_str() {
+                    "prom" => ReportFormat::Prometheus,
+                    "json" => ReportFormat::Json,
+                    other => die(&format!("unknown metrics format '{other}'")),
+                }
+            }
+            "-h" | "--help" => usage(),
+            other => die(&format!("unknown flag '{other}'")),
+        }
+    }
+    opts
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: bad number '{s}'")))
+}
+
+fn main() {
+    let opts = parse_args();
+    install_signal_handlers();
+
+    let backing: Arc<dyn Backing> = match opts.backing_kind.as_str() {
+        "sim" => Arc::new(opts.sim.clone()),
+        "none" => Arc::new(NoBacking),
+        other => die(&format!("unknown backing '{other}'")),
+    };
+    let mut config = opts.config;
+    if let Some(path) = &opts.metrics_file {
+        config.report = Some(ReportSink {
+            path: path.clone(),
+            interval: opts.metrics_interval,
+            format: opts.metrics_format,
+        });
+    }
+    let policy = config.policy;
+    let handle = match serve(config, backing) {
+        Ok(handle) => handle,
+        Err(e) => die(&format!("failed to start: {e}")),
+    };
+    println!(
+        "csr-serve listening on {} policy={} backing={}",
+        handle.addr(),
+        policy.name(),
+        opts.backing_kind
+    );
+
+    while !SHUTDOWN.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("csr-serve: shutting down");
+    let stats = handle.cache_stats();
+    match handle.shutdown() {
+        Ok(()) => eprintln!(
+            "csr-serve: drained; lookups={} hit_rate={:.4} aggregate_miss_cost={}",
+            stats.lookups,
+            stats.hit_rate(),
+            stats.aggregate_miss_cost
+        ),
+        Err(e) => {
+            eprintln!("csr-serve: shutdown error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

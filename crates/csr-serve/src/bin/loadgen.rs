@@ -1,0 +1,305 @@
+//! Closed-loop load generator for `csr-serve`.
+//!
+//! Spawns `--conns` worker threads, each owning one connection and
+//! issuing requests back-to-back (closed loop: the next request waits for
+//! the previous response). Keys are drawn from a Zipf distribution over
+//! `--keys` distinct keys, the classic skew of cache workloads; a
+//! configurable fraction of requests are `SET`s. Per-request latency goes
+//! into a shared log-bucketed histogram, and the run ends with a summary
+//! table plus, with `--json <dir>`, a `BENCH_serve.json` report combining
+//! client-side latency percentiles with the server's own `STATS` numbers
+//! (hit rate, aggregate measured miss cost, coalesced fetches).
+
+use csr_obs::{Histogram, Json};
+use csr_serve::Client;
+use mem_trace::rng::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run with --help for usage");
+    std::process::exit(2);
+}
+
+fn usage() -> ! {
+    println!(
+        "loadgen: closed-loop Zipf load generator for csr-serve
+
+USAGE: loadgen [OPTIONS]
+
+  --addr HOST:PORT   server address (default 127.0.0.1:11311)
+  --conns N          worker connections (default 8)
+  --secs N           run duration in seconds (default 5)
+  --keys N           distinct keys (default 2048)
+  --zipf THETA       Zipf skew; 0 = uniform (default 0.9)
+  --set-ratio F      fraction of requests that are SETs (default 0.05)
+  --value-len N      SET payload length in bytes (default 128)
+  --seed N           PRNG seed (default 42)
+  --json DIR         write BENCH_serve.json into DIR
+  -h, --help         this text"
+    );
+    std::process::exit(0);
+}
+
+struct Opts {
+    addr: String,
+    conns: usize,
+    secs: u64,
+    keys: usize,
+    zipf: f64,
+    set_ratio: f64,
+    value_len: usize,
+    seed: u64,
+    json_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        addr: "127.0.0.1:11311".to_owned(),
+        conns: 8,
+        secs: 5,
+        keys: 2048,
+        zipf: 0.9,
+        set_ratio: 0.05,
+        value_len: 128,
+        seed: 42,
+        json_dir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--addr" => opts.addr = val("--addr"),
+            "--conns" => opts.conns = parse_num(&val("--conns"), "--conns"),
+            "--secs" => opts.secs = parse_num(&val("--secs"), "--secs"),
+            "--keys" => opts.keys = parse_num(&val("--keys"), "--keys"),
+            "--zipf" => opts.zipf = parse_num(&val("--zipf"), "--zipf"),
+            "--set-ratio" => opts.set_ratio = parse_num(&val("--set-ratio"), "--set-ratio"),
+            "--value-len" => opts.value_len = parse_num(&val("--value-len"), "--value-len"),
+            "--seed" => opts.seed = parse_num(&val("--seed"), "--seed"),
+            "--json" => opts.json_dir = Some(val("--json").into()),
+            "-h" | "--help" => usage(),
+            other => die(&format!("unknown flag '{other}'")),
+        }
+    }
+    if opts.conns == 0 || opts.keys == 0 {
+        die("--conns and --keys must be positive");
+    }
+    opts
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: bad number '{s}'")))
+}
+
+/// Cumulative Zipf distribution over ranks `1..=n` with skew `theta`
+/// (`theta = 0` degenerates to uniform). Sampling is a binary search for
+/// a uniform draw in the CDF.
+fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for rank in 1..=n {
+        total += (rank as f64).powf(-theta);
+        cdf.push(total);
+    }
+    for p in &mut cdf {
+        *p /= total;
+    }
+    cdf
+}
+
+fn sample(cdf: &[f64], rng: &mut SplitMix64) -> usize {
+    let r = rng.next_f64();
+    cdf.partition_point(|&p| p < r).min(cdf.len() - 1)
+}
+
+struct Totals {
+    ops: AtomicU64,
+    sets: AtomicU64,
+    empty_gets: AtomicU64,
+    errors: AtomicU64,
+}
+
+fn main() {
+    let opts = parse_args();
+    let cdf = Arc::new(zipf_cdf(opts.keys, opts.zipf));
+    let latency = Arc::new(Histogram::new());
+    let totals = Arc::new(Totals {
+        ops: AtomicU64::new(0),
+        sets: AtomicU64::new(0),
+        empty_gets: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+    });
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(opts.secs);
+    let workers: Vec<_> = (0..opts.conns)
+        .map(|i| {
+            let cdf = Arc::clone(&cdf);
+            let latency = Arc::clone(&latency);
+            let totals = Arc::clone(&totals);
+            let addr = opts.addr.clone();
+            let mut rng = SplitMix64::new(opts.seed ^ (0x9e37 + i as u64));
+            let (set_ratio, value_len) = (opts.set_ratio, opts.value_len);
+            std::thread::spawn(move || {
+                let mut client = match Client::connect(addr.as_str()) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("worker {i}: connect failed: {e}");
+                        totals.errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let payload = vec![b'v'; value_len];
+                while Instant::now() < deadline {
+                    let key = format!("key:{}", sample(&cdf, &mut rng));
+                    let is_set = rng.chance(set_ratio);
+                    let t0 = Instant::now();
+                    let outcome = if is_set {
+                        totals.sets.fetch_add(1, Ordering::Relaxed);
+                        client.set(&key, &payload).map(|()| true)
+                    } else {
+                        client.get(&key).map(|v| {
+                            if v.is_none() {
+                                totals.empty_gets.fetch_add(1, Ordering::Relaxed);
+                            }
+                            true
+                        })
+                    };
+                    let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    match outcome {
+                        Ok(_) => {
+                            totals.ops.fetch_add(1, Ordering::Relaxed);
+                            latency.record(us.max(1));
+                        }
+                        Err(e) => {
+                            eprintln!("worker {i}: request failed: {e}");
+                            totals.errors.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                let _ = client.quit();
+            })
+        })
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let ops = totals.ops.load(Ordering::Relaxed);
+    let hist = latency.snapshot();
+    let throughput = ops as f64 / elapsed.max(f64::EPSILON);
+    println!("loadgen: {} -> {}", opts.conns, opts.addr);
+    println!(
+        "  ops {ops} ({:.0} ops/s over {elapsed:.2}s), sets {}, empty gets {}, errors {}",
+        throughput,
+        totals.sets.load(Ordering::Relaxed),
+        totals.empty_gets.load(Ordering::Relaxed),
+        totals.errors.load(Ordering::Relaxed),
+    );
+    println!(
+        "  latency us: mean {:.0}  p50 {}  p90 {}  p99 {}  max {}",
+        hist.mean(),
+        hist.quantile(0.50),
+        hist.quantile(0.90),
+        hist.quantile(0.99),
+        hist.max(),
+    );
+
+    // Pull the server's own accounting: the measured miss costs the
+    // policies optimized live here, not in the client.
+    let server_stats = match Client::connect(opts.addr.as_str()).and_then(|mut c| c.stats()) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("loadgen: STATS fetch failed: {e}");
+            Vec::new()
+        }
+    };
+    let lookup = |name: &str| {
+        server_stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("")
+    };
+    let s_uint = |name: &str| Json::uint(lookup(name).parse().unwrap_or(0));
+    let s_float = |name: &str| Json::Float(lookup(name).parse().unwrap_or(0.0));
+    if !server_stats.is_empty() {
+        println!(
+            "  server: policy {} hit_rate {} aggregate_miss_cost {} coalesced {}",
+            lookup("policy"),
+            lookup("hit_rate"),
+            lookup("aggregate_miss_cost"),
+            lookup("coalesced_fetches"),
+        );
+    }
+
+    if let Some(dir) = &opts.json_dir {
+        let report = Json::obj([
+            ("experiment", Json::str("serve_loadgen")),
+            ("addr", Json::str(opts.addr.clone())),
+            ("conns", Json::uint(opts.conns as u64)),
+            ("secs", Json::uint(opts.secs)),
+            ("keys", Json::uint(opts.keys as u64)),
+            ("zipf", Json::Float(opts.zipf)),
+            ("set_ratio", Json::Float(opts.set_ratio)),
+            ("seed", Json::uint(opts.seed)),
+            (
+                "data",
+                Json::obj([
+                    ("ops", Json::uint(ops)),
+                    ("sets", Json::uint(totals.sets.load(Ordering::Relaxed))),
+                    (
+                        "empty_gets",
+                        Json::uint(totals.empty_gets.load(Ordering::Relaxed)),
+                    ),
+                    ("errors", Json::uint(totals.errors.load(Ordering::Relaxed))),
+                    ("elapsed_s", Json::Float(elapsed)),
+                    ("throughput_ops_per_s", Json::Float(throughput)),
+                    (
+                        "latency_us",
+                        Json::obj([
+                            ("mean", Json::Float(hist.mean())),
+                            ("p50", Json::uint(hist.quantile(0.50))),
+                            ("p90", Json::uint(hist.quantile(0.90))),
+                            ("p99", Json::uint(hist.quantile(0.99))),
+                            ("max", Json::uint(hist.max())),
+                        ]),
+                    ),
+                    (
+                        "server",
+                        Json::obj([
+                            ("policy", Json::str(lookup("policy"))),
+                            ("lookups", s_uint("lookups")),
+                            ("hits", s_uint("hits")),
+                            ("misses", s_uint("misses")),
+                            ("hit_rate", s_float("hit_rate")),
+                            ("aggregate_miss_cost", s_uint("aggregate_miss_cost")),
+                            ("mean_miss_cost", s_float("mean_miss_cost")),
+                            ("coalesced_fetches", s_uint("coalesced_fetches")),
+                            ("evictions", s_uint("evictions")),
+                            ("resident", s_uint("resident")),
+                            ("connections_shed", s_uint("connections_shed")),
+                            ("requests_get", s_uint("requests_get")),
+                            ("requests_set", s_uint("requests_set")),
+                        ]),
+                    ),
+                ]),
+            ),
+        ]);
+        let text = report.render();
+        Json::parse(&text).expect("rendered report must re-parse");
+        std::fs::create_dir_all(dir).expect("create --json directory");
+        let path = dir.join("BENCH_serve.json");
+        std::fs::write(&path, text + "\n").expect("write JSON report");
+        eprintln!("wrote {}", path.display());
+    }
+}

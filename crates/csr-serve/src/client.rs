@@ -1,0 +1,216 @@
+//! A blocking client for the csr-serve protocol.
+//!
+//! One [`Client`] owns one connection. Calls are synchronous
+//! request/response by default; [`Client::get_pipelined`] demonstrates the
+//! protocol's pipelining (many requests on the wire before the first
+//! response is read), which is how a latency-bound workload recovers
+//! throughput without more connections.
+
+use crate::proto::{self, MAX_VALUE_LEN};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connection to a csr-serve server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sets read/write timeouts on the underlying socket (`None`
+    /// blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `setsockopt` failures.
+    pub fn set_timeouts(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)
+    }
+
+    /// Looks `key` up; `None` means neither the cache nor the origin has
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and server-reported errors.
+    pub fn get(&mut self, key: &str) -> io::Result<Option<Vec<u8>>> {
+        write!(self.writer, "GET {key}\r\n")?;
+        self.writer.flush()?;
+        self.read_get_reply()
+    }
+
+    /// Issues every `GET` before reading any reply (one flush, one
+    /// round-trip's worth of latency for the whole batch).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and server-reported errors.
+    pub fn get_pipelined(&mut self, keys: &[&str]) -> io::Result<Vec<Option<Vec<u8>>>> {
+        for key in keys {
+            write!(self.writer, "GET {key}\r\n")?;
+        }
+        self.writer.flush()?;
+        keys.iter().map(|_| self.read_get_reply()).collect()
+    }
+
+    /// Stores `key -> value`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and server-reported errors.
+    pub fn set(&mut self, key: &str, value: &[u8]) -> io::Result<()> {
+        write!(self.writer, "SET {key} {}\r\n", value.len())?;
+        self.writer.write_all(value)?;
+        self.writer.write_all(b"\r\n")?;
+        self.writer.flush()?;
+        match self.read_line()?.as_str() {
+            "STORED" => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Deletes `key`; `true` if it was resident.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and server-reported errors.
+    pub fn del(&mut self, key: &str) -> io::Result<bool> {
+        write!(self.writer, "DEL {key}\r\n")?;
+        self.writer.flush()?;
+        match self.read_line()?.as_str() {
+            "DELETED" => Ok(true),
+            "NOT_FOUND" => Ok(false),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the server's `STATS` table as `(name, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and server-reported errors.
+    pub fn stats(&mut self) -> io::Result<Vec<(String, String)>> {
+        self.writer.write_all(b"STATS\r\n")?;
+        self.writer.flush()?;
+        let mut out = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line == "END" {
+                return Ok(out);
+            }
+            match line
+                .strip_prefix("STAT ")
+                .and_then(|rest| rest.split_once(' '))
+            {
+                Some((name, value)) => out.push((name.to_owned(), value.to_owned())),
+                None => return Err(unexpected(&line)),
+            }
+        }
+    }
+
+    /// Fetches the Prometheus metrics exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and server-reported errors.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        self.writer.write_all(b"METRICS\r\n")?;
+        self.writer.flush()?;
+        let line = self.read_line()?;
+        let len = line
+            .strip_prefix("DATA ")
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|n| *n <= MAX_VALUE_LEN)
+            .ok_or_else(|| unexpected(&line))?;
+        let body = self.read_payload(len)?;
+        String::from_utf8(body).map_err(|_| io::Error::other("metrics body was not UTF-8"))
+    }
+
+    /// Sends `QUIT` and closes the connection cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn quit(mut self) -> io::Result<()> {
+        self.writer.write_all(b"QUIT\r\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one `GET` reply: `VALUE`+payload+`END`, or a bare `END`.
+    fn read_get_reply(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let line = self.read_line()?;
+        if line == "END" {
+            return Ok(None);
+        }
+        let len = line
+            .strip_prefix("VALUE ")
+            .and_then(|rest| rest.rsplit_once(' '))
+            .and_then(|(_, n)| n.parse::<usize>().ok())
+            .filter(|n| *n <= MAX_VALUE_LEN)
+            .ok_or_else(|| unexpected(&line))?;
+        let body = self.read_payload(len)?;
+        match self.read_line()?.as_str() {
+            "END" => Ok(Some(body)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Reads `len` payload bytes plus the trailing CRLF.
+    fn read_payload(&mut self, len: usize) -> io::Result<Vec<u8>> {
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        let mut tail = [0u8; 2];
+        self.reader.read_exact(&mut tail)?;
+        if &tail != b"\r\n" {
+            return Err(io::Error::other("payload not CRLF-terminated"));
+        }
+        Ok(body)
+    }
+
+    /// Reads one response line, without its terminator.
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        loop {
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if line.ends_with('\n') {
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                return Ok(line);
+            }
+            if line.len() > proto::MAX_LINE_LEN {
+                return Err(io::Error::other("overlong response line"));
+            }
+        }
+    }
+}
+
+/// Maps an error or unexpected reply line to an `io::Error`, preserving
+/// the server's wording (`SERVER_BUSY`, `CLIENT_ERROR ...`).
+fn unexpected(line: &str) -> io::Error {
+    io::Error::other(format!("unexpected server reply: {line}"))
+}

@@ -1,0 +1,37 @@
+//! # csr-serve — a network cache server with *measured* miss costs
+//!
+//! This crate turns the cost-sensitive cache ([`csr-cache`](csr_cache))
+//! into a standalone TCP service, closing the loop the paper leaves open:
+//! instead of assuming each block's miss penalty, the server **measures**
+//! it. Every cache miss reads through to a [`Backing`] origin, the fetch
+//! is timed, and that latency (µs) is charged to the entry as its miss
+//! cost. The replacement policy (DCL by default) then reserves the
+//! entries whose misses were *observed* to be expensive — the serving-
+//! system analogue of the paper's cycle-measured miss penalties.
+//!
+//! Pieces:
+//!
+//! * [`server`] — thread-pool TCP server: pipelined text protocol,
+//!   bounded accept queue with `SERVER_BUSY` load-shedding, graceful
+//!   drain on shutdown, Prometheus metrics via csr-obs.
+//! * [`proto`] — the wire protocol (normative grammar in `PROTOCOL.md`).
+//! * [`backing`] — the read-through origin trait plus a simulated tiered
+//!   origin ([`SimBacking`]) whose bimodal latency drives the demo.
+//! * [`client`] — a small blocking client used by the load generator,
+//!   the tests, and the CI smoke job.
+//!
+//! Binaries: `csr-serve` (the daemon) and `loadgen` (closed-loop Zipf
+//! load generator that reports throughput/latency percentiles and writes
+//! `BENCH_serve.json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backing;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use backing::{Backing, MemoryBacking, NoBacking, SimBacking};
+pub use client::Client;
+pub use server::{serve, Bytes, ReportSink, ServerConfig, ServerHandle};

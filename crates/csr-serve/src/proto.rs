@@ -1,0 +1,423 @@
+//! The wire protocol: a memcached-style, pipelined, line-oriented text
+//! protocol (see `PROTOCOL.md` at the repository root for the normative
+//! grammar).
+//!
+//! Requests are parsed *incrementally* from a buffered socket: a command
+//! line is accumulated byte-wise up to a hard length cap (so a peer that
+//! never sends a newline cannot balloon memory), and `SET` payloads are
+//! read as exactly `len` bytes plus a trailing CRLF. Because parsing never
+//! reads more than one request ahead, any number of pipelined requests may
+//! share one connection; responses come back in request order.
+//!
+//! Errors split into two classes with different connection fates:
+//!
+//! * **Recoverable** ([`ProtoError::Client`] with `fatal == false`) — the
+//!   line was framed correctly but meant nothing (unknown verb, bad key,
+//!   wrong argument count). The server answers `CLIENT_ERROR` and keeps
+//!   the connection.
+//! * **Fatal** (`fatal == true`, or an I/O error) — framing itself broke
+//!   (overlong line, missing payload terminator): byte position in the
+//!   stream is no longer trustworthy, so the server answers and closes.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum key length in bytes (memcached's classic limit).
+pub const MAX_KEY_LEN: usize = 250;
+/// Maximum `SET` payload length in bytes.
+pub const MAX_VALUE_LEN: usize = 1 << 20;
+/// Maximum command-line length in bytes, including the terminator —
+/// comfortably a verb, a maximal key, and a payload length.
+pub const MAX_LINE_LEN: usize = MAX_KEY_LEN + 32;
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `GET <key>` — read-through lookup.
+    Get(String),
+    /// `SET <key> <len>` + payload — explicit store.
+    Set(String, Vec<u8>),
+    /// `DEL <key>` — invalidation.
+    Del(String),
+    /// `STATS` — one `STAT <name> <value>` line per counter.
+    Stats,
+    /// `METRICS` — Prometheus text exposition, length-framed.
+    Metrics,
+    /// `QUIT` — orderly connection close.
+    Quit,
+}
+
+/// A protocol-level failure while reading one request.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The transport failed (includes timeouts surfacing as
+    /// `WouldBlock`/`TimedOut`).
+    Io(io::Error),
+    /// The peer sent something invalid. `fatal` says whether stream
+    /// framing was lost (connection must close) or the next line can
+    /// still be trusted.
+    Client {
+        /// Human-readable reason, echoed in the error reply.
+        msg: String,
+        /// Whether the connection must be closed.
+        fatal: bool,
+    },
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtoError::Client { msg, .. } => f.write_str(msg),
+        }
+    }
+}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl ProtoError {
+    fn client(msg: impl Into<String>) -> Self {
+        ProtoError::Client {
+            msg: msg.into(),
+            fatal: false,
+        }
+    }
+
+    fn fatal(msg: impl Into<String>) -> Self {
+        ProtoError::Client {
+            msg: msg.into(),
+            fatal: true,
+        }
+    }
+}
+
+/// Whether `key` satisfies the key grammar: 1..=250 bytes of printable
+/// ASCII excluding space (`0x21..=0x7E`).
+#[must_use]
+pub fn valid_key(key: &str) -> bool {
+    !key.is_empty() && key.len() <= MAX_KEY_LEN && key.bytes().all(|b| (0x21..=0x7E).contains(&b))
+}
+
+/// Reads one line, accepting `\r\n` or bare `\n`, rejecting lines longer
+/// than `max` bytes. `Ok(None)` is a clean EOF *before any byte of a new
+/// line*; EOF mid-line is an error.
+fn read_line(r: &mut impl BufRead, max: usize) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(ProtoError::fatal("unexpected EOF mid-line"))
+            };
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if line.len() + pos > max {
+                    return Err(ProtoError::fatal("command line too long"));
+                }
+                line.extend_from_slice(&buf[..pos]);
+                r.consume(pos + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(line));
+            }
+            None => {
+                if line.len() + buf.len() > max {
+                    return Err(ProtoError::fatal("command line too long"));
+                }
+                line.extend_from_slice(buf);
+                let n = buf.len();
+                r.consume(n);
+            }
+        }
+    }
+}
+
+/// Reads the next request off `r`. `Ok(None)` means the peer closed the
+/// connection cleanly between requests.
+///
+/// # Errors
+///
+/// [`ProtoError::Io`] on transport failure, [`ProtoError::Client`] on a
+/// grammar violation (see the module docs for the recoverable/fatal
+/// split).
+pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ProtoError> {
+    let line = match read_line(r, MAX_LINE_LEN)? {
+        Some(line) => line,
+        None => return Ok(None),
+    };
+    let line = std::str::from_utf8(&line)
+        .map_err(|_| ProtoError::client("CLIENT_ERROR command is not valid UTF-8"))?;
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let verb = parts.next().unwrap_or("");
+    let request = match verb {
+        "GET" | "get" => Request::Get(parse_key(&mut parts)?),
+        "DEL" | "del" => Request::Del(parse_key(&mut parts)?),
+        "SET" | "set" => {
+            let key = parse_key_keep_rest(&mut parts)?;
+            let len: usize = parts
+                .next()
+                .ok_or_else(|| ProtoError::client("CLIENT_ERROR SET needs <key> <len>"))
+                .and_then(|l| {
+                    l.parse()
+                        .map_err(|_| ProtoError::client("CLIENT_ERROR bad payload length"))
+                })?;
+            if parts.next().is_some() {
+                return Err(ProtoError::client("CLIENT_ERROR trailing arguments"));
+            }
+            if len > MAX_VALUE_LEN {
+                // The payload is coming no matter what we reply; framing
+                // is unsalvageable without swallowing it, so close.
+                return Err(ProtoError::fatal("payload too large"));
+            }
+            let mut value = vec![0u8; len];
+            r.read_exact(&mut value)
+                .map_err(|_| ProtoError::fatal("unexpected EOF in payload"))?;
+            let mut tail = [0u8; 2];
+            r.read_exact(&mut tail)
+                .map_err(|_| ProtoError::fatal("unexpected EOF in payload"))?;
+            if &tail != b"\r\n" {
+                return Err(ProtoError::fatal("payload not CRLF-terminated"));
+            }
+            Request::Set(key, value)
+        }
+        "STATS" | "stats" => no_args(&mut parts, Request::Stats)?,
+        "METRICS" | "metrics" => no_args(&mut parts, Request::Metrics)?,
+        "QUIT" | "quit" => no_args(&mut parts, Request::Quit)?,
+        "" => return Err(ProtoError::client("CLIENT_ERROR empty command")),
+        other => {
+            return Err(ProtoError::client(format!(
+                "CLIENT_ERROR unknown command {other:?}"
+            )))
+        }
+    };
+    Ok(Some(request))
+}
+
+fn parse_key<'a>(parts: &mut impl Iterator<Item = &'a str>) -> Result<String, ProtoError> {
+    let key = parse_key_keep_rest(parts)?;
+    if parts.next().is_some() {
+        return Err(ProtoError::client("CLIENT_ERROR trailing arguments"));
+    }
+    Ok(key)
+}
+
+fn parse_key_keep_rest<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+) -> Result<String, ProtoError> {
+    let key = parts
+        .next()
+        .ok_or_else(|| ProtoError::client("CLIENT_ERROR missing key"))?;
+    if !valid_key(key) {
+        return Err(ProtoError::client("CLIENT_ERROR invalid key"));
+    }
+    Ok(key.to_owned())
+}
+
+fn no_args<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    request: Request,
+) -> Result<Request, ProtoError> {
+    if parts.next().is_some() {
+        return Err(ProtoError::client("CLIENT_ERROR trailing arguments"));
+    }
+    Ok(request)
+}
+
+// ---------------------------------------------------------------------------
+// Response writers (shared by the server and, for shapes, the client).
+
+/// Writes a `VALUE <key> <len>` + payload + `END` reply (a `GET` hit).
+pub fn write_value(w: &mut impl Write, key: &str, value: &[u8]) -> io::Result<()> {
+    write!(w, "VALUE {key} {}\r\n", value.len())?;
+    w.write_all(value)?;
+    w.write_all(b"\r\nEND\r\n")
+}
+
+/// Writes the bare `END` reply (a `GET` miss with no origin value).
+pub fn write_end(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(b"END\r\n")
+}
+
+/// Writes a length-framed `DATA` reply (the `METRICS` payload).
+pub fn write_data(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    write!(w, "DATA {}\r\n", payload.len())?;
+    w.write_all(payload)?;
+    w.write_all(b"\r\nEND\r\n")
+}
+
+/// Writes one simple line reply (`STORED`, `DELETED`, `NOT_FOUND`,
+/// `CLIENT_ERROR ...`, `SERVER_BUSY`, ...).
+pub fn write_line(w: &mut impl Write, line: &str) -> io::Result<()> {
+    write!(w, "{line}\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse_all(input: &[u8]) -> Vec<Result<Option<Request>, ProtoError>> {
+        let mut r = BufReader::new(input);
+        let mut out = Vec::new();
+        loop {
+            let res = read_request(&mut r);
+            let stop = matches!(res, Ok(None) | Err(_));
+            out.push(res);
+            if stop {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn parses_a_pipelined_batch() {
+        let input = b"GET a\r\nSET b 3\r\nxyz\r\nDEL c\r\nSTATS\r\nMETRICS\r\nQUIT\r\n";
+        let reqs: Vec<Request> = parse_all(input)
+            .into_iter()
+            .map(|r| r.expect("parse"))
+            .take_while(|r| r.is_some())
+            .flatten()
+            .collect();
+        assert_eq!(
+            reqs,
+            vec![
+                Request::Get("a".into()),
+                Request::Set("b".into(), b"xyz".to_vec()),
+                Request::Del("c".into()),
+                Request::Stats,
+                Request::Metrics,
+                Request::Quit,
+            ]
+        );
+    }
+
+    #[test]
+    fn accepts_bare_lf_and_lowercase() {
+        let mut r = BufReader::new(&b"get k\n"[..]);
+        assert_eq!(
+            read_request(&mut r).unwrap(),
+            Some(Request::Get("k".into()))
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut r = BufReader::new(&b""[..]);
+        assert_eq!(read_request(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn eof_mid_line_is_fatal() {
+        let mut r = BufReader::new(&b"GET half-a-comm"[..]);
+        match read_request(&mut r) {
+            Err(ProtoError::Client { fatal, .. }) => assert!(fatal),
+            other => panic!("expected fatal error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_payload_is_binary_safe() {
+        // Payload contains CRLFs and command-lookalikes; the length frame
+        // must win.
+        let payload = b"GET x\r\nQUIT\r\n\x00\xff";
+        let mut input = format!("SET k {}\r\n", payload.len()).into_bytes();
+        input.extend_from_slice(payload);
+        input.extend_from_slice(b"\r\nGET after\r\n");
+        let mut r = BufReader::new(&input[..]);
+        assert_eq!(
+            read_request(&mut r).unwrap(),
+            Some(Request::Set("k".into(), payload.to_vec()))
+        );
+        assert_eq!(
+            read_request(&mut r).unwrap(),
+            Some(Request::Get("after".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_verb_is_recoverable() {
+        let mut r = BufReader::new(&b"FROB x\r\nGET y\r\n"[..]);
+        match read_request(&mut r) {
+            Err(ProtoError::Client { fatal, msg }) => {
+                assert!(!fatal, "framing is intact: connection may continue");
+                assert!(msg.contains("unknown command"));
+            }
+            other => panic!("expected client error, got {other:?}"),
+        }
+        // The next request parses fine off the same reader.
+        assert_eq!(
+            read_request(&mut r).unwrap(),
+            Some(Request::Get("y".into()))
+        );
+    }
+
+    #[test]
+    fn key_grammar_is_enforced() {
+        assert!(valid_key("user:42"));
+        assert!(valid_key(&"k".repeat(MAX_KEY_LEN)));
+        assert!(!valid_key(""));
+        assert!(!valid_key(&"k".repeat(MAX_KEY_LEN + 1)));
+        assert!(!valid_key("has space"));
+        assert!(!valid_key("ctrl\x07char"));
+        assert!(!valid_key("non-ascii-é"));
+        let mut r = BufReader::new(&b"GET \x01\r\n"[..]);
+        assert!(matches!(
+            read_request(&mut r),
+            Err(ProtoError::Client { fatal: false, .. })
+        ));
+    }
+
+    #[test]
+    fn overlong_line_is_fatal() {
+        let mut input = b"GET ".to_vec();
+        input.extend(std::iter::repeat(b'k').take(MAX_LINE_LEN + 10));
+        input.extend_from_slice(b"\r\n");
+        let mut r = BufReader::new(&input[..]);
+        assert!(matches!(
+            read_request(&mut r),
+            Err(ProtoError::Client { fatal: true, .. })
+        ));
+    }
+
+    #[test]
+    fn oversize_payload_is_fatal() {
+        let input = format!("SET k {}\r\n", MAX_VALUE_LEN + 1).into_bytes();
+        let mut r = BufReader::new(&input[..]);
+        assert!(matches!(
+            read_request(&mut r),
+            Err(ProtoError::Client { fatal: true, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_payload_terminator_is_fatal() {
+        let mut r = BufReader::new(&b"SET k 2\r\nabXX"[..]);
+        assert!(matches!(
+            read_request(&mut r),
+            Err(ProtoError::Client { fatal: true, .. })
+        ));
+    }
+
+    #[test]
+    fn response_writers_produce_the_documented_shapes() {
+        let mut buf = Vec::new();
+        write_value(&mut buf, "k", b"abc").unwrap();
+        assert_eq!(buf, b"VALUE k 3\r\nabc\r\nEND\r\n");
+        buf.clear();
+        write_end(&mut buf).unwrap();
+        assert_eq!(buf, b"END\r\n");
+        buf.clear();
+        write_data(&mut buf, b"metrics 1\n").unwrap();
+        assert_eq!(buf, b"DATA 10\r\nmetrics 1\n\r\nEND\r\n");
+        buf.clear();
+        write_line(&mut buf, "STORED").unwrap();
+        assert_eq!(buf, b"STORED\r\n");
+    }
+}

@@ -1,0 +1,541 @@
+//! The TCP cache server: a thread-pool connection model over a
+//! [`CsrCache`], speaking the text protocol of [`crate::proto`].
+//!
+//! # Connection model
+//!
+//! A fixed pool of [`workers`](ServerConfig::workers) threads each owns
+//! one connection at a time; accepted sockets queue on a bounded channel
+//! of depth [`backlog`](ServerConfig::backlog). When every worker is busy
+//! *and* the queue is full, new connections are **load-shed**: the server
+//! replies `SERVER_BUSY` and closes immediately, converting overload into
+//! a fast, explicit signal instead of an ever-growing accept queue whose
+//! tail latency collapses for everyone.
+//!
+//! # Measured miss costs
+//!
+//! `GET` is read-through: a miss fetches from the [`Backing`] origin
+//! through the cache's single-flight
+//! [`try_get_or_insert_with`](CsrCache::try_get_or_insert_with), and the
+//! wall-clock duration of that fetch — measured, in microseconds — is
+//! charged as the entry's miss cost. The configured replacement policy
+//! (DCL by default) therefore reserves exactly the entries that are
+//! *observably* expensive to lose, the production analogue of the paper's
+//! static cost ratios.
+//!
+//! # Shutdown
+//!
+//! [`ServerHandle::shutdown`] (or dropping the handle) runs the graceful
+//! sequence: stop accepting, cut idle connections' read side, let workers
+//! finish their in-flight requests, then flush the final metrics report.
+
+use crate::backing::Backing;
+use crate::proto::{self, ProtoError, Request};
+use csr_cache::{CacheStats, CsrCache, Policy};
+use csr_obs::{Counter, Gauge, Histogram, Registry, ReportFormat, Reporter};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The cache's value type: cheaply clonable bytes (a `get` clones the
+/// value out of the shard lock; an `Arc` makes that a refcount bump).
+pub type Bytes = Arc<[u8]>;
+
+/// The miss cost charged for values stored by an explicit client `SET`:
+/// the server never measured a fetch for them, so they enter at the floor
+/// and earn a real (measured) cost if a later read-through refill pays
+/// one.
+pub const SET_COST: u64 = 1;
+
+/// Periodic metrics dumping to a file (via [`Reporter`]).
+#[derive(Debug, Clone)]
+pub struct ReportSink {
+    /// File the reporter (re)writes.
+    pub path: PathBuf,
+    /// Dump interval.
+    pub interval: Duration,
+    /// Dump format.
+    pub format: ReportFormat,
+}
+
+/// Server configuration (see [`serve`]).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:11311` (port 0 picks a free port).
+    pub addr: String,
+    /// Cache capacity in entries.
+    pub capacity: usize,
+    /// Shard count override (`None`: one per hardware thread).
+    pub shards: Option<usize>,
+    /// Replacement policy.
+    pub policy: Policy,
+    /// Worker threads — the maximum number of concurrently served
+    /// connections.
+    pub workers: usize,
+    /// Accepted connections that may queue for a worker before new ones
+    /// are shed with `SERVER_BUSY`.
+    pub backlog: usize,
+    /// Read timeout: a connection idle (or stalled mid-request) this long
+    /// is closed.
+    pub idle_timeout: Duration,
+    /// Write timeout for responses.
+    pub write_timeout: Duration,
+    /// Optional periodic metrics dump, flushed one final time on
+    /// shutdown.
+    pub report: Option<ReportSink>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            capacity: 65_536,
+            shards: None,
+            policy: Policy::Dcl,
+            workers: 64,
+            backlog: 64,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            report: None,
+        }
+    }
+}
+
+/// Server-side metric families, registered alongside the cache's own
+/// (`csr_cache_*`, `csr_policy_*`) in one shared [`Registry`] that the
+/// `METRICS` command and the [`ReportSink`] both render.
+struct ServerMetrics {
+    accepted: Arc<Counter>,
+    shed: Arc<Counter>,
+    closed: Arc<Counter>,
+    active: Arc<Gauge>,
+    req_get: Arc<Counter>,
+    req_set: Arc<Counter>,
+    req_del: Arc<Counter>,
+    req_stats: Arc<Counter>,
+    req_metrics: Arc<Counter>,
+    req_errors: Arc<Counter>,
+    /// Measured read-through fetch latency (µs) — the distribution of the
+    /// very numbers being fed to the policy as miss costs.
+    fetch_us: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn new(registry: &Registry) -> Self {
+        let conn = |event: &str| {
+            registry.counter(
+                "csr_serve_connections_total",
+                "Connections by lifecycle event",
+                &[("event", event)],
+            )
+        };
+        let req = |verb: &str| {
+            registry.counter(
+                "csr_serve_requests_total",
+                "Requests by verb",
+                &[("verb", verb)],
+            )
+        };
+        ServerMetrics {
+            accepted: conn("accepted"),
+            shed: conn("shed"),
+            closed: conn("closed"),
+            active: registry.gauge(
+                "csr_serve_active_connections",
+                "Connections currently held by workers",
+                &[],
+            ),
+            req_get: req("get"),
+            req_set: req("set"),
+            req_del: req("del"),
+            req_stats: req("stats"),
+            req_metrics: req("metrics"),
+            req_errors: req("error"),
+            fetch_us: registry.histogram(
+                "csr_serve_miss_fetch_us",
+                "Measured origin fetch latency in microseconds (charged as miss cost)",
+                &[],
+            ),
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+struct Shared {
+    cache: CsrCache<String, Bytes>,
+    backing: Arc<dyn Backing>,
+    registry: Arc<Registry>,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    /// Read-half handles of live connections, so shutdown can cut idle
+    /// readers without waiting out their timeout. Keyed by a connection
+    /// id; a worker removes its entry when the connection closes.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    next_conn_id: AtomicU64,
+    started: Instant,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down
+/// gracefully (ignoring errors); call [`shutdown`](Self::shutdown) to
+/// observe them.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    supervisor: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (with the real port when `:0` was asked).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared metrics registry (server + cache families).
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
+    /// A cache-wide statistics snapshot.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Gracefully shuts down: stop accepting, cut idle readers, drain
+    /// in-flight requests, flush the final metrics report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the final report flush.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.begin_shutdown();
+        match self.supervisor.take().map(JoinHandle::join) {
+            Some(Ok(result)) => result,
+            Some(Err(panic)) => std::panic::resume_unwind(panic),
+            None => Ok(()),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Cut the read half of every live connection: blocked reads
+        // return immediately (EOF) and the worker closes after finishing
+        // whatever request it is mid-way through. Writes stay open.
+        for (_, stream) in self
+            .shared
+            .conns
+            .lock()
+            .expect("conns lock poisoned")
+            .iter()
+        {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(handle) = self.supervisor.take() {
+            self.begin_shutdown();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Starts a server for `config` reading through `backing`; returns once
+/// the listener is bound and the worker pool is running.
+///
+/// # Errors
+///
+/// Binding the listener or creating the report file can fail; nothing is
+/// left running in that case.
+pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<ServerHandle> {
+    assert!(config.workers > 0, "need at least one worker");
+    let listener = TcpListener::bind(config.addr.as_str())?;
+    let addr = listener.local_addr()?;
+
+    let registry = Arc::new(Registry::new());
+    let metrics = ServerMetrics::new(&registry);
+    let mut builder = CsrCache::builder(config.capacity)
+        .policy(config.policy)
+        .metrics(Arc::clone(&registry));
+    if let Some(shards) = config.shards {
+        builder = builder.shards(shards);
+    }
+    let shared = Arc::new(Shared {
+        cache: builder.build(),
+        backing,
+        registry: Arc::clone(&registry),
+        metrics,
+        shutdown: AtomicBool::new(false),
+        conns: Mutex::new(Vec::new()),
+        next_conn_id: AtomicU64::new(0),
+        started: Instant::now(),
+    });
+
+    // Create the report sink before spawning anything so a bad path fails
+    // the call instead of a background thread.
+    let reporter = match &config.report {
+        Some(sink) => {
+            let file = std::fs::File::create(&sink.path)?;
+            Some(Reporter::spawn(
+                Arc::clone(&registry),
+                sink.interval,
+                file,
+                sink.format,
+            ))
+        }
+        None => None,
+    };
+
+    let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.backlog.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<JoinHandle<()>> = (0..config.workers)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            let conf = (config.idle_timeout, config.write_timeout);
+            std::thread::spawn(move || worker_loop(&rx, &shared, conf))
+        })
+        .collect();
+
+    let supervisor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&listener, tx, workers, reporter, &shared))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        supervisor: Some(supervisor),
+    })
+}
+
+/// The acceptor-supervisor thread: accepts until shutdown, then tears the
+/// pool down in order (stop accepting → drain workers → final report
+/// flush).
+fn accept_loop(
+    listener: &TcpListener,
+    tx: SyncSender<TcpStream>,
+    workers: Vec<JoinHandle<()>>,
+    reporter: Option<Reporter<std::fs::File>>,
+    shared: &Shared,
+) -> io::Result<()> {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            // Transient accept errors (EMFILE, aborted handshakes) must
+            // not kill the server.
+            Err(_) if !shared.shutting_down() => continue,
+            Err(_) => break,
+        };
+        if shared.shutting_down() {
+            break; // the stream (possibly the shutdown wake-up) just drops
+        }
+        shared.metrics.accepted.inc();
+        if let Err(TrySendError::Full(stream) | TrySendError::Disconnected(stream)) =
+            tx.try_send(stream)
+        {
+            // Every worker busy and the queue full: shed explicitly.
+            shared.metrics.shed.inc();
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let _ = proto::write_line(&mut stream, "SERVER_BUSY");
+        }
+    }
+    // Closing the channel lets each worker finish its current connection
+    // and exit once the queue is drained.
+    drop(tx);
+    for w in workers {
+        let _ = w.join();
+    }
+    // The last interval's numbers (final request counts, the shutdown
+    // itself) must reach the report file: explicit final flush.
+    match reporter {
+        Some(rep) => rep.stop().map(|_| ()),
+        None => Ok(()),
+    }
+}
+
+/// One worker: serve queued connections until the channel closes.
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    shared: &Shared,
+    (idle_timeout, write_timeout): (Duration, Duration),
+) {
+    loop {
+        let stream = match rx.lock().expect("worker queue lock poisoned").recv() {
+            Ok(stream) => stream,
+            Err(_) => return,
+        };
+        shared.metrics.active.add(1);
+        let _ = handle_conn(stream, shared, idle_timeout, write_timeout);
+        shared.metrics.active.add(-1);
+        shared.metrics.closed.inc();
+    }
+}
+
+/// Serves one connection until EOF, `QUIT`, a fatal protocol error, a
+/// timeout, or shutdown.
+fn handle_conn(
+    stream: TcpStream,
+    shared: &Shared,
+    idle_timeout: Duration,
+    write_timeout: Duration,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(idle_timeout))?;
+    stream.set_write_timeout(Some(write_timeout))?;
+    stream.set_nodelay(true)?;
+
+    // Register the read half so shutdown can cut a blocked read.
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    shared
+        .conns
+        .lock()
+        .expect("conns lock poisoned")
+        .push((conn_id, stream.try_clone()?));
+    // Deregister on every exit path.
+    struct Dereg<'a>(&'a Shared, u64);
+    impl Drop for Dereg<'_> {
+        fn drop(&mut self) {
+            let mut conns = self.0.conns.lock().expect("conns lock poisoned");
+            conns.retain(|(id, _)| *id != self.1);
+        }
+    }
+    let _dereg = Dereg(shared, conn_id);
+
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shared.shutting_down() {
+            return writer.flush();
+        }
+        match proto::read_request(&mut reader) {
+            Ok(None) | Ok(Some(Request::Quit)) => return writer.flush(),
+            Ok(Some(request)) => respond(request, shared, &mut writer)?,
+            Err(ProtoError::Client { msg, fatal }) => {
+                shared.metrics.req_errors.inc();
+                let reply = if msg.starts_with("CLIENT_ERROR") {
+                    msg
+                } else {
+                    format!("CLIENT_ERROR {msg}")
+                };
+                proto::write_line(&mut writer, &reply)?;
+                if fatal {
+                    return writer.flush();
+                }
+            }
+            // Timeouts and transport errors close the connection; an idle
+            // peer holding a worker hostage is itself a protocol error.
+            Err(ProtoError::Io(_)) => return writer.flush(),
+        }
+        // Pipelining: only pay the flush syscall when no further request
+        // is already buffered.
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
+    }
+}
+
+/// Executes one request and writes its response (buffered).
+fn respond(request: Request, shared: &Shared, w: &mut impl Write) -> io::Result<()> {
+    match request {
+        Request::Get(key) => {
+            shared.metrics.req_get.inc();
+            let value = shared.cache.try_get_or_insert_with(key.clone(), || {
+                let t0 = Instant::now();
+                let fetched = shared.backing.fetch(&key)?;
+                // Microseconds, floored at 1 so even a sub-µs origin read
+                // carries nonzero weight with the policies.
+                let cost = u64::try_from(t0.elapsed().as_micros())
+                    .unwrap_or(u64::MAX)
+                    .max(1);
+                shared.metrics.fetch_us.record(cost);
+                Some((Bytes::from(fetched), cost))
+            });
+            match value {
+                Some(bytes) => proto::write_value(w, &key, &bytes),
+                None => proto::write_end(w),
+            }
+        }
+        Request::Set(key, value) => {
+            shared.metrics.req_set.inc();
+            shared
+                .cache
+                .insert_with_cost(key, Bytes::from(value), SET_COST);
+            proto::write_line(w, "STORED")
+        }
+        Request::Del(key) => {
+            shared.metrics.req_del.inc();
+            match shared.cache.remove(&key) {
+                Some(_) => proto::write_line(w, "DELETED"),
+                None => proto::write_line(w, "NOT_FOUND"),
+            }
+        }
+        Request::Stats => {
+            shared.metrics.req_stats.inc();
+            write_stats(shared, w)
+        }
+        Request::Metrics => {
+            shared.metrics.req_metrics.inc();
+            let text = csr_obs::export::prometheus(&shared.registry.snapshot());
+            proto::write_data(w, text.as_bytes())
+        }
+        // QUIT never reaches respond().
+        Request::Quit => Ok(()),
+    }
+}
+
+/// Renders the `STATS` reply: cache counters, derived rates, and the
+/// server's connection/request counters.
+fn write_stats(shared: &Shared, w: &mut impl Write) -> io::Result<()> {
+    let s = shared.cache.stats();
+    let m = &shared.metrics;
+    let mut stat = |name: &str, value: String| writeln_stat(w, name, &value);
+    stat("policy", shared.cache.policy_name().to_owned())?;
+    stat(
+        "uptime_us",
+        shared.started.elapsed().as_micros().to_string(),
+    )?;
+    stat("capacity", shared.cache.capacity().to_string())?;
+    stat("shards", shared.cache.num_shards().to_string())?;
+    stat("resident", shared.cache.len().to_string())?;
+    stat("lookups", s.lookups.to_string())?;
+    stat("hits", s.hits.to_string())?;
+    stat("misses", s.misses.to_string())?;
+    stat("hit_rate", format!("{:.4}", s.hit_rate()))?;
+    stat("insertions", s.insertions.to_string())?;
+    stat("updates", s.updates.to_string())?;
+    stat("evictions", s.evictions.to_string())?;
+    stat("reservations", s.reservations.to_string())?;
+    stat("removals", s.removals.to_string())?;
+    stat("coalesced_fetches", s.coalesced_fetches.to_string())?;
+    stat("aggregate_miss_cost", s.aggregate_miss_cost.to_string())?;
+    stat("mean_miss_cost", format!("{:.2}", s.mean_miss_cost()))?;
+    stat("connections_accepted", m.accepted.get().to_string())?;
+    stat("connections_shed", m.shed.get().to_string())?;
+    stat("connections_closed", m.closed.get().to_string())?;
+    stat("connections_active", m.active.get().to_string())?;
+    stat("requests_get", m.req_get.get().to_string())?;
+    stat("requests_set", m.req_set.get().to_string())?;
+    stat("requests_del", m.req_del.get().to_string())?;
+    proto::write_end(w)
+}
+
+fn writeln_stat(w: &mut impl Write, name: &str, value: &str) -> io::Result<()> {
+    write!(w, "STAT {name} {value}\r\n")
+}

@@ -1,0 +1,257 @@
+//! End-to-end tests: a real server on a loopback socket, exercised
+//! through the client library (and a raw socket where the test is about
+//! the wire format itself).
+
+use csr_cache::Policy;
+use csr_obs::ReportFormat;
+use csr_serve::server::{serve, ReportSink, ServerConfig};
+use csr_serve::{Client, MemoryBacking, SimBacking};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        capacity: 1024,
+        shards: Some(4),
+        workers: 4,
+        backlog: 4,
+        idle_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn round_trips_every_verb() {
+    let origin = Arc::new(MemoryBacking::new());
+    origin.put("greeting", b"hello".to_vec());
+    let handle = serve(test_config(), origin).expect("server starts");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    // Read-through: the origin supplies the first read, the cache the next.
+    assert_eq!(c.get("greeting").unwrap().as_deref(), Some(&b"hello"[..]));
+    assert_eq!(c.get("greeting").unwrap().as_deref(), Some(&b"hello"[..]));
+    assert_eq!(c.get("absent").unwrap(), None);
+
+    // Explicit store and invalidation.
+    c.set("color", b"teal").unwrap();
+    assert_eq!(c.get("color").unwrap().as_deref(), Some(&b"teal"[..]));
+    assert!(c.del("color").unwrap());
+    assert!(!c.del("color").unwrap());
+
+    let stats = c.stats().unwrap();
+    let stat = |name: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("missing stat {name}"))
+    };
+    assert_eq!(stat("policy"), "DCL");
+    assert_eq!(stat("hits").parse::<u64>().unwrap(), 2); // greeting re-read + color read
+    assert!(stat("misses").parse::<u64>().unwrap() >= 2);
+    assert_eq!(stat("requests_del"), "2");
+
+    let metrics = c.metrics().unwrap();
+    assert!(metrics.contains("csr_serve_requests_total"));
+    assert!(metrics.contains("csr_serve_connections_total"));
+    assert!(metrics.contains("csr_policy_events_total"));
+    c.quit().unwrap();
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let origin = Arc::new(MemoryBacking::new());
+    for i in 0..8 {
+        origin.put(format!("k{i}"), format!("v{i}").into_bytes());
+    }
+    let handle = serve(test_config(), origin).expect("server starts");
+
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let keys: Vec<String> = (0..8).map(|i| format!("k{i}")).collect();
+    let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+    let got = c.get_pipelined(&refs).unwrap();
+    for (i, v) in got.iter().enumerate() {
+        assert_eq!(v.as_deref(), Some(format!("v{i}").as_bytes()));
+    }
+
+    // Same thing on a raw socket: one write carrying several commands,
+    // including an invalid (recoverable) one mid-stream.
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.write_all(b"GET k0\r\nBOGUS\r\nGET k1\r\nQUIT\r\n")
+        .unwrap();
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("VALUE k0 2\r\nv0\r\nEND\r\n"));
+    assert!(reply.contains("CLIENT_ERROR"));
+    assert!(reply.contains("VALUE k1 2\r\nv1\r\nEND\r\n"));
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn measured_fetch_latency_becomes_the_miss_cost() {
+    // Every key is slow: one read-through must charge at least the
+    // origin's sleep in microseconds.
+    let origin = Arc::new(SimBacking {
+        fast: Duration::from_millis(3),
+        slow: Duration::from_millis(3),
+        slow_every: 1,
+        value_len: 8,
+    });
+    let handle = serve(test_config(), origin).expect("server starts");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    assert!(c.get("anything").unwrap().is_some());
+    let stats = handle.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert!(
+        stats.aggregate_miss_cost >= 3_000,
+        "measured cost {} below the 3ms origin latency",
+        stats.aggregate_miss_cost
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn saturated_server_sheds_with_server_busy() {
+    // One worker, queue depth one: the third concurrent connection must
+    // be shed explicitly instead of waiting behind a slow fetch.
+    let origin = Arc::new(SimBacking {
+        fast: Duration::from_millis(500),
+        slow: Duration::from_millis(500),
+        slow_every: 1,
+        value_len: 8,
+    });
+    let config = ServerConfig {
+        workers: 1,
+        backlog: 1,
+        ..test_config()
+    };
+    let handle = serve(config, origin).expect("server starts");
+
+    // Occupy the only worker with a slow fetch.
+    let mut busy = TcpStream::connect(handle.addr()).unwrap();
+    busy.write_all(b"GET slow-key\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    // Fill the one queue slot.
+    let _queued = TcpStream::connect(handle.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    // This one has nowhere to go.
+    let shed = TcpStream::connect(handle.addr()).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let mut line = String::new();
+    BufReader::new(shed).read_line(&mut line).unwrap();
+    assert_eq!(line, "SERVER_BUSY\r\n");
+
+    // The busy connection still completes normally.
+    busy.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let mut first = String::new();
+    BufReader::new(busy).read_line(&mut first).unwrap();
+    assert!(first.starts_with("VALUE slow-key"), "got {first:?}");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn shutdown_drains_cuts_idle_connections_and_flushes_the_report() {
+    let report_path =
+        std::env::temp_dir().join(format!("csr-serve-e2e-report-{}.prom", std::process::id()));
+    let _ = std::fs::remove_file(&report_path);
+    let config = ServerConfig {
+        report: Some(ReportSink {
+            path: report_path.clone(),
+            // Longer than the test: only the final shutdown flush writes.
+            interval: Duration::from_secs(60),
+            format: ReportFormat::Prometheus,
+        }),
+        ..test_config()
+    };
+    let origin = Arc::new(MemoryBacking::new());
+    origin.put("k", b"v".to_vec());
+    let handle = serve(config, origin).expect("server starts");
+
+    let mut active = Client::connect(handle.addr()).expect("connect");
+    assert!(active.get("k").unwrap().is_some());
+    // An idle connection that never sends: shutdown must not wait out its
+    // 5s idle timeout.
+    let idle = TcpStream::connect(handle.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let t0 = Instant::now();
+    handle.shutdown().expect("clean shutdown");
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "drain took {:?}, idle connection was not cut",
+        t0.elapsed()
+    );
+
+    // The idle peer sees an orderly close.
+    let mut idle = idle;
+    idle.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let mut buf = [0u8; 16];
+    assert_eq!(idle.read(&mut buf).unwrap(), 0);
+
+    let report = std::fs::read_to_string(&report_path).expect("report written");
+    assert!(
+        report.contains("csr_serve_requests_total"),
+        "final flush missing server families: {report:.0?}"
+    );
+    let _ = std::fs::remove_file(&report_path);
+}
+
+/// The reproducible serving demo from the issue: a bimodal origin where
+/// one key in eight costs ~20x, identical Zipf traffic against LRU and
+/// DCL, and the cost-sensitive policy must pay less total measured miss
+/// cost at a comparable hit rate.
+#[test]
+fn dcl_pays_less_measured_miss_cost_than_lru() {
+    fn run(policy: Policy) -> (f64, u64) {
+        let origin = Arc::new(SimBacking {
+            fast: Duration::ZERO,
+            slow: Duration::from_millis(2),
+            slow_every: 8,
+            value_len: 16,
+        });
+        let config = ServerConfig {
+            capacity: 256,
+            shards: Some(1),
+            policy,
+            ..test_config()
+        };
+        let handle = serve(config, origin).expect("server starts");
+        let mut c = Client::connect(handle.addr()).expect("connect");
+
+        // Deterministic Zipf(0.9) stream over 2048 keys, single client so
+        // the access order (and thus the policy decisions) is exact.
+        let mut rng = mem_trace::rng::SplitMix64::new(7);
+        let mut cdf = Vec::with_capacity(2048);
+        let mut total = 0.0f64;
+        for rank in 1..=2048u64 {
+            total += (rank as f64).powf(-0.9);
+            cdf.push(total);
+        }
+        for _ in 0..6000 {
+            let r = rng.next_f64() * total;
+            let idx = cdf.partition_point(|&p| p < r).min(cdf.len() - 1);
+            let key = format!("key:{idx}");
+            assert!(c.get(&key).unwrap().is_some());
+        }
+        let stats = handle.cache_stats();
+        handle.shutdown().expect("clean shutdown");
+        (stats.hit_rate(), stats.aggregate_miss_cost)
+    }
+
+    let (lru_hit, lru_cost) = run(Policy::Lru);
+    let (dcl_hit, dcl_cost) = run(Policy::Dcl);
+    // Equal hit-rate ballpark: DCL trades some raw hit rate at most.
+    assert!(
+        dcl_hit > lru_hit - 0.15,
+        "DCL hit rate {dcl_hit:.3} collapsed vs LRU {lru_hit:.3}"
+    );
+    assert!(
+        (dcl_cost as f64) < 0.95 * lru_cost as f64,
+        "DCL measured cost {dcl_cost} not below LRU's {lru_cost}"
+    );
+}

@@ -18,6 +18,8 @@
 //! | [`sim`] | `cache-sim` | set-associative cache engine, policies' substrate |
 //! | [`policies`] | `csr` | GD, BCL, DCL, ACL, ETD, offline baselines, HW model |
 //! | [`cache`] | `csr-cache` | concurrent sharded KV cache driven by the policies |
+//! | [`obs`] | `csr-obs` | metrics registry, exporters, decision observers |
+//! | [`serve`] | `csr-serve` | TCP cache server with measured miss costs |
 //! | [`trace`] | `mem-trace` | SPLASH-2-like workloads, first touch, cost maps |
 //! | [`numa`] | `numa-sim` | execution-driven CC-NUMA simulator (Section 4) |
 //! | [`harness`] | `csr-harness` | experiment runners for every table/figure |
@@ -75,6 +77,16 @@ pub mod policies {
 /// The concurrent, sharded, cost-aware key-value cache (`csr-cache`).
 pub mod cache {
     pub use csr_cache::*;
+}
+
+/// Observability: metrics, exporters, decision observers (`csr-obs`).
+pub mod obs {
+    pub use csr_obs::*;
+}
+
+/// The TCP cache server with measured miss costs (`csr-serve`).
+pub mod serve {
+    pub use csr_serve::*;
 }
 
 /// Traces, workloads and cost mappings (`mem-trace`).
