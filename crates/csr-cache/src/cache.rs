@@ -332,9 +332,14 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> CsrCache<K, V, S> {
     /// latency, bytes moved over the wire, …), so the cost-sensitive
     /// policies optimize a live signal instead of a model. Returns the
     /// previous value when `key` was already resident.
+    ///
+    /// The cost is clamped to at least 1: a measurement that truncates to
+    /// zero (a sub-microsecond fetch timed in microseconds, say) must not
+    /// produce an entry the cost-sensitive policies treat as free to
+    /// evict.
     pub fn insert_with_cost(&self, key: K, value: V, cost: u64) -> Option<V> {
         let (shard, id) = self.locate(&key);
-        self.shards[shard].insert(key, value, cost, id)
+        self.shards[shard].insert(key, value, cost.max(1), id)
     }
 
     /// Read-through lookup with *single-flight* fetch coalescing: returns
@@ -348,7 +353,9 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> CsrCache<K, V, S> {
     /// The fetch runs without any shard lock held: other keys (even in the
     /// same shard) proceed at full speed while an origin fetch is slow.
     /// Coalesced callers are visible as
-    /// [`CacheStats::coalesced_fetches`](crate::CacheStats).
+    /// [`CacheStats::coalesced_fetches`](crate::CacheStats). The measured
+    /// cost is clamped to at least 1 (see
+    /// [`insert_with_cost`](Self::insert_with_cost)).
     ///
     /// # Panics
     ///
@@ -359,18 +366,38 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> CsrCache<K, V, S> {
         V: Clone,
         F: FnOnce() -> (V, u64),
     {
-        self.try_get_or_insert_with(key, || Some(fetch()))
-            .expect("infallible fetch always yields a value")
+        let fetched: Result<Option<V>, std::convert::Infallible> =
+            self.try_get_or_insert_with(key, || Ok(Some(fetch())));
+        match fetched {
+            Ok(v) => v.expect("infallible fetch always yields a value"),
+            Err(never) => match never {},
+        }
     }
 
     /// Fallible [`get_or_insert_with`](Self::get_or_insert_with): `fetch`
-    /// may return `None` (origin has no such key), in which case nothing
-    /// is inserted and `None` is returned — to the caller *and* to every
-    /// coalesced waiter of the same fetch.
-    pub fn try_get_or_insert_with<F>(&self, key: K, fetch: F) -> Option<V>
+    /// distinguishes the three ways a read-through can resolve.
+    ///
+    /// * `Ok(Some((value, cost)))` — the origin supplied the value; it is
+    ///   inserted with the given measured cost (clamped to ≥ 1) and
+    ///   shared with every coalesced waiter.
+    /// * `Ok(None)` — the origin authoritatively *has no such key*:
+    ///   nothing is inserted, and `Ok(None)` is returned to the caller
+    ///   and to every coalesced waiter of the same fetch.
+    /// * `Err(e)` — the origin *failed* (unreachable, timed out, …):
+    ///   nothing is inserted, the error propagates to the leading caller,
+    ///   and — unlike a miss — waiters do **not** share it. Each waiter
+    ///   retries with its own `fetch` (one of them leading the next
+    ///   attempt), re-examining the cache through an uncounted probe so
+    ///   the access's one recorded miss is not double-booked.
+    ///
+    /// # Errors
+    ///
+    /// Returns `fetch`'s error when this caller led the fetch and the
+    /// origin failed.
+    pub fn try_get_or_insert_with<F, E>(&self, key: K, fetch: F) -> Result<Option<V>, E>
     where
         V: Clone,
-        F: FnOnce() -> Option<(V, u64)>,
+        F: FnOnce() -> Result<Option<(V, u64)>, E>,
     {
         let (shard, id) = self.locate(&key);
         self.shards[shard].try_get_or_insert_with(key, id, fetch)

@@ -137,6 +137,10 @@ enum FlightState<V> {
     /// The fetch finished: the origin's value (`None` when the origin has
     /// no entry for the key — nothing was inserted).
     Done(Option<V>),
+    /// The leader's fetch returned an error (the origin failed, not "the
+    /// origin has no entry"): nothing was inserted and waiters must retry
+    /// with their own fetch — an error is never shared as a miss.
+    Errored,
     /// The leader panicked or abandoned the fetch; waiters must retry.
     Failed,
 }
@@ -164,8 +168,9 @@ impl<V> Flight<V> {
 
 impl<V: Clone> Flight<V> {
     /// Blocks until the leader resolves the flight. `Some(outcome)` is the
-    /// leader's result; `None` means the leader failed and the caller must
-    /// retry from the top.
+    /// leader's result — `Some(None)` being the authoritative "origin has
+    /// no entry". `None` means the leader errored or panicked and the
+    /// caller must retry from the top (possibly leading the next fetch).
     fn wait(&self) -> Option<Option<V>> {
         let mut state = self.state.lock().expect("flight lock poisoned");
         loop {
@@ -174,7 +179,7 @@ impl<V: Clone> Flight<V> {
                     state = self.done.wait(state).expect("flight lock poisoned");
                 }
                 FlightState::Done(v) => return Some(v.clone()),
-                FlightState::Failed => return None,
+                FlightState::Errored | FlightState::Failed => return None,
             }
         }
     }
@@ -488,11 +493,11 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
     }
 
     /// A lookup that touches no counters and no policy state. Only for
-    /// the leader-candidate recheck in [`Self::try_get_or_insert_with`]:
-    /// the caller has already paid one counted miss for this access, and
-    /// the probe exists solely to spot a fill that raced in between that
-    /// miss and taking the `inflight` lock — counting it again would
-    /// double-book every read-through miss.
+    /// [`Self::try_get_or_insert_with`]'s leader-candidate recheck and its
+    /// retry-after-failed-leader path: the caller has already paid one
+    /// counted miss for this access, and the probe exists solely to spot
+    /// a fill that raced in (or to re-examine the cache after the leader's
+    /// fetch errored) — counting it again would double-book the miss.
     fn probe(&self, key: &K) -> Option<V>
     where
         V: Clone,
@@ -504,24 +509,50 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
     /// Single-flight read-through lookup. On a miss, exactly one caller
     /// (the *leader*) runs `fetch`; callers arriving for the same key
     /// while the fetch is in flight block and share the leader's outcome
-    /// instead of issuing duplicate fetches. `Some((value, cost))` from
-    /// `fetch` inserts the value with the given (measured) miss cost;
-    /// `None` means the origin has no such key and nothing is inserted.
+    /// instead of issuing duplicate fetches. `Ok(Some((value, cost)))`
+    /// from `fetch` inserts the value with the given (measured) miss cost,
+    /// clamped to at least 1 so no dynamically priced entry is ever free
+    /// to evict; `Ok(None)` means the origin authoritatively has no such
+    /// key and nothing is inserted.
+    ///
+    /// `Err` from `fetch` means the *origin failed* — distinct from "the
+    /// origin has no entry". The error propagates to the leader, nothing
+    /// is inserted, and waiters retry with their own fetch (one becoming
+    /// the next leader) instead of sharing the failure as a miss. A
+    /// waiter's retry re-examines the cache through the stat-free probe,
+    /// not a counted `get`: the access already paid its one counted miss
+    /// on the way in, and a leader failure must not double-book it.
     ///
     /// If `fetch` panics, the panic propagates out of the leader and every
-    /// waiter retries (one of them becoming the next leader).
-    pub(crate) fn try_get_or_insert_with<F>(&self, key: K, id: BlockAddr, fetch: F) -> Option<V>
+    /// waiter retries exactly as for an error.
+    pub(crate) fn try_get_or_insert_with<F, E>(
+        &self,
+        key: K,
+        id: BlockAddr,
+        fetch: F,
+    ) -> Result<Option<V>, E>
     where
         V: Clone,
-        F: FnOnce() -> Option<(V, u64)>,
+        F: FnOnce() -> Result<Option<(V, u64)>, E>,
     {
         enum Role<V> {
             Leader(Arc<Flight<V>>),
             Waiter(Arc<Flight<V>>),
         }
+        // Consumed by at most one leadership run; a caller that keeps
+        // losing the leader election keeps waiting and never needs it.
+        let mut fetch = Some(fetch);
+        let mut first_pass = true;
         loop {
-            if let Some(v) = self.get(&key, id) {
-                return Some(v);
+            let cached = if first_pass {
+                self.get(&key, id)
+            } else {
+                // Retry after a failed leader: off the books (see above).
+                self.probe(&key)
+            };
+            first_pass = false;
+            if let Some(v) = cached {
+                return Ok(Some(v));
             }
             let role = {
                 let mut inflight = self.inflight.lock().expect("inflight lock poisoned");
@@ -535,7 +566,7 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
                     // authoritative. The probe stays off the books — the
                     // counted `get` above already recorded this access.
                     if let Some(v) = self.probe(&key) {
-                        return Some(v);
+                        return Ok(Some(v));
                     }
                     let f = Arc::new(Flight::new());
                     inflight.insert(key.clone(), Arc::clone(&f));
@@ -546,9 +577,10 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
                 Role::Waiter(f) => match f.wait() {
                     Some(outcome) => {
                         ShardCounters::bump(&self.counters.coalesced_fetches);
-                        return outcome;
+                        return Ok(outcome);
                     }
-                    // The leader failed; retry (possibly becoming leader).
+                    // The leader errored or panicked; retry (possibly
+                    // becoming leader with our own, still-unused fetch).
                     None => continue,
                 },
                 Role::Leader(f) => {
@@ -557,17 +589,32 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
                         key: Some(key.clone()),
                         flight: &f,
                     };
-                    let fetched = fetch(); // on panic: guard fails the flight
-                    let mut inflight = self.inflight.lock().expect("inflight lock poisoned");
-                    let outcome = fetched.map(|(v, cost)| {
-                        self.insert(key.clone(), v.clone(), cost, id);
-                        v
-                    });
-                    let key = guard.key.take().expect("guard still armed");
-                    inflight.remove(&key);
-                    drop(inflight);
-                    f.resolve(FlightState::Done(outcome.clone()));
-                    return outcome;
+                    let run = fetch.take().expect("fetch unused until leadership");
+                    let fetched = run(); // on panic: guard fails the flight
+                    match fetched {
+                        Ok(resolved) => {
+                            let mut inflight =
+                                self.inflight.lock().expect("inflight lock poisoned");
+                            let outcome = resolved.map(|(v, cost)| {
+                                self.insert(key.clone(), v.clone(), cost.max(1), id);
+                                v
+                            });
+                            let key = guard.key.take().expect("guard still armed");
+                            inflight.remove(&key);
+                            drop(inflight);
+                            f.resolve(FlightState::Done(outcome.clone()));
+                            return Ok(outcome);
+                        }
+                        Err(e) => {
+                            let mut inflight =
+                                self.inflight.lock().expect("inflight lock poisoned");
+                            let key = guard.key.take().expect("guard still armed");
+                            inflight.remove(&key);
+                            drop(inflight);
+                            f.resolve(FlightState::Errored);
+                            return Err(e);
+                        }
+                    }
                 }
             }
         }

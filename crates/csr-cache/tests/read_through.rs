@@ -58,9 +58,9 @@ fn try_variant_does_not_cache_absent_keys() {
     for _ in 0..3 {
         let out = cache.try_get_or_insert_with(9, || {
             fetches.fetch_add(1, Ordering::Relaxed);
-            None
+            Ok::<_, ()>(None)
         });
-        assert_eq!(out, None);
+        assert_eq!(out, Ok(None));
     }
     assert_eq!(
         fetches.load(Ordering::Relaxed),
@@ -69,6 +69,38 @@ fn try_variant_does_not_cache_absent_keys() {
     );
     assert!(cache.is_empty());
     assert_eq!(cache.stats().insertions, 0);
+}
+
+#[test]
+fn fetch_error_propagates_and_caches_nothing() {
+    let cache: CsrCache<u64, u64> = CsrCache::new(8);
+    let out = cache.try_get_or_insert_with(3, || Err("origin down"));
+    assert_eq!(out, Err("origin down"));
+    assert!(cache.is_empty());
+    let s = cache.stats();
+    assert_eq!((s.lookups, s.misses, s.insertions), (1, 1, 0));
+    // The origin recovers: the same key now fills normally.
+    let out = cache.try_get_or_insert_with(3, || Ok::<_, &str>(Some((30, 7))));
+    assert_eq!(out, Ok(Some(30)));
+    assert_eq!(cache.stats().aggregate_miss_cost, 7);
+}
+
+/// Zero is not a valid dynamic cost: a sub-resolution measurement must
+/// clamp to 1 instead of producing an entry that cost-sensitive policies
+/// evict for free.
+#[test]
+fn dynamic_cost_zero_clamps_to_one() {
+    let cache: CsrCache<u64, u64> = CsrCache::builder(8).shards(1).build();
+    cache.insert_with_cost(1, 10, 0);
+    assert_eq!(cache.stats().aggregate_miss_cost, 1);
+    let v = cache.get_or_insert_with(2, || (20, 0));
+    assert_eq!(v, 20);
+    let s = cache.stats();
+    assert_eq!(s.insertions, 2);
+    assert_eq!(
+        s.aggregate_miss_cost, 2,
+        "both zero-cost fills must have been clamped to 1"
+    );
 }
 
 /// The satellite's 2-thread stampede: both threads miss the same cold key
@@ -153,6 +185,78 @@ fn stampede_coalesces_across_many_threads() {
     );
     let s = cache.stats();
     assert_eq!(s.insertions, KEYS);
+    assert_eq!(s.hits + s.misses, s.lookups);
+}
+
+/// The satellite's leader-error stress: the leader's fetch fails while a
+/// pack of waiters is coalesced behind it. Waiters must distinguish "the
+/// leader errored" (retry with their own fetch) from "the origin has no
+/// entry" (which would return `None` to everyone), and the retry must not
+/// double-count the miss each waiter already paid on the way in.
+#[test]
+fn leader_error_wakes_waiters_to_retry_without_double_counting() {
+    const WAITERS: u64 = 7;
+    let cache: Arc<CsrCache<u64, u64>> = Arc::new(CsrCache::builder(64).shards(1).build());
+    let fetches = Arc::new(AtomicU64::new(0));
+    // Leader + waiters + the unblocking rendezvous inside the leader's
+    // fetch closure: everyone is en route before the fetch fails.
+    let barrier = Arc::new(Barrier::new(WAITERS as usize + 1));
+
+    let leader = {
+        let cache = Arc::clone(&cache);
+        let barrier = Arc::clone(&barrier);
+        thread::spawn(move || {
+            cache.try_get_or_insert_with(5, move || {
+                barrier.wait(); // every waiter thread is launched
+                thread::sleep(Duration::from_millis(50)); // ... and coalesced
+                Err("origin down")
+            })
+        })
+    };
+    let waiters: Vec<_> = (0..WAITERS)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            let fetches = Arc::clone(&fetches);
+            thread::spawn(move || {
+                barrier.wait();
+                cache.try_get_or_insert_with(5, move || {
+                    fetches.fetch_add(1, Ordering::Relaxed);
+                    Ok::<_, &str>(Some((55, 9)))
+                })
+            })
+        })
+        .collect();
+
+    assert_eq!(
+        leader.join().expect("leader must not panic"),
+        Err("origin down"),
+        "the origin failure must reach the leading caller"
+    );
+    for w in waiters {
+        assert_eq!(
+            w.join().expect("waiter must not panic"),
+            Ok(Some(55)),
+            "waiters retry after a leader error instead of inheriting it"
+        );
+    }
+    assert_eq!(
+        fetches.load(Ordering::Relaxed),
+        1,
+        "exactly one waiter re-led the fetch; the rest coalesced again"
+    );
+    let s = cache.stats();
+    assert_eq!(s.insertions, 1);
+    assert_eq!(s.aggregate_miss_cost, 9);
+    // The double-counting regression would show up as extra lookups or
+    // misses from the waiters' retry pass: every caller must be on the
+    // books exactly once. (A pathologically delayed waiter may score its
+    // one lookup as a hit, so only the totals are exact.)
+    assert_eq!(
+        s.lookups,
+        WAITERS + 1,
+        "each caller pays exactly one counted lookup; retries stay off the books"
+    );
     assert_eq!(s.hits + s.misses, s.lookups);
 }
 

@@ -2,11 +2,18 @@
 //!
 //! A [`Backing`] is whatever the cache is *for* — the slow thing a hit
 //! avoids. The server measures the wall-clock latency of every
-//! `Backing::fetch` it performs and feeds that measurement back into the
-//! cache as the entry's miss cost, which is exactly the paper's
+//! [`Backing::try_fetch`] it performs and feeds that measurement back into
+//! the cache as the entry's miss cost, which is exactly the paper's
 //! cost-sensitivity premise (miss penalties measured in cycles, Section 4)
 //! transplanted to a network service: the replacement policy optimizes a
 //! *measured* signal, not a caller-supplied constant.
+//!
+//! Fetches are **fallible**: a real origin can refuse, stall, or break
+//! mid-transfer, and retrieval cost is only meaningful when retrieval can
+//! fail ([`BackingError`]). Origins that cannot fail implement the simpler
+//! [`InfallibleBacking`] and are adapted automatically. The resilience
+//! middleware that wraps fallible origins (deadlines, retry, circuit
+//! breaking, fault injection) lives in [`crate::resilience`].
 //!
 //! [`SimBacking`] simulates a tiered origin (e.g. an SSD page cache in
 //! front of a remote object store): a deterministic subset of the keyspace
@@ -19,10 +26,77 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
+/// Why an origin fetch failed — as opposed to succeeding with "no such
+/// key", which is `Ok(None)` and is *not* an error.
+///
+/// The distinction matters end to end: an `Ok(None)` is authoritative (the
+/// server replies an empty `END`, coalesced waiters share it), while a
+/// `BackingError` is a degraded origin — the server serves a stale copy or
+/// replies `ORIGIN_ERROR`, the resilience middleware may retry, and
+/// single-flight waiters re-fetch instead of inheriting the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackingError {
+    /// The origin refused or cannot currently serve (connection refused,
+    /// circuit breaker open, dependency down).
+    NotAvailable(String),
+    /// The fetch did not complete within its deadline.
+    Timeout,
+    /// The origin failed mid-fetch with a transport or storage error.
+    Io(String),
+}
+
+impl std::fmt::Display for BackingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackingError::NotAvailable(why) => write!(f, "origin not available: {why}"),
+            BackingError::Timeout => f.write_str("origin fetch timed out"),
+            BackingError::Io(why) => write!(f, "origin i/o error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BackingError {}
+
+impl BackingError {
+    /// Short label for metrics (`csr_serve_origin_errors_total{kind=...}`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BackingError::NotAvailable(_) => "not_available",
+            BackingError::Timeout => "timeout",
+            BackingError::Io(_) => "io",
+        }
+    }
+}
+
 /// An origin the server reads through to on a cache miss.
+///
+/// `Ok(None)` means the origin definitively has no entry for the key;
+/// `Err` means the fetch *failed* and says nothing about whether the key
+/// exists. Origins that cannot fail implement [`InfallibleBacking`]
+/// instead and get this trait via its blanket impl.
 pub trait Backing: Send + Sync + 'static {
+    /// Fetches `key` from the origin.
+    ///
+    /// # Errors
+    ///
+    /// [`BackingError`] when the origin could not complete the fetch.
+    fn try_fetch(&self, key: &str) -> Result<Option<Vec<u8>>, BackingError>;
+}
+
+/// An origin that can miss but never fail (in-memory maps, pure
+/// simulations). Every `InfallibleBacking` is a [`Backing`] whose
+/// `try_fetch` never errors, via the blanket adapter below — existing
+/// infallible origins keep working against the fallible server path.
+pub trait InfallibleBacking: Send + Sync + 'static {
     /// Fetches `key` from the origin; `None` when the origin has no entry.
     fn fetch(&self, key: &str) -> Option<Vec<u8>>;
+}
+
+impl<T: InfallibleBacking> Backing for T {
+    fn try_fetch(&self, key: &str) -> Result<Option<Vec<u8>>, BackingError> {
+        Ok(self.fetch(key))
+    }
 }
 
 /// FNV-1a, the deterministic key hash used for tier selection (stable
@@ -84,7 +158,7 @@ impl SimBacking {
     }
 }
 
-impl Backing for SimBacking {
+impl InfallibleBacking for SimBacking {
     fn fetch(&self, key: &str) -> Option<Vec<u8>> {
         let latency = if self.is_slow(key) {
             self.slow
@@ -129,7 +203,7 @@ impl MemoryBacking {
     }
 }
 
-impl Backing for MemoryBacking {
+impl InfallibleBacking for MemoryBacking {
     fn fetch(&self, key: &str) -> Option<Vec<u8>> {
         self.entries
             .lock()
@@ -144,7 +218,7 @@ impl Backing for MemoryBacking {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoBacking;
 
-impl Backing for NoBacking {
+impl InfallibleBacking for NoBacking {
     fn fetch(&self, _key: &str) -> Option<Vec<u8>> {
         None
     }

@@ -10,7 +10,7 @@
 use csr_cache::Policy;
 use csr_obs::ReportFormat;
 use csr_serve::server::{serve, ReportSink, ServerConfig};
-use csr_serve::{Backing, NoBacking, SimBacking};
+use csr_serve::{Backing, FaultBacking, NoBacking, SimBacking};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -61,11 +61,20 @@ USAGE: csr-serve [OPTIONS]
   --workers N             worker threads = max concurrent connections (default 64)
   --backlog N             queued connections before SERVER_BUSY shedding (default 64)
   --idle-timeout-ms N     close idle connections after N ms (default 30000)
-  --backing KIND          sim | none (default sim)
+  --backing KIND          sim | none | fault (default sim; fault = sim + fault injection)
   --fast-us N             sim backing: fast-tier latency, microseconds (default 100)
   --slow-us N             sim backing: slow-tier latency, microseconds (default 800)
   --slow-every N          sim backing: 1 in N keys is slow; 0 disables (default 8)
   --value-len N           sim backing: synthesized value length (default 128)
+  --fault-seed N          fault backing: PRNG seed (default 1)
+  --fault-error-rate F    fault backing: probability a fetch fails (default 0.1)
+  --fault-hang-rate F     fault backing: probability a fetch hangs (default 0)
+  --fault-hang-ms N       fault backing: hang duration, milliseconds (default 50)
+  --fetch-deadline-ms N   per-fetch deadline; 0 disables (default 0)
+  --fetch-retries N       retries after a failed fetch (default 2)
+  --breaker-threshold N   consecutive failures that open the breaker; 0 disables (default 5)
+  --breaker-cooldown-ms N open-breaker cooldown before half-open probing (default 1000)
+  --stale-capacity N      stale-store entries for serve-stale (default: cache capacity)
   --metrics-file PATH     periodically dump metrics to PATH (flushed on shutdown)
   --metrics-interval-ms N dump interval (default 1000)
   --metrics-format FMT    prom | json (default prom)
@@ -85,6 +94,10 @@ struct Opts {
     config: ServerConfig,
     backing_kind: String,
     sim: SimBacking,
+    fault_seed: u64,
+    fault_error_rate: f64,
+    fault_hang_rate: f64,
+    fault_hang: Duration,
     metrics_file: Option<std::path::PathBuf>,
     metrics_interval: Duration,
     metrics_format: ReportFormat,
@@ -98,6 +111,10 @@ fn parse_args() -> Opts {
         },
         backing_kind: "sim".to_owned(),
         sim: SimBacking::default(),
+        fault_seed: 1,
+        fault_error_rate: 0.1,
+        fault_hang_rate: 0.0,
+        fault_hang: Duration::from_millis(50),
         metrics_file: None,
         metrics_interval: Duration::from_millis(1000),
         metrics_format: ReportFormat::Prometheus,
@@ -128,6 +145,39 @@ fn parse_args() -> Opts {
             }
             "--slow-every" => opts.sim.slow_every = parse_num(&val("--slow-every"), "--slow-every"),
             "--value-len" => opts.sim.value_len = parse_num(&val("--value-len"), "--value-len"),
+            "--fault-seed" => opts.fault_seed = parse_num(&val("--fault-seed"), "--fault-seed"),
+            "--fault-error-rate" => {
+                opts.fault_error_rate = parse_num(&val("--fault-error-rate"), "--fault-error-rate")
+            }
+            "--fault-hang-rate" => {
+                opts.fault_hang_rate = parse_num(&val("--fault-hang-rate"), "--fault-hang-rate")
+            }
+            "--fault-hang-ms" => {
+                opts.fault_hang =
+                    Duration::from_millis(parse_num(&val("--fault-hang-ms"), "--fault-hang-ms"))
+            }
+            "--fetch-deadline-ms" => {
+                let ms: u64 = parse_num(&val("--fetch-deadline-ms"), "--fetch-deadline-ms");
+                opts.config.resilience.deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--fetch-retries" => {
+                opts.config.resilience.retries =
+                    parse_num(&val("--fetch-retries"), "--fetch-retries")
+            }
+            "--breaker-threshold" => {
+                opts.config.resilience.breaker_threshold =
+                    parse_num(&val("--breaker-threshold"), "--breaker-threshold")
+            }
+            "--breaker-cooldown-ms" => {
+                opts.config.resilience.breaker_cooldown = Duration::from_millis(parse_num(
+                    &val("--breaker-cooldown-ms"),
+                    "--breaker-cooldown-ms",
+                ))
+            }
+            "--stale-capacity" => {
+                opts.config.stale_capacity =
+                    Some(parse_num(&val("--stale-capacity"), "--stale-capacity"))
+            }
             "--metrics-file" => opts.metrics_file = Some(val("--metrics-file").into()),
             "--metrics-interval-ms" => {
                 opts.metrics_interval = Duration::from_millis(parse_num(
@@ -161,6 +211,17 @@ fn main() {
     let backing: Arc<dyn Backing> = match opts.backing_kind.as_str() {
         "sim" => Arc::new(opts.sim.clone()),
         "none" => Arc::new(NoBacking),
+        // A flaky sim origin: the knobs for soak-testing the
+        // fault-tolerant path (see the CI flaky-origin smoke).
+        "fault" => Arc::new(
+            FaultBacking::new(
+                Arc::new(opts.sim.clone()),
+                opts.fault_seed,
+                opts.fault_error_rate,
+                opts.fault_hang_rate,
+            )
+            .hang_for(opts.fault_hang),
+        ),
         other => die(&format!("unknown backing '{other}'")),
     };
     let mut config = opts.config;

@@ -11,7 +11,7 @@
 //! (hit rate, aggregate measured miss cost, coalesced fetches).
 
 use csr_obs::{Histogram, Json};
-use csr_serve::Client;
+use csr_serve::{Client, OriginError};
 use mem_trace::rng::SplitMix64;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -31,7 +31,9 @@ USAGE: loadgen [OPTIONS]
 
   --addr HOST:PORT   server address (default 127.0.0.1:11311)
   --conns N          worker connections (default 8)
-  --secs N           run duration in seconds (default 5)
+  --secs N           measured run duration in seconds (default 5)
+  --warmup N         warm-up seconds before measurement starts (default 0):
+                     load runs but latency/totals reset when it ends
   --keys N           distinct keys (default 2048)
   --zipf THETA       Zipf skew; 0 = uniform (default 0.9)
   --set-ratio F      fraction of requests that are SETs (default 0.05)
@@ -47,6 +49,7 @@ struct Opts {
     addr: String,
     conns: usize,
     secs: u64,
+    warmup: u64,
     keys: usize,
     zipf: f64,
     set_ratio: f64,
@@ -60,6 +63,7 @@ fn parse_args() -> Opts {
         addr: "127.0.0.1:11311".to_owned(),
         conns: 8,
         secs: 5,
+        warmup: 0,
         keys: 2048,
         zipf: 0.9,
         set_ratio: 0.05,
@@ -77,6 +81,7 @@ fn parse_args() -> Opts {
             "--addr" => opts.addr = val("--addr"),
             "--conns" => opts.conns = parse_num(&val("--conns"), "--conns"),
             "--secs" => opts.secs = parse_num(&val("--secs"), "--secs"),
+            "--warmup" => opts.warmup = parse_num(&val("--warmup"), "--warmup"),
             "--keys" => opts.keys = parse_num(&val("--keys"), "--keys"),
             "--zipf" => opts.zipf = parse_num(&val("--zipf"), "--zipf"),
             "--set-ratio" => opts.set_ratio = parse_num(&val("--set-ratio"), "--set-ratio"),
@@ -123,7 +128,20 @@ struct Totals {
     ops: AtomicU64,
     sets: AtomicU64,
     empty_gets: AtomicU64,
+    stale_gets: AtomicU64,
+    origin_errors: AtomicU64,
     errors: AtomicU64,
+}
+
+impl Totals {
+    fn reset(&self) {
+        self.ops.store(0, Ordering::Relaxed);
+        self.sets.store(0, Ordering::Relaxed);
+        self.empty_gets.store(0, Ordering::Relaxed);
+        self.stale_gets.store(0, Ordering::Relaxed);
+        self.origin_errors.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+    }
 }
 
 fn main() {
@@ -134,11 +152,13 @@ fn main() {
         ops: AtomicU64::new(0),
         sets: AtomicU64::new(0),
         empty_gets: AtomicU64::new(0),
+        stale_gets: AtomicU64::new(0),
+        origin_errors: AtomicU64::new(0),
         errors: AtomicU64::new(0),
     });
 
-    let started = Instant::now();
-    let deadline = started + Duration::from_secs(opts.secs);
+    let launched = Instant::now();
+    let deadline = launched + Duration::from_secs(opts.warmup + opts.secs);
     let workers: Vec<_> = (0..opts.conns)
         .map(|i| {
             let cdf = Arc::clone(&cdf);
@@ -163,18 +183,33 @@ fn main() {
                     let t0 = Instant::now();
                     let outcome = if is_set {
                         totals.sets.fetch_add(1, Ordering::Relaxed);
-                        client.set(&key, &payload).map(|()| true)
+                        client.set(&key, &payload)
                     } else {
-                        client.get(&key).map(|v| {
-                            if v.is_none() {
+                        match client.get_value(&key) {
+                            Ok(None) => {
                                 totals.empty_gets.fetch_add(1, Ordering::Relaxed);
+                                Ok(())
                             }
-                            true
-                        })
+                            Ok(Some(v)) => {
+                                if v.stale {
+                                    totals.stale_gets.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Ok(())
+                            }
+                            Err(e) => Err(e),
+                        }
                     };
                     let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
                     match outcome {
-                        Ok(_) => {
+                        Ok(()) => {
+                            totals.ops.fetch_add(1, Ordering::Relaxed);
+                            latency.record(us.max(1));
+                        }
+                        // A degraded origin is part of the workload under
+                        // test, not a loadgen failure: the round-trip
+                        // completed, so count it and keep going.
+                        Err(e) if e.get_ref().is_some_and(|inner| inner.is::<OriginError>()) => {
+                            totals.origin_errors.fetch_add(1, Ordering::Relaxed);
                             totals.ops.fetch_add(1, Ordering::Relaxed);
                             latency.record(us.max(1));
                         }
@@ -189,20 +224,34 @@ fn main() {
             })
         })
         .collect();
+    // Warm-up phase: the load runs but nothing it measured is kept — when
+    // the phase ends, the shared histogram and totals reset and the clock
+    // restarts. Workers mid-request contribute a straggling sample each
+    // across the boundary: noise, not bias, and no coordination barrier.
+    let mut measured_from = launched;
+    if opts.warmup > 0 {
+        std::thread::sleep(Duration::from_secs(opts.warmup));
+        latency.reset();
+        totals.reset();
+        measured_from = Instant::now();
+        eprintln!("loadgen: warmup over ({}s), measuring", opts.warmup);
+    }
     for w in workers {
         let _ = w.join();
     }
-    let elapsed = started.elapsed().as_secs_f64();
+    let elapsed = measured_from.elapsed().as_secs_f64();
 
     let ops = totals.ops.load(Ordering::Relaxed);
     let hist = latency.snapshot();
     let throughput = ops as f64 / elapsed.max(f64::EPSILON);
     println!("loadgen: {} -> {}", opts.conns, opts.addr);
     println!(
-        "  ops {ops} ({:.0} ops/s over {elapsed:.2}s), sets {}, empty gets {}, errors {}",
+        "  ops {ops} ({:.0} ops/s over {elapsed:.2}s), sets {}, empty gets {}, stale gets {}, origin errors {}, errors {}",
         throughput,
         totals.sets.load(Ordering::Relaxed),
         totals.empty_gets.load(Ordering::Relaxed),
+        totals.stale_gets.load(Ordering::Relaxed),
+        totals.origin_errors.load(Ordering::Relaxed),
         totals.errors.load(Ordering::Relaxed),
     );
     println!(
@@ -248,6 +297,7 @@ fn main() {
             ("addr", Json::str(opts.addr.clone())),
             ("conns", Json::uint(opts.conns as u64)),
             ("secs", Json::uint(opts.secs)),
+            ("warmup", Json::uint(opts.warmup)),
             ("keys", Json::uint(opts.keys as u64)),
             ("zipf", Json::Float(opts.zipf)),
             ("set_ratio", Json::Float(opts.set_ratio)),
@@ -260,6 +310,14 @@ fn main() {
                     (
                         "empty_gets",
                         Json::uint(totals.empty_gets.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "stale_gets",
+                        Json::uint(totals.stale_gets.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "origin_errors",
+                        Json::uint(totals.origin_errors.load(Ordering::Relaxed)),
                     ),
                     ("errors", Json::uint(totals.errors.load(Ordering::Relaxed))),
                     ("elapsed_s", Json::Float(elapsed)),

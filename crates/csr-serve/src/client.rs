@@ -11,6 +11,35 @@ use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// A `GET` result carrying its degradation flag: `stale` is set when the
+/// server answered from its stale store because the origin failed (the
+/// `STALE` token on the `VALUE` line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Value {
+    /// The value bytes.
+    pub data: Vec<u8>,
+    /// Whether this is a stale copy served while the origin is degraded.
+    pub stale: bool,
+}
+
+/// The typed form of the server's recoverable `ORIGIN_ERROR` reply: the
+/// origin fetch failed and no stale copy was available. Surfaced wrapped
+/// in an [`io::Error`]; recover it with
+/// `err.get_ref().and_then(|e| e.downcast_ref::<OriginError>())`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OriginError {
+    /// The server's reason line.
+    pub reason: String,
+}
+
+impl std::fmt::Display for OriginError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ORIGIN_ERROR {}", self.reason)
+    }
+}
+
+impl std::error::Error for OriginError {}
+
 /// A connection to a csr-serve server.
 #[derive(Debug)]
 pub struct Client {
@@ -46,12 +75,26 @@ impl Client {
     }
 
     /// Looks `key` up; `None` means neither the cache nor the origin has
-    /// it.
+    /// it. A stale copy served under origin failure is returned like any
+    /// other value — use [`get_value`](Self::get_value) to observe the
+    /// `STALE` flag.
     ///
     /// # Errors
     ///
-    /// Transport failures and server-reported errors.
+    /// Transport failures and server-reported errors, including the
+    /// recoverable `ORIGIN_ERROR` reply as a typed [`OriginError`].
     pub fn get(&mut self, key: &str) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.get_value(key)?.map(|v| v.data))
+    }
+
+    /// Looks `key` up, surfacing the degradation flag: the returned
+    /// [`Value`] says whether the server answered with a stale copy.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and server-reported errors, including the
+    /// recoverable `ORIGIN_ERROR` reply as a typed [`OriginError`].
+    pub fn get_value(&mut self, key: &str) -> io::Result<Option<Value>> {
         write!(self.writer, "GET {key}\r\n")?;
         self.writer.flush()?;
         self.read_get_reply()
@@ -62,13 +105,18 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport failures and server-reported errors.
+    /// Transport failures and server-reported errors. An `ORIGIN_ERROR`
+    /// for any key in the batch fails the whole call (replies already
+    /// read are lost); issue keys individually when origin failures must
+    /// be told apart per key.
     pub fn get_pipelined(&mut self, keys: &[&str]) -> io::Result<Vec<Option<Vec<u8>>>> {
         for key in keys {
             write!(self.writer, "GET {key}\r\n")?;
         }
         self.writer.flush()?;
-        keys.iter().map(|_| self.read_get_reply()).collect()
+        keys.iter()
+            .map(|_| Ok(self.read_get_reply()?.map(|v| v.data)))
+            .collect()
     }
 
     /// Stores `key -> value`.
@@ -154,21 +202,39 @@ impl Client {
         self.writer.flush()
     }
 
-    /// Reads one `GET` reply: `VALUE`+payload+`END`, or a bare `END`.
-    fn read_get_reply(&mut self) -> io::Result<Option<Vec<u8>>> {
+    /// Reads one `GET` reply: `VALUE [STALE]`+payload+`END`, a bare
+    /// `END`, or the recoverable `ORIGIN_ERROR`.
+    fn read_get_reply(&mut self) -> io::Result<Option<Value>> {
         let line = self.read_line()?;
         if line == "END" {
             return Ok(None);
         }
-        let len = line
+        if let Some(reason) = line.strip_prefix("ORIGIN_ERROR") {
+            return Err(io::Error::other(OriginError {
+                reason: reason.trim_start().to_owned(),
+            }));
+        }
+        let rest = line
             .strip_prefix("VALUE ")
-            .and_then(|rest| rest.rsplit_once(' '))
-            .and_then(|(_, n)| n.parse::<usize>().ok())
+            .ok_or_else(|| unexpected(&line))?;
+        let mut fields = rest.split(' ');
+        let _key = fields.next().ok_or_else(|| unexpected(&line))?;
+        let len = fields
+            .next()
+            .and_then(|n| n.parse::<usize>().ok())
             .filter(|n| *n <= MAX_VALUE_LEN)
             .ok_or_else(|| unexpected(&line))?;
+        let stale = match fields.next() {
+            None => false,
+            Some("STALE") => true,
+            Some(_) => return Err(unexpected(&line)),
+        };
+        if fields.next().is_some() {
+            return Err(unexpected(&line));
+        }
         let body = self.read_payload(len)?;
         match self.read_line()?.as_str() {
-            "END" => Ok(Some(body)),
+            "END" => Ok(Some(Value { data: body, stale })),
             other => Err(unexpected(other)),
         }
     }

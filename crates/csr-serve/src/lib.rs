@@ -15,8 +15,12 @@
 //!   bounded accept queue with `SERVER_BUSY` load-shedding, graceful
 //!   drain on shutdown, Prometheus metrics via csr-obs.
 //! * [`proto`] — the wire protocol (normative grammar in `PROTOCOL.md`).
-//! * [`backing`] — the read-through origin trait plus a simulated tiered
-//!   origin ([`SimBacking`]) whose bimodal latency drives the demo.
+//! * [`backing`] — the read-through origin trait (fallible: origins can
+//!   refuse, stall, or break) plus a simulated tiered origin
+//!   ([`SimBacking`]) whose bimodal latency drives the demo.
+//! * [`resilience`] — middleware around a fallible origin: per-fetch
+//!   deadlines, bounded retry with capped backoff, a circuit breaker,
+//!   and the [`FaultBacking`] injector the fault-tolerance tests use.
 //! * [`client`] — a small blocking client used by the load generator,
 //!   the tests, and the CI smoke job.
 //!
@@ -30,8 +34,13 @@
 pub mod backing;
 pub mod client;
 pub mod proto;
+pub mod resilience;
 pub mod server;
 
-pub use backing::{Backing, MemoryBacking, NoBacking, SimBacking};
-pub use client::Client;
+pub use backing::{Backing, BackingError, InfallibleBacking, MemoryBacking, NoBacking, SimBacking};
+pub use client::{Client, OriginError, Value};
+pub use resilience::{
+    BackoffSchedule, BreakerState, CircuitBreaker, FaultBacking, OriginMetrics, ResilienceConfig,
+    ResilientBacking,
+};
 pub use server::{serve, Bytes, ReportSink, ServerConfig, ServerHandle};

@@ -240,6 +240,23 @@ pub fn write_value(w: &mut impl Write, key: &str, value: &[u8]) -> io::Result<()
     w.write_all(b"\r\nEND\r\n")
 }
 
+/// Writes a `VALUE <key> <len> STALE` + payload + `END` reply: a degraded
+/// `GET` answered from the stale store because the origin failed. Same
+/// framing as [`write_value`] plus the `STALE` flag token.
+pub fn write_stale_value(w: &mut impl Write, key: &str, value: &[u8]) -> io::Result<()> {
+    write!(w, "VALUE {key} {} STALE\r\n", value.len())?;
+    w.write_all(value)?;
+    w.write_all(b"\r\nEND\r\n")
+}
+
+/// Writes the recoverable `ORIGIN_ERROR <reason>` reply: the origin fetch
+/// for a `GET` failed and no stale copy was available. The connection
+/// stays open; `reason` must be a single line.
+pub fn write_origin_error(w: &mut impl Write, reason: &str) -> io::Result<()> {
+    debug_assert!(!reason.contains(['\r', '\n']), "reason must be one line");
+    write!(w, "ORIGIN_ERROR {reason}\r\n")
+}
+
 /// Writes the bare `END` reply (a `GET` miss with no origin value).
 pub fn write_end(w: &mut impl Write) -> io::Result<()> {
     w.write_all(b"END\r\n")
@@ -419,5 +436,11 @@ mod tests {
         buf.clear();
         write_line(&mut buf, "STORED").unwrap();
         assert_eq!(buf, b"STORED\r\n");
+        buf.clear();
+        write_stale_value(&mut buf, "k", b"abc").unwrap();
+        assert_eq!(buf, b"VALUE k 3 STALE\r\nabc\r\nEND\r\n");
+        buf.clear();
+        write_origin_error(&mut buf, "origin fetch timed out").unwrap();
+        assert_eq!(buf, b"ORIGIN_ERROR origin fetch timed out\r\n");
     }
 }

@@ -22,16 +22,32 @@
 //! *observably* expensive to lose, the production analogue of the paper's
 //! static cost ratios.
 //!
+//! # Fault tolerance
+//!
+//! The origin is fallible ([`Backing::try_fetch`]), so `serve` wraps it
+//! in the [`crate::resilience`] middleware stack (deadline → breaker →
+//! retry, per [`ServerConfig::resilience`]) before the cache ever sees
+//! it. When a fetch still fails after all of that, the server degrades
+//! instead of lying: if a previously fetched copy of the key exists in
+//! the bounded *stale store*, it is served with the `STALE` flag (and
+//! re-inserted into the cache at its last successful measured cost);
+//! otherwise the client gets the recoverable `ORIGIN_ERROR` reply. An
+//! origin failure is never conflated with "the origin has no entry" —
+//! the single-flight layer in csr-cache propagates errors to coalesced
+//! waiters so they retry rather than caching the failure.
+//!
 //! # Shutdown
 //!
 //! [`ServerHandle::shutdown`] (or dropping the handle) runs the graceful
 //! sequence: stop accepting, cut idle connections' read side, let workers
 //! finish their in-flight requests, then flush the final metrics report.
 
-use crate::backing::Backing;
+use crate::backing::{Backing, BackingError};
 use crate::proto::{self, ProtoError, Request};
+use crate::resilience::{OriginMetrics, ResilienceConfig, ResilientBacking};
 use csr_cache::{CacheStats, CsrCache, Policy};
 use csr_obs::{Counter, Gauge, Histogram, Registry, ReportFormat, Reporter};
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -87,6 +103,12 @@ pub struct ServerConfig {
     /// Optional periodic metrics dump, flushed one final time on
     /// shutdown.
     pub report: Option<ReportSink>,
+    /// Fault-tolerance middleware around the origin (deadline, retry,
+    /// circuit breaker).
+    pub resilience: ResilienceConfig,
+    /// Entries the stale store retains for serve-stale degradation
+    /// (`None`: match the cache capacity; `Some(0)` disables it).
+    pub stale_capacity: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -101,7 +123,80 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             report: None,
+            resilience: ResilienceConfig::default(),
+            stale_capacity: None,
         }
+    }
+}
+
+/// The serve-stale fallback: the last successfully fetched copy of each
+/// read-through key, with the measured cost that fetch paid. Bounded FIFO
+/// by *recording* order (re-recording a key refreshes its slot lazily:
+/// the old ring slot becomes a tombstone skipped at eviction time).
+///
+/// Values are `Arc<[u8]>` clones of what the cache stores, so the store
+/// costs one refcount per entry, not a copy.
+struct StaleStore {
+    capacity: usize,
+    inner: Mutex<StaleInner>,
+}
+
+#[derive(Default)]
+struct StaleInner {
+    entries: HashMap<String, StaleEntry>,
+    /// Recording order, `(key, generation)`; a slot whose generation no
+    /// longer matches the live entry is a tombstone.
+    order: VecDeque<(String, u64)>,
+    next_gen: u64,
+}
+
+struct StaleEntry {
+    value: Bytes,
+    /// The measured miss cost of the last successful fetch.
+    cost: u64,
+    gen: u64,
+}
+
+impl StaleStore {
+    fn new(capacity: usize) -> Self {
+        StaleStore {
+            capacity,
+            inner: Mutex::new(StaleInner::default()),
+        }
+    }
+
+    /// Records a successful fetch of `key` (cost in µs, as charged to the
+    /// cache).
+    fn record(&self, key: &str, value: Bytes, cost: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("stale store lock poisoned");
+        let gen = inner.next_gen;
+        inner.next_gen += 1;
+        inner
+            .entries
+            .insert(key.to_owned(), StaleEntry { value, cost, gen });
+        inner.order.push_back((key.to_owned(), gen));
+        while inner.entries.len() > self.capacity {
+            match inner.order.pop_front() {
+                Some((k, g)) => {
+                    if inner.entries.get(&k).is_some_and(|e| e.gen == g) {
+                        inner.entries.remove(&k);
+                    } // else: tombstone of a since-refreshed key
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The last successful copy of `key`, if still retained.
+    fn get(&self, key: &str) -> Option<(Bytes, u64)> {
+        let inner = self.inner.lock().expect("stale store lock poisoned");
+        inner
+            .entries
+            .get(key)
+            .map(|e| (Arc::clone(&e.value), e.cost))
     }
 }
 
@@ -167,9 +262,12 @@ impl ServerMetrics {
 /// State shared by the acceptor, the workers, and the handle.
 struct Shared {
     cache: CsrCache<String, Bytes>,
+    /// The origin, already wrapped in the resilience stack.
     backing: Arc<dyn Backing>,
     registry: Arc<Registry>,
     metrics: ServerMetrics,
+    origin_metrics: Arc<OriginMetrics>,
+    stale: StaleStore,
     shutdown: AtomicBool,
     /// Read-half handles of live connections, so shutdown can cut idle
     /// readers without waiting out their timeout. Keyed by a connection
@@ -270,6 +368,12 @@ pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<Serv
 
     let registry = Arc::new(Registry::new());
     let metrics = ServerMetrics::new(&registry);
+    let origin_metrics = Arc::new(OriginMetrics::new(&registry));
+    let (backing, _breaker) = ResilientBacking::wrap(
+        backing,
+        &config.resilience,
+        Some(Arc::clone(&origin_metrics)),
+    );
     let mut builder = CsrCache::builder(config.capacity)
         .policy(config.policy)
         .metrics(Arc::clone(&registry));
@@ -281,6 +385,8 @@ pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<Serv
         backing,
         registry: Arc::clone(&registry),
         metrics,
+        origin_metrics,
+        stale: StaleStore::new(config.stale_capacity.unwrap_or(config.capacity)),
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
         next_conn_id: AtomicU64::new(0),
@@ -456,20 +562,41 @@ fn respond(request: Request, shared: &Shared, w: &mut impl Write) -> io::Result<
     match request {
         Request::Get(key) => {
             shared.metrics.req_get.inc();
-            let value = shared.cache.try_get_or_insert_with(key.clone(), || {
-                let t0 = Instant::now();
-                let fetched = shared.backing.fetch(&key)?;
-                // Microseconds, floored at 1 so even a sub-µs origin read
-                // carries nonzero weight with the policies.
-                let cost = u64::try_from(t0.elapsed().as_micros())
-                    .unwrap_or(u64::MAX)
-                    .max(1);
-                shared.metrics.fetch_us.record(cost);
-                Some((Bytes::from(fetched), cost))
-            });
+            let value: Result<Option<Bytes>, BackingError> =
+                shared.cache.try_get_or_insert_with(key.clone(), || {
+                    let t0 = Instant::now();
+                    let Some(fetched) = shared.backing.try_fetch(&key)? else {
+                        return Ok(None);
+                    };
+                    // Microseconds, floored at 1 so even a sub-µs origin read
+                    // carries nonzero weight with the policies.
+                    let cost = u64::try_from(t0.elapsed().as_micros())
+                        .unwrap_or(u64::MAX)
+                        .max(1);
+                    shared.metrics.fetch_us.record(cost);
+                    let bytes = Bytes::from(fetched);
+                    // Remember the copy (and its measured cost) for
+                    // serve-stale degradation if the origin later fails.
+                    shared.stale.record(&key, Arc::clone(&bytes), cost);
+                    Ok(Some((bytes, cost)))
+                });
             match value {
-                Some(bytes) => proto::write_value(w, &key, &bytes),
-                None => proto::write_end(w),
+                Ok(Some(bytes)) => proto::write_value(w, &key, &bytes),
+                Ok(None) => proto::write_end(w),
+                // The origin failed (past retries and the breaker).
+                // Degrade: a stale copy if we ever fetched one — put back
+                // into the cache at its last successful measured cost —
+                // else the recoverable ORIGIN_ERROR reply.
+                Err(err) => match shared.stale.get(&key) {
+                    Some((bytes, cost)) => {
+                        shared.origin_metrics.stale_served.inc();
+                        shared
+                            .cache
+                            .insert_with_cost(key.clone(), Arc::clone(&bytes), cost);
+                        proto::write_stale_value(w, &key, &bytes)
+                    }
+                    None => proto::write_origin_error(w, &err.to_string()),
+                },
             }
         }
         Request::Set(key, value) => {
@@ -533,6 +660,14 @@ fn write_stats(shared: &Shared, w: &mut impl Write) -> io::Result<()> {
     stat("requests_get", m.req_get.get().to_string())?;
     stat("requests_set", m.req_set.get().to_string())?;
     stat("requests_del", m.req_del.get().to_string())?;
+    stat(
+        "origin_stale_served",
+        shared.origin_metrics.stale_served.get().to_string(),
+    )?;
+    stat(
+        "origin_breaker_state",
+        shared.origin_metrics.breaker_state.get().to_string(),
+    )?;
     proto::write_end(w)
 }
 
