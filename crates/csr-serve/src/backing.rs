@@ -37,12 +37,18 @@ use std::time::Duration;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BackingError {
     /// The origin refused or cannot currently serve (connection refused,
-    /// circuit breaker open, dependency down).
+    /// dependency down).
     NotAvailable(String),
     /// The fetch did not complete within its deadline.
     Timeout,
     /// The origin failed mid-fetch with a transport or storage error.
     Io(String),
+    /// The call failed fast *without touching the origin* (circuit
+    /// breaker open, half-open probe already in flight). Unlike the other
+    /// kinds this says nothing about origin health at this instant, so
+    /// the retry layer neither retries it nor counts it as an origin
+    /// error.
+    Rejected(String),
 }
 
 impl std::fmt::Display for BackingError {
@@ -51,6 +57,7 @@ impl std::fmt::Display for BackingError {
             BackingError::NotAvailable(why) => write!(f, "origin not available: {why}"),
             BackingError::Timeout => f.write_str("origin fetch timed out"),
             BackingError::Io(why) => write!(f, "origin i/o error: {why}"),
+            BackingError::Rejected(why) => write!(f, "origin call rejected: {why}"),
         }
     }
 }
@@ -65,6 +72,7 @@ impl BackingError {
             BackingError::NotAvailable(_) => "not_available",
             BackingError::Timeout => "timeout",
             BackingError::Io(_) => "io",
+            BackingError::Rejected(_) => "rejected",
         }
     }
 }

@@ -106,17 +106,37 @@ impl Client {
     /// # Errors
     ///
     /// Transport failures and server-reported errors. An `ORIGIN_ERROR`
-    /// for any key in the batch fails the whole call (replies already
-    /// read are lost); issue keys individually when origin failures must
-    /// be told apart per key.
+    /// for any key in the batch fails the whole call with the *first*
+    /// such error — but `ORIGIN_ERROR` is recoverable, so the remaining
+    /// replies are still drained off the wire first and the connection
+    /// stays usable afterwards. Issue keys individually when origin
+    /// failures must be told apart per key.
     pub fn get_pipelined(&mut self, keys: &[&str]) -> io::Result<Vec<Option<Vec<u8>>>> {
         for key in keys {
             write!(self.writer, "GET {key}\r\n")?;
         }
         self.writer.flush()?;
-        keys.iter()
-            .map(|_| Ok(self.read_get_reply()?.map(|v| v.data)))
-            .collect()
+        let mut out = Vec::with_capacity(keys.len());
+        let mut first_origin_err: Option<io::Error> = None;
+        for _ in keys {
+            match self.read_get_reply() {
+                Ok(v) => out.push(v.map(|v| v.data)),
+                // The server keeps sending the batch's remaining replies
+                // after a recoverable ORIGIN_ERROR: returning early here
+                // would desynchronize the stream and hand leftover replies
+                // to the next call, so read every reply before failing.
+                Err(e) if is_origin_error(&e) => {
+                    first_origin_err.get_or_insert(e);
+                }
+                // Transport/framing failures: stream position is already
+                // lost, nothing left to drain.
+                Err(e) => return Err(e),
+            }
+        }
+        match first_origin_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Stores `key -> value`.
@@ -279,4 +299,10 @@ impl Client {
 /// the server's wording (`SERVER_BUSY`, `CLIENT_ERROR ...`).
 fn unexpected(line: &str) -> io::Error {
     io::Error::other(format!("unexpected server reply: {line}"))
+}
+
+/// Whether `e` wraps the recoverable [`OriginError`] reply (the stream
+/// framing is intact; transport and framing errors are not recoverable).
+fn is_origin_error(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<OriginError>())
 }

@@ -251,10 +251,16 @@ pub fn write_stale_value(w: &mut impl Write, key: &str, value: &[u8]) -> io::Res
 
 /// Writes the recoverable `ORIGIN_ERROR <reason>` reply: the origin fetch
 /// for a `GET` failed and no stale copy was available. The connection
-/// stays open; `reason` must be a single line.
+/// stays open. Origin-supplied text flows into `reason` (an I/O error
+/// message, say), so any CR/LF in it is replaced with spaces — written
+/// verbatim it would desynchronize the line framing.
 pub fn write_origin_error(w: &mut impl Write, reason: &str) -> io::Result<()> {
-    debug_assert!(!reason.contains(['\r', '\n']), "reason must be one line");
-    write!(w, "ORIGIN_ERROR {reason}\r\n")
+    if reason.contains(['\r', '\n']) {
+        let reason = reason.replace(['\r', '\n'], " ");
+        write!(w, "ORIGIN_ERROR {reason}\r\n")
+    } else {
+        write!(w, "ORIGIN_ERROR {reason}\r\n")
+    }
 }
 
 /// Writes the bare `END` reply (a `GET` miss with no origin value).
@@ -442,5 +448,17 @@ mod tests {
         buf.clear();
         write_origin_error(&mut buf, "origin fetch timed out").unwrap();
         assert_eq!(buf, b"ORIGIN_ERROR origin fetch timed out\r\n");
+    }
+
+    #[test]
+    fn origin_error_reason_is_sanitized_to_one_line() {
+        // Origin-supplied text can carry CR/LF; written verbatim the tail
+        // would parse as a second reply line and desync the stream.
+        let mut buf = Vec::new();
+        write_origin_error(&mut buf, "disk error\r\nEND").unwrap();
+        assert_eq!(buf, b"ORIGIN_ERROR disk error  END\r\n");
+        buf.clear();
+        write_origin_error(&mut buf, "split\nreason").unwrap();
+        assert_eq!(buf, b"ORIGIN_ERROR split reason\r\n");
     }
 }

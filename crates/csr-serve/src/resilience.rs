@@ -110,6 +110,10 @@ impl OriginMetrics {
                 self.timeouts.inc();
             }
             BackingError::Io(_) => self.err_io.inc(),
+            // A fail-fast rejection never touched the origin: it is not
+            // an origin error (the retry layer returns it before counting;
+            // this arm only covers direct callers).
+            BackingError::Rejected(_) => {}
         }
     }
 }
@@ -168,7 +172,10 @@ impl BackoffSchedule {
 
 /// Retries a failed fetch against the inner backing, sleeping out the
 /// [`BackoffSchedule`] between attempts. Also the accounting layer: every
-/// attempt failure is counted into [`OriginMetrics`] here.
+/// attempt failure is counted into [`OriginMetrics`] here — except
+/// [`BackingError::Rejected`] fail-fasts from the breaker below, which
+/// never touched the origin and pass straight through (no count, no
+/// retry, no backoff sleep).
 pub struct RetryBacking {
     inner: Arc<dyn Backing>,
     /// Retries after the first attempt (`0` = single attempt, no retry).
@@ -202,6 +209,11 @@ impl Backing for RetryBacking {
         loop {
             match self.inner.try_fetch(key) {
                 Ok(v) => return Ok(v),
+                // A fail-fast rejection (breaker open) never touched the
+                // origin: don't count it as an origin error, and don't
+                // sleep out a backoff schedule against a breaker that is
+                // known to stay open for its whole cooldown.
+                Err(e @ BackingError::Rejected(_)) => return Err(e),
                 Err(e) => {
                     if let Some(m) = &self.metrics {
                         m.count_error(&e);
@@ -316,19 +328,21 @@ impl CircuitBreaker {
         }
     }
 
-    /// Admission check before touching the origin. `Ok(())` admits the
-    /// call (and may have claimed the half-open probe slot); `Err` is the
+    /// Admission check before touching the origin. `Ok` admits the call
+    /// and hands back an [`Admission`] token that must be returned to
+    /// [`record`](Self::record) with the call's outcome; the token says
+    /// whether this call holds the half-open probe slot. `Err` is the
     /// fail-fast rejection, which is **not** an origin failure and does
     /// not advance the state machine.
     ///
     /// # Errors
     ///
-    /// [`BackingError::NotAvailable`] while the breaker is open (or while
+    /// [`BackingError::Rejected`] while the breaker is open (or while
     /// another half-open probe is already in flight).
-    pub fn admit(&self) -> Result<(), BackingError> {
+    pub fn admit(&self) -> Result<Admission, BackingError> {
         let mut inner = self.inner.lock().expect("breaker lock poisoned");
         match inner.state {
-            BreakerState::Closed => Ok(()),
+            BreakerState::Closed => Ok(Admission { probe: false }),
             BreakerState::Open => {
                 let cooled = inner
                     .opened_at
@@ -336,54 +350,71 @@ impl CircuitBreaker {
                 if cooled {
                     self.set_state(&mut inner, BreakerState::HalfOpen);
                     inner.probing = true;
-                    Ok(())
+                    Ok(Admission { probe: true })
                 } else {
-                    Err(BackingError::NotAvailable("circuit breaker open".into()))
+                    Err(BackingError::Rejected("circuit breaker open".into()))
                 }
             }
             BreakerState::HalfOpen => {
                 if inner.probing {
-                    Err(BackingError::NotAvailable(
+                    Err(BackingError::Rejected(
                         "circuit breaker half-open, probe in flight".into(),
                     ))
                 } else {
                     inner.probing = true;
-                    Ok(())
+                    Ok(Admission { probe: true })
                 }
             }
         }
     }
 
-    /// Records the outcome of an admitted call.
-    pub fn record(&self, success: bool) {
+    /// Records the outcome of an admitted call, consuming its
+    /// [`Admission`] token.
+    ///
+    /// Only the holder of the probe token decides the half-open
+    /// transition: a straggler outcome from a call admitted while the
+    /// breaker was still closed cannot clear the in-flight probe flag or
+    /// flip the breaker while the real probe is running — it only feeds
+    /// the consecutive-failure count, and only while the breaker is still
+    /// closed.
+    pub fn record(&self, admission: Admission, success: bool) {
         let mut inner = self.inner.lock().expect("breaker lock poisoned");
-        inner.probing = false;
-        if success {
-            inner.consecutive_failures = 0;
-            if inner.state != BreakerState::Closed {
+        if admission.probe {
+            // The probe slot is exclusive and only the probe leaves
+            // HalfOpen, so the state here is still HalfOpen.
+            inner.probing = false;
+            if success {
+                inner.consecutive_failures = 0;
                 inner.opened_at = None;
                 self.set_state(&mut inner, BreakerState::Closed);
+            } else {
+                inner.opened_at = Some(Instant::now());
+                inner.consecutive_failures = self.threshold;
+                self.set_state(&mut inner, BreakerState::Open);
             }
-        } else {
-            match inner.state {
-                BreakerState::Closed => {
-                    inner.consecutive_failures += 1;
-                    if inner.consecutive_failures >= self.threshold {
-                        inner.opened_at = Some(Instant::now());
-                        self.set_state(&mut inner, BreakerState::Open);
-                    }
-                }
-                // A failed probe (or a straggler outcome) re-opens.
-                BreakerState::HalfOpen | BreakerState::Open => {
+        } else if inner.state == BreakerState::Closed {
+            if success {
+                inner.consecutive_failures = 0;
+            } else {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.threshold {
                     inner.opened_at = Some(Instant::now());
-                    inner.consecutive_failures = self.threshold;
-                    if inner.state != BreakerState::Open {
-                        self.set_state(&mut inner, BreakerState::Open);
-                    }
+                    self.set_state(&mut inner, BreakerState::Open);
                 }
             }
         }
+        // else: a straggler from before the breaker opened — ignored; the
+        // half-open probe alone decides recovery.
     }
+}
+
+/// Proof that [`CircuitBreaker::admit`] let a call through; hand it back
+/// to [`CircuitBreaker::record`] with the call's outcome. `probe` marks
+/// the exclusive half-open probe slot.
+#[derive(Debug)]
+#[must_use = "an admitted call's outcome must be recorded"]
+pub struct Admission {
+    probe: bool,
 }
 
 /// The middleware form of [`CircuitBreaker`]: fail fast while open, feed
@@ -403,9 +434,9 @@ impl BreakerBacking {
 
 impl Backing for BreakerBacking {
     fn try_fetch(&self, key: &str) -> Result<Option<Vec<u8>>, BackingError> {
-        self.breaker.admit()?;
+        let admission = self.breaker.admit()?;
         let result = self.inner.try_fetch(key);
-        self.breaker.record(result.is_ok());
+        self.breaker.record(admission, result.is_ok());
         result
     }
 }
@@ -728,6 +759,45 @@ mod tests {
         );
     }
 
+    /// A breaker fail-fast must pass straight through the retry layer:
+    /// no origin-error count, no retry, no backoff sleep against a
+    /// breaker that stays open for its whole cooldown.
+    #[test]
+    fn retry_passes_breaker_rejections_through_untouched() {
+        struct AlwaysRejected;
+        impl Backing for AlwaysRejected {
+            fn try_fetch(&self, _key: &str) -> Result<Option<Vec<u8>>, BackingError> {
+                Err(BackingError::Rejected("circuit breaker open".into()))
+            }
+        }
+        let registry = Registry::new();
+        let metrics = Arc::new(OriginMetrics::new(&registry));
+        let retry = RetryBacking::new(
+            Arc::new(AlwaysRejected),
+            5,
+            BackoffSchedule {
+                base: Duration::from_millis(50),
+                cap: Duration::from_millis(200),
+            },
+            Some(Arc::clone(&metrics)),
+        );
+        let t0 = Instant::now();
+        assert!(matches!(
+            retry.try_fetch("k"),
+            Err(BackingError::Rejected(_))
+        ));
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "a rejection must not sleep out the backoff schedule"
+        );
+        assert_eq!(metrics.retries.get(), 0, "a rejection must not be retried");
+        assert_eq!(
+            metrics.err_not_available.get() + metrics.err_timeout.get() + metrics.err_io.get(),
+            0,
+            "a rejection never touched the origin and must not be counted"
+        );
+    }
+
     #[test]
     fn breaker_walks_closed_open_half_open_closed() {
         let cooldown = Duration::from_millis(10);
@@ -736,47 +806,90 @@ mod tests {
 
         // Two failures: still closed. A success resets the streak.
         for _ in 0..2 {
-            b.admit().unwrap();
-            b.record(false);
+            let a = b.admit().unwrap();
+            b.record(a, false);
         }
-        b.admit().unwrap();
-        b.record(true);
+        let a = b.admit().unwrap();
+        b.record(a, true);
         assert_eq!(b.state(), BreakerState::Closed);
 
         // Three consecutive failures: open, and calls fail fast.
         for _ in 0..3 {
-            b.admit().unwrap();
-            b.record(false);
+            let a = b.admit().unwrap();
+            b.record(a, false);
         }
         assert_eq!(b.state(), BreakerState::Open);
-        assert!(matches!(b.admit(), Err(BackingError::NotAvailable(_))));
+        assert!(matches!(b.admit(), Err(BackingError::Rejected(_))));
 
         // Cooldown elapses: exactly one half-open probe is admitted.
         std::thread::sleep(cooldown + Duration::from_millis(5));
-        b.admit().unwrap();
+        let probe = b.admit().unwrap();
         assert_eq!(b.state(), BreakerState::HalfOpen);
         assert!(
-            matches!(b.admit(), Err(BackingError::NotAvailable(_))),
+            matches!(b.admit(), Err(BackingError::Rejected(_))),
             "second probe must be rejected while the first is in flight"
         );
         // The probe succeeds: closed again.
-        b.record(true);
+        b.record(probe, true);
         assert_eq!(b.state(), BreakerState::Closed);
-        b.admit().unwrap();
+        let _ = b.admit().unwrap();
     }
 
     #[test]
     fn failed_probe_reopens_the_breaker() {
         let cooldown = Duration::from_millis(5);
         let b = CircuitBreaker::new(1, cooldown, None);
-        b.admit().unwrap();
-        b.record(false);
+        let a = b.admit().unwrap();
+        b.record(a, false);
         assert_eq!(b.state(), BreakerState::Open);
         std::thread::sleep(cooldown + Duration::from_millis(3));
-        b.admit().unwrap();
-        b.record(false);
+        let probe = b.admit().unwrap();
+        b.record(probe, false);
         assert_eq!(b.state(), BreakerState::Open, "failed probe must re-open");
-        assert!(matches!(b.admit(), Err(BackingError::NotAvailable(_))));
+        assert!(matches!(b.admit(), Err(BackingError::Rejected(_))));
+    }
+
+    /// The exactly-one-probe invariant under stragglers: an outcome from a
+    /// call admitted while the breaker was still closed, arriving while
+    /// the half-open probe is in flight, must neither free the probe slot
+    /// (admitting a second concurrent probe) nor flip the breaker — the
+    /// probe alone decides.
+    #[test]
+    fn straggler_outcomes_cannot_steal_the_half_open_probe() {
+        let cooldown = Duration::from_millis(5);
+        let b = CircuitBreaker::new(2, cooldown, None);
+
+        // A slow call is admitted while closed; its outcome will arrive
+        // late, after the breaker has opened and gone half-open.
+        let straggler = b.admit().unwrap();
+
+        // Two fast failures open the breaker; the cooldown elapses and a
+        // probe claims the half-open slot.
+        for _ in 0..2 {
+            let a = b.admit().unwrap();
+            b.record(a, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(cooldown + Duration::from_millis(3));
+        let probe = b.admit().unwrap();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+
+        // The straggler lands mid-probe. Whatever its outcome, the probe
+        // slot stays taken and the state stays half-open.
+        b.record(straggler, true);
+        assert_eq!(
+            b.state(),
+            BreakerState::HalfOpen,
+            "a straggler success must not re-close the breaker mid-probe"
+        );
+        assert!(
+            matches!(b.admit(), Err(BackingError::Rejected(_))),
+            "the probe slot must still be held after a straggler outcome"
+        );
+
+        // The real probe still decides: success re-closes.
+        b.record(probe, true);
+        assert_eq!(b.state(), BreakerState::Closed);
     }
 
     #[test]

@@ -188,6 +188,17 @@ impl StaleStore {
                 None => break,
             }
         }
+        // The eviction loop above only drains the ring while the map is
+        // over capacity, so re-recording resident keys (the steady state)
+        // would otherwise grow `order` by one tombstone per fetch, forever.
+        // Compact eagerly once tombstones outnumber live slots: rebuild
+        // the ring keeping only slots that still name the live generation.
+        // Each rebuild is O(len) and at least halves the ring, so the
+        // amortized cost per record stays O(1).
+        let StaleInner { entries, order, .. } = &mut *inner;
+        if order.len() > 2 * entries.len() {
+            order.retain(|(k, g)| entries.get(k).is_some_and(|e| e.gen == *g));
+        }
     }
 
     /// The last successful copy of `key`, if still retained.
@@ -673,4 +684,76 @@ fn write_stats(shared: &Shared, w: &mut impl Write) -> io::Result<()> {
 
 fn writeln_stat(w: &mut impl Write, name: &str, value: &str) -> io::Result<()> {
     write!(w, "STAT {name} {value}\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(v: &[u8]) -> Bytes {
+        Arc::from(v)
+    }
+
+    /// The regression for the unbounded-ring leak: in the steady state —
+    /// a working set of distinct keys no larger than the capacity, each
+    /// re-recorded on every refetch — the eviction loop never fires, so
+    /// tombstone slots must be compacted eagerly instead of accumulating
+    /// at the miss-fetch rate forever.
+    #[test]
+    fn stale_ring_stays_bounded_when_rerecording_resident_keys() {
+        let store = StaleStore::new(64);
+        for round in 0..10_000u64 {
+            let key = format!("k{}", round % 8); // 8 keys << capacity
+            store.record(&key, bytes(b"v"), round + 1);
+            let inner = store.inner.lock().unwrap();
+            assert!(
+                inner.order.len() <= 2 * inner.entries.len().max(1),
+                "round {round}: ring has {} slots for {} live entries",
+                inner.order.len(),
+                inner.entries.len()
+            );
+        }
+        let inner = store.inner.lock().unwrap();
+        assert_eq!(inner.entries.len(), 8);
+        // Every retained entry is the freshest recording of its key.
+        for i in 0..8u64 {
+            let e = &inner.entries[&format!("k{i}")];
+            assert!(e.cost > 10_000 - 8, "k{i} kept a stale generation");
+        }
+    }
+
+    /// Compaction preserves recording order: once over capacity, the
+    /// *oldest-recorded* live key is still the one evicted.
+    #[test]
+    fn stale_store_evicts_in_recording_order_after_compaction() {
+        let store = StaleStore::new(3);
+        // Churn "a" enough to force at least one compaction pass.
+        for i in 0..32 {
+            store.record("a", bytes(b"a"), i + 1);
+        }
+        store.record("b", bytes(b"b"), 100);
+        store.record("c", bytes(b"c"), 100);
+        // "a" is the oldest recording: a fourth key must evict it first.
+        store.record("d", bytes(b"d"), 100);
+        assert!(store.get("a").is_none(), "oldest-recorded key evicts first");
+        for k in ["b", "c", "d"] {
+            assert!(store.get(k).is_some(), "{k} must survive");
+        }
+        let inner = store.inner.lock().unwrap();
+        assert!(inner.entries.len() <= 3);
+    }
+
+    /// A refreshed key's old slot is a tombstone; refreshing must keep
+    /// the entry alive through evictions driven by later keys.
+    #[test]
+    fn rerecording_refreshes_a_keys_eviction_slot() {
+        let store = StaleStore::new(2);
+        store.record("x", bytes(b"1"), 1);
+        store.record("y", bytes(b"1"), 1);
+        store.record("x", bytes(b"2"), 2); // refresh: x now newer than y
+        store.record("z", bytes(b"1"), 1); // evicts y, not x
+        assert!(store.get("y").is_none());
+        assert_eq!(store.get("x").map(|(v, _)| v.to_vec()), Some(b"2".to_vec()));
+        assert!(store.get("z").is_some());
+    }
 }

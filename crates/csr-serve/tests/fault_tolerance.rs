@@ -323,6 +323,54 @@ fn stale_values_carry_the_flag_and_the_last_measured_cost() {
     handle.shutdown().expect("clean shutdown");
 }
 
+/// A mid-batch `ORIGIN_ERROR` must not desynchronize a pipelined
+/// connection: the client drains the batch's remaining replies, fails the
+/// call with the first origin error, and the next request on the same
+/// connection gets its own reply — not a leftover from the aborted batch.
+#[test]
+fn pipelined_origin_error_leaves_the_connection_usable() {
+    let origin = Arc::new(MemoryBacking::new());
+    origin.put("a", b"alpha".to_vec());
+    origin.put("c", b"gamma".to_vec());
+    let fault = Arc::new(FaultBacking::new(origin, 1, 0.0, 0.0));
+    let config = ServerConfig {
+        resilience: ResilienceConfig {
+            retries: 0,
+            breaker_threshold: 100, // one failure must not open it
+            ..fast_resilience()
+        },
+        stale_capacity: Some(0), // pure ORIGIN_ERROR path, no stale serves
+        ..fault_config()
+    };
+    let handle =
+        serve(config, Arc::clone(&fault) as Arc<dyn csr_serve::Backing>).expect("server starts");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    // Cache "a" and "c" while healthy; "b" will fault through to the
+    // origin mid-batch.
+    assert!(c.get("a").unwrap().is_some());
+    assert!(c.get("c").unwrap().is_some());
+    fault.set_failing(true);
+    let err = c
+        .get_pipelined(&["a", "b", "c"])
+        .expect_err("the faulting middle key fails the batch");
+    assert!(
+        err.get_ref().is_some_and(|i| i.is::<OriginError>()),
+        "the batch fails with the typed origin error, got: {err}"
+    );
+
+    // Same connection: each next reply must belong to its own request,
+    // not to a leftover of the aborted batch.
+    assert_eq!(c.get("a").unwrap(), Some(b"alpha".to_vec()));
+    assert_eq!(c.get("c").unwrap(), Some(b"gamma".to_vec()));
+    fault.set_failing(false);
+    assert!(
+        c.get("b").unwrap().is_none(),
+        "healthy origin authoritatively has no b: END, not an error"
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
 /// The zero-latency regression: an origin that answers in under a
 /// microsecond must still produce entries with measured cost ≥ 1, or the
 /// cost-sensitive policies would treat every such entry as free to evict.
