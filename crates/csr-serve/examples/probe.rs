@@ -6,14 +6,21 @@
 //! cargo run -p csr-serve --example probe -- 127.0.0.1:11311
 //! ```
 
-use csr_serve::Client;
+use csr_serve::{Client, Timeouts};
+use std::time::Duration;
 
 fn main() -> std::io::Result<()> {
     let addr = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "127.0.0.1:11311".to_owned());
-    let mut c = Client::connect(addr.as_str())?;
-    c.set_timeouts(Some(std::time::Duration::from_secs(5)))?;
+    // Explicit deadlines on every socket op: a hung server fails the
+    // probe instead of wedging it.
+    let timeouts = Timeouts {
+        connect: Duration::from_secs(5),
+        read: Duration::from_secs(5),
+        write: Duration::from_secs(5),
+    };
+    let mut c = Client::connect_with(addr.as_str(), &timeouts)?;
 
     c.set("probe:key", b"probe-value")?;
     let got = c.get("probe:key")?;

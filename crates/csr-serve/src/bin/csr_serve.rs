@@ -61,6 +61,7 @@ USAGE: csr-serve [OPTIONS]
   --workers N             worker threads = max concurrent connections (default 64)
   --backlog N             queued connections before SERVER_BUSY shedding (default 64)
   --idle-timeout-ms N     close idle connections after N ms (default 30000)
+  --partial-deadline-ms N deadline for reading one request once started (slowloris cutoff, default 10000)
   --backing KIND          sim | none | fault (default sim; fault = sim + fault injection)
   --fast-us N             sim backing: fast-tier latency, microseconds (default 100)
   --slow-us N             sim backing: slow-tier latency, microseconds (default 800)
@@ -135,6 +136,12 @@ fn parse_args() -> Opts {
             "--idle-timeout-ms" => {
                 opts.config.idle_timeout =
                     Duration::from_millis(parse_num(&val("--idle-timeout-ms"), "--idle-timeout-ms"))
+            }
+            "--partial-deadline-ms" => {
+                opts.config.partial_read_deadline = Duration::from_millis(parse_num(
+                    &val("--partial-deadline-ms"),
+                    "--partial-deadline-ms",
+                ))
             }
             "--backing" => opts.backing_kind = val("--backing"),
             "--fast-us" => {

@@ -1,18 +1,31 @@
 //! Closed-loop load generator for `csr-serve`.
 //!
-//! Spawns `--conns` worker threads, each owning one connection and
-//! issuing requests back-to-back (closed loop: the next request waits for
-//! the previous response). Keys are drawn from a Zipf distribution over
-//! `--keys` distinct keys, the classic skew of cache workloads; a
-//! configurable fraction of requests are `SET`s. Per-request latency goes
-//! into a shared log-bucketed histogram, and the run ends with a summary
-//! table plus, with `--json <dir>`, a `BENCH_serve.json` report combining
-//! client-side latency percentiles with the server's own `STATS` numbers
-//! (hit rate, aggregate measured miss cost, coalesced fetches).
+//! Spawns `--conns` worker threads, each owning one self-healing
+//! [`FailoverClient`] and issuing requests back-to-back (closed loop: the
+//! next request waits for the previous response). Keys are drawn from a
+//! Zipf distribution over `--keys` distinct keys, the classic skew of
+//! cache workloads; a configurable fraction of requests are `SET`s.
+//! Per-request latency goes into a shared log-bucketed histogram, and the
+//! run ends with a summary table plus, with `--json <dir>`, a
+//! `BENCH_serve.json` report combining client-side latency percentiles
+//! and healing counters with the server's own `STATS` numbers.
+//!
+//! # Chaos mode
+//!
+//! Any `--chaos-*` flag interposes an in-process [`ChaosProxy`] between
+//! the workers and `--addr`, injecting seeded resets, corruption,
+//! truncation, stalls, and (with `--chaos-partition-at-s`) one scripted
+//! full partition. The run then doubles as a robustness check: every GET
+//! value is validated, and the process exits nonzero on any wrong value
+//! or any worker giving up — corrupted bytes must surface as detected
+//! malformed frames (reconnect), never as data.
 
-use csr_obs::{Histogram, Json};
+use csr_obs::{Histogram, Json, Registry};
+use csr_serve::chaos::{ChaosConfig, ChaosProxy};
+use csr_serve::client::{ClientMetrics, ConnectionError, FailoverClient, FailoverConfig, Timeouts};
 use csr_serve::{Client, OriginError};
 use mem_trace::rng::SplitMix64;
+use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -29,18 +42,34 @@ fn usage() -> ! {
 
 USAGE: loadgen [OPTIONS]
 
-  --addr HOST:PORT   server address (default 127.0.0.1:11311)
-  --conns N          worker connections (default 8)
-  --secs N           measured run duration in seconds (default 5)
-  --warmup N         warm-up seconds before measurement starts (default 0):
-                     load runs but latency/totals reset when it ends
-  --keys N           distinct keys (default 2048)
-  --zipf THETA       Zipf skew; 0 = uniform (default 0.9)
-  --set-ratio F      fraction of requests that are SETs (default 0.05)
-  --value-len N      SET payload length in bytes (default 128)
-  --seed N           PRNG seed (default 42)
-  --json DIR         write BENCH_serve.json into DIR
-  -h, --help         this text"
+  --addr HOST:PORT          server address (default 127.0.0.1:11311)
+  --conns N                 worker connections (default 8)
+  --secs N                  measured run duration in seconds (default 5)
+  --warmup N                warm-up seconds before measurement starts (default 0):
+                            load runs but latency/totals reset when it ends
+  --keys N                  distinct keys (default 2048)
+  --zipf THETA              Zipf skew; 0 = uniform (default 0.9)
+  --set-ratio F             fraction of requests that are SETs (default 0.05)
+  --value-len N             SET payload length in bytes (default 128)
+  --seed N                  PRNG seed (default 42)
+  --json DIR                write BENCH_serve.json into DIR
+  --connect-timeout-ms N    client connect deadline (default 5000)
+  --op-timeout-ms N         client read/write deadline per socket op (default 10000)
+  --max-attempts N          reconnect+replay attempts per op before giving up (default 64)
+
+Chaos (any flag interposes a seeded ChaosProxy in front of --addr):
+  --chaos-seed N            fault-plan seed (default 1)
+  --chaos-reset-rate F      immediate connection resets (default 0)
+  --chaos-mid-reset-rate F  mid-reply connection resets (default 0)
+  --chaos-corrupt-rate F    single-byte corruption (default 0)
+  --chaos-truncate-rate F   mid-reply truncation (default 0)
+  --chaos-stall-rate F      mid-stream stalls (default 0)
+  --chaos-stall-ms N        stall duration (default 100)
+  --chaos-throttle-bps N    bandwidth cap, bytes/sec; 0 = off (default 0)
+  --chaos-partial-write-rate F  relay replies in 1-7 byte writes (default 0)
+  --chaos-partition-at-s N  start a full partition N seconds into the run
+  --chaos-partition-secs N  partition duration (default 2)
+  -h, --help                this text"
     );
     std::process::exit(0);
 }
@@ -56,6 +85,13 @@ struct Opts {
     value_len: usize,
     seed: u64,
     json_dir: Option<std::path::PathBuf>,
+    connect_timeout: Duration,
+    op_timeout: Duration,
+    max_attempts: u32,
+    chaos: bool,
+    chaos_config: ChaosConfig,
+    partition_at: Option<u64>,
+    partition_secs: u64,
 }
 
 fn parse_args() -> Opts {
@@ -70,6 +106,16 @@ fn parse_args() -> Opts {
         value_len: 128,
         seed: 42,
         json_dir: None,
+        connect_timeout: Duration::from_millis(5000),
+        op_timeout: Duration::from_millis(10_000),
+        max_attempts: 64,
+        chaos: false,
+        chaos_config: ChaosConfig {
+            seed: 1,
+            ..ChaosConfig::default()
+        },
+        partition_at: None,
+        partition_secs: 2,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -77,6 +123,9 @@ fn parse_args() -> Opts {
             it.next()
                 .unwrap_or_else(|| die(&format!("{name} needs a value")))
         };
+        if a.starts_with("--chaos-") {
+            opts.chaos = true;
+        }
         match a.as_str() {
             "--addr" => opts.addr = val("--addr"),
             "--conns" => opts.conns = parse_num(&val("--conns"), "--conns"),
@@ -88,6 +137,66 @@ fn parse_args() -> Opts {
             "--value-len" => opts.value_len = parse_num(&val("--value-len"), "--value-len"),
             "--seed" => opts.seed = parse_num(&val("--seed"), "--seed"),
             "--json" => opts.json_dir = Some(val("--json").into()),
+            "--connect-timeout-ms" => {
+                opts.connect_timeout = Duration::from_millis(parse_num(
+                    &val("--connect-timeout-ms"),
+                    "--connect-timeout-ms",
+                ))
+            }
+            "--op-timeout-ms" => {
+                opts.op_timeout =
+                    Duration::from_millis(parse_num(&val("--op-timeout-ms"), "--op-timeout-ms"))
+            }
+            "--max-attempts" => {
+                opts.max_attempts = parse_num(&val("--max-attempts"), "--max-attempts")
+            }
+            "--chaos-seed" => {
+                opts.chaos_config.seed = parse_num(&val("--chaos-seed"), "--chaos-seed")
+            }
+            "--chaos-reset-rate" => {
+                opts.chaos_config.reset_rate =
+                    parse_num(&val("--chaos-reset-rate"), "--chaos-reset-rate")
+            }
+            "--chaos-mid-reset-rate" => {
+                opts.chaos_config.mid_reset_rate =
+                    parse_num(&val("--chaos-mid-reset-rate"), "--chaos-mid-reset-rate")
+            }
+            "--chaos-corrupt-rate" => {
+                opts.chaos_config.corrupt_rate =
+                    parse_num(&val("--chaos-corrupt-rate"), "--chaos-corrupt-rate")
+            }
+            "--chaos-truncate-rate" => {
+                opts.chaos_config.truncate_rate =
+                    parse_num(&val("--chaos-truncate-rate"), "--chaos-truncate-rate")
+            }
+            "--chaos-stall-rate" => {
+                opts.chaos_config.stall_rate =
+                    parse_num(&val("--chaos-stall-rate"), "--chaos-stall-rate")
+            }
+            "--chaos-stall-ms" => {
+                opts.chaos_config.stall =
+                    Duration::from_millis(parse_num(&val("--chaos-stall-ms"), "--chaos-stall-ms"))
+            }
+            "--chaos-throttle-bps" => {
+                opts.chaos_config.throttle_bytes_per_sec =
+                    parse_num(&val("--chaos-throttle-bps"), "--chaos-throttle-bps")
+            }
+            "--chaos-partial-write-rate" => {
+                opts.chaos_config.partial_write_rate = parse_num(
+                    &val("--chaos-partial-write-rate"),
+                    "--chaos-partial-write-rate",
+                )
+            }
+            "--chaos-partition-at-s" => {
+                opts.partition_at = Some(parse_num(
+                    &val("--chaos-partition-at-s"),
+                    "--chaos-partition-at-s",
+                ))
+            }
+            "--chaos-partition-secs" => {
+                opts.partition_secs =
+                    parse_num(&val("--chaos-partition-secs"), "--chaos-partition-secs")
+            }
             "-h" | "--help" => usage(),
             other => die(&format!("unknown flag '{other}'")),
         }
@@ -130,6 +239,8 @@ struct Totals {
     empty_gets: AtomicU64,
     stale_gets: AtomicU64,
     origin_errors: AtomicU64,
+    maybe_applied: AtomicU64,
+    wrong_values: AtomicU64,
     errors: AtomicU64,
 }
 
@@ -140,8 +251,18 @@ impl Totals {
         self.empty_gets.store(0, Ordering::Relaxed);
         self.stale_gets.store(0, Ordering::Relaxed);
         self.origin_errors.store(0, Ordering::Relaxed);
-        self.errors.store(0, Ordering::Relaxed);
+        self.maybe_applied.store(0, Ordering::Relaxed);
+        // wrong_values and errors are *verdict* counters, not load
+        // counters: never reset, even across the warm-up boundary.
     }
+}
+
+/// A GET value is plausible iff it is one of the two things this run can
+/// produce: a loadgen SET payload (all `b'v'`) or a SimBacking synthesis
+/// (the key itself, `#`-padded). Anything else means corruption reached
+/// the application — the one thing the chaos run must never allow.
+fn plausible_value(key: &str, data: &[u8]) -> bool {
+    data.starts_with(key.as_bytes()) || data.iter().all(|&b| b == b'v')
 }
 
 fn main() {
@@ -154,8 +275,58 @@ fn main() {
         empty_gets: AtomicU64::new(0),
         stale_gets: AtomicU64::new(0),
         origin_errors: AtomicU64::new(0),
+        maybe_applied: AtomicU64::new(0),
+        wrong_values: AtomicU64::new(0),
         errors: AtomicU64::new(0),
     });
+    let registry = Registry::new();
+    let client_metrics = ClientMetrics::new(&registry);
+
+    // Chaos mode: interpose the proxy; workers dial it instead of --addr.
+    let proxy = if opts.chaos {
+        let upstream = opts
+            .addr
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut addrs| addrs.next())
+            .unwrap_or_else(|| die(&format!("--addr {}: cannot resolve", opts.addr)));
+        let proxy = ChaosProxy::start(upstream, opts.chaos_config.clone())
+            .unwrap_or_else(|e| die(&format!("chaos proxy failed to start: {e}")));
+        eprintln!(
+            "loadgen: chaos proxy on {} -> {} (seed {})",
+            proxy.addr(),
+            upstream,
+            opts.chaos_config.seed
+        );
+        Some(Arc::new(proxy))
+    } else {
+        None
+    };
+    let target = proxy
+        .as_ref()
+        .map_or_else(|| opts.addr.clone(), |p| p.addr().to_string());
+    // The scripted partition: one thread flips the proxy off and back on.
+    if let (Some(proxy), Some(at)) = (proxy.clone(), opts.partition_at) {
+        let secs = opts.partition_secs;
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs(at));
+            eprintln!("loadgen: chaos partition begins ({secs}s)");
+            proxy.set_partitioned(true);
+            std::thread::sleep(Duration::from_secs(secs));
+            proxy.set_partitioned(false);
+            eprintln!("loadgen: chaos partition healed");
+        });
+    }
+
+    let failover_config = FailoverConfig {
+        timeouts: Timeouts {
+            connect: opts.connect_timeout,
+            read: opts.op_timeout,
+            write: opts.op_timeout,
+        },
+        max_attempts: opts.max_attempts,
+        ..FailoverConfig::default()
+    };
 
     let launched = Instant::now();
     let deadline = launched + Duration::from_secs(opts.warmup + opts.secs);
@@ -164,18 +335,16 @@ fn main() {
             let cdf = Arc::clone(&cdf);
             let latency = Arc::clone(&latency);
             let totals = Arc::clone(&totals);
-            let addr = opts.addr.clone();
+            let target = target.clone();
+            let metrics = client_metrics.clone();
             let mut rng = SplitMix64::new(opts.seed ^ (0x9e37 + i as u64));
             let (set_ratio, value_len) = (opts.set_ratio, opts.value_len);
+            let config = FailoverConfig {
+                seed: opts.seed.wrapping_add(i as u64),
+                ..failover_config
+            };
             std::thread::spawn(move || {
-                let mut client = match Client::connect(addr.as_str()) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        eprintln!("worker {i}: connect failed: {e}");
-                        totals.errors.fetch_add(1, Ordering::Relaxed);
-                        return;
-                    }
-                };
+                let mut client = FailoverClient::new(vec![target], config).with_metrics(metrics);
                 let payload = vec![b'v'; value_len];
                 while Instant::now() < deadline {
                     let key = format!("key:{}", sample(&cdf, &mut rng));
@@ -193,6 +362,10 @@ fn main() {
                             Ok(Some(v)) => {
                                 if v.stale {
                                     totals.stale_gets.fetch_add(1, Ordering::Relaxed);
+                                }
+                                if !plausible_value(&key, &v.data) {
+                                    eprintln!("worker {i}: WRONG VALUE for {key}");
+                                    totals.wrong_values.fetch_add(1, Ordering::Relaxed);
                                 }
                                 Ok(())
                             }
@@ -213,6 +386,13 @@ fn main() {
                             totals.ops.fetch_add(1, Ordering::Relaxed);
                             latency.record(us.max(1));
                         }
+                        // A SET/DEL cut mid-flight: the client refuses to
+                        // replay it (it may have applied). Under chaos
+                        // that is correct behavior, not a failure.
+                        Err(e) if ConnectionError::is_maybe_applied(&e) => {
+                            totals.maybe_applied.fetch_add(1, Ordering::Relaxed);
+                            latency.record(us.max(1));
+                        }
                         Err(e) => {
                             eprintln!("worker {i}: request failed: {e}");
                             totals.errors.fetch_add(1, Ordering::Relaxed);
@@ -220,7 +400,7 @@ fn main() {
                         }
                     }
                 }
-                let _ = client.quit();
+                client.close();
             })
         })
         .collect();
@@ -262,9 +442,33 @@ fn main() {
         hist.quantile(0.99),
         hist.max(),
     );
+    println!(
+        "  client: reconnects {}  replays {}  failovers {}  deadline timeouts {}  maybe-applied {}  wrong values {}",
+        client_metrics.reconnects.get(),
+        client_metrics.replays.get(),
+        client_metrics.failovers.get(),
+        client_metrics.deadline_timeouts.get(),
+        totals.maybe_applied.load(Ordering::Relaxed),
+        totals.wrong_values.load(Ordering::Relaxed),
+    );
+    let chaos_snapshot = proxy.as_ref().map(|p| p.counters());
+    if let Some(snap) = &chaos_snapshot {
+        println!(
+            "  chaos: conns {}  resets {}  mid-resets {}  truncations {}  corruptions {}  stalls {}  partition rejects {}  partition cuts {}",
+            snap.connections,
+            snap.resets,
+            snap.mid_resets,
+            snap.truncations,
+            snap.corruptions,
+            snap.stalls,
+            snap.partition_rejects,
+            snap.partition_cuts,
+        );
+    }
 
-    // Pull the server's own accounting: the measured miss costs the
-    // policies optimized live here, not in the client.
+    // Pull the server's own accounting — directly from --addr, not
+    // through the chaos proxy: the verdict below must not depend on one
+    // more coin flip.
     let server_stats = match Client::connect(opts.addr.as_str()).and_then(|mut c| c.stats()) {
         Ok(stats) => stats,
         Err(e) => {
@@ -292,6 +496,94 @@ fn main() {
     }
 
     if let Some(dir) = &opts.json_dir {
+        let mut data = vec![
+            ("ops", Json::uint(ops)),
+            ("sets", Json::uint(totals.sets.load(Ordering::Relaxed))),
+            (
+                "empty_gets",
+                Json::uint(totals.empty_gets.load(Ordering::Relaxed)),
+            ),
+            (
+                "stale_gets",
+                Json::uint(totals.stale_gets.load(Ordering::Relaxed)),
+            ),
+            (
+                "origin_errors",
+                Json::uint(totals.origin_errors.load(Ordering::Relaxed)),
+            ),
+            ("errors", Json::uint(totals.errors.load(Ordering::Relaxed))),
+            ("elapsed_s", Json::Float(elapsed)),
+            ("throughput_ops_per_s", Json::Float(throughput)),
+            (
+                "latency_us",
+                Json::obj([
+                    ("mean", Json::Float(hist.mean())),
+                    ("p50", Json::uint(hist.quantile(0.50))),
+                    ("p90", Json::uint(hist.quantile(0.90))),
+                    ("p99", Json::uint(hist.quantile(0.99))),
+                    ("max", Json::uint(hist.max())),
+                ]),
+            ),
+            (
+                "client",
+                Json::obj([
+                    ("reconnects", Json::uint(client_metrics.reconnects.get())),
+                    ("replays", Json::uint(client_metrics.replays.get())),
+                    ("failovers", Json::uint(client_metrics.failovers.get())),
+                    (
+                        "deadline_timeouts",
+                        Json::uint(client_metrics.deadline_timeouts.get()),
+                    ),
+                    (
+                        "maybe_applied",
+                        Json::uint(totals.maybe_applied.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "wrong_values",
+                        Json::uint(totals.wrong_values.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "server",
+                Json::obj([
+                    ("policy", Json::str(lookup("policy"))),
+                    ("lookups", s_uint("lookups")),
+                    ("hits", s_uint("hits")),
+                    ("misses", s_uint("misses")),
+                    ("hit_rate", s_float("hit_rate")),
+                    ("aggregate_miss_cost", s_uint("aggregate_miss_cost")),
+                    ("mean_miss_cost", s_float("mean_miss_cost")),
+                    ("coalesced_fetches", s_uint("coalesced_fetches")),
+                    ("evictions", s_uint("evictions")),
+                    ("resident", s_uint("resident")),
+                    ("connections_shed", s_uint("connections_shed")),
+                    ("conn_limit_rejects", s_uint("conn_limit_rejects")),
+                    ("conn_slowloris_drops", s_uint("conn_slowloris_drops")),
+                    ("requests_get", s_uint("requests_get")),
+                    ("requests_set", s_uint("requests_set")),
+                ]),
+            ),
+        ];
+        if let Some(snap) = &chaos_snapshot {
+            data.push((
+                "chaos",
+                Json::obj([
+                    ("seed", Json::uint(opts.chaos_config.seed)),
+                    ("connections", Json::uint(snap.connections)),
+                    ("resets", Json::uint(snap.resets)),
+                    ("mid_resets", Json::uint(snap.mid_resets)),
+                    ("truncations", Json::uint(snap.truncations)),
+                    ("corruptions", Json::uint(snap.corruptions)),
+                    ("stalls", Json::uint(snap.stalls)),
+                    ("shaped_chunks", Json::uint(snap.shaped_chunks)),
+                    ("partition_rejects", Json::uint(snap.partition_rejects)),
+                    ("partition_cuts", Json::uint(snap.partition_cuts)),
+                    ("upstream_failures", Json::uint(snap.upstream_failures)),
+                    ("injected_total", Json::uint(snap.injected_total())),
+                ]),
+            ));
+        }
         let report = Json::obj([
             ("experiment", Json::str("serve_loadgen")),
             ("addr", Json::str(opts.addr.clone())),
@@ -302,56 +594,7 @@ fn main() {
             ("zipf", Json::Float(opts.zipf)),
             ("set_ratio", Json::Float(opts.set_ratio)),
             ("seed", Json::uint(opts.seed)),
-            (
-                "data",
-                Json::obj([
-                    ("ops", Json::uint(ops)),
-                    ("sets", Json::uint(totals.sets.load(Ordering::Relaxed))),
-                    (
-                        "empty_gets",
-                        Json::uint(totals.empty_gets.load(Ordering::Relaxed)),
-                    ),
-                    (
-                        "stale_gets",
-                        Json::uint(totals.stale_gets.load(Ordering::Relaxed)),
-                    ),
-                    (
-                        "origin_errors",
-                        Json::uint(totals.origin_errors.load(Ordering::Relaxed)),
-                    ),
-                    ("errors", Json::uint(totals.errors.load(Ordering::Relaxed))),
-                    ("elapsed_s", Json::Float(elapsed)),
-                    ("throughput_ops_per_s", Json::Float(throughput)),
-                    (
-                        "latency_us",
-                        Json::obj([
-                            ("mean", Json::Float(hist.mean())),
-                            ("p50", Json::uint(hist.quantile(0.50))),
-                            ("p90", Json::uint(hist.quantile(0.90))),
-                            ("p99", Json::uint(hist.quantile(0.99))),
-                            ("max", Json::uint(hist.max())),
-                        ]),
-                    ),
-                    (
-                        "server",
-                        Json::obj([
-                            ("policy", Json::str(lookup("policy"))),
-                            ("lookups", s_uint("lookups")),
-                            ("hits", s_uint("hits")),
-                            ("misses", s_uint("misses")),
-                            ("hit_rate", s_float("hit_rate")),
-                            ("aggregate_miss_cost", s_uint("aggregate_miss_cost")),
-                            ("mean_miss_cost", s_float("mean_miss_cost")),
-                            ("coalesced_fetches", s_uint("coalesced_fetches")),
-                            ("evictions", s_uint("evictions")),
-                            ("resident", s_uint("resident")),
-                            ("connections_shed", s_uint("connections_shed")),
-                            ("requests_get", s_uint("requests_get")),
-                            ("requests_set", s_uint("requests_set")),
-                        ]),
-                    ),
-                ]),
-            ),
+            ("data", Json::obj(data)),
         ]);
         let text = report.render();
         Json::parse(&text).expect("rendered report must re-parse");
@@ -359,5 +602,14 @@ fn main() {
         let path = dir.join("BENCH_serve.json");
         std::fs::write(&path, text + "\n").expect("write JSON report");
         eprintln!("wrote {}", path.display());
+    }
+
+    // The verdict: wrong values or workers that gave up fail the run —
+    // the exit code is what CI's chaos smoke asserts on.
+    let wrong = totals.wrong_values.load(Ordering::Relaxed);
+    let errors = totals.errors.load(Ordering::Relaxed);
+    if wrong > 0 || errors > 0 {
+        eprintln!("loadgen: FAILED ({wrong} wrong values, {errors} worker errors)");
+        std::process::exit(1);
     }
 }

@@ -1,15 +1,55 @@
-//! A blocking client for the csr-serve protocol.
+//! Blocking clients for the csr-serve protocol.
 //!
 //! One [`Client`] owns one connection. Calls are synchronous
 //! request/response by default; [`Client::get_pipelined`] demonstrates the
 //! protocol's pipelining (many requests on the wire before the first
 //! response is read), which is how a latency-bound workload recovers
-//! throughput without more connections.
+//! throughput without more connections. Every socket carries connect,
+//! read, and write deadlines ([`Timeouts`]) — a hung or half-open server
+//! can never wedge the caller forever.
+//!
+//! [`FailoverClient`] is the self-healing layer on top: it owns a replica
+//! list instead of a connection, reconnects through failures with capped
+//! backoff and seeded jitter (the [`BackoffSchedule`] from
+//! [`crate::resilience`]), transparently replays *idempotent* ops
+//! (`GET`/`STATS`/`METRICS`) after a mid-call disconnect, and refuses to
+//! replay `SET`/`DEL` — a non-idempotent op that died mid-flight surfaces
+//! as the typed [`ConnectionError::MaybeApplied`] so the caller decides.
+//! Endpoints are passively marked unhealthy when they fail and probed back
+//! into rotation round-robin ([`FailoverConfig::probe_every`]).
 
 use crate::proto::{self, MAX_VALUE_LEN};
+use crate::resilience::{mix64, BackoffSchedule};
+use csr_obs::{Counter, Registry};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Socket deadlines applied to every connection a client makes. All three
+/// must be non-zero (a zero socket timeout is rejected by the OS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeouts {
+    /// Deadline for establishing the TCP connection.
+    pub connect: Duration,
+    /// Deadline for each socket read (a reply that stalls longer fails
+    /// with `TimedOut`/`WouldBlock` instead of blocking forever).
+    pub read: Duration,
+    /// Deadline for each socket write.
+    pub write: Duration,
+}
+
+impl Default for Timeouts {
+    /// Conservative interactive defaults: 5 s connect, 30 s read, 10 s
+    /// write.
+    fn default() -> Self {
+        Timeouts {
+            connect: Duration::from_secs(5),
+            read: Duration::from_secs(30),
+            write: Duration::from_secs(10),
+        }
+    }
+}
 
 /// A `GET` result carrying its degradation flag: `stale` is set when the
 /// server answered from its stale store because the origin failed (the
@@ -40,6 +80,131 @@ impl std::fmt::Display for OriginError {
 
 impl std::error::Error for OriginError {}
 
+/// The server rejected a `SET` because the payload checksum did not match
+/// — the request was corrupted in flight. Framing is intact and the store
+/// definitively did **not** happen, so re-issuing the `SET` is safe (the
+/// one transport error after which a non-idempotent op may be replayed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreRejected {
+    /// The server's `CLIENT_ERROR` reply line.
+    pub reason: String,
+}
+
+impl std::fmt::Display for StoreRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for StoreRejected {}
+
+/// Why a [`FailoverClient`] call failed, surfaced wrapped in an
+/// [`io::Error`]; recover it with [`ConnectionError::from_io`].
+#[derive(Debug)]
+pub enum ConnectionError {
+    /// Every endpoint and retry attempt was exhausted without completing
+    /// the call.
+    Unavailable {
+        /// Connection/replay attempts consumed before giving up.
+        attempts: u32,
+        /// The last underlying failure.
+        source: io::Error,
+    },
+    /// A non-idempotent op (`SET`/`DEL`) failed *after* its request may
+    /// have reached the server: the op was *not* replayed, and whether it
+    /// was applied is unknown. The caller must decide (re-read, re-issue
+    /// if its application is idempotent, or surface the ambiguity).
+    MaybeApplied {
+        /// The underlying failure.
+        source: io::Error,
+    },
+}
+
+impl std::fmt::Display for ConnectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectionError::Unavailable { attempts, source } => {
+                write!(f, "no endpoint usable after {attempts} attempts: {source}")
+            }
+            ConnectionError::MaybeApplied { source } => write!(
+                f,
+                "connection failed mid-request; the operation may or may not have been applied: {source}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConnectionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConnectionError::Unavailable { source, .. }
+            | ConnectionError::MaybeApplied { source } => Some(source),
+        }
+    }
+}
+
+impl ConnectionError {
+    /// Recovers a typed `ConnectionError` from an [`io::Error`] returned
+    /// by a [`FailoverClient`] call, if it wraps one.
+    #[must_use]
+    pub fn from_io(e: &io::Error) -> Option<&ConnectionError> {
+        e.get_ref().and_then(|inner| inner.downcast_ref())
+    }
+
+    /// Whether `e` is the [`ConnectionError::MaybeApplied`] ambiguity.
+    #[must_use]
+    pub fn is_maybe_applied(e: &io::Error) -> bool {
+        matches!(
+            ConnectionError::from_io(e),
+            Some(ConnectionError::MaybeApplied { .. })
+        )
+    }
+}
+
+/// The `csr_serve_client_*` metric families: how often the self-healing
+/// client had to heal. Register once per process and share across
+/// [`FailoverClient`]s (the counters are `Arc`s into the registry).
+#[derive(Clone)]
+pub struct ClientMetrics {
+    /// Successful connections after the first (healing events).
+    pub reconnects: Arc<Counter>,
+    /// Idempotent ops re-issued after a connection-level failure.
+    pub replays: Arc<Counter>,
+    /// Reconnections that landed on a different endpoint than the last.
+    pub failovers: Arc<Counter>,
+    /// Socket operations cut by their read/write/connect deadline.
+    pub deadline_timeouts: Arc<Counter>,
+}
+
+impl ClientMetrics {
+    /// Registers the client families in `registry`.
+    #[must_use]
+    pub fn new(registry: &Registry) -> Self {
+        ClientMetrics {
+            reconnects: registry.counter(
+                "csr_serve_client_reconnects_total",
+                "Successful client connections after the first (healing events)",
+                &[],
+            ),
+            replays: registry.counter(
+                "csr_serve_client_replays_total",
+                "Idempotent client ops re-issued after a connection-level failure",
+                &[],
+            ),
+            failovers: registry.counter(
+                "csr_serve_client_failovers_total",
+                "Client reconnections that switched to a different endpoint",
+                &[],
+            ),
+            deadline_timeouts: registry.counter(
+                "csr_serve_client_deadline_timeouts_total",
+                "Client socket operations cut by a connect/read/write deadline",
+                &[],
+            ),
+        }
+    }
+}
+
 /// A connection to a csr-serve server.
 #[derive(Debug)]
 pub struct Client {
@@ -48,18 +213,41 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to `addr`.
+    /// Connects to `addr` with the default [`Timeouts`] — connections made
+    /// this way can no longer block forever on a hung or half-open server.
     ///
     /// # Errors
     ///
-    /// Connection failures.
+    /// Connection failures (including connect timeout).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-        })
+        Client::connect_with(addr, &Timeouts::default())
+    }
+
+    /// Connects to `addr` with explicit socket deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures; the connect attempt itself is bounded by
+    /// `timeouts.connect` per resolved address.
+    pub fn connect_with(addr: impl ToSocketAddrs, timeouts: &Timeouts) -> io::Result<Client> {
+        let mut last: Option<io::Error> = None;
+        for a in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&a, timeouts.connect) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(timeouts.read))?;
+                    stream.set_write_timeout(Some(timeouts.write))?;
+                    return Ok(Client {
+                        reader: BufReader::new(stream.try_clone()?),
+                        writer: BufWriter::new(stream),
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
     }
 
     /// Sets read/write timeouts on the underlying socket (`None`
@@ -97,7 +285,7 @@ impl Client {
     pub fn get_value(&mut self, key: &str) -> io::Result<Option<Value>> {
         write!(self.writer, "GET {key}\r\n")?;
         self.writer.flush()?;
-        self.read_get_reply()
+        self.read_get_reply(key)
     }
 
     /// Issues every `GET` before reading any reply (one flush, one
@@ -118,8 +306,8 @@ impl Client {
         self.writer.flush()?;
         let mut out = Vec::with_capacity(keys.len());
         let mut first_origin_err: Option<io::Error> = None;
-        for _ in keys {
-            match self.read_get_reply() {
+        for key in keys {
+            match self.read_get_reply(key) {
                 Ok(v) => out.push(v.map(|v| v.data)),
                 // The server keeps sending the batch's remaining replies
                 // after a recoverable ORIGIN_ERROR: returning early here
@@ -139,18 +327,32 @@ impl Client {
         }
     }
 
-    /// Stores `key -> value`.
+    /// Stores `key -> value`. The payload CRC32 is always sent, so a
+    /// store corrupted in flight is rejected by the server instead of
+    /// silently persisting garbage.
     ///
     /// # Errors
     ///
-    /// Transport failures and server-reported errors.
+    /// Transport failures and server-reported errors. A checksum reject
+    /// surfaces as a typed [`StoreRejected`] — the server definitively
+    /// did *not* apply the store, so re-issuing it is safe.
     pub fn set(&mut self, key: &str, value: &[u8]) -> io::Result<()> {
-        write!(self.writer, "SET {key} {}\r\n", value.len())?;
+        write!(
+            self.writer,
+            "SET {key} {} {:08x}\r\n",
+            value.len(),
+            proto::crc32(value)
+        )?;
         self.writer.write_all(value)?;
         self.writer.write_all(b"\r\n")?;
         self.writer.flush()?;
-        match self.read_line()?.as_str() {
+        let line = self.read_line()?;
+        match line.as_str() {
             "STORED" => Ok(()),
+            l if l.starts_with("CLIENT_ERROR payload checksum mismatch") => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                StoreRejected { reason: line },
+            )),
             other => Err(unexpected(other)),
         }
     }
@@ -203,13 +405,30 @@ impl Client {
         self.writer.write_all(b"METRICS\r\n")?;
         self.writer.flush()?;
         let line = self.read_line()?;
-        let len = line
+        let rest = line
             .strip_prefix("DATA ")
+            .ok_or_else(|| unexpected(&line))?;
+        let mut fields = rest.split(' ');
+        let len = fields
+            .next()
             .and_then(|n| n.parse::<usize>().ok())
             .filter(|n| *n <= MAX_VALUE_LEN)
             .ok_or_else(|| unexpected(&line))?;
+        let crc = match fields.next() {
+            None => None,
+            Some(tok) => Some(parse_crc_token(tok).ok_or_else(|| unexpected(&line))?),
+        };
+        if fields.next().is_some() {
+            return Err(unexpected(&line));
+        }
         let body = self.read_payload(len)?;
-        String::from_utf8(body).map_err(|_| io::Error::other("metrics body was not UTF-8"))
+        verify_crc(&body, crc)?;
+        match self.read_line()?.as_str() {
+            "END" => {
+                String::from_utf8(body).map_err(|_| io::Error::other("metrics body was not UTF-8"))
+            }
+            other => Err(unexpected(other)),
+        }
     }
 
     /// Sends `QUIT` and closes the connection cleanly.
@@ -222,9 +441,14 @@ impl Client {
         self.writer.flush()
     }
 
-    /// Reads one `GET` reply: `VALUE [STALE]`+payload+`END`, a bare
-    /// `END`, or the recoverable `ORIGIN_ERROR`.
-    fn read_get_reply(&mut self) -> io::Result<Option<Value>> {
+    /// Reads one `GET` reply: `VALUE [STALE] <crc32>`+payload+`END`, a
+    /// bare `END`, or the recoverable `ORIGIN_ERROR`. The payload CRC is
+    /// verified when present, so corrupted bytes inside the payload are
+    /// reported as a malformed frame instead of returned as data — and
+    /// the echoed key must match `expect_key`, so a request corrupted in
+    /// flight into a *different valid key* can never return that other
+    /// key's value as this one's.
+    fn read_get_reply(&mut self, expect_key: &str) -> io::Result<Option<Value>> {
         let line = self.read_line()?;
         if line == "END" {
             return Ok(None);
@@ -238,21 +462,31 @@ impl Client {
             .strip_prefix("VALUE ")
             .ok_or_else(|| unexpected(&line))?;
         let mut fields = rest.split(' ');
-        let _key = fields.next().ok_or_else(|| unexpected(&line))?;
+        let key = fields.next().ok_or_else(|| unexpected(&line))?;
+        if key != expect_key {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("reply key {key:?} does not match requested {expect_key:?}"),
+            ));
+        }
         let len = fields
             .next()
             .and_then(|n| n.parse::<usize>().ok())
             .filter(|n| *n <= MAX_VALUE_LEN)
             .ok_or_else(|| unexpected(&line))?;
-        let stale = match fields.next() {
-            None => false,
-            Some("STALE") => true,
-            Some(_) => return Err(unexpected(&line)),
-        };
-        if fields.next().is_some() {
-            return Err(unexpected(&line));
+        let mut stale = false;
+        let mut crc: Option<u32> = None;
+        for tok in fields {
+            if tok == "STALE" && !stale && crc.is_none() {
+                stale = true;
+            } else if crc.is_none() {
+                crc = Some(parse_crc_token(tok).ok_or_else(|| unexpected(&line))?);
+            } else {
+                return Err(unexpected(&line));
+            }
         }
         let body = self.read_payload(len)?;
+        verify_crc(&body, crc)?;
         match self.read_line()?.as_str() {
             "END" => Ok(Some(Value { data: body, stale })),
             other => Err(unexpected(other)),
@@ -305,4 +539,489 @@ fn unexpected(line: &str) -> io::Error {
 /// framing is intact; transport and framing errors are not recoverable).
 fn is_origin_error(e: &io::Error) -> bool {
     e.get_ref().is_some_and(|inner| inner.is::<OriginError>())
+}
+
+/// Whether `e` wraps a [`StoreRejected`] checksum reject (the server
+/// answered inside intact framing and definitively did not store).
+fn is_store_rejected(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<StoreRejected>())
+}
+
+/// Parses an 8-hex-digit CRC32 reply token.
+fn parse_crc_token(tok: &str) -> Option<u32> {
+    (tok.len() == 8 && tok.bytes().all(|b| b.is_ascii_hexdigit()))
+        .then(|| u32::from_str_radix(tok, 16).ok())
+        .flatten()
+}
+
+/// Verifies a payload against its reply-line CRC (absent CRC passes, for
+/// compatibility with servers predating the integrity token).
+fn verify_crc(body: &[u8], crc: Option<u32>) -> io::Result<()> {
+    match crc {
+        Some(expect) if proto::crc32(body) != expect => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "payload checksum mismatch",
+        )),
+        _ => Ok(()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The self-healing failover client
+
+/// Tuning for a [`FailoverClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverConfig {
+    /// Socket deadlines for every connection.
+    pub timeouts: Timeouts,
+    /// Backoff between reconnect/replay attempts (capped exponential with
+    /// seeded jitter — the same schedule the server uses against its
+    /// origin).
+    pub backoff: BackoffSchedule,
+    /// Total connection + replay attempts per call before giving up.
+    pub max_attempts: u32,
+    /// Every `probe_every`-th endpoint pick tries an *unhealthy* endpoint
+    /// first (the round-robin recovery probe); `0` disables probing, so
+    /// unhealthy endpoints only re-enter rotation when every healthy one
+    /// is down.
+    pub probe_every: u32,
+    /// Seed for the backoff jitter — decorrelates concurrent clients.
+    pub seed: u64,
+}
+
+impl Default for FailoverConfig {
+    /// 1 ms → 200 ms backoff, 8 attempts, probe every 4th pick.
+    fn default() -> Self {
+        FailoverConfig {
+            timeouts: Timeouts::default(),
+            backoff: BackoffSchedule {
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(200),
+            },
+            max_attempts: 8,
+            probe_every: 4,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Endpoint {
+    addr: String,
+    /// Passive health: cleared when a connection or op against this
+    /// endpoint fails, set again on any success.
+    healthy: bool,
+}
+
+struct Conn {
+    endpoint: usize,
+    client: Client,
+}
+
+/// A self-healing client over a replica list.
+///
+/// Connections are made lazily and healed transparently: any
+/// connection-level failure (transport error, deadline, corrupted or
+/// unparseable reply) poisons the connection, marks the endpoint
+/// unhealthy, and reconnects — preferring healthy endpoints, with a
+/// capped-backoff sleep between attempts. Idempotent ops
+/// ([`get`](Self::get), [`get_value`](Self::get_value),
+/// [`get_pipelined`](Self::get_pipelined), [`stats`](Self::stats),
+/// [`metrics`](Self::metrics)) are then replayed; non-idempotent ops
+/// ([`set`](Self::set), [`del`](Self::del)) are **not** — once their
+/// request may have left, failure surfaces as
+/// [`ConnectionError::MaybeApplied`]. The server's recoverable
+/// `ORIGIN_ERROR` reply passes straight through: the connection answered
+/// correctly, there is nothing to heal.
+pub struct FailoverClient {
+    endpoints: Vec<Endpoint>,
+    config: FailoverConfig,
+    metrics: Option<ClientMetrics>,
+    conn: Option<Conn>,
+    /// Whether any connection ever succeeded (reconnect accounting).
+    ever_connected: bool,
+    /// The endpoint index of the most recent successful connection
+    /// (failover accounting).
+    last_endpoint: Option<usize>,
+    /// Round-robin cursor over the endpoint list.
+    cursor: usize,
+    /// Endpoint picks made (drives the recovery-probe cadence).
+    picks: u64,
+    /// Backoff sleeps taken (jitter decorrelation stream).
+    retries: u64,
+}
+
+impl FailoverClient {
+    /// A client over `endpoints` (tried round-robin; at least one
+    /// required). No connection is made until the first call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints` is empty.
+    #[must_use]
+    pub fn new(endpoints: Vec<String>, config: FailoverConfig) -> FailoverClient {
+        assert!(
+            !endpoints.is_empty(),
+            "a FailoverClient needs at least one endpoint"
+        );
+        FailoverClient {
+            endpoints: endpoints
+                .into_iter()
+                .map(|addr| Endpoint {
+                    addr,
+                    healthy: true,
+                })
+                .collect(),
+            config,
+            metrics: None,
+            conn: None,
+            ever_connected: false,
+            last_endpoint: None,
+            cursor: 0,
+            picks: 0,
+            retries: 0,
+        }
+    }
+
+    /// Attaches the `csr_serve_client_*` counters this client feeds.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: ClientMetrics) -> FailoverClient {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Looks `key` up (idempotent: replayed through failures).
+    ///
+    /// # Errors
+    ///
+    /// [`ConnectionError::Unavailable`] when every attempt failed, or a
+    /// passed-through recoverable server reply ([`OriginError`]).
+    pub fn get(&mut self, key: &str) -> io::Result<Option<Vec<u8>>> {
+        validate_key(key)?;
+        self.run_op(true, |c| c.get(key))
+    }
+
+    /// Looks `key` up with its degradation flag (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// As [`get`](Self::get).
+    pub fn get_value(&mut self, key: &str) -> io::Result<Option<Value>> {
+        validate_key(key)?;
+        self.run_op(true, |c| c.get_value(key))
+    }
+
+    /// Pipelined batch of `GET`s (idempotent: the whole batch is replayed
+    /// on a mid-batch disconnect).
+    ///
+    /// # Errors
+    ///
+    /// As [`get`](Self::get); an `ORIGIN_ERROR` inside the batch passes
+    /// through after the batch's replies are drained.
+    pub fn get_pipelined(&mut self, keys: &[&str]) -> io::Result<Vec<Option<Vec<u8>>>> {
+        for key in keys {
+            validate_key(key)?;
+        }
+        self.run_op(true, |c| c.get_pipelined(keys))
+    }
+
+    /// Stores `key -> value`. **Not replayed**: a failure after the
+    /// request may have left surfaces as [`ConnectionError::MaybeApplied`]
+    /// (the one exception is a server-side checksum reject, which
+    /// definitively did not store and is retried).
+    ///
+    /// # Errors
+    ///
+    /// [`ConnectionError`] variants as above.
+    pub fn set(&mut self, key: &str, value: &[u8]) -> io::Result<()> {
+        validate_key(key)?;
+        if value.len() > MAX_VALUE_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("value over MAX_VALUE_LEN ({MAX_VALUE_LEN} bytes)"),
+            ));
+        }
+        self.run_op(false, |c| c.set(key, value))
+    }
+
+    /// Deletes `key`; `true` if it was resident. **Not replayed** — see
+    /// [`set`](Self::set).
+    ///
+    /// # Errors
+    ///
+    /// [`ConnectionError`] variants as above.
+    pub fn del(&mut self, key: &str) -> io::Result<bool> {
+        validate_key(key)?;
+        self.run_op(false, |c| c.del(key))
+    }
+
+    /// Fetches the `STATS` table (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`ConnectionError::Unavailable`] when every attempt failed.
+    pub fn stats(&mut self) -> io::Result<Vec<(String, String)>> {
+        self.run_op(true, Client::stats)
+    }
+
+    /// Fetches the Prometheus metrics exposition (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`ConnectionError::Unavailable`] when every attempt failed.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        self.run_op(true, Client::metrics)
+    }
+
+    /// Closes the current connection cleanly (best effort). The client
+    /// remains usable — the next call reconnects.
+    pub fn close(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            let _ = conn.client.quit();
+        }
+    }
+
+    /// Passive health of each endpoint, in construction order.
+    #[must_use]
+    pub fn endpoint_health(&self) -> Vec<bool> {
+        self.endpoints.iter().map(|e| e.healthy).collect()
+    }
+
+    /// Runs `op`, healing the connection through failures. `idempotent`
+    /// gates replay: a non-idempotent op whose request may have left the
+    /// building fails with [`ConnectionError::MaybeApplied`] instead of
+    /// being re-issued.
+    fn run_op<T>(
+        &mut self,
+        idempotent: bool,
+        mut op: impl FnMut(&mut Client) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut attempt: u32 = 0;
+        loop {
+            if let Err(e) = self.ensure_connected(&mut attempt) {
+                return Err(io::Error::other(ConnectionError::Unavailable {
+                    attempts: attempt,
+                    source: e,
+                }));
+            }
+            let conn = self.conn.as_mut().expect("ensure_connected succeeded");
+            let endpoint = conn.endpoint;
+            match op(&mut conn.client) {
+                Ok(v) => {
+                    self.endpoints[endpoint].healthy = true;
+                    return Ok(v);
+                }
+                // The server answered inside intact framing: nothing to
+                // heal, the error is the answer.
+                Err(e) if is_origin_error(&e) => return Err(e),
+                // Checksum reject: the server definitively did NOT apply
+                // the store and the stream is aligned — safe to re-issue
+                // even for SET, on the same connection.
+                Err(e) if is_store_rejected(&e) => {
+                    attempt += 1;
+                    if attempt >= self.config.max_attempts {
+                        return Err(e);
+                    }
+                    self.count_replay();
+                    self.sleep_backoff(attempt);
+                }
+                // Anything else poisons the connection: transport failure,
+                // deadline, or a reply we could not trust (corruption).
+                Err(e) => {
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                    ) {
+                        if let Some(m) = &self.metrics {
+                            m.deadline_timeouts.inc();
+                        }
+                    }
+                    self.conn = None;
+                    self.endpoints[endpoint].healthy = false;
+                    if !idempotent {
+                        return Err(io::Error::other(ConnectionError::MaybeApplied {
+                            source: e,
+                        }));
+                    }
+                    attempt += 1;
+                    if attempt >= self.config.max_attempts {
+                        return Err(io::Error::other(ConnectionError::Unavailable {
+                            attempts: attempt,
+                            source: e,
+                        }));
+                    }
+                    self.count_replay();
+                    self.sleep_backoff(attempt);
+                }
+            }
+        }
+    }
+
+    /// Connects if not connected, consuming attempts from the shared
+    /// per-call budget and sleeping the backoff between failures.
+    fn ensure_connected(&mut self, attempt: &mut u32) -> io::Result<()> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        loop {
+            let idx = self.pick_endpoint();
+            match Client::connect_with(self.endpoints[idx].addr.as_str(), &self.config.timeouts) {
+                Ok(client) => {
+                    self.endpoints[idx].healthy = true;
+                    if let Some(m) = &self.metrics {
+                        if self.ever_connected {
+                            m.reconnects.inc();
+                        }
+                        if self.last_endpoint.is_some_and(|prev| prev != idx) {
+                            m.failovers.inc();
+                        }
+                    }
+                    self.ever_connected = true;
+                    self.last_endpoint = Some(idx);
+                    self.conn = Some(Conn {
+                        endpoint: idx,
+                        client,
+                    });
+                    return Ok(());
+                }
+                Err(e) => {
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                    ) {
+                        if let Some(m) = &self.metrics {
+                            m.deadline_timeouts.inc();
+                        }
+                    }
+                    self.endpoints[idx].healthy = false;
+                    *attempt += 1;
+                    if *attempt >= self.config.max_attempts {
+                        return Err(e);
+                    }
+                    self.sleep_backoff(*attempt);
+                }
+            }
+        }
+    }
+
+    /// Picks the next endpoint: healthy ones round-robin, except that
+    /// every [`probe_every`](FailoverConfig::probe_every)-th pick tries an
+    /// unhealthy endpoint first (the recovery probe), and when everything
+    /// is marked unhealthy the rotation continues over all of them (marks
+    /// are advisory, not a death sentence).
+    fn pick_endpoint(&mut self) -> usize {
+        let n = self.endpoints.len();
+        self.picks += 1;
+        let probing =
+            self.config.probe_every > 0 && self.picks % u64::from(self.config.probe_every) == 0;
+        let from = self.cursor;
+        let find = |want_healthy: bool, eps: &[Endpoint]| -> Option<usize> {
+            (0..n)
+                .map(|k| (from + k) % n)
+                .find(|&i| eps[i].healthy == want_healthy)
+        };
+        let idx = if probing {
+            find(false, &self.endpoints)
+        } else {
+            None
+        }
+        .or_else(|| find(true, &self.endpoints))
+        .or_else(|| find(false, &self.endpoints))
+        .unwrap_or(0);
+        self.cursor = (idx + 1) % n;
+        idx
+    }
+
+    fn count_replay(&self) {
+        if let Some(m) = &self.metrics {
+            m.replays.inc();
+        }
+    }
+
+    /// Sleeps the capped-backoff delay before attempt `attempt`, jittered
+    /// by a fresh deterministic stream per sleep.
+    fn sleep_backoff(&mut self, attempt: u32) {
+        self.retries += 1;
+        let seed = mix64(self.config.seed, self.retries);
+        std::thread::sleep(self.config.backoff.delay(attempt.saturating_sub(1), seed));
+    }
+}
+
+fn validate_key(key: &str) -> io::Result<()> {
+    if proto::valid_key(key) {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("invalid key {key:?} (1..=250 printable ASCII, no spaces)"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client_over(health: &[bool], probe_every: u32) -> FailoverClient {
+        let mut fc = FailoverClient::new(
+            (0..health.len()).map(|i| format!("ep{i}")).collect(),
+            FailoverConfig {
+                probe_every,
+                ..FailoverConfig::default()
+            },
+        );
+        for (ep, &h) in fc.endpoints.iter_mut().zip(health) {
+            ep.healthy = h;
+        }
+        fc
+    }
+
+    #[test]
+    fn healthy_endpoints_rotate_round_robin() {
+        let mut fc = client_over(&[true, true, true], 0);
+        let picks: Vec<usize> = (0..6).map(|_| fc.pick_endpoint()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unhealthy_endpoints_are_skipped_until_probed() {
+        let mut fc = client_over(&[true, false, true], 4);
+        // Picks 1-3 avoid the unhealthy endpoint; pick 4 is the recovery
+        // probe and goes straight to it.
+        let picks: Vec<usize> = (0..4).map(|_| fc.pick_endpoint()).collect();
+        assert_eq!(picks, vec![0, 2, 0, 1]);
+    }
+
+    #[test]
+    fn all_unhealthy_still_rotates() {
+        let mut fc = client_over(&[false, false], 0);
+        let picks: Vec<usize> = (0..4).map(|_| fc.pick_endpoint()).collect();
+        assert_eq!(picks, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn connection_error_downcasts_from_io() {
+        let e = io::Error::other(ConnectionError::MaybeApplied {
+            source: io::Error::new(io::ErrorKind::BrokenPipe, "gone"),
+        });
+        assert!(ConnectionError::is_maybe_applied(&e));
+        match ConnectionError::from_io(&e) {
+            Some(ConnectionError::MaybeApplied { source }) => {
+                assert_eq!(source.kind(), io::ErrorKind::BrokenPipe);
+            }
+            other => panic!("bad downcast: {other:?}"),
+        }
+        let plain = io::Error::other("nope");
+        assert!(!ConnectionError::is_maybe_applied(&plain));
+        assert!(ConnectionError::from_io(&plain).is_none());
+    }
+
+    #[test]
+    fn invalid_keys_are_rejected_client_side() {
+        let mut fc = FailoverClient::new(vec!["127.0.0.1:1".into()], FailoverConfig::default());
+        let err = fc.get("has space").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = fc.set("", b"v").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
 }

@@ -21,8 +21,15 @@
 //! * [`resilience`] — middleware around a fallible origin: per-fetch
 //!   deadlines, bounded retry with capped backoff, a circuit breaker,
 //!   and the [`FaultBacking`] injector the fault-tolerance tests use.
-//! * [`client`] — a small blocking client used by the load generator,
-//!   the tests, and the CI smoke job.
+//! * [`client`] — a blocking client with connect/read/write deadlines,
+//!   plus a self-healing [`FailoverClient`] that reconnects with capped
+//!   backoff, transparently replays idempotent ops, and fails over
+//!   across replica endpoints with passive health marking.
+//! * [`chaos`] — a seeded in-process fault-injecting TCP proxy
+//!   ([`ChaosProxy`]): resets, corruption, truncation, stalls, partial
+//!   writes, throttling, and scripted partitions, each counted, so the
+//!   robustness claims above are mechanically checkable under hostile
+//!   networks.
 //!
 //! Binaries: `csr-serve` (the daemon) and `loadgen` (closed-loop Zipf
 //! load generator that reports throughput/latency percentiles and writes
@@ -32,13 +39,18 @@
 #![warn(missing_docs)]
 
 pub mod backing;
+pub mod chaos;
 pub mod client;
 pub mod proto;
 pub mod resilience;
 pub mod server;
 
 pub use backing::{Backing, BackingError, InfallibleBacking, MemoryBacking, NoBacking, SimBacking};
-pub use client::{Client, OriginError, Value};
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosSnapshot};
+pub use client::{
+    Client, ClientMetrics, ConnectionError, FailoverClient, FailoverConfig, OriginError,
+    StoreRejected, Timeouts, Value,
+};
 pub use resilience::{
     BackoffSchedule, BreakerState, CircuitBreaker, FaultBacking, OriginMetrics, ResilienceConfig,
     ResilientBacking,

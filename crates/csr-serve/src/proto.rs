@@ -12,12 +12,20 @@
 //! Errors split into two classes with different connection fates:
 //!
 //! * **Recoverable** ([`ProtoError::Client`] with `fatal == false`) — the
-//!   line was framed correctly but meant nothing (unknown verb, bad key,
-//!   wrong argument count). The server answers `CLIENT_ERROR` and keeps
+//!   request was invalid but the parser knows exactly where the next
+//!   request starts (unknown verb, bad key, wrong argument count, a line
+//!   or payload over its size limit whose bytes were discarded up to the
+//!   next frame boundary). The server answers `CLIENT_ERROR` and keeps
 //!   the connection.
 //! * **Fatal** (`fatal == true`, or an I/O error) — framing itself broke
-//!   (overlong line, missing payload terminator): byte position in the
-//!   stream is no longer trustworthy, so the server answers and closes.
+//!   (EOF mid-line, missing payload terminator, a declared payload too
+//!   large to even swallow): byte position in the stream is no longer
+//!   trustworthy, so the server answers and closes.
+//!
+//! Length-framed payloads (`VALUE`/`DATA` replies, and `SET` requests from
+//! this crate's client) carry a CRC32 so byte corruption *inside* a
+//! payload — invisible to line framing — is still detected as a malformed
+//! frame instead of being accepted as data.
 
 use std::io::{self, BufRead, Write};
 
@@ -28,6 +36,46 @@ pub const MAX_VALUE_LEN: usize = 1 << 20;
 /// Maximum command-line length in bytes, including the terminator —
 /// comfortably a verb, a maximal key, and a payload length.
 pub const MAX_LINE_LEN: usize = MAX_KEY_LEN + 32;
+/// Largest declared `SET` payload length the server will still *swallow*
+/// (read and discard to keep framing) before replying a recoverable
+/// "payload too large". Beyond this the connection closes instead — the
+/// peer is either hostile or badly broken, and reading further would let
+/// it stream gigabytes through the reject path.
+pub const MAX_SWALLOW_LEN: usize = 4 << 20;
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) lookup table, built at
+/// compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data` — the payload integrity check carried on
+/// length-framed payloads. Rendered on the wire as exactly 8 lowercase
+/// hex digits.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
 
 /// One parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,6 +108,10 @@ pub enum ProtoError {
         msg: String,
         /// Whether the connection must be closed.
         fatal: bool,
+        /// Which normative size limit was violated, if any (`"line"`,
+        /// `"key"`, or `"value"`) — feeds the server's
+        /// `csr_serve_conn_limit_rejects_total{limit=...}` counter.
+        limit: Option<&'static str>,
     },
 }
 
@@ -83,6 +135,7 @@ impl ProtoError {
         ProtoError::Client {
             msg: msg.into(),
             fatal: false,
+            limit: None,
         }
     }
 
@@ -90,6 +143,23 @@ impl ProtoError {
         ProtoError::Client {
             msg: msg.into(),
             fatal: true,
+            limit: None,
+        }
+    }
+
+    fn limited(msg: impl Into<String>, limit: &'static str) -> Self {
+        ProtoError::Client {
+            msg: msg.into(),
+            fatal: false,
+            limit: Some(limit),
+        }
+    }
+
+    fn fatal_limited(msg: impl Into<String>, limit: &'static str) -> Self {
+        ProtoError::Client {
+            msg: msg.into(),
+            fatal: true,
+            limit: Some(limit),
         }
     }
 }
@@ -104,6 +174,12 @@ pub fn valid_key(key: &str) -> bool {
 /// Reads one line, accepting `\r\n` or bare `\n`, rejecting lines longer
 /// than `max` bytes. `Ok(None)` is a clean EOF *before any byte of a new
 /// line*; EOF mid-line is an error.
+///
+/// An overlong line is a *recoverable* error: the rest of the line is
+/// discarded up to (and including) the next newline, so the reader is
+/// positioned at a frame boundary and the connection can continue. The
+/// discard is bounded in memory (one buffer at a time) and bounded in
+/// time by the caller's partial-request read deadline.
 fn read_line(r: &mut impl BufRead, max: usize) -> Result<Option<Vec<u8>>, ProtoError> {
     let mut line = Vec::new();
     loop {
@@ -118,7 +194,8 @@ fn read_line(r: &mut impl BufRead, max: usize) -> Result<Option<Vec<u8>>, ProtoE
         match buf.iter().position(|&b| b == b'\n') {
             Some(pos) => {
                 if line.len() + pos > max {
-                    return Err(ProtoError::fatal("command line too long"));
+                    r.consume(pos + 1);
+                    return Err(overlong_line());
                 }
                 line.extend_from_slice(&buf[..pos]);
                 r.consume(pos + 1);
@@ -129,7 +206,8 @@ fn read_line(r: &mut impl BufRead, max: usize) -> Result<Option<Vec<u8>>, ProtoE
             }
             None => {
                 if line.len() + buf.len() > max {
-                    return Err(ProtoError::fatal("command line too long"));
+                    discard_to_newline(r)?;
+                    return Err(overlong_line());
                 }
                 line.extend_from_slice(buf);
                 let n = buf.len();
@@ -137,6 +215,46 @@ fn read_line(r: &mut impl BufRead, max: usize) -> Result<Option<Vec<u8>>, ProtoE
             }
         }
     }
+}
+
+fn overlong_line() -> ProtoError {
+    ProtoError::limited("CLIENT_ERROR command line too long", "line")
+}
+
+/// Discards bytes up to and including the next newline, restoring frame
+/// alignment after an overlong line. EOF before the newline is fatal.
+fn discard_to_newline(r: &mut impl BufRead) -> Result<(), ProtoError> {
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            return Err(ProtoError::fatal("unexpected EOF mid-line"));
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                r.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let n = buf.len();
+                r.consume(n);
+            }
+        }
+    }
+}
+
+/// Discards exactly `n` payload bytes (an oversize but still swallowable
+/// `SET` body). EOF inside the payload is fatal.
+fn discard_exact(r: &mut impl BufRead, mut n: usize) -> Result<(), ProtoError> {
+    while n > 0 {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            return Err(ProtoError::fatal("unexpected EOF in payload"));
+        }
+        let take = buf.len().min(n);
+        r.consume(take);
+        n -= take;
+    }
+    Ok(())
 }
 
 /// Reads the next request off `r`. `Ok(None)` means the peer closed the
@@ -163,27 +281,46 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ProtoError>
             let key = parse_key_keep_rest(&mut parts)?;
             let len: usize = parts
                 .next()
-                .ok_or_else(|| ProtoError::client("CLIENT_ERROR SET needs <key> <len>"))
+                .ok_or_else(|| ProtoError::client("CLIENT_ERROR SET needs <key> <len> [<crc32>]"))
                 .and_then(|l| {
                     l.parse()
                         .map_err(|_| ProtoError::client("CLIENT_ERROR bad payload length"))
                 })?;
+            // Optional payload CRC32 (8 hex digits). This crate's client
+            // always sends it; bare netcat sessions may omit it. The token
+            // is validated only *after* the declared payload has been
+            // consumed — rejecting earlier would leave the payload bytes
+            // in the stream to be misread as commands.
+            let crc_token = parts.next();
             if parts.next().is_some() {
                 return Err(ProtoError::client("CLIENT_ERROR trailing arguments"));
             }
             if len > MAX_VALUE_LEN {
-                // The payload is coming no matter what we reply; framing
-                // is unsalvageable without swallowing it, so close.
-                return Err(ProtoError::fatal("payload too large"));
+                if len > MAX_SWALLOW_LEN {
+                    // Too large to even read-and-discard; framing is
+                    // unsalvageable without streaming the peer's flood.
+                    return Err(ProtoError::fatal_limited("payload too large", "value"));
+                }
+                // Swallow the declared payload to keep framing, then
+                // reject recoverably.
+                discard_exact(r, len)?;
+                read_payload_tail(r)?;
+                return Err(ProtoError::limited(
+                    "CLIENT_ERROR payload too large",
+                    "value",
+                ));
             }
             let mut value = vec![0u8; len];
             r.read_exact(&mut value)
                 .map_err(|_| ProtoError::fatal("unexpected EOF in payload"))?;
-            let mut tail = [0u8; 2];
-            r.read_exact(&mut tail)
-                .map_err(|_| ProtoError::fatal("unexpected EOF in payload"))?;
-            if &tail != b"\r\n" {
-                return Err(ProtoError::fatal("payload not CRLF-terminated"));
+            read_payload_tail(r)?;
+            if let Some(expect) = crc_token.map(parse_crc).transpose()? {
+                if crc32(&value) != expect {
+                    // The payload was length-framed and fully consumed, so
+                    // the stream is still aligned — but the bytes are not
+                    // what the client sent. Reject without storing.
+                    return Err(ProtoError::client("CLIENT_ERROR payload checksum mismatch"));
+                }
             }
             Request::Set(key, value)
         }
@@ -198,6 +335,27 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ProtoError>
         }
     };
     Ok(Some(request))
+}
+
+/// Parses an 8-hex-digit CRC32 token.
+fn parse_crc(token: &str) -> Result<u32, ProtoError> {
+    if token.len() == 8 && token.bytes().all(|b| b.is_ascii_hexdigit()) {
+        u32::from_str_radix(token, 16)
+            .map_err(|_| ProtoError::client("CLIENT_ERROR bad payload checksum"))
+    } else {
+        Err(ProtoError::client("CLIENT_ERROR bad payload checksum"))
+    }
+}
+
+/// Reads and checks the CRLF that terminates a length-framed payload.
+fn read_payload_tail(r: &mut impl BufRead) -> Result<(), ProtoError> {
+    let mut tail = [0u8; 2];
+    r.read_exact(&mut tail)
+        .map_err(|_| ProtoError::fatal("unexpected EOF in payload"))?;
+    if &tail != b"\r\n" {
+        return Err(ProtoError::fatal("payload not CRLF-terminated"));
+    }
+    Ok(())
 }
 
 fn parse_key<'a>(parts: &mut impl Iterator<Item = &'a str>) -> Result<String, ProtoError> {
@@ -215,7 +373,7 @@ fn parse_key_keep_rest<'a>(
         .next()
         .ok_or_else(|| ProtoError::client("CLIENT_ERROR missing key"))?;
     if !valid_key(key) {
-        return Err(ProtoError::client("CLIENT_ERROR invalid key"));
+        return Err(ProtoError::limited("CLIENT_ERROR invalid key", "key"));
     }
     Ok(key.to_owned())
 }
@@ -233,18 +391,25 @@ fn no_args<'a>(
 // ---------------------------------------------------------------------------
 // Response writers (shared by the server and, for shapes, the client).
 
-/// Writes a `VALUE <key> <len>` + payload + `END` reply (a `GET` hit).
+/// Writes a `VALUE <key> <len> <crc32>` + payload + `END` reply (a `GET`
+/// hit). The trailing CRC32 token lets the client detect payload
+/// corruption that line framing cannot see.
 pub fn write_value(w: &mut impl Write, key: &str, value: &[u8]) -> io::Result<()> {
-    write!(w, "VALUE {key} {}\r\n", value.len())?;
+    write!(w, "VALUE {key} {} {:08x}\r\n", value.len(), crc32(value))?;
     w.write_all(value)?;
     w.write_all(b"\r\nEND\r\n")
 }
 
-/// Writes a `VALUE <key> <len> STALE` + payload + `END` reply: a degraded
-/// `GET` answered from the stale store because the origin failed. Same
-/// framing as [`write_value`] plus the `STALE` flag token.
+/// Writes a `VALUE <key> <len> STALE <crc32>` + payload + `END` reply: a
+/// degraded `GET` answered from the stale store because the origin
+/// failed. Same framing as [`write_value`] plus the `STALE` flag token.
 pub fn write_stale_value(w: &mut impl Write, key: &str, value: &[u8]) -> io::Result<()> {
-    write!(w, "VALUE {key} {} STALE\r\n", value.len())?;
+    write!(
+        w,
+        "VALUE {key} {} STALE {:08x}\r\n",
+        value.len(),
+        crc32(value)
+    )?;
     w.write_all(value)?;
     w.write_all(b"\r\nEND\r\n")
 }
@@ -268,9 +433,10 @@ pub fn write_end(w: &mut impl Write) -> io::Result<()> {
     w.write_all(b"END\r\n")
 }
 
-/// Writes a length-framed `DATA` reply (the `METRICS` payload).
+/// Writes a length-framed `DATA <len> <crc32>` reply (the `METRICS`
+/// payload).
 pub fn write_data(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    write!(w, "DATA {}\r\n", payload.len())?;
+    write!(w, "DATA {} {:08x}\r\n", payload.len(), crc32(payload))?;
     w.write_all(payload)?;
     w.write_all(b"\r\nEND\r\n")
 }
@@ -368,7 +534,7 @@ mod tests {
     fn unknown_verb_is_recoverable() {
         let mut r = BufReader::new(&b"FROB x\r\nGET y\r\n"[..]);
         match read_request(&mut r) {
-            Err(ProtoError::Client { fatal, msg }) => {
+            Err(ProtoError::Client { fatal, msg, .. }) => {
                 assert!(!fatal, "framing is intact: connection may continue");
                 assert!(msg.contains("unknown command"));
             }
@@ -398,10 +564,30 @@ mod tests {
     }
 
     #[test]
-    fn overlong_line_is_fatal() {
+    fn overlong_line_is_recoverable_and_resyncs() {
         let mut input = b"GET ".to_vec();
         input.extend(std::iter::repeat(b'k').take(MAX_LINE_LEN + 10));
-        input.extend_from_slice(b"\r\n");
+        input.extend_from_slice(b"\r\nGET after\r\n");
+        let mut r = BufReader::new(&input[..]);
+        match read_request(&mut r) {
+            Err(ProtoError::Client { fatal, limit, .. }) => {
+                assert!(!fatal, "an overlong line is discarded, not fatal");
+                assert_eq!(limit, Some("line"));
+            }
+            other => panic!("expected recoverable limit error, got {other:?}"),
+        }
+        // The reader is positioned at the next frame boundary.
+        assert_eq!(
+            read_request(&mut r).unwrap(),
+            Some(Request::Get("after".into()))
+        );
+    }
+
+    #[test]
+    fn overlong_line_without_newline_hits_eof_fatally() {
+        // No newline ever arrives: the discard runs into EOF, which is a
+        // real framing loss.
+        let input = vec![b'k'; MAX_LINE_LEN + 100];
         let mut r = BufReader::new(&input[..]);
         assert!(matches!(
             read_request(&mut r),
@@ -410,13 +596,86 @@ mod tests {
     }
 
     #[test]
-    fn oversize_payload_is_fatal() {
-        let input = format!("SET k {}\r\n", MAX_VALUE_LEN + 1).into_bytes();
+    fn oversize_payload_is_swallowed_recoverably() {
+        let len = MAX_VALUE_LEN + 1;
+        let mut input = format!("SET k {len}\r\n").into_bytes();
+        input.extend(std::iter::repeat(b'x').take(len));
+        input.extend_from_slice(b"\r\nGET after\r\n");
+        let mut r = BufReader::new(&input[..]);
+        match read_request(&mut r) {
+            Err(ProtoError::Client { fatal, limit, .. }) => {
+                assert!(!fatal, "a swallowable oversize payload is recoverable");
+                assert_eq!(limit, Some("value"));
+            }
+            other => panic!("expected recoverable limit error, got {other:?}"),
+        }
+        assert_eq!(
+            read_request(&mut r).unwrap(),
+            Some(Request::Get("after".into()))
+        );
+    }
+
+    #[test]
+    fn unswallowable_payload_is_fatal() {
+        let input = format!("SET k {}\r\n", MAX_SWALLOW_LEN + 1).into_bytes();
         let mut r = BufReader::new(&input[..]);
         assert!(matches!(
             read_request(&mut r),
-            Err(ProtoError::Client { fatal: true, .. })
+            Err(ProtoError::Client {
+                fatal: true,
+                limit: Some("value"),
+                ..
+            })
         ));
+    }
+
+    #[test]
+    fn set_crc_is_verified_when_present() {
+        // Correct CRC: stored.
+        let mut input = format!("SET k 3 {:08x}\r\n", crc32(b"xyz")).into_bytes();
+        input.extend_from_slice(b"xyz\r\n");
+        let mut r = BufReader::new(&input[..]);
+        assert_eq!(
+            read_request(&mut r).unwrap(),
+            Some(Request::Set("k".into(), b"xyz".to_vec()))
+        );
+
+        // Wrong CRC: recoverable reject, stream stays aligned.
+        let mut input = format!("SET k 3 {:08x}\r\n", crc32(b"xyz") ^ 1).into_bytes();
+        input.extend_from_slice(b"xyz\r\nGET after\r\n");
+        let mut r = BufReader::new(&input[..]);
+        match read_request(&mut r) {
+            Err(ProtoError::Client { fatal, msg, .. }) => {
+                assert!(!fatal);
+                assert!(msg.contains("checksum mismatch"));
+            }
+            other => panic!("expected checksum reject, got {other:?}"),
+        }
+        assert_eq!(
+            read_request(&mut r).unwrap(),
+            Some(Request::Get("after".into()))
+        );
+
+        // Malformed CRC token: the payload is still consumed before the
+        // reject (rejecting earlier would leave it in the stream to be
+        // misread as commands), so the error is recoverable and the next
+        // request parses.
+        let mut r = BufReader::new(&b"SET k 3 nothex!!\r\nxyz\r\nGET after\r\n"[..]);
+        assert!(matches!(
+            read_request(&mut r),
+            Err(ProtoError::Client { fatal: false, .. })
+        ));
+        assert_eq!(
+            read_request(&mut r).unwrap(),
+            Some(Request::Get("after".into()))
+        );
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // The classic CRC-32/ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -430,21 +689,32 @@ mod tests {
 
     #[test]
     fn response_writers_produce_the_documented_shapes() {
+        let abc_crc = format!("{:08x}", crc32(b"abc"));
         let mut buf = Vec::new();
         write_value(&mut buf, "k", b"abc").unwrap();
-        assert_eq!(buf, b"VALUE k 3\r\nabc\r\nEND\r\n");
+        assert_eq!(
+            buf,
+            format!("VALUE k 3 {abc_crc}\r\nabc\r\nEND\r\n").as_bytes()
+        );
         buf.clear();
         write_end(&mut buf).unwrap();
         assert_eq!(buf, b"END\r\n");
         buf.clear();
         write_data(&mut buf, b"metrics 1\n").unwrap();
-        assert_eq!(buf, b"DATA 10\r\nmetrics 1\n\r\nEND\r\n");
+        let data_crc = format!("{:08x}", crc32(b"metrics 1\n"));
+        assert_eq!(
+            buf,
+            format!("DATA 10 {data_crc}\r\nmetrics 1\n\r\nEND\r\n").as_bytes()
+        );
         buf.clear();
         write_line(&mut buf, "STORED").unwrap();
         assert_eq!(buf, b"STORED\r\n");
         buf.clear();
         write_stale_value(&mut buf, "k", b"abc").unwrap();
-        assert_eq!(buf, b"VALUE k 3 STALE\r\nabc\r\nEND\r\n");
+        assert_eq!(
+            buf,
+            format!("VALUE k 3 STALE {abc_crc}\r\nabc\r\nEND\r\n").as_bytes()
+        );
         buf.clear();
         write_origin_error(&mut buf, "origin fetch timed out").unwrap();
         assert_eq!(buf, b"ORIGIN_ERROR origin fetch timed out\r\n");

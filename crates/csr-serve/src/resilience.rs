@@ -119,6 +119,21 @@ impl OriginMetrics {
 }
 
 // ---------------------------------------------------------------------------
+// Deterministic seed derivation
+
+/// SplitMix64 finalizer over a `(seed, stream)` pair — the workspace's
+/// shared deterministic hash for deriving independent sub-seeds from one
+/// base seed (backoff jitter per attempt here, per-connection fault plans
+/// in [`crate::chaos`]). Same inputs, same output, no ambient randomness.
+#[must_use]
+pub fn mix64(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
 // Backoff
 
 /// Capped exponential backoff with deterministic jitter.
@@ -157,11 +172,9 @@ impl BackoffSchedule {
             .base
             .checked_mul(1u32 << exp.min(20))
             .map_or(self.cap, |d| d.min(self.cap));
-        // splitmix64-style finalizer over (seed, attempt): jitter factor
-        // in [0.5, 1.0).
-        let mut z = seed ^ (u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        // splitmix64 finalizer over (seed, attempt): jitter factor in
+        // [0.5, 1.0).
+        let z = mix64(seed, u64::from(attempt));
         let frac = 0.5 + ((z >> 11) as f64 / (1u64 << 53) as f64) / 2.0;
         raw.mul_f64(frac)
     }

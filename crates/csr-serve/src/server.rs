@@ -95,9 +95,14 @@ pub struct ServerConfig {
     /// Accepted connections that may queue for a worker before new ones
     /// are shed with `SERVER_BUSY`.
     pub backlog: usize,
-    /// Read timeout: a connection idle (or stalled mid-request) this long
-    /// is closed.
+    /// Read timeout between requests: a connection idle this long is
+    /// closed.
     pub idle_timeout: Duration,
+    /// Total deadline for reading one request once its first byte has
+    /// arrived. A peer that sends half a line and stops (slowloris) is
+    /// cut after this long instead of holding a worker for the full
+    /// [`idle_timeout`](Self::idle_timeout).
+    pub partial_read_deadline: Duration,
     /// Write timeout for responses.
     pub write_timeout: Duration,
     /// Optional periodic metrics dump, flushed one final time on
@@ -121,6 +126,7 @@ impl Default for ServerConfig {
             workers: 64,
             backlog: 64,
             idle_timeout: Duration::from_secs(30),
+            partial_read_deadline: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             report: None,
             resilience: ResilienceConfig::default(),
@@ -225,6 +231,15 @@ struct ServerMetrics {
     req_stats: Arc<Counter>,
     req_metrics: Arc<Counter>,
     req_errors: Arc<Counter>,
+    /// Requests rejected for exceeding a normative limit, by which limit
+    /// (`line`, `key`, `value`). These are recoverable rejections — the
+    /// connection resyncs and continues.
+    limit_line: Arc<Counter>,
+    limit_key: Arc<Counter>,
+    limit_value: Arc<Counter>,
+    /// Connections cut for stalling mid-request past the partial-line
+    /// read deadline (slowloris defense, distinct from idle timeouts).
+    slowloris_drops: Arc<Counter>,
     /// Measured read-through fetch latency (µs) — the distribution of the
     /// very numbers being fed to the policy as miss costs.
     fetch_us: Arc<Histogram>,
@@ -246,6 +261,13 @@ impl ServerMetrics {
                 &[("verb", verb)],
             )
         };
+        let limit = |kind: &str| {
+            registry.counter(
+                "csr_serve_conn_limit_rejects_total",
+                "Requests rejected for exceeding a normative size limit",
+                &[("limit", kind)],
+            )
+        };
         ServerMetrics {
             accepted: conn("accepted"),
             shed: conn("shed"),
@@ -261,12 +283,33 @@ impl ServerMetrics {
             req_stats: req("stats"),
             req_metrics: req("metrics"),
             req_errors: req("error"),
+            limit_line: limit("line"),
+            limit_key: limit("key"),
+            limit_value: limit("value"),
+            slowloris_drops: registry.counter(
+                "csr_serve_conn_slowloris_drops_total",
+                "Connections cut for stalling mid-request past the partial-line deadline",
+                &[],
+            ),
             fetch_us: registry.histogram(
                 "csr_serve_miss_fetch_us",
                 "Measured origin fetch latency in microseconds (charged as miss cost)",
                 &[],
             ),
         }
+    }
+
+    /// The limit-reject counter for the proto layer's limit class.
+    fn limit_reject(&self, kind: &str) -> &Counter {
+        match kind {
+            "key" => &self.limit_key,
+            "value" => &self.limit_value,
+            _ => &self.limit_line,
+        }
+    }
+
+    fn limit_rejects(&self) -> u64 {
+        self.limit_line.get() + self.limit_key.get() + self.limit_value.get()
     }
 }
 
@@ -425,7 +468,11 @@ pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<Serv
         .map(|_| {
             let rx = Arc::clone(&rx);
             let shared = Arc::clone(&shared);
-            let conf = (config.idle_timeout, config.write_timeout);
+            let conf = ConnTimeouts {
+                idle: config.idle_timeout,
+                partial: config.partial_read_deadline,
+                write: config.write_timeout,
+            };
             std::thread::spawn(move || worker_loop(&rx, &shared, conf))
         })
         .collect();
@@ -488,19 +535,117 @@ fn accept_loop(
     }
 }
 
+/// Per-connection timeouts, as configured on the server.
+#[derive(Clone, Copy)]
+struct ConnTimeouts {
+    idle: Duration,
+    partial: Duration,
+    write: Duration,
+}
+
+/// A buffered reader that distinguishes "waiting for the next request"
+/// (bounded by the idle timeout) from "stalled mid-request" (bounded by
+/// the much tighter partial-read deadline). The protocol layer reads
+/// through [`BufRead`] oblivious to either; this wrapper re-arms the
+/// socket's read timeout before every refill based on whether the
+/// current request has started.
+struct DeadlineReader {
+    inner: BufReader<TcpStream>,
+    /// A second handle to the same socket, used to adjust its timeout.
+    stream: TcpStream,
+    idle: Duration,
+    partial: Duration,
+    /// When the first byte of the request in progress arrived; `None`
+    /// between requests.
+    started: Option<Instant>,
+}
+
+impl DeadlineReader {
+    fn new(
+        inner: BufReader<TcpStream>,
+        stream: TcpStream,
+        idle: Duration,
+        partial: Duration,
+    ) -> Self {
+        DeadlineReader {
+            inner,
+            stream,
+            idle,
+            partial,
+            started: None,
+        }
+    }
+
+    /// Marks the boundary between requests: the next refill waits under
+    /// the idle timeout again.
+    fn begin_idle(&mut self) {
+        self.started = None;
+    }
+
+    /// Whether a request is partially read (its deadline clock running).
+    fn mid_request(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Whether another pipelined request is already buffered.
+    fn has_buffered(&self) -> bool {
+        !self.inner.buffer().is_empty()
+    }
+}
+
+impl io::Read for DeadlineReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let available = io::BufRead::fill_buf(self)?;
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        io::BufRead::consume(self, n);
+        Ok(n)
+    }
+}
+
+impl io::BufRead for DeadlineReader {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        if self.inner.buffer().is_empty() {
+            let timeout = match self.started {
+                None => self.idle,
+                Some(t0) => {
+                    let left = self.partial.saturating_sub(t0.elapsed());
+                    if left.is_zero() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "request read deadline exceeded",
+                        ));
+                    }
+                    left.min(self.idle)
+                }
+            };
+            self.stream.set_read_timeout(Some(timeout))?;
+            let n = self.inner.fill_buf()?.len();
+            if n > 0 && self.started.is_none() {
+                self.started = Some(Instant::now());
+            }
+        } else if self.started.is_none() {
+            // A pipelined request is already buffered: its clock starts
+            // now, not when the socket next blocks.
+            self.started = Some(Instant::now());
+        }
+        Ok(self.inner.buffer())
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.inner.consume(amt);
+    }
+}
+
 /// One worker: serve queued connections until the channel closes.
-fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
-    shared: &Shared,
-    (idle_timeout, write_timeout): (Duration, Duration),
-) {
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared, timeouts: ConnTimeouts) {
     loop {
         let stream = match rx.lock().expect("worker queue lock poisoned").recv() {
             Ok(stream) => stream,
             Err(_) => return,
         };
         shared.metrics.active.add(1);
-        let _ = handle_conn(stream, shared, idle_timeout, write_timeout);
+        let _ = handle_conn(stream, shared, timeouts);
         shared.metrics.active.add(-1);
         shared.metrics.closed.inc();
     }
@@ -508,14 +653,9 @@ fn worker_loop(
 
 /// Serves one connection until EOF, `QUIT`, a fatal protocol error, a
 /// timeout, or shutdown.
-fn handle_conn(
-    stream: TcpStream,
-    shared: &Shared,
-    idle_timeout: Duration,
-    write_timeout: Duration,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(idle_timeout))?;
-    stream.set_write_timeout(Some(write_timeout))?;
+fn handle_conn(stream: TcpStream, shared: &Shared, timeouts: ConnTimeouts) -> io::Result<()> {
+    stream.set_read_timeout(Some(timeouts.idle))?;
+    stream.set_write_timeout(Some(timeouts.write))?;
     stream.set_nodelay(true)?;
 
     // Register the read half so shutdown can cut a blocked read.
@@ -535,7 +675,12 @@ fn handle_conn(
     }
     let _dereg = Dereg(shared, conn_id);
 
-    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut reader = DeadlineReader::new(
+        BufReader::new(stream.try_clone()?),
+        stream.try_clone()?,
+        timeouts.idle,
+        timeouts.partial,
+    );
     let mut writer = BufWriter::new(stream);
     loop {
         if shared.shutting_down() {
@@ -544,8 +689,11 @@ fn handle_conn(
         match proto::read_request(&mut reader) {
             Ok(None) | Ok(Some(Request::Quit)) => return writer.flush(),
             Ok(Some(request)) => respond(request, shared, &mut writer)?,
-            Err(ProtoError::Client { msg, fatal }) => {
+            Err(ProtoError::Client { msg, fatal, limit }) => {
                 shared.metrics.req_errors.inc();
+                if let Some(kind) = limit {
+                    shared.metrics.limit_reject(kind).inc();
+                }
                 let reply = if msg.starts_with("CLIENT_ERROR") {
                     msg
                 } else {
@@ -556,13 +704,32 @@ fn handle_conn(
                     return writer.flush();
                 }
             }
-            // Timeouts and transport errors close the connection; an idle
-            // peer holding a worker hostage is itself a protocol error.
-            Err(ProtoError::Io(_)) => return writer.flush(),
+            Err(ProtoError::Io(e)) => {
+                // A peer that stalled mid-request past the partial-read
+                // deadline is a slowloris: reclaim the worker, telling
+                // the peer why (best effort — it may not be listening).
+                if reader.mid_request()
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                    )
+                {
+                    shared.metrics.slowloris_drops.inc();
+                    let _ = proto::write_line(
+                        &mut writer,
+                        "CLIENT_ERROR request read deadline exceeded",
+                    );
+                }
+                // Timeouts and transport errors close the connection; an
+                // idle peer holding a worker hostage is itself a protocol
+                // error.
+                return writer.flush();
+            }
         }
+        reader.begin_idle();
         // Pipelining: only pay the flush syscall when no further request
         // is already buffered.
-        if reader.buffer().is_empty() {
+        if !reader.has_buffered() {
             writer.flush()?;
         }
     }
@@ -671,6 +838,8 @@ fn write_stats(shared: &Shared, w: &mut impl Write) -> io::Result<()> {
     stat("requests_get", m.req_get.get().to_string())?;
     stat("requests_set", m.req_set.get().to_string())?;
     stat("requests_del", m.req_del.get().to_string())?;
+    stat("conn_limit_rejects", m.limit_rejects().to_string())?;
+    stat("conn_slowloris_drops", m.slowloris_drops.get().to_string())?;
     stat(
         "origin_stale_served",
         shared.origin_metrics.stale_served.get().to_string(),

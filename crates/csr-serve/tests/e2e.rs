@@ -86,9 +86,11 @@ fn pipelined_requests_answer_in_order() {
         .unwrap();
     let mut reply = String::new();
     raw.read_to_string(&mut reply).unwrap();
-    assert!(reply.starts_with("VALUE k0 2\r\nv0\r\nEND\r\n"));
+    let crc0 = format!("{:08x}", csr_serve::proto::crc32(b"v0"));
+    let crc1 = format!("{:08x}", csr_serve::proto::crc32(b"v1"));
+    assert!(reply.starts_with(&format!("VALUE k0 2 {crc0}\r\nv0\r\nEND\r\n")));
     assert!(reply.contains("CLIENT_ERROR"));
-    assert!(reply.contains("VALUE k1 2\r\nv1\r\nEND\r\n"));
+    assert!(reply.contains(&format!("VALUE k1 2 {crc1}\r\nv1\r\nEND\r\n")));
     handle.shutdown().expect("clean shutdown");
 }
 

@@ -1,0 +1,200 @@
+//! Server-edge and client-socket hardening, end to end: deadlines on
+//! every client socket (a stalled server can no longer wedge a caller),
+//! the slowloris cutoff (a peer that sends half a line and stops loses
+//! its worker fast, not at the idle timeout), and the normative size
+//! limits (oversized lines and payloads get a recoverable error and the
+//! connection resyncs instead of desynchronizing).
+
+use csr_serve::client::{Client, Timeouts};
+use csr_serve::server::{serve, ServerConfig, ServerHandle};
+use csr_serve::{proto, MemoryBacking};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn metric(handle: &ServerHandle, needle: &str) -> u64 {
+    let text = csr_obs::export::prometheus(&handle.registry().snapshot());
+    text.lines()
+        .find(|l| l.starts_with(needle) && !l.starts_with('#'))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {needle} not found in:\n{text}"))
+}
+
+fn origin_with_keys() -> Arc<MemoryBacking> {
+    let origin = Arc::new(MemoryBacking::new());
+    origin.put("k".to_owned(), b"v".to_vec());
+    origin
+}
+
+/// Regression for the blocking-socket bug: a listener that accepts and
+/// then never replies must cost a deadlined client a bounded wait, not
+/// forever. (Before `Timeouts`, this test would hang.)
+#[test]
+fn client_deadlines_cut_a_stalled_server() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    // Accept and hold connections open without ever replying.
+    let held = std::thread::spawn(move || {
+        let mut socks = Vec::new();
+        for conn in listener.incoming().take(1) {
+            socks.push(conn);
+            // Keep them alive long past the client's deadline.
+            std::thread::sleep(Duration::from_secs(5));
+        }
+    });
+
+    let timeouts = Timeouts {
+        connect: Duration::from_secs(2),
+        read: Duration::from_millis(300),
+        write: Duration::from_millis(300),
+    };
+    let mut c = Client::connect_with(addr, &timeouts).expect("tcp connect succeeds");
+    let t0 = Instant::now();
+    let err = c.get("k").expect_err("read must hit its deadline");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+        ),
+        "expected a timeout, got {err:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(3),
+        "deadline took {:?}, far past the configured 300ms",
+        t0.elapsed()
+    );
+    drop(c);
+    drop(held); // don't wait out the holder thread
+}
+
+/// The slowloris satellite: with one worker and a tight partial-read
+/// deadline, a connection that sends half a request and stalls is cut
+/// well before the idle timeout — and the reclaimed worker then serves a
+/// well-behaved client.
+#[test]
+fn slowloris_connection_is_cut_and_the_worker_reclaimed() {
+    let config = ServerConfig {
+        workers: 1,
+        backlog: 4,
+        idle_timeout: Duration::from_secs(10),
+        partial_read_deadline: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let handle = serve(config, origin_with_keys()).expect("server starts");
+
+    let mut sly = TcpStream::connect(handle.addr()).expect("connect");
+    sly.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    sly.write_all(b"GET ha").expect("half a request"); // no newline, ever
+    let t0 = Instant::now();
+    let mut tail = Vec::new();
+    sly.read_to_end(&mut tail).expect("server closes the conn");
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "cut took {:?}: the partial deadline (300ms) did not fire",
+        t0.elapsed()
+    );
+    // Best-effort courtesy reply before the close.
+    let text = String::from_utf8_lossy(&tail);
+    assert!(
+        text.contains("request read deadline exceeded") || text.is_empty(),
+        "unexpected tail: {text:?}"
+    );
+    assert!(metric(&handle, "csr_serve_conn_slowloris_drops_total") >= 1);
+
+    // The single worker is free again: a normal client round-trips.
+    let mut c = Client::connect(handle.addr()).expect("connect after slowloris");
+    assert_eq!(c.get("k").expect("get"), Some(b"v".to_vec()));
+    c.quit().unwrap();
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// An idle (but not mid-request) connection still gets the longer idle
+/// timeout: the partial deadline must not fire between requests.
+#[test]
+fn idle_connections_outlive_the_partial_deadline() {
+    let config = ServerConfig {
+        workers: 2,
+        idle_timeout: Duration::from_secs(10),
+        partial_read_deadline: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let handle = serve(config, origin_with_keys()).expect("server starts");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    assert_eq!(c.get("k").expect("get"), Some(b"v".to_vec()));
+    // Idle well past the partial deadline, then use the same connection.
+    std::thread::sleep(Duration::from_millis(600));
+    assert_eq!(
+        c.get("k").expect("idle connection must still work"),
+        Some(b"v".to_vec())
+    );
+    c.quit().unwrap();
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// An overlong command line is rejected recoverably: CLIENT_ERROR, the
+/// limit counter ticks, and the *same connection* then answers a valid
+/// request (frame resync).
+#[test]
+fn overlong_line_rejects_recoverably_and_resyncs() {
+    let handle = serve(ServerConfig::default(), origin_with_keys()).expect("server starts");
+    let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let huge = format!("GET {}\r\n", "x".repeat(4096));
+    raw.write_all(huge.as_bytes()).unwrap();
+    raw.write_all(b"GET k\r\n").unwrap();
+
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.starts_with("CLIENT_ERROR"),
+        "expected a recoverable reject, got {line:?}"
+    );
+    let mut value_line = String::new();
+    reader.read_line(&mut value_line).unwrap();
+    let crc = format!("{:08x}", proto::crc32(b"v"));
+    assert_eq!(value_line, format!("VALUE k 1 {crc}\r\n"), "resync failed");
+    assert!(
+        metric(
+            &handle,
+            "csr_serve_conn_limit_rejects_total{limit=\"line\"}"
+        ) >= 1
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// An oversize SET payload (beyond the value limit but within the
+/// swallow cap) is consumed and rejected recoverably; the connection
+/// keeps working.
+#[test]
+fn oversize_set_payload_rejects_recoverably_and_resyncs() {
+    let handle = serve(ServerConfig::default(), origin_with_keys()).expect("server starts");
+    let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let too_big = proto::MAX_VALUE_LEN + 1;
+    raw.write_all(format!("SET big {too_big}\r\n").as_bytes())
+        .unwrap();
+    raw.write_all(&vec![b'x'; too_big]).unwrap();
+    raw.write_all(b"\r\nGET k\r\n").unwrap();
+
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.starts_with("CLIENT_ERROR"),
+        "expected a recoverable reject, got {line:?}"
+    );
+    let mut value_line = String::new();
+    reader.read_line(&mut value_line).unwrap();
+    let crc = format!("{:08x}", proto::crc32(b"v"));
+    assert_eq!(value_line, format!("VALUE k 1 {crc}\r\n"), "resync failed");
+    assert!(
+        metric(
+            &handle,
+            "csr_serve_conn_limit_rejects_total{limit=\"value\"}"
+        ) >= 1
+    );
+    handle.shutdown().expect("clean shutdown");
+}

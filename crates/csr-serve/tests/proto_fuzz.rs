@@ -1,0 +1,245 @@
+//! Protocol fuzzing: the parser must never panic, never allocate
+//! unboundedly (the size limits cut in first), and — through a live
+//! server — every reply to arbitrary input must be a well-formed frame
+//! or a clean close. Three passes:
+//!
+//! 1. 100k seeded random byte frames through `read_request` in-process.
+//! 2. Mutated-valid frames (truncations, bit flips, insertions,
+//!    duplications of real commands) through the same loop.
+//! 3. A socket pass: mutated garbage against a real server, every byte
+//!    of every reply checked against the reply grammar (including CRC
+//!    verification on `VALUE`/`DATA` payloads).
+
+use csr_serve::proto::{self, ProtoError};
+use csr_serve::server::{serve, ServerConfig};
+use csr_serve::{Client, MemoryBacking};
+use mem_trace::rng::SplitMix64;
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Bytes a frame is built from, biased toward protocol-looking content
+/// (verbs, digits, separators) so the fuzz reaches deep parse paths, not
+/// just "unknown command".
+fn random_frame(rng: &mut SplitMix64, out: &mut Vec<u8>) {
+    const VERBS: &[&[u8]] = &[
+        b"GET", b"SET", b"DEL", b"STATS", b"METRICS", b"QUIT", b"get", b"SETT", b"GE", b"",
+    ];
+    const FILLER: &[u8] = b" \t0123456789abcXYZ:_-.\r\n\0\xff\x80";
+    if rng.chance(0.7) {
+        out.extend_from_slice(VERBS[rng.below(VERBS.len() as u64) as usize]);
+        out.push(b' ');
+    }
+    let len = rng.below(48);
+    for _ in 0..len {
+        out.push(FILLER[rng.below(FILLER.len() as u64) as usize]);
+    }
+    if rng.chance(0.8) {
+        out.extend_from_slice(b"\r\n");
+    }
+}
+
+/// Drives `read_request` over one "connection's" bytes until it ends —
+/// cleanly, fatally, or by I/O — counting recoverable errors (which must
+/// leave the stream resynced for the next call). Returns (requests,
+/// recoverable errors).
+fn drain(input: &[u8]) -> (u64, u64) {
+    let mut reader = BufReader::new(input);
+    let (mut requests, mut recoverable) = (0u64, 0u64);
+    loop {
+        match proto::read_request(&mut reader) {
+            Ok(None) => return (requests, recoverable),
+            Ok(Some(_)) => requests += 1,
+            Err(ProtoError::Client { fatal: false, .. }) => recoverable += 1,
+            Err(ProtoError::Client { fatal: true, .. }) | Err(ProtoError::Io(_)) => {
+                return (requests, recoverable)
+            }
+        }
+    }
+}
+
+/// Pass 1: 100k seeded random frames. The assertion is the run itself —
+/// no panic, no OOM — plus a sanity check that the fuzz actually
+/// exercised both accept and reject paths.
+#[test]
+fn hundred_thousand_random_frames_never_panic() {
+    let mut rng = SplitMix64::new(0xf022);
+    let (mut frames, mut requests, mut recoverable) = (0u64, 0u64, 0u64);
+    while frames < 100_000 {
+        // Group frames into pipelined "connections" so recoverable
+        // errors must resync mid-stream, not just at frame boundaries.
+        let mut conn = Vec::new();
+        let burst = 1 + rng.below(16);
+        for _ in 0..burst {
+            random_frame(&mut rng, &mut conn);
+            frames += 1;
+        }
+        let (req, rec) = drain(&conn);
+        requests += req;
+        recoverable += rec;
+    }
+    assert!(frames >= 100_000);
+    assert!(requests > 0, "fuzz never produced a valid request");
+    assert!(recoverable > 0, "fuzz never produced a recoverable error");
+}
+
+/// A corpus of valid pipelines to mutate.
+fn corpus() -> Vec<Vec<u8>> {
+    let crc = proto::crc32(b"abc");
+    vec![
+        b"GET key:1\r\n".to_vec(),
+        b"SET key:1 3\r\nabc\r\n".to_vec(),
+        format!("SET key:1 3 {crc:08x}\r\nabc\r\n").into_bytes(),
+        b"DEL key:1\r\n".to_vec(),
+        b"STATS\r\n".to_vec(),
+        b"METRICS\r\n".to_vec(),
+        b"GET a\r\nGET b\r\nSET c 1\r\nx\r\nQUIT\r\n".to_vec(),
+    ]
+}
+
+fn mutate(rng: &mut SplitMix64, frame: &[u8]) -> Vec<u8> {
+    let mut out = frame.to_vec();
+    match rng.below(4) {
+        // Truncate at a random point.
+        0 => {
+            let cut = rng.below(out.len() as u64 + 1) as usize;
+            out.truncate(cut);
+        }
+        // Flip one bit.
+        1 => {
+            if !out.is_empty() {
+                let at = rng.below(out.len() as u64) as usize;
+                out[at] ^= 1 << rng.below(8);
+            }
+        }
+        // Insert a random byte.
+        2 => {
+            let at = rng.below(out.len() as u64 + 1) as usize;
+            #[allow(clippy::cast_possible_truncation)]
+            out.insert(at, rng.below(256) as u8);
+        }
+        // Duplicate a random slice.
+        _ => {
+            if !out.is_empty() {
+                let a = rng.below(out.len() as u64) as usize;
+                let b = rng.below(out.len() as u64) as usize;
+                let (lo, hi) = (a.min(b), a.max(b));
+                let dup = out[lo..hi].to_vec();
+                out.extend_from_slice(&dup);
+            }
+        }
+    }
+    out
+}
+
+/// Pass 2: mutated-valid frames in-process — near-misses of real
+/// commands reach the deepest parse paths.
+#[test]
+fn mutated_valid_frames_never_panic() {
+    let mut rng = SplitMix64::new(0xc0bb);
+    let corpus = corpus();
+    for _ in 0..25_000 {
+        let base = &corpus[rng.below(corpus.len() as u64) as usize];
+        let mutated = mutate(&mut rng, base);
+        drain(&mutated);
+        // And with a valid chaser: resync either consumes it as payload
+        // (a mutated SET length) or parses it — both fine, no panic.
+        let mut chased = mutate(&mut rng, base);
+        chased.extend_from_slice(b"GET chaser\r\n");
+        drain(&chased);
+    }
+}
+
+/// Asserts `reply` is a well-formed frame stream per PROTOCOL.md: known
+/// line shapes, length-framed payloads that match their declared CRC.
+/// EOF at a frame boundary is a clean close; EOF inside a frame is not.
+fn validate_reply_stream(reply: &[u8]) {
+    let mut rest = reply;
+    let next_line = |rest: &mut &[u8]| -> Option<Vec<u8>> {
+        let pos = rest.windows(2).position(|w| w == b"\r\n")?;
+        let line = rest[..pos].to_vec();
+        *rest = &rest[pos + 2..];
+        Some(line)
+    };
+    while !rest.is_empty() {
+        let Some(line) = next_line(&mut rest) else {
+            panic!("reply ends mid-line: {:?}", String::from_utf8_lossy(rest));
+        };
+        let text = String::from_utf8(line).expect("reply lines are UTF-8");
+        let mut consume_payload = |declared_len: &str, crc_token: Option<&str>| {
+            let len: usize = declared_len.parse().expect("declared length is numeric");
+            assert!(rest.len() >= len + 2, "payload truncated in {text:?}");
+            let (body, after) = rest.split_at(len);
+            assert_eq!(&after[..2], b"\r\n", "payload not CRLF-terminated");
+            if let Some(tok) = crc_token {
+                let declared = u32::from_str_radix(tok, 16).expect("crc token is hex");
+                assert_eq!(proto::crc32(body), declared, "crc mismatch in {text:?}");
+            }
+            rest = &after[2..];
+        };
+        let tokens: Vec<&str> = text.split(' ').collect();
+        match tokens.as_slice() {
+            ["VALUE", _key, len] => consume_payload(len, None),
+            ["VALUE", _key, len, crc] => consume_payload(len, Some(crc)),
+            ["VALUE", _key, len, "STALE", crc] => consume_payload(len, Some(crc)),
+            ["DATA", len] => consume_payload(len, None),
+            ["DATA", len, crc] => consume_payload(len, Some(crc)),
+            ["END" | "STORED" | "DELETED" | "NOT_FOUND" | "SERVER_BUSY"] => {}
+            ["STAT", ..] => {}
+            first
+                if first
+                    .first()
+                    .is_some_and(|t| *t == "CLIENT_ERROR" || *t == "ORIGIN_ERROR") => {}
+            other => panic!("unrecognized reply line: {other:?}"),
+        }
+    }
+}
+
+/// Pass 3: the same hostility through real sockets. Every connection's
+/// full reply stream must parse as well-formed frames; afterwards a
+/// clean client still round-trips (no worker was wedged or poisoned).
+#[test]
+fn server_replies_to_garbage_with_well_formed_frames() {
+    // The canary key must be unreachable from the fuzz alphabet: corpus
+    // frames contain working SETs (which store!), so checking a corpus
+    // key afterwards would race the fuzz's own writes.
+    let origin = Arc::new(MemoryBacking::new());
+    origin.put("canary".to_owned(), b"v1".to_vec());
+    let config = ServerConfig {
+        workers: 8,
+        idle_timeout: Duration::from_secs(2),
+        partial_read_deadline: Duration::from_millis(500),
+        ..ServerConfig::default()
+    };
+    let handle = serve(config, origin).expect("server starts");
+
+    let mut rng = SplitMix64::new(0x50c2);
+    let corpus = corpus();
+    for conn_i in 0..48 {
+        let mut payload = Vec::new();
+        for _ in 0..24 {
+            if rng.chance(0.5) {
+                let base = &corpus[rng.below(corpus.len() as u64) as usize];
+                payload.extend_from_slice(&mutate(&mut rng, base));
+            } else {
+                random_frame(&mut rng, &mut payload);
+            }
+        }
+        let mut sock = TcpStream::connect(handle.addr()).expect("connect");
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        sock.write_all(&payload).expect("write garbage");
+        // EOF our write half so the server drains to a decision.
+        sock.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reply = Vec::new();
+        sock.read_to_end(&mut reply)
+            .unwrap_or_else(|e| panic!("conn {conn_i}: read failed: {e}"));
+        validate_reply_stream(&reply);
+    }
+
+    // The pool survived all of it.
+    let mut c = Client::connect(handle.addr()).expect("connect after fuzz");
+    assert_eq!(c.get("canary").expect("get"), Some(b"v1".to_vec()));
+    c.quit().unwrap();
+    handle.shutdown().expect("clean shutdown");
+}
