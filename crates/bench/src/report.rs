@@ -60,13 +60,27 @@ pub fn table2_cells_json(cells: &[Table2Cell]) -> Json {
     )
 }
 
-/// Wraps a subcommand's data in the common report envelope.
+/// Wraps a subcommand's data in the common report envelope. The `meta`
+/// object stamps each report with its run configuration (tool, version,
+/// trace seed, scale, thread count), so a `BENCH_*.json` found cold is
+/// self-describing and reproducible.
 #[must_use]
 pub fn envelope(experiment: &str, opts: &ExperimentOpts, data: Json) -> Json {
     Json::obj([
         ("experiment", Json::str(experiment)),
         ("scale", Json::str(format!("{:?}", opts.scale()))),
         ("extended", Json::Bool(opts.extended)),
+        (
+            "meta",
+            Json::obj([
+                ("tool", Json::str("experiments")),
+                ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+                ("seed", Json::uint(csr_harness::experiments::BENCH_SEED)),
+                ("scale", Json::str(format!("{:?}", opts.scale()))),
+                ("extended", Json::Bool(opts.extended)),
+                ("threads", Json::uint(opts.threads as u64)),
+            ]),
+        ),
         ("data", data),
     ])
 }

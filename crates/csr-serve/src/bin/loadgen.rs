@@ -23,10 +23,12 @@
 use csr_obs::{Histogram, Json, Registry};
 use csr_serve::chaos::{ChaosConfig, ChaosProxy};
 use csr_serve::client::{ClientMetrics, ConnectionError, FailoverClient, FailoverConfig, Timeouts};
-use csr_serve::{Client, OriginError};
+use csr_serve::cluster::{parse_nodes, ClusterClient, ClusterClientConfig, ClusterMetrics};
+use csr_serve::{Client, ClusterNode, OriginError, Value};
 use mem_trace::rng::SplitMix64;
+use std::io;
 use std::net::ToSocketAddrs;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -43,6 +45,13 @@ fn usage() -> ! {
 USAGE: loadgen [OPTIONS]
 
   --addr HOST:PORT          server address (default 127.0.0.1:11311)
+  --cluster LIST            cluster mode: comma-separated membership ('id=addr' or bare
+                            'addr'); keys route by consistent hashing with hot-key
+                            fan-out and re-routing, and the report becomes
+                            BENCH_cluster.json with per-node STATS aggregated
+  --hot-keys N              skew mode: the N lowest-ranked keys absorb --hot-frac of
+                            the traffic on top of the Zipf draw (default 0 = off)
+  --hot-frac F              traffic fraction aimed at the hot keys (default 0.5)
   --conns N                 worker connections (default 8)
   --secs N                  measured run duration in seconds (default 5)
   --warmup N                warm-up seconds before measurement starts (default 0):
@@ -69,6 +78,7 @@ Chaos (any flag interposes a seeded ChaosProxy in front of --addr):
   --chaos-partial-write-rate F  relay replies in 1-7 byte writes (default 0)
   --chaos-partition-at-s N  start a full partition N seconds into the run
   --chaos-partition-secs N  partition duration (default 2)
+  --chaos-node I            cluster mode: which node the proxy fronts (default 0)
   -h, --help                this text"
     );
     std::process::exit(0);
@@ -76,6 +86,9 @@ Chaos (any flag interposes a seeded ChaosProxy in front of --addr):
 
 struct Opts {
     addr: String,
+    cluster: Vec<ClusterNode>,
+    hot_keys: usize,
+    hot_frac: f64,
     conns: usize,
     secs: u64,
     warmup: u64,
@@ -92,11 +105,15 @@ struct Opts {
     chaos_config: ChaosConfig,
     partition_at: Option<u64>,
     partition_secs: u64,
+    chaos_node: usize,
 }
 
 fn parse_args() -> Opts {
     let mut opts = Opts {
         addr: "127.0.0.1:11311".to_owned(),
+        cluster: Vec::new(),
+        hot_keys: 0,
+        hot_frac: 0.5,
         conns: 8,
         secs: 5,
         warmup: 0,
@@ -116,6 +133,7 @@ fn parse_args() -> Opts {
         },
         partition_at: None,
         partition_secs: 2,
+        chaos_node: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -128,6 +146,9 @@ fn parse_args() -> Opts {
         }
         match a.as_str() {
             "--addr" => opts.addr = val("--addr"),
+            "--cluster" => opts.cluster = parse_nodes(&val("--cluster")),
+            "--hot-keys" => opts.hot_keys = parse_num(&val("--hot-keys"), "--hot-keys"),
+            "--hot-frac" => opts.hot_frac = parse_num(&val("--hot-frac"), "--hot-frac"),
             "--conns" => opts.conns = parse_num(&val("--conns"), "--conns"),
             "--secs" => opts.secs = parse_num(&val("--secs"), "--secs"),
             "--warmup" => opts.warmup = parse_num(&val("--warmup"), "--warmup"),
@@ -197,12 +218,19 @@ fn parse_args() -> Opts {
                 opts.partition_secs =
                     parse_num(&val("--chaos-partition-secs"), "--chaos-partition-secs")
             }
+            "--chaos-node" => opts.chaos_node = parse_num(&val("--chaos-node"), "--chaos-node"),
             "-h" | "--help" => usage(),
             other => die(&format!("unknown flag '{other}'")),
         }
     }
     if opts.conns == 0 || opts.keys == 0 {
         die("--conns and --keys must be positive");
+    }
+    if !(0.0..=1.0).contains(&opts.hot_frac) {
+        die("--hot-frac must be within 0..=1");
+    }
+    if !opts.cluster.is_empty() && opts.chaos_node >= opts.cluster.len() {
+        die("--chaos-node is out of range for the --cluster list");
     }
     opts
 }
@@ -238,8 +266,10 @@ struct Totals {
     sets: AtomicU64,
     empty_gets: AtomicU64,
     stale_gets: AtomicU64,
+    forwarded_gets: AtomicU64,
     origin_errors: AtomicU64,
     maybe_applied: AtomicU64,
+    unavailable_writes: AtomicU64,
     wrong_values: AtomicU64,
     errors: AtomicU64,
 }
@@ -250,10 +280,43 @@ impl Totals {
         self.sets.store(0, Ordering::Relaxed);
         self.empty_gets.store(0, Ordering::Relaxed);
         self.stale_gets.store(0, Ordering::Relaxed);
+        self.forwarded_gets.store(0, Ordering::Relaxed);
         self.origin_errors.store(0, Ordering::Relaxed);
         self.maybe_applied.store(0, Ordering::Relaxed);
+        self.unavailable_writes.store(0, Ordering::Relaxed);
         // wrong_values and errors are *verdict* counters, not load
         // counters: never reset, even across the warm-up boundary.
+    }
+}
+
+/// The two client shapes a worker can drive: one failover client aimed
+/// at a single server (possibly via the chaos proxy), or the
+/// cluster-routing client over the full membership.
+enum Bench {
+    Single(Box<FailoverClient>),
+    Cluster(Box<ClusterClient>),
+}
+
+impl Bench {
+    fn get_value(&mut self, key: &str) -> io::Result<Option<Value>> {
+        match self {
+            Bench::Single(c) => c.get_value(key),
+            Bench::Cluster(c) => c.get_value(key),
+        }
+    }
+
+    fn set(&mut self, key: &str, value: &[u8]) -> io::Result<()> {
+        match self {
+            Bench::Single(c) => c.set(key, value),
+            Bench::Cluster(c) => c.set(key, value),
+        }
+    }
+
+    fn close(&mut self) {
+        match self {
+            Bench::Single(c) => c.close(),
+            Bench::Cluster(c) => c.close(),
+        }
     }
 }
 
@@ -274,22 +337,36 @@ fn main() {
         sets: AtomicU64::new(0),
         empty_gets: AtomicU64::new(0),
         stale_gets: AtomicU64::new(0),
+        forwarded_gets: AtomicU64::new(0),
         origin_errors: AtomicU64::new(0),
         maybe_applied: AtomicU64::new(0),
+        unavailable_writes: AtomicU64::new(0),
         wrong_values: AtomicU64::new(0),
         errors: AtomicU64::new(0),
     });
     let registry = Registry::new();
     let client_metrics = ClientMetrics::new(&registry);
+    let cluster_metrics = ClusterMetrics::new(&registry);
+    // Latency observed while the scripted partition is active — the
+    // "bounded p99 blip" the cluster bench report pins down.
+    let latency_part = Arc::new(Histogram::new());
+    let in_partition = Arc::new(AtomicBool::new(false));
 
-    // Chaos mode: interpose the proxy; workers dial it instead of --addr.
+    // Chaos mode: interpose the proxy — in front of --addr, or, in
+    // cluster mode, in front of the --chaos-node member. Only the dialed
+    // address changes; the ring keeps hashing the node's stable id, so
+    // ownership is unaffected.
+    let chaos_upstream = if opts.cluster.is_empty() {
+        opts.addr.clone()
+    } else {
+        opts.cluster[opts.chaos_node].addr.clone()
+    };
     let proxy = if opts.chaos {
-        let upstream = opts
-            .addr
+        let upstream = chaos_upstream
             .to_socket_addrs()
             .ok()
             .and_then(|mut addrs| addrs.next())
-            .unwrap_or_else(|| die(&format!("--addr {}: cannot resolve", opts.addr)));
+            .unwrap_or_else(|| die(&format!("chaos upstream {chaos_upstream}: cannot resolve")));
         let proxy = ChaosProxy::start(upstream, opts.chaos_config.clone())
             .unwrap_or_else(|e| die(&format!("chaos proxy failed to start: {e}")));
         eprintln!(
@@ -305,15 +382,24 @@ fn main() {
     let target = proxy
         .as_ref()
         .map_or_else(|| opts.addr.clone(), |p| p.addr().to_string());
+    // The membership workers dial: in cluster chaos, the fronted node's
+    // address is swapped for the proxy's.
+    let mut client_nodes = opts.cluster.clone();
+    if let (Some(p), false) = (&proxy, client_nodes.is_empty()) {
+        client_nodes[opts.chaos_node].addr = p.addr().to_string();
+    }
     // The scripted partition: one thread flips the proxy off and back on.
     if let (Some(proxy), Some(at)) = (proxy.clone(), opts.partition_at) {
         let secs = opts.partition_secs;
+        let flag = Arc::clone(&in_partition);
         std::thread::spawn(move || {
             std::thread::sleep(Duration::from_secs(at));
             eprintln!("loadgen: chaos partition begins ({secs}s)");
+            flag.store(true, Ordering::Relaxed);
             proxy.set_partitioned(true);
             std::thread::sleep(Duration::from_secs(secs));
             proxy.set_partitioned(false);
+            flag.store(false, Ordering::Relaxed);
             eprintln!("loadgen: chaos partition healed");
         });
     }
@@ -334,21 +420,61 @@ fn main() {
         .map(|i| {
             let cdf = Arc::clone(&cdf);
             let latency = Arc::clone(&latency);
+            let latency_part = Arc::clone(&latency_part);
+            let in_partition = Arc::clone(&in_partition);
             let totals = Arc::clone(&totals);
             let target = target.clone();
             let metrics = client_metrics.clone();
+            let cluster_metrics = cluster_metrics.clone();
+            let client_nodes = client_nodes.clone();
             let mut rng = SplitMix64::new(opts.seed ^ (0x9e37 + i as u64));
             let (set_ratio, value_len) = (opts.set_ratio, opts.value_len);
+            let (hot_keys, hot_frac) = (opts.hot_keys, opts.hot_frac);
             let config = FailoverConfig {
                 seed: opts.seed.wrapping_add(i as u64),
                 ..failover_config
             };
             std::thread::spawn(move || {
-                let mut client = FailoverClient::new(vec![target], config).with_metrics(metrics);
+                let mut client = if client_nodes.is_empty() {
+                    Bench::Single(Box::new(
+                        FailoverClient::new(vec![target], config).with_metrics(metrics),
+                    ))
+                } else {
+                    let cc = ClusterClientConfig {
+                        failover: FailoverConfig {
+                            // Cross-node re-routing is the cluster's
+                            // healing path: per-node retries stay tight
+                            // so a dead node costs one bounded timeout,
+                            // not a retry storm.
+                            max_attempts: config.max_attempts.min(2),
+                            ..config
+                        },
+                        ..ClusterClientConfig::default()
+                    };
+                    Bench::Cluster(Box::new(
+                        ClusterClient::new(client_nodes, cc).with_metrics(cluster_metrics),
+                    ))
+                };
+                let is_cluster = matches!(client, Bench::Cluster(_));
                 let payload = vec![b'v'; value_len];
                 while Instant::now() < deadline {
-                    let key = format!("key:{}", sample(&cdf, &mut rng));
+                    let key = if hot_keys > 0 && rng.chance(hot_frac) {
+                        // Hot-key skew: the N lowest ranks soak up a
+                        // tunable traffic fraction on top of the Zipf
+                        // draw (same namespace, so verification is
+                        // unchanged).
+                        format!("key:{}", rng.below(hot_keys as u64))
+                    } else {
+                        format!("key:{}", sample(&cdf, &mut rng))
+                    };
                     let is_set = rng.chance(set_ratio);
+                    let in_part = in_partition.load(Ordering::Relaxed);
+                    let record = |us: u64| {
+                        latency.record(us);
+                        if in_part {
+                            latency_part.record(us);
+                        }
+                    };
                     let t0 = Instant::now();
                     let outcome = if is_set {
                         totals.sets.fetch_add(1, Ordering::Relaxed);
@@ -363,6 +489,9 @@ fn main() {
                                 if v.stale {
                                     totals.stale_gets.fetch_add(1, Ordering::Relaxed);
                                 }
+                                if v.forwarded {
+                                    totals.forwarded_gets.fetch_add(1, Ordering::Relaxed);
+                                }
                                 if !plausible_value(&key, &v.data) {
                                     eprintln!("worker {i}: WRONG VALUE for {key}");
                                     totals.wrong_values.fetch_add(1, Ordering::Relaxed);
@@ -376,7 +505,7 @@ fn main() {
                     match outcome {
                         Ok(()) => {
                             totals.ops.fetch_add(1, Ordering::Relaxed);
-                            latency.record(us.max(1));
+                            record(us.max(1));
                         }
                         // A degraded origin is part of the workload under
                         // test, not a loadgen failure: the round-trip
@@ -384,14 +513,30 @@ fn main() {
                         Err(e) if e.get_ref().is_some_and(|inner| inner.is::<OriginError>()) => {
                             totals.origin_errors.fetch_add(1, Ordering::Relaxed);
                             totals.ops.fetch_add(1, Ordering::Relaxed);
-                            latency.record(us.max(1));
+                            record(us.max(1));
                         }
                         // A SET/DEL cut mid-flight: the client refuses to
                         // replay it (it may have applied). Under chaos
                         // that is correct behavior, not a failure.
                         Err(e) if ConnectionError::is_maybe_applied(&e) => {
                             totals.maybe_applied.fetch_add(1, Ordering::Relaxed);
-                            latency.record(us.max(1));
+                            record(us.max(1));
+                        }
+                        // A cluster write whose owner is unreachable fails
+                        // cleanly (the owner is the only legal target for
+                        // a SET): explicit write unavailability during a
+                        // partition, not a loadgen failure. Reads keep
+                        // their strict verdict — they re-route.
+                        Err(e)
+                            if is_cluster
+                                && is_set
+                                && matches!(
+                                    ConnectionError::from_io(&e),
+                                    Some(ConnectionError::Unavailable { .. })
+                                ) =>
+                        {
+                            totals.unavailable_writes.fetch_add(1, Ordering::Relaxed);
+                            record(us.max(1));
                         }
                         Err(e) => {
                             eprintln!("worker {i}: request failed: {e}");
@@ -424,7 +569,15 @@ fn main() {
     let ops = totals.ops.load(Ordering::Relaxed);
     let hist = latency.snapshot();
     let throughput = ops as f64 / elapsed.max(f64::EPSILON);
-    println!("loadgen: {} -> {}", opts.conns, opts.addr);
+    if opts.cluster.is_empty() {
+        println!("loadgen: {} -> {}", opts.conns, opts.addr);
+    } else {
+        println!(
+            "loadgen: {} -> cluster of {} nodes",
+            opts.conns,
+            opts.cluster.len()
+        );
+    }
     println!(
         "  ops {ops} ({:.0} ops/s over {elapsed:.2}s), sets {}, empty gets {}, stale gets {}, origin errors {}, errors {}",
         throughput,
@@ -469,13 +622,70 @@ fn main() {
     // Pull the server's own accounting — directly from --addr, not
     // through the chaos proxy: the verdict below must not depend on one
     // more coin flip.
-    let server_stats = match Client::connect(opts.addr.as_str()).and_then(|mut c| c.stats()) {
-        Ok(stats) => stats,
-        Err(e) => {
-            eprintln!("loadgen: STATS fetch failed: {e}");
-            Vec::new()
+    let server_stats = if opts.cluster.is_empty() {
+        match Client::connect(opts.addr.as_str()).and_then(|mut c| c.stats()) {
+            Ok(stats) => stats,
+            Err(e) => {
+                eprintln!("loadgen: STATS fetch failed: {e}");
+                Vec::new()
+            }
         }
+    } else {
+        Vec::new()
     };
+    // Cluster mode: every node's own STATS, dialed at its real address
+    // (`opts.cluster`, not the proxy-patched membership) so a healed
+    // partition cannot hide a node from the report.
+    let node_stats: Vec<(String, Vec<(String, String)>)> = opts
+        .cluster
+        .iter()
+        .filter_map(
+            |n| match Client::connect(n.addr.as_str()).and_then(|mut c| c.stats()) {
+                Ok(stats) => Some((n.id.clone(), stats)),
+                Err(e) => {
+                    eprintln!("loadgen: STATS fetch from node {} failed: {e}", n.id);
+                    None
+                }
+            },
+        )
+        .collect();
+    let sum_stat = |name: &str| -> u64 {
+        node_stats
+            .iter()
+            .map(|(_, stats)| {
+                stats
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .and_then(|(_, v)| v.parse::<u64>().ok())
+                    .unwrap_or(0)
+            })
+            .sum()
+    };
+    let part_hist = latency_part.snapshot();
+    if !opts.cluster.is_empty() {
+        println!(
+            "  cluster: nodes {}/{}  forwards {}  fallbacks {}  moved {}  reroutes {}  hot promotions {}  ring flips {}  forwarded gets {}  unavailable writes {}",
+            node_stats.len(),
+            opts.cluster.len(),
+            sum_stat("cluster_forwards"),
+            sum_stat("cluster_forward_fallbacks"),
+            sum_stat("cluster_moved"),
+            cluster_metrics.reroutes.get(),
+            cluster_metrics.hot_key_promotions.get(),
+            cluster_metrics.ring_flips.get(),
+            totals.forwarded_gets.load(Ordering::Relaxed),
+            totals.unavailable_writes.load(Ordering::Relaxed),
+        );
+        if part_hist.count() > 0 {
+            println!(
+                "  partition-window latency us: p50 {}  p99 {}  max {}  ({} samples)",
+                part_hist.quantile(0.50),
+                part_hist.quantile(0.99),
+                part_hist.max(),
+                part_hist.count(),
+            );
+        }
+    }
     let lookup = |name: &str| {
         server_stats
             .iter()
@@ -506,6 +716,14 @@ fn main() {
             (
                 "stale_gets",
                 Json::uint(totals.stale_gets.load(Ordering::Relaxed)),
+            ),
+            (
+                "forwarded_gets",
+                Json::uint(totals.forwarded_gets.load(Ordering::Relaxed)),
+            ),
+            (
+                "unavailable_writes",
+                Json::uint(totals.unavailable_writes.load(Ordering::Relaxed)),
             ),
             (
                 "origin_errors",
@@ -565,6 +783,52 @@ fn main() {
                 ]),
             ),
         ];
+        if !opts.cluster.is_empty() {
+            data.push((
+                "cluster",
+                Json::obj([
+                    ("nodes", Json::uint(opts.cluster.len() as u64)),
+                    ("nodes_reporting", Json::uint(node_stats.len() as u64)),
+                    ("forwards", Json::uint(sum_stat("cluster_forwards"))),
+                    (
+                        "forward_fallbacks",
+                        Json::uint(sum_stat("cluster_forward_fallbacks")),
+                    ),
+                    ("moved", Json::uint(sum_stat("cluster_moved"))),
+                    ("reroutes", Json::uint(cluster_metrics.reroutes.get())),
+                    (
+                        "hot_key_promotions",
+                        Json::uint(cluster_metrics.hot_key_promotions.get()),
+                    ),
+                    ("ring_flips", Json::uint(cluster_metrics.ring_flips.get())),
+                    (
+                        "forwarded_gets",
+                        Json::uint(totals.forwarded_gets.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "unavailable_writes",
+                        Json::uint(totals.unavailable_writes.load(Ordering::Relaxed)),
+                    ),
+                    ("lookups", Json::uint(sum_stat("lookups"))),
+                    ("hits", Json::uint(sum_stat("hits"))),
+                    ("misses", Json::uint(sum_stat("misses"))),
+                    ("evictions", Json::uint(sum_stat("evictions"))),
+                    (
+                        "aggregate_miss_cost",
+                        Json::uint(sum_stat("aggregate_miss_cost")),
+                    ),
+                ]),
+            ));
+            data.push((
+                "latency_partition_us",
+                Json::obj([
+                    ("count", Json::uint(part_hist.count())),
+                    ("p50", Json::uint(part_hist.quantile(0.50))),
+                    ("p99", Json::uint(part_hist.quantile(0.99))),
+                    ("max", Json::uint(part_hist.max())),
+                ]),
+            ));
+        }
         if let Some(snap) = &chaos_snapshot {
             data.push((
                 "chaos",
@@ -584,8 +848,30 @@ fn main() {
                 ]),
             ));
         }
+        // Run metadata, self-describing: a BENCH file found cold still
+        // says what produced it, with which knobs, against how many nodes.
+        let meta = Json::obj([
+            ("tool", Json::str("loadgen")),
+            ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+            ("seed", Json::uint(opts.seed)),
+            ("node_count", Json::uint(opts.cluster.len().max(1) as u64)),
+            ("conns", Json::uint(opts.conns as u64)),
+            ("keys", Json::uint(opts.keys as u64)),
+            ("zipf", Json::Float(opts.zipf)),
+            ("set_ratio", Json::Float(opts.set_ratio)),
+            ("hot_keys", Json::uint(opts.hot_keys as u64)),
+            ("hot_frac", Json::Float(opts.hot_frac)),
+            ("secs", Json::uint(opts.secs)),
+            ("warmup", Json::uint(opts.warmup)),
+            ("chaos", Json::Bool(opts.chaos)),
+        ]);
+        let (experiment, filename) = if opts.cluster.is_empty() {
+            ("serve_loadgen", "BENCH_serve.json")
+        } else {
+            ("cluster_loadgen", "BENCH_cluster.json")
+        };
         let report = Json::obj([
-            ("experiment", Json::str("serve_loadgen")),
+            ("experiment", Json::str(experiment)),
             ("addr", Json::str(opts.addr.clone())),
             ("conns", Json::uint(opts.conns as u64)),
             ("secs", Json::uint(opts.secs)),
@@ -594,12 +880,13 @@ fn main() {
             ("zipf", Json::Float(opts.zipf)),
             ("set_ratio", Json::Float(opts.set_ratio)),
             ("seed", Json::uint(opts.seed)),
+            ("meta", meta),
             ("data", Json::obj(data)),
         ]);
         let text = report.render();
         Json::parse(&text).expect("rendered report must re-parse");
         std::fs::create_dir_all(dir).expect("create --json directory");
-        let path = dir.join("BENCH_serve.json");
+        let path = dir.join(filename);
         std::fs::write(&path, text + "\n").expect("write JSON report");
         eprintln!("wrote {}", path.display());
     }

@@ -25,6 +25,12 @@
 //!   plus a self-healing [`FailoverClient`] that reconnects with capped
 //!   backoff, transparently replays idempotent ops, and fails over
 //!   across replica endpoints with passive health marking.
+//! * [`ring`] — the consistent-hash ring (virtual nodes, rendezvous
+//!   tie-breaking) every cluster participant derives ownership from.
+//! * [`cluster`] — cluster mode: server-side one-hop peer forwarding
+//!   with *measured* hop cost charged to forwarded entries, a
+//!   [`ClusterClient`] with hot-key replica fan-out and partition-aware
+//!   re-routing, and the `MOVED`/`FORWARDED` reply grammar.
 //! * [`chaos`] — a seeded in-process fault-injecting TCP proxy
 //!   ([`ChaosProxy`]): resets, corruption, truncation, stalls, partial
 //!   writes, throttling, and scripted partitions, each counted, so the
@@ -41,18 +47,25 @@
 pub mod backing;
 pub mod chaos;
 pub mod client;
+pub mod cluster;
 pub mod proto;
 pub mod resilience;
+pub mod ring;
 pub mod server;
 
 pub use backing::{Backing, BackingError, InfallibleBacking, MemoryBacking, NoBacking, SimBacking};
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosSnapshot};
 pub use client::{
-    Client, ClientMetrics, ConnectionError, FailoverClient, FailoverConfig, OriginError,
+    Client, ClientMetrics, ConnectionError, FailoverClient, FailoverConfig, Moved, OriginError,
     StoreRejected, Timeouts, Value,
+};
+pub use cluster::{
+    parse_nodes, ClusterClient, ClusterClientConfig, ClusterMetrics, ClusterNode, FreqSketch,
+    PeerConfig, PeerRouter,
 };
 pub use resilience::{
     BackoffSchedule, BreakerState, CircuitBreaker, FaultBacking, OriginMetrics, ResilienceConfig,
     ResilientBacking,
 };
+pub use ring::Ring;
 pub use server::{serve, Bytes, ReportSink, ServerConfig, ServerHandle};

@@ -82,6 +82,10 @@ pub fn crc32(data: &[u8]) -> u32 {
 pub enum Request {
     /// `GET <key>` — read-through lookup.
     Get(String),
+    /// `FGET <key>` — a peer-forwarded lookup (cluster mode). Served
+    /// exactly like `GET` except it is **never forwarded again** and
+    /// never answered `MOVED`: the one-hop loop-prevention rule.
+    ForwardGet(String),
     /// `SET <key> <len>` + payload — explicit store.
     Set(String, Vec<u8>),
     /// `DEL <key>` — invalidation.
@@ -276,6 +280,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ProtoError>
     let verb = parts.next().unwrap_or("");
     let request = match verb {
         "GET" | "get" => Request::Get(parse_key(&mut parts)?),
+        "FGET" | "fget" => Request::ForwardGet(parse_key(&mut parts)?),
         "DEL" | "del" => Request::Del(parse_key(&mut parts)?),
         "SET" | "set" => {
             let key = parse_key_keep_rest(&mut parts)?;
@@ -395,23 +400,47 @@ fn no_args<'a>(
 /// hit). The trailing CRC32 token lets the client detect payload
 /// corruption that line framing cannot see.
 pub fn write_value(w: &mut impl Write, key: &str, value: &[u8]) -> io::Result<()> {
-    write!(w, "VALUE {key} {} {:08x}\r\n", value.len(), crc32(value))?;
-    w.write_all(value)?;
-    w.write_all(b"\r\nEND\r\n")
+    write_value_flags(w, key, value, false, false)
 }
 
 /// Writes a `VALUE <key> <len> STALE <crc32>` + payload + `END` reply: a
 /// degraded `GET` answered from the stale store because the origin
 /// failed. Same framing as [`write_value`] plus the `STALE` flag token.
 pub fn write_stale_value(w: &mut impl Write, key: &str, value: &[u8]) -> io::Result<()> {
+    write_value_flags(w, key, value, true, false)
+}
+
+/// Writes a `VALUE` reply with its optional flag tokens, in the
+/// normative order `[STALE] [FORWARDED]`, between the length and the
+/// CRC32. `STALE` marks a degraded answer from the stale store;
+/// `FORWARDED` marks a cluster answer fetched from the key's owner node
+/// on the client's behalf (and now cached locally at its measured
+/// one-hop cost).
+pub fn write_value_flags(
+    w: &mut impl Write,
+    key: &str,
+    value: &[u8],
+    stale: bool,
+    forwarded: bool,
+) -> io::Result<()> {
+    let stale = if stale { "STALE " } else { "" };
+    let forwarded = if forwarded { "FORWARDED " } else { "" };
     write!(
         w,
-        "VALUE {key} {} STALE {:08x}\r\n",
+        "VALUE {key} {} {stale}{forwarded}{:08x}\r\n",
         value.len(),
         crc32(value)
     )?;
     w.write_all(value)?;
     w.write_all(b"\r\nEND\r\n")
+}
+
+/// Writes the recoverable `MOVED <addr>` reply: this cluster node does
+/// not own the key and peer-forwarding is disabled, so the client should
+/// re-issue the request against `addr` (the owner's advertised address).
+/// The connection stays open.
+pub fn write_moved(w: &mut impl Write, addr: &str) -> io::Result<()> {
+    write!(w, "MOVED {addr}\r\n")
 }
 
 /// Writes the recoverable `ORIGIN_ERROR <reason>` reply: the origin fetch
@@ -718,6 +747,45 @@ mod tests {
         buf.clear();
         write_origin_error(&mut buf, "origin fetch timed out").unwrap();
         assert_eq!(buf, b"ORIGIN_ERROR origin fetch timed out\r\n");
+    }
+
+    #[test]
+    fn fget_parses_like_get_and_keeps_the_key_grammar() {
+        let mut r = BufReader::new(&b"FGET user:1\r\nfget user:2\r\n"[..]);
+        assert_eq!(
+            read_request(&mut r).unwrap(),
+            Some(Request::ForwardGet("user:1".into()))
+        );
+        assert_eq!(
+            read_request(&mut r).unwrap(),
+            Some(Request::ForwardGet("user:2".into()))
+        );
+        let mut r = BufReader::new(&b"FGET has space\r\n"[..]);
+        assert!(matches!(
+            read_request(&mut r),
+            Err(ProtoError::Client { fatal: false, .. })
+        ));
+    }
+
+    #[test]
+    fn cluster_reply_writers_produce_the_documented_shapes() {
+        let abc_crc = format!("{:08x}", crc32(b"abc"));
+        let mut buf = Vec::new();
+        write_value_flags(&mut buf, "k", b"abc", false, true).unwrap();
+        assert_eq!(
+            buf,
+            format!("VALUE k 3 FORWARDED {abc_crc}\r\nabc\r\nEND\r\n").as_bytes()
+        );
+        buf.clear();
+        // Both flags: STALE first, FORWARDED second — the normative order.
+        write_value_flags(&mut buf, "k", b"abc", true, true).unwrap();
+        assert_eq!(
+            buf,
+            format!("VALUE k 3 STALE FORWARDED {abc_crc}\r\nabc\r\nEND\r\n").as_bytes()
+        );
+        buf.clear();
+        write_moved(&mut buf, "10.0.0.2:11311").unwrap();
+        assert_eq!(buf, b"MOVED 10.0.0.2:11311\r\n");
     }
 
     #[test]

@@ -1,0 +1,433 @@
+//! The cluster's consistent-hash ring: virtual nodes for balance,
+//! rendezvous hashing to break point ties.
+//!
+//! Every cluster participant — each server node and every
+//! [`ClusterClient`](crate::cluster::ClusterClient) — builds the same
+//! [`Ring`] from the same `(members, vnodes, seed)` triple, so key
+//! ownership is a pure function agreed on without coordination. Each
+//! member is hashed onto the ring at [`vnodes`](Ring::vnodes) points;
+//! a key belongs to the member owning the first point at or clockwise
+//! of the key's own hash. Virtual nodes keep the arcs statistically
+//! even (balance tightens as `vnodes` grows), and consistent hashing
+//! gives the *minimal disruption* property: adding or removing one of
+//! `N` members moves only ~`1/N` of the keyspace, never reshuffling
+//! keys between two surviving members.
+//!
+//! Two members' virtual points can collide on the same ring position
+//! (a 64-bit tie — astronomically rare, but the grammar of ownership
+//! must still be total and deterministic). Ties are broken by
+//! *rendezvous hashing*: among the tied members, the key goes to the
+//! one maximizing `mix64(member_hash, key_hash)`, which is stable
+//! across processes and independent of construction order.
+
+use crate::backing::fnv1a;
+use crate::resilience::mix64;
+
+/// A consistent-hash ring over named members (node addresses, in the
+/// cluster's case). Immutable once built: membership changes are
+/// modeled by building a new ring, and the consistency property bounds
+/// how much ownership such a rebuild can move.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    members: Vec<String>,
+    /// `(ring position, member index)`, sorted by position.
+    points: Vec<(u64, u32)>,
+    vnodes: usize,
+    seed: u64,
+}
+
+impl Ring {
+    /// Builds the ring for `members` (duplicates collapse; order does
+    /// not affect ownership) with `vnodes` virtual points per member.
+    /// `seed` perturbs every hash, so distinct clusters sharing member
+    /// names still shard differently; all participants of one cluster
+    /// must agree on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty (after deduplication) or `vnodes`
+    /// is zero.
+    #[must_use]
+    pub fn new(members: Vec<String>, vnodes: usize, seed: u64) -> Ring {
+        assert!(vnodes > 0, "a ring needs at least one virtual node");
+        let mut uniq: Vec<String> = Vec::with_capacity(members.len());
+        for m in members {
+            if !uniq.contains(&m) {
+                uniq.push(m);
+            }
+        }
+        assert!(!uniq.is_empty(), "a ring needs at least one member");
+        let mut points = Vec::with_capacity(uniq.len() * vnodes);
+        for (i, member) in uniq.iter().enumerate() {
+            let base = mix64(seed, fnv1a(member));
+            for v in 0..vnodes {
+                points.push((
+                    mix64(base, v as u64),
+                    u32::try_from(i).expect("member count"),
+                ));
+            }
+        }
+        // Sort by position; the member index tiebreak only fixes the
+        // *layout* of collided points (lookup re-breaks ties by
+        // rendezvous, so construction order still cannot matter).
+        points.sort_unstable();
+        Ring {
+            members: uniq,
+            points,
+            vnodes,
+            seed,
+        }
+    }
+
+    /// The members, deduplicated, in construction order. Member indices
+    /// returned by [`owner_index`](Self::owner_index) and
+    /// [`replicas`](Self::replicas) index into this slice.
+    #[must_use]
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring has no members (never true: construction
+    /// requires one).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Virtual points per member.
+    #[must_use]
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// The ring's hash seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The ring position of `key`.
+    #[must_use]
+    fn key_point(&self, key: &str) -> u64 {
+        mix64(self.seed, fnv1a(key))
+    }
+
+    /// The index (into [`members`](Self::members)) of the member owning
+    /// `key`.
+    #[must_use]
+    pub fn owner_index(&self, key: &str) -> usize {
+        let kp = self.key_point(key);
+        let start = self.successor(kp);
+        let tied = self.tie_run(start);
+        if tied.len() == 1 {
+            return usize::try_from(self.points[start].1).expect("member index");
+        }
+        // Rendezvous tie-break among the members whose points collide
+        // at this exact position.
+        let kh = fnv1a(key);
+        tied.into_iter()
+            .max_by_key(|&m| (mix64(fnv1a(&self.members[m]), kh), std::cmp::Reverse(m)))
+            .expect("tie run is never empty")
+    }
+
+    /// The member owning `key`.
+    #[must_use]
+    pub fn owner(&self, key: &str) -> &str {
+        &self.members[self.owner_index(key)]
+    }
+
+    /// Up to `r` *distinct* members for `key`, in ring preference
+    /// order: the owner first, then each subsequent clockwise member.
+    /// This is the replica set hot keys fan out over, and the re-route
+    /// order when the owner is unreachable.
+    #[must_use]
+    pub fn replicas(&self, key: &str, r: usize) -> Vec<usize> {
+        let want = r.min(self.members.len());
+        let mut out = Vec::with_capacity(want);
+        if want == 0 {
+            return out;
+        }
+        out.push(self.owner_index(key));
+        let start = self.successor(self.key_point(key));
+        for step in 1..=self.points.len() {
+            if out.len() == want {
+                break;
+            }
+            let idx = usize::try_from(self.points[(start + step) % self.points.len()].1)
+                .expect("member index");
+            if !out.contains(&idx) {
+                out.push(idx);
+            }
+        }
+        out
+    }
+
+    /// Index into `points` of the first point at or clockwise of `kp`.
+    fn successor(&self, kp: u64) -> usize {
+        let i = self.points.partition_point(|&(p, _)| p < kp);
+        if i == self.points.len() {
+            0
+        } else {
+            i
+        }
+    }
+
+    /// Member indices of every point sharing `points[start]`'s exact
+    /// position (the tie run; length 1 in the non-collision case).
+    fn tie_run(&self, start: usize) -> Vec<usize> {
+        let pos = self.points[start].0;
+        let n = self.points.len();
+        let mut out = Vec::with_capacity(1);
+        for step in 0..n {
+            let (p, m) = self.points[(start + step) % n];
+            if p != pos {
+                break;
+            }
+            let m = usize::try_from(m).expect("member index");
+            if !out.contains(&m) {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Test-only constructor with explicit ring points, for exercising
+    /// the tie-break path that honest hashing essentially never hits.
+    #[cfg(test)]
+    fn with_points(members: Vec<String>, points: Vec<(u64, u32)>, seed: u64) -> Ring {
+        let mut points = points;
+        points.sort_unstable();
+        Ring {
+            members,
+            points,
+            vnodes: 1,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn four_nodes() -> Vec<String> {
+        (1..=4).map(|i| format!("10.0.0.{i}:11311")).collect()
+    }
+
+    fn ownership(ring: &Ring, keys: usize) -> Vec<usize> {
+        (0..keys)
+            .map(|i| ring.owner_index(&format!("key:{i}")))
+            .collect()
+    }
+
+    #[test]
+    fn ownership_is_deterministic_for_a_fixed_seed() {
+        let a = Ring::new(four_nodes(), 64, 7);
+        let b = Ring::new(four_nodes(), 64, 7);
+        for i in 0..4096 {
+            let k = format!("key:{i}");
+            assert_eq!(a.owner(&k), b.owner(&k), "owner of {k} must be stable");
+        }
+        // Construction order must not matter either.
+        let mut rev = four_nodes();
+        rev.reverse();
+        let c = Ring::new(rev, 64, 7);
+        for i in 0..4096 {
+            let k = format!("key:{i}");
+            assert_eq!(a.owner(&k), c.owner(&k), "owner of {k} is order-dependent");
+        }
+        // A pinned sample: any change to the hash chain is a breaking
+        // cluster event (old and new nodes would disagree on ownership),
+        // so it must show up as a test failure, not a silent remap.
+        let sample: Vec<&str> = (0..8).map(|i| a.owner(&format!("key:{i}"))).collect();
+        assert_eq!(
+            sample,
+            vec![
+                "10.0.0.3:11311",
+                "10.0.0.2:11311",
+                "10.0.0.4:11311",
+                "10.0.0.2:11311",
+                "10.0.0.3:11311",
+                "10.0.0.2:11311",
+                "10.0.0.4:11311",
+                "10.0.0.4:11311",
+            ]
+        );
+    }
+
+    #[test]
+    fn different_seeds_shard_differently() {
+        let a = Ring::new(four_nodes(), 64, 1);
+        let b = Ring::new(four_nodes(), 64, 2);
+        let differing = (0..1024)
+            .filter(|i| {
+                let k = format!("key:{i}");
+                a.owner(&k) != b.owner(&k)
+            })
+            .count();
+        assert!(
+            differing > 256,
+            "seeds 1 and 2 agree on too much: {differing}"
+        );
+    }
+
+    #[test]
+    fn virtual_nodes_balance_within_15_percent_across_4_nodes() {
+        // Arc-length variance shrinks like 1/sqrt(vnodes): 512 points
+        // per member keeps every seed we sampled under 10% deviation
+        // (at 128 an unlucky seed can stray past 15%).
+        let ring = Ring::new(four_nodes(), 512, 42);
+        let keys = 40_000;
+        let mut counts = [0usize; 4];
+        for o in ownership(&ring, keys) {
+            counts[o] += 1;
+        }
+        let mean = keys as f64 / 4.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - mean).abs() / mean;
+            assert!(
+                dev <= 0.15,
+                "node {i} holds {c} of {keys} keys ({:.1}% off the mean)",
+                dev * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn join_moves_at_most_its_fair_share() {
+        let keys = 20_000;
+        let before = Ring::new(four_nodes(), 128, 42);
+        let mut five = four_nodes();
+        five.push("10.0.0.5:11311".to_owned());
+        let after = Ring::new(five, 128, 42);
+        let owners_before = ownership(&before, keys);
+        let owners_after = ownership(&after, keys);
+        let mut moved = 0;
+        for i in 0..keys {
+            if before.members()[owners_before[i]] != after.members()[owners_after[i]] {
+                moved += 1;
+                // Consistency: a key that moved can only have moved TO
+                // the new node — never between survivors.
+                assert_eq!(
+                    after.members()[owners_after[i]],
+                    "10.0.0.5:11311",
+                    "key:{i} reshuffled between surviving nodes"
+                );
+            }
+        }
+        let fair = keys as f64 / 5.0;
+        assert!(moved > 0, "a joining node must take some keys");
+        assert!(
+            (moved as f64) <= fair * 1.15,
+            "join moved {moved} keys; fair share is {fair:.0} (+15%)"
+        );
+    }
+
+    #[test]
+    fn leave_moves_only_the_departed_nodes_keys() {
+        let keys = 20_000;
+        let before = Ring::new(four_nodes(), 128, 42);
+        let survivors: Vec<String> = four_nodes().into_iter().take(3).collect();
+        let after = Ring::new(survivors, 128, 42);
+        let mut moved = 0;
+        for i in 0..keys {
+            let k = format!("key:{i}");
+            if before.owner(&k) != after.owner(&k) {
+                moved += 1;
+                assert_eq!(
+                    before.owner(&k),
+                    "10.0.0.4:11311",
+                    "{k} moved but its old owner survived"
+                );
+            }
+        }
+        let fair = keys as f64 / 4.0;
+        assert!(moved > 0);
+        assert!(
+            (moved as f64) <= fair * 1.15,
+            "leave moved {moved} keys; the departed node's share is {fair:.0} (+15%)"
+        );
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_start_with_the_owner() {
+        let ring = Ring::new(four_nodes(), 64, 7);
+        for i in 0..256 {
+            let k = format!("key:{i}");
+            for r in 1..=5 {
+                let reps = ring.replicas(&k, r);
+                assert_eq!(reps.len(), r.min(4));
+                assert_eq!(reps[0], ring.owner_index(&k));
+                let mut sorted = reps.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), reps.len(), "{k}: replicas must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn replica_sets_are_nested_by_r() {
+        // replicas(k, r) must be a prefix of replicas(k, r+1): hot-key
+        // fan-out growing R must not re-home traffic already placed.
+        let ring = Ring::new(four_nodes(), 64, 7);
+        for i in 0..64 {
+            let k = format!("key:{i}");
+            let four = ring.replicas(&k, 4);
+            for r in 1..4 {
+                assert_eq!(ring.replicas(&k, r), four[..r], "{k} at r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_ties_break_by_rendezvous_not_layout() {
+        // Both members collide at position 100 (and nothing else is
+        // below u64::MAX/2), so every low-hashing key lands on the tie.
+        let members = vec!["alpha".to_owned(), "beta".to_owned()];
+        let a = Ring::with_points(
+            members.clone(),
+            vec![(100, 0), (100, 1), (u64::MAX / 2, 0), (u64::MAX / 2 + 1, 1)],
+            0,
+        );
+        // Layout order flipped: rendezvous must produce the same owner.
+        let b = Ring::with_points(
+            members.clone(),
+            vec![(100, 1), (100, 0), (u64::MAX / 2, 0), (u64::MAX / 2 + 1, 1)],
+            0,
+        );
+        let mut hits: HashMap<String, usize> = HashMap::new();
+        let mut tested = 0;
+        for i in 0..512 {
+            let k = format!("key:{i}");
+            let kp = a.key_point(&k);
+            if kp > 100 && kp <= u64::MAX / 2 + 1 {
+                continue; // lands on a non-tied point
+            }
+            tested += 1;
+            assert_eq!(a.owner(&k), b.owner(&k), "{k}: tie-break depends on layout");
+            *hits.entry(a.owner(&k).to_owned()).or_default() += 1;
+        }
+        // mix64(seed, fnv1a(key)) is tiny for *some* keys.
+        assert!(tested > 0, "no key exercised the tie run");
+        // Rendezvous splits tied keys between both members rather than
+        // always favoring one layout slot.
+        if tested >= 8 {
+            assert!(hits.len() == 2, "tie always resolved one way: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_members_collapse() {
+        let ring = Ring::new(vec!["a".into(), "b".into(), "a".into()], 16, 0);
+        assert_eq!(ring.members(), &["a".to_owned(), "b".to_owned()]);
+        assert_eq!(ring.replicas("k", 8).len(), 2);
+    }
+}

@@ -43,10 +43,12 @@
 //! finish their in-flight requests, then flush the final metrics report.
 
 use crate::backing::{Backing, BackingError};
+use crate::cluster::{ClusterNode, ClusterServerMetrics, PeerConfig, PeerRouter};
 use crate::proto::{self, ProtoError, Request};
 use crate::resilience::{OriginMetrics, ResilienceConfig, ResilientBacking};
 use csr_cache::{CacheStats, CsrCache, Policy};
 use csr_obs::{Counter, Gauge, Histogram, Registry, ReportFormat, Reporter};
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -114,6 +116,11 @@ pub struct ServerConfig {
     /// Entries the stale store retains for serve-stale degradation
     /// (`None`: match the cache capacity; `Some(0)` disables it).
     pub stale_capacity: Option<usize>,
+    /// Cluster membership and peer-forwarding behaviour (`None`: the
+    /// node runs standalone). An empty `node_id` is substituted with the
+    /// bound listen address at startup (and appended to the membership
+    /// if absent), so tests binding port 0 need no up-front address.
+    pub cluster: Option<PeerConfig>,
 }
 
 impl Default for ServerConfig {
@@ -131,6 +138,7 @@ impl Default for ServerConfig {
             report: None,
             resilience: ResilienceConfig::default(),
             stale_capacity: None,
+            cluster: None,
         }
     }
 }
@@ -226,6 +234,7 @@ struct ServerMetrics {
     closed: Arc<Counter>,
     active: Arc<Gauge>,
     req_get: Arc<Counter>,
+    req_fget: Arc<Counter>,
     req_set: Arc<Counter>,
     req_del: Arc<Counter>,
     req_stats: Arc<Counter>,
@@ -278,6 +287,7 @@ impl ServerMetrics {
                 &[],
             ),
             req_get: req("get"),
+            req_fget: req("fget"),
             req_set: req("set"),
             req_del: req("del"),
             req_stats: req("stats"),
@@ -313,6 +323,12 @@ impl ServerMetrics {
     }
 }
 
+/// Cluster machinery a node carries when it runs in cluster mode.
+struct ClusterState {
+    router: PeerRouter,
+    metrics: ClusterServerMetrics,
+}
+
 /// State shared by the acceptor, the workers, and the handle.
 struct Shared {
     cache: CsrCache<String, Bytes>,
@@ -322,6 +338,7 @@ struct Shared {
     metrics: ServerMetrics,
     origin_metrics: Arc<OriginMetrics>,
     stale: StaleStore,
+    cluster: Option<ClusterState>,
     shutdown: AtomicBool,
     /// Read-half handles of live connections, so shutdown can cut idle
     /// readers without waiting out their timeout. Keyed by a connection
@@ -434,6 +451,20 @@ pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<Serv
     if let Some(shards) = config.shards {
         builder = builder.shards(shards);
     }
+    let cluster = config.cluster.map(|mut pc| {
+        if pc.node_id.is_empty() {
+            // The common test/demo shape: bind port 0, identify as
+            // whatever address we got.
+            pc.node_id = addr.to_string();
+        }
+        if !pc.nodes.iter().any(|n| n.id == pc.node_id) {
+            pc.nodes.push(ClusterNode::addr_only(pc.node_id.clone()));
+        }
+        ClusterState {
+            router: PeerRouter::new(&pc),
+            metrics: ClusterServerMetrics::new(&registry),
+        }
+    });
     let shared = Arc::new(Shared {
         cache: builder.build(),
         backing,
@@ -441,6 +472,7 @@ pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<Serv
         metrics,
         origin_metrics,
         stale: StaleStore::new(config.stale_capacity.unwrap_or(config.capacity)),
+        cluster,
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
         next_conn_id: AtomicU64::new(0),
@@ -740,42 +772,23 @@ fn respond(request: Request, shared: &Shared, w: &mut impl Write) -> io::Result<
     match request {
         Request::Get(key) => {
             shared.metrics.req_get.inc();
-            let value: Result<Option<Bytes>, BackingError> =
-                shared.cache.try_get_or_insert_with(key.clone(), || {
-                    let t0 = Instant::now();
-                    let Some(fetched) = shared.backing.try_fetch(&key)? else {
-                        return Ok(None);
-                    };
-                    // Microseconds, floored at 1 so even a sub-µs origin read
-                    // carries nonzero weight with the policies.
-                    let cost = u64::try_from(t0.elapsed().as_micros())
-                        .unwrap_or(u64::MAX)
-                        .max(1);
-                    shared.metrics.fetch_us.record(cost);
-                    let bytes = Bytes::from(fetched);
-                    // Remember the copy (and its measured cost) for
-                    // serve-stale degradation if the origin later fails.
-                    shared.stale.record(&key, Arc::clone(&bytes), cost);
-                    Ok(Some((bytes, cost)))
-                });
-            match value {
-                Ok(Some(bytes)) => proto::write_value(w, &key, &bytes),
-                Ok(None) => proto::write_end(w),
-                // The origin failed (past retries and the breaker).
-                // Degrade: a stale copy if we ever fetched one — put back
-                // into the cache at its last successful measured cost —
-                // else the recoverable ORIGIN_ERROR reply.
-                Err(err) => match shared.stale.get(&key) {
-                    Some((bytes, cost)) => {
-                        shared.origin_metrics.stale_served.inc();
-                        shared
-                            .cache
-                            .insert_with_cost(key.clone(), Arc::clone(&bytes), cost);
-                        proto::write_stale_value(w, &key, &bytes)
+            if let Some(cl) = &shared.cluster {
+                if let Some((peer, owner)) = cl.router.owner_of(&key) {
+                    if !cl.router.forward {
+                        cl.metrics.moved.inc();
+                        return proto::write_moved(w, &owner.addr);
                     }
-                    None => proto::write_origin_error(w, &err.to_string()),
-                },
+                    return forwarded_get(shared, cl, peer, key, w);
+                }
             }
+            local_get(shared, key, w)
+        }
+        // The internal one-hop verb: always answered from this node's own
+        // cache/origin — never re-forwarded, never MOVED — so peer
+        // forwarding cannot loop.
+        Request::ForwardGet(key) => {
+            shared.metrics.req_fget.inc();
+            local_get(shared, key, w)
         }
         Request::Set(key, value) => {
             shared.metrics.req_set.inc();
@@ -802,6 +815,118 @@ fn respond(request: Request, shared: &Shared, w: &mut impl Write) -> io::Result<
         }
         // QUIT never reaches respond().
         Request::Quit => Ok(()),
+    }
+}
+
+/// The single-node read-through `GET`: cache, then origin (fetch timed
+/// and charged as miss cost), then the stale-store degradation ladder.
+fn local_get(shared: &Shared, key: String, w: &mut impl Write) -> io::Result<()> {
+    let value: Result<Option<Bytes>, BackingError> =
+        shared.cache.try_get_or_insert_with(key.clone(), || {
+            let t0 = Instant::now();
+            let Some(fetched) = shared.backing.try_fetch(&key)? else {
+                return Ok(None);
+            };
+            // Microseconds, floored at 1 so even a sub-µs origin read
+            // carries nonzero weight with the policies.
+            let cost = u64::try_from(t0.elapsed().as_micros())
+                .unwrap_or(u64::MAX)
+                .max(1);
+            shared.metrics.fetch_us.record(cost);
+            let bytes = Bytes::from(fetched);
+            // Remember the copy (and its measured cost) for
+            // serve-stale degradation if the origin later fails.
+            shared.stale.record(&key, Arc::clone(&bytes), cost);
+            Ok(Some((bytes, cost)))
+        });
+    match value {
+        Ok(Some(bytes)) => proto::write_value(w, &key, &bytes),
+        Ok(None) => proto::write_end(w),
+        Err(err) => write_degraded(shared, &key, &err, w),
+    }
+}
+
+/// A `GET` for a key this node does not own, with forwarding enabled:
+/// serve a locally cached copy if one exists (a previous forward put it
+/// there — that *is* the hot-key replica), else fetch from the owner
+/// over `FGET` inside the cache's single-flight slot, charging the
+/// *measured* one-hop latency as the entry's miss cost. A peer that
+/// cannot be reached (partition) degrades to this node's own origin
+/// fetch, so availability survives the owner's death.
+fn forwarded_get(
+    shared: &Shared,
+    cl: &ClusterState,
+    peer: usize,
+    key: String,
+    w: &mut impl Write,
+) -> io::Result<()> {
+    // Reply-flag cells: set inside the fetch closure (which only runs on
+    // a miss), read when writing the reply.
+    let fwd = Cell::new(false);
+    let fwd_stale = Cell::new(false);
+    let value: Result<Option<Bytes>, BackingError> =
+        shared.cache.try_get_or_insert_with(key.clone(), || {
+            let t0 = Instant::now();
+            match cl.router.fetch_from_peer(peer, &key) {
+                Ok(found) => {
+                    let cost = u64::try_from(t0.elapsed().as_micros())
+                        .unwrap_or(u64::MAX)
+                        .max(1);
+                    cl.metrics.forwards.inc();
+                    cl.metrics.forward_us.record(cost);
+                    fwd.set(true);
+                    Ok(found.map(|v| {
+                        fwd_stale.set(v.stale);
+                        let bytes = Bytes::from(v.data);
+                        shared.stale.record(&key, Arc::clone(&bytes), cost);
+                        (bytes, cost)
+                    }))
+                }
+                // The owner is unreachable (or itself origin-dead): fall
+                // back to our own origin so a partitioned peer costs one
+                // bounded timeout, not an outage.
+                Err(_) => {
+                    cl.metrics.forward_fallbacks.inc();
+                    let t0 = Instant::now();
+                    let Some(fetched) = shared.backing.try_fetch(&key)? else {
+                        return Ok(None);
+                    };
+                    let cost = u64::try_from(t0.elapsed().as_micros())
+                        .unwrap_or(u64::MAX)
+                        .max(1);
+                    shared.metrics.fetch_us.record(cost);
+                    let bytes = Bytes::from(fetched);
+                    shared.stale.record(&key, Arc::clone(&bytes), cost);
+                    Ok(Some((bytes, cost)))
+                }
+            }
+        });
+    match value {
+        Ok(Some(bytes)) => proto::write_value_flags(w, &key, &bytes, fwd_stale.get(), fwd.get()),
+        Ok(None) => proto::write_end(w),
+        Err(err) => write_degraded(shared, &key, &err, w),
+    }
+}
+
+/// The degradation ladder once a fetch failed (past retries and the
+/// breaker): a stale copy if we ever fetched one — put back into the
+/// cache at its last successful measured cost — else the recoverable
+/// `ORIGIN_ERROR` reply.
+fn write_degraded(
+    shared: &Shared,
+    key: &str,
+    err: &BackingError,
+    w: &mut impl Write,
+) -> io::Result<()> {
+    match shared.stale.get(key) {
+        Some((bytes, cost)) => {
+            shared.origin_metrics.stale_served.inc();
+            shared
+                .cache
+                .insert_with_cost(key.to_owned(), Arc::clone(&bytes), cost);
+            proto::write_stale_value(w, key, &bytes)
+        }
+        None => proto::write_origin_error(w, &err.to_string()),
     }
 }
 
@@ -838,6 +963,7 @@ fn write_stats(shared: &Shared, w: &mut impl Write) -> io::Result<()> {
     stat("requests_get", m.req_get.get().to_string())?;
     stat("requests_set", m.req_set.get().to_string())?;
     stat("requests_del", m.req_del.get().to_string())?;
+    stat("requests_fget", m.req_fget.get().to_string())?;
     stat("conn_limit_rejects", m.limit_rejects().to_string())?;
     stat("conn_slowloris_drops", m.slowloris_drops.get().to_string())?;
     stat(
@@ -848,6 +974,16 @@ fn write_stats(shared: &Shared, w: &mut impl Write) -> io::Result<()> {
         "origin_breaker_state",
         shared.origin_metrics.breaker_state.get().to_string(),
     )?;
+    if let Some(cl) = &shared.cluster {
+        stat("cluster_node_id", cl.router.node_id().to_owned())?;
+        stat("cluster_nodes", cl.router.nodes().len().to_string())?;
+        stat("cluster_forwards", cl.metrics.forwards.get().to_string())?;
+        stat(
+            "cluster_forward_fallbacks",
+            cl.metrics.forward_fallbacks.get().to_string(),
+        )?;
+        stat("cluster_moved", cl.metrics.moved.get().to_string())?;
+    }
     proto::write_end(w)
 }
 

@@ -92,6 +92,7 @@ fn corpus() -> Vec<Vec<u8>> {
         b"SET key:1 3\r\nabc\r\n".to_vec(),
         format!("SET key:1 3 {crc:08x}\r\nabc\r\n").into_bytes(),
         b"DEL key:1\r\n".to_vec(),
+        b"FGET key:1\r\n".to_vec(),
         b"STATS\r\n".to_vec(),
         b"METRICS\r\n".to_vec(),
         b"GET a\r\nGET b\r\nSET c 1\r\nx\r\nQUIT\r\n".to_vec(),
@@ -183,9 +184,12 @@ fn validate_reply_stream(reply: &[u8]) {
             ["VALUE", _key, len] => consume_payload(len, None),
             ["VALUE", _key, len, crc] => consume_payload(len, Some(crc)),
             ["VALUE", _key, len, "STALE", crc] => consume_payload(len, Some(crc)),
+            ["VALUE", _key, len, "FORWARDED", crc] => consume_payload(len, Some(crc)),
+            ["VALUE", _key, len, "STALE", "FORWARDED", crc] => consume_payload(len, Some(crc)),
             ["DATA", len] => consume_payload(len, None),
             ["DATA", len, crc] => consume_payload(len, Some(crc)),
             ["END" | "STORED" | "DELETED" | "NOT_FOUND" | "SERVER_BUSY"] => {}
+            ["MOVED", _addr] => {}
             ["STAT", ..] => {}
             first
                 if first
