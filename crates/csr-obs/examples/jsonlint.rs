@@ -4,7 +4,11 @@
 //!
 //! ```text
 //! cargo run -p csr-obs --example jsonlint -- BENCH_table1.json metrics.json
+//! cargo run -p csr-obs --example jsonlint -- --jsonl TRACES.jsonl
 //! ```
+//!
+//! With `--jsonl`, each following file is JSON Lines: every non-empty
+//! line must parse as its own JSON document (the trace-dump format).
 //!
 //! Exits non-zero (with the parse error and byte offset) if any file fails.
 
@@ -12,13 +16,15 @@ use csr_obs::Json;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jsonl = args.first().is_some_and(|a| a == "--jsonl");
+    let paths = &args[usize::from(jsonl)..];
     if paths.is_empty() {
-        eprintln!("usage: jsonlint <file.json>...");
+        eprintln!("usage: jsonlint [--jsonl] <file.json>...");
         return ExitCode::FAILURE;
     }
     let mut failed = false;
-    for path in &paths {
+    for path in paths {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
@@ -27,11 +33,30 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        match Json::parse(&text) {
-            Ok(_) => println!("{path}: ok"),
-            Err(e) => {
-                eprintln!("{path}: invalid JSON: {e}");
-                failed = true;
+        if jsonl {
+            let mut lines = 0usize;
+            let mut ok = true;
+            for (idx, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                lines += 1;
+                if let Err(e) = Json::parse(line) {
+                    eprintln!("{path}:{}: invalid JSON: {e}", idx + 1);
+                    ok = false;
+                    failed = true;
+                }
+            }
+            if ok {
+                println!("{path}: ok ({lines} JSONL records)");
+            }
+        } else {
+            match Json::parse(&text) {
+                Ok(_) => println!("{path}: ok"),
+                Err(e) => {
+                    eprintln!("{path}: invalid JSON: {e}");
+                    failed = true;
+                }
             }
         }
     }

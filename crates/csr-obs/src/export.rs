@@ -312,6 +312,73 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_golden_output() {
+        // Byte-for-byte conformance pin: families sorted by name, one
+        // # TYPE line per family even with several label sets, every
+        // histogram sample carrying _bucket/+Inf/_sum/_count. Buckets
+        // below 8 are value-exact, so the golden text is stable.
+        let r = Registry::new();
+        r.counter("req_total", "requests", &[("op", "get")]).add(3);
+        r.counter("req_total", "requests", &[("op", "set")]).add(1);
+        let h0 = r.histogram("lat_us", "latency", &[("shard", "0")]);
+        h0.record(1);
+        h0.record(1);
+        h0.record(3);
+        let h1 = r.histogram("lat_us", "latency", &[("shard", "1")]);
+        h1.record(2);
+        let golden = "\
+# HELP lat_us latency
+# TYPE lat_us histogram
+lat_us_bucket{shard=\"0\",le=\"1\"} 2
+lat_us_bucket{shard=\"0\",le=\"3\"} 3
+lat_us_bucket{shard=\"0\",le=\"+Inf\"} 3
+lat_us_sum{shard=\"0\"} 5
+lat_us_count{shard=\"0\"} 3
+lat_us_bucket{shard=\"1\",le=\"2\"} 1
+lat_us_bucket{shard=\"1\",le=\"+Inf\"} 1
+lat_us_sum{shard=\"1\"} 2
+lat_us_count{shard=\"1\"} 1
+# HELP req_total requests
+# TYPE req_total counter
+req_total{op=\"get\"} 3
+req_total{op=\"set\"} 1
+";
+        assert_eq!(prometheus(&r.snapshot()), golden);
+    }
+
+    #[test]
+    fn prometheus_conformance_audit() {
+        // Every family must emit exactly one # TYPE line no matter how
+        // many label sets it has, and every histogram sample — including
+        // a registered-but-never-recorded one — must expose _sum and
+        // _count.
+        let r = Registry::new();
+        for shard in ["0", "1", "2"] {
+            r.histogram("phase_us", "per-phase latency", &[("phase", shard)])
+                .record(7);
+        }
+        let _ = r.histogram("idle_us", "never recorded", &[]);
+        r.counter("hits_total", "hits", &[("node", "a")]).inc();
+        r.counter("hits_total", "hits", &[("node", "b")]).inc();
+        let text = prometheus(&r.snapshot());
+        for fam in ["phase_us", "idle_us", "hits_total"] {
+            let type_lines = text
+                .lines()
+                .filter(|l| l.starts_with(&format!("# TYPE {fam} ")))
+                .count();
+            assert_eq!(type_lines, 1, "family {fam} must have one TYPE line");
+        }
+        for shard in ["0", "1", "2"] {
+            assert!(text.contains(&format!("phase_us_sum{{phase=\"{shard}\"}} 7")));
+            assert!(text.contains(&format!("phase_us_count{{phase=\"{shard}\"}} 1")));
+        }
+        // An empty histogram still exposes the full sample set.
+        assert!(text.contains("idle_us_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("idle_us_sum 0"));
+        assert!(text.contains("idle_us_count 0"));
+    }
+
+    #[test]
     fn empty_registry_exports_cleanly() {
         let r = Registry::new();
         assert_eq!(prometheus(&r.snapshot()), "");

@@ -16,6 +16,11 @@
 //! * **Export** — [`export::prometheus`] (text exposition format) and
 //!   [`export::json`] (hand-rolled, validated by the bundled [`Json`]
 //!   parser), plus a periodic [`Reporter`] thread.
+//! * **Tracing** — `csr-trace` ([`trace`] + [`span`]): a sampled
+//!   distributed tracer with wire-propagatable [`TraceContext`]s,
+//!   monotonic-clock spans, always-keep-slow capture, and a bounded
+//!   never-blocking ring of finished traces exportable as JSONL or
+//!   Chrome trace-event JSON (Perfetto-openable).
 //!
 //! ```
 //! use csr_obs::{Registry, export};
@@ -40,6 +45,8 @@ pub mod metrics;
 pub mod observe;
 pub mod registry;
 pub mod reporter;
+pub mod span;
+pub mod trace;
 
 pub use json::{Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
@@ -51,6 +58,8 @@ pub use registry::{
     FamilySnapshot, LabelSet, MetricKind, Registry, RegistrySnapshot, Sample, SampleValue,
 };
 pub use reporter::{ReportFormat, Reporter};
+pub use span::{SpanEvent, SpanRecord, SpanTimer, TraceContext};
+pub use trace::{FinishedRequest, RequestTrace, TraceConfig, TraceEntry, Tracer};
 
 /// A shareable, type-erased observer — what the concurrent cache and the
 /// experiment harness pass around when the concrete observer is chosen at

@@ -20,7 +20,7 @@
 //! or any worker giving up — corrupted bytes must surface as detected
 //! malformed frames (reconnect), never as data.
 
-use csr_obs::{Histogram, Json, Registry};
+use csr_obs::{Histogram, Json, Registry, TraceContext};
 use csr_serve::chaos::{ChaosConfig, ChaosProxy};
 use csr_serve::client::{ClientMetrics, ConnectionError, FailoverClient, FailoverConfig, Timeouts};
 use csr_serve::cluster::{parse_nodes, ClusterClient, ClusterClientConfig, ClusterMetrics};
@@ -65,6 +65,10 @@ USAGE: loadgen [OPTIONS]
   --connect-timeout-ms N    client connect deadline (default 5000)
   --op-timeout-ms N         client read/write deadline per socket op (default 10000)
   --max-attempts N          reconnect+replay attempts per op before giving up (default 64)
+  --trace-sample N          attach a trace context to 1 in N GETs; after the run,
+                            fetch TRACES from every node, merge the per-node
+                            fragments by trace id (TRACES.jsonl with --json), and
+                            report per-phase percentiles (default 0 = off)
 
 Chaos (any flag interposes a seeded ChaosProxy in front of --addr):
   --chaos-seed N            fault-plan seed (default 1)
@@ -101,6 +105,7 @@ struct Opts {
     connect_timeout: Duration,
     op_timeout: Duration,
     max_attempts: u32,
+    trace_sample: u64,
     chaos: bool,
     chaos_config: ChaosConfig,
     partition_at: Option<u64>,
@@ -126,6 +131,7 @@ fn parse_args() -> Opts {
         connect_timeout: Duration::from_millis(5000),
         op_timeout: Duration::from_millis(10_000),
         max_attempts: 64,
+        trace_sample: 0,
         chaos: false,
         chaos_config: ChaosConfig {
             seed: 1,
@@ -170,6 +176,9 @@ fn parse_args() -> Opts {
             }
             "--max-attempts" => {
                 opts.max_attempts = parse_num(&val("--max-attempts"), "--max-attempts")
+            }
+            "--trace-sample" => {
+                opts.trace_sample = parse_num(&val("--trace-sample"), "--trace-sample")
             }
             "--chaos-seed" => {
                 opts.chaos_config.seed = parse_num(&val("--chaos-seed"), "--chaos-seed")
@@ -267,6 +276,7 @@ struct Totals {
     empty_gets: AtomicU64,
     stale_gets: AtomicU64,
     forwarded_gets: AtomicU64,
+    traced_gets: AtomicU64,
     origin_errors: AtomicU64,
     maybe_applied: AtomicU64,
     unavailable_writes: AtomicU64,
@@ -281,6 +291,7 @@ impl Totals {
         self.empty_gets.store(0, Ordering::Relaxed);
         self.stale_gets.store(0, Ordering::Relaxed);
         self.forwarded_gets.store(0, Ordering::Relaxed);
+        self.traced_gets.store(0, Ordering::Relaxed);
         self.origin_errors.store(0, Ordering::Relaxed);
         self.maybe_applied.store(0, Ordering::Relaxed);
         self.unavailable_writes.store(0, Ordering::Relaxed);
@@ -298,10 +309,10 @@ enum Bench {
 }
 
 impl Bench {
-    fn get_value(&mut self, key: &str) -> io::Result<Option<Value>> {
+    fn get_value(&mut self, key: &str, trace: Option<TraceContext>) -> io::Result<Option<Value>> {
         match self {
-            Bench::Single(c) => c.get_value(key),
-            Bench::Cluster(c) => c.get_value(key),
+            Bench::Single(c) => c.get_value_traced(key, trace),
+            Bench::Cluster(c) => c.get_value_traced(key, trace),
         }
     }
 
@@ -318,6 +329,111 @@ impl Bench {
             Bench::Cluster(c) => c.close(),
         }
     }
+}
+
+/// The span names loadgen pools into per-phase percentiles — the request
+/// phases the server instruments (see `csr_serve_phase_us`).
+const PHASES: [&str; 6] = ["request", "parse", "cache", "origin", "forward", "stale"];
+
+struct TraceReport {
+    /// Merged JSONL: one line per trace, spans pooled across nodes.
+    jsonl: String,
+    /// Distinct trace ids seen across all nodes' TRACES dumps.
+    unique: u64,
+    /// Traces whose spans come from more than one node (forwarded hops).
+    multi_node: u64,
+    /// Traces any node flagged slow.
+    slow: u64,
+    /// Sorted span durations pooled by phase name.
+    phases: Vec<(&'static str, Vec<u64>)>,
+}
+
+/// Merges per-node TRACES dumps. A forwarded request leaves one fragment
+/// on each node it touched, all sharing the trace id minted by the
+/// client; re-keying by that id reassembles the distributed trace.
+fn merge_traces(dumps: &[String]) -> TraceReport {
+    let mut ids: Vec<String> = Vec::new();
+    let mut spans: Vec<Vec<Json>> = Vec::new();
+    let mut nodes: Vec<Vec<String>> = Vec::new();
+    let mut slow: Vec<bool> = Vec::new();
+    let mut phases: Vec<(&'static str, Vec<u64>)> =
+        PHASES.iter().map(|p| (*p, Vec::new())).collect();
+    for dump in dumps {
+        for line in dump.lines() {
+            let Ok(entry) = Json::parse(line) else {
+                continue;
+            };
+            let id = entry
+                .get("trace_id")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_owned();
+            let idx = ids.iter().position(|i| *i == id).unwrap_or_else(|| {
+                ids.push(id.clone());
+                spans.push(Vec::new());
+                nodes.push(Vec::new());
+                slow.push(false);
+                ids.len() - 1
+            });
+            if entry.get("slow") == Some(&Json::Bool(true)) {
+                slow[idx] = true;
+            }
+            for sp in entry.get("spans").and_then(Json::as_arr).unwrap_or(&[]) {
+                if let Some(node) = sp.get("node").and_then(Json::as_str) {
+                    if !nodes[idx].iter().any(|n| n == node) {
+                        nodes[idx].push(node.to_owned());
+                    }
+                }
+                if let (Some(name), Some(dur)) = (
+                    sp.get("name").and_then(Json::as_str),
+                    sp.get("dur_us").and_then(Json::as_i64),
+                ) {
+                    if let Some((_, v)) = phases.iter_mut().find(|(p, _)| *p == name) {
+                        v.push(dur.max(0) as u64);
+                    }
+                }
+                spans[idx].push(sp.clone());
+            }
+        }
+    }
+    let mut jsonl = String::new();
+    let mut multi_node = 0u64;
+    let mut slow_count = 0u64;
+    for i in 0..ids.len() {
+        if nodes[i].len() > 1 {
+            multi_node += 1;
+        }
+        if slow[i] {
+            slow_count += 1;
+        }
+        let merged = Json::obj([
+            ("trace_id", Json::str(ids[i].clone())),
+            ("nodes", Json::uint(nodes[i].len() as u64)),
+            ("slow", Json::Bool(slow[i])),
+            ("spans", Json::Arr(std::mem::take(&mut spans[i]))),
+        ]);
+        jsonl.push_str(&merged.render());
+        jsonl.push('\n');
+    }
+    for (_, v) in &mut phases {
+        v.sort_unstable();
+    }
+    TraceReport {
+        jsonl,
+        unique: ids.len() as u64,
+        multi_node,
+        slow: slow_count,
+        phases,
+    }
+}
+
+/// Exact percentile over a sorted sample (nearest-rank).
+fn pctl(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// A GET value is plausible iff it is one of the two things this run can
@@ -338,6 +454,7 @@ fn main() {
         empty_gets: AtomicU64::new(0),
         stale_gets: AtomicU64::new(0),
         forwarded_gets: AtomicU64::new(0),
+        traced_gets: AtomicU64::new(0),
         origin_errors: AtomicU64::new(0),
         maybe_applied: AtomicU64::new(0),
         unavailable_writes: AtomicU64::new(0),
@@ -430,6 +547,7 @@ fn main() {
             let mut rng = SplitMix64::new(opts.seed ^ (0x9e37 + i as u64));
             let (set_ratio, value_len) = (opts.set_ratio, opts.value_len);
             let (hot_keys, hot_frac) = (opts.hot_keys, opts.hot_frac);
+            let trace_sample = opts.trace_sample;
             let config = FailoverConfig {
                 seed: opts.seed.wrapping_add(i as u64),
                 ..failover_config
@@ -457,6 +575,7 @@ fn main() {
                 };
                 let is_cluster = matches!(client, Bench::Cluster(_));
                 let payload = vec![b'v'; value_len];
+                let mut gets = 0u64;
                 while Instant::now() < deadline {
                     let key = if hot_keys > 0 && rng.chance(hot_frac) {
                         // Hot-key skew: the N lowest ranks soak up a
@@ -468,6 +587,22 @@ fn main() {
                         format!("key:{}", sample(&cdf, &mut rng))
                     };
                     let is_set = rng.chance(set_ratio);
+                    // 1-in-N GETs carry a fresh client-minted trace
+                    // context; the server honors it unconditionally, so
+                    // the client controls exactly what gets traced.
+                    let trace_ctx = if !is_set && trace_sample > 0 {
+                        gets += 1;
+                        (gets % trace_sample == 0).then(|| TraceContext {
+                            trace_id: rng.next_u64() | 1,
+                            span_id: rng.next_u64() | 1,
+                            sampled: true,
+                        })
+                    } else {
+                        None
+                    };
+                    if trace_ctx.is_some() {
+                        totals.traced_gets.fetch_add(1, Ordering::Relaxed);
+                    }
                     let in_part = in_partition.load(Ordering::Relaxed);
                     let record = |us: u64| {
                         latency.record(us);
@@ -480,7 +615,7 @@ fn main() {
                         totals.sets.fetch_add(1, Ordering::Relaxed);
                         client.set(&key, &payload)
                     } else {
-                        match client.get_value(&key) {
+                        match client.get_value(&key, trace_ctx) {
                             Ok(None) => {
                                 totals.empty_gets.fetch_add(1, Ordering::Relaxed);
                                 Ok(())
@@ -661,6 +796,46 @@ fn main() {
             })
             .sum()
     };
+    // Traced runs: pull every node's retained traces (again at the real
+    // addresses, never through the proxy) and reassemble the fragments.
+    let trace_report = if opts.trace_sample > 0 {
+        let mut dumps = Vec::new();
+        if opts.cluster.is_empty() {
+            match Client::connect(opts.addr.as_str()).and_then(|mut c| c.traces()) {
+                Ok(t) => dumps.push(t),
+                Err(e) => eprintln!("loadgen: TRACES fetch failed: {e}"),
+            }
+        } else {
+            for n in &opts.cluster {
+                match Client::connect(n.addr.as_str()).and_then(|mut c| c.traces()) {
+                    Ok(t) => dumps.push(t),
+                    Err(e) => eprintln!("loadgen: TRACES fetch from node {} failed: {e}", n.id),
+                }
+            }
+        }
+        Some(merge_traces(&dumps))
+    } else {
+        None
+    };
+    if let Some(tr) = &trace_report {
+        println!(
+            "  traces: sent {}  retained {}  multi-node {}  slow {}",
+            totals.traced_gets.load(Ordering::Relaxed),
+            tr.unique,
+            tr.multi_node,
+            tr.slow,
+        );
+        for (name, v) in &tr.phases {
+            if !v.is_empty() {
+                println!(
+                    "    phase {name}: p50 {}us  p99 {}us  ({} spans)",
+                    pctl(v, 0.50),
+                    pctl(v, 0.99),
+                    v.len()
+                );
+            }
+        }
+    }
     let part_hist = latency_part.snapshot();
     if !opts.cluster.is_empty() {
         println!(
@@ -829,6 +1004,36 @@ fn main() {
                 ]),
             ));
         }
+        if let Some(tr) = &trace_report {
+            let phase_objs: Vec<(&'static str, Json)> = tr
+                .phases
+                .iter()
+                .map(|(name, v)| {
+                    (
+                        *name,
+                        Json::obj([
+                            ("count", Json::uint(v.len() as u64)),
+                            ("p50_us", Json::uint(pctl(v, 0.50))),
+                            ("p99_us", Json::uint(pctl(v, 0.99))),
+                        ]),
+                    )
+                })
+                .collect();
+            data.push(("phases", Json::obj(phase_objs)));
+            data.push((
+                "traces",
+                Json::obj([
+                    ("sample_every", Json::uint(opts.trace_sample)),
+                    (
+                        "sampled_gets",
+                        Json::uint(totals.traced_gets.load(Ordering::Relaxed)),
+                    ),
+                    ("unique", Json::uint(tr.unique)),
+                    ("multi_node", Json::uint(tr.multi_node)),
+                    ("slow_traces", Json::uint(tr.slow)),
+                ]),
+            ));
+        }
         if let Some(snap) = &chaos_snapshot {
             data.push((
                 "chaos",
@@ -889,6 +1094,11 @@ fn main() {
         let path = dir.join(filename);
         std::fs::write(&path, text + "\n").expect("write JSON report");
         eprintln!("wrote {}", path.display());
+        if let Some(tr) = &trace_report {
+            let tpath = dir.join("TRACES.jsonl");
+            std::fs::write(&tpath, &tr.jsonl).expect("write TRACES.jsonl");
+            eprintln!("wrote {}", tpath.display());
+        }
     }
 
     // The verdict: wrong values or workers that gave up fail the run —

@@ -20,7 +20,7 @@
 
 use crate::proto::{self, MAX_VALUE_LEN};
 use crate::resilience::{mix64, BackoffSchedule};
-use csr_obs::{Counter, Registry};
+use csr_obs::{Counter, Registry, TraceContext};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
@@ -315,7 +315,25 @@ impl Client {
     /// Transport failures and server-reported errors, including the
     /// recoverable `ORIGIN_ERROR` reply as a typed [`OriginError`].
     pub fn get_value(&mut self, key: &str) -> io::Result<Option<Value>> {
-        write!(self.writer, "GET {key}\r\n")?;
+        self.get_value_traced(key, None)
+    }
+
+    /// [`get_value`](Self::get_value) with an optional trace context
+    /// riding the request line as its `TRACE` token — the server joins
+    /// (or starts) that distributed trace and always retains it.
+    ///
+    /// # Errors
+    ///
+    /// As [`get_value`](Self::get_value).
+    pub fn get_value_traced(
+        &mut self,
+        key: &str,
+        trace: Option<TraceContext>,
+    ) -> io::Result<Option<Value>> {
+        match trace {
+            Some(ctx) => write!(self.writer, "GET {key} TRACE {}\r\n", ctx.render())?,
+            None => write!(self.writer, "GET {key}\r\n")?,
+        }
         self.writer.flush()?;
         self.read_get_reply(key)
     }
@@ -331,7 +349,25 @@ impl Client {
     /// Transport failures and server-reported errors, including the
     /// recoverable `ORIGIN_ERROR` reply as a typed [`OriginError`].
     pub fn forward_get(&mut self, key: &str) -> io::Result<Option<Value>> {
-        write!(self.writer, "FGET {key}\r\n")?;
+        self.forward_get_traced(key, None)
+    }
+
+    /// [`forward_get`](Self::forward_get) with an optional trace context
+    /// on the `FGET` line, linking the peer's spans under the caller's
+    /// forward span — one trace across both nodes.
+    ///
+    /// # Errors
+    ///
+    /// As [`forward_get`](Self::forward_get).
+    pub fn forward_get_traced(
+        &mut self,
+        key: &str,
+        trace: Option<TraceContext>,
+    ) -> io::Result<Option<Value>> {
+        match trace {
+            Some(ctx) => write!(self.writer, "FGET {key} TRACE {}\r\n", ctx.render())?,
+            None => write!(self.writer, "FGET {key}\r\n")?,
+        }
         self.writer.flush()?;
         self.read_get_reply(key)
     }
@@ -451,7 +487,23 @@ impl Client {
     ///
     /// Transport failures and server-reported errors.
     pub fn metrics(&mut self) -> io::Result<String> {
-        self.writer.write_all(b"METRICS\r\n")?;
+        self.fetch_data(b"METRICS\r\n")
+    }
+
+    /// Fetches the node's kept-trace ring as JSONL (one trace per line;
+    /// empty string when nothing was retained yet).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and server-reported errors.
+    pub fn traces(&mut self) -> io::Result<String> {
+        self.fetch_data(b"TRACES\r\n")
+    }
+
+    /// Issues a verb answered with a length-prefixed `DATA` frame
+    /// (`METRICS`, `TRACES`) and returns its UTF-8 body.
+    fn fetch_data(&mut self, verb: &[u8]) -> io::Result<String> {
+        self.writer.write_all(verb)?;
         self.writer.flush()?;
         let line = self.read_line()?;
         let rest = line
@@ -474,7 +526,7 @@ impl Client {
         verify_crc(&body, crc)?;
         match self.read_line()?.as_str() {
             "END" => {
-                String::from_utf8(body).map_err(|_| io::Error::other("metrics body was not UTF-8"))
+                String::from_utf8(body).map_err(|_| io::Error::other("data body was not UTF-8"))
             }
             other => Err(unexpected(other)),
         }
@@ -791,6 +843,22 @@ impl FailoverClient {
         self.run_op(true, |c| c.get_value(key))
     }
 
+    /// [`get_value`](Self::get_value) with an optional trace context on
+    /// the request line (idempotent; the context is re-sent verbatim on
+    /// replays, so a healed request still belongs to its trace).
+    ///
+    /// # Errors
+    ///
+    /// As [`get`](Self::get).
+    pub fn get_value_traced(
+        &mut self,
+        key: &str,
+        trace: Option<TraceContext>,
+    ) -> io::Result<Option<Value>> {
+        validate_key(key)?;
+        self.run_op(true, |c| c.get_value_traced(key, trace))
+    }
+
     /// Pipelined batch of `GET`s (idempotent: the whole batch is replayed
     /// on a mid-batch disconnect).
     ///
@@ -851,6 +919,15 @@ impl FailoverClient {
     /// [`ConnectionError::Unavailable`] when every attempt failed.
     pub fn metrics(&mut self) -> io::Result<String> {
         self.run_op(true, Client::metrics)
+    }
+
+    /// Fetches the node's kept-trace ring as JSONL (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`ConnectionError::Unavailable`] when every attempt failed.
+    pub fn traces(&mut self) -> io::Result<String> {
+        self.run_op(true, Client::traces)
     }
 
     /// Closes the current connection cleanly (best effort). The client

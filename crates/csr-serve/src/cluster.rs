@@ -45,7 +45,7 @@
 use crate::client::{Client, FailoverClient, FailoverConfig, Moved, OriginError, Timeouts, Value};
 use crate::resilience::{mix64, BackoffSchedule};
 use crate::ring::Ring;
-use csr_obs::{Counter, Histogram, Registry};
+use csr_obs::{Counter, Histogram, Registry, TraceContext};
 use std::collections::HashSet;
 use std::io;
 use std::sync::{Arc, Mutex};
@@ -368,6 +368,15 @@ impl ClusterClient {
             .collect()
     }
 
+    /// Per-node kept-trace rings (node index, JSONL body) from every node
+    /// that answers — loadgen merges these fragments by trace id into the
+    /// cluster-wide trace dump.
+    pub fn traces_all(&mut self) -> Vec<(usize, String)> {
+        (0..self.clients.len())
+            .filter_map(|i| self.clients[i].traces().ok().map(|t| (i, t)))
+            .collect()
+    }
+
     /// Looks `key` up (idempotent; re-routes across nodes).
     ///
     /// # Errors
@@ -384,6 +393,21 @@ impl ClusterClient {
     ///
     /// As [`get`](Self::get).
     pub fn get_value(&mut self, key: &str) -> io::Result<Option<Value>> {
+        self.get_value_traced(key, None)
+    }
+
+    /// [`get_value`](Self::get_value) with an optional trace context on
+    /// the request line — the serving node joins (or starts) that
+    /// distributed trace and always retains it.
+    ///
+    /// # Errors
+    ///
+    /// As [`get`](Self::get).
+    pub fn get_value_traced(
+        &mut self,
+        key: &str,
+        trace: Option<TraceContext>,
+    ) -> io::Result<Option<Value>> {
         self.tick();
         let primary = self.route(key);
         let candidates = self.candidates(key, primary);
@@ -392,7 +416,7 @@ impl ClusterClient {
             if i != primary {
                 self.count_reroute();
             }
-            match self.clients[i].get_value(key) {
+            match self.clients[i].get_value_traced(key, trace) {
                 Ok(v) => {
                     self.mark(i, true);
                     return Ok(v);
@@ -701,19 +725,26 @@ impl PeerRouter {
 
     /// Fetches `key` from the owner peer over `FGET` (one pooled
     /// connection per call; the connection returns to the pool unless it
-    /// failed at the transport level).
+    /// failed at the transport level). A trace context, when given, rides
+    /// the `FGET` line as its `TRACE` token so the peer's spans join the
+    /// caller's trace.
     ///
     /// # Errors
     ///
     /// Transport failures and the peer's own `ORIGIN_ERROR` — either
     /// way the caller falls back to its local origin.
-    pub fn fetch_from_peer(&self, peer: usize, key: &str) -> io::Result<Option<Value>> {
+    pub fn fetch_from_peer(
+        &self,
+        peer: usize,
+        key: &str,
+        trace: Option<TraceContext>,
+    ) -> io::Result<Option<Value>> {
         let pooled = self.pools[peer].lock().expect("peer pool poisoned").pop();
         let mut client = match pooled {
             Some(c) => c,
             None => Client::connect_with(self.nodes[peer].addr.as_str(), &self.timeouts)?,
         };
-        match client.forward_get(key) {
+        match client.forward_get_traced(key, trace) {
             Ok(v) => {
                 self.put_back(peer, client);
                 Ok(v)

@@ -27,6 +27,7 @@
 //! payload — invisible to line framing — is still detected as a malformed
 //! frame instead of being accepted as data.
 
+use csr_obs::TraceContext;
 use std::io::{self, BufRead, Write};
 
 /// Maximum key length in bytes (memcached's classic limit).
@@ -34,8 +35,9 @@ pub const MAX_KEY_LEN: usize = 250;
 /// Maximum `SET` payload length in bytes.
 pub const MAX_VALUE_LEN: usize = 1 << 20;
 /// Maximum command-line length in bytes, including the terminator —
-/// comfortably a verb, a maximal key, and a payload length.
-pub const MAX_LINE_LEN: usize = MAX_KEY_LEN + 32;
+/// comfortably a verb, a maximal key, a payload length, a CRC32, and an
+/// optional `TRACE <trace_id>.<span_id>` context token (39 bytes).
+pub const MAX_LINE_LEN: usize = MAX_KEY_LEN + 64;
 /// Largest declared `SET` payload length the server will still *swallow*
 /// (read and discard to keep framing) before replying a recoverable
 /// "payload too large". Beyond this the connection closes instead — the
@@ -78,22 +80,48 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 /// One parsed client request.
+///
+/// `GET`/`FGET`/`SET` may carry an optional trailing
+/// `TRACE <trace_id>.<span_id>` token (see `PROTOCOL.md` § Tracing):
+/// the caller's distributed-trace context, under which the server emits
+/// its spans for this request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// `GET <key>` — read-through lookup.
-    Get(String),
-    /// `FGET <key>` — a peer-forwarded lookup (cluster mode). Served
-    /// exactly like `GET` except it is **never forwarded again** and
-    /// never answered `MOVED`: the one-hop loop-prevention rule.
-    ForwardGet(String),
-    /// `SET <key> <len>` + payload — explicit store.
-    Set(String, Vec<u8>),
+    /// `GET <key> [TRACE <ctx>]` — read-through lookup.
+    Get {
+        /// The key to look up.
+        key: String,
+        /// The propagated trace context, if the command carried one.
+        trace: Option<TraceContext>,
+    },
+    /// `FGET <key> [TRACE <ctx>]` — a peer-forwarded lookup (cluster
+    /// mode). Served exactly like `GET` except it is **never forwarded
+    /// again** and never answered `MOVED`: the one-hop loop-prevention
+    /// rule.
+    ForwardGet {
+        /// The key to look up.
+        key: String,
+        /// The propagated trace context, if the command carried one.
+        trace: Option<TraceContext>,
+    },
+    /// `SET <key> <len> [<crc32>] [TRACE <ctx>]` + payload — explicit
+    /// store.
+    Set {
+        /// The key to store under.
+        key: String,
+        /// The payload.
+        value: Vec<u8>,
+        /// The propagated trace context, if the command carried one.
+        trace: Option<TraceContext>,
+    },
     /// `DEL <key>` — invalidation.
     Del(String),
     /// `STATS` — one `STAT <name> <value>` line per counter.
     Stats,
     /// `METRICS` — Prometheus text exposition, length-framed.
     Metrics,
+    /// `TRACES` — the node's kept-trace ring as JSONL, length-framed.
+    Traces,
     /// `QUIT` — orderly connection close.
     Quit,
 }
@@ -279,26 +307,50 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ProtoError>
     let mut parts = line.split(' ').filter(|p| !p.is_empty());
     let verb = parts.next().unwrap_or("");
     let request = match verb {
-        "GET" | "get" => Request::Get(parse_key(&mut parts)?),
-        "FGET" | "fget" => Request::ForwardGet(parse_key(&mut parts)?),
+        "GET" | "get" => {
+            let key = parse_key_keep_rest(&mut parts)?;
+            let trace = parse_opt_trace(&mut parts)?;
+            Request::Get { key, trace }
+        }
+        "FGET" | "fget" => {
+            let key = parse_key_keep_rest(&mut parts)?;
+            let trace = parse_opt_trace(&mut parts)?;
+            Request::ForwardGet { key, trace }
+        }
         "DEL" | "del" => Request::Del(parse_key(&mut parts)?),
         "SET" | "set" => {
             let key = parse_key_keep_rest(&mut parts)?;
             let len: usize = parts
                 .next()
-                .ok_or_else(|| ProtoError::client("CLIENT_ERROR SET needs <key> <len> [<crc32>]"))
+                .ok_or_else(|| {
+                    ProtoError::client("CLIENT_ERROR SET needs <key> <len> [<crc32>] [TRACE <ctx>]")
+                })
                 .and_then(|l| {
                     l.parse()
                         .map_err(|_| ProtoError::client("CLIENT_ERROR bad payload length"))
                 })?;
-            // Optional payload CRC32 (8 hex digits). This crate's client
-            // always sends it; bare netcat sessions may omit it. The token
-            // is validated only *after* the declared payload has been
-            // consumed — rejecting earlier would leave the payload bytes
-            // in the stream to be misread as commands.
-            let crc_token = parts.next();
-            if parts.next().is_some() {
-                return Err(ProtoError::client("CLIENT_ERROR trailing arguments"));
+            // Optional payload CRC32 (8 hex digits) and optional TRACE
+            // context, in that order. This crate's client always sends
+            // the CRC; bare netcat sessions may omit it — the `TRACE`
+            // keyword is what disambiguates a context from a checksum.
+            // The CRC *value* is validated only *after* the declared
+            // payload has been consumed — rejecting earlier would leave
+            // the payload bytes in the stream to be misread as commands.
+            let mut crc_token = None;
+            let mut trace = None;
+            match parts.next() {
+                None => {}
+                Some("TRACE") => trace = Some(parse_trace_token(&mut parts)?),
+                Some(tok) => {
+                    crc_token = Some(tok);
+                    match parts.next() {
+                        None => {}
+                        Some("TRACE") => trace = Some(parse_trace_token(&mut parts)?),
+                        Some(_) => {
+                            return Err(ProtoError::client("CLIENT_ERROR trailing arguments"))
+                        }
+                    }
+                }
             }
             if len > MAX_VALUE_LEN {
                 if len > MAX_SWALLOW_LEN {
@@ -327,10 +379,11 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ProtoError>
                     return Err(ProtoError::client("CLIENT_ERROR payload checksum mismatch"));
                 }
             }
-            Request::Set(key, value)
+            Request::Set { key, value, trace }
         }
         "STATS" | "stats" => no_args(&mut parts, Request::Stats)?,
         "METRICS" | "metrics" => no_args(&mut parts, Request::Metrics)?,
+        "TRACES" | "traces" => no_args(&mut parts, Request::Traces)?,
         "QUIT" | "quit" => no_args(&mut parts, Request::Quit)?,
         "" => return Err(ProtoError::client("CLIENT_ERROR empty command")),
         other => {
@@ -361,6 +414,35 @@ fn read_payload_tail(r: &mut impl BufRead) -> Result<(), ProtoError> {
         return Err(ProtoError::fatal("payload not CRLF-terminated"));
     }
     Ok(())
+}
+
+/// Parses the optional trailing `TRACE <trace_id>.<span_id>` of a
+/// `GET`/`FGET`: nothing left means no context, anything else is a
+/// grammar error.
+fn parse_opt_trace<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+) -> Result<Option<TraceContext>, ProtoError> {
+    match parts.next() {
+        None => Ok(None),
+        Some("TRACE") => Ok(Some(parse_trace_token(parts)?)),
+        Some(_) => Err(ProtoError::client("CLIENT_ERROR trailing arguments")),
+    }
+}
+
+/// Parses the context operand after a `TRACE` keyword and requires it to
+/// end the line.
+fn parse_trace_token<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+) -> Result<TraceContext, ProtoError> {
+    let token = parts
+        .next()
+        .ok_or_else(|| ProtoError::client("CLIENT_ERROR TRACE needs <trace_id>.<span_id>"))?;
+    let ctx = TraceContext::parse(token)
+        .ok_or_else(|| ProtoError::client("CLIENT_ERROR invalid trace context"))?;
+    if parts.next().is_some() {
+        return Err(ProtoError::client("CLIENT_ERROR trailing arguments"));
+    }
+    Ok(ctx)
 }
 
 fn parse_key<'a>(parts: &mut impl Iterator<Item = &'a str>) -> Result<String, ProtoError> {
@@ -481,6 +563,28 @@ mod tests {
     use super::*;
     use std::io::BufReader;
 
+    fn get(key: &str) -> Request {
+        Request::Get {
+            key: key.into(),
+            trace: None,
+        }
+    }
+
+    fn fget(key: &str) -> Request {
+        Request::ForwardGet {
+            key: key.into(),
+            trace: None,
+        }
+    }
+
+    fn set(key: &str, value: &[u8]) -> Request {
+        Request::Set {
+            key: key.into(),
+            value: value.to_vec(),
+            trace: None,
+        }
+    }
+
     fn parse_all(input: &[u8]) -> Vec<Result<Option<Request>, ProtoError>> {
         let mut r = BufReader::new(input);
         let mut out = Vec::new();
@@ -506,8 +610,8 @@ mod tests {
         assert_eq!(
             reqs,
             vec![
-                Request::Get("a".into()),
-                Request::Set("b".into(), b"xyz".to_vec()),
+                get("a"),
+                set("b", b"xyz"),
                 Request::Del("c".into()),
                 Request::Stats,
                 Request::Metrics,
@@ -519,10 +623,7 @@ mod tests {
     #[test]
     fn accepts_bare_lf_and_lowercase() {
         let mut r = BufReader::new(&b"get k\n"[..]);
-        assert_eq!(
-            read_request(&mut r).unwrap(),
-            Some(Request::Get("k".into()))
-        );
+        assert_eq!(read_request(&mut r).unwrap(), Some(get("k")));
     }
 
     #[test]
@@ -549,14 +650,8 @@ mod tests {
         input.extend_from_slice(payload);
         input.extend_from_slice(b"\r\nGET after\r\n");
         let mut r = BufReader::new(&input[..]);
-        assert_eq!(
-            read_request(&mut r).unwrap(),
-            Some(Request::Set("k".into(), payload.to_vec()))
-        );
-        assert_eq!(
-            read_request(&mut r).unwrap(),
-            Some(Request::Get("after".into()))
-        );
+        assert_eq!(read_request(&mut r).unwrap(), Some(set("k", payload)));
+        assert_eq!(read_request(&mut r).unwrap(), Some(get("after")));
     }
 
     #[test]
@@ -570,10 +665,7 @@ mod tests {
             other => panic!("expected client error, got {other:?}"),
         }
         // The next request parses fine off the same reader.
-        assert_eq!(
-            read_request(&mut r).unwrap(),
-            Some(Request::Get("y".into()))
-        );
+        assert_eq!(read_request(&mut r).unwrap(), Some(get("y")));
     }
 
     #[test]
@@ -606,10 +698,7 @@ mod tests {
             other => panic!("expected recoverable limit error, got {other:?}"),
         }
         // The reader is positioned at the next frame boundary.
-        assert_eq!(
-            read_request(&mut r).unwrap(),
-            Some(Request::Get("after".into()))
-        );
+        assert_eq!(read_request(&mut r).unwrap(), Some(get("after")));
     }
 
     #[test]
@@ -638,10 +727,7 @@ mod tests {
             }
             other => panic!("expected recoverable limit error, got {other:?}"),
         }
-        assert_eq!(
-            read_request(&mut r).unwrap(),
-            Some(Request::Get("after".into()))
-        );
+        assert_eq!(read_request(&mut r).unwrap(), Some(get("after")));
     }
 
     #[test]
@@ -664,10 +750,7 @@ mod tests {
         let mut input = format!("SET k 3 {:08x}\r\n", crc32(b"xyz")).into_bytes();
         input.extend_from_slice(b"xyz\r\n");
         let mut r = BufReader::new(&input[..]);
-        assert_eq!(
-            read_request(&mut r).unwrap(),
-            Some(Request::Set("k".into(), b"xyz".to_vec()))
-        );
+        assert_eq!(read_request(&mut r).unwrap(), Some(set("k", b"xyz")));
 
         // Wrong CRC: recoverable reject, stream stays aligned.
         let mut input = format!("SET k 3 {:08x}\r\n", crc32(b"xyz") ^ 1).into_bytes();
@@ -680,10 +763,7 @@ mod tests {
             }
             other => panic!("expected checksum reject, got {other:?}"),
         }
-        assert_eq!(
-            read_request(&mut r).unwrap(),
-            Some(Request::Get("after".into()))
-        );
+        assert_eq!(read_request(&mut r).unwrap(), Some(get("after")));
 
         // Malformed CRC token: the payload is still consumed before the
         // reject (rejecting earlier would leave it in the stream to be
@@ -694,10 +774,7 @@ mod tests {
             read_request(&mut r),
             Err(ProtoError::Client { fatal: false, .. })
         ));
-        assert_eq!(
-            read_request(&mut r).unwrap(),
-            Some(Request::Get("after".into()))
-        );
+        assert_eq!(read_request(&mut r).unwrap(), Some(get("after")));
     }
 
     #[test]
@@ -752,14 +829,8 @@ mod tests {
     #[test]
     fn fget_parses_like_get_and_keeps_the_key_grammar() {
         let mut r = BufReader::new(&b"FGET user:1\r\nfget user:2\r\n"[..]);
-        assert_eq!(
-            read_request(&mut r).unwrap(),
-            Some(Request::ForwardGet("user:1".into()))
-        );
-        assert_eq!(
-            read_request(&mut r).unwrap(),
-            Some(Request::ForwardGet("user:2".into()))
-        );
+        assert_eq!(read_request(&mut r).unwrap(), Some(fget("user:1")));
+        assert_eq!(read_request(&mut r).unwrap(), Some(fget("user:2")));
         let mut r = BufReader::new(&b"FGET has space\r\n"[..]);
         assert!(matches!(
             read_request(&mut r),
@@ -786,6 +857,122 @@ mod tests {
         buf.clear();
         write_moved(&mut buf, "10.0.0.2:11311").unwrap();
         assert_eq!(buf, b"MOVED 10.0.0.2:11311\r\n");
+    }
+
+    #[test]
+    fn trace_token_parses_on_get_fget_and_set() {
+        let ctx = TraceContext {
+            trace_id: 0x0123_4567_89ab_cdef,
+            span_id: 0xfedc_ba98_7654_3210,
+            sampled: true,
+        };
+        let token = ctx.render();
+        let mut input = format!("GET k TRACE {token}\r\nFGET k TRACE {token}\r\n").into_bytes();
+        // SET with CRC and context, then SET with context only.
+        input.extend_from_slice(
+            format!("SET k 3 {:08x} TRACE {token}\r\nxyz\r\n", crc32(b"xyz")).as_bytes(),
+        );
+        input.extend_from_slice(format!("SET k 3 TRACE {token}\r\nxyz\r\n").as_bytes());
+        let mut r = BufReader::new(&input[..]);
+        assert_eq!(
+            read_request(&mut r).unwrap(),
+            Some(Request::Get {
+                key: "k".into(),
+                trace: Some(ctx)
+            })
+        );
+        assert_eq!(
+            read_request(&mut r).unwrap(),
+            Some(Request::ForwardGet {
+                key: "k".into(),
+                trace: Some(ctx)
+            })
+        );
+        for _ in 0..2 {
+            assert_eq!(
+                read_request(&mut r).unwrap(),
+                Some(Request::Set {
+                    key: "k".into(),
+                    value: b"xyz".to_vec(),
+                    trace: Some(ctx)
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn trace_context_round_trips_through_render() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            span_id: u64::MAX,
+            sampled: true,
+        };
+        assert_eq!(TraceContext::parse(&ctx.render()), Some(ctx));
+    }
+
+    #[test]
+    fn bad_trace_tokens_are_recoverable_rejects() {
+        // Malformed context, missing operand, trailing junk after the
+        // context, and non-TRACE trailing word — all recoverable, and
+        // the stream resyncs on the next line.
+        for line in [
+            "GET k TRACE nonsense",
+            "GET k TRACE",
+            "GET k TRACE 0.0 extra",
+            "GET k JUNK",
+            "FGET k TRACE xyz.abc",
+            "SET k 3 TRACE bogus",
+        ] {
+            let input = format!("{line}\r\nGET after\r\n");
+            let mut r = BufReader::new(input.as_bytes());
+            match read_request(&mut r) {
+                Err(ProtoError::Client { fatal, .. }) => {
+                    assert!(!fatal, "{line:?} must be recoverable")
+                }
+                other => panic!("{line:?}: expected client error, got {other:?}"),
+            }
+            assert_eq!(read_request(&mut r).unwrap(), Some(get("after")));
+        }
+        // An all-zero context is syntactically valid hex but not a
+        // usable id pair.
+        let mut r = BufReader::new(&b"GET k TRACE 0000000000000000.0000000000000000\r\n"[..]);
+        assert!(matches!(
+            read_request(&mut r),
+            Err(ProtoError::Client { fatal: false, .. })
+        ));
+    }
+
+    #[test]
+    fn traces_verb_parses_and_takes_no_args() {
+        let mut r = BufReader::new(&b"TRACES\r\ntraces\r\nTRACES now\r\n"[..]);
+        assert_eq!(read_request(&mut r).unwrap(), Some(Request::Traces));
+        assert_eq!(read_request(&mut r).unwrap(), Some(Request::Traces));
+        assert!(matches!(
+            read_request(&mut r),
+            Err(ProtoError::Client { fatal: false, .. })
+        ));
+    }
+
+    #[test]
+    fn max_length_traced_get_fits_in_a_line() {
+        // The line-length budget exists precisely so a max-length key
+        // plus a full TRACE token still parses.
+        let key = "k".repeat(MAX_KEY_LEN);
+        let ctx = TraceContext {
+            trace_id: 7,
+            span_id: 9,
+            sampled: true,
+        };
+        let line = format!("GET {key} TRACE {}\r\n", ctx.render());
+        assert!(line.len() - 2 <= MAX_LINE_LEN, "budget regressed");
+        let mut r = BufReader::new(line.as_bytes());
+        match read_request(&mut r).unwrap() {
+            Some(Request::Get { key: k, trace }) => {
+                assert_eq!(k, key);
+                assert_eq!(trace.map(|t| t.trace_id), Some(7));
+            }
+            other => panic!("expected traced GET, got {other:?}"),
+        }
     }
 
     #[test]

@@ -47,7 +47,11 @@ use crate::cluster::{ClusterNode, ClusterServerMetrics, PeerConfig, PeerRouter};
 use crate::proto::{self, ProtoError, Request};
 use crate::resilience::{OriginMetrics, ResilienceConfig, ResilientBacking};
 use csr_cache::{CacheStats, CsrCache, Policy};
-use csr_obs::{Counter, Gauge, Histogram, Registry, ReportFormat, Reporter};
+use csr_obs::trace::{arm_events, take_events};
+use csr_obs::{
+    Counter, Gauge, Histogram, Registry, ReportFormat, Reporter, RequestTrace, TraceConfig,
+    TraceContext, Tracer,
+};
 use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
@@ -121,6 +125,15 @@ pub struct ServerConfig {
     /// bound listen address at startup (and appended to the membership
     /// if absent), so tests binding port 0 need no up-front address.
     pub cluster: Option<PeerConfig>,
+    /// Distributed-tracing knobs (`PROTOCOL.md` § Tracing): 1-in-N
+    /// sampling, the always-keep-slow threshold, and the kept-trace ring
+    /// capacity. All off by default — incoming `TRACE` tokens are still
+    /// honored.
+    pub trace: TraceConfig,
+    /// Print one structured line to stderr for every slow traced request
+    /// (trace id, key, phase breakdown). Needs `trace.slow_us > 0` to
+    /// classify anything as slow.
+    pub slow_log: bool,
 }
 
 impl Default for ServerConfig {
@@ -139,6 +152,8 @@ impl Default for ServerConfig {
             resilience: ResilienceConfig::default(),
             stale_capacity: None,
             cluster: None,
+            trace: TraceConfig::default(),
+            slow_log: false,
         }
     }
 }
@@ -239,6 +254,7 @@ struct ServerMetrics {
     req_del: Arc<Counter>,
     req_stats: Arc<Counter>,
     req_metrics: Arc<Counter>,
+    req_traces: Arc<Counter>,
     req_errors: Arc<Counter>,
     /// Requests rejected for exceeding a normative limit, by which limit
     /// (`line`, `key`, `value`). These are recoverable rejections — the
@@ -252,6 +268,55 @@ struct ServerMetrics {
     /// Measured read-through fetch latency (µs) — the distribution of the
     /// very numbers being fed to the policy as miss costs.
     fetch_us: Arc<Histogram>,
+    /// Per-phase request durations, derived from trace spans.
+    phases: PhaseMetrics,
+}
+
+/// Per-phase request-duration histograms (µs), one `phase` label value
+/// per span name the tracer produces. Each phase records the very
+/// duration its span reports, so the metrics and the exported traces
+/// can never disagree about where time went.
+struct PhaseMetrics {
+    request: Arc<Histogram>,
+    parse: Arc<Histogram>,
+    cache: Arc<Histogram>,
+    origin: Arc<Histogram>,
+    forward: Arc<Histogram>,
+    stale: Arc<Histogram>,
+}
+
+impl PhaseMetrics {
+    fn new(registry: &Registry) -> Self {
+        let phase = |name: &str| {
+            registry.histogram(
+                "csr_serve_phase_us",
+                "Per-phase request duration in microseconds, derived from trace spans",
+                &[("phase", name)],
+            )
+        };
+        PhaseMetrics {
+            request: phase("request"),
+            parse: phase("parse"),
+            cache: phase("cache"),
+            origin: phase("origin"),
+            forward: phase("forward"),
+            stale: phase("stale"),
+        }
+    }
+
+    /// Records `us` under the histogram matching a span name (unknown
+    /// names are dropped rather than mislabeled).
+    fn record(&self, phase: &str, us: u64) {
+        match phase {
+            "request" => self.request.record(us),
+            "parse" => self.parse.record(us),
+            "cache" => self.cache.record(us),
+            "origin" => self.origin.record(us),
+            "forward" => self.forward.record(us),
+            "stale" => self.stale.record(us),
+            _ => {}
+        }
+    }
 }
 
 impl ServerMetrics {
@@ -292,6 +357,7 @@ impl ServerMetrics {
             req_del: req("del"),
             req_stats: req("stats"),
             req_metrics: req("metrics"),
+            req_traces: req("traces"),
             req_errors: req("error"),
             limit_line: limit("line"),
             limit_key: limit("key"),
@@ -306,6 +372,7 @@ impl ServerMetrics {
                 "Measured origin fetch latency in microseconds (charged as miss cost)",
                 &[],
             ),
+            phases: PhaseMetrics::new(registry),
         }
     }
 
@@ -339,6 +406,12 @@ struct Shared {
     origin_metrics: Arc<OriginMetrics>,
     stale: StaleStore,
     cluster: Option<ClusterState>,
+    /// The node's request tracer (csr-trace); always present, dormant
+    /// (zero per-request allocations) unless sampling/slow-capture is on
+    /// or a request carries an incoming `TRACE` token.
+    tracer: Tracer,
+    /// Print a structured stderr line for each slow traced request.
+    slow_log: bool,
     shutdown: AtomicBool,
     /// Read-half handles of live connections, so shutdown can cut idle
     /// readers without waiting out their timeout. Keyed by a connection
@@ -380,6 +453,13 @@ impl ServerHandle {
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.stats()
+    }
+
+    /// The node's request tracer — for exporting the kept-trace ring
+    /// (JSONL / Chrome trace-event) at shutdown.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
     }
 
     /// Gracefully shuts down: stop accepting, cut idle readers, drain
@@ -465,6 +545,11 @@ pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<Serv
             metrics: ClusterServerMetrics::new(&registry),
         }
     });
+    // Traces are stamped with the cluster node id when there is one, so
+    // spans from different nodes of one trace stay distinguishable.
+    let trace_node = cluster
+        .as_ref()
+        .map_or_else(|| addr.to_string(), |cl| cl.router.node_id().to_owned());
     let shared = Arc::new(Shared {
         cache: builder.build(),
         backing,
@@ -473,6 +558,8 @@ pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<Serv
         origin_metrics,
         stale: StaleStore::new(config.stale_capacity.unwrap_or(config.capacity)),
         cluster,
+        tracer: Tracer::new(&trace_node, config.trace),
+        slow_log: config.slow_log,
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
         next_conn_id: AtomicU64::new(0),
@@ -623,6 +710,13 @@ impl DeadlineReader {
     fn has_buffered(&self) -> bool {
         !self.inner.buffer().is_empty()
     }
+
+    /// When the first byte of the current request arrived — the anchor
+    /// a trace's root span is backdated to, so read+parse time is part
+    /// of the request it belongs to.
+    fn request_started(&self) -> Option<Instant> {
+        self.started
+    }
 }
 
 impl io::Read for DeadlineReader {
@@ -720,7 +814,10 @@ fn handle_conn(stream: TcpStream, shared: &Shared, timeouts: ConnTimeouts) -> io
         }
         match proto::read_request(&mut reader) {
             Ok(None) | Ok(Some(Request::Quit)) => return writer.flush(),
-            Ok(Some(request)) => respond(request, shared, &mut writer)?,
+            Ok(Some(request)) => {
+                let anchor = reader.request_started().unwrap_or_else(Instant::now);
+                respond(request, shared, &mut writer, anchor)?;
+            }
             Err(ProtoError::Client { msg, fatal, limit }) => {
                 shared.metrics.req_errors.inc();
                 if let Some(kind) = limit {
@@ -768,34 +865,69 @@ fn handle_conn(stream: TcpStream, shared: &Shared, timeouts: ConnTimeouts) -> io
 }
 
 /// Executes one request and writes its response (buffered).
-fn respond(request: Request, shared: &Shared, w: &mut impl Write) -> io::Result<()> {
+fn respond(
+    request: Request,
+    shared: &Shared,
+    w: &mut impl Write,
+    anchor: Instant,
+) -> io::Result<()> {
     match request {
-        Request::Get(key) => {
+        Request::Get { key, trace: ctx } => {
             shared.metrics.req_get.inc();
-            if let Some(cl) = &shared.cluster {
-                if let Some((peer, owner)) = cl.router.owner_of(&key) {
-                    if !cl.router.forward {
-                        cl.metrics.moved.inc();
-                        return proto::write_moved(w, &owner.addr);
+            let mut trace = begin_trace(shared, ctx, anchor);
+            let out = (|| {
+                if let Some(cl) = &shared.cluster {
+                    if let Some((peer, owner)) = cl.router.owner_of(&key) {
+                        if !cl.router.forward {
+                            cl.metrics.moved.inc();
+                            if let Some(t) = trace.as_mut() {
+                                t.event("moved", owner.addr.clone());
+                            }
+                            return proto::write_moved(w, &owner.addr);
+                        }
+                        return forwarded_get(shared, cl, peer, &key, w, &mut trace);
                     }
-                    return forwarded_get(shared, cl, peer, key, w);
                 }
-            }
-            local_get(shared, key, w)
+                local_get(shared, &key, w, &mut trace)
+            })();
+            finish_trace(shared, trace, &key);
+            out
         }
         // The internal one-hop verb: always answered from this node's own
         // cache/origin — never re-forwarded, never MOVED — so peer
         // forwarding cannot loop.
-        Request::ForwardGet(key) => {
+        Request::ForwardGet { key, trace: ctx } => {
             shared.metrics.req_fget.inc();
-            local_get(shared, key, w)
+            let mut trace = begin_trace(shared, ctx, anchor);
+            let out = local_get(shared, &key, w, &mut trace);
+            finish_trace(shared, trace, &key);
+            out
         }
-        Request::Set(key, value) => {
+        Request::Set {
+            key,
+            value,
+            trace: ctx,
+        } => {
             shared.metrics.req_set.inc();
-            shared
-                .cache
-                .insert_with_cost(key, Bytes::from(value), SET_COST);
-            proto::write_line(w, "STORED")
+            match begin_trace(shared, ctx, anchor) {
+                None => {
+                    shared
+                        .cache
+                        .insert_with_cost(key, Bytes::from(value), SET_COST);
+                    proto::write_line(w, "STORED")
+                }
+                Some(mut t) => {
+                    let span = t.begin_span("cache");
+                    shared
+                        .cache
+                        .insert_with_cost(key.clone(), Bytes::from(value), SET_COST);
+                    let dur = t.finish_span(span);
+                    shared.metrics.phases.record("cache", dur);
+                    let out = proto::write_line(w, "STORED");
+                    finish_trace(shared, Some(t), &key);
+                    out
+                }
+            }
         }
         Request::Del(key) => {
             shared.metrics.req_del.inc();
@@ -813,18 +945,85 @@ fn respond(request: Request, shared: &Shared, w: &mut impl Write) -> io::Result<
             let text = csr_obs::export::prometheus(&shared.registry.snapshot());
             proto::write_data(w, text.as_bytes())
         }
+        Request::Traces => {
+            shared.metrics.req_traces.inc();
+            let body = shared.tracer.export_jsonl();
+            proto::write_data(w, body.as_bytes())
+        }
         // QUIT never reaches respond().
         Request::Quit => Ok(()),
     }
 }
 
+/// Starts the request trace (if this request is traced at all): the root
+/// span is backdated to `anchor` (first byte), a retroactive `parse`
+/// span covers read+parse, and the thread-local event collector is armed
+/// so the resilience middleware's annotations reach the trace. Returns
+/// `None` — with zero allocations — when tracing is off and the request
+/// carried no `TRACE` token.
+fn begin_trace(
+    shared: &Shared,
+    ctx: Option<TraceContext>,
+    anchor: Instant,
+) -> Option<RequestTrace> {
+    let mut trace = shared.tracer.begin(ctx, anchor);
+    if let Some(t) = trace.as_mut() {
+        let dur = t.add_span_since("parse", anchor);
+        shared.metrics.phases.record("parse", dur);
+        arm_events();
+    }
+    trace
+}
+
+/// Seals the request trace: leftover middleware events land on the root
+/// span, the whole-request duration feeds the `request` phase histogram,
+/// and — when the request was slow and the slow log is on — one
+/// structured line goes to stderr.
+fn finish_trace(shared: &Shared, trace: Option<RequestTrace>, key: &str) {
+    let Some(mut t) = trace else { return };
+    t.absorb_events(take_events());
+    let fin = shared.tracer.finish(t);
+    shared.metrics.phases.record("request", fin.total_us);
+    if fin.slow && shared.slow_log {
+        use std::fmt::Write as _;
+        let mut phases = String::new();
+        for s in fin.spans.iter().skip(1) {
+            let _ = write!(phases, " {}_us={}", s.name, s.dur_us);
+        }
+        eprintln!(
+            "SLOW trace={:016x} node={} key={} total_us={}{}",
+            fin.trace_id,
+            shared.tracer.node(),
+            key,
+            fin.total_us,
+            phases
+        );
+    }
+}
+
 /// The single-node read-through `GET`: cache, then origin (fetch timed
 /// and charged as miss cost), then the stale-store degradation ladder.
-fn local_get(shared: &Shared, key: String, w: &mut impl Write) -> io::Result<()> {
+///
+/// When traced, a `cache` span covers the whole single-flight lookup
+/// (including any coalesced wait) and an `origin` span — nested inside
+/// it, carrying the resilience middleware's retry/breaker/deadline
+/// events — covers the fetch closure when it ran.
+fn local_get(
+    shared: &Shared,
+    key: &str,
+    w: &mut impl Write,
+    trace: &mut Option<RequestTrace>,
+) -> io::Result<()> {
+    let cache_span = trace.as_mut().map(|t| t.begin_span("cache"));
+    // When the fetch closure ran (a real miss, not a hit or a coalesced
+    // wait), the instant it started — so the origin span can be built
+    // retroactively outside the closure's borrow.
+    let fetch_started: Cell<Option<Instant>> = Cell::new(None);
     let value: Result<Option<Bytes>, BackingError> =
-        shared.cache.try_get_or_insert_with(key.clone(), || {
+        shared.cache.try_get_or_insert_with(key.to_owned(), || {
             let t0 = Instant::now();
-            let Some(fetched) = shared.backing.try_fetch(&key)? else {
+            fetch_started.set(Some(t0));
+            let Some(fetched) = shared.backing.try_fetch(key)? else {
                 return Ok(None);
             };
             // Microseconds, floored at 1 so even a sub-µs origin read
@@ -836,13 +1035,31 @@ fn local_get(shared: &Shared, key: String, w: &mut impl Write) -> io::Result<()>
             let bytes = Bytes::from(fetched);
             // Remember the copy (and its measured cost) for
             // serve-stale degradation if the origin later fails.
-            shared.stale.record(&key, Arc::clone(&bytes), cost);
+            shared.stale.record(key, Arc::clone(&bytes), cost);
             Ok(Some((bytes, cost)))
         });
+    if let Some(t) = trace.as_mut() {
+        let events = take_events();
+        if let Some(t0) = fetch_started.get() {
+            let mut span = t.begin_span_at("origin", t0);
+            span.absorb_events(events);
+            let dur = t.finish_span(span);
+            shared.metrics.phases.record("origin", dur);
+        } else {
+            // Hit or coalesced wait: no origin fetch of our own, but any
+            // stray events still belong to this trace.
+            t.absorb_events(events);
+        }
+        // Re-arm: the degraded path below may still run the stale store.
+        arm_events();
+        if let Some(span) = cache_span {
+            shared.metrics.phases.record("cache", t.finish_span(span));
+        }
+    }
     match value {
-        Ok(Some(bytes)) => proto::write_value(w, &key, &bytes),
+        Ok(Some(bytes)) => proto::write_value(w, key, &bytes),
         Ok(None) => proto::write_end(w),
-        Err(err) => write_degraded(shared, &key, &err, w),
+        Err(err) => write_degraded(shared, key, &err, w, trace),
     }
 }
 
@@ -853,21 +1070,32 @@ fn local_get(shared: &Shared, key: String, w: &mut impl Write) -> io::Result<()>
 /// *measured* one-hop latency as the entry's miss cost. A peer that
 /// cannot be reached (partition) degrades to this node's own origin
 /// fetch, so availability survives the owner's death.
+///
+/// When traced, the `forward` span's id rides the `FGET` line as the
+/// `TRACE` token, so the owner's spans link under it — one trace across
+/// both nodes.
 fn forwarded_get(
     shared: &Shared,
     cl: &ClusterState,
     peer: usize,
-    key: String,
+    key: &str,
     w: &mut impl Write,
+    trace: &mut Option<RequestTrace>,
 ) -> io::Result<()> {
     // Reply-flag cells: set inside the fetch closure (which only runs on
     // a miss), read when writing the reply.
     let fwd = Cell::new(false);
     let fwd_stale = Cell::new(false);
+    let cache_span = trace.as_mut().map(|t| t.begin_span("cache"));
     let value: Result<Option<Bytes>, BackingError> =
-        shared.cache.try_get_or_insert_with(key.clone(), || {
+        shared.cache.try_get_or_insert_with(key.to_owned(), || {
             let t0 = Instant::now();
-            match cl.router.fetch_from_peer(peer, &key) {
+            let mut span = trace.as_mut().map(|t| t.begin_span("forward"));
+            let ctx = trace
+                .as_ref()
+                .zip(span.as_ref())
+                .map(|(t, sp)| t.context_from(sp.span_id()));
+            match cl.router.fetch_from_peer(peer, key, ctx) {
                 Ok(found) => {
                     let cost = u64::try_from(t0.elapsed().as_micros())
                         .unwrap_or(u64::MAX)
@@ -875,20 +1103,37 @@ fn forwarded_get(
                     cl.metrics.forwards.inc();
                     cl.metrics.forward_us.record(cost);
                     fwd.set(true);
+                    if let (Some(t), Some(sp)) = (trace.as_mut(), span.take()) {
+                        let dur = t.finish_span(sp);
+                        shared.metrics.phases.record("forward", dur);
+                    }
                     Ok(found.map(|v| {
                         fwd_stale.set(v.stale);
                         let bytes = Bytes::from(v.data);
-                        shared.stale.record(&key, Arc::clone(&bytes), cost);
+                        shared.stale.record(key, Arc::clone(&bytes), cost);
                         (bytes, cost)
                     }))
                 }
                 // The owner is unreachable (or itself origin-dead): fall
                 // back to our own origin so a partitioned peer costs one
                 // bounded timeout, not an outage.
-                Err(_) => {
+                Err(e) => {
                     cl.metrics.forward_fallbacks.inc();
+                    if let (Some(t), Some(mut sp)) = (trace.as_mut(), span.take()) {
+                        sp.event("forward_error", e.to_string());
+                        let dur = t.finish_span(sp);
+                        shared.metrics.phases.record("forward", dur);
+                    }
                     let t0 = Instant::now();
-                    let Some(fetched) = shared.backing.try_fetch(&key)? else {
+                    let fetched = shared.backing.try_fetch(key);
+                    if let Some(t) = trace.as_mut() {
+                        let mut sp = t.begin_span_at("origin", t0);
+                        sp.absorb_events(take_events());
+                        let dur = t.finish_span(sp);
+                        shared.metrics.phases.record("origin", dur);
+                        arm_events();
+                    }
+                    let Some(fetched) = fetched? else {
                         return Ok(None);
                     };
                     let cost = u64::try_from(t0.elapsed().as_micros())
@@ -896,34 +1141,48 @@ fn forwarded_get(
                         .max(1);
                     shared.metrics.fetch_us.record(cost);
                     let bytes = Bytes::from(fetched);
-                    shared.stale.record(&key, Arc::clone(&bytes), cost);
+                    shared.stale.record(key, Arc::clone(&bytes), cost);
                     Ok(Some((bytes, cost)))
                 }
             }
         });
+    if let Some(t) = trace.as_mut() {
+        if let Some(span) = cache_span {
+            shared.metrics.phases.record("cache", t.finish_span(span));
+        }
+    }
     match value {
-        Ok(Some(bytes)) => proto::write_value_flags(w, &key, &bytes, fwd_stale.get(), fwd.get()),
+        Ok(Some(bytes)) => proto::write_value_flags(w, key, &bytes, fwd_stale.get(), fwd.get()),
         Ok(None) => proto::write_end(w),
-        Err(err) => write_degraded(shared, &key, &err, w),
+        Err(err) => write_degraded(shared, key, &err, w, trace),
     }
 }
 
 /// The degradation ladder once a fetch failed (past retries and the
 /// breaker): a stale copy if we ever fetched one — put back into the
 /// cache at its last successful measured cost — else the recoverable
-/// `ORIGIN_ERROR` reply.
+/// `ORIGIN_ERROR` reply. Traced requests get an `origin_error` root
+/// event either way, plus a `stale` span when a stale copy is served.
 fn write_degraded(
     shared: &Shared,
     key: &str,
     err: &BackingError,
     w: &mut impl Write,
+    trace: &mut Option<RequestTrace>,
 ) -> io::Result<()> {
+    if let Some(t) = trace.as_mut() {
+        t.event("origin_error", err.to_string());
+    }
     match shared.stale.get(key) {
         Some((bytes, cost)) => {
+            let span = trace.as_mut().map(|t| t.begin_span("stale"));
             shared.origin_metrics.stale_served.inc();
             shared
                 .cache
                 .insert_with_cost(key.to_owned(), Arc::clone(&bytes), cost);
+            if let (Some(t), Some(sp)) = (trace.as_mut(), span) {
+                shared.metrics.phases.record("stale", t.finish_span(sp));
+            }
             proto::write_stale_value(w, key, &bytes)
         }
         None => proto::write_origin_error(w, &err.to_string()),
@@ -974,6 +1233,8 @@ fn write_stats(shared: &Shared, w: &mut impl Write) -> io::Result<()> {
         "origin_breaker_state",
         shared.origin_metrics.breaker_state.get().to_string(),
     )?;
+    stat("traces_recorded", shared.tracer.recorded().to_string())?;
+    stat("traces_dropped", shared.tracer.dropped().to_string())?;
     if let Some(cl) = &shared.cluster {
         stat("cluster_node_id", cl.router.node_id().to_owned())?;
         stat("cluster_nodes", cl.router.nodes().len().to_string())?;
