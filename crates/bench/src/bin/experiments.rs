@@ -14,11 +14,12 @@
 //!   hwcost    Section 5 hardware-overhead model
 //!   sweep     associativity and cache-size sweeps (Section 3.1)
 //!   penalty   penalty-based cost function (Section 7 outlook)
+//!   policies  policy zoo vs adaptive selection over phase-shifting workloads
 //!   all       everything above in sequence
 //! ```
 
 use csr_bench::{
-    fig3, hwcost, penalty, sweep, table1, table2, table3, table4, table5, ExperimentOpts,
+    fig3, hwcost, penalty, policies, sweep, table1, table2, table3, table4, table5, ExperimentOpts,
 };
 
 fn main() {
@@ -56,6 +57,7 @@ fn main() {
         "hwcost" => hwcost::run(&opts),
         "sweep" => sweep::run(&opts),
         "penalty" => penalty::run_experiment(&opts),
+        "policies" => policies::run_experiment(&opts),
         "all" => {
             table1::run(&opts);
             fig3::run(&opts);
@@ -66,6 +68,7 @@ fn main() {
             hwcost::run(&opts);
             sweep::run(&opts);
             penalty::run_experiment(&opts);
+            policies::run_experiment(&opts);
         }
         other => die(&format!("unknown subcommand: {other}")),
     }
@@ -73,6 +76,6 @@ fn main() {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: experiments <table1|fig3|table2|table3|table4|table5|hwcost|sweep|penalty|all> [--paper-scale] [--extended (table1/table5)] [--threads N] [--json DIR (fig3/table2)]");
+    eprintln!("usage: experiments <table1|fig3|table2|table3|table4|table5|hwcost|sweep|penalty|policies|all> [--paper-scale] [--extended (table1/table5)] [--threads N] [--json DIR (fig3/table2)]");
     std::process::exit(2);
 }

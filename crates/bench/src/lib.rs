@@ -11,6 +11,7 @@
 pub mod fig3;
 pub mod hwcost;
 pub mod penalty;
+pub mod policies;
 pub mod report;
 pub mod sweep;
 pub mod table1;

@@ -1,0 +1,398 @@
+//! Beyond the paper: policy-zoo shoot-out over phase-shifting workloads.
+//!
+//! Runs every [`Policy`] the runtime cache supports — the paper's
+//! cost-sensitive set plus the modern zoo (S3-FIFO, SLRU, LFUDA, GDSF,
+//! CAMP) — head-to-head over three synthetic key streams, and pits the
+//! online adaptive selector against all of them:
+//!
+//! * `zipf`  — skewed reuse with bimodal miss costs (steady state),
+//! * `scan`  — the zipf stream interleaved with a long cyclic one-touch
+//!   scan that thrashes recency-only policies,
+//! * `phase` — zipf, then scan-heavy, then zipf again: the trace the
+//!   adaptive selector is built for.
+//!
+//! Scoring is modeled cost savings: every hit saves the miss cost the
+//! backing store would have charged for that key. The emitted
+//! `BENCH_policies.json` carries the full matrix plus a `checks` object
+//! the CI smoke job greps for.
+
+use crate::{report, ExperimentOpts, TableBuilder};
+use csr_cache::{CsrCache, Policy, SelectorConfig};
+use csr_obs::Json;
+use mem_trace::rng::SplitMix64;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::BuildHasher;
+
+/// Keys in the skewed (zipf) namespace.
+const KEYS: usize = 4096;
+/// Cache capacity (entries, single shard).
+const CAPACITY: usize = 512;
+/// Length of the cyclic scan key range — wider than the cache so a
+/// recency-only policy churns on it without ever collecting a hit.
+const SCAN_SPACE: u64 = 2048;
+/// First key of the scan namespace, disjoint from the zipf keys.
+const SCAN_BASE: u64 = 1 << 32;
+/// Zipf skew for the reuse-heavy phases.
+const THETA: f64 = 0.9;
+/// Candidate pair the adaptive row selects between: GDSF wins the
+/// steady zipf acts on modeled savings, DCL wins the scan-heavy act
+/// (it concentrates capacity on the expensive working set while the
+/// scan flushes GDSF's frequency ladder), so a phase shift produces a
+/// genuine lead change for the selector to track.
+const CANDIDATES: (Policy, Policy) = (Policy::Dcl, Policy::Gdsf);
+
+/// Deterministic [`BuildHasher`]: `DefaultHasher::new()` uses fixed keys,
+/// so key→shard-slot placement is identical on every run.
+#[derive(Clone, Default)]
+struct FixedState;
+
+impl BuildHasher for FixedState {
+    type Hasher = DefaultHasher;
+    fn build_hasher(&self) -> DefaultHasher {
+        DefaultHasher::new()
+    }
+}
+
+/// Modeled cost of re-fetching `key` on a miss: one key in eight is
+/// expensive (a far-away origin), the rest are cheap.
+fn cost_of(key: u64) -> u64 {
+    if key % 8 == 0 {
+        16
+    } else {
+        1
+    }
+}
+
+/// Cumulative Zipf distribution over ranks `1..=n` with skew `theta`.
+fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for rank in 1..=n {
+        total += 1.0 / (rank as f64).powf(theta);
+        cdf.push(total);
+    }
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+/// Draws one zipf-ranked key.
+fn zipf_key(cdf: &[f64], rng: &mut SplitMix64) -> u64 {
+    let u = rng.next_u64() as f64 / u64::MAX as f64;
+    cdf.partition_point(|&c| c < u) as u64
+}
+
+/// One synthetic key stream.
+struct Workload {
+    name: &'static str,
+    trace: Vec<u64>,
+}
+
+/// Builds the three workloads; `ops` is the per-workload trace length.
+fn workloads(ops: usize, seed: u64) -> Vec<Workload> {
+    let cdf = zipf_cdf(KEYS, THETA);
+    let mut out = Vec::new();
+
+    let mut rng = SplitMix64::new(seed);
+    let zipf: Vec<u64> = (0..ops).map(|_| zipf_key(&cdf, &mut rng)).collect();
+    out.push(Workload {
+        name: "zipf",
+        trace: zipf,
+    });
+
+    // Half the ops walk a cyclic scan range that never fits in the cache.
+    let mut rng = SplitMix64::new(seed ^ 0x5ca_0001);
+    let mut scan_pos = 0u64;
+    let scan: Vec<u64> = (0..ops)
+        .map(|_| {
+            if rng.chance(0.5) {
+                scan_pos += 1;
+                SCAN_BASE + scan_pos % SCAN_SPACE
+            } else {
+                zipf_key(&cdf, &mut rng)
+            }
+        })
+        .collect();
+    out.push(Workload {
+        name: "scan",
+        trace: scan,
+    });
+
+    // Three acts: zipf, scan-heavy (90% scans), zipf again.
+    let mut rng = SplitMix64::new(seed ^ 0x5ca_0002);
+    let mut scan_pos = 0u64;
+    let phase: Vec<u64> = (0..ops)
+        .map(|i| {
+            let scanning = (ops / 3..2 * ops / 3).contains(&i);
+            if scanning && rng.chance(0.9) {
+                scan_pos += 1;
+                SCAN_BASE + scan_pos % SCAN_SPACE
+            } else {
+                zipf_key(&cdf, &mut rng)
+            }
+        })
+        .collect();
+    out.push(Workload {
+        name: "phase",
+        trace: phase,
+    });
+    out
+}
+
+/// Result of one (policy, workload) cell.
+struct Cell {
+    policy: &'static str,
+    workload: &'static str,
+    ops: u64,
+    hits: u64,
+    savings: u64,
+    /// Selector flips (adaptive row only).
+    flips: Option<u64>,
+}
+
+impl Cell {
+    fn hit_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.ops as f64
+        }
+    }
+}
+
+/// Replays `trace` through a fresh single-shard cache and scores it.
+fn run_cell(trace: &[u64], policy: Option<Policy>, workload: &'static str) -> Cell {
+    let mut builder = CsrCache::builder(CAPACITY)
+        .shards(1)
+        .hasher(FixedState)
+        .cost_fn(|k: &u64, _v: &u64| cost_of(*k));
+    builder = match policy {
+        Some(p) => builder.policy(p),
+        None => builder.adaptive(SelectorConfig {
+            candidates: CANDIDATES,
+            sample_every: 1,
+            epoch_len: 512,
+            hysteresis: 2,
+            min_flip_gap: 2,
+            ghost_capacity: 0,
+        }),
+    };
+    let cache: CsrCache<u64, u64, FixedState> = builder.build();
+    let mut hits = 0u64;
+    let mut savings = 0u64;
+    for &key in trace {
+        if cache.get(&key).is_some() {
+            hits += 1;
+            savings += cost_of(key);
+        } else {
+            cache.insert(key, key);
+        }
+    }
+    Cell {
+        policy: match policy {
+            Some(p) => p.name(),
+            None => "ADAPTIVE",
+        },
+        workload,
+        ops: trace.len() as u64,
+        hits,
+        savings,
+        flips: cache.selector_stats().map(|s| s.flips),
+    }
+}
+
+/// Looks up a cell by policy name and workload.
+fn cell<'a>(cells: &'a [Cell], policy: &str, workload: &str) -> &'a Cell {
+    cells
+        .iter()
+        .find(|c| c.policy == policy && c.workload == workload)
+        .expect("matrix cell present")
+}
+
+/// Acceptance checks derived from the matrix, emitted into the JSON for
+/// the CI smoke job to grep.
+struct Checks {
+    s3fifo_beats_lru_scan: bool,
+    adaptive_flipped: bool,
+    adaptive_ge_95pct_best_static: bool,
+    adaptive_beats_worst_static: bool,
+}
+
+fn checks(cells: &[Cell]) -> Checks {
+    let statics: Vec<&Cell> = cells
+        .iter()
+        .filter(|c| c.workload == "phase" && c.policy != "ADAPTIVE")
+        .collect();
+    let best = statics.iter().map(|c| c.savings).max().unwrap_or(0);
+    let worst = statics.iter().map(|c| c.savings).min().unwrap_or(0);
+    let adaptive = cell(cells, "ADAPTIVE", "phase");
+    Checks {
+        s3fifo_beats_lru_scan: cell(cells, "S3-FIFO", "scan").hits
+            > cell(cells, "LRU", "scan").hits,
+        adaptive_flipped: adaptive.flips.unwrap_or(0) >= 1,
+        adaptive_ge_95pct_best_static: adaptive.savings * 100 >= best * 95,
+        adaptive_beats_worst_static: adaptive.savings > worst,
+    }
+}
+
+fn cells_json(cells: &[Cell]) -> Json {
+    Json::Arr(
+        cells
+            .iter()
+            .map(|c| {
+                let mut fields = vec![
+                    ("workload", Json::str(c.workload)),
+                    ("policy", Json::str(c.policy)),
+                    ("ops", Json::uint(c.ops)),
+                    ("hits", Json::uint(c.hits)),
+                    ("hit_rate", Json::Float(c.hit_rate())),
+                    ("modeled_savings", Json::uint(c.savings)),
+                ];
+                if let Some(flips) = c.flips {
+                    fields.push(("selector_flips", Json::uint(flips)));
+                }
+                Json::obj(fields)
+            })
+            .collect(),
+    )
+}
+
+/// Runs the policy × workload matrix and emits `BENCH_policies.json`.
+pub fn run_experiment(opts: &ExperimentOpts) {
+    let ops = if opts.paper_scale { 240_000 } else { 60_000 };
+    println!("=== Beyond the paper: policy zoo vs adaptive selection ===");
+    println!(
+        "    {KEYS} zipf keys (theta {THETA}), {CAPACITY}-entry cache, {ops} ops/workload, \
+         adaptive = {},{}",
+        CANDIDATES.0.name(),
+        CANDIDATES.1.name()
+    );
+    let loads = workloads(ops, csr_harness::experiments::BENCH_SEED);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let tasks: Vec<(usize, Option<Policy>)> = {
+        let mut v = Vec::new();
+        for (wi, _) in loads.iter().enumerate() {
+            for p in Policy::ALL {
+                v.push((wi, Some(p)));
+            }
+            v.push((wi, None));
+        }
+        v
+    };
+    let results = csr_harness::experiments::run_tasks(opts.threads, &tasks, |&(wi, p)| {
+        run_cell(&loads[wi].trace, p, loads[wi].name)
+    });
+    cells.extend(results);
+
+    for load in &loads {
+        let mut t = TableBuilder::new();
+        t.header(["policy", "hits", "hit rate", "modeled savings"]);
+        let mut ranked: Vec<&Cell> = cells.iter().filter(|c| c.workload == load.name).collect();
+        ranked.sort_by_key(|c| std::cmp::Reverse(c.savings));
+        for c in &ranked {
+            t.row([
+                c.policy.to_string(),
+                c.hits.to_string(),
+                format!("{:.1}%", c.hit_rate() * 100.0),
+                c.savings.to_string(),
+            ]);
+        }
+        println!("\n--- workload: {} ---", load.name);
+        print!("{}", t.render());
+    }
+
+    let ck = checks(&cells);
+    println!("\nchecks:");
+    println!(
+        "  s3fifo_beats_lru_scan          {}",
+        ck.s3fifo_beats_lru_scan
+    );
+    println!("  adaptive_flipped               {}", ck.adaptive_flipped);
+    println!(
+        "  adaptive_ge_95pct_best_static  {}",
+        ck.adaptive_ge_95pct_best_static
+    );
+    println!(
+        "  adaptive_beats_worst_static    {}",
+        ck.adaptive_beats_worst_static
+    );
+
+    report::write_report(
+        opts,
+        "policies",
+        &report::envelope(
+            "policies",
+            opts,
+            Json::obj([
+                ("keys", Json::uint(KEYS as u64)),
+                ("capacity", Json::uint(CAPACITY as u64)),
+                ("ops_per_workload", Json::uint(ops as u64)),
+                (
+                    "candidates",
+                    Json::str(format!("{},{}", CANDIDATES.0.name(), CANDIDATES.1.name())),
+                ),
+                ("cells", cells_json(&cells)),
+                (
+                    "checks",
+                    Json::obj([
+                        (
+                            "s3fifo_beats_lru_scan",
+                            Json::Bool(ck.s3fifo_beats_lru_scan),
+                        ),
+                        ("adaptive_flipped", Json::Bool(ck.adaptive_flipped)),
+                        (
+                            "adaptive_ge_95pct_best_static",
+                            Json::Bool(ck.adaptive_ge_95pct_best_static),
+                        ),
+                        (
+                            "adaptive_beats_worst_static",
+                            Json::Bool(ck.adaptive_beats_worst_static),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = workloads(3000, 7);
+        let b = workloads(3000, 7);
+        assert_eq!(a.len(), 3);
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.trace, wb.trace, "{}", wa.name);
+        }
+        // Scan keys live in their own namespace.
+        assert!(a[1].trace.iter().any(|&k| k >= SCAN_BASE));
+        assert!(a[0].trace.iter().all(|&k| k < KEYS as u64));
+    }
+
+    #[test]
+    fn scan_workload_separates_s3fifo_from_lru() {
+        let loads = workloads(20_000, csr_harness::experiments::BENCH_SEED);
+        let scan = &loads[1];
+        let lru = run_cell(&scan.trace, Some(Policy::Lru), scan.name);
+        let s3 = run_cell(&scan.trace, Some(Policy::S3Fifo), scan.name);
+        assert!(
+            s3.hits > lru.hits,
+            "S3-FIFO {} <= LRU {} on scan",
+            s3.hits,
+            lru.hits
+        );
+    }
+
+    #[test]
+    fn adaptive_flips_on_phase_shift() {
+        let loads = workloads(30_000, csr_harness::experiments::BENCH_SEED);
+        let phase = &loads[2];
+        let adaptive = run_cell(&phase.trace, None, phase.name);
+        assert!(adaptive.flips.unwrap_or(0) >= 1, "selector never flipped");
+    }
+}

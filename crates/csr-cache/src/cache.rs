@@ -8,6 +8,7 @@ use std::hash::{BuildHasher, Hash};
 use std::sync::Arc;
 
 use crate::policy::{Policy, SharedObserver};
+use crate::selector::{SelectorCell, SelectorConfig, SelectorShared, SelectorStats};
 use crate::shard::{Shard, ShardMetrics};
 use crate::stats::CacheStats;
 
@@ -38,6 +39,7 @@ pub struct CacheBuilder<K, V, S = RandomState> {
     registry: Option<Arc<Registry>>,
     observer: Option<SharedObserver>,
     sample_every: u64,
+    adaptive: Option<SelectorConfig>,
 }
 
 impl<K, V> CacheBuilder<K, V, RandomState> {
@@ -52,6 +54,7 @@ impl<K, V> CacheBuilder<K, V, RandomState> {
             registry: None,
             observer: None,
             sample_every: DEFAULT_SAMPLE_EVERY,
+            adaptive: None,
         }
     }
 }
@@ -147,6 +150,27 @@ impl<K, V, S> CacheBuilder<K, V, S> {
         self
     }
 
+    /// Enables **online adaptive policy selection**: instead of committing
+    /// to one policy, every shard shadow-scores the two
+    /// [`SelectorConfig::candidates`] on a key sample of its own traffic
+    /// (each candidate runs a key-only ghost miniature of the shard) and
+    /// hot-flips its live core to whichever accrues more modeled cost
+    /// savings, with hysteresis. The cache reports policy name
+    /// `"ADAPTIVE"`; per-candidate scores, epochs and flips are readable
+    /// via [`CsrCache::selector_stats`] and exported as
+    /// `csr_cache_selector_*` when [`metrics`](Self::metrics) is enabled,
+    /// and every flip reaches the [`observer`](Self::observer) as a
+    /// `policy_flip` event.
+    ///
+    /// Overrides any earlier [`policy`](Self::policy) /
+    /// [`policy_with`](Self::policy_with) choice: shards start on
+    /// `candidates.0`.
+    #[must_use]
+    pub fn adaptive(mut self, config: SelectorConfig) -> Self {
+        self.adaptive = Some(config);
+        self
+    }
+
     /// Sets the miss-cost function. Uniform cost 1 by default (under which
     /// every cost-sensitive policy degenerates to its LRU behaviour).
     #[must_use]
@@ -169,6 +193,7 @@ impl<K, V, S> CacheBuilder<K, V, S> {
             registry: self.registry,
             observer: self.observer,
             sample_every: self.sample_every,
+            adaptive: self.adaptive,
         }
     }
 }
@@ -186,21 +211,42 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher + Clone> CacheBuilder<K, V, S> {
         let shards = effective_shards(requested, self.capacity);
         let per_shard = self.capacity.div_ceil(shards);
 
+        // Adaptive selection overrides the policy choice: shards start on
+        // the first candidate and may flip per epoch thereafter.
+        let policy_name = if self.adaptive.is_some() {
+            "ADAPTIVE"
+        } else {
+            self.policy_name
+        };
+        let policy = match self.adaptive {
+            Some(cfg) => PolicySource::Builtin(cfg.candidates.0),
+            None => self.policy,
+        };
+
         // Combine the metrics feed and the user observer; built-in cores
         // receive the combination, custom factories their own wiring.
         let policy_obs: Option<SharedObserver> = match (&self.registry, self.observer) {
             (Some(reg), Some(user)) => {
-                let metrics = MetricsObserver::new(reg, self.policy_name);
+                let metrics = MetricsObserver::new(reg, policy_name);
                 Some(Arc::new((metrics, user)))
             }
-            (Some(reg), None) => Some(Arc::new(MetricsObserver::new(reg, self.policy_name))),
+            (Some(reg), None) => Some(Arc::new(MetricsObserver::new(reg, policy_name))),
             (None, Some(user)) => Some(user),
             (None, None) => None,
         };
 
+        let selector_shared = self.adaptive.map(|cfg| {
+            Arc::new(SelectorShared::new(
+                cfg.candidates,
+                shards,
+                self.registry.as_deref(),
+                policy_obs.clone(),
+            ))
+        });
+
         let shard_vec: Vec<Shard<K, V, S>> = (0..shards)
             .map(|i| {
-                let core = match (&self.policy, &policy_obs) {
+                let core = match (&policy, &policy_obs) {
                     (PolicySource::Builtin(p), Some(obs)) => {
                         p.build_core_observed(per_shard, Arc::clone(obs))
                     }
@@ -210,8 +256,17 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher + Clone> CacheBuilder<K, V, S> {
                 let metrics = self
                     .registry
                     .as_ref()
-                    .map(|r| ShardMetrics::new(r, self.policy_name, i, self.sample_every));
-                Shard::new(per_shard, core, self.hasher.clone(), metrics)
+                    .map(|r| ShardMetrics::new(r, policy_name, i, self.sample_every));
+                let selector = match (&self.adaptive, &selector_shared) {
+                    (Some(cfg), Some(shared)) => Some(SelectorCell::new(
+                        *cfg,
+                        per_shard,
+                        Arc::clone(shared),
+                        policy_obs.clone(),
+                    )),
+                    _ => None,
+                };
+                Shard::new(per_shard, core, self.hasher.clone(), metrics, selector)
             })
             .collect();
         CsrCache {
@@ -219,8 +274,9 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher + Clone> CacheBuilder<K, V, S> {
             shard_bits: shards.trailing_zeros(),
             hasher: self.hasher,
             cost_fn: self.cost_fn,
-            policy_name: self.policy_name,
+            policy_name,
             registry: self.registry,
+            selector: selector_shared,
         }
     }
 }
@@ -273,6 +329,7 @@ pub struct CsrCache<K, V, S = RandomState> {
     cost_fn: Arc<CostFn<K, V>>,
     policy_name: &'static str,
     registry: Option<Arc<Registry>>,
+    selector: Option<Arc<SelectorShared>>,
 }
 
 impl<K: Hash + Eq + Clone, V> CsrCache<K, V, RandomState> {
@@ -462,6 +519,28 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> CsrCache<K, V, S> {
         self.registry.as_ref()
     }
 
+    /// A snapshot of the adaptive selector's cache-wide state — shadow
+    /// scores, epochs, flips, live-shard split. `None` unless the cache
+    /// was built with [`CacheBuilder::adaptive`].
+    #[must_use]
+    pub fn selector_stats(&self) -> Option<SelectorStats> {
+        self.selector.as_ref().map(|s| s.stats())
+    }
+
+    /// The live policy name of every shard under adaptive selection, in
+    /// shard order. `None` unless the cache was built with
+    /// [`CacheBuilder::adaptive`].
+    #[must_use]
+    pub fn shard_live_policies(&self) -> Option<Vec<&'static str>> {
+        self.selector.as_ref()?;
+        Some(
+            self.shards
+                .iter()
+                .map(|s| s.live_policy_name().unwrap_or(self.policy_name))
+                .collect(),
+        )
+    }
+
     /// A cache-wide statistics snapshot (lock-free; see
     /// [`CacheStats`] for the consistency caveat under concurrency).
     #[must_use]
@@ -590,6 +669,50 @@ mod tests {
         // The cache stays usable after clear.
         c.insert(1, 1);
         assert_eq!(c.get(&1), Some(1));
+    }
+
+    #[test]
+    fn adaptive_cache_shadow_scores() {
+        let cfg = SelectorConfig {
+            candidates: (Policy::Lru, Policy::Slru),
+            sample_every: 1,
+            epoch_len: 32,
+            hysteresis: 1,
+            min_flip_gap: 0,
+            ghost_capacity: 4,
+        };
+        let c: CsrCache<u64, u64> = CsrCache::builder(8).shards(1).adaptive(cfg).build();
+        assert_eq!(c.policy_name(), "ADAPTIVE");
+        assert_eq!(
+            c.shard_live_policies().as_deref(),
+            Some(&["LRU"][..]),
+            "shards start on the first candidate"
+        );
+        // A frequent pair amid a scan: plenty of sampled traffic for both
+        // ghosts to score.
+        for k in 0..2u64 {
+            c.insert(k, k);
+        }
+        for round in 0..64u64 {
+            c.get(&0);
+            c.get(&1);
+            c.insert(100 + round, round);
+        }
+        let s = c.selector_stats().expect("adaptive cache exposes stats");
+        assert_eq!(s.candidates, ("LRU", "SLRU"));
+        assert!(s.epochs >= 1, "epoch_len 32 must have closed an epoch");
+        assert!(s.sampled_gets >= 128 && s.sampled_fills >= 64);
+        assert!(s.shadow_hits.0 + s.shadow_hits.1 > 0);
+        assert_eq!(s.live_shards.0 + s.live_shards.1, 1);
+        // The cache itself keeps serving correctly throughout.
+        assert_eq!(c.get(&0), Some(0));
+    }
+
+    #[test]
+    fn non_adaptive_cache_has_no_selector() {
+        let c = lru_cache(8, 1);
+        assert!(c.selector_stats().is_none());
+        assert!(c.shard_live_policies().is_none());
     }
 
     #[test]

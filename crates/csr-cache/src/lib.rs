@@ -46,9 +46,11 @@
 
 mod cache;
 mod policy;
+mod selector;
 mod shard;
 mod stats;
 
 pub use cache::{CacheBuilder, CostFn, CsrCache};
 pub use policy::{Policy, SharedObserver};
+pub use selector::{SelectorConfig, SelectorStats};
 pub use stats::CacheStats;

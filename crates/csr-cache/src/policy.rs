@@ -1,7 +1,10 @@
 //! Shard eviction-policy selection.
 
 use csr::etd::{EtdConfig, EtdSet};
-use csr::{AclCore, BclCore, DclCore, EvictionPolicy, GdCore, LruCore, Observer};
+use csr::{
+    AclCore, BclCore, CampCore, DclCore, EvictionPolicy, GdCore, GdsfCore, LfudaCore, LruCore,
+    Observer, S3FifoCore, SlruCore,
+};
 use std::sync::Arc;
 
 /// A decision observer shareable across shards and threads — what
@@ -47,16 +50,38 @@ pub enum Policy {
     /// Adaptive Cost-sensitive LRU: DCL gated by a 2-bit success/failure
     /// automaton per shard (Section 2.5).
     Acl,
+    /// S3-FIFO: static small/main/ghost FIFO queues, scan-resistant
+    /// (policy-zoo addition; cost-oblivious).
+    S3Fifo,
+    /// Segmented LRU: probationary + protected segments (policy zoo;
+    /// cost-oblivious).
+    Slru,
+    /// LFU with Dynamic Aging (policy zoo; cost-oblivious).
+    Lfuda,
+    /// GreedyDual-Size-Frequency: cost · frequency priority with aging
+    /// (policy zoo; cost-aware).
+    Gdsf,
+    /// CAMP-style cost-adaptive multi-queue: rounded-cost buckets scanned
+    /// at their heads (policy zoo; cost-aware).
+    Camp,
 }
 
 impl Policy {
-    /// All variants, for sweeps.
-    pub const ALL: [Policy; 5] = [
+    /// All variants, for sweeps. This array is the single source of truth
+    /// for every policy accept-list in the workspace (the daemon's
+    /// `--policy` flag, the bench matrices): a new variant added here is
+    /// automatically parseable and sweepable everywhere.
+    pub const ALL: [Policy; 10] = [
         Policy::Lru,
         Policy::Gd,
         Policy::Bcl,
         Policy::Dcl,
         Policy::Acl,
+        Policy::S3Fifo,
+        Policy::Slru,
+        Policy::Lfuda,
+        Policy::Gdsf,
+        Policy::Camp,
     ];
 
     /// A short human-readable name.
@@ -68,7 +93,28 @@ impl Policy {
             Policy::Bcl => "BCL",
             Policy::Dcl => "DCL",
             Policy::Acl => "ACL",
+            Policy::S3Fifo => "S3-FIFO",
+            Policy::Slru => "SLRU",
+            Policy::Lfuda => "LFUDA",
+            Policy::Gdsf => "GDSF",
+            Policy::Camp => "CAMP",
         }
+    }
+
+    /// Parses a policy name, case-insensitively; `-` and `_` are
+    /// interchangeable (so `s3fifo`, `S3-FIFO` and `s3_fifo` all name
+    /// [`Policy::S3Fifo`]). The accept-list is derived from
+    /// [`Policy::ALL`], so it can never fall out of sync with the enum.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Policy> {
+        let norm = |t: &str| {
+            t.chars()
+                .filter(|c| *c != '-' && *c != '_')
+                .map(|c| c.to_ascii_lowercase())
+                .collect::<String>()
+        };
+        let wanted = norm(s);
+        Policy::ALL.into_iter().find(|p| norm(p.name()) == wanted)
     }
 
     /// Builds the policy core for one shard of `ways` entries.
@@ -80,6 +126,11 @@ impl Policy {
             Policy::Bcl => Box::new(BclCore::new()),
             Policy::Dcl => Box::new(DclCore::new(shard_etd(ways))),
             Policy::Acl => Box::new(AclCore::new(shard_etd(ways))),
+            Policy::S3Fifo => Box::new(S3FifoCore::new(ways)),
+            Policy::Slru => Box::new(SlruCore::new(ways)),
+            Policy::Lfuda => Box::new(LfudaCore::new(ways)),
+            Policy::Gdsf => Box::new(GdsfCore::new(ways)),
+            Policy::Camp => Box::new(CampCore::new(ways)),
         }
     }
 
@@ -99,6 +150,11 @@ impl Policy {
             Policy::Bcl => Box::new(BclCore::new().with_observer(obs)),
             Policy::Dcl => Box::new(DclCore::new(shard_etd(ways)).with_observer(obs)),
             Policy::Acl => Box::new(AclCore::new(shard_etd(ways)).with_observer(obs)),
+            Policy::S3Fifo => Box::new(S3FifoCore::new(ways).with_observer(obs)),
+            Policy::Slru => Box::new(SlruCore::new(ways).with_observer(obs)),
+            Policy::Lfuda => Box::new(LfudaCore::new(ways).with_observer(obs)),
+            Policy::Gdsf => Box::new(GdsfCore::new(ways).with_observer(obs)),
+            Policy::Camp => Box::new(CampCore::new(ways).with_observer(obs)),
         }
     }
 }
@@ -121,6 +177,17 @@ mod tests {
             assert_eq!(p.build_core(8).name(), p.name());
             assert_eq!(format!("{p}"), p.name());
         }
+    }
+
+    #[test]
+    fn parse_round_trips_every_variant() {
+        for p in Policy::ALL {
+            assert_eq!(Policy::parse(p.name()), Some(p));
+            assert_eq!(Policy::parse(&p.name().to_ascii_lowercase()), Some(p));
+        }
+        assert_eq!(Policy::parse("s3fifo"), Some(Policy::S3Fifo));
+        assert_eq!(Policy::parse("s3_fifo"), Some(Policy::S3Fifo));
+        assert_eq!(Policy::parse("nope"), None);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use crate::selector::SelectorCell;
 use crate::stats::CacheStats;
 
 /// Sentinel slot index for list ends.
@@ -322,6 +323,11 @@ pub(crate) struct Shard<K, V, S> {
     counters: ShardCounters,
     capacity: usize,
     metrics: Option<ShardMetrics>,
+    /// Adaptive policy selector, present only on caches built with
+    /// [`CacheBuilder::adaptive`](crate::CacheBuilder::adaptive). Its inner
+    /// lock is never taken while `state` is held (selector hooks run after
+    /// the state guard is dropped); a flip re-acquires `state` afterwards.
+    selector: Option<SelectorCell>,
 }
 
 impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
@@ -330,6 +336,7 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
         policy: Box<dyn EvictionPolicy + Send>,
         hasher: S,
         metrics: Option<ShardMetrics>,
+        selector: Option<SelectorCell>,
     ) -> Self {
         assert!(capacity > 0, "shard capacity must be positive");
         assert!(
@@ -349,7 +356,31 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
             counters: ShardCounters::default(),
             capacity,
             metrics,
+            selector,
         }
+    }
+
+    /// The shard's current live policy name under adaptive selection, if
+    /// the selector is enabled.
+    pub(crate) fn live_policy_name(&self) -> Option<&'static str> {
+        self.selector.as_ref().map(SelectorCell::live_name)
+    }
+
+    /// Hot-swaps the live policy core: the incoming core is warmed by
+    /// replaying the resident entries as fills, LRU first, so its view of
+    /// the recency order matches the shard's — then it simply takes over.
+    fn swap_policy(&self, mut core: Box<dyn EvictionPolicy + Send>) {
+        let mut st = self.lock();
+        let mut cur = st.tail;
+        while cur != NIL {
+            let (id, way, cost, prev) = {
+                let s = st.slot(cur);
+                (s.id, Way(cur as usize), Cost(s.cost), s.prev)
+            };
+            core.on_fill(id, way, cost);
+            cur = prev;
+        }
+        st.policy = core;
     }
 
     pub(crate) fn capacity(&self) -> usize {
@@ -401,6 +432,13 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
             }
         };
         drop(st);
+        if let Some(cell) = &self.selector {
+            if cell.sampled(id) {
+                if let Some(flip) = cell.on_get(id) {
+                    self.swap_policy(flip.core);
+                }
+            }
+        }
         if let Some(t) = timer {
             t.finish(started);
         }
@@ -413,6 +451,11 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
         let timer = self.metrics.as_ref().map(|m| &m.insert_ns);
         let started = timer.and_then(OpTimer::maybe_start);
         let result = self.insert_locked(key, value, cost, id);
+        if let Some(cell) = &self.selector {
+            if cell.sampled(id) {
+                cell.on_fill(id, cost);
+            }
+        }
         if let Some(t) = timer {
             t.finish(started);
         }
@@ -628,6 +671,12 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
         st.policy.on_remove(slot.id);
         ShardCounters::bump(&self.counters.removals);
         self.counters.resident.fetch_sub(1, Ordering::Relaxed);
+        drop(st);
+        if let Some(cell) = &self.selector {
+            if cell.sampled(slot.id) {
+                cell.on_remove(slot.id);
+            }
+        }
         Some(slot.value)
     }
 
@@ -639,9 +688,15 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
         let mut st = self.lock();
         let mut cur = st.head;
         let mut dropped = 0u64;
+        let mut sampled_ids = Vec::new();
         while cur != NIL {
             let slot = self.take_slot(&mut st, cur);
             st.policy.on_remove(slot.id);
+            if let Some(cell) = &self.selector {
+                if cell.sampled(slot.id) {
+                    sampled_ids.push(slot.id);
+                }
+            }
             cur = slot.next;
             dropped += 1;
         }
@@ -652,6 +707,12 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
         st.tail = NIL;
         self.counters.removals.fetch_add(dropped, Ordering::Relaxed);
         self.counters.resident.fetch_sub(dropped, Ordering::Relaxed);
+        drop(st);
+        if let Some(cell) = &self.selector {
+            for id in sampled_ids {
+                cell.on_remove(id);
+            }
+        }
     }
 
     fn take_slot(&self, st: &mut ShardState<K, V, S>, i: u32) -> Slot<K, V> {

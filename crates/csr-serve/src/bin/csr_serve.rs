@@ -7,7 +7,7 @@
 //!           --backing sim --slow-us 800 --metrics-file metrics.prom
 //! ```
 
-use csr_cache::Policy;
+use csr_cache::{Policy, SelectorConfig};
 use csr_obs::ReportFormat;
 use csr_serve::server::{serve, ReportSink, ServerConfig};
 use csr_serve::{parse_nodes, Backing, FaultBacking, NoBacking, PeerConfig, SimBacking, Timeouts};
@@ -49,6 +49,13 @@ fn die(msg: &str) -> ! {
 }
 
 fn usage() -> ! {
+    // The accept-list is generated from Policy::ALL so this text can
+    // never drift from what --policy actually accepts.
+    let policies = Policy::ALL
+        .iter()
+        .map(|p| p.name().to_ascii_lowercase())
+        .collect::<Vec<_>>()
+        .join(" | ");
     println!(
         "csr-serve: cost-sensitive network cache server
 
@@ -57,7 +64,13 @@ USAGE: csr-serve [OPTIONS]
   --addr HOST:PORT        listen address (default 127.0.0.1:11311; port 0 picks a free port)
   --capacity N            cache capacity in entries (default 65536)
   --shards N              shard count (default: one per hardware thread)
-  --policy NAME           lru | gd | bcl | dcl | acl (default dcl)
+  --policy NAME           {policies} (default dcl)
+  --adaptive A,B          per-shard adaptive selection between policies A and B
+                          (overrides --policy; shards start on A)
+  --selector-sample N     adaptive: shadow 1 in N keys (default 8)
+  --selector-epoch N      adaptive: sampled lookups per scoring epoch (default 256)
+  --selector-hysteresis N adaptive: consecutive epochs to win before a flip (default 2)
+  --selector-flip-gap N   adaptive: minimum epochs between flips (default 4)
   --workers N             worker threads = max concurrent connections (default 64)
   --backlog N             queued connections before SERVER_BUSY shedding (default 64)
   --idle-timeout-ms N     close idle connections after N ms (default 30000)
@@ -98,10 +111,20 @@ USAGE: csr-serve [OPTIONS]
 }
 
 fn parse_policy(name: &str) -> Policy {
-    Policy::ALL
-        .into_iter()
-        .find(|p| p.name().eq_ignore_ascii_case(name))
-        .unwrap_or_else(|| die(&format!("unknown policy '{name}'")))
+    Policy::parse(name).unwrap_or_else(|| die(&format!("unknown policy '{name}'")))
+}
+
+/// Parses `--adaptive A,B` into the two candidate policies.
+fn parse_candidates(spec: &str) -> (Policy, Policy) {
+    let (a, b) = spec
+        .split_once(',')
+        .unwrap_or_else(|| die(&format!("--adaptive wants 'A,B', got '{spec}'")));
+    let a = parse_policy(a.trim());
+    let b = parse_policy(b.trim());
+    if a == b {
+        die("--adaptive candidates must differ");
+    }
+    (a, b)
 }
 
 struct Opts {
@@ -146,6 +169,36 @@ fn parse_args() -> Opts {
             "--capacity" => opts.config.capacity = parse_num(&val("--capacity"), "--capacity"),
             "--shards" => opts.config.shards = Some(parse_num(&val("--shards"), "--shards")),
             "--policy" => opts.config.policy = parse_policy(&val("--policy")),
+            "--adaptive" => {
+                opts.config
+                    .adaptive
+                    .get_or_insert_with(SelectorConfig::default)
+                    .candidates = parse_candidates(&val("--adaptive"))
+            }
+            "--selector-sample" => {
+                opts.config
+                    .adaptive
+                    .get_or_insert_with(SelectorConfig::default)
+                    .sample_every = parse_num(&val("--selector-sample"), "--selector-sample")
+            }
+            "--selector-epoch" => {
+                opts.config
+                    .adaptive
+                    .get_or_insert_with(SelectorConfig::default)
+                    .epoch_len = parse_num(&val("--selector-epoch"), "--selector-epoch")
+            }
+            "--selector-hysteresis" => {
+                opts.config
+                    .adaptive
+                    .get_or_insert_with(SelectorConfig::default)
+                    .hysteresis = parse_num(&val("--selector-hysteresis"), "--selector-hysteresis")
+            }
+            "--selector-flip-gap" => {
+                opts.config
+                    .adaptive
+                    .get_or_insert_with(SelectorConfig::default)
+                    .min_flip_gap = parse_num(&val("--selector-flip-gap"), "--selector-flip-gap")
+            }
             "--workers" => opts.config.workers = parse_num(&val("--workers"), "--workers"),
             "--backlog" => opts.config.backlog = parse_num(&val("--backlog"), "--backlog"),
             "--idle-timeout-ms" => {
@@ -307,7 +360,14 @@ fn main() {
             format: opts.metrics_format,
         });
     }
-    let policy = config.policy;
+    let policy_info = match config.adaptive {
+        Some(cfg) => format!(
+            "ADAPTIVE({},{})",
+            cfg.candidates.0.name(),
+            cfg.candidates.1.name()
+        ),
+        None => config.policy.name().to_owned(),
+    };
     let cluster_info = config.cluster.as_ref().map(|c| {
         format!(
             " cluster_nodes={} forward={}",
@@ -322,7 +382,7 @@ fn main() {
     println!(
         "csr-serve listening on {} policy={} backing={}{}",
         handle.addr(),
-        policy.name(),
+        policy_info,
         opts.backing_kind,
         cluster_info.unwrap_or_default()
     );

@@ -58,6 +58,12 @@ USAGE: loadgen [OPTIONS]
                             load runs but latency/totals reset when it ends
   --keys N                  distinct keys (default 2048)
   --zipf THETA              Zipf skew; 0 = uniform (default 0.9)
+  --scan-frac F             fraction of requests that sequentially scan a disjoint
+                            one-touch key range instead of the Zipf draw (default 0)
+  --scan-len N              per-worker scan cycle length in keys (default 4096)
+  --phase-shift             three-act workload: Zipf, then scan-heavy (the --scan-frac
+                            fraction, or 0.9 if unset), then Zipf again — each act a
+                            third of the run; exercises adaptive policy selection
   --set-ratio F             fraction of requests that are SETs (default 0.05)
   --value-len N             SET payload length in bytes (default 128)
   --seed N                  PRNG seed (default 42)
@@ -98,6 +104,9 @@ struct Opts {
     warmup: u64,
     keys: usize,
     zipf: f64,
+    scan_frac: f64,
+    scan_len: u64,
+    phase_shift: bool,
     set_ratio: f64,
     value_len: usize,
     seed: u64,
@@ -124,6 +133,9 @@ fn parse_args() -> Opts {
         warmup: 0,
         keys: 2048,
         zipf: 0.9,
+        scan_frac: 0.0,
+        scan_len: 4096,
+        phase_shift: false,
         set_ratio: 0.05,
         value_len: 128,
         seed: 42,
@@ -160,6 +172,9 @@ fn parse_args() -> Opts {
             "--warmup" => opts.warmup = parse_num(&val("--warmup"), "--warmup"),
             "--keys" => opts.keys = parse_num(&val("--keys"), "--keys"),
             "--zipf" => opts.zipf = parse_num(&val("--zipf"), "--zipf"),
+            "--scan-frac" => opts.scan_frac = parse_num(&val("--scan-frac"), "--scan-frac"),
+            "--scan-len" => opts.scan_len = parse_num(&val("--scan-len"), "--scan-len"),
+            "--phase-shift" => opts.phase_shift = true,
             "--set-ratio" => opts.set_ratio = parse_num(&val("--set-ratio"), "--set-ratio"),
             "--value-len" => opts.value_len = parse_num(&val("--value-len"), "--value-len"),
             "--seed" => opts.seed = parse_num(&val("--seed"), "--seed"),
@@ -238,6 +253,12 @@ fn parse_args() -> Opts {
     if !(0.0..=1.0).contains(&opts.hot_frac) {
         die("--hot-frac must be within 0..=1");
     }
+    if !(0.0..=1.0).contains(&opts.scan_frac) {
+        die("--scan-frac must be within 0..=1");
+    }
+    if opts.scan_len == 0 {
+        die("--scan-len must be positive");
+    }
     if !opts.cluster.is_empty() && opts.chaos_node >= opts.cluster.len() {
         die("--chaos-node is out of range for the --cluster list");
     }
@@ -273,6 +294,7 @@ fn sample(cdf: &[f64], rng: &mut SplitMix64) -> usize {
 struct Totals {
     ops: AtomicU64,
     sets: AtomicU64,
+    scan_ops: AtomicU64,
     empty_gets: AtomicU64,
     stale_gets: AtomicU64,
     forwarded_gets: AtomicU64,
@@ -288,6 +310,7 @@ impl Totals {
     fn reset(&self) {
         self.ops.store(0, Ordering::Relaxed);
         self.sets.store(0, Ordering::Relaxed);
+        self.scan_ops.store(0, Ordering::Relaxed);
         self.empty_gets.store(0, Ordering::Relaxed);
         self.stale_gets.store(0, Ordering::Relaxed);
         self.forwarded_gets.store(0, Ordering::Relaxed);
@@ -451,6 +474,7 @@ fn main() {
     let totals = Arc::new(Totals {
         ops: AtomicU64::new(0),
         sets: AtomicU64::new(0),
+        scan_ops: AtomicU64::new(0),
         empty_gets: AtomicU64::new(0),
         stale_gets: AtomicU64::new(0),
         forwarded_gets: AtomicU64::new(0),
@@ -547,6 +571,16 @@ fn main() {
             let mut rng = SplitMix64::new(opts.seed ^ (0x9e37 + i as u64));
             let (set_ratio, value_len) = (opts.set_ratio, opts.value_len);
             let (hot_keys, hot_frac) = (opts.hot_keys, opts.hot_frac);
+            let (keys, scan_len, phase_shift) = (opts.keys as u64, opts.scan_len, opts.phase_shift);
+            // Under --phase-shift the scan fraction applies only in the
+            // middle act (defaulting to a heavy 0.9 when --scan-frac is
+            // unset); otherwise it applies to the whole run.
+            let scan_frac = if phase_shift && opts.scan_frac == 0.0 {
+                0.9
+            } else {
+                opts.scan_frac
+            };
+            let total_run = Duration::from_secs(opts.warmup + opts.secs);
             let trace_sample = opts.trace_sample;
             let config = FailoverConfig {
                 seed: opts.seed.wrapping_add(i as u64),
@@ -576,8 +610,26 @@ fn main() {
                 let is_cluster = matches!(client, Bench::Cluster(_));
                 let payload = vec![b'v'; value_len];
                 let mut gets = 0u64;
+                let mut scan_pos = 0u64;
+                let scan_base = keys + i as u64 * scan_len;
                 while Instant::now() < deadline {
-                    let key = if hot_keys > 0 && rng.chance(hot_frac) {
+                    // --phase-shift: the scan act is the middle third of
+                    // the whole run (warmup included).
+                    let scanning_now = scan_frac > 0.0
+                        && (!phase_shift || {
+                            let f = launched.elapsed().as_secs_f64()
+                                / total_run.as_secs_f64().max(f64::EPSILON);
+                            (1.0 / 3.0..2.0 / 3.0).contains(&f)
+                        });
+                    let is_scan = scanning_now && rng.chance(scan_frac);
+                    let key = if is_scan {
+                        // One-touch sequential sweep over a per-worker
+                        // key range disjoint from the Zipf namespace.
+                        let k = scan_base + scan_pos % scan_len;
+                        scan_pos += 1;
+                        totals.scan_ops.fetch_add(1, Ordering::Relaxed);
+                        format!("key:{k}")
+                    } else if hot_keys > 0 && rng.chance(hot_frac) {
                         // Hot-key skew: the N lowest ranks soak up a
                         // tunable traffic fraction on top of the Zipf
                         // draw (same namespace, so verification is
@@ -586,7 +638,7 @@ fn main() {
                     } else {
                         format!("key:{}", sample(&cdf, &mut rng))
                     };
-                    let is_set = rng.chance(set_ratio);
+                    let is_set = !is_scan && rng.chance(set_ratio);
                     // 1-in-N GETs carry a fresh client-minted trace
                     // context; the server honors it unconditionally, so
                     // the client controls exactly what gets traced.
@@ -714,9 +766,10 @@ fn main() {
         );
     }
     println!(
-        "  ops {ops} ({:.0} ops/s over {elapsed:.2}s), sets {}, empty gets {}, stale gets {}, origin errors {}, errors {}",
+        "  ops {ops} ({:.0} ops/s over {elapsed:.2}s), sets {}, scans {}, empty gets {}, stale gets {}, origin errors {}, errors {}",
         throughput,
         totals.sets.load(Ordering::Relaxed),
+        totals.scan_ops.load(Ordering::Relaxed),
         totals.empty_gets.load(Ordering::Relaxed),
         totals.stale_gets.load(Ordering::Relaxed),
         totals.origin_errors.load(Ordering::Relaxed),
@@ -885,6 +938,10 @@ fn main() {
             ("ops", Json::uint(ops)),
             ("sets", Json::uint(totals.sets.load(Ordering::Relaxed))),
             (
+                "scan_ops",
+                Json::uint(totals.scan_ops.load(Ordering::Relaxed)),
+            ),
+            (
                 "empty_gets",
                 Json::uint(totals.empty_gets.load(Ordering::Relaxed)),
             ),
@@ -955,6 +1012,8 @@ fn main() {
                     ("conn_slowloris_drops", s_uint("conn_slowloris_drops")),
                     ("requests_get", s_uint("requests_get")),
                     ("requests_set", s_uint("requests_set")),
+                    ("selector_flips", s_uint("selector_flips")),
+                    ("selector_epochs", s_uint("selector_epochs")),
                 ]),
             ),
         ];
@@ -1066,6 +1125,9 @@ fn main() {
             ("set_ratio", Json::Float(opts.set_ratio)),
             ("hot_keys", Json::uint(opts.hot_keys as u64)),
             ("hot_frac", Json::Float(opts.hot_frac)),
+            ("scan_frac", Json::Float(opts.scan_frac)),
+            ("scan_len", Json::uint(opts.scan_len)),
+            ("phase_shift", Json::Bool(opts.phase_shift)),
             ("secs", Json::uint(opts.secs)),
             ("warmup", Json::uint(opts.warmup)),
             ("chaos", Json::Bool(opts.chaos)),

@@ -46,7 +46,7 @@ use crate::backing::{Backing, BackingError};
 use crate::cluster::{ClusterNode, ClusterServerMetrics, PeerConfig, PeerRouter};
 use crate::proto::{self, ProtoError, Request};
 use crate::resilience::{OriginMetrics, ResilienceConfig, ResilientBacking};
-use csr_cache::{CacheStats, CsrCache, Policy};
+use csr_cache::{CacheStats, CsrCache, Policy, SelectorConfig};
 use csr_obs::trace::{arm_events, take_events};
 use csr_obs::{
     Counter, Gauge, Histogram, Registry, ReportFormat, Reporter, RequestTrace, TraceConfig,
@@ -134,6 +134,11 @@ pub struct ServerConfig {
     /// (trace id, key, phase breakdown). Needs `trace.slow_us > 0` to
     /// classify anything as slow.
     pub slow_log: bool,
+    /// Online adaptive policy selection
+    /// ([`CacheBuilder::adaptive`](csr_cache::CacheBuilder::adaptive)).
+    /// When set, overrides [`policy`](Self::policy): every shard
+    /// shadow-scores the two candidates and hot-flips to the winner.
+    pub adaptive: Option<SelectorConfig>,
 }
 
 impl Default for ServerConfig {
@@ -154,6 +159,7 @@ impl Default for ServerConfig {
             cluster: None,
             trace: TraceConfig::default(),
             slow_log: false,
+            adaptive: None,
         }
     }
 }
@@ -530,6 +536,9 @@ pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<Serv
         .metrics(Arc::clone(&registry));
     if let Some(shards) = config.shards {
         builder = builder.shards(shards);
+    }
+    if let Some(cfg) = config.adaptive {
+        builder = builder.adaptive(cfg);
     }
     let cluster = config.cluster.map(|mut pc| {
         if pc.node_id.is_empty() {
@@ -1235,6 +1244,28 @@ fn write_stats(shared: &Shared, w: &mut impl Write) -> io::Result<()> {
     )?;
     stat("traces_recorded", shared.tracer.recorded().to_string())?;
     stat("traces_dropped", shared.tracer.dropped().to_string())?;
+    if let Some(sel) = shared.cache.selector_stats() {
+        stat(
+            "selector_candidates",
+            format!("{},{}", sel.candidates.0, sel.candidates.1),
+        )?;
+        stat("selector_flips", sel.flips.to_string())?;
+        stat("selector_epochs", sel.epochs.to_string())?;
+        stat("selector_sampled_gets", sel.sampled_gets.to_string())?;
+        stat("selector_sampled_fills", sel.sampled_fills.to_string())?;
+        stat(
+            "selector_shadow_hits",
+            format!("{},{}", sel.shadow_hits.0, sel.shadow_hits.1),
+        )?;
+        stat(
+            "selector_shadow_savings",
+            format!("{},{}", sel.shadow_savings.0, sel.shadow_savings.1),
+        )?;
+        stat(
+            "selector_live_shards",
+            format!("{},{}", sel.live_shards.0, sel.live_shards.1),
+        )?;
+    }
     if let Some(cl) = &shared.cluster {
         stat("cluster_node_id", cl.router.node_id().to_owned())?;
         stat("cluster_nodes", cl.router.nodes().len().to_string())?;

@@ -1,0 +1,358 @@
+//! CAMP: cost-adaptive multi-queue eviction (Ghandeharizadeh et al.).
+//!
+//! A full GreedyDual needs a priority queue over every resident block.
+//! CAMP observes that rounding costs to a power of two loses almost no
+//! cost fidelity but buys a crucial structural property: blocks whose
+//! rounded cost is equal can live in one FIFO-of-arrival queue whose
+//! priorities are *monotonically non-decreasing* (each enqueue uses the
+//! current region age `L`, and `L` never decreases). The minimum-priority
+//! block is therefore always at one of the bucket heads, and a victim scan
+//! touches `O(#buckets)` entries instead of `O(ways)`.
+//!
+//! Per block the key is `K = L + rounded(cost)`; hits re-enqueue at the
+//! tail of the block's bucket with a fresh key, and evicting key `K` sets
+//! `L = K` (the same inflation aging as GDSF/LFUDA). The buckets are
+//! lazy-deletion queues: stale entries (superseded by a re-enqueue or a
+//! removal) are skipped when they surface at a head.
+//!
+//! The single-region logic lives in [`CampCore`] (an
+//! [`EvictionPolicy`](crate::EvictionPolicy)); [`Camp`] replicates one
+//! core per set for the simulator.
+
+use crate::eviction::{impl_replacement_via_cores, EvictionPolicy};
+use cache_sim::{BlockAddr, Cost, Geometry, SetView, Way};
+use csr_obs::{NopObserver, Observer};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Counters specific to [`Camp`] / [`CampCore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampStats {
+    /// Total victim selections.
+    pub victims: u64,
+    /// Victim selections that chose a block other than the LRU block.
+    pub non_lru_victims: u64,
+    /// Hits that re-enqueued a block at its bucket tail.
+    pub requeues: u64,
+}
+
+impl CampStats {
+    /// Accumulates `other` into `self` (counter-wise sum).
+    pub fn merge(&mut self, other: &CampStats) {
+        self.victims += other.victims;
+        self.non_lru_victims += other.non_lru_victims;
+        self.requeues += other.requeues;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CampMeta {
+    bucket: u32,
+    seq: u64,
+}
+
+/// Rounds a cost down to a power of two: `(bucket id, rounded value)`.
+fn rounded(cost: Cost) -> (u32, u64) {
+    let c = cost.0.max(1);
+    let exp = 63 - c.leading_zeros();
+    (exp, 1u64 << exp)
+}
+
+/// CAMP for a single replacement region of a fixed number of ways.
+#[derive(Debug, Clone)]
+pub struct CampCore<O: Observer = NopObserver> {
+    /// Resident blocks only; names the live bucket entry per block.
+    meta: HashMap<BlockAddr, CampMeta>,
+    /// One queue per rounded-cost class, keyed by the cost exponent.
+    /// Entries are `(block, seq, key)`; live iff `seq` matches `meta`.
+    buckets: BTreeMap<u32, VecDeque<(BlockAddr, u64, u64)>>,
+    /// The region age `L`: the key of the last evicted block.
+    age: u64,
+    next_seq: u64,
+    stats: CampStats,
+    obs: O,
+}
+
+impl CampCore {
+    /// Creates a core for a region of any number of ways.
+    #[must_use]
+    pub fn new(_ways: usize) -> Self {
+        CampCore {
+            meta: HashMap::new(),
+            buckets: BTreeMap::new(),
+            age: 0,
+            next_seq: 0,
+            stats: CampStats::default(),
+            obs: NopObserver,
+        }
+    }
+}
+
+impl<O: Observer> CampCore<O> {
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CampStats {
+        &self.stats
+    }
+
+    /// The current region age `L`.
+    #[must_use]
+    pub fn age(&self) -> u64 {
+        self.age
+    }
+
+    /// The number of non-empty cost buckets.
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Attaches a decision observer, replacing any existing one.
+    #[must_use]
+    pub fn with_observer<O2: Observer>(self, obs: O2) -> CampCore<O2> {
+        CampCore {
+            meta: self.meta,
+            buckets: self.buckets,
+            age: self.age,
+            next_seq: self.next_seq,
+            stats: self.stats,
+            obs,
+        }
+    }
+
+    /// Enqueues `block` at the tail of its cost bucket with a fresh key.
+    fn enqueue(&mut self, block: BlockAddr, cost: Cost) {
+        let (bucket, r) = rounded(cost);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = self.age.saturating_add(r);
+        self.meta.insert(block, CampMeta { bucket, seq });
+        self.buckets
+            .entry(bucket)
+            .or_default()
+            .push_back((block, seq, key));
+    }
+
+    /// The live head with the minimum key, if any: `(block, key)`.
+    /// Stale heads are popped on the way; emptied buckets are pruned.
+    fn min_head(&mut self) -> Option<(BlockAddr, u64)> {
+        let mut best: Option<(BlockAddr, u64)> = None;
+        for (_, q) in self.buckets.iter_mut() {
+            while let Some(&(b, seq, key)) = q.front() {
+                let live = self.meta.get(&b).is_some_and(|m| m.seq == seq);
+                if live {
+                    match best {
+                        Some((_, bk)) if bk <= key => {}
+                        _ => best = Some((b, key)),
+                    }
+                    break;
+                }
+                q.pop_front();
+            }
+        }
+        self.buckets.retain(|_, q| !q.is_empty());
+        best
+    }
+
+    /// Drops `block`'s live entry (head of its bucket, by construction of
+    /// the callers) and its metadata.
+    fn drop_block(&mut self, block: BlockAddr) {
+        if let Some(m) = self.meta.remove(&block) {
+            if let Some(q) = self.buckets.get_mut(&m.bucket) {
+                if q.front()
+                    .is_some_and(|&(b, seq, _)| b == block && seq == m.seq)
+                {
+                    q.pop_front();
+                }
+                if q.is_empty() {
+                    self.buckets.remove(&m.bucket);
+                }
+            }
+        }
+    }
+
+    /// Books the eviction of the view entry at `pos` and returns its way.
+    fn finish(&mut self, view: &SetView<'_>, pos: usize) -> Way {
+        self.stats.victims += 1;
+        let chosen = view.at(pos);
+        self.obs.on_evict(chosen.block, chosen.cost);
+        if pos + 1 != view.len() {
+            self.stats.non_lru_victims += 1;
+            let lru = view.lru();
+            self.obs.on_reserve(lru.block, chosen.block, chosen.cost);
+        }
+        chosen.way
+    }
+}
+
+impl<O: Observer> EvictionPolicy for CampCore<O> {
+    fn name(&self) -> &'static str {
+        "CAMP"
+    }
+
+    fn victim(&mut self, view: &SetView<'_>) -> Way {
+        let mut by_block = HashMap::with_capacity(view.len());
+        for (pos, e) in view.iter().enumerate() {
+            by_block.insert(e.block, pos);
+        }
+        // Every pass removes one block from the structures, so this
+        // terminates; blocks unknown to the view are dropped and retried.
+        while let Some((b, key)) = self.min_head() {
+            self.drop_block(b);
+            if let Some(&pos) = by_block.get(&b) {
+                self.age = self.age.max(key);
+                return self.finish(view, pos);
+            }
+        }
+        // Fresh or desynced core: evict the LRU block.
+        let lru = view.lru();
+        self.drop_block(lru.block);
+        self.finish(view, view.len() - 1)
+    }
+
+    fn on_hit(&mut self, block: BlockAddr, _way: Way, cost: Cost, _is_lru: bool) {
+        if self.meta.contains_key(&block) {
+            // Supersede the old entry (it goes stale) with a tail re-enqueue
+            // at the current age.
+            self.enqueue(block, cost);
+            self.stats.requeues += 1;
+        }
+        self.obs.on_hit(block, cost);
+    }
+
+    fn on_miss(&mut self, block: BlockAddr, _lru: Option<(BlockAddr, Cost)>) {
+        self.obs.on_miss(block);
+    }
+
+    fn on_fill(&mut self, block: BlockAddr, _way: Way, cost: Cost) {
+        if self.meta.contains_key(&block) {
+            // Overwrite of a resident block: the on_hit re-enqueue already
+            // placed it with its new cost.
+            return;
+        }
+        self.enqueue(block, cost);
+    }
+
+    fn on_remove(&mut self, block: BlockAddr) {
+        // Not necessarily at its bucket head: just drop the metadata and
+        // let the queue entry go stale.
+        self.meta.remove(&block);
+    }
+}
+
+/// The CAMP replacement policy (one [`CampCore`] per set).
+#[derive(Debug, Clone)]
+pub struct Camp<O: Observer = NopObserver> {
+    cores: Vec<CampCore<O>>,
+}
+
+impl Camp {
+    /// Creates a CAMP policy for the given cache geometry.
+    #[must_use]
+    pub fn new(geom: &Geometry) -> Self {
+        Camp {
+            cores: (0..geom.num_sets())
+                .map(|_| CampCore::new(geom.assoc()))
+                .collect(),
+        }
+    }
+}
+
+impl<O: Observer> Camp<O> {
+    /// Statistics accumulated across all sets.
+    #[must_use]
+    pub fn stats(&self) -> CampStats {
+        let mut total = CampStats::default();
+        for c in &self.cores {
+            total.merge(c.stats());
+        }
+        total
+    }
+
+    /// Attaches a decision observer; every set's core receives a clone.
+    #[must_use]
+    pub fn with_observer<O2: Observer + Clone>(self, obs: O2) -> Camp<O2> {
+        Camp {
+            cores: self
+                .cores
+                .into_iter()
+                .map(|c| c.with_observer(obs.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl_replacement_via_cores!(Camp, "CAMP");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{AccessType, Cache};
+
+    /// One-set, 2-way cache for controlled scenarios.
+    fn cache2() -> Cache<Camp> {
+        let geom = Geometry::new(128, 64, 2);
+        Cache::new(geom, Camp::new(&geom))
+    }
+
+    #[test]
+    fn victimizes_cheapest_bucket_head() {
+        let mut c = cache2();
+        c.access(BlockAddr(0), AccessType::Read, Cost(8)); // K = 8, LRU
+        c.access(BlockAddr(1), AccessType::Read, Cost(1)); // K = 1, MRU
+        c.access(BlockAddr(2), AccessType::Read, Cost(1));
+        assert!(c.contains(BlockAddr(0)));
+        assert!(!c.contains(BlockAddr(1)));
+        assert_eq!(c.policy().stats().non_lru_victims, 1);
+    }
+
+    #[test]
+    fn costs_round_to_power_of_two_classes() {
+        // Costs 5 and 7 share the 4-bucket: within a class the decision is
+        // pure arrival order, so the older block goes first.
+        let mut c = cache2();
+        c.access(BlockAddr(0), AccessType::Read, Cost(5));
+        c.access(BlockAddr(1), AccessType::Read, Cost(7));
+        c.access(BlockAddr(2), AccessType::Read, Cost(6));
+        assert!(!c.contains(BlockAddr(0)));
+        assert!(c.contains(BlockAddr(1)));
+        assert_eq!(c.policy().stats().non_lru_victims, 0);
+    }
+
+    #[test]
+    fn aging_erodes_an_idle_expensive_block() {
+        let mut c = cache2();
+        c.access(BlockAddr(0), AccessType::Read, Cost(4)); // K = 4
+        for b in 1..8u64 {
+            c.access(BlockAddr(b), AccessType::Read, Cost(1));
+        }
+        assert!(!c.contains(BlockAddr(0)), "idle expensive block ages out");
+    }
+
+    #[test]
+    fn requeue_on_hit_refreshes_the_key() {
+        let mut c = cache2();
+        c.access(BlockAddr(0), AccessType::Read, Cost(2));
+        c.access(BlockAddr(1), AccessType::Read, Cost(2));
+        c.access(BlockAddr(0), AccessType::Read, Cost(2)); // requeue 0
+        c.access(BlockAddr(2), AccessType::Read, Cost(2)); // same class: 1 goes
+        assert!(c.contains(BlockAddr(0)));
+        assert!(!c.contains(BlockAddr(1)));
+        assert_eq!(c.policy().stats().requeues, 1);
+    }
+
+    #[test]
+    fn fresh_core_falls_back_to_lru() {
+        use cache_sim::WayView;
+        let entries: Vec<WayView> = (0..4u64)
+            .map(|b| WayView {
+                way: Way(b as usize),
+                block: BlockAddr(b),
+                cost: Cost(1),
+                dirty: false,
+            })
+            .collect();
+        let mut core = CampCore::new(4);
+        assert_eq!(core.victim(&SetView::new(&entries)), Way(3));
+        assert_eq!(core.name(), "CAMP");
+    }
+}

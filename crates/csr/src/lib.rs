@@ -24,6 +24,13 @@
 //! replicate one core per set. The same cores drive the shards of the
 //! concurrent `csr-cache` key-value cache.
 //!
+//! A **policy zoo** of modern general-purpose cores rides on the same
+//! trait for head-to-head comparison and online selection: [`S3Fifo`]
+//! (static small/main/ghost FIFO queues, scan-resistant), [`Slru`]
+//! (probationary/protected segments), [`Lfuda`] (LFU with dynamic aging),
+//! [`Gdsf`] (GreedyDual-Size-Frequency) and [`Camp`] (cost-adaptive
+//! multi-queue with rounded-cost buckets).
+//!
 //! Supporting modules: the [`etd`] shadow directory, clairvoyant baselines
 //! in [`opt`], and the Section 5 hardware-overhead model in [`hw`].
 //!
@@ -72,22 +79,32 @@
 
 pub mod acl;
 pub mod bcl;
+pub mod camp;
 pub mod csopt;
 pub mod dcl;
 pub mod etd;
 pub mod eviction;
 pub mod gd;
+pub mod gdsf;
 pub mod hw;
+pub mod lfuda;
 pub mod opt;
 mod reserve;
+pub mod s3fifo;
+pub mod slru;
 
 pub use acl::{Acl, AclCore, AclStats};
 pub use bcl::{Bcl, BclCore, BclStats};
+pub use camp::{Camp, CampCore, CampStats};
 pub use csopt::{simulate_csopt, CsoptLimits};
 pub use csr_obs::{NopObserver, Observer};
 pub use dcl::{Dcl, DclCore, DclStats};
 pub use etd::{Etd, EtdConfig, EtdSet, EtdStats, EtdView};
 pub use eviction::{EvictionPolicy, LruCore};
 pub use gd::{GdCore, GdStats, GreedyDual};
+pub use gdsf::{Gdsf, GdsfCore, GdsfStats};
 pub use hw::{CostSource, HwParams, HwPolicy};
+pub use lfuda::{Lfuda, LfudaCore, LfudaStats};
 pub use opt::{simulate_belady, simulate_cost_greedy, OfflineStats, TraceEvent};
+pub use s3fifo::{S3Fifo, S3FifoCore, S3FifoStats};
+pub use slru::{Slru, SlruCore, SlruStats};

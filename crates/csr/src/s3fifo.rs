@@ -1,0 +1,451 @@
+//! S3-FIFO: static small/main/ghost FIFO queues (Qiu et al., SOSP'23).
+//!
+//! Three plain FIFO queues replace recency tracking entirely. New blocks
+//! enter a **small** probationary queue (≈10% of the region). When the
+//! small queue is over target, its head is examined: blocks that were hit
+//! at least once while probationary are promoted to the **main** queue;
+//! one-hit wonders are evicted and their *key* recorded in a bounded
+//! **ghost** FIFO. A refill of a ghosted key goes straight to main — the
+//! block proved it has reuse beyond a single scan pass. Main evicts with
+//! lazy second-chance: a head with non-zero frequency is decremented and
+//! reinserted at the tail.
+//!
+//! The design is scan-resistant by construction (a sequential scan flows
+//! through the small queue and the ghost without ever displacing main) and
+//! needs no per-access pointer surgery, which is why it beats LRU-family
+//! policies on scan-heavy traffic. It is cost-*oblivious*; the adaptive
+//! selector in `csr-cache` exists precisely to pick it only when locality
+//! patterns (not cost skew) dominate.
+//!
+//! The single-region logic lives in [`S3FifoCore`] (an
+//! [`EvictionPolicy`](crate::EvictionPolicy)); [`S3Fifo`] replicates one
+//! core per set for the simulator.
+
+use crate::eviction::{impl_replacement_via_cores, EvictionPolicy};
+use cache_sim::{BlockAddr, Cost, Geometry, SetView, Way};
+use csr_obs::{NopObserver, Observer};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Hit-count saturation point (the paper's 2-bit counter).
+const FREQ_CAP: u8 = 3;
+
+/// Counters specific to [`S3Fifo`] / [`S3FifoCore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct S3FifoStats {
+    /// Total victim selections.
+    pub victims: u64,
+    /// Victim selections that chose a block other than the LRU block.
+    pub non_lru_victims: u64,
+    /// Evictions taken from the small (probationary) queue.
+    pub small_evictions: u64,
+    /// Evictions taken from the main queue.
+    pub main_evictions: u64,
+    /// Small-queue heads promoted to main instead of being evicted.
+    pub promotions: u64,
+    /// Fills that went straight to main because the key was in the ghost.
+    pub ghost_rescues: u64,
+}
+
+impl S3FifoStats {
+    /// Accumulates `other` into `self` (counter-wise sum).
+    pub fn merge(&mut self, other: &S3FifoStats) {
+        self.victims += other.victims;
+        self.non_lru_victims += other.non_lru_victims;
+        self.small_evictions += other.small_evictions;
+        self.main_evictions += other.main_evictions;
+        self.promotions += other.promotions;
+        self.ghost_rescues += other.ghost_rescues;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct S3Meta {
+    freq: u8,
+    in_small: bool,
+}
+
+/// S3-FIFO for a single replacement region of a fixed number of ways.
+#[derive(Debug, Clone)]
+pub struct S3FifoCore<O: Observer = NopObserver> {
+    /// Resident blocks only; absence means the block is not tracked.
+    meta: HashMap<BlockAddr, S3Meta>,
+    small: VecDeque<BlockAddr>,
+    main: VecDeque<BlockAddr>,
+    /// Ghost keys, FIFO order. Entries may be stale (rescued keys stay in
+    /// the deque until they reach the front); `ghost_set` is authoritative.
+    ghost_fifo: VecDeque<BlockAddr>,
+    ghost_set: HashSet<BlockAddr>,
+    /// Live (non-stale) block counts per queue.
+    small_len: usize,
+    main_len: usize,
+    small_target: usize,
+    ghost_cap: usize,
+    ways: usize,
+    stats: S3FifoStats,
+    obs: O,
+}
+
+impl S3FifoCore {
+    /// Creates a core for a region of `ways` blockframes.
+    #[must_use]
+    pub fn new(ways: usize) -> Self {
+        S3FifoCore {
+            meta: HashMap::new(),
+            small: VecDeque::new(),
+            main: VecDeque::new(),
+            ghost_fifo: VecDeque::new(),
+            ghost_set: HashSet::new(),
+            small_len: 0,
+            main_len: 0,
+            small_target: (ways / 10).max(1),
+            ghost_cap: ways.max(1),
+            ways,
+            stats: S3FifoStats::default(),
+            obs: NopObserver,
+        }
+    }
+}
+
+impl<O: Observer> S3FifoCore<O> {
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &S3FifoStats {
+        &self.stats
+    }
+
+    /// Attaches a decision observer, replacing any existing one.
+    #[must_use]
+    pub fn with_observer<O2: Observer>(self, obs: O2) -> S3FifoCore<O2> {
+        S3FifoCore {
+            meta: self.meta,
+            small: self.small,
+            main: self.main,
+            ghost_fifo: self.ghost_fifo,
+            ghost_set: self.ghost_set,
+            small_len: self.small_len,
+            main_len: self.main_len,
+            small_target: self.small_target,
+            ghost_cap: self.ghost_cap,
+            ways: self.ways,
+            stats: self.stats,
+            obs,
+        }
+    }
+
+    /// Pops small-queue heads until one is live in the small queue.
+    fn pop_live_small(&mut self) -> Option<BlockAddr> {
+        while let Some(b) = self.small.pop_front() {
+            if self.meta.get(&b).is_some_and(|m| m.in_small) {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Pops main-queue heads until one is live in the main queue.
+    fn pop_live_main(&mut self) -> Option<BlockAddr> {
+        while let Some(b) = self.main.pop_front() {
+            if self.meta.get(&b).is_some_and(|m| !m.in_small) {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Records an evicted key in the bounded ghost FIFO.
+    fn ghost_insert(&mut self, b: BlockAddr) {
+        if self.ghost_set.insert(b) {
+            self.ghost_fifo.push_back(b);
+        }
+        while self.ghost_set.len() > self.ghost_cap {
+            match self.ghost_fifo.pop_front() {
+                Some(f) => {
+                    self.ghost_set.remove(&f);
+                }
+                None => break,
+            }
+        }
+        // Stale (rescued) entries are dropped here too, so the deque stays
+        // within a constant factor of the live ghost.
+        while self.ghost_fifo.len() > 2 * self.ghost_cap {
+            if let Some(f) = self.ghost_fifo.pop_front() {
+                self.ghost_set.remove(&f);
+            }
+        }
+    }
+
+    /// Books the eviction of the view entry at `pos` and returns its way.
+    fn finish(&mut self, view: &SetView<'_>, pos: usize) -> Way {
+        self.stats.victims += 1;
+        let chosen = view.at(pos);
+        self.obs.on_evict(chosen.block, chosen.cost);
+        if pos + 1 != view.len() {
+            self.stats.non_lru_victims += 1;
+            let lru = view.lru();
+            self.obs.on_reserve(lru.block, chosen.block, chosen.cost);
+        }
+        chosen.way
+    }
+}
+
+impl<O: Observer> EvictionPolicy for S3FifoCore<O> {
+    fn name(&self) -> &'static str {
+        "S3-FIFO"
+    }
+
+    fn victim(&mut self, view: &SetView<'_>) -> Way {
+        let mut by_block = HashMap::with_capacity(view.len());
+        for (pos, e) in view.iter().enumerate() {
+            by_block.insert(e.block, pos);
+        }
+        // Every pass either evicts, promotes a small head (at most once per
+        // live block), or decrements a main head's frequency (at most
+        // FREQ_CAP times per block), so the bound below is generous.
+        let mut guard = self.small.len() + self.main.len() + 4 * self.ways + 8;
+        while guard > 0 {
+            guard -= 1;
+            let from_small = self.small_len > self.small_target || self.main_len == 0;
+            if from_small {
+                let Some(b) = self.pop_live_small() else {
+                    self.small_len = 0;
+                    if self.main_len == 0 {
+                        break;
+                    }
+                    continue;
+                };
+                let freq = self.meta.get(&b).map_or(0, |m| m.freq);
+                if freq > 0 {
+                    // Hit at least once while probationary: promote.
+                    if let Some(m) = self.meta.get_mut(&b) {
+                        m.in_small = false;
+                    }
+                    self.main.push_back(b);
+                    self.small_len -= 1;
+                    self.main_len += 1;
+                    self.stats.promotions += 1;
+                    continue;
+                }
+                self.small_len -= 1;
+                self.meta.remove(&b);
+                if let Some(&pos) = by_block.get(&b) {
+                    self.ghost_insert(b);
+                    self.stats.small_evictions += 1;
+                    return self.finish(view, pos);
+                }
+            } else {
+                let Some(b) = self.pop_live_main() else {
+                    self.main_len = 0;
+                    if self.small_len == 0 {
+                        break;
+                    }
+                    continue;
+                };
+                let freq = self.meta.get(&b).map_or(0, |m| m.freq);
+                if freq > 0 {
+                    // Second chance: spend one frequency unit, go to tail.
+                    if let Some(m) = self.meta.get_mut(&b) {
+                        m.freq -= 1;
+                    }
+                    self.main.push_back(b);
+                    continue;
+                }
+                self.main_len -= 1;
+                self.meta.remove(&b);
+                if let Some(&pos) = by_block.get(&b) {
+                    self.stats.main_evictions += 1;
+                    return self.finish(view, pos);
+                }
+            }
+        }
+        // The queues know nothing about this view (fresh core, or one hot-
+        // attached to a warm region): fall back to the LRU block.
+        let lru = view.lru();
+        if let Some(m) = self.meta.remove(&lru.block) {
+            if m.in_small {
+                self.small_len = self.small_len.saturating_sub(1);
+            } else {
+                self.main_len = self.main_len.saturating_sub(1);
+            }
+        }
+        self.finish(view, view.len() - 1)
+    }
+
+    fn on_hit(&mut self, block: BlockAddr, _way: Way, cost: Cost, _is_lru: bool) {
+        if let Some(m) = self.meta.get_mut(&block) {
+            m.freq = (m.freq + 1).min(FREQ_CAP);
+        }
+        self.obs.on_hit(block, cost);
+    }
+
+    fn on_miss(&mut self, block: BlockAddr, _lru: Option<(BlockAddr, Cost)>) {
+        // The ghost is consulted (and consumed) in `on_fill`, so the double
+        // miss delivery of a get-then-insert flow is harmless here.
+        self.obs.on_miss(block);
+    }
+
+    fn on_fill(&mut self, block: BlockAddr, _way: Way, _cost: Cost) {
+        if self.meta.contains_key(&block) {
+            // Overwrite of a resident block keeps its queue position.
+            return;
+        }
+        if self.ghost_set.remove(&block) {
+            self.stats.ghost_rescues += 1;
+            self.meta.insert(
+                block,
+                S3Meta {
+                    freq: 0,
+                    in_small: false,
+                },
+            );
+            self.main.push_back(block);
+            self.main_len += 1;
+        } else {
+            self.meta.insert(
+                block,
+                S3Meta {
+                    freq: 0,
+                    in_small: true,
+                },
+            );
+            self.small.push_back(block);
+            self.small_len += 1;
+        }
+    }
+
+    fn on_remove(&mut self, block: BlockAddr) {
+        if let Some(m) = self.meta.remove(&block) {
+            if m.in_small {
+                self.small_len = self.small_len.saturating_sub(1);
+            } else {
+                self.main_len = self.main_len.saturating_sub(1);
+            }
+        }
+    }
+}
+
+/// The S3-FIFO replacement policy (one [`S3FifoCore`] per set).
+#[derive(Debug, Clone)]
+pub struct S3Fifo<O: Observer = NopObserver> {
+    cores: Vec<S3FifoCore<O>>,
+}
+
+impl S3Fifo {
+    /// Creates an S3-FIFO policy for the given cache geometry.
+    #[must_use]
+    pub fn new(geom: &Geometry) -> Self {
+        S3Fifo {
+            cores: (0..geom.num_sets())
+                .map(|_| S3FifoCore::new(geom.assoc()))
+                .collect(),
+        }
+    }
+}
+
+impl<O: Observer> S3Fifo<O> {
+    /// Statistics accumulated across all sets.
+    #[must_use]
+    pub fn stats(&self) -> S3FifoStats {
+        let mut total = S3FifoStats::default();
+        for c in &self.cores {
+            total.merge(c.stats());
+        }
+        total
+    }
+
+    /// Attaches a decision observer; every set's core receives a clone.
+    #[must_use]
+    pub fn with_observer<O2: Observer + Clone>(self, obs: O2) -> S3Fifo<O2> {
+        S3Fifo {
+            cores: self
+                .cores
+                .into_iter()
+                .map(|c| c.with_observer(obs.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl_replacement_via_cores!(S3Fifo, "S3-FIFO");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{AccessType, Cache, WayView};
+
+    /// One-set, 8-way cache (small target 1).
+    fn cache8() -> Cache<S3Fifo> {
+        let geom = Geometry::new(512, 64, 8);
+        Cache::new(geom, S3Fifo::new(&geom))
+    }
+
+    #[test]
+    fn scan_does_not_displace_promoted_blocks() {
+        let mut c = cache8();
+        for b in 0..8u64 {
+            c.access(BlockAddr(b), AccessType::Read, Cost(1));
+        }
+        // Blocks 0 and 1 are hot: hit them twice each while probationary.
+        for _ in 0..2 {
+            c.access(BlockAddr(0), AccessType::Read, Cost(1));
+            c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        }
+        // A long one-touch scan flows through the small queue.
+        for b in 100..150u64 {
+            c.access(BlockAddr(b), AccessType::Read, Cost(1));
+        }
+        assert!(c.contains(BlockAddr(0)), "hot block survived the scan");
+        assert!(c.contains(BlockAddr(1)), "hot block survived the scan");
+        let s = c.policy().stats();
+        assert!(s.promotions >= 2, "hot blocks were promoted: {s:?}");
+        assert!(s.small_evictions >= 40, "scan was absorbed by small: {s:?}");
+        assert_eq!(s.main_evictions, 0, "main was never touched: {s:?}");
+    }
+
+    #[test]
+    fn ghosted_key_is_rescued_to_main() {
+        let mut c = cache8();
+        for b in 0..9u64 {
+            // Block 0 reaches the small head and is evicted into the ghost.
+            c.access(BlockAddr(b), AccessType::Read, Cost(1));
+        }
+        assert!(!c.contains(BlockAddr(0)));
+        // Refill of the ghosted key goes straight to main.
+        c.access(BlockAddr(0), AccessType::Read, Cost(1));
+        assert!(c.contains(BlockAddr(0)));
+        assert_eq!(c.policy().stats().ghost_rescues, 1);
+        // Another long scan: the rescued block rides out main.
+        for b in 200..230u64 {
+            c.access(BlockAddr(b), AccessType::Read, Cost(1));
+        }
+        assert!(c.contains(BlockAddr(0)), "rescued block survived the scan");
+    }
+
+    #[test]
+    fn fresh_core_falls_back_to_lru() {
+        // A core with empty queues (nothing ever filled) must still return
+        // a valid way: the LRU fallback.
+        let entries: Vec<WayView> = (0..4u64)
+            .map(|b| WayView {
+                way: Way(b as usize),
+                block: BlockAddr(b),
+                cost: Cost(1),
+                dirty: false,
+            })
+            .collect();
+        let mut core = S3FifoCore::new(4);
+        assert_eq!(core.victim(&SetView::new(&entries)), Way(3));
+        assert_eq!(core.name(), "S3-FIFO");
+    }
+
+    #[test]
+    fn one_hit_wonders_leave_through_the_ghost() {
+        let mut c = cache8();
+        for b in 0..32u64 {
+            c.access(BlockAddr(b), AccessType::Read, Cost(1));
+        }
+        let s = c.policy().stats();
+        assert_eq!(s.victims, 24);
+        assert_eq!(s.small_evictions, 24, "every eviction was probationary");
+        assert_eq!(s.promotions, 0);
+    }
+}

@@ -1,0 +1,386 @@
+//! Segmented LRU (SLRU): probationary + protected segments.
+//!
+//! New blocks enter a **probationary** segment; a hit promotes the block
+//! into a **protected** segment sized at ~80% of the region. Victims come
+//! from the probationary LRU end first, so a block must prove reuse before
+//! it can displace established residents — the classic single-pass scan
+//! filter. When the protected segment overflows, its LRU block is demoted
+//! back to the probationary MRU end (not evicted), preserving one more
+//! chance at reuse.
+//!
+//! Both segments are lazy-deletion queues: every enqueue carries a fresh
+//! sequence number, and an entry is live only while the block's metadata
+//! still names that sequence, so hits and demotions are O(1) with stale
+//! entries skipped when they surface at a queue head.
+//!
+//! The single-region logic lives in [`SlruCore`] (an
+//! [`EvictionPolicy`](crate::EvictionPolicy)); [`Slru`] replicates one
+//! core per set for the simulator.
+
+use crate::eviction::{impl_replacement_via_cores, EvictionPolicy};
+use cache_sim::{BlockAddr, Cost, Geometry, SetView, Way};
+use csr_obs::{NopObserver, Observer};
+use std::collections::{HashMap, VecDeque};
+
+/// Counters specific to [`Slru`] / [`SlruCore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlruStats {
+    /// Total victim selections.
+    pub victims: u64,
+    /// Victim selections that chose a block other than the LRU block.
+    pub non_lru_victims: u64,
+    /// Hits that promoted a probationary block into the protected segment.
+    pub promotions: u64,
+    /// Protected-segment overflows demoted back to probationary.
+    pub demotions: u64,
+}
+
+impl SlruStats {
+    /// Accumulates `other` into `self` (counter-wise sum).
+    pub fn merge(&mut self, other: &SlruStats) {
+        self.victims += other.victims;
+        self.non_lru_victims += other.non_lru_victims;
+        self.promotions += other.promotions;
+        self.demotions += other.demotions;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SlruMeta {
+    protected: bool,
+    seq: u64,
+}
+
+/// SLRU for a single replacement region of a fixed number of ways.
+#[derive(Debug, Clone)]
+pub struct SlruCore<O: Observer = NopObserver> {
+    /// Resident blocks only; names the live queue entry per block.
+    meta: HashMap<BlockAddr, SlruMeta>,
+    /// LRU order front → back; entries live iff `(block, seq)` matches.
+    prob: VecDeque<(BlockAddr, u64)>,
+    prot: VecDeque<(BlockAddr, u64)>,
+    prob_len: usize,
+    prot_len: usize,
+    prot_target: usize,
+    next_seq: u64,
+    stats: SlruStats,
+    obs: O,
+}
+
+impl SlruCore {
+    /// Creates a core for a region of `ways` blockframes.
+    #[must_use]
+    pub fn new(ways: usize) -> Self {
+        SlruCore {
+            meta: HashMap::new(),
+            prob: VecDeque::new(),
+            prot: VecDeque::new(),
+            prob_len: 0,
+            prot_len: 0,
+            prot_target: (ways * 4 / 5).max(1),
+            next_seq: 0,
+            stats: SlruStats::default(),
+            obs: NopObserver,
+        }
+    }
+}
+
+impl<O: Observer> SlruCore<O> {
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SlruStats {
+        &self.stats
+    }
+
+    /// Attaches a decision observer, replacing any existing one.
+    #[must_use]
+    pub fn with_observer<O2: Observer>(self, obs: O2) -> SlruCore<O2> {
+        SlruCore {
+            meta: self.meta,
+            prob: self.prob,
+            prot: self.prot,
+            prob_len: self.prob_len,
+            prot_len: self.prot_len,
+            prot_target: self.prot_target,
+            next_seq: self.next_seq,
+            stats: self.stats,
+            obs,
+        }
+    }
+
+    fn seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Pops probationary heads until one is live there.
+    fn pop_live_prob(&mut self) -> Option<BlockAddr> {
+        while let Some((b, seq)) = self.prob.pop_front() {
+            if self
+                .meta
+                .get(&b)
+                .is_some_and(|m| !m.protected && m.seq == seq)
+            {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Pops protected heads until one is live there.
+    fn pop_live_prot(&mut self) -> Option<BlockAddr> {
+        while let Some((b, seq)) = self.prot.pop_front() {
+            if self
+                .meta
+                .get(&b)
+                .is_some_and(|m| m.protected && m.seq == seq)
+            {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Books the eviction of the view entry at `pos` and returns its way.
+    fn finish(&mut self, view: &SetView<'_>, pos: usize) -> Way {
+        self.stats.victims += 1;
+        let chosen = view.at(pos);
+        self.obs.on_evict(chosen.block, chosen.cost);
+        if pos + 1 != view.len() {
+            self.stats.non_lru_victims += 1;
+            let lru = view.lru();
+            self.obs.on_reserve(lru.block, chosen.block, chosen.cost);
+        }
+        chosen.way
+    }
+}
+
+impl<O: Observer> EvictionPolicy for SlruCore<O> {
+    fn name(&self) -> &'static str {
+        "SLRU"
+    }
+
+    fn victim(&mut self, view: &SetView<'_>) -> Way {
+        let mut by_block = HashMap::with_capacity(view.len());
+        for (pos, e) in view.iter().enumerate() {
+            by_block.insert(e.block, pos);
+        }
+        // Probationary LRU end first, then protected LRU end; skip blocks
+        // the view does not contain (a core hot-attached to a warm region).
+        let mut guard = self.prob.len() + self.prot.len() + 2;
+        while guard > 0 {
+            guard -= 1;
+            let (b, from_prob) = match self.pop_live_prob() {
+                Some(b) => (b, true),
+                None => {
+                    self.prob_len = 0;
+                    match self.pop_live_prot() {
+                        Some(b) => (b, false),
+                        None => break,
+                    }
+                }
+            };
+            if from_prob {
+                self.prob_len = self.prob_len.saturating_sub(1);
+            } else {
+                self.prot_len = self.prot_len.saturating_sub(1);
+            }
+            self.meta.remove(&b);
+            if let Some(&pos) = by_block.get(&b) {
+                return self.finish(view, pos);
+            }
+        }
+        // Fresh or desynced core: evict the LRU block.
+        let lru = view.lru();
+        if let Some(m) = self.meta.remove(&lru.block) {
+            if m.protected {
+                self.prot_len = self.prot_len.saturating_sub(1);
+            } else {
+                self.prob_len = self.prob_len.saturating_sub(1);
+            }
+        }
+        self.finish(view, view.len() - 1)
+    }
+
+    fn on_hit(&mut self, block: BlockAddr, _way: Way, cost: Cost, _is_lru: bool) {
+        let seq = self.seq();
+        if let Some(m) = self.meta.get_mut(&block) {
+            if !m.protected {
+                self.prob_len = self.prob_len.saturating_sub(1);
+                self.prot_len += 1;
+                self.stats.promotions += 1;
+            } else {
+                // Re-enqueue at the protected MRU end (length unchanged).
+            }
+            m.protected = true;
+            m.seq = seq;
+            self.prot.push_back((block, seq));
+            // Overflow: demote the protected LRU block to probationary MRU.
+            if self.prot_len > self.prot_target {
+                if let Some(d) = self.pop_live_prot() {
+                    let dseq = self.seq();
+                    if let Some(dm) = self.meta.get_mut(&d) {
+                        dm.protected = false;
+                        dm.seq = dseq;
+                    }
+                    self.prob.push_back((d, dseq));
+                    self.prot_len -= 1;
+                    self.prob_len += 1;
+                    self.stats.demotions += 1;
+                }
+            }
+        }
+        self.obs.on_hit(block, cost);
+    }
+
+    fn on_miss(&mut self, block: BlockAddr, _lru: Option<(BlockAddr, Cost)>) {
+        self.obs.on_miss(block);
+    }
+
+    fn on_fill(&mut self, block: BlockAddr, _way: Way, _cost: Cost) {
+        if self.meta.contains_key(&block) {
+            // Overwrite of a resident block keeps its segment position.
+            return;
+        }
+        let seq = self.seq();
+        self.meta.insert(
+            block,
+            SlruMeta {
+                protected: false,
+                seq,
+            },
+        );
+        self.prob.push_back((block, seq));
+        self.prob_len += 1;
+    }
+
+    fn on_remove(&mut self, block: BlockAddr) {
+        if let Some(m) = self.meta.remove(&block) {
+            if m.protected {
+                self.prot_len = self.prot_len.saturating_sub(1);
+            } else {
+                self.prob_len = self.prob_len.saturating_sub(1);
+            }
+        }
+    }
+}
+
+/// The SLRU replacement policy (one [`SlruCore`] per set).
+#[derive(Debug, Clone)]
+pub struct Slru<O: Observer = NopObserver> {
+    cores: Vec<SlruCore<O>>,
+}
+
+impl Slru {
+    /// Creates an SLRU policy for the given cache geometry.
+    #[must_use]
+    pub fn new(geom: &Geometry) -> Self {
+        Slru {
+            cores: (0..geom.num_sets())
+                .map(|_| SlruCore::new(geom.assoc()))
+                .collect(),
+        }
+    }
+}
+
+impl<O: Observer> Slru<O> {
+    /// Statistics accumulated across all sets.
+    #[must_use]
+    pub fn stats(&self) -> SlruStats {
+        let mut total = SlruStats::default();
+        for c in &self.cores {
+            total.merge(c.stats());
+        }
+        total
+    }
+
+    /// Attaches a decision observer; every set's core receives a clone.
+    #[must_use]
+    pub fn with_observer<O2: Observer + Clone>(self, obs: O2) -> Slru<O2> {
+        Slru {
+            cores: self
+                .cores
+                .into_iter()
+                .map(|c| c.with_observer(obs.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl_replacement_via_cores!(Slru, "SLRU");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{AccessType, Cache};
+
+    /// One-set, 2-way cache (protected target 1).
+    fn cache2() -> Cache<Slru> {
+        let geom = Geometry::new(128, 64, 2);
+        Cache::new(geom, Slru::new(&geom))
+    }
+
+    #[test]
+    fn protected_block_survives_probationary_churn() {
+        let mut c = cache2();
+        c.access(BlockAddr(0), AccessType::Read, Cost(1));
+        c.access(BlockAddr(0), AccessType::Read, Cost(1)); // promote 0
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        // 1 is MRU but probationary: it goes, not the protected LRU 0.
+        c.access(BlockAddr(2), AccessType::Read, Cost(1));
+        assert!(c.contains(BlockAddr(0)));
+        assert!(!c.contains(BlockAddr(1)));
+        let s = c.policy().stats();
+        assert_eq!(s.promotions, 1);
+        assert_eq!(s.non_lru_victims, 1);
+    }
+
+    #[test]
+    fn one_touch_stream_behaves_like_lru() {
+        let mut c = cache2();
+        c.access(BlockAddr(0), AccessType::Read, Cost(1));
+        c.access(BlockAddr(1), AccessType::Read, Cost(1));
+        c.access(BlockAddr(2), AccessType::Read, Cost(1));
+        assert!(!c.contains(BlockAddr(0)), "probationary FIFO = LRU order");
+        assert!(c.contains(BlockAddr(1)));
+        assert_eq!(c.policy().stats().non_lru_victims, 0);
+    }
+
+    #[test]
+    fn protected_overflow_demotes_to_probationary() {
+        // 4 ways: protected target is 3, so promoting all four demotes the
+        // protected LRU (block 0) back to probationary — and it is the next
+        // victim even though blocks promoted after it were touched earlier.
+        let geom = Geometry::new(256, 64, 4);
+        let mut c = Cache::new(geom, Slru::new(&geom));
+        for b in 0..4u64 {
+            c.access(BlockAddr(b), AccessType::Read, Cost(1));
+        }
+        for b in 0..4u64 {
+            c.access(BlockAddr(b), AccessType::Read, Cost(1));
+        }
+        assert_eq!(c.policy().stats().demotions, 1);
+        c.access(BlockAddr(4), AccessType::Read, Cost(1));
+        assert!(!c.contains(BlockAddr(0)), "demoted block is evicted first");
+        for b in 1..4u64 {
+            assert!(c.contains(BlockAddr(b)), "protected block {b} survived");
+        }
+    }
+
+    #[test]
+    fn empty_segments_fall_back_to_lru() {
+        use cache_sim::WayView;
+        let entries: Vec<WayView> = (0..4u64)
+            .map(|b| WayView {
+                way: Way(b as usize),
+                block: BlockAddr(b),
+                cost: Cost(1),
+                dirty: false,
+            })
+            .collect();
+        let mut core = SlruCore::new(4);
+        assert_eq!(core.victim(&SetView::new(&entries)), Way(3));
+        assert_eq!(core.name(), "SLRU");
+    }
+}

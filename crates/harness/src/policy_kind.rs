@@ -1,7 +1,7 @@
 //! Uniform construction of replacement policies for experiment sweeps.
 
 use cache_sim::{Fifo, Geometry, Lru, RandomEvict, ReplacementPolicy};
-use csr::{Acl, Bcl, Dcl, GreedyDual, Observer};
+use csr::{Acl, Bcl, Camp, Dcl, Gdsf, GreedyDual, Lfuda, Observer, S3Fifo, Slru};
 use std::fmt;
 use std::sync::Arc;
 
@@ -30,6 +30,16 @@ pub enum PolicyKind {
     Acl,
     /// ACL with `bits`-bit aliased ETD tags.
     AclAliased(u32),
+    /// S3-FIFO (policy zoo: small/main/ghost FIFO queues).
+    S3Fifo,
+    /// Segmented LRU (policy zoo: probationary/protected segments).
+    Slru,
+    /// LFU with dynamic aging (policy zoo).
+    Lfuda,
+    /// GreedyDual-Size-Frequency (policy zoo, cost-aware).
+    Gdsf,
+    /// CAMP cost-adaptive multi-queue (policy zoo, cost-aware).
+    Camp,
 }
 
 impl PolicyKind {
@@ -39,6 +49,16 @@ impl PolicyKind {
         PolicyKind::Bcl,
         PolicyKind::Dcl,
         PolicyKind::Acl,
+    ];
+
+    /// The policy-zoo additions: modern general-purpose policies run
+    /// head-to-head against the paper's set.
+    pub const ZOO_SET: [PolicyKind; 5] = [
+        PolicyKind::S3Fifo,
+        PolicyKind::Slru,
+        PolicyKind::Lfuda,
+        PolicyKind::Gdsf,
+        PolicyKind::Camp,
     ];
 
     /// Builds a boxed policy instance for a cache of geometry `geom`.
@@ -54,6 +74,11 @@ impl PolicyKind {
             PolicyKind::DclAliased(bits) => Box::new(Dcl::with_aliased_tags(geom, bits)),
             PolicyKind::Acl => Box::new(Acl::new(geom)),
             PolicyKind::AclAliased(bits) => Box::new(Acl::with_aliased_tags(geom, bits)),
+            PolicyKind::S3Fifo => Box::new(S3Fifo::new(geom)),
+            PolicyKind::Slru => Box::new(Slru::new(geom)),
+            PolicyKind::Lfuda => Box::new(Lfuda::new(geom)),
+            PolicyKind::Gdsf => Box::new(Gdsf::new(geom)),
+            PolicyKind::Camp => Box::new(Camp::new(geom)),
         }
     }
 
@@ -83,6 +108,11 @@ impl PolicyKind {
             PolicyKind::AclAliased(bits) => {
                 Box::new(Acl::with_aliased_tags(geom, bits).with_observer(obs))
             }
+            PolicyKind::S3Fifo => Box::new(S3Fifo::new(geom).with_observer(obs)),
+            PolicyKind::Slru => Box::new(Slru::new(geom).with_observer(obs)),
+            PolicyKind::Lfuda => Box::new(Lfuda::new(geom).with_observer(obs)),
+            PolicyKind::Gdsf => Box::new(Gdsf::new(geom).with_observer(obs)),
+            PolicyKind::Camp => Box::new(Camp::new(geom).with_observer(obs)),
         }
     }
 
@@ -110,6 +140,11 @@ impl PolicyKind {
             PolicyKind::DclAliased(b) => format!("DCL alias{b}"),
             PolicyKind::Acl => "ACL".into(),
             PolicyKind::AclAliased(b) => format!("ACL alias{b}"),
+            PolicyKind::S3Fifo => "S3-FIFO".into(),
+            PolicyKind::Slru => "SLRU".into(),
+            PolicyKind::Lfuda => "LFUDA".into(),
+            PolicyKind::Gdsf => "GDSF".into(),
+            PolicyKind::Camp => "CAMP".into(),
         }
     }
 }
@@ -138,6 +173,11 @@ mod tests {
             PolicyKind::DclAliased(4),
             PolicyKind::Acl,
             PolicyKind::AclAliased(4),
+            PolicyKind::S3Fifo,
+            PolicyKind::Slru,
+            PolicyKind::Lfuda,
+            PolicyKind::Gdsf,
+            PolicyKind::Camp,
         ];
         for kind in kinds {
             let mut cache = Cache::new(geom, kind.build(&geom));
@@ -158,8 +198,27 @@ mod tests {
             PolicyKind::DclAliased(4),
             PolicyKind::Acl,
             PolicyKind::AclAliased(4),
+            PolicyKind::S3Fifo,
+            PolicyKind::Slru,
+            PolicyKind::Lfuda,
+            PolicyKind::Gdsf,
+            PolicyKind::Camp,
         ];
         let labels: std::collections::HashSet<String> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn zoo_set_builds_observed_and_emits() {
+        let geom = Geometry::new(1024, 64, 4);
+        for kind in PolicyKind::ZOO_SET {
+            assert!(kind.emits_events(), "{kind}");
+            let obs = Arc::new(csr_obs::CountingObserver::default());
+            let mut cache = Cache::new(geom, kind.build_observed(&geom, obs.clone()));
+            for b in 0..64u64 {
+                cache.access(BlockAddr(b), AccessType::Read, Cost(1 + b % 4));
+            }
+            assert_eq!(obs.counts().misses, 64, "{kind}");
+        }
     }
 }
