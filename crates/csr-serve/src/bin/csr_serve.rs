@@ -10,7 +10,9 @@
 use csr_cache::{Policy, SelectorConfig};
 use csr_obs::ReportFormat;
 use csr_serve::server::{serve, ReportSink, ServerConfig};
-use csr_serve::{parse_nodes, Backing, FaultBacking, NoBacking, PeerConfig, SimBacking, Timeouts};
+use csr_serve::{
+    parse_nodes, Backing, FaultBacking, IoMode, NoBacking, PeerConfig, SimBacking, Timeouts,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -71,6 +73,15 @@ USAGE: csr-serve [OPTIONS]
   --selector-epoch N      adaptive: sampled lookups per scoring epoch (default 256)
   --selector-hysteresis N adaptive: consecutive epochs to win before a flip (default 2)
   --selector-flip-gap N   adaptive: minimum epochs between flips (default 4)
+  --io ENGINE             blocking | event (default blocking)
+                          blocking: thread-per-connection via the worker pool
+                          event: epoll/kqueue reactors; workers become the
+                          request-execution pool, connections are unbounded
+                          by thread count (the C10K/C100K path)
+  --reactors N            event engine: reactor (event-loop) threads
+                          (default: one per hardware thread, capped at 8)
+  --max-conns N           event engine: connection ceiling; past it new
+                          connections get SERVER_BUSY (default 0 = unbounded)
   --workers N             worker threads = max concurrent connections (default 64)
   --backlog N             queued connections before SERVER_BUSY shedding (default 64)
   --idle-timeout-ms N     close idle connections after N ms (default 30000)
@@ -199,6 +210,13 @@ fn parse_args() -> Opts {
                     .get_or_insert_with(SelectorConfig::default)
                     .min_flip_gap = parse_num(&val("--selector-flip-gap"), "--selector-flip-gap")
             }
+            "--io" => {
+                let engine = val("--io");
+                opts.config.io = IoMode::parse(&engine)
+                    .unwrap_or_else(|| die(&format!("unknown io engine '{engine}'")));
+            }
+            "--reactors" => opts.config.reactors = parse_num(&val("--reactors"), "--reactors"),
+            "--max-conns" => opts.config.max_conns = parse_num(&val("--max-conns"), "--max-conns"),
             "--workers" => opts.config.workers = parse_num(&val("--workers"), "--workers"),
             "--backlog" => opts.config.backlog = parse_num(&val("--backlog"), "--backlog"),
             "--idle-timeout-ms" => {
@@ -375,15 +393,17 @@ fn main() {
             c.forward
         )
     });
+    let io_name = config.io.name();
     let handle = match serve(config, backing) {
         Ok(handle) => handle,
         Err(e) => die(&format!("failed to start: {e}")),
     };
     println!(
-        "csr-serve listening on {} policy={} backing={}{}",
+        "csr-serve listening on {} policy={} backing={} io={}{}",
         handle.addr(),
         policy_info,
         opts.backing_kind,
+        io_name,
         cluster_info.unwrap_or_default()
     );
 

@@ -19,6 +19,23 @@
 //! value is validated, and the process exits nonzero on any wrong value
 //! or any worker giving up — corrupted bytes must surface as detected
 //! malformed frames (reconnect), never as data.
+//!
+//! # Open-loop / scaling-curve mode
+//!
+//! `--rate R` switches to an open-loop arrival process: requests are
+//! *scheduled* at a fixed aggregate rate and spread round-robin over
+//! `--conns` connections, so most connections sit idle — the C10K shape
+//! a thread-per-connection server cannot hold. Latency is measured from
+//! each request's **scheduled** send time, so a server that falls behind
+//! accrues the queueing delay in its percentiles instead of silently
+//! slowing the generator down (no coordinated omission). Connections are
+//! multiplexed over a small thread pool (`--curve-threads`), not one
+//! thread each, so the generator itself stays cheap at five-digit conn
+//! counts. `--curve N,N,...` runs one open-loop stage per connection
+//! count and prints a `curve:` line for each; `--compare-addr` repeats
+//! the whole curve against a second server (e.g. `--io blocking` vs
+//! `--io event`) so one run emits a comparable scaling curve for both
+//! engines, tagged with each server's self-reported `io_mode`.
 
 use csr_obs::{Histogram, Json, Registry, TraceContext};
 use csr_serve::chaos::{ChaosConfig, ChaosProxy};
@@ -76,6 +93,19 @@ USAGE: loadgen [OPTIONS]
                             fragments by trace id (TRACES.jsonl with --json), and
                             report per-phase percentiles (default 0 = off)
 
+Open-loop / scaling curve (incompatible with --cluster and --chaos):
+  --rate N                  open-loop mode: schedule N requests/sec in aggregate,
+                            spread round-robin over --conns mostly-idle
+                            connections; latency is measured from the scheduled
+                            send time (default 0 = closed loop)
+  --curve LIST              comma-separated connection counts; runs one open-loop
+                            stage of --secs per count and prints a 'curve:' line
+                            each (implies --rate; default rate 2000 if unset)
+  --compare-addr HOST:PORT  run the same curve against a second server and tag
+                            each stage with the server's io_mode from STATS
+  --curve-threads N         generator threads multiplexing the connections
+                            (default 32, capped at the stage's conn count)
+
 Chaos (any flag interposes a seeded ChaosProxy in front of --addr):
   --chaos-seed N            fault-plan seed (default 1)
   --chaos-reset-rate F      immediate connection resets (default 0)
@@ -115,6 +145,10 @@ struct Opts {
     op_timeout: Duration,
     max_attempts: u32,
     trace_sample: u64,
+    rate: f64,
+    curve: Vec<usize>,
+    compare_addr: Option<String>,
+    curve_threads: usize,
     chaos: bool,
     chaos_config: ChaosConfig,
     partition_at: Option<u64>,
@@ -144,6 +178,10 @@ fn parse_args() -> Opts {
         op_timeout: Duration::from_millis(10_000),
         max_attempts: 64,
         trace_sample: 0,
+        rate: 0.0,
+        curve: Vec::new(),
+        compare_addr: None,
+        curve_threads: 32,
         chaos: false,
         chaos_config: ChaosConfig {
             seed: 1,
@@ -194,6 +232,17 @@ fn parse_args() -> Opts {
             }
             "--trace-sample" => {
                 opts.trace_sample = parse_num(&val("--trace-sample"), "--trace-sample")
+            }
+            "--rate" => opts.rate = parse_num(&val("--rate"), "--rate"),
+            "--curve" => {
+                opts.curve = val("--curve")
+                    .split(',')
+                    .map(|s| parse_num(s.trim(), "--curve"))
+                    .collect()
+            }
+            "--compare-addr" => opts.compare_addr = Some(val("--compare-addr")),
+            "--curve-threads" => {
+                opts.curve_threads = parse_num(&val("--curve-threads"), "--curve-threads")
             }
             "--chaos-seed" => {
                 opts.chaos_config.seed = parse_num(&val("--chaos-seed"), "--chaos-seed")
@@ -261,6 +310,27 @@ fn parse_args() -> Opts {
     }
     if !opts.cluster.is_empty() && opts.chaos_node >= opts.cluster.len() {
         die("--chaos-node is out of range for the --cluster list");
+    }
+    let open_loop = opts.rate > 0.0 || !opts.curve.is_empty();
+    if open_loop && (!opts.cluster.is_empty() || opts.chaos) {
+        die("--rate/--curve are incompatible with --cluster and --chaos");
+    }
+    if opts.compare_addr.is_some() && !open_loop {
+        die("--compare-addr needs --rate or --curve");
+    }
+    if open_loop {
+        if opts.rate <= 0.0 {
+            opts.rate = 2000.0;
+        }
+        if opts.curve.is_empty() {
+            opts.curve = vec![opts.conns];
+        }
+        if opts.curve.contains(&0) {
+            die("--curve stages must be positive");
+        }
+        if opts.curve_threads == 0 {
+            die("--curve-threads must be positive");
+        }
     }
     opts
 }
@@ -467,8 +537,290 @@ fn plausible_value(key: &str, data: &[u8]) -> bool {
     data.starts_with(key.as_bytes()) || data.iter().all(|&b| b == b'v')
 }
 
+/// One measured point on the connections-vs-latency scaling curve.
+struct StagePoint {
+    mode: String,
+    conns: usize,
+    rate: f64,
+    ops: u64,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    shed: u64,
+    errors: u64,
+}
+
+/// The target server's self-reported engine (`io_mode` in STATS).
+fn io_mode_of(addr: &str) -> String {
+    Client::connect(addr)
+        .and_then(|mut c| c.stats())
+        .ok()
+        .and_then(|stats| stats.into_iter().find(|(n, _)| n == "io_mode"))
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// One open-loop stage: `conns` connections multiplexed over a small
+/// thread pool, requests scheduled at `rate`/sec in aggregate and dealt
+/// round-robin across the connections (each one mostly idle). Latency is
+/// measured from the scheduled send time, so server-side queueing delay
+/// lands in the percentiles instead of throttling the generator.
+fn run_stage(addr: &str, conns: usize, opts: &Opts, wrong: &Arc<AtomicU64>) -> StagePoint {
+    let threads = opts.curve_threads.min(conns);
+    let latency = Arc::new(Histogram::new());
+    let errors = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let ops = Arc::new(AtomicU64::new(0));
+    let timeouts = Timeouts {
+        connect: opts.connect_timeout,
+        read: opts.op_timeout,
+        write: opts.op_timeout,
+    };
+    let cdf = Arc::new(zipf_cdf(opts.keys, opts.zipf));
+    // All threads aim at one shared epoch so the aggregate arrival
+    // process is a clean fixed-rate schedule, interleaved per thread.
+    // The epoch is set only after every thread has finished connecting
+    // (the barrier): otherwise a slow connect storm at high `conns`
+    // leaves the early schedule far in the past and the first ticks
+    // charge the connect time to the server's latency.
+    let interval = Duration::from_secs_f64(f64::from(u32::try_from(threads).unwrap()) / opts.rate);
+    let barrier = Arc::new(std::sync::Barrier::new(threads));
+    let epoch: Arc<std::sync::OnceLock<Instant>> = Arc::new(std::sync::OnceLock::new());
+
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let latency = Arc::clone(&latency);
+            let errors = Arc::clone(&errors);
+            let shed = Arc::clone(&shed);
+            let ops = Arc::clone(&ops);
+            let wrong = Arc::clone(wrong);
+            let cdf = Arc::clone(&cdf);
+            let barrier = Arc::clone(&barrier);
+            let epoch = Arc::clone(&epoch);
+            let addr = addr.to_owned();
+            let mut rng = SplitMix64::new(opts.seed ^ (0x0c1e ^ t as u64));
+            let my_conns = conns / threads + usize::from(t < conns % threads);
+            let (set_ratio, value_len, secs) = (opts.set_ratio, opts.value_len, opts.secs);
+            let offset = interval.mul_f64(t as f64 / threads as f64);
+            std::thread::Builder::new()
+                .name(format!("curve-{t}"))
+                // Thousands of connections ride few threads, but keep
+                // each one lean anyway: nothing here needs a deep stack.
+                .stack_size(256 * 1024)
+                .spawn(move || {
+                    // Connect this thread's share of the stage's
+                    // connections. A couple of retries absorb accept
+                    // bursts when thousands connect at once.
+                    let mut clients: Vec<Client> = Vec::with_capacity(my_conns);
+                    for c in 0..my_conns {
+                        let mut attempt = 0;
+                        let connected = loop {
+                            match Client::connect_with(addr.as_str(), &timeouts) {
+                                Ok(cl) => break Some(cl),
+                                Err(_) if attempt < 3 => {
+                                    attempt += 1;
+                                    std::thread::sleep(Duration::from_millis(25 << attempt));
+                                }
+                                Err(e) => {
+                                    eprintln!("curve worker {t}: connect {c} failed: {e}");
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                    break None;
+                                }
+                            }
+                        };
+                        if let Some(cl) = connected {
+                            clients.push(cl);
+                        }
+                    }
+                    // Every thread reaches the barrier, connected or not
+                    // — an early return here would strand the others.
+                    barrier.wait();
+                    let start = *epoch.get_or_init(|| Instant::now() + Duration::from_millis(50));
+                    let deadline = start + Duration::from_secs(secs);
+                    if clients.is_empty() {
+                        return;
+                    }
+                    let payload = vec![b'v'; value_len];
+                    let mut tick = 0u64;
+                    loop {
+                        let scheduled =
+                            start + offset + interval * u32::try_from(tick).unwrap_or(u32::MAX);
+                        if scheduled >= deadline {
+                            break;
+                        }
+                        // Open loop: sleep *until* the schedule, never
+                        // stretch it. Falling behind means the next send
+                        // happens late and its latency says so.
+                        let now = Instant::now();
+                        if scheduled > now {
+                            std::thread::sleep(scheduled - now);
+                        }
+                        let slot = usize::try_from(tick).unwrap_or(usize::MAX) % clients.len();
+                        let key = format!("key:{}", sample(&cdf, &mut rng));
+                        let is_set = rng.chance(set_ratio);
+                        let client = &mut clients[slot];
+                        let outcome = if is_set {
+                            client.set(&key, &payload).map(|()| None)
+                        } else {
+                            client.get(&key)
+                        };
+                        let us = u64::try_from(scheduled.elapsed().as_micros()).unwrap_or(u64::MAX);
+                        match outcome {
+                            Ok(value) => {
+                                if let Some(v) = value {
+                                    if !plausible_value(&key, &v) {
+                                        eprintln!("curve worker {t}: WRONG VALUE for {key}");
+                                        wrong.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                ops.fetch_add(1, Ordering::Relaxed);
+                                latency.record(us.max(1));
+                            }
+                            Err(e) => {
+                                // `SERVER_BUSY` is the server's load-shed
+                                // policy talking, not a malfunction: count
+                                // it as its own curve column so shedding
+                                // engines chart honestly without failing
+                                // the generator's verdict.
+                                if e.to_string().contains("SERVER_BUSY") {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    eprintln!("curve worker {t}: {key} failed: {e}");
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                                // The connection is suspect; replace it so
+                                // one bad socket doesn't fail every later
+                                // tick that lands on its slot.
+                                match Client::connect_with(addr.as_str(), &timeouts) {
+                                    Ok(fresh) => clients[slot] = fresh,
+                                    Err(_) => {
+                                        clients.swap_remove(slot);
+                                        if clients.is_empty() {
+                                            return;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        tick += 1;
+                    }
+                })
+                .expect("spawn curve worker")
+        })
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+    let hist = latency.snapshot();
+    StagePoint {
+        mode: io_mode_of(addr),
+        conns,
+        rate: opts.rate,
+        ops: ops.load(Ordering::Relaxed),
+        p50_us: hist.quantile(0.50),
+        p99_us: hist.quantile(0.99),
+        max_us: hist.max(),
+        shed: shed.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+    }
+}
+
+/// Open-loop scaling-curve mode: one stage per `--curve` count against
+/// `--addr` (and `--compare-addr`, when given), a printed `curve:` line
+/// per stage, and with `--json` a BENCH_serve.json whose data is the
+/// scaling curve itself. Exits the process.
+fn curve_main(opts: &Opts) -> ! {
+    let wrong = Arc::new(AtomicU64::new(0));
+    let mut points: Vec<StagePoint> = Vec::new();
+    let targets: Vec<&str> = std::iter::once(opts.addr.as_str())
+        .chain(opts.compare_addr.as_deref())
+        .collect();
+    for addr in &targets {
+        for &conns in &opts.curve {
+            let point = run_stage(addr, conns, opts, &wrong);
+            println!(
+                "curve: mode={} conns={} rate={:.0} ops={} p50_us={} p99_us={} max_us={} shed={} errors={}",
+                point.mode,
+                point.conns,
+                point.rate,
+                point.ops,
+                point.p50_us,
+                point.p99_us,
+                point.max_us,
+                point.shed,
+                point.errors,
+            );
+            points.push(point);
+        }
+    }
+
+    let errors: u64 = points.iter().map(|p| p.errors).sum();
+    if let Some(dir) = &opts.json_dir {
+        let curve: Vec<Json> = points
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("mode", Json::str(p.mode.clone())),
+                    ("conns", Json::uint(p.conns as u64)),
+                    ("rate", Json::Float(p.rate)),
+                    ("ops", Json::uint(p.ops)),
+                    ("p50_us", Json::uint(p.p50_us)),
+                    ("p99_us", Json::uint(p.p99_us)),
+                    ("max_us", Json::uint(p.max_us)),
+                    ("shed", Json::uint(p.shed)),
+                    ("errors", Json::uint(p.errors)),
+                ])
+            })
+            .collect();
+        let meta = Json::obj([
+            ("tool", Json::str("loadgen")),
+            ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+            ("seed", Json::uint(opts.seed)),
+            ("rate", Json::Float(opts.rate)),
+            ("secs_per_stage", Json::uint(opts.secs)),
+            ("keys", Json::uint(opts.keys as u64)),
+            ("zipf", Json::Float(opts.zipf)),
+            ("set_ratio", Json::Float(opts.set_ratio)),
+            ("curve_threads", Json::uint(opts.curve_threads as u64)),
+            ("targets", Json::uint(targets.len() as u64)),
+        ]);
+        let report = Json::obj([
+            ("experiment", Json::str("serve_scaling_curve")),
+            ("addr", Json::str(opts.addr.clone())),
+            (
+                "compare_addr",
+                Json::str(opts.compare_addr.clone().unwrap_or_default()),
+            ),
+            ("meta", meta),
+            (
+                "data",
+                Json::obj([
+                    ("scaling_curve", Json::Arr(curve)),
+                    ("wrong_values", Json::uint(wrong.load(Ordering::Relaxed))),
+                    ("errors", Json::uint(errors)),
+                ]),
+            ),
+        ]);
+        let text = report.render();
+        Json::parse(&text).expect("rendered report must re-parse");
+        std::fs::create_dir_all(dir).expect("create --json directory");
+        let path = dir.join("BENCH_serve.json");
+        std::fs::write(&path, text + "\n").expect("write JSON report");
+        eprintln!("wrote {}", path.display());
+    }
+    let wrong = wrong.load(Ordering::Relaxed);
+    if wrong > 0 || errors > 0 {
+        eprintln!("loadgen: FAILED ({wrong} wrong values, {errors} errors)");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let opts = parse_args();
+    if !opts.curve.is_empty() {
+        curve_main(&opts);
+    }
     let cdf = Arc::new(zipf_cdf(opts.keys, opts.zipf));
     let latency = Arc::new(Histogram::new());
     let totals = Arc::new(Totals {

@@ -11,9 +11,13 @@
 //!
 //! Pieces:
 //!
-//! * [`server`] — thread-pool TCP server: pipelined text protocol,
-//!   bounded accept queue with `SERVER_BUSY` load-shedding, graceful
-//!   drain on shutdown, Prometheus metrics via csr-obs.
+//! * [`server`] — the TCP server: pipelined text protocol, load-shedding
+//!   with `SERVER_BUSY`, graceful drain on shutdown, Prometheus metrics
+//!   via csr-obs. Two interchangeable I/O engines: the original
+//!   thread-pool (`--io blocking`) and an event-driven reactor core
+//!   (`--io event`) for five-digit connection counts.
+//! * [`poller`] — the readiness primitive under the event engine:
+//!   epoll/kqueue behind one small API, the only FFI in the library.
 //! * [`proto`] — the wire protocol (normative grammar in `PROTOCOL.md`).
 //! * [`backing`] — the read-through origin trait (fallible: origins can
 //!   refuse, stall, or break) plus a simulated tiered origin
@@ -41,14 +45,17 @@
 //! load generator that reports throughput/latency percentiles and writes
 //! `BENCH_serve.json`).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // only `poller` opts out, for its confined FFI
 #![warn(missing_docs)]
 
 pub mod backing;
 pub mod chaos;
 pub mod client;
 pub mod cluster;
+pub mod poller;
 pub mod proto;
+#[cfg(unix)]
+mod reactor;
 pub mod resilience;
 pub mod ring;
 pub mod server;
@@ -68,4 +75,4 @@ pub use resilience::{
     ResilientBacking,
 };
 pub use ring::Ring;
-pub use server::{serve, Bytes, ReportSink, ServerConfig, ServerHandle};
+pub use server::{serve, Bytes, IoMode, ReportSink, ServerConfig, ServerHandle};

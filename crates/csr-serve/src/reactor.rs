@@ -1,0 +1,1164 @@
+//! The event-driven serving engine (`--io event`): a handful of reactor
+//! threads multiplex every connection over [`crate::poller`], while a
+//! pool of executor threads runs the requests.
+//!
+//! # Why split reactors from executors
+//!
+//! Request *execution* can block for real time: a cache miss runs the
+//! resilience stack against the origin (deadlines, retries, a breaker —
+//! seconds in the worst case), and single-flight coalescing parks
+//! followers on a condvar. Running that on a reactor would stall every
+//! connection the reactor owns. So reactors do only nonblocking work —
+//! accept, read, parse, write — and hand each parsed request to the
+//! executor pool ([`ServerConfig::workers`](crate::ServerConfig::workers)
+//! threads). The executor renders the response into a pooled buffer and
+//! posts it back to the owning reactor's completion queue, waking its
+//! poller. This is the classic SEDA/staged shape: connection *count*
+//! scales with the reactors (tens of thousands), request *concurrency*
+//! with the executors.
+//!
+//! # Connection state machine
+//!
+//! Each connection is owned by exactly one reactor thread — no locks on
+//! the hot path. Per connection: a read buffer accumulating at most one
+//! frame, an output queue of response chunks flushed with vectored
+//! writes, and two flags (`executing`, `close_after_flush`). Parsing
+//! reuses the *blocking* [`crate::proto`] parser unchanged, fed through
+//! [`SliceCursor`]: when the buffered bytes end mid-frame the cursor
+//! reports `WouldBlock`, which classifies the outcome as *incomplete* —
+//! re-parsed from scratch when more data arrives. That re-parse is
+//! O(frame²) worst case, a deliberate trade for byte-identical grammar,
+//! limits, and error strings across both engines.
+//!
+//! While a request executes, the connection's read interest is dropped:
+//! one request in flight per connection, exactly the blocking engine's
+//! cadence, with TCP's own receive window as the backpressure. That also
+//! bounds the read buffer: a frame is capped by the protocol's limits,
+//! and anything incomplete beyond [`READ_BUF_CAP`] can only be a
+//! newline-less flood, cut with the protocol's overlong-line error.
+//!
+//! # Drain semantics
+//!
+//! Shutdown wakes every poller. Each reactor deregisters the listener,
+//! closes idle connections once their output drains, and lets executing
+//! requests finish — their responses still flush before the close. A
+//! reactor exits when it owns nothing; dropping its job sender closes
+//! the executors' queue, and the supervisor joins reactors, then
+//! executors, then flushes the final metrics report.
+
+use crate::poller::{Event, Interest, Poller, WAKE_TOKEN};
+use crate::proto::{self, ProtoError, Request, MAX_LINE_LEN, MAX_SWALLOW_LEN};
+use crate::server::{respond, ConnTimeouts, Shared};
+use csr_obs::{Counter, Gauge, Reporter};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Token the shared listener is registered under on every reactor.
+const LISTENER_TOKEN: u64 = 0;
+
+/// Hard cap on one connection's read buffer. The largest legitimate
+/// frame is a maximal `SET` line plus a maximal swallowable payload and
+/// its CRLF tail; only a newline-less flood can be *incomplete* at this
+/// size, and it is cut with the overlong-line error instead of buffering
+/// without bound. (The blocking engine discards such floods streamingly;
+/// cutting the connection here is the documented hardening divergence.)
+const READ_BUF_CAP: usize = MAX_LINE_LEN + 2 + MAX_SWALLOW_LEN + 2;
+
+/// Per-read scratch size; bounded reads keep one chatty peer from
+/// starving the reactor's other connections (level-triggering re-reports
+/// the remainder).
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Max chunks handed to one `write_vectored` call.
+const MAX_IOVEC: usize = 16;
+
+/// Response buffers above this capacity are dropped rather than pooled —
+/// one `TRACES` dump must not pin megabytes forever.
+const POOL_MAX_BUF: usize = 256 * 1024;
+
+/// Max pooled buffers (shared across reactors and executors).
+const POOL_MAX_BUFS: usize = 128;
+
+/// How often each reactor sweeps its connections for timeouts.
+const SWEEP_EVERY: Duration = Duration::from_millis(100);
+
+/// Poll timeout: the upper bound on sweep latency when fully idle.
+const POLL_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Event-engine knobs, resolved by `serve` from the `ServerConfig`.
+pub(crate) struct EventParams {
+    /// Reactor threads (0: one per hardware thread, capped at 8).
+    pub(crate) reactors: usize,
+    /// Executor threads running requests.
+    pub(crate) executors: usize,
+    /// Resident-connection ceiling (0: unbounded); past it new accepts
+    /// are shed with `SERVER_BUSY`.
+    pub(crate) max_conns: usize,
+    pub(crate) timeouts: ConnTimeouts,
+}
+
+/// `csr_serve_reactor_*`: the event engine's own families, alongside the
+/// engine-agnostic `csr_serve_*` ones.
+struct ReactorMetrics {
+    threads: Arc<Gauge>,
+    connections: Arc<Gauge>,
+    polls: Arc<Counter>,
+    events: Arc<Counter>,
+    wakeups: Arc<Counter>,
+    dispatched: Arc<Counter>,
+    completions: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+}
+
+impl ReactorMetrics {
+    fn new(registry: &csr_obs::Registry) -> Self {
+        ReactorMetrics {
+            threads: registry.gauge(
+                "csr_serve_reactor_threads",
+                "Reactor threads serving the event engine",
+                &[],
+            ),
+            connections: registry.gauge(
+                "csr_serve_reactor_connections",
+                "Connections currently resident across all reactors",
+                &[],
+            ),
+            polls: registry.counter(
+                "csr_serve_reactor_polls_total",
+                "Poller wait calls across all reactors",
+                &[],
+            ),
+            events: registry.counter(
+                "csr_serve_reactor_events_total",
+                "Readiness events delivered across all reactors",
+                &[],
+            ),
+            wakeups: registry.counter(
+                "csr_serve_reactor_wakeups_total",
+                "Cross-thread poller wakeups observed (completions, shutdown)",
+                &[],
+            ),
+            dispatched: registry.counter(
+                "csr_serve_reactor_exec_dispatched_total",
+                "Requests handed from reactors to the executor pool",
+                &[],
+            ),
+            completions: registry.counter(
+                "csr_serve_reactor_exec_completions_total",
+                "Responses posted back from executors to reactors",
+                &[],
+            ),
+            queue_depth: registry.gauge(
+                "csr_serve_reactor_exec_queue_depth",
+                "Requests queued for an executor right now",
+                &[],
+            ),
+        }
+    }
+}
+
+/// State shared by all reactors and executors of one event server.
+struct EventShared {
+    shared: Arc<Shared>,
+    rm: ReactorMetrics,
+    conn_count: AtomicUsize,
+    max_conns: usize,
+    timeouts: ConnTimeouts,
+    /// Recycled response/output buffers (executors pop, reactors push
+    /// back once flushed).
+    buffers: Mutex<Vec<Vec<u8>>>,
+}
+
+impl EventShared {
+    fn pop_buffer(&self) -> Vec<u8> {
+        self.buffers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn recycle(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > POOL_MAX_BUF {
+            return;
+        }
+        buf.clear();
+        let mut pool = self.buffers.lock().unwrap_or_else(PoisonError::into_inner);
+        if pool.len() < POOL_MAX_BUFS {
+            pool.push(buf);
+        }
+    }
+}
+
+/// One reactor's cross-thread mailbox: executors post completions here
+/// and wake the poller.
+struct ReactorShared {
+    poller: Arc<Poller>,
+    completions: Mutex<Vec<Completion>>,
+}
+
+/// A parsed request in flight to the executor pool.
+struct Job {
+    reactor: usize,
+    conn: u64,
+    request: Request,
+    anchor: Instant,
+}
+
+/// A rendered response on its way back to the owning reactor.
+struct Completion {
+    conn: u64,
+    bytes: Vec<u8>,
+    /// The handler panicked: close the connection without a reply (the
+    /// blocking engine's behaviour), pool intact.
+    panicked: bool,
+}
+
+/// What `spawn` hands back: the supervisor to join at shutdown, and the
+/// per-reactor pollers (the shutdown wake strategy).
+pub(crate) type EngineHandles = (JoinHandle<io::Result<()>>, Vec<Arc<Poller>>);
+
+/// Spawns the event engine: reactors, executors, and a supervisor that
+/// tears everything down in order. Returns the supervisor handle and the
+/// per-reactor pollers (the shutdown wake strategy).
+pub(crate) fn spawn(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    reporter: Option<Reporter<std::fs::File>>,
+    params: EventParams,
+) -> io::Result<EngineHandles> {
+    assert!(params.executors > 0, "need at least one executor");
+    listener.set_nonblocking(true)?;
+    let n_reactors = if params.reactors == 0 {
+        std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(8)
+    } else {
+        params.reactors
+    };
+
+    let rm = ReactorMetrics::new(&shared.registry);
+    rm.threads.set(n_reactors as i64);
+    let ev = Arc::new(EventShared {
+        shared,
+        rm,
+        conn_count: AtomicUsize::new(0),
+        max_conns: params.max_conns,
+        timeouts: params.timeouts,
+        buffers: Mutex::new(Vec::new()),
+    });
+
+    // Pollers and listener clones are created up front so a resource
+    // failure fails `serve` itself, not a background thread.
+    let mailboxes: Vec<Arc<ReactorShared>> = (0..n_reactors)
+        .map(|_| {
+            Ok(Arc::new(ReactorShared {
+                poller: Arc::new(Poller::new()?),
+                completions: Mutex::new(Vec::new()),
+            }))
+        })
+        .collect::<io::Result<_>>()?;
+    let pollers: Vec<Arc<Poller>> = mailboxes.iter().map(|m| Arc::clone(&m.poller)).collect();
+    let listeners: Vec<TcpListener> = (0..n_reactors)
+        .map(|_| listener.try_clone())
+        .collect::<io::Result<_>>()?;
+
+    let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let executors: Vec<JoinHandle<()>> = (0..params.executors)
+        .map(|i| {
+            let rx = Arc::clone(&job_rx);
+            let ev = Arc::clone(&ev);
+            let mailboxes = mailboxes.clone();
+            std::thread::Builder::new()
+                .name(format!("csr-exec-{i}"))
+                .spawn(move || executor_loop(&rx, &ev, &mailboxes))
+                .expect("spawn executor thread")
+        })
+        .collect();
+
+    let reactors: Vec<JoinHandle<io::Result<()>>> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let ev = Arc::clone(&ev);
+            let rs = Arc::clone(&mailboxes[i]);
+            let job_tx = job_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("csr-reactor-{i}"))
+                .spawn(move || Reactor::new(i, ev, rs, listener, job_tx)?.run())
+                .expect("spawn reactor thread")
+        })
+        .collect();
+    // The executors' queue must close when the *reactors* are done, so
+    // the supervisor keeps no sender of its own.
+    drop(job_tx);
+
+    let supervisor = std::thread::Builder::new()
+        .name("csr-event-supervisor".to_owned())
+        .spawn(move || {
+            let mut result = Ok(());
+            for r in reactors {
+                match r.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => result = result.and(Err(e)),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            for e in executors {
+                let _ = e.join();
+            }
+            match reporter {
+                Some(rep) => result.and(rep.stop().map(|_| ())),
+                None => result,
+            }
+        })?;
+    Ok((supervisor, pollers))
+}
+
+/// One executor: run queued requests until the reactors drop the queue.
+/// Panics are contained per-request (`csr_serve_worker_panics_total`),
+/// mirroring the blocking workers.
+fn executor_loop(rx: &Mutex<Receiver<Job>>, ev: &EventShared, mailboxes: &[Arc<ReactorShared>]) {
+    loop {
+        let job = {
+            let queue = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            match queue.recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            }
+        };
+        ev.rm.queue_depth.add(-1);
+        let Job {
+            reactor,
+            conn,
+            request,
+            anchor,
+        } = job;
+        let shared = &ev.shared;
+        let rendered = catch_unwind(AssertUnwindSafe(|| {
+            let mut out = ev.pop_buffer();
+            // Writing into a Vec cannot fail.
+            let _ = respond(request, shared, &mut out, anchor);
+            out
+        }));
+        let completion = match rendered {
+            Ok(bytes) => Completion {
+                conn,
+                bytes,
+                panicked: false,
+            },
+            Err(_) => {
+                shared.metrics.worker_panics.inc();
+                Completion {
+                    conn,
+                    bytes: Vec::new(),
+                    panicked: true,
+                }
+            }
+        };
+        let mailbox = &mailboxes[reactor];
+        mailbox
+            .completions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(completion);
+        ev.rm.completions.inc();
+        mailbox.poller.wake();
+    }
+}
+
+/// Output queue: response chunks flushed with vectored writes, drained
+/// chunks recycled to the shared pool.
+#[derive(Default)]
+struct OutBuf {
+    chunks: VecDeque<Vec<u8>>,
+    /// Offset of the first unwritten byte in the front chunk.
+    pos: usize,
+    /// Total unwritten bytes.
+    len: usize,
+}
+
+impl OutBuf {
+    fn push(&mut self, chunk: Vec<u8>, ev: &EventShared) {
+        if chunk.is_empty() {
+            ev.recycle(chunk);
+            return;
+        }
+        self.len += chunk.len();
+        self.chunks.push_back(chunk);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes as much as the socket accepts; `Ok(true)` once drained,
+    /// `Ok(false)` on `WouldBlock`.
+    fn flush(&mut self, stream: &mut TcpStream, ev: &EventShared) -> io::Result<bool> {
+        while !self.chunks.is_empty() {
+            let empty: &[u8] = &[];
+            let mut slices = [IoSlice::new(empty); MAX_IOVEC];
+            let mut n_slices = 0;
+            for (i, chunk) in self.chunks.iter().take(MAX_IOVEC).enumerate() {
+                let from = if i == 0 { self.pos } else { 0 };
+                slices[i] = IoSlice::new(&chunk[from..]);
+                n_slices = i + 1;
+            }
+            match stream.write_vectored(&slices[..n_slices]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.consume(n, ev),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    fn consume(&mut self, mut n: usize, ev: &EventShared) {
+        self.len -= n;
+        while n > 0 {
+            let front_left = self.chunks[0].len() - self.pos;
+            if n >= front_left {
+                n -= front_left;
+                self.pos = 0;
+                let done = self.chunks.pop_front().expect("nonempty while consuming");
+                ev.recycle(done);
+            } else {
+                self.pos += n;
+                n = 0;
+            }
+        }
+    }
+
+    fn recycle_all(&mut self, ev: &EventShared) {
+        self.pos = 0;
+        self.len = 0;
+        for chunk in self.chunks.drain(..) {
+            ev.recycle(chunk);
+        }
+    }
+}
+
+/// A [`std::io::BufRead`] over already-buffered bytes that reports
+/// `WouldBlock` at the end — unless `eof` is set, in which case it
+/// reports a genuine end-of-stream. Feeding the unchanged blocking
+/// parser through this is what guarantees grammar/limit/error parity:
+/// with `eof` the parser produces exactly its blocking-mode outcomes
+/// (`Ok(None)` clean close, fatal mid-line/mid-payload EOF errors), and
+/// without it every "ran out of bytes" path surfaces as `WouldBlock`
+/// (directly, or remapped by the payload reader — see [`try_parse`]).
+struct SliceCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    eof: bool,
+}
+
+impl Read for SliceCursor<'_> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let available = io::BufRead::fill_buf(self)?;
+        let n = available.len().min(out.len());
+        out[..n].copy_from_slice(&available[..n]);
+        io::BufRead::consume(self, n);
+        Ok(n)
+    }
+}
+
+impl io::BufRead for SliceCursor<'_> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        if self.pos < self.buf.len() {
+            Ok(&self.buf[self.pos..])
+        } else if self.eof {
+            Ok(&[])
+        } else {
+            Err(io::ErrorKind::WouldBlock.into())
+        }
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos += amt;
+    }
+}
+
+/// One parse attempt over a connection's buffered bytes.
+enum Parsed {
+    /// A whole request, and how many bytes it consumed.
+    Request(Request, usize),
+    /// The bytes end mid-frame: wait for more data.
+    Incomplete,
+    /// A protocol error (recoverable or fatal), and the bytes consumed
+    /// reaching the resync point.
+    Error(ProtoError, usize),
+    /// Clean EOF at a frame boundary.
+    Eof,
+}
+
+/// Runs the blocking parser over `buf`. The *incomplete* classification
+/// is the subtle part: besides a raw `WouldBlock`, the payload reader
+/// maps every read failure to its fatal "unexpected EOF in payload" —
+/// when the cursor is not at true EOF, that error *is* "not enough bytes
+/// yet". With `eof` set neither mapping can trigger, so every blocking
+/// outcome passes through verbatim.
+fn try_parse(buf: &[u8], eof: bool) -> Parsed {
+    let mut cur = SliceCursor { buf, pos: 0, eof };
+    match proto::read_request(&mut cur) {
+        Ok(Some(req)) => Parsed::Request(req, cur.pos),
+        Ok(None) => Parsed::Eof,
+        Err(ProtoError::Io(e)) if !eof && e.kind() == io::ErrorKind::WouldBlock => {
+            Parsed::Incomplete
+        }
+        Err(ProtoError::Client { ref msg, fatal, .. })
+            if !eof && fatal && msg == "unexpected EOF in payload" =>
+        {
+            Parsed::Incomplete
+        }
+        Err(e) => Parsed::Error(e, cur.pos),
+    }
+}
+
+/// One connection, owned by one reactor.
+struct Conn {
+    token: u64,
+    stream: TcpStream,
+    /// Accumulated unparsed bytes (at most one partial frame plus
+    /// whatever pipelined requests arrived with it).
+    buf: Vec<u8>,
+    out: OutBuf,
+    /// A request is with the executor pool; reads are paused.
+    executing: bool,
+    /// Close once `out` drains (QUIT, fatal error, shutdown drain).
+    close_after_flush: bool,
+    /// The peer's write side is done; parse what is buffered with true
+    /// EOF semantics and never read again.
+    saw_eof: bool,
+    /// Close now, discarding any undelivered output (transport error,
+    /// timeout, handler panic).
+    dead: bool,
+    /// When the first byte of the currently-incomplete request arrived —
+    /// the slowloris clock, and the trace anchor once it dispatches.
+    started: Option<Instant>,
+    /// Last read progress or completion — the idle clock.
+    last_activity: Instant,
+    /// Last write progress while output was pending — the write-stall
+    /// clock.
+    last_write_progress: Instant,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+}
+
+/// Everything a connection needs from its reactor to make progress.
+struct Ctx<'a> {
+    ev: &'a EventShared,
+    poller: &'a Poller,
+    job_tx: &'a Sender<Job>,
+    reactor: usize,
+}
+
+impl Conn {
+    /// Parses and dispatches/answers as much of `buf` as possible, then
+    /// flushes and re-registers interest. The single entry point after
+    /// *any* progress: fresh reads, completions, or first registration.
+    fn advance(&mut self, ctx: &Ctx<'_>) {
+        while !(self.executing || self.close_after_flush || self.dead) {
+            if self.buf.is_empty() {
+                self.started = None;
+                if self.saw_eof {
+                    self.close_after_flush = true;
+                }
+                break;
+            }
+            // Entering a drain between requests drops the connection just
+            // like the blocking engine's between-requests shutdown check.
+            if ctx.ev.shared.shutting_down() {
+                self.close_after_flush = true;
+                break;
+            }
+            match try_parse(&self.buf, self.saw_eof) {
+                Parsed::Request(request, consumed) => {
+                    self.buf.drain(..consumed);
+                    if matches!(request, Request::Quit) {
+                        self.close_after_flush = true;
+                        break;
+                    }
+                    let anchor = self.started.take().unwrap_or_else(Instant::now);
+                    self.executing = true;
+                    ctx.ev.rm.dispatched.inc();
+                    ctx.ev.rm.queue_depth.add(1);
+                    if ctx
+                        .job_tx
+                        .send(Job {
+                            reactor: ctx.reactor,
+                            conn: self.token,
+                            request,
+                            anchor,
+                        })
+                        .is_err()
+                    {
+                        // Executors are gone (drain raced us): nothing
+                        // will answer, close out.
+                        ctx.ev.rm.queue_depth.add(-1);
+                        self.dead = true;
+                    }
+                    break;
+                }
+                Parsed::Incomplete => {
+                    if self.buf.len() >= READ_BUF_CAP {
+                        // A newline-less flood (see READ_BUF_CAP docs).
+                        self.reply_error("CLIENT_ERROR command line too long", Some("line"), ctx);
+                        self.close_after_flush = true;
+                    } else if self.started.is_none() {
+                        self.started = Some(Instant::now());
+                    }
+                    break;
+                }
+                Parsed::Error(ProtoError::Client { msg, fatal, limit }, consumed) => {
+                    self.buf.drain(..consumed);
+                    self.reply_error(&msg, limit, ctx);
+                    if fatal {
+                        self.close_after_flush = true;
+                        break;
+                    }
+                    self.started = None; // resynced: next bytes are a new request
+                }
+                Parsed::Error(ProtoError::Io(_), _) => {
+                    // Unreachable with a SliceCursor, but never trust it
+                    // silently: treat as a dead transport.
+                    self.dead = true;
+                }
+                Parsed::Eof => {
+                    self.close_after_flush = true;
+                    break;
+                }
+            }
+        }
+        self.flush_and_update(ctx);
+    }
+
+    /// Buffers the blocking engine's error reply for a client protocol
+    /// error, bumping the same counters.
+    fn reply_error(&mut self, msg: &str, limit: Option<&'static str>, ctx: &Ctx<'_>) {
+        let metrics = &ctx.ev.shared.metrics;
+        metrics.req_errors.inc();
+        if let Some(kind) = limit {
+            metrics.limit_reject(kind).inc();
+        }
+        let mut chunk = ctx.ev.pop_buffer();
+        if msg.starts_with("CLIENT_ERROR") {
+            let _ = proto::write_line(&mut chunk, msg);
+        } else {
+            let _ = proto::write_line(&mut chunk, &format!("CLIENT_ERROR {msg}"));
+        }
+        self.out.push(chunk, ctx.ev);
+    }
+
+    /// Reads until `WouldBlock`/EOF (bounded per event for fairness),
+    /// then advances the state machine.
+    fn on_readable(&mut self, ctx: &Ctx<'_>, scratch: &mut [u8]) {
+        if self.executing || self.saw_eof || self.close_after_flush {
+            // Interest should already exclude reads here; a stale event
+            // from before a modify is harmless.
+            self.flush_and_update(ctx);
+            return;
+        }
+        let mut budget = 4; // × READ_CHUNK per readiness event
+        while budget > 0 && !self.dead {
+            budget -= 1;
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.saw_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&scratch[..n]);
+                    self.last_activity = Instant::now();
+                    if self.buf.len() >= READ_BUF_CAP {
+                        break; // advance() handles the flood
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => budget += 1,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    self.dead = true;
+                }
+            }
+        }
+        self.advance(ctx);
+    }
+
+    /// A response came back from the executor pool.
+    fn on_completion(&mut self, completion: Completion, ctx: &Ctx<'_>) {
+        self.executing = false;
+        self.last_activity = Instant::now();
+        if completion.panicked {
+            ctx.ev.recycle(completion.bytes);
+            self.dead = true;
+            self.flush_and_update(ctx);
+            return;
+        }
+        self.out.push(completion.bytes, ctx.ev);
+        // Pipelined follow-ups may already be buffered.
+        self.advance(ctx);
+    }
+
+    /// Flushes what the socket will take, closes if drained-and-done,
+    /// and re-registers the poller interest to match the new state.
+    fn flush_and_update(&mut self, ctx: &Ctx<'_>) {
+        if self.dead {
+            return;
+        }
+        if !self.out.is_empty() {
+            match self.out.flush(&mut self.stream, ctx.ev) {
+                Ok(_) => self.last_write_progress = Instant::now(),
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        if self.out.is_empty() && self.close_after_flush {
+            self.dead = true;
+            return;
+        }
+        let want = Interest {
+            readable: !(self.executing || self.saw_eof || self.close_after_flush),
+            writable: !self.out.is_empty(),
+        };
+        if want != self.interest {
+            if ctx
+                .poller
+                .modify(self.stream.as_raw_fd(), self.token, want)
+                .is_err()
+            {
+                self.dead = true;
+                return;
+            }
+            self.interest = want;
+        }
+    }
+
+    /// Timeout sweep for this connection; marks it dead / closing as the
+    /// blocking engine's deadline plumbing would.
+    fn sweep(&mut self, now: Instant, ctx: &Ctx<'_>) {
+        let timeouts = &ctx.ev.timeouts;
+        if !self.out.is_empty() && now.duration_since(self.last_write_progress) > timeouts.write {
+            self.dead = true; // peer stopped reading: drop the connection
+            return;
+        }
+        if self.executing {
+            return; // the origin's own deadlines bound execution
+        }
+        if let Some(t0) = self.started {
+            if now.duration_since(t0) > timeouts.partial {
+                // Slowloris: same courtesy line, counter, and cut as the
+                // blocking engine.
+                ctx.ev.shared.metrics.slowloris_drops.inc();
+                let mut chunk = ctx.ev.pop_buffer();
+                let _ =
+                    proto::write_line(&mut chunk, "CLIENT_ERROR request read deadline exceeded");
+                self.out.push(chunk, ctx.ev);
+                self.close_after_flush = true;
+                self.flush_and_update(ctx);
+            }
+        } else if self.out.is_empty()
+            && !self.close_after_flush
+            && now.duration_since(self.last_activity) > timeouts.idle
+        {
+            self.dead = true; // idle cut, silent — as in blocking mode
+        }
+    }
+}
+
+/// One reactor thread: accepts, reads, parses, dispatches, flushes.
+struct Reactor {
+    idx: usize,
+    ev: Arc<EventShared>,
+    rs: Arc<ReactorShared>,
+    listener: TcpListener,
+    job_tx: Sender<Job>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    draining: bool,
+    scratch: Vec<u8>,
+}
+
+impl Reactor {
+    fn new(
+        idx: usize,
+        ev: Arc<EventShared>,
+        rs: Arc<ReactorShared>,
+        listener: TcpListener,
+        job_tx: Sender<Job>,
+    ) -> io::Result<Reactor> {
+        rs.poller
+            .register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+        Ok(Reactor {
+            idx,
+            ev,
+            rs,
+            listener,
+            job_tx,
+            conns: HashMap::new(),
+            next_token: LISTENER_TOKEN + 1,
+            draining: false,
+            scratch: vec![0; READ_CHUNK],
+        })
+    }
+
+    fn run(mut self) -> io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        let mut next_sweep = Instant::now() + SWEEP_EVERY;
+        loop {
+            if self.ev.shared.shutting_down() && !self.draining {
+                self.enter_drain();
+            }
+            if self.draining && self.conns.is_empty() {
+                return Ok(());
+            }
+            self.ev.rm.polls.inc();
+            self.rs.poller.wait(&mut events, Some(POLL_TIMEOUT))?;
+            self.ev.rm.events.add(events.len() as u64);
+            let batch = std::mem::take(&mut events);
+            for event in &batch {
+                match event.token {
+                    WAKE_TOKEN => self.ev.rm.wakeups.inc(),
+                    LISTENER_TOKEN => self.accept_burst(),
+                    token => self.on_conn_event(token, event),
+                }
+            }
+            events = batch;
+            self.drain_completions();
+            let now = Instant::now();
+            if now >= next_sweep {
+                next_sweep = now + SWEEP_EVERY;
+                self.sweep(now);
+            }
+        }
+    }
+
+    /// Accepts until `WouldBlock`, registering or shedding each socket.
+    fn accept_burst(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (EMFILE, aborted handshakes):
+                // level-triggering retries on the next poll.
+                Err(_) => break,
+            };
+            if self.draining || self.ev.shared.shutting_down() {
+                continue; // drop: mirrors the blocking engine's drain
+            }
+            let metrics = &self.ev.shared.metrics;
+            metrics.accepted.inc();
+            if self.ev.max_conns > 0
+                && self.ev.conn_count.load(Ordering::Relaxed) >= self.ev.max_conns
+            {
+                // Best-effort SERVER_BUSY: one nonblocking write. If the
+                // kernel buffer cannot even take 13 bytes, the bare close
+                // sheds just as clearly.
+                metrics.shed.inc();
+                let _ = stream.set_nonblocking(true);
+                let _ = (&stream).write_all(b"SERVER_BUSY\r\n");
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                metrics.closed.inc();
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let token = self.next_token;
+            self.next_token += 1;
+            let interest = Interest::READ;
+            if self
+                .rs
+                .poller
+                .register(stream.as_raw_fd(), token, interest)
+                .is_err()
+            {
+                metrics.closed.inc();
+                continue;
+            }
+            self.ev.conn_count.fetch_add(1, Ordering::Relaxed);
+            self.ev.rm.connections.add(1);
+            metrics.active.add(1);
+            let now = Instant::now();
+            let conn = Conn {
+                token,
+                stream,
+                buf: Vec::new(),
+                out: OutBuf::default(),
+                executing: false,
+                close_after_flush: false,
+                saw_eof: false,
+                dead: false,
+                started: None,
+                last_activity: now,
+                last_write_progress: now,
+                interest,
+            };
+            self.conns.insert(token, conn);
+            // A first request may already be queued on the socket; the
+            // level-triggered poller reports it on the next wait.
+        }
+    }
+
+    fn on_conn_event(&mut self, token: u64, event: &Event) {
+        let ctx = Ctx {
+            ev: &self.ev,
+            poller: &self.rs.poller,
+            job_tx: &self.job_tx,
+            reactor: self.idx,
+        };
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return; // closed earlier this batch
+        };
+        if event.error {
+            // RST / full hangup: undeliverable either way. Reported even
+            // with reads paused, so close now rather than spin on it.
+            conn.dead = true;
+        } else {
+            if event.writable && !conn.out.is_empty() {
+                conn.flush_and_update(&ctx);
+            }
+            if (event.readable || event.hangup) && !conn.dead {
+                conn.on_readable(&ctx, &mut self.scratch);
+            }
+        }
+        if self.conns.get(&token).is_some_and(|c| c.dead) {
+            self.close(token);
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let completed: Vec<Completion> = std::mem::take(
+            &mut *self
+                .rs
+                .completions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for completion in completed {
+            let ctx = Ctx {
+                ev: &self.ev,
+                poller: &self.rs.poller,
+                job_tx: &self.job_tx,
+                reactor: self.idx,
+            };
+            let token = completion.conn;
+            match self.conns.get_mut(&token) {
+                Some(conn) => {
+                    if self.draining {
+                        conn.close_after_flush = true;
+                    }
+                    conn.on_completion(completion, &ctx);
+                    if conn.dead {
+                        self.close(token);
+                    }
+                }
+                // The connection died while its request executed.
+                None => self.ev.recycle(completion.bytes),
+            }
+        }
+    }
+
+    fn sweep(&mut self, now: Instant) {
+        let mut dead: Vec<u64> = Vec::new();
+        {
+            let ctx = Ctx {
+                ev: &self.ev,
+                poller: &self.rs.poller,
+                job_tx: &self.job_tx,
+                reactor: self.idx,
+            };
+            for conn in self.conns.values_mut() {
+                conn.sweep(now, &ctx);
+                if conn.dead {
+                    dead.push(conn.token);
+                }
+            }
+        }
+        for token in dead {
+            self.close(token);
+        }
+    }
+
+    /// Stops accepting and pushes every connection toward closure; called
+    /// once when the shutdown flag is first observed.
+    fn enter_drain(&mut self) {
+        self.draining = true;
+        let _ = self.rs.poller.deregister(self.listener.as_raw_fd());
+        let mut dead: Vec<u64> = Vec::new();
+        {
+            let ctx = Ctx {
+                ev: &self.ev,
+                poller: &self.rs.poller,
+                job_tx: &self.job_tx,
+                reactor: self.idx,
+            };
+            for conn in self.conns.values_mut() {
+                if !conn.executing {
+                    // Idle or mid-read: close once pending output drains
+                    // (immediately, for the common idle case). Executing
+                    // connections finish their request first — the drain
+                    // flag is applied when the completion lands.
+                    conn.close_after_flush = true;
+                    conn.flush_and_update(&ctx);
+                }
+                if conn.dead {
+                    dead.push(conn.token);
+                }
+            }
+        }
+        for token in dead {
+            self.close(token);
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.rs.poller.deregister(conn.stream.as_raw_fd());
+        conn.out.recycle_all(&self.ev);
+        self.ev.conn_count.fetch_sub(1, Ordering::Relaxed);
+        self.ev.rm.connections.add(-1);
+        self.ev.shared.metrics.active.add(-1);
+        self.ev.shared.metrics.closed.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::MAX_VALUE_LEN;
+
+    fn frame(s: &str) -> Vec<u8> {
+        s.as_bytes().to_vec()
+    }
+
+    #[test]
+    fn cursor_reports_wouldblock_then_eof() {
+        let data = b"GET k";
+        let mut cur = SliceCursor {
+            buf: data,
+            pos: 0,
+            eof: false,
+        };
+        let got = io::BufRead::fill_buf(&mut cur).unwrap();
+        assert_eq!(got, b"GET k");
+        io::BufRead::consume(&mut cur, 5);
+        assert_eq!(
+            io::BufRead::fill_buf(&mut cur).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        cur.eof = true;
+        assert!(io::BufRead::fill_buf(&mut cur).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_classifies_whole_requests_and_consumption() {
+        let buf = frame("GET alpha\r\nGET beta\r\n");
+        match try_parse(&buf, false) {
+            Parsed::Request(Request::Get { key, .. }, consumed) => {
+                assert_eq!(key, "alpha");
+                assert_eq!(consumed, "GET alpha\r\n".len());
+            }
+            _ => panic!("expected a parsed GET"),
+        }
+    }
+
+    #[test]
+    fn parse_classifies_partial_line_as_incomplete() {
+        for partial in ["", "G", "GET ", "GET some-ke"] {
+            match try_parse(partial.as_bytes(), false) {
+                Parsed::Incomplete => {}
+                _ => panic!("{partial:?} must be incomplete"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_classifies_partial_set_payload_as_incomplete() {
+        // Header complete, payload cut off mid-way: the payload reader
+        // remaps WouldBlock to its fatal EOF error, which must classify
+        // as incomplete — the regression this module's design hinges on.
+        let buf = frame("SET k 10\r\nabc");
+        match try_parse(&buf, false) {
+            Parsed::Incomplete => {}
+            _ => panic!("mid-payload must be incomplete, not fatal"),
+        }
+        // Payload complete but the CRLF tail cut off: same story.
+        let buf = frame("SET k 3\r\nabc");
+        match try_parse(&buf, false) {
+            Parsed::Incomplete => {}
+            _ => panic!("mid-tail must be incomplete, not fatal"),
+        }
+    }
+
+    #[test]
+    fn parse_with_eof_reproduces_blocking_outcomes() {
+        // Clean EOF at a frame boundary.
+        match try_parse(b"", true) {
+            Parsed::Eof => {}
+            _ => panic!("empty+eof is a clean close"),
+        }
+        // EOF mid-line: the blocking engine's fatal error, verbatim.
+        match try_parse(b"GET k", true) {
+            Parsed::Error(ProtoError::Client { msg, fatal, .. }, _) => {
+                assert!(fatal);
+                assert_eq!(msg, "unexpected EOF mid-line");
+            }
+            _ => panic!("mid-line EOF must be fatal"),
+        }
+        // EOF mid-payload likewise.
+        match try_parse(b"SET k 10\r\nabc", true) {
+            Parsed::Error(ProtoError::Client { msg, fatal, .. }, _) => {
+                assert!(fatal);
+                assert_eq!(msg, "unexpected EOF in payload");
+            }
+            _ => panic!("mid-payload EOF must be fatal"),
+        }
+    }
+
+    #[test]
+    fn parse_surfaces_recoverable_errors_with_resync_point() {
+        // Oversize-but-swallowable payload: recoverable, fully consumed.
+        let n = MAX_VALUE_LEN + 1;
+        let mut buf = frame(&format!("SET k {n}\r\n"));
+        let header = buf.len();
+        buf.extend(std::iter::repeat_n(b'x', n));
+        buf.extend_from_slice(b"\r\nGET k\r\n");
+        match try_parse(&buf, false) {
+            Parsed::Error(ProtoError::Client { fatal, limit, .. }, consumed) => {
+                assert!(!fatal, "oversize payload is recoverable");
+                assert_eq!(limit, Some("value"));
+                assert_eq!(consumed, header + n + 2, "consumed to the resync point");
+            }
+            _ => panic!("expected a recoverable limit error"),
+        }
+    }
+
+    #[test]
+    fn read_buf_cap_admits_every_legitimate_frame() {
+        // A maximal swallowable SET must parse (as a recoverable limit
+        // error) before the cap cuts the connection.
+        let line = format!("SET k {MAX_SWALLOW_LEN}\r\n");
+        assert!(line.len() + MAX_SWALLOW_LEN + 2 <= READ_BUF_CAP);
+        const _: () = assert!(MAX_LINE_LEN + 2 <= READ_BUF_CAP);
+    }
+}

@@ -1,15 +1,26 @@
-//! The TCP cache server: a thread-pool connection model over a
-//! [`CsrCache`], speaking the text protocol of [`crate::proto`].
+//! The TCP cache server over a [`CsrCache`], speaking the text protocol
+//! of [`crate::proto`], with two interchangeable I/O engines selected by
+//! [`ServerConfig::io`].
 //!
 //! # Connection model
 //!
-//! A fixed pool of [`workers`](ServerConfig::workers) threads each owns
-//! one connection at a time; accepted sockets queue on a bounded channel
-//! of depth [`backlog`](ServerConfig::backlog). When every worker is busy
-//! *and* the queue is full, new connections are **load-shed**: the server
+//! **Blocking** (the default): a fixed pool of
+//! [`workers`](ServerConfig::workers) threads each owns one connection at
+//! a time; accepted sockets queue on a bounded channel of depth
+//! [`backlog`](ServerConfig::backlog). When every worker is busy *and*
+//! the queue is full, new connections are **load-shed**: the server
 //! replies `SERVER_BUSY` and closes immediately, converting overload into
 //! a fast, explicit signal instead of an ever-growing accept queue whose
 //! tail latency collapses for everyone.
+//!
+//! **Event** ([`IoMode::Event`]): [`crate::reactor`] — a small set of
+//! reactor threads multiplexes *all* connections over epoll/kqueue
+//! ([`crate::poller`]), parsing requests nonblockingly and handing
+//! execution (which may block on the origin) to an executor pool of
+//! [`workers`](ServerConfig::workers) threads. Overload is shed with the
+//! same `SERVER_BUSY` reply once [`max_conns`](ServerConfig::max_conns)
+//! connections are resident. Wire behaviour is identical — the parity
+//! suites run every socket test against both engines.
 //!
 //! # Measured miss costs
 //!
@@ -44,7 +55,10 @@
 
 use crate::backing::{Backing, BackingError};
 use crate::cluster::{ClusterNode, ClusterServerMetrics, PeerConfig, PeerRouter};
+use crate::poller::Poller;
 use crate::proto::{self, ProtoError, Request};
+#[cfg(unix)]
+use crate::reactor;
 use crate::resilience::{OriginMetrics, ResilienceConfig, ResilientBacking};
 use csr_cache::{CacheStats, CsrCache, Policy, SelectorConfig};
 use csr_obs::trace::{arm_events, take_events};
@@ -73,6 +87,53 @@ pub type Bytes = Arc<[u8]>;
 /// one.
 pub const SET_COST: u64 = 1;
 
+/// Ceiling for a measured fetch/forward latency converted to a µs cost —
+/// the counterpart of the ≥ 1 µs floor. A clock anomaly (suspend/resume,
+/// a stepped clock, a u128→u64 overflow) must not mint an entry whose
+/// cost is effectively infinite: GD/BCL/DCL would then never evict it.
+/// 60 s is far beyond any deadline the resilience stack allows a real
+/// fetch, so no honest measurement is distorted by the clamp.
+pub const MAX_MEASURED_COST_US: u64 = 60_000_000;
+
+/// Converts a measured elapsed time to the µs cost charged to the cache,
+/// clamped to `[1, MAX_MEASURED_COST_US]` (see [`MAX_MEASURED_COST_US`]).
+pub(crate) fn measured_cost_us(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_micros())
+        .unwrap_or(u64::MAX)
+        .clamp(1, MAX_MEASURED_COST_US)
+}
+
+/// Which I/O engine drives connections (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// Thread-per-connection worker pool (the original engine).
+    #[default]
+    Blocking,
+    /// Nonblocking reactor core over epoll/kqueue (the C10K+ engine).
+    Event,
+}
+
+impl IoMode {
+    /// Parses the daemon/test flag spelling (`blocking` | `event`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<IoMode> {
+        match s {
+            "blocking" => Some(IoMode::Blocking),
+            "event" => Some(IoMode::Event),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling, as reported by `STATS io_mode`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IoMode::Blocking => "blocking",
+            IoMode::Event => "event",
+        }
+    }
+}
+
 /// Periodic metrics dumping to a file (via [`Reporter`]).
 #[derive(Debug, Clone)]
 pub struct ReportSink {
@@ -95,9 +156,20 @@ pub struct ServerConfig {
     pub shards: Option<usize>,
     /// Replacement policy.
     pub policy: Policy,
-    /// Worker threads — the maximum number of concurrently served
-    /// connections.
+    /// The I/O engine ([`IoMode::Blocking`] by default).
+    pub io: IoMode,
+    /// Worker threads. In blocking mode this is the maximum number of
+    /// concurrently served connections; in event mode it sizes the
+    /// executor pool that runs requests (connections are not bounded by
+    /// it — see [`max_conns`](Self::max_conns)).
     pub workers: usize,
+    /// Reactor threads in event mode (`0`: one per hardware thread,
+    /// capped at 8). Ignored in blocking mode.
+    pub reactors: usize,
+    /// Resident-connection ceiling in event mode: past it, new
+    /// connections are shed with `SERVER_BUSY` (`0`: unbounded). Ignored
+    /// in blocking mode, where `workers + backlog` plays this role.
+    pub max_conns: usize,
     /// Accepted connections that may queue for a worker before new ones
     /// are shed with `SERVER_BUSY`.
     pub backlog: usize,
@@ -148,7 +220,10 @@ impl Default for ServerConfig {
             capacity: 65_536,
             shards: None,
             policy: Policy::Dcl,
+            io: IoMode::Blocking,
             workers: 64,
+            reactors: 0,
+            max_conns: 0,
             backlog: 64,
             idle_timeout: Duration::from_secs(30),
             partial_read_deadline: Duration::from_secs(10),
@@ -249,11 +324,11 @@ impl StaleStore {
 /// Server-side metric families, registered alongside the cache's own
 /// (`csr_cache_*`, `csr_policy_*`) in one shared [`Registry`] that the
 /// `METRICS` command and the [`ReportSink`] both render.
-struct ServerMetrics {
-    accepted: Arc<Counter>,
-    shed: Arc<Counter>,
-    closed: Arc<Counter>,
-    active: Arc<Gauge>,
+pub(crate) struct ServerMetrics {
+    pub(crate) accepted: Arc<Counter>,
+    pub(crate) shed: Arc<Counter>,
+    pub(crate) closed: Arc<Counter>,
+    pub(crate) active: Arc<Gauge>,
     req_get: Arc<Counter>,
     req_fget: Arc<Counter>,
     req_set: Arc<Counter>,
@@ -261,7 +336,7 @@ struct ServerMetrics {
     req_stats: Arc<Counter>,
     req_metrics: Arc<Counter>,
     req_traces: Arc<Counter>,
-    req_errors: Arc<Counter>,
+    pub(crate) req_errors: Arc<Counter>,
     /// Requests rejected for exceeding a normative limit, by which limit
     /// (`line`, `key`, `value`). These are recoverable rejections — the
     /// connection resyncs and continues.
@@ -270,7 +345,10 @@ struct ServerMetrics {
     limit_value: Arc<Counter>,
     /// Connections cut for stalling mid-request past the partial-line
     /// read deadline (slowloris defense, distinct from idle timeouts).
-    slowloris_drops: Arc<Counter>,
+    pub(crate) slowloris_drops: Arc<Counter>,
+    /// Handler panics caught without killing the worker/executor that
+    /// hosted them (the connection dies; the pool survives).
+    pub(crate) worker_panics: Arc<Counter>,
     /// Measured read-through fetch latency (µs) — the distribution of the
     /// very numbers being fed to the policy as miss costs.
     fetch_us: Arc<Histogram>,
@@ -373,6 +451,11 @@ impl ServerMetrics {
                 "Connections cut for stalling mid-request past the partial-line deadline",
                 &[],
             ),
+            worker_panics: registry.counter(
+                "csr_serve_worker_panics_total",
+                "Connection-handler panics caught without killing the serving pool",
+                &[],
+            ),
             fetch_us: registry.histogram(
                 "csr_serve_miss_fetch_us",
                 "Measured origin fetch latency in microseconds (charged as miss cost)",
@@ -383,7 +466,7 @@ impl ServerMetrics {
     }
 
     /// The limit-reject counter for the proto layer's limit class.
-    fn limit_reject(&self, kind: &str) -> &Counter {
+    pub(crate) fn limit_reject(&self, kind: &str) -> &Counter {
         match kind {
             "key" => &self.limit_key,
             "value" => &self.limit_value,
@@ -402,14 +485,17 @@ struct ClusterState {
     metrics: ClusterServerMetrics,
 }
 
-/// State shared by the acceptor, the workers, and the handle.
-struct Shared {
+/// State shared by the acceptor, the workers/reactors, and the handle.
+pub(crate) struct Shared {
     cache: CsrCache<String, Bytes>,
     /// The origin, already wrapped in the resilience stack.
     backing: Arc<dyn Backing>,
-    registry: Arc<Registry>,
-    metrics: ServerMetrics,
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) metrics: ServerMetrics,
     origin_metrics: Arc<OriginMetrics>,
+    /// Which engine is serving — surfaced as the `STATS io_mode` row so
+    /// parity harnesses can label their measurements.
+    io_mode: IoMode,
     stale: StaleStore,
     cluster: Option<ClusterState>,
     /// The node's request tracer (csr-trace); always present, dormant
@@ -428,7 +514,7 @@ struct Shared {
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
     }
 }
@@ -440,6 +526,29 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     supervisor: Option<JoinHandle<io::Result<()>>>,
+    wake: WakeStrategy,
+}
+
+/// How `begin_shutdown` gets the serving threads' attention — the part
+/// of shutdown that must be *reliable*, not best-effort.
+enum WakeStrategy {
+    /// Blocking engine. Setting the shutdown flag does not wake a thread
+    /// already parked in `accept(2)`, and the old single best-effort
+    /// `TcpStream::connect` wake could be dropped by a full accept
+    /// backlog — leaving shutdown hung until the next real client. Now:
+    /// flip the listener nonblocking (this clone shares the kernel file
+    /// description, so the acceptor's fd flips too — every *future*
+    /// accept returns `WouldBlock` instead of parking) and poke it with
+    /// short connects under a deadline to dislodge a *currently* parked
+    /// accept. If the backlog is so full that every poke is refused,
+    /// those queued connections wake the acceptor by themselves.
+    Blocking {
+        listener: TcpListener,
+        addr: SocketAddr,
+    },
+    /// Event engine: wake every reactor's poller; each reactor observes
+    /// the flag on its next loop turn. Never droppable.
+    Event { pollers: Vec<Arc<Poller>> },
 }
 
 impl ServerHandle {
@@ -488,17 +597,37 @@ impl ServerHandle {
         // Cut the read half of every live connection: blocked reads
         // return immediately (EOF) and the worker closes after finishing
         // whatever request it is mid-way through. Writes stay open.
+        // (Event mode tracks connections in its reactors instead; this
+        // list is empty there and the poller wake below does the job.)
         for (_, stream) in self
             .shared
             .conns
             .lock()
-            .expect("conns lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
         {
             let _ = stream.shutdown(Shutdown::Read);
         }
-        // Wake the acceptor out of its blocking accept().
-        let _ = TcpStream::connect(self.addr);
+        match &self.wake {
+            WakeStrategy::Blocking { listener, addr } => {
+                let _ = listener.set_nonblocking(true);
+                let deadline = Instant::now() + Duration::from_secs(2);
+                loop {
+                    match TcpStream::connect_timeout(addr, Duration::from_millis(250)) {
+                        Ok(_) => break,
+                        Err(_) if Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            WakeStrategy::Event { pollers } => {
+                for poller in pollers {
+                    poller.wake();
+                }
+            }
+        }
     }
 }
 
@@ -562,6 +691,7 @@ pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<Serv
     let shared = Arc::new(Shared {
         cache: builder.build(),
         backing,
+        io_mode: config.io,
         registry: Arc::clone(&registry),
         metrics,
         origin_metrics,
@@ -590,30 +720,63 @@ pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<Serv
         None => None,
     };
 
-    let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.backlog.max(1));
-    let rx = Arc::new(Mutex::new(rx));
-    let workers: Vec<JoinHandle<()>> = (0..config.workers)
-        .map(|_| {
-            let rx = Arc::clone(&rx);
-            let shared = Arc::clone(&shared);
-            let conf = ConnTimeouts {
-                idle: config.idle_timeout,
-                partial: config.partial_read_deadline,
-                write: config.write_timeout,
+    let timeouts = ConnTimeouts {
+        idle: config.idle_timeout,
+        partial: config.partial_read_deadline,
+        write: config.write_timeout,
+    };
+    let (supervisor, wake) = match config.io {
+        IoMode::Blocking => {
+            let wake_listener = listener.try_clone()?;
+            let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.backlog.max(1));
+            let rx = Arc::new(Mutex::new(rx));
+            let workers: Vec<JoinHandle<()>> = (0..config.workers)
+                .map(|_| {
+                    let rx = Arc::clone(&rx);
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || worker_loop(&rx, &shared, timeouts))
+                })
+                .collect();
+            let supervisor = {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || accept_loop(&listener, tx, workers, reporter, &shared))
             };
-            std::thread::spawn(move || worker_loop(&rx, &shared, conf))
-        })
-        .collect();
-
-    let supervisor = {
-        let shared = Arc::clone(&shared);
-        std::thread::spawn(move || accept_loop(&listener, tx, workers, reporter, &shared))
+            (
+                supervisor,
+                WakeStrategy::Blocking {
+                    listener: wake_listener,
+                    addr,
+                },
+            )
+        }
+        IoMode::Event => {
+            #[cfg(not(unix))]
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "event i/o needs epoll/kqueue; use IoMode::Blocking on this platform",
+                ));
+            }
+            #[cfg(unix)]
+            {
+                let params = reactor::EventParams {
+                    reactors: config.reactors,
+                    executors: config.workers,
+                    max_conns: config.max_conns,
+                    timeouts,
+                };
+                let (supervisor, pollers) =
+                    reactor::spawn(listener, Arc::clone(&shared), reporter, params)?;
+                (supervisor, WakeStrategy::Event { pollers })
+            }
+        }
     };
 
     Ok(ServerHandle {
         addr,
         shared,
         supervisor: Some(supervisor),
+        wake,
     })
 }
 
@@ -630,6 +793,16 @@ fn accept_loop(
     loop {
         let (stream, _) = match listener.accept() {
             Ok(conn) => conn,
+            // `begin_shutdown` flips the listener nonblocking so the
+            // acceptor cannot re-park; until the flag propagates, spin
+            // gently rather than hot.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.shutting_down() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
             // Transient accept errors (EMFILE, aborted handshakes) must
             // not kill the server.
             Err(_) if !shared.shutting_down() => continue,
@@ -665,10 +838,10 @@ fn accept_loop(
 
 /// Per-connection timeouts, as configured on the server.
 #[derive(Clone, Copy)]
-struct ConnTimeouts {
-    idle: Duration,
-    partial: Duration,
-    write: Duration,
+pub(crate) struct ConnTimeouts {
+    pub(crate) idle: Duration,
+    pub(crate) partial: Duration,
+    pub(crate) write: Duration,
 }
 
 /// A buffered reader that distinguishes "waiting for the next request"
@@ -773,14 +946,29 @@ impl io::BufRead for DeadlineReader {
 }
 
 /// One worker: serve queued connections until the channel closes.
+///
+/// Panic containment: a handler panic must cost exactly one connection,
+/// never the pool. The lock is held only for `recv` (so a panic can't
+/// poison it mid-`handle_conn`), a poisoned lock is recovered rather
+/// than re-thrown (an mpsc `Receiver` has no invariants a panic can
+/// break), and the handler itself runs under `catch_unwind`, counted in
+/// `csr_serve_worker_panics_total`.
 fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared, timeouts: ConnTimeouts) {
     loop {
-        let stream = match rx.lock().expect("worker queue lock poisoned").recv() {
-            Ok(stream) => stream,
-            Err(_) => return,
+        let stream = {
+            let queue = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            match queue.recv() {
+                Ok(stream) => stream,
+                Err(_) => return,
+            }
         };
         shared.metrics.active.add(1);
-        let _ = handle_conn(stream, shared, timeouts);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = handle_conn(stream, shared, timeouts);
+        }));
+        if caught.is_err() {
+            shared.metrics.worker_panics.inc();
+        }
         shared.metrics.active.add(-1);
         shared.metrics.closed.inc();
     }
@@ -873,8 +1061,10 @@ fn handle_conn(stream: TcpStream, shared: &Shared, timeouts: ConnTimeouts) -> io
     }
 }
 
-/// Executes one request and writes its response (buffered).
-fn respond(
+/// Executes one request and writes its response (buffered). Both I/O
+/// engines funnel through here, which is what makes wire parity a
+/// structural property rather than a test-enforced one.
+pub(crate) fn respond(
     request: Request,
     shared: &Shared,
     w: &mut impl Write,
@@ -1036,10 +1226,9 @@ fn local_get(
                 return Ok(None);
             };
             // Microseconds, floored at 1 so even a sub-µs origin read
-            // carries nonzero weight with the policies.
-            let cost = u64::try_from(t0.elapsed().as_micros())
-                .unwrap_or(u64::MAX)
-                .max(1);
+            // carries nonzero weight with the policies, and ceilinged so
+            // a clock anomaly cannot mint an unevictable entry.
+            let cost = measured_cost_us(t0.elapsed());
             shared.metrics.fetch_us.record(cost);
             let bytes = Bytes::from(fetched);
             // Remember the copy (and its measured cost) for
@@ -1106,9 +1295,7 @@ fn forwarded_get(
                 .map(|(t, sp)| t.context_from(sp.span_id()));
             match cl.router.fetch_from_peer(peer, key, ctx) {
                 Ok(found) => {
-                    let cost = u64::try_from(t0.elapsed().as_micros())
-                        .unwrap_or(u64::MAX)
-                        .max(1);
+                    let cost = measured_cost_us(t0.elapsed());
                     cl.metrics.forwards.inc();
                     cl.metrics.forward_us.record(cost);
                     fwd.set(true);
@@ -1145,9 +1332,7 @@ fn forwarded_get(
                     let Some(fetched) = fetched? else {
                         return Ok(None);
                     };
-                    let cost = u64::try_from(t0.elapsed().as_micros())
-                        .unwrap_or(u64::MAX)
-                        .max(1);
+                    let cost = measured_cost_us(t0.elapsed());
                     shared.metrics.fetch_us.record(cost);
                     let bytes = Bytes::from(fetched);
                     shared.stale.record(key, Arc::clone(&bytes), cost);
@@ -1205,6 +1390,7 @@ fn write_stats(shared: &Shared, w: &mut impl Write) -> io::Result<()> {
     let m = &shared.metrics;
     let mut stat = |name: &str, value: String| writeln_stat(w, name, &value);
     stat("policy", shared.cache.policy_name().to_owned())?;
+    stat("io_mode", shared.io_mode.name().to_owned())?;
     stat(
         "uptime_us",
         shared.started.elapsed().as_micros().to_string(),
@@ -1289,6 +1475,38 @@ mod tests {
 
     fn bytes(v: &[u8]) -> Bytes {
         Arc::from(v)
+    }
+
+    /// The regression for the `unwrap_or(u64::MAX)` cost sites: an
+    /// elapsed time whose µs value overflows `u64` (a stepped clock, a
+    /// resume-from-suspend anomaly) must clamp to the finite ceiling, not
+    /// become an effectively infinite cost the policies never evict.
+    #[test]
+    fn measured_cost_clamps_clock_anomalies_to_a_finite_ceiling() {
+        // The floor: sub-µs measurements still carry weight.
+        assert_eq!(measured_cost_us(Duration::ZERO), 1);
+        assert_eq!(measured_cost_us(Duration::from_nanos(200)), 1);
+        // Honest measurements pass through untouched.
+        assert_eq!(measured_cost_us(Duration::from_micros(7)), 7);
+        assert_eq!(
+            measured_cost_us(Duration::from_secs(59)),
+            59_000_000,
+            "real fetches are far below the ceiling"
+        );
+        // At and past the ceiling: clamped, finite, evictable.
+        assert_eq!(
+            measured_cost_us(Duration::from_secs(60)),
+            MAX_MEASURED_COST_US
+        );
+        assert_eq!(
+            measured_cost_us(Duration::from_secs(3600)),
+            MAX_MEASURED_COST_US
+        );
+        // The overflow path itself: `as_micros` (u128) exceeds u64.
+        let anomalous = Duration::from_secs(u64::MAX / 1_000);
+        assert!(u64::try_from(anomalous.as_micros()).is_err());
+        assert_eq!(measured_cost_us(anomalous), MAX_MEASURED_COST_US);
+        assert_eq!(measured_cost_us(Duration::MAX), MAX_MEASURED_COST_US);
     }
 
     /// The regression for the unbounded-ring leak: in the steady state —

@@ -5,17 +5,18 @@
 use csr_cache::Policy;
 use csr_obs::ReportFormat;
 use csr_serve::server::{serve, ReportSink, ServerConfig};
-use csr_serve::{Client, MemoryBacking, SimBacking};
+use csr_serve::{Client, IoMode, MemoryBacking, SimBacking};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn test_config() -> ServerConfig {
+fn test_config(io: IoMode) -> ServerConfig {
     ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         capacity: 1024,
         shards: Some(4),
+        io,
         workers: 4,
         backlog: 4,
         idle_timeout: Duration::from_secs(5),
@@ -26,9 +27,18 @@ fn test_config() -> ServerConfig {
 
 #[test]
 fn round_trips_every_verb() {
+    round_trips_every_verb_in(IoMode::Blocking);
+}
+
+#[test]
+fn round_trips_every_verb_event() {
+    round_trips_every_verb_in(IoMode::Event);
+}
+
+fn round_trips_every_verb_in(io: IoMode) {
     let origin = Arc::new(MemoryBacking::new());
     origin.put("greeting", b"hello".to_vec());
-    let handle = serve(test_config(), origin).expect("server starts");
+    let handle = serve(test_config(io), origin).expect("server starts");
     let mut c = Client::connect(handle.addr()).expect("connect");
 
     // Read-through: the origin supplies the first read, the cache the next.
@@ -65,11 +75,20 @@ fn round_trips_every_verb() {
 
 #[test]
 fn pipelined_requests_answer_in_order() {
+    pipelined_requests_answer_in_order_in(IoMode::Blocking);
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_event() {
+    pipelined_requests_answer_in_order_in(IoMode::Event);
+}
+
+fn pipelined_requests_answer_in_order_in(io: IoMode) {
     let origin = Arc::new(MemoryBacking::new());
     for i in 0..8 {
         origin.put(format!("k{i}"), format!("v{i}").into_bytes());
     }
-    let handle = serve(test_config(), origin).expect("server starts");
+    let handle = serve(test_config(io), origin).expect("server starts");
 
     let mut c = Client::connect(handle.addr()).expect("connect");
     let keys: Vec<String> = (0..8).map(|i| format!("k{i}")).collect();
@@ -96,6 +115,15 @@ fn pipelined_requests_answer_in_order() {
 
 #[test]
 fn measured_fetch_latency_becomes_the_miss_cost() {
+    measured_fetch_latency_becomes_the_miss_cost_in(IoMode::Blocking);
+}
+
+#[test]
+fn measured_fetch_latency_becomes_the_miss_cost_event() {
+    measured_fetch_latency_becomes_the_miss_cost_in(IoMode::Event);
+}
+
+fn measured_fetch_latency_becomes_the_miss_cost_in(io: IoMode) {
     // Every key is slow: one read-through must charge at least the
     // origin's sleep in microseconds.
     let origin = Arc::new(SimBacking {
@@ -104,7 +132,7 @@ fn measured_fetch_latency_becomes_the_miss_cost() {
         slow_every: 1,
         value_len: 8,
     });
-    let handle = serve(test_config(), origin).expect("server starts");
+    let handle = serve(test_config(io), origin).expect("server starts");
     let mut c = Client::connect(handle.addr()).expect("connect");
     assert!(c.get("anything").unwrap().is_some());
     let stats = handle.cache_stats();
@@ -119,6 +147,9 @@ fn measured_fetch_latency_becomes_the_miss_cost() {
 
 #[test]
 fn saturated_server_sheds_with_server_busy() {
+    // Blocking-engine specific: shedding here is a property of the
+    // bounded worker queue. The event engine sheds on `max_conns`
+    // instead — covered in tests/io_parity.rs.
     // One worker, queue depth one: the third concurrent connection must
     // be shed explicitly instead of waiting behind a slow fetch.
     let origin = Arc::new(SimBacking {
@@ -130,7 +161,7 @@ fn saturated_server_sheds_with_server_busy() {
     let config = ServerConfig {
         workers: 1,
         backlog: 1,
-        ..test_config()
+        ..test_config(IoMode::Blocking)
     };
     let handle = serve(config, origin).expect("server starts");
 
@@ -158,8 +189,20 @@ fn saturated_server_sheds_with_server_busy() {
 
 #[test]
 fn shutdown_drains_cuts_idle_connections_and_flushes_the_report() {
-    let report_path =
-        std::env::temp_dir().join(format!("csr-serve-e2e-report-{}.prom", std::process::id()));
+    shutdown_drains_in(IoMode::Blocking);
+}
+
+#[test]
+fn shutdown_drains_cuts_idle_connections_and_flushes_the_report_event() {
+    shutdown_drains_in(IoMode::Event);
+}
+
+fn shutdown_drains_in(io: IoMode) {
+    let report_path = std::env::temp_dir().join(format!(
+        "csr-serve-e2e-report-{}-{}.prom",
+        std::process::id(),
+        io.name()
+    ));
     let _ = std::fs::remove_file(&report_path);
     let config = ServerConfig {
         report: Some(ReportSink {
@@ -168,7 +211,7 @@ fn shutdown_drains_cuts_idle_connections_and_flushes_the_report() {
             interval: Duration::from_secs(60),
             format: ReportFormat::Prometheus,
         }),
-        ..test_config()
+        ..test_config(io)
     };
     let origin = Arc::new(MemoryBacking::new());
     origin.put("k", b"v".to_vec());
@@ -220,7 +263,7 @@ fn dcl_pays_less_measured_miss_cost_than_lru() {
             capacity: 256,
             shards: Some(1),
             policy,
-            ..test_config()
+            ..test_config(IoMode::Blocking)
         };
         let handle = serve(config, origin).expect("server starts");
         let mut c = Client::connect(handle.addr()).expect("connect");
@@ -245,15 +288,24 @@ fn dcl_pays_less_measured_miss_cost_than_lru() {
         (stats.hit_rate(), stats.aggregate_miss_cost)
     }
 
-    let (lru_hit, lru_cost) = run(Policy::Lru);
-    let (dcl_hit, dcl_cost) = run(Policy::Dcl);
-    // Equal hit-rate ballpark: DCL trades some raw hit rate at most.
-    assert!(
-        dcl_hit > lru_hit - 0.15,
-        "DCL hit rate {dcl_hit:.3} collapsed vs LRU {lru_hit:.3}"
-    );
-    assert!(
-        (dcl_cost as f64) < 0.95 * lru_cost as f64,
-        "DCL measured cost {dcl_cost} not below LRU's {lru_cost}"
-    );
+    // The comparison rides on *measured* costs, so scheduler noise on a
+    // loaded box can occasionally make "fast" fetches look expensive and
+    // wash out the gap. Give the stochastic claim a couple of attempts;
+    // a real regression fails all of them.
+    let mut last = String::new();
+    for _ in 0..3 {
+        let (lru_hit, lru_cost) = run(Policy::Lru);
+        let (dcl_hit, dcl_cost) = run(Policy::Dcl);
+        // Equal hit-rate ballpark: DCL trades some raw hit rate at most.
+        if dcl_hit <= lru_hit - 0.15 {
+            last = format!("DCL hit rate {dcl_hit:.3} collapsed vs LRU {lru_hit:.3}");
+            continue;
+        }
+        if (dcl_cost as f64) >= 0.95 * lru_cost as f64 {
+            last = format!("DCL measured cost {dcl_cost} not below LRU's {lru_cost}");
+            continue;
+        }
+        return;
+    }
+    panic!("{last}");
 }

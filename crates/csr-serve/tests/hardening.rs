@@ -7,7 +7,7 @@
 
 use csr_serve::client::{Client, Timeouts};
 use csr_serve::server::{serve, ServerConfig, ServerHandle};
-use csr_serve::{proto, MemoryBacking};
+use csr_serve::{proto, IoMode, MemoryBacking};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
@@ -75,7 +75,17 @@ fn client_deadlines_cut_a_stalled_server() {
 /// well-behaved client.
 #[test]
 fn slowloris_connection_is_cut_and_the_worker_reclaimed() {
+    slowloris_is_cut_in(IoMode::Blocking);
+}
+
+#[test]
+fn slowloris_connection_is_cut_and_the_worker_reclaimed_event() {
+    slowloris_is_cut_in(IoMode::Event);
+}
+
+fn slowloris_is_cut_in(io: IoMode) {
     let config = ServerConfig {
+        io,
         workers: 1,
         backlog: 4,
         idle_timeout: Duration::from_secs(10),
@@ -114,7 +124,17 @@ fn slowloris_connection_is_cut_and_the_worker_reclaimed() {
 /// timeout: the partial deadline must not fire between requests.
 #[test]
 fn idle_connections_outlive_the_partial_deadline() {
+    idle_outlives_partial_deadline_in(IoMode::Blocking);
+}
+
+#[test]
+fn idle_connections_outlive_the_partial_deadline_event() {
+    idle_outlives_partial_deadline_in(IoMode::Event);
+}
+
+fn idle_outlives_partial_deadline_in(io: IoMode) {
     let config = ServerConfig {
+        io,
         workers: 2,
         idle_timeout: Duration::from_secs(10),
         partial_read_deadline: Duration::from_millis(200),
@@ -138,7 +158,20 @@ fn idle_connections_outlive_the_partial_deadline() {
 /// request (frame resync).
 #[test]
 fn overlong_line_rejects_recoverably_and_resyncs() {
-    let handle = serve(ServerConfig::default(), origin_with_keys()).expect("server starts");
+    overlong_line_resyncs_in(IoMode::Blocking);
+}
+
+#[test]
+fn overlong_line_rejects_recoverably_and_resyncs_event() {
+    overlong_line_resyncs_in(IoMode::Event);
+}
+
+fn overlong_line_resyncs_in(io: IoMode) {
+    let config = ServerConfig {
+        io,
+        ..ServerConfig::default()
+    };
+    let handle = serve(config, origin_with_keys()).expect("server starts");
     let mut raw = TcpStream::connect(handle.addr()).expect("connect");
     raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
     let huge = format!("GET {}\r\n", "x".repeat(4096));
@@ -170,7 +203,20 @@ fn overlong_line_rejects_recoverably_and_resyncs() {
 /// keeps working.
 #[test]
 fn oversize_set_payload_rejects_recoverably_and_resyncs() {
-    let handle = serve(ServerConfig::default(), origin_with_keys()).expect("server starts");
+    oversize_payload_resyncs_in(IoMode::Blocking);
+}
+
+#[test]
+fn oversize_set_payload_rejects_recoverably_and_resyncs_event() {
+    oversize_payload_resyncs_in(IoMode::Event);
+}
+
+fn oversize_payload_resyncs_in(io: IoMode) {
+    let config = ServerConfig {
+        io,
+        ..ServerConfig::default()
+    };
+    let handle = serve(config, origin_with_keys()).expect("server starts");
     let mut raw = TcpStream::connect(handle.addr()).expect("connect");
     raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
     let too_big = proto::MAX_VALUE_LEN + 1;
