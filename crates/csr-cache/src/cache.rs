@@ -541,6 +541,35 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> CsrCache<K, V, S> {
         )
     }
 
+    /// Clones every resident `(key, value, cost)` triple out of the
+    /// cache — the snapshot primitive for persistence layers.
+    ///
+    /// Entries come out **shard by shard, LRU first within each shard**:
+    /// the ordering hint a restart needs, because replaying the triples
+    /// in returned order through [`insert_with_cost`](Self::insert_with_cost)
+    /// (keys land back in their original shards) reconstructs each
+    /// shard's recency list and refills the policy cores in the same
+    /// LRU-→-MRU order the adaptive selector uses when hot-swapping a
+    /// core — so GD/BCL/DCL eviction ordering survives a dump/reload
+    /// round trip.
+    ///
+    /// **Lock-light, not atomic**: each shard is locked only while its
+    /// own entries are cloned out, so concurrent writers stall on one
+    /// shard at a time and the combined snapshot is a per-shard- (not
+    /// cache-) consistent cut. A persistence layer pairs it with a
+    /// write-ahead log precisely to cover the gap.
+    #[must_use]
+    pub fn export_entries(&self) -> Vec<(K, V, u64)>
+    where
+        V: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        for s in self.shards.iter() {
+            out.extend(s.export_entries());
+        }
+        out
+    }
+
     /// A cache-wide statistics snapshot (lock-free; see
     /// [`CacheStats`] for the consistency caveat under concurrency).
     #[must_use]
@@ -713,6 +742,59 @@ mod tests {
         let c = lru_cache(8, 1);
         assert!(c.selector_stats().is_none());
         assert!(c.shard_live_policies().is_none());
+    }
+
+    #[test]
+    fn export_entries_walks_lru_to_mru_with_costs() {
+        let c: CsrCache<u64, u64> = CsrCache::builder(4)
+            .shards(1)
+            .policy(Policy::Gd)
+            .cost_fn(|k, _| 10 + k)
+            .build();
+        for k in 0..4u64 {
+            c.insert(k, k * 100);
+        }
+        c.get(&0); // 0 becomes MRU: order is now 1, 2, 3, 0
+        let entries = c.export_entries();
+        assert_eq!(
+            entries,
+            vec![(1, 100, 11), (2, 200, 12), (3, 300, 13), (0, 0, 10)],
+            "LRU-first order with the fill-time costs"
+        );
+        // Exporting is side-effect free: stats and residency unchanged.
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.stats().lookups, 1);
+    }
+
+    #[test]
+    fn export_reimport_preserves_eviction_ordering() {
+        let build = || -> CsrCache<u64, u64> {
+            CsrCache::builder(4)
+                .shards(1)
+                .policy(Policy::Gd)
+                .cost_fn(|_, _| 1)
+                .build()
+        };
+        let a = build();
+        // Expensive entries (cost 50) first, then cheap ones (cost 1).
+        a.insert_with_cost(0, 0, 50);
+        a.insert_with_cost(1, 1, 50);
+        a.insert_with_cost(2, 2, 1);
+        a.insert_with_cost(3, 3, 1);
+        let b = build();
+        for (k, v, cost) in a.export_entries() {
+            b.insert_with_cost(k, v, cost);
+        }
+        // Pressure: two new cheap fills must evict the two cheap
+        // residents, proving the reimported costs (not just the values)
+        // drive GreedyDual exactly as they did pre-export.
+        b.insert_with_cost(4, 4, 1);
+        b.insert_with_cost(5, 5, 1);
+        assert!(
+            b.contains(&0) && b.contains(&1),
+            "expensive entries survive"
+        );
+        assert!(!b.contains(&2) && !b.contains(&3), "cheap entries evict");
     }
 
     #[test]

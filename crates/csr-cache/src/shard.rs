@@ -720,4 +720,25 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> Shard<K, V, S> {
         st.free.push(i);
         slot
     }
+
+    /// Clones every resident `(key, value, cost)` triple out of the shard
+    /// in LRU → MRU order (the recency-replay order: re-inserting the
+    /// triples in this order through `insert` reconstructs both the
+    /// recency list and, for cost-sensitive policies warmed by fills, the
+    /// eviction ordering). Touches no counters and no policy state; holds
+    /// the shard lock only for the duration of the walk.
+    pub(crate) fn export_entries(&self) -> Vec<(K, V, u64)>
+    where
+        V: Clone,
+    {
+        let st = self.lock();
+        let mut out = Vec::with_capacity(st.map.len());
+        let mut cur = st.tail;
+        while cur != NIL {
+            let s = st.slot(cur);
+            out.push((s.key.clone(), s.value.clone(), s.cost));
+            cur = s.prev;
+        }
+        out
+    }
 }

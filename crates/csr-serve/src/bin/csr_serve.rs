@@ -11,7 +11,8 @@ use csr_cache::{Policy, SelectorConfig};
 use csr_obs::ReportFormat;
 use csr_serve::server::{serve, ReportSink, ServerConfig};
 use csr_serve::{
-    parse_nodes, Backing, FaultBacking, IoMode, NoBacking, PeerConfig, SimBacking, Timeouts,
+    parse_nodes, Backing, FaultBacking, FsyncPolicy, IoMode, NoBacking, PeerConfig, PersistConfig,
+    SimBacking, Timeouts,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -107,6 +108,15 @@ USAGE: csr-serve [OPTIONS]
   --cluster-seed N        ring hash seed; all nodes and clients must agree (default 0)
   --no-forward            answer non-owned GETs with MOVED instead of peer-forwarding
   --forward-timeout-ms N  per-hop deadline for peer FGET connections (default 500)
+  --persist-dir PATH      crash-safe persistence: WAL + snapshots in PATH;
+                          recovery replays them before the listener opens
+  --fsync POLICY          WAL durability: always | never | <ms> (fsync at most
+                          once per that many milliseconds; default never)
+  --snapshot-every N      appends between automatic snapshots; 0 = only at
+                          shutdown (default 8192)
+  --wal-segment-bytes N   rotate WAL segments past N bytes (default 4194304)
+  --recovery-throttle-us N testing aid: slow recovery replay by N us per
+                          256 records (default 0)
   --metrics-file PATH     periodically dump metrics to PATH (flushed on shutdown)
   --metrics-interval-ms N dump interval (default 1000)
   --metrics-format FMT    prom | json (default prom)
@@ -313,6 +323,42 @@ fn parse_args() -> Opts {
                     write: d,
                 };
             }
+            "--persist-dir" => {
+                opts.config
+                    .persist
+                    .get_or_insert_with(PersistConfig::default)
+                    .dir = val("--persist-dir").into()
+            }
+            "--fsync" => {
+                let spec = val("--fsync");
+                opts.config
+                    .persist
+                    .get_or_insert_with(PersistConfig::default)
+                    .fsync = FsyncPolicy::parse(&spec).unwrap_or_else(|| {
+                    die(&format!("--fsync wants always|never|<ms>, got '{spec}'"))
+                })
+            }
+            "--snapshot-every" => {
+                opts.config
+                    .persist
+                    .get_or_insert_with(PersistConfig::default)
+                    .snapshot_every = parse_num(&val("--snapshot-every"), "--snapshot-every")
+            }
+            "--wal-segment-bytes" => {
+                opts.config
+                    .persist
+                    .get_or_insert_with(PersistConfig::default)
+                    .segment_bytes = parse_num(&val("--wal-segment-bytes"), "--wal-segment-bytes")
+            }
+            "--recovery-throttle-us" => {
+                opts.config
+                    .persist
+                    .get_or_insert_with(PersistConfig::default)
+                    .recovery_throttle = Duration::from_micros(parse_num(
+                    &val("--recovery-throttle-us"),
+                    "--recovery-throttle-us",
+                ))
+            }
             "--metrics-file" => opts.metrics_file = Some(val("--metrics-file").into()),
             "--metrics-interval-ms" => {
                 opts.metrics_interval = Duration::from_millis(parse_num(
@@ -394,17 +440,36 @@ fn main() {
         )
     });
     let io_name = config.io.name();
+    let persist_info = config
+        .persist
+        .as_ref()
+        .map(|pc| format!(" persist={} fsync={}", pc.dir.display(), pc.fsync.name()));
+    if let Some(pc) = &mut config.persist {
+        // SIGTERM/SIGINT during recovery replay must abort before the
+        // listener opens: recovery polls the same flag the signal
+        // handler sets.
+        pc.cancel = Some(|| SHUTDOWN.load(Ordering::Acquire));
+        eprintln!("csr-serve: recovering from {}", pc.dir.display());
+    }
     let handle = match serve(config, backing) {
         Ok(handle) => handle,
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            // A shutdown request that arrived mid-recovery: not an
+            // error — the operator asked us to stop, and we never
+            // opened the listener or served a single request.
+            eprintln!("csr-serve: shutdown during recovery; exiting cleanly");
+            std::process::exit(0);
+        }
         Err(e) => die(&format!("failed to start: {e}")),
     };
     println!(
-        "csr-serve listening on {} policy={} backing={} io={}{}",
+        "csr-serve listening on {} policy={} backing={} io={}{}{}",
         handle.addr(),
         policy_info,
         opts.backing_kind,
         io_name,
-        cluster_info.unwrap_or_default()
+        cluster_info.unwrap_or_default(),
+        persist_info.unwrap_or_default()
     );
 
     while !SHUTDOWN.load(Ordering::Acquire) {

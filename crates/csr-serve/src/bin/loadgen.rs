@@ -372,6 +372,10 @@ struct Totals {
     origin_errors: AtomicU64,
     maybe_applied: AtomicU64,
     unavailable_writes: AtomicU64,
+    /// GETs that returned a SET-shaped payload (all `b'v'`) for a key
+    /// this run never SET: evidence of a previous run's write surviving
+    /// a server restart through the persistence layer.
+    restart_survivor_hits: AtomicU64,
     wrong_values: AtomicU64,
     errors: AtomicU64,
 }
@@ -388,8 +392,9 @@ impl Totals {
         self.origin_errors.store(0, Ordering::Relaxed);
         self.maybe_applied.store(0, Ordering::Relaxed);
         self.unavailable_writes.store(0, Ordering::Relaxed);
-        // wrong_values and errors are *verdict* counters, not load
-        // counters: never reset, even across the warm-up boundary.
+        // wrong_values, errors, and restart_survivor_hits are *verdict*
+        // counters, not load counters: never reset, even across the
+        // warm-up boundary.
     }
 }
 
@@ -834,9 +839,18 @@ fn main() {
         origin_errors: AtomicU64::new(0),
         maybe_applied: AtomicU64::new(0),
         unavailable_writes: AtomicU64::new(0),
+        restart_survivor_hits: AtomicU64::new(0),
         wrong_values: AtomicU64::new(0),
         errors: AtomicU64::new(0),
     });
+    // One bit per Zipf-namespace key: set when any worker SETs it this
+    // run. A SET-shaped GET value on an unmarked key can only have come
+    // from a previous run, recovered across a restart.
+    let set_keys: Arc<Vec<AtomicU64>> = Arc::new(
+        (0..opts.keys.div_ceil(64))
+            .map(|_| AtomicU64::new(0))
+            .collect(),
+    );
     let registry = Registry::new();
     let client_metrics = ClientMetrics::new(&registry);
     let cluster_metrics = ClusterMetrics::new(&registry);
@@ -916,6 +930,7 @@ fn main() {
             let latency_part = Arc::clone(&latency_part);
             let in_partition = Arc::clone(&in_partition);
             let totals = Arc::clone(&totals);
+            let set_keys = Arc::clone(&set_keys);
             let target = target.clone();
             let metrics = client_metrics.clone();
             let cluster_metrics = cluster_metrics.clone();
@@ -974,22 +989,23 @@ fn main() {
                             (1.0 / 3.0..2.0 / 3.0).contains(&f)
                         });
                     let is_scan = scanning_now && rng.chance(scan_frac);
-                    let key = if is_scan {
+                    let key_idx = if is_scan {
                         // One-touch sequential sweep over a per-worker
                         // key range disjoint from the Zipf namespace.
                         let k = scan_base + scan_pos % scan_len;
                         scan_pos += 1;
                         totals.scan_ops.fetch_add(1, Ordering::Relaxed);
-                        format!("key:{k}")
+                        k
                     } else if hot_keys > 0 && rng.chance(hot_frac) {
                         // Hot-key skew: the N lowest ranks soak up a
                         // tunable traffic fraction on top of the Zipf
                         // draw (same namespace, so verification is
                         // unchanged).
-                        format!("key:{}", rng.below(hot_keys as u64))
+                        rng.below(hot_keys as u64)
                     } else {
-                        format!("key:{}", sample(&cdf, &mut rng))
+                        sample(&cdf, &mut rng) as u64
                     };
+                    let key = format!("key:{key_idx}");
                     let is_set = !is_scan && rng.chance(set_ratio);
                     // 1-in-N GETs carry a fresh client-minted trace
                     // context; the server honors it unconditionally, so
@@ -1017,6 +1033,12 @@ fn main() {
                     let t0 = Instant::now();
                     let outcome = if is_set {
                         totals.sets.fetch_add(1, Ordering::Relaxed);
+                        // Mark before sending: an ambiguous SET (cut
+                        // mid-flight, maybe applied) must still disqualify
+                        // the key from counting as a restart survivor.
+                        if let Some(word) = set_keys.get(key_idx as usize / 64) {
+                            word.fetch_or(1 << (key_idx % 64), Ordering::Relaxed);
+                        }
                         client.set(&key, &payload)
                     } else {
                         match client.get_value(&key, trace_ctx) {
@@ -1034,6 +1056,15 @@ fn main() {
                                 if !plausible_value(&key, &v.data) {
                                     eprintln!("worker {i}: WRONG VALUE for {key}");
                                     totals.wrong_values.fetch_add(1, Ordering::Relaxed);
+                                } else if v.data.iter().all(|&b| b == b'v')
+                                    && set_keys.get(key_idx as usize / 64).is_some_and(|word| {
+                                        word.load(Ordering::Relaxed) & (1 << (key_idx % 64)) == 0
+                                    })
+                                {
+                                    // A SET payload this run never wrote:
+                                    // a previous run's write served back
+                                    // across a restart.
+                                    totals.restart_survivor_hits.fetch_add(1, Ordering::Relaxed);
                                 }
                                 Ok(())
                             }
@@ -1136,12 +1167,13 @@ fn main() {
         hist.max(),
     );
     println!(
-        "  client: reconnects {}  replays {}  failovers {}  deadline timeouts {}  maybe-applied {}  wrong values {}",
+        "  client: reconnects {}  replays {}  failovers {}  deadline timeouts {}  maybe-applied {}  restart survivors {}  wrong values {}",
         client_metrics.reconnects.get(),
         client_metrics.replays.get(),
         client_metrics.failovers.get(),
         client_metrics.deadline_timeouts.get(),
         totals.maybe_applied.load(Ordering::Relaxed),
+        totals.restart_survivor_hits.load(Ordering::Relaxed),
         totals.wrong_values.load(Ordering::Relaxed),
     );
     let chaos_snapshot = proxy.as_ref().map(|p| p.counters());
@@ -1313,6 +1345,10 @@ fn main() {
                 "origin_errors",
                 Json::uint(totals.origin_errors.load(Ordering::Relaxed)),
             ),
+            (
+                "restart_survivor_hits",
+                Json::uint(totals.restart_survivor_hits.load(Ordering::Relaxed)),
+            ),
             ("errors", Json::uint(totals.errors.load(Ordering::Relaxed))),
             ("elapsed_s", Json::Float(elapsed)),
             ("throughput_ops_per_s", Json::Float(throughput)),
@@ -1366,6 +1402,12 @@ fn main() {
                     ("requests_set", s_uint("requests_set")),
                     ("selector_flips", s_uint("selector_flips")),
                     ("selector_epochs", s_uint("selector_epochs")),
+                    (
+                        "persist_recovered_entries",
+                        s_uint("persist_recovered_entries"),
+                    ),
+                    ("persist_appends", s_uint("persist_appends")),
+                    ("persist_degraded", s_uint("persist_degraded")),
                 ]),
             ),
         ];

@@ -35,6 +35,11 @@
 //!   with *measured* hop cost charged to forwarded entries, a
 //!   [`ClusterClient`] with hot-key replica fan-out and partition-aware
 //!   re-routing, and the `MOVED`/`FORWARDED` reply grammar.
+//! * [`persist`] — crash-safe persistence: a segmented, CRC-32-framed
+//!   write-ahead log of every mutation *with its measured miss cost*,
+//!   periodic atomic snapshots, and cold-start recovery that truncates
+//!   torn tails — so the resident set and the eviction ordering survive
+//!   a SIGKILL instead of cold-starting into an origin stampede.
 //! * [`chaos`] — a seeded in-process fault-injecting TCP proxy
 //!   ([`ChaosProxy`]): resets, corruption, truncation, stalls, partial
 //!   writes, throttling, and scripted partitions, each counted, so the
@@ -52,6 +57,7 @@ pub mod backing;
 pub mod chaos;
 pub mod client;
 pub mod cluster;
+pub mod persist;
 pub mod poller;
 pub mod proto;
 #[cfg(unix)]
@@ -70,6 +76,7 @@ pub use cluster::{
     parse_nodes, ClusterClient, ClusterClientConfig, ClusterMetrics, ClusterNode, FreqSketch,
     PeerConfig, PeerRouter,
 };
+pub use persist::{FsyncPolicy, PersistConfig};
 pub use resilience::{
     BackoffSchedule, BreakerState, CircuitBreaker, FaultBacking, OriginMetrics, ResilienceConfig,
     ResilientBacking,

@@ -55,6 +55,7 @@
 
 use crate::backing::{Backing, BackingError};
 use crate::cluster::{ClusterNode, ClusterServerMetrics, PeerConfig, PeerRouter};
+use crate::persist::{PersistConfig, Persistence};
 use crate::poller::Poller;
 use crate::proto::{self, ProtoError, Request};
 #[cfg(unix)]
@@ -211,6 +212,10 @@ pub struct ServerConfig {
     /// When set, overrides [`policy`](Self::policy): every shard
     /// shadow-scores the two candidates and hot-flips to the winner.
     pub adaptive: Option<SelectorConfig>,
+    /// Crash-safe persistence ([`crate::persist`]): WAL + snapshots in
+    /// the given directory, with startup recovery replayed **before**
+    /// the listener binds (`None`: in-memory only, the default).
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for ServerConfig {
@@ -235,6 +240,7 @@ impl Default for ServerConfig {
             trace: TraceConfig::default(),
             slow_log: false,
             adaptive: None,
+            persist: None,
         }
     }
 }
@@ -504,6 +510,10 @@ pub(crate) struct Shared {
     tracer: Tracer,
     /// Print a structured stderr line for each slow traced request.
     slow_log: bool,
+    /// Crash-safe persistence engine (`None`: in-memory only).
+    persist: Option<Persistence>,
+    /// Ensures the final snapshot/flush runs exactly once.
+    persist_done: AtomicBool,
     shutdown: AtomicBool,
     /// Read-half handles of live connections, so shutdown can cut idle
     /// readers without waiting out their timeout. Keyed by a connection
@@ -516,6 +526,37 @@ pub(crate) struct Shared {
 impl Shared {
     pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// WAL-logs a stored entry (`cost` exactly as charged to the cache),
+    /// taking the periodic snapshot when one falls due. No-op without
+    /// persistence.
+    fn persist_set(&self, key: &str, value: &[u8], cost: u64) {
+        if let Some(p) = &self.persist {
+            if p.log_set(key, value, cost) {
+                p.snapshot(&self.cache);
+            }
+        }
+    }
+
+    /// WAL-logs an invalidation. No-op without persistence.
+    fn persist_del(&self, key: &str) {
+        if let Some(p) = &self.persist {
+            if p.log_del(key) {
+                p.snapshot(&self.cache);
+            }
+        }
+    }
+
+    /// The final persistence flush (snapshot + WAL prune), run once after
+    /// the serving threads have drained.
+    fn finish_persist(&self) {
+        if self.persist_done.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if let Some(p) = &self.persist {
+            p.finish(&self.cache);
+        }
     }
 }
 
@@ -585,7 +626,11 @@ impl ServerHandle {
     /// Propagates I/O errors from the final report flush.
     pub fn shutdown(mut self) -> io::Result<()> {
         self.begin_shutdown();
-        match self.supervisor.take().map(JoinHandle::join) {
+        let joined = self.supervisor.take().map(JoinHandle::join);
+        // Final snapshot after the serving threads drained: no appends
+        // race the export, and the pruned WAL makes the next start fast.
+        self.shared.finish_persist();
+        match joined {
             Some(Ok(result)) => result,
             Some(Err(panic)) => std::panic::resume_unwind(panic),
             None => Ok(()),
@@ -636,6 +681,7 @@ impl Drop for ServerHandle {
         if let Some(handle) = self.supervisor.take() {
             self.begin_shutdown();
             let _ = handle.join();
+            self.shared.finish_persist();
         }
     }
 }
@@ -643,15 +689,19 @@ impl Drop for ServerHandle {
 /// Starts a server for `config` reading through `backing`; returns once
 /// the listener is bound and the worker pool is running.
 ///
+/// With [`ServerConfig::persist`] set, the persistence lock is taken and
+/// startup recovery (snapshot + WAL replay) completes **before** the
+/// listener binds: no client can reach a half-recovered cache, and a
+/// shutdown requested mid-replay (the config's `cancel` hook) aborts
+/// with `ErrorKind::Interrupted` without ever having opened a port.
+///
 /// # Errors
 ///
-/// Binding the listener or creating the report file can fail; nothing is
-/// left running in that case.
+/// Binding the listener, creating the report file, taking the
+/// persistence lock (another live instance holds the dir), or reading
+/// the persisted state can fail; nothing is left running in that case.
 pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<ServerHandle> {
     assert!(config.workers > 0, "need at least one worker");
-    let listener = TcpListener::bind(config.addr.as_str())?;
-    let addr = listener.local_addr()?;
-
     let registry = Arc::new(Registry::new());
     let metrics = ServerMetrics::new(&registry);
     let origin_metrics = Arc::new(OriginMetrics::new(&registry));
@@ -669,6 +719,30 @@ pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<Serv
     if let Some(cfg) = config.adaptive {
         builder = builder.adaptive(cfg);
     }
+    let cache = builder.build();
+
+    // Lock + recover before the listener exists: a second instance is
+    // refused while no port is open yet, and no client can talk to a
+    // half-recovered cache.
+    let persist = match config.persist {
+        Some(pc) => {
+            let p = Persistence::open(pc, &registry)?;
+            let report = p.recover_into(&cache)?;
+            if report.recovered_entries > 0 || report.truncated_records > 0 {
+                eprintln!(
+                    "csr-serve: recovered {} entries ({} WAL records replayed, \
+                     {} torn records truncated)",
+                    report.recovered_entries, report.wal_records, report.truncated_records
+                );
+            }
+            Some(p)
+        }
+        None => None,
+    };
+
+    let listener = TcpListener::bind(config.addr.as_str())?;
+    let addr = listener.local_addr()?;
+
     let cluster = config.cluster.map(|mut pc| {
         if pc.node_id.is_empty() {
             // The common test/demo shape: bind port 0, identify as
@@ -689,7 +763,7 @@ pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<Serv
         .as_ref()
         .map_or_else(|| addr.to_string(), |cl| cl.router.node_id().to_owned());
     let shared = Arc::new(Shared {
-        cache: builder.build(),
+        cache,
         backing,
         io_mode: config.io,
         registry: Arc::clone(&registry),
@@ -699,6 +773,8 @@ pub fn serve(config: ServerConfig, backing: Arc<dyn Backing>) -> io::Result<Serv
         cluster,
         tracer: Tracer::new(&trace_node, config.trace),
         slow_log: config.slow_log,
+        persist,
+        persist_done: AtomicBool::new(false),
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
         next_conn_id: AtomicU64::new(0),
@@ -1108,18 +1184,21 @@ pub(crate) fn respond(
             trace: ctx,
         } => {
             shared.metrics.req_set.inc();
+            let bytes = Bytes::from(value);
             match begin_trace(shared, ctx, anchor) {
                 None => {
                     shared
                         .cache
-                        .insert_with_cost(key, Bytes::from(value), SET_COST);
+                        .insert_with_cost(key.clone(), Arc::clone(&bytes), SET_COST);
+                    shared.persist_set(&key, &bytes, SET_COST);
                     proto::write_line(w, "STORED")
                 }
                 Some(mut t) => {
                     let span = t.begin_span("cache");
                     shared
                         .cache
-                        .insert_with_cost(key.clone(), Bytes::from(value), SET_COST);
+                        .insert_with_cost(key.clone(), Arc::clone(&bytes), SET_COST);
+                    shared.persist_set(&key, &bytes, SET_COST);
                     let dur = t.finish_span(span);
                     shared.metrics.phases.record("cache", dur);
                     let out = proto::write_line(w, "STORED");
@@ -1131,7 +1210,10 @@ pub(crate) fn respond(
         Request::Del(key) => {
             shared.metrics.req_del.inc();
             match shared.cache.remove(&key) {
-                Some(_) => proto::write_line(w, "DELETED"),
+                Some(_) => {
+                    shared.persist_del(&key);
+                    proto::write_line(w, "DELETED")
+                }
                 None => proto::write_line(w, "NOT_FOUND"),
             }
         }
@@ -1234,6 +1316,9 @@ fn local_get(
             // Remember the copy (and its measured cost) for
             // serve-stale degradation if the origin later fails.
             shared.stale.record(key, Arc::clone(&bytes), cost);
+            // The WAL records the *measured* cost, so a restart
+            // reconstructs the eviction ordering, not just the data.
+            shared.persist_set(key, &bytes, cost);
             Ok(Some((bytes, cost)))
         });
     if let Some(t) = trace.as_mut() {
@@ -1307,6 +1392,7 @@ fn forwarded_get(
                         fwd_stale.set(v.stale);
                         let bytes = Bytes::from(v.data);
                         shared.stale.record(key, Arc::clone(&bytes), cost);
+                        shared.persist_set(key, &bytes, cost);
                         (bytes, cost)
                     }))
                 }
@@ -1336,6 +1422,7 @@ fn forwarded_get(
                     shared.metrics.fetch_us.record(cost);
                     let bytes = Bytes::from(fetched);
                     shared.stale.record(key, Arc::clone(&bytes), cost);
+                    shared.persist_set(key, &bytes, cost);
                     Ok(Some((bytes, cost)))
                 }
             }
@@ -1374,6 +1461,7 @@ fn write_degraded(
             shared
                 .cache
                 .insert_with_cost(key.to_owned(), Arc::clone(&bytes), cost);
+            shared.persist_set(key, &bytes, cost);
             if let (Some(t), Some(sp)) = (trace.as_mut(), span) {
                 shared.metrics.phases.record("stale", t.finish_span(sp));
             }
@@ -1430,6 +1518,23 @@ fn write_stats(shared: &Shared, w: &mut impl Write) -> io::Result<()> {
     )?;
     stat("traces_recorded", shared.tracer.recorded().to_string())?;
     stat("traces_dropped", shared.tracer.dropped().to_string())?;
+    if let Some(p) = &shared.persist {
+        let pm = p.metrics();
+        stat("persist_fsync", p.fsync_policy().name())?;
+        stat("persist_appends", pm.appends.get().to_string())?;
+        stat("persist_fsyncs", pm.fsyncs.get().to_string())?;
+        stat("persist_snapshots", pm.snapshots.get().to_string())?;
+        stat(
+            "persist_recovered_entries",
+            pm.recovered_entries.get().to_string(),
+        )?;
+        stat(
+            "persist_truncated_records",
+            pm.truncated_records.get().to_string(),
+        )?;
+        stat("persist_errors", pm.errors.get().to_string())?;
+        stat("persist_degraded", u64::from(p.is_degraded()).to_string())?;
+    }
     if let Some(sel) = shared.cache.selector_stats() {
         stat(
             "selector_candidates",
