@@ -31,7 +31,7 @@ const FOOTPRINT: usize = 32_768;
 const EXPENSIVE_COST: u64 = 32;
 
 fn cost_of(key: u64) -> u64 {
-    if key % 16 == 0 {
+    if key.is_multiple_of(16) {
         EXPENSIVE_COST
     } else {
         1

@@ -56,7 +56,7 @@ impl BuildHasher for FixedState {
 /// Modeled cost of re-fetching `key` on a miss: one key in eight is
 /// expensive (a far-away origin), the rest are cheap.
 fn cost_of(key: u64) -> u64 {
-    if key % 8 == 0 {
+    if key.is_multiple_of(8) {
         16
     } else {
         1

@@ -129,7 +129,7 @@ impl Geometry {
             "cache of {size_bytes} bytes cannot hold one set of {assoc} x {block_bytes}-byte blocks"
         );
         assert!(
-            size_bytes % (block_bytes * assoc as u64) == 0,
+            size_bytes.is_multiple_of(block_bytes * assoc as u64),
             "cache size must be a whole number of sets"
         );
         let num_sets = (size_bytes / (block_bytes * assoc as u64)) as usize;

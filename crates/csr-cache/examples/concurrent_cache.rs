@@ -20,7 +20,7 @@ const RECORDS: u64 = 16_384;
 /// Simulated backend latency in microseconds: every 16th record is
 /// "remote" and ~30x more expensive to fetch.
 fn backend_latency_us(key: u64) -> u64 {
-    if key % 16 == 0 {
+    if key.is_multiple_of(16) {
         300
     } else {
         10

@@ -17,7 +17,7 @@ const REQUESTS: usize = 200_000;
 
 /// Every 16th record is "remote" and ~30x more expensive to refetch.
 fn refetch_cost(key: u64) -> u64 {
-    if key % 16 == 0 {
+    if key.is_multiple_of(16) {
         300
     } else {
         10

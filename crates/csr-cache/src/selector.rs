@@ -72,7 +72,7 @@ impl Default for SelectorConfig {
 impl SelectorConfig {
     /// Whether the key with hash identity `id` is in the shadow sample.
     pub(crate) fn sampled(&self, id: BlockAddr) -> bool {
-        self.sample_every <= 1 || id.0 % self.sample_every == 0
+        self.sample_every <= 1 || id.0.is_multiple_of(self.sample_every)
     }
 
     fn ghost_capacity_for(&self, ways: usize) -> usize {

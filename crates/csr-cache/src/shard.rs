@@ -114,7 +114,7 @@ impl OpTimer {
 
     /// Starts a timer for one in every `sample_every` calls.
     fn maybe_start(&self) -> Option<Instant> {
-        if self.ticker.fetch_add(1, Ordering::Relaxed) % self.sample_every == 0 {
+        if self.ticker.fetch_add(1, Ordering::Relaxed).is_multiple_of(self.sample_every) {
             Some(Instant::now())
         } else {
             None

@@ -43,7 +43,7 @@ const SCAN_SPACE: u64 = 2048;
 const CANDIDATES: (Policy, Policy) = (Policy::Dcl, Policy::Gdsf);
 
 fn cost_of(key: u64) -> u64 {
-    if key % 8 == 0 {
+    if key.is_multiple_of(8) {
         16
     } else {
         1

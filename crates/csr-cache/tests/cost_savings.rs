@@ -52,7 +52,7 @@ const CHEAP_COST: u64 = 1;
 
 /// One key in sixteen is expensive — a "remote" entry in NUMA terms.
 fn cost_of(key: u64) -> u64 {
-    if key % 16 == 0 {
+    if key.is_multiple_of(16) {
         EXPENSIVE_COST
     } else {
         CHEAP_COST

@@ -47,7 +47,7 @@ impl BuildHasher for IdentityState {
 
 /// Skewed costs: every fourth key is 16x more expensive to re-fetch.
 fn cost_of(key: u64) -> u64 {
-    if key % 4 == 0 {
+    if key.is_multiple_of(4) {
         16
     } else {
         1

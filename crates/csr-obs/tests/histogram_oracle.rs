@@ -89,7 +89,7 @@ fn skewed_latency_like_inputs() {
 fn constant_and_two_point_distributions() {
     check_against_oracle(&[42; 1000]);
     let mut two: Vec<u64> = vec![1; 900];
-    two.extend(std::iter::repeat(1_000_000u64).take(100));
+    two.extend(std::iter::repeat_n(1_000_000u64, 100));
     check_against_oracle(&two);
 }
 

@@ -152,7 +152,7 @@ impl SimBacking {
     /// Whether `key` lives in the slow tier (a pure function of the key).
     #[must_use]
     pub fn is_slow(&self, key: &str) -> bool {
-        self.slow_every != 0 && fnv1a(key) % self.slow_every == 0
+        self.slow_every != 0 && fnv1a(key).is_multiple_of(self.slow_every)
     }
 
     /// The value every fetch of `key` returns: the key itself, then `#`

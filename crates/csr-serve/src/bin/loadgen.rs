@@ -1012,7 +1012,7 @@ fn main() {
                     // the client controls exactly what gets traced.
                     let trace_ctx = if !is_set && trace_sample > 0 {
                         gets += 1;
-                        (gets % trace_sample == 0).then(|| TraceContext {
+                        gets.is_multiple_of(trace_sample).then(|| TraceContext {
                             trace_id: rng.next_u64() | 1,
                             span_id: rng.next_u64() | 1,
                             sampled: true,

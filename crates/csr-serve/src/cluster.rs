@@ -146,7 +146,7 @@ impl FreqSketch {
     /// cadence, then returns the (possibly updated) estimate.
     pub fn observe(&mut self, key: &str) -> u32 {
         self.seen = self.seen.wrapping_add(1);
-        if self.seen % self.sample_every == 0 {
+        if self.seen.is_multiple_of(self.sample_every) {
             for row in 0..SKETCH_ROWS {
                 let c = self.cell(row, key);
                 let cell = &mut self.rows[usize::try_from(row).expect("tiny")][c];
@@ -512,7 +512,7 @@ impl ClusterClient {
     /// Advances the op clock: sketch decay on its cadence.
     fn tick(&mut self) {
         self.ops += 1;
-        if self.config.hot_decay_every > 0 && self.ops % self.config.hot_decay_every == 0 {
+        if self.config.hot_decay_every > 0 && self.ops.is_multiple_of(self.config.hot_decay_every) {
             self.sketch.decay();
             self.hot_now.clear();
         }

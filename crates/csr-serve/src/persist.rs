@@ -50,10 +50,28 @@
 //! segment first, then [`CsrCache::export_entries`] clones the resident
 //! `(key, value, cost)` triples out shard by shard (LRU first — the
 //! replay-order hint), and the stream is written to a temp file,
-//! fsynced, and atomically renamed into place. Only then are WAL
-//! segments older than the snapshot's cover point pruned, so a crash at
-//! *any* instant leaves either the old snapshot + full WAL or the new
+//! fsynced, and atomically renamed into place. The directory itself is
+//! then fsynced — a rename is atomic but not durable until its dir
+//! entry is — and only after that are WAL segments older than the
+//! snapshot's cover point pruned, so a crash (or power cut) at *any*
+//! instant leaves either the old snapshot + full WAL or the new
 //! snapshot + tail — never a gap.
+//!
+//! # Mutation/WAL atomicity
+//!
+//! For the explicit verbs (client `SET`/`DEL`) the cache mutation runs
+//! *under the WAL append lock*, via [`Persistence::log_set_with`] /
+//! [`Persistence::log_del_with`]: generation order, append order, and
+//! cache-apply order are one total order, so replaying the log in file
+//! order reconstructs exactly the state concurrent clients were
+//! acknowledged against — a key the client saw `DELETED` can never be
+//! resurrected by a `SET` that lost the cache race but won the log
+//! race. Read-through fills append *before* their insert completes
+//! (the insert happens inside the cache's single-flight slot), which
+//! keeps the safe direction of that ordering: a fill that loses to a
+//! concurrent DEL in the cache also sits before the DEL in the log, so
+//! recovery errs toward re-fetching, never toward serving an
+//! invalidated value.
 //!
 //! # Degraded mode
 //!
@@ -393,6 +411,12 @@ pub struct Persistence {
     /// holder is alive, and the kernel closes it on *any* death,
     /// including SIGKILL — so stale locks self-release.
     _beacon: TcpListener,
+    /// The `LOCK` file handle, held open with an exclusive OS lock
+    /// (`File::try_lock`) for the process lifetime: the *atomic* claim
+    /// that closes the read-then-write race two simultaneously starting
+    /// daemons would otherwise have. The kernel releases it on any
+    /// death, including SIGKILL.
+    _lock: File,
 }
 
 /// The error a second `csr-serve` gets when the persistence dir is
@@ -406,6 +430,18 @@ fn lock_held_error(dir: &Path, holder: &str) -> io::Error {
             dir.display()
         ),
     )
+}
+
+/// Fsyncs `dir` itself: a file's fsync covers its data, not its
+/// directory entry, so newly created or renamed names need this to be
+/// durable across power loss. No-op off Unix (directories cannot be
+/// opened for syncing there; the supported targets are Unix).
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
 }
 
 fn seg_path(dir: &Path, seq: u64) -> PathBuf {
@@ -451,7 +487,7 @@ impl Persistence {
     /// opened.
     pub(crate) fn open(config: PersistConfig, registry: &Registry) -> io::Result<Persistence> {
         fs::create_dir_all(&config.dir)?;
-        let beacon = Self::acquire_lock(&config.dir)?;
+        let (lock, beacon) = Self::acquire_lock(&config.dir)?;
         let metrics = PersistMetrics::new(registry);
         let next_seg = list_seqs(&config.dir, "wal-", ".log")?
             .last()
@@ -473,17 +509,36 @@ impl Persistence {
             degraded: AtomicBool::new(false),
             snapshotting: AtomicBool::new(false),
             _beacon: beacon,
+            _lock: lock,
         };
         Ok(persist)
     }
 
-    /// Takes the exclusive lock: the `LOCK` file names a liveness port;
-    /// if a TCP connect to it succeeds, a live instance holds the dir
-    /// and we refuse. A dead holder's port no longer answers (the
-    /// kernel closed its beacon at death), so its stale lock is
-    /// reclaimed automatically.
-    fn acquire_lock(dir: &Path) -> io::Result<TcpListener> {
+    /// Takes the exclusive lock. The atomic claim is an OS file lock
+    /// ([`File::try_lock`]) on `LOCK`, so two daemons racing through
+    /// startup cannot both win: the kernel grants exactly one, and
+    /// releases it on any death (including SIGKILL) — no stale-lock
+    /// janitor. The file's contents name a TCP liveness beacon as
+    /// defense in depth for filesystems where the lock is advisory
+    /// theater (e.g. some network mounts): even after winning the flock,
+    /// a connect() that reaches the previous holder's beacon vetoes the
+    /// claim.
+    fn acquire_lock(dir: &Path) -> io::Result<(File, TcpListener)> {
         let lock_path = dir.join(LOCK_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&lock_path)?;
+        match file.try_lock() {
+            Ok(()) => {}
+            Err(std::fs::TryLockError::WouldBlock) => {
+                let holder = fs::read_to_string(&lock_path).unwrap_or_default();
+                return Err(lock_held_error(dir, holder.trim()));
+            }
+            Err(std::fs::TryLockError::Error(e)) => return Err(e),
+        }
         if let Ok(contents) = fs::read_to_string(&lock_path) {
             let contents = contents.trim().to_owned();
             if let Some(port) = contents
@@ -499,14 +554,11 @@ impl Persistence {
         }
         let beacon = TcpListener::bind("127.0.0.1:0")?;
         let port = beacon.local_addr()?.port();
-        let mut f = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&lock_path)?;
-        writeln!(f, "pid={} port={port}", std::process::id())?;
-        f.sync_all()?;
-        Ok(beacon)
+        // We hold the lock: rewriting in place races with nobody.
+        file.set_len(0)?;
+        writeln!(file, "pid={} port={port}", std::process::id())?;
+        file.sync_all()?;
+        Ok((file, beacon))
     }
 
     /// The configured fsync policy (for `STATS`).
@@ -539,7 +591,7 @@ impl Persistence {
 
         let check_cancel = |replayed: &mut u64| -> io::Result<()> {
             *replayed += 1;
-            if *replayed % CANCEL_CHECK_EVERY != 0 {
+            if !(*replayed).is_multiple_of(CANCEL_CHECK_EVERY) {
                 return Ok(());
             }
             if !self.config.recovery_throttle.is_zero() {
@@ -639,33 +691,72 @@ impl Persistence {
     /// then invokes [`snapshot`](Self::snapshot) outside the append
     /// lock.
     pub(crate) fn log_set(&self, key: &str, value: &[u8], cost: u64) -> bool {
-        self.append(Record {
-            op: OP_SET,
-            gen: self.next_gen.fetch_add(1, Ordering::Relaxed),
-            cost,
-            key: key.to_owned(),
-            value: value.to_vec(),
-        })
+        self.log_set_with(key, value, cost, || ()).1
     }
 
-    /// Logs an invalidation. Same snapshot-due contract as
-    /// [`log_set`](Self::log_set).
+    /// Logs a stored entry and runs `apply` (the cache mutation) while
+    /// still holding the WAL append lock, so log order and cache-apply
+    /// order cannot diverge for this key (see the module docs'
+    /// atomicity section). `apply` runs even when the append was
+    /// dropped (degraded mode) — serving always proceeds.
+    pub(crate) fn log_set_with<R>(
+        &self,
+        key: &str,
+        value: &[u8],
+        cost: u64,
+        apply: impl FnOnce() -> R,
+    ) -> (R, bool) {
+        self.append_with(
+            Record {
+                op: OP_SET,
+                gen: 0,
+                cost,
+                key: key.to_owned(),
+                value: value.to_vec(),
+            },
+            apply,
+        )
+    }
+
+    /// Logs an invalidation without a cache mutation (tests only; the
+    /// server always pairs the DEL with its remove via
+    /// [`log_del_with`](Self::log_del_with)).
+    #[cfg(test)]
     pub(crate) fn log_del(&self, key: &str) -> bool {
-        self.append(Record {
-            op: OP_DEL,
-            gen: self.next_gen.fetch_add(1, Ordering::Relaxed),
-            cost: 0,
-            key: key.to_owned(),
-            value: Vec::new(),
-        })
+        self.log_del_with(key, || ()).1
+    }
+
+    /// Logs an invalidation, running `apply` (the cache removal) under
+    /// the WAL lock — the DEL analogue of
+    /// [`log_set_with`](Self::log_set_with), with the same snapshot-due
+    /// contract. DELs are logged *unconditionally* — even for a key
+    /// that is not resident — because the WAL tail may hold an earlier
+    /// SET for it (e.g. a read-through fill that was since evicted);
+    /// without the tombstone, replay would resurrect a value the client
+    /// explicitly invalidated.
+    pub(crate) fn log_del_with<R>(&self, key: &str, apply: impl FnOnce() -> R) -> (R, bool) {
+        self.append_with(
+            Record {
+                op: OP_DEL,
+                gen: 0,
+                cost: 0,
+                key: key.to_owned(),
+                value: Vec::new(),
+            },
+            apply,
+        )
     }
 
     /// Appends one record under the WAL lock, honoring the fsync policy,
     /// rotating full segments, degrading (not crashing) on I/O errors.
-    fn append(&self, record: Record) -> bool {
+    /// `apply` runs under the same lock, after the append, on every
+    /// path — the record's generation is allocated under the lock too,
+    /// so generation order, append order, and apply order coincide.
+    fn append_with<R>(&self, mut record: Record, apply: impl FnOnce() -> R) -> (R, bool) {
         let mut inner = self.wal.lock().expect("wal lock poisoned");
+        record.gen = self.next_gen.fetch_add(1, Ordering::Relaxed);
         if self.degraded.load(Ordering::Relaxed) && !self.try_rearm(&mut inner) {
-            return false;
+            return (apply(), false);
         }
         match self.append_locked(&mut inner, &record) {
             Ok(()) => {
@@ -674,11 +765,11 @@ impl Persistence {
                 let due = self.config.snapshot_every > 0
                     && inner.appends_since_snapshot >= self.config.snapshot_every;
                 let resync = std::mem::take(&mut inner.resync_needed);
-                due || resync
+                (apply(), due || resync)
             }
             Err(e) => {
                 self.enter_degraded(&mut inner, &e);
-                false
+                (apply(), false)
             }
         }
     }
@@ -717,14 +808,25 @@ impl Persistence {
 
     /// Opens (or rotates to) a fresh WAL segment.
     fn open_segment(&self, inner: &mut WalInner) -> io::Result<()> {
-        if let Some(old) = inner.file.take() {
-            drop(old); // flushes via BufWriter::drop; errors surface on reopen
+        if let Some(mut old) = inner.file.take() {
             inner.seg_seq += 1;
+            // Flush explicitly: BufWriter::drop swallows a failed final
+            // write, which would silently lose the buffered tail (under
+            // `--fsync <ms>`/`never`) without ever entering degraded
+            // mode. The error must count and degrade like any other.
+            old.flush()?;
         }
         let path = seg_path(&self.config.dir, inner.seg_seq);
         let file = OpenOptions::new().append(true).create(true).open(path)?;
         inner.file = Some(BufWriter::new(file));
         inner.seg_bytes = 0;
+        if self.config.fsync == FsyncPolicy::Always {
+            // `always` promises an acknowledged write is durable — which
+            // includes the *name* of the segment holding it: fsync the
+            // directory so the new entry survives power loss.
+            fsync_dir(&self.config.dir)?;
+            self.metrics.fsyncs.inc();
+        }
         Ok(())
     }
 
@@ -814,6 +916,11 @@ impl Persistence {
             self.metrics.fsyncs.inc();
         }
         fs::rename(&tmp, snap_path(dir, cover))?;
+        // The rename is atomic but not durable until the directory entry
+        // is synced; prune only after that, or a power cut could take
+        // both the new snapshot and the WAL segments it covered.
+        fsync_dir(dir)?;
+        self.metrics.fsyncs.inc();
         self.metrics.snapshots.inc();
         // Prune: WAL segments fully folded into the snapshot, and every
         // older snapshot (the new one supersedes them).

@@ -687,7 +687,7 @@ mod tests {
     #[test]
     fn overlong_line_is_recoverable_and_resyncs() {
         let mut input = b"GET ".to_vec();
-        input.extend(std::iter::repeat(b'k').take(MAX_LINE_LEN + 10));
+        input.extend(std::iter::repeat_n(b'k', MAX_LINE_LEN + 10));
         input.extend_from_slice(b"\r\nGET after\r\n");
         let mut r = BufReader::new(&input[..]);
         match read_request(&mut r) {
@@ -717,7 +717,7 @@ mod tests {
     fn oversize_payload_is_swallowed_recoverably() {
         let len = MAX_VALUE_LEN + 1;
         let mut input = format!("SET k {len}\r\n").into_bytes();
-        input.extend(std::iter::repeat(b'x').take(len));
+        input.extend(std::iter::repeat_n(b'x', len));
         input.extend_from_slice(b"\r\nGET after\r\n");
         let mut r = BufReader::new(&input[..]);
         match read_request(&mut r) {

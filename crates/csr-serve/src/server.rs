@@ -530,7 +530,9 @@ impl Shared {
 
     /// WAL-logs a stored entry (`cost` exactly as charged to the cache),
     /// taking the periodic snapshot when one falls due. No-op without
-    /// persistence.
+    /// persistence. For entries inserted by this caller (not by a cache
+    /// fill closure), use [`store_persisted`](Self::store_persisted)
+    /// instead — it makes the insert atomic with the append.
     fn persist_set(&self, key: &str, value: &[u8], cost: u64) {
         if let Some(p) = &self.persist {
             if p.log_set(key, value, cost) {
@@ -539,11 +541,44 @@ impl Shared {
         }
     }
 
-    /// WAL-logs an invalidation. No-op without persistence.
-    fn persist_del(&self, key: &str) {
-        if let Some(p) = &self.persist {
-            if p.log_del(key) {
-                p.snapshot(&self.cache);
+    /// Inserts into the cache and WAL-logs the entry as one atomic step
+    /// (the insert runs under the WAL append lock), so concurrent
+    /// mutations of the same key reach the cache and the log in the
+    /// same order — recovery replays exactly the history clients were
+    /// acknowledged against.
+    fn store_persisted(&self, key: &str, value: &Bytes, cost: u64) {
+        match &self.persist {
+            None => {
+                self.cache
+                    .insert_with_cost(key.to_owned(), Arc::clone(value), cost);
+            }
+            Some(p) => {
+                let ((), due) = p.log_set_with(key, value, cost, || {
+                    self.cache
+                        .insert_with_cost(key.to_owned(), Arc::clone(value), cost);
+                });
+                if due {
+                    p.snapshot(&self.cache);
+                }
+            }
+        }
+    }
+
+    /// Removes from the cache and WAL-logs the invalidation as one
+    /// atomic step, returning whether the key was resident. The DEL is
+    /// logged even for a non-resident key: the WAL tail may hold an
+    /// earlier SET for it (a fill that was since evicted), and without
+    /// the tombstone replay would resurrect the invalidated value.
+    fn remove_persisted(&self, key: &str) -> bool {
+        match &self.persist {
+            None => self.cache.remove(&key.to_owned()).is_some(),
+            Some(p) => {
+                let (removed, due) =
+                    p.log_del_with(key, || self.cache.remove(&key.to_owned()).is_some());
+                if due {
+                    p.snapshot(&self.cache);
+                }
+                removed
             }
         }
     }
@@ -1187,18 +1222,12 @@ pub(crate) fn respond(
             let bytes = Bytes::from(value);
             match begin_trace(shared, ctx, anchor) {
                 None => {
-                    shared
-                        .cache
-                        .insert_with_cost(key.clone(), Arc::clone(&bytes), SET_COST);
-                    shared.persist_set(&key, &bytes, SET_COST);
+                    shared.store_persisted(&key, &bytes, SET_COST);
                     proto::write_line(w, "STORED")
                 }
                 Some(mut t) => {
                     let span = t.begin_span("cache");
-                    shared
-                        .cache
-                        .insert_with_cost(key.clone(), Arc::clone(&bytes), SET_COST);
-                    shared.persist_set(&key, &bytes, SET_COST);
+                    shared.store_persisted(&key, &bytes, SET_COST);
                     let dur = t.finish_span(span);
                     shared.metrics.phases.record("cache", dur);
                     let out = proto::write_line(w, "STORED");
@@ -1209,13 +1238,11 @@ pub(crate) fn respond(
         }
         Request::Del(key) => {
             shared.metrics.req_del.inc();
-            match shared.cache.remove(&key) {
-                Some(_) => {
-                    shared.persist_del(&key);
-                    proto::write_line(w, "DELETED")
-                }
-                None => proto::write_line(w, "NOT_FOUND"),
-            }
+            // The WAL tombstone is written whether or not the key was
+            // resident (see `remove_persisted`); only the *reply* keys
+            // off residency.
+            let removed = shared.remove_persisted(&key);
+            proto::write_line(w, if removed { "DELETED" } else { "NOT_FOUND" })
         }
         Request::Stats => {
             shared.metrics.req_stats.inc();
@@ -1458,10 +1485,7 @@ fn write_degraded(
         Some((bytes, cost)) => {
             let span = trace.as_mut().map(|t| t.begin_span("stale"));
             shared.origin_metrics.stale_served.inc();
-            shared
-                .cache
-                .insert_with_cost(key.to_owned(), Arc::clone(&bytes), cost);
-            shared.persist_set(key, &bytes, cost);
+            shared.store_persisted(key, &bytes, cost);
             if let (Some(t), Some(sp)) = (trace.as_mut(), span) {
                 shared.metrics.phases.record("stale", t.finish_span(sp));
             }

@@ -331,6 +331,67 @@ fn kill_and_reap(child: &mut Child) {
     child.wait().expect("reap daemon");
 }
 
+/// A DEL answered NOT_FOUND must still tombstone the WAL. The trap:
+/// GETs are not logged, so live eviction (recency-steered by hits) can
+/// diverge from replay eviction — leaving a SET for a key the live
+/// cache already evicted sitting in the WAL tail where replay *keeps*
+/// it. Here `bkey` is evicted live (the GET refreshed `akey`, so `bkey`
+/// is the LRU victim) but survives replay (no GET in the log means
+/// `akey` is the replay victim). Without the unconditional tombstone,
+/// the client's explicit invalidation evaporates and the restarted
+/// server serves the stale pre-DEL bytes indefinitely.
+#[test]
+fn del_of_nonresident_key_tombstones_the_wal() {
+    let dir = test_dir("del-tombstone");
+    let flags = [
+        "--capacity",
+        "2",
+        "--shards",
+        "1",
+        "--policy",
+        "lru",
+        "--fast-us",
+        "0",
+        "--slow-us",
+        "0",
+    ];
+    let (mut child, addr) = spawn_persisting(&dir, &flags);
+    {
+        let mut conn = Conn::open(addr).expect("connect");
+        assert!(conn.set("akey", b"va").expect("set akey"));
+        assert!(conn.set("bkey", b"STALE-AFTER-DEL").expect("set bkey"));
+        // The unlogged hit: akey becomes MRU, so the next insert evicts
+        // bkey live — while replay, blind to GETs, will evict akey.
+        assert_eq!(
+            conn.get("akey").expect("get akey").as_deref(),
+            Some(&b"va"[..])
+        );
+        assert!(conn.set("ckey", b"vc").expect("set ckey"));
+        assert!(
+            !conn.del("bkey").expect("del bkey"),
+            "bkey must already be evicted (NOT_FOUND) for this scenario"
+        );
+    }
+    kill_and_reap(&mut child);
+
+    let (mut survivor, addr) = spawn_persisting(&dir, &flags);
+    let mut conn = Conn::open(addr).expect("connect survivor");
+    let got = conn
+        .get("bkey")
+        .expect("get bkey")
+        .expect("read-through refetch");
+    assert_ne!(
+        got,
+        b"STALE-AFTER-DEL".to_vec(),
+        "replay resurrected a value the client explicitly invalidated"
+    );
+    assert!(
+        plausible("bkey", None, &got),
+        "recovered GET must be an origin refetch, got {got:?}"
+    );
+    kill_and_reap(&mut survivor);
+}
+
 /// The measured-cost probe: fill a capacity-16 GreedyDual cache with 8
 /// observed-cheap (~100µs) and 8 observed-expensive (~20ms) entries,
 /// SIGKILL, restart, then pressure with six more expensive keys. If the

@@ -228,7 +228,7 @@ mod tests {
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             let b = (x >> 33) % 9;
-            trace.push(acc(b, if b % 3 == 0 { 8 } else { 1 }));
+            trace.push(acc(b, if b.is_multiple_of(3) { 8 } else { 1 }));
         }
         let csopt = simulate_csopt(&geom, &trace, CsoptLimits::default()).expect("small");
         let mut lru = Cache::new(geom, Lru::new());

@@ -128,7 +128,7 @@ impl Workload for FftLike {
 
     fn generate_phases(&self, _seed: u64) -> PhasedTrace {
         assert!(
-            self.side % self.procs == 0,
+            self.side.is_multiple_of(self.procs),
             "processors must divide the matrix side"
         );
         let mut pt = PhasedTrace::new(self.procs);

@@ -102,14 +102,14 @@ impl LuLike {
         for i in 0..b {
             for j in 0..b {
                 step += 1;
-                if step % stride != 0 {
+                if !step.is_multiple_of(stride) {
                     continue;
                 }
                 // Source elements are register-reused across the inner
                 // daxpy, so they are read at half the rate of the target
                 // element's load/store pair (this keeps the remote access
                 // fraction near the paper's moderate LU value).
-                if step % 2 == 0 {
+                if step.is_multiple_of(2) {
                     for &(ri, rj) in reads {
                         out.push(TraceRecord::read(
                             proc,
@@ -143,7 +143,7 @@ impl Workload for LuLike {
     }
 
     fn generate_phases(&self, _seed: u64) -> PhasedTrace {
-        assert!(self.n % self.block == 0, "matrix must divide into blocks");
+        assert!(self.n.is_multiple_of(self.block), "matrix must divide into blocks");
         let nb = self.blocks_per_side();
         let mut pt = PhasedTrace::new(self.procs);
 

@@ -39,7 +39,7 @@ fn random_script(case: u64) -> Vec<Step> {
 }
 
 fn cost_of(b: u64) -> Cost {
-    if b % 3 == 0 {
+    if b.is_multiple_of(3) {
         Cost(9)
     } else {
         Cost(1)

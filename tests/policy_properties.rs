@@ -42,7 +42,7 @@ fn random_script(case: u64, blocks: u64) -> Vec<Step> {
 
 /// Cost of a block under a deterministic two-cost mapping.
 fn cost_of(block: u64, ratio: u64) -> Cost {
-    if block % 3 == 0 {
+    if block.is_multiple_of(3) {
         Cost(ratio)
     } else {
         Cost(1)
